@@ -1,0 +1,54 @@
+// Command stopibench regenerates the paper's evaluation: every table and
+// figure of §2 and §6, measured against this repository's substrates.
+//
+//	stopibench                # run everything at full settings
+//	stopibench -quick         # fast smoke pass
+//	stopibench -fig 2c        # one experiment (2a 2b 2c 5 7 10 11 12 13 14 15 strawmen codesize)
+//	stopibench -repeats 10    # paper-grade repetition
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "experiment to run (see Order in internal/bench)")
+		quick   = flag.Bool("quick", false, "small workloads, single repetition")
+		repeats = flag.Int("repeats", 0, "timed runs per data point (default 5, paper uses 10)")
+	)
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	if *quick {
+		cfg = bench.QuickConfig()
+	}
+	if *repeats > 0 {
+		cfg.Repeats = *repeats
+	}
+
+	if *fig == "all" {
+		out, err := bench.RunAll(cfg)
+		fmt.Print(out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stopibench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	runner, ok := bench.Experiments()[*fig]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "stopibench: unknown figure %q; choose from %v\n", *fig, bench.Order())
+		os.Exit(1)
+	}
+	out, err := runner(cfg)
+	fmt.Print(out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stopibench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,60 @@
+// Blocking demonstrates §5.2's synchronous-operations-atop-nonblocking-APIs
+// feature: the JavaScript program calls sleep() and prompt() as if they were
+// blocking, while the host implements them with timers and queued events —
+// exactly how a language runtime built on Stopify offers blocking I/O in a
+// browser that has none.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+)
+
+const program = `
+console.log("downloading three files...");
+for (var i = 1; i <= 3; i++) {
+  var ms = i * 40;
+  sleep(ms);                       // looks blocking, runs on setTimeout
+  console.log("  file", i, "fetched after", ms, "ms");
+}
+var name = prompt("who are you?");  // blocking read from a host input queue
+console.log("hello,", name);
+`
+
+func main() {
+	opts := core.Defaults()
+	compiled, err := core.Compile(program, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	run, err := compiled.NewRun(core.RunConfig{Out: os.Stdout})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// sleep(ms): capture the continuation, set a timer, resume later.
+	run.RT.Blocking("sleep", func(args []interp.Value, resume func(interp.Value)) {
+		ms, _ := args[0].(float64)
+		run.Loop.Post(func() { resume(interp.Undefined{}) }, ms)
+	})
+
+	// prompt(q): answer from a queued input source (a real IDE would wire
+	// this to a DOM event).
+	inputs := []string{"ada"}
+	run.RT.Blocking("prompt", func(args []interp.Value, resume func(interp.Value)) {
+		fmt.Printf("[host] prompt: %v\n", args[0])
+		answer := inputs[0]
+		run.Loop.Post(func() { resume(answer) }, 10)
+	})
+
+	run.Run(nil)
+	if err := run.Wait(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

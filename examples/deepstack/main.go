@@ -1,0 +1,56 @@
+// Deepstack demonstrates §5.2's deep-stack mode: a recursive program that
+// needs two orders of magnitude more stack than the engine provides runs to
+// completion because Stopify captures the stack at a depth limit and
+// resumes it, in segments, on an empty native stack. Tail calls never push
+// frames (§3.2.2), so unbounded tail recursion runs in constant space — the
+// paper's trampoline for engines without proper tail calls.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+const deepRecursion = `
+function sum(n) {
+  if (n === 0) { return 0; }
+  return n + sum(n - 1);       // NOT a tail call: every level needs a frame
+}
+console.log("sum(50000) =", sum(50000));
+`
+
+const tailRecursion = `
+function loop(n, acc) {
+  if (n === 0) { return acc; }
+  return loop(n - 1, acc + n); // tail call: no frame is ever reified
+}
+console.log("loop(2000000) =", loop(2000000, 0));
+`
+
+func main() {
+	// A Firefox-like engine: the paper singles out its shallow stack.
+	eng := engine.Firefox()
+	fmt.Printf("engine %q allows %d native frames\n\n", eng.Name, eng.MaxStack)
+
+	fmt.Println("--- without deep stacks ---")
+	opts := core.Defaults()
+	if _, err := core.RunSource(deepRecursion, opts, core.RunConfig{Engine: eng, Out: os.Stdout}); err != nil {
+		fmt.Println("failed as expected:", err)
+	}
+
+	fmt.Println("\n--- with deep stacks (stacks: 'deep') ---")
+	opts.DeepStacks = true
+	if _, err := core.RunSource(deepRecursion, opts, core.RunConfig{Engine: eng, Out: os.Stdout}); err != nil {
+		fmt.Fprintln(os.Stderr, "unexpected failure:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("\n--- two million tail calls in constant space ---")
+	if _, err := core.RunSource(tailRecursion, opts, core.RunConfig{Engine: eng, Out: os.Stdout}); err != nil {
+		fmt.Fprintln(os.Stderr, "unexpected failure:", err)
+		os.Exit(1)
+	}
+}

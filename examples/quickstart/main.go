@@ -1,0 +1,62 @@
+// Quickstart: compile a JavaScript program with Stopify, run it on the
+// event loop, interrupt it mid-flight with the pause API (the "stop
+// button" of §2), and resume it — the core promise of the paper in thirty
+// lines of client code.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+const program = `
+function fib(n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+for (var i = 20; i <= 24; i++) {
+  console.log("fib(" + i + ") =", fib(i));
+}
+`
+
+func main() {
+	opts := core.Defaults() // checked continuations, approx estimator, δ=100ms
+	compiled, err := core.Compile(program, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compile:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("instrumented %d source bytes into %d bytes of JavaScript\n",
+		compiled.SourceBytes, compiled.CompiledBytes)
+
+	run, err := compiled.NewRun(core.RunConfig{Out: os.Stdout})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "setup:", err)
+		os.Exit(1)
+	}
+
+	// Start the program and request a pause: the callback for the "stop
+	// button" just calls Pause and lets Stopify handle the rest (§2).
+	run.Run(nil)
+	paused := false
+	run.Pause(func() {
+		paused = true
+		fmt.Println("--- paused at a yield point; state is intact ---")
+	})
+	for !paused && !run.Finished() {
+		if !run.Loop.RunOne() {
+			break
+		}
+	}
+
+	fmt.Println("--- resuming ---")
+	run.Resume()
+	if err := run.Wait(); err != nil {
+		fmt.Fprintln(os.Stderr, "run:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("done after %d yields, %d continuation captures\n",
+		run.RT.Yields, run.RT.Captures)
+}

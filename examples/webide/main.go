@@ -1,0 +1,152 @@
+// Webide is a terminal model of the paper's Web IDE (§5.2, Figure 8): it
+// runs a user program — by default the infinite loop of Figure 17 that
+// freezes Codecademy and crashes the Elm debugger — with a working stop
+// button, breakpoints, single-stepping, and resume.
+//
+//	go run ./examples/webide [program.js]
+//
+// Commands at the (ide) prompt:
+//
+//	run            start the program
+//	stop           interrupt it (graceful termination — state preserved)
+//	resume         continue after stop or breakpoint
+//	step           execute one statement and stop again
+//	break <line>   set a breakpoint on an original source line
+//	clear <line>   remove a breakpoint
+//	quit           leave the IDE
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// defaultProgram is the kind of program that freezes real Web IDEs
+// (Figure 17): an infinite loop with observable progress.
+const defaultProgram = `var spins = 0;
+while (true) {
+  spins = spins + 1;
+  if (spins % 5000000 === 0) {
+    console.log("still spinning:", spins);
+  }
+}`
+
+func main() {
+	src := defaultProgram
+	if len(os.Args) > 1 {
+		b, err := os.ReadFile(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		src = string(b)
+	}
+
+	opts := core.Defaults()
+	opts.Debug = true // $bp before every statement: breakpoints + stepping
+	compiled, err := core.Compile(src, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compile:", err)
+		os.Exit(1)
+	}
+	run, err := compiled.NewRun(core.RunConfig{Out: os.Stdout})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	run.RT.OnBreak(func(line int) {
+		fmt.Printf("(ide) stopped at line %d\n", line)
+	})
+
+	lines := make(chan string, 4)
+	go func() {
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			lines <- strings.TrimSpace(sc.Text())
+		}
+		close(lines)
+	}()
+
+	fmt.Println("(ide) loaded program; commands: run stop resume step break <n> clear <n> quit")
+	printPrompt := true
+	for {
+		if printPrompt {
+			fmt.Print("(ide) ")
+			printPrompt = false
+		}
+		select {
+		case cmd, ok := <-lines:
+			if !ok {
+				return
+			}
+			printPrompt = true
+			fields := strings.Fields(cmd)
+			if len(fields) == 0 {
+				continue
+			}
+			switch fields[0] {
+			case "run":
+				run.Run(func() { fmt.Println("(ide) program finished") })
+			case "stop":
+				run.Pause(func() {
+					fmt.Printf("(ide) stopped near line %d; resume to continue\n", run.RT.CurrentLine())
+				})
+				// Pump until the pause lands, so `stop` behaves like a real
+				// stop button even in scripted use.
+				for i := 0; i < 1000000 && !run.RT.Paused() && !run.Finished(); i++ {
+					if !run.Loop.RunOne() {
+						break
+					}
+				}
+			case "resume":
+				if run.RT.Paused() {
+					run.RT.ResumeFromBreak()
+				} else {
+					fmt.Println("(ide) nothing to resume")
+				}
+			case "step":
+				run.RT.StepOnce(func(line int) {
+					fmt.Printf("(ide) stepped to line %d\n", line)
+				})
+			case "break":
+				if n := argLine(fields); n > 0 {
+					run.RT.SetBreakpoint(n)
+					fmt.Printf("(ide) breakpoint at line %d\n", n)
+				}
+			case "clear":
+				if n := argLine(fields); n > 0 {
+					run.RT.ClearBreakpoint(n)
+				}
+			case "quit":
+				return
+			default:
+				fmt.Println("(ide) unknown command")
+			}
+		default:
+			// The "browser": drain one event-loop task, then service the UI.
+			if !run.Loop.RunOne() && run.Finished() {
+				if _, err := run.Result(); err != nil {
+					fmt.Println("(ide) program error:", err)
+				}
+			}
+		}
+	}
+}
+
+func argLine(fields []string) int {
+	if len(fields) < 2 {
+		fmt.Println("(ide) need a line number")
+		return 0
+	}
+	n, err := strconv.Atoi(fields[1])
+	if err != nil {
+		fmt.Println("(ide) bad line number")
+		return 0
+	}
+	return n
+}

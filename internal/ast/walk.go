@@ -1,0 +1,199 @@
+package ast
+
+// Walk calls fn for node and every descendant in depth-first pre-order. If
+// fn returns false for a node, its children are not visited. Walk tolerates
+// nil nodes so callers can pass optional fields directly.
+func Walk(node Node, fn func(Node) bool) {
+	if node == nil || isNilNode(node) {
+		return
+	}
+	if !fn(node) {
+		return
+	}
+	switch n := node.(type) {
+	case *Program:
+		for _, s := range n.Body {
+			Walk(s, fn)
+		}
+	case *Array:
+		for _, e := range n.Elems {
+			Walk(e, fn)
+		}
+	case *Object:
+		for _, p := range n.Props {
+			Walk(p.Value, fn)
+		}
+	case *Func:
+		for _, s := range n.Body {
+			Walk(s, fn)
+		}
+	case *Unary:
+		Walk(n.X, fn)
+	case *Update:
+		Walk(n.X, fn)
+	case *Binary:
+		Walk(n.L, fn)
+		Walk(n.R, fn)
+	case *Logical:
+		Walk(n.L, fn)
+		Walk(n.R, fn)
+	case *Assign:
+		Walk(n.Target, fn)
+		Walk(n.Value, fn)
+	case *Cond:
+		Walk(n.Test, fn)
+		Walk(n.Cons, fn)
+		Walk(n.Alt, fn)
+	case *Call:
+		Walk(n.Callee, fn)
+		for _, a := range n.Args {
+			Walk(a, fn)
+		}
+	case *New:
+		Walk(n.Callee, fn)
+		for _, a := range n.Args {
+			Walk(a, fn)
+		}
+	case *Member:
+		Walk(n.X, fn)
+		if n.Computed {
+			Walk(n.Index, fn)
+		}
+	case *Seq:
+		for _, e := range n.Exprs {
+			Walk(e, fn)
+		}
+	case *VarDecl:
+		for _, d := range n.Decls {
+			Walk(d.Init, fn)
+		}
+	case *ExprStmt:
+		Walk(n.X, fn)
+	case *Block:
+		for _, s := range n.Body {
+			Walk(s, fn)
+		}
+	case *If:
+		Walk(n.Test, fn)
+		Walk(n.Cons, fn)
+		Walk(n.Alt, fn)
+	case *While:
+		Walk(n.Test, fn)
+		Walk(n.Body, fn)
+	case *DoWhile:
+		Walk(n.Body, fn)
+		Walk(n.Test, fn)
+	case *For:
+		Walk(n.Init, fn)
+		Walk(n.Test, fn)
+		Walk(n.Update, fn)
+		Walk(n.Body, fn)
+	case *ForIn:
+		Walk(n.Obj, fn)
+		Walk(n.Body, fn)
+	case *Return:
+		Walk(n.Arg, fn)
+	case *Labeled:
+		Walk(n.Body, fn)
+	case *Switch:
+		Walk(n.Disc, fn)
+		for _, c := range n.Cases {
+			Walk(c.Test, fn)
+			for _, s := range c.Body {
+				Walk(s, fn)
+			}
+		}
+	case *Throw:
+		Walk(n.Arg, fn)
+	case *Try:
+		Walk(n.Block, fn)
+		Walk(n.Catch, fn)
+		Walk(n.Finally, fn)
+	case *FuncDecl:
+		Walk(n.Fn, fn)
+	}
+}
+
+// isNilNode reports whether a non-nil interface holds a nil pointer, which
+// happens when optional typed fields (e.g. a nil *Block) are passed as Node.
+func isNilNode(n Node) bool {
+	switch v := n.(type) {
+	case *Program:
+		return v == nil
+	case *Ident:
+		return v == nil
+	case *Number:
+		return v == nil
+	case *Str:
+		return v == nil
+	case *Bool:
+		return v == nil
+	case *Null:
+		return v == nil
+	case *This:
+		return v == nil
+	case *NewTarget:
+		return v == nil
+	case *Array:
+		return v == nil
+	case *Object:
+		return v == nil
+	case *Func:
+		return v == nil
+	case *Unary:
+		return v == nil
+	case *Update:
+		return v == nil
+	case *Binary:
+		return v == nil
+	case *Logical:
+		return v == nil
+	case *Assign:
+		return v == nil
+	case *Cond:
+		return v == nil
+	case *Call:
+		return v == nil
+	case *New:
+		return v == nil
+	case *Member:
+		return v == nil
+	case *Seq:
+		return v == nil
+	case *VarDecl:
+		return v == nil
+	case *ExprStmt:
+		return v == nil
+	case *Block:
+		return v == nil
+	case *If:
+		return v == nil
+	case *While:
+		return v == nil
+	case *DoWhile:
+		return v == nil
+	case *For:
+		return v == nil
+	case *ForIn:
+		return v == nil
+	case *Return:
+		return v == nil
+	case *Break:
+		return v == nil
+	case *Continue:
+		return v == nil
+	case *Labeled:
+		return v == nil
+	case *Switch:
+		return v == nil
+	case *Throw:
+		return v == nil
+	case *Try:
+		return v == nil
+	case *FuncDecl:
+		return v == nil
+	case *Empty:
+		return v == nil
+	}
+	return false
+}

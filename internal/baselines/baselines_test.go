@@ -1,0 +1,143 @@
+package baselines
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eventloop"
+)
+
+func cfg() core.RunConfig {
+	return core.RunConfig{Clock: eventloop.NewVirtualClock(), Seed: 1}
+}
+
+// strawmanCorpus is the numeric subset both strawmen support.
+var strawmanCorpus = []string{
+	`function fib(n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }
+	 console.log(fib(14));`,
+	`function tak(x, y, z) {
+	   if (y >= x) { return z; }
+	   return tak(tak(x - 1, y, z), tak(y - 1, z, x), tak(z - 1, x, y));
+	 }
+	 console.log(tak(10, 5, 0));`,
+	`function step(acc, i) { return acc + i * i; }
+	 var acc = 0;
+	 for (var i = 0; i < 200; i++) { acc = step(acc, i); }
+	 console.log(acc);`,
+	`function even(n) { if (n === 0) { return true; } return odd(n - 1); }
+	 function odd(n) { if (n === 0) { return false; } return even(n - 1); }
+	 console.log(even(100), odd(100));`,
+	`function apply1(f, x) { return f(x); }
+	 var dbl = function (v) { return v * 2; };
+	 console.log(apply1(dbl, 21));`,
+	`function abs(x) { if (x < 0) { return -x; } return x; }
+	 var t = 0;
+	 for (var i = -50; i < 50; i++) { t += abs(i); }
+	 console.log(t);`,
+	`console.log(Math.floor(3.9), Math.max(1, 2, 3));`,
+}
+
+func TestCPSPreservesSemantics(t *testing.T) {
+	for _, src := range strawmanCorpus {
+		want, err := core.RunRaw(src, cfg())
+		if err != nil {
+			t.Fatalf("raw: %v", err)
+		}
+		cpsSrc, err := CompileCPS(src)
+		if err != nil {
+			t.Fatalf("CompileCPS(%q): %v", src, err)
+		}
+		got, err := core.RunRaw(cpsSrc, cfg())
+		if err != nil {
+			t.Fatalf("cps run failed: %v\n--- transformed ---\n%s", err, cpsSrc)
+		}
+		if got != want {
+			t.Errorf("cps changed semantics:\n%s\nraw: %q\ncps: %q", src, want, got)
+		}
+	}
+}
+
+func TestCPSKeepsStackFlat(t *testing.T) {
+	// Deep non-tail-looking recursion via the trampoline must not overflow
+	// a shallow native stack: the continuation chain lives on the heap.
+	src := `
+function count(n) { if (n === 0) { return 0; } return 1 + count(n - 1); }
+console.log(count(200));`
+	cpsSrc, err := CompileCPS(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.RunRaw(cpsSrc, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "200\n" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestCPSRejectsUnsupported(t *testing.T) {
+	for _, src := range []string{
+		`try { f(); } catch (e) { }`,
+		`function f() { return new Object(); } f();`,
+	} {
+		if _, err := CompileCPS(src); err == nil {
+			t.Errorf("CompileCPS(%q) should be rejected by the strawman", src)
+		}
+	}
+}
+
+func TestGenPreservesSemantics(t *testing.T) {
+	for _, src := range strawmanCorpus {
+		want, err := core.RunRaw(src, cfg())
+		if err != nil {
+			t.Fatalf("raw: %v", err)
+		}
+		genSrc, err := CompileGen(src)
+		if err != nil {
+			t.Fatalf("CompileGen: %v", err)
+		}
+		got, err := core.RunRaw(genSrc, cfg())
+		if err != nil {
+			t.Fatalf("gen run failed: %v\n--- transformed ---\n%s", err, genSrc)
+		}
+		if got != want {
+			t.Errorf("gen changed semantics:\n%s\nraw: %q\ngen: %q", src, want, got)
+		}
+	}
+}
+
+func TestSkulptPreservesSemantics(t *testing.T) {
+	srcs := append(strawmanCorpus,
+		`var o = { a: 1 }; o.a += 2; console.log(o.a);`,
+		`try { throw new Error("x"); } catch (e) { console.log(e.message); }`,
+	)
+	for _, src := range srcs {
+		want, err := core.RunRaw(src, cfg())
+		if err != nil {
+			t.Fatalf("raw: %v", err)
+		}
+		skSrc, err := CompileSkulpt(src)
+		if err != nil {
+			t.Fatalf("CompileSkulpt: %v", err)
+		}
+		got, err := core.RunRaw(skSrc, cfg())
+		if err != nil {
+			t.Fatalf("skulpt run failed: %v\n%s", err, skSrc)
+		}
+		if got != want {
+			t.Errorf("skulpt changed semantics:\n%s\nraw: %q\nsk: %q", src, want, got)
+		}
+	}
+}
+
+func TestSkulptAddsDispatch(t *testing.T) {
+	out, err := CompileSkulpt(`var x = 1 + 2 * 3;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "$sk_bin") {
+		t.Error("skulpt transform should route arithmetic through $sk_bin")
+	}
+}

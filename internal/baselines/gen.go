@@ -1,0 +1,187 @@
+package baselines
+
+import (
+	"repro/internal/anf"
+	"repro/internal/ast"
+	"repro/internal/desugar"
+	"repro/internal/parser"
+	"repro/internal/printer"
+)
+
+// genPrelude supports the generator-style strawman: a converted function
+// returns a generator object whose next() produces a {value, done} record;
+// $gennext drives one-shot generators and passes native results through
+// untouched.
+const genPrelude = `
+function $gennext(r) {
+  if (r !== null && typeof r === "object" && r.$g === true) {
+    return r.next().value;
+  }
+  return r;
+}
+`
+
+// CompileGen models the second strawman of §3: implementing one-shot
+// continuations with generators. Real generators turn every function into
+// a generator factory and every call into .next() dispatch; the structural
+// costs are a generator object and resumption closure per activation, a
+// result record per return, and an extra dispatch call per application —
+// which is exactly what this transform reproduces:
+//
+//	function f(a) { body }        =>  function f(a) {
+//	                                    return { $g: true, next: function () { body' } };
+//	                                  }
+//	x = f(a)                      =>  x = $gennext(f(a))
+//
+// where body' wraps every return in a {value, done} record. `this` and
+// `arguments` inside converted functions are not supported — it is a
+// strawman for the numeric comparison of §3, not a product.
+func CompileGen(source string) (string, error) {
+	prog, err := parser.Parse(source)
+	if err != nil {
+		return "", err
+	}
+	nm := &desugar.Namer{}
+	desugar.Apply(prog, desugar.Options{}, nm)
+	anf.Normalize(prog)
+
+	var fns []*ast.Func
+	ast.Walk(prog, func(n ast.Node) bool {
+		if fn, ok := n.(*ast.Func); ok {
+			fns = append(fns, fn)
+		}
+		return true
+	})
+	for _, fn := range fns {
+		genFunc(fn)
+	}
+	genUnwrapCalls(prog)
+	return genPrelude + printer.Print(prog), nil
+}
+
+// genFunc turns the function into a generator factory: calling it
+// allocates the generator object and the resumption closure; next() runs
+// the original body.
+func genFunc(fn *ast.Func) {
+	genWrapReturns(fn.Body)
+	body := append(fn.Body, ast.Ret(genRecord(ast.Undef())))
+	next := &ast.Func{Body: body}
+	genObj := &ast.Object{Props: []ast.Property{
+		{Kind: ast.PropInit, Key: "$g", Value: ast.Boollit(true)},
+		{Kind: ast.PropInit, Key: "next", Value: next},
+	}}
+	fn.Body = []ast.Stmt{ast.Ret(genObj)}
+}
+
+func genRecord(v ast.Expr) ast.Expr {
+	return &ast.Object{Props: []ast.Property{
+		{Kind: ast.PropInit, Key: "$gen", Value: ast.Boollit(true)},
+		{Kind: ast.PropInit, Key: "done", Value: ast.Boollit(true)},
+		{Kind: ast.PropInit, Key: "value", Value: v},
+	}}
+}
+
+func genWrapReturns(body []ast.Stmt) {
+	for _, s := range body {
+		genWrapReturnStmt(s)
+	}
+}
+
+func genWrapReturnStmt(s ast.Stmt) {
+	switch n := s.(type) {
+	case *ast.Return:
+		arg := n.Arg
+		if arg == nil {
+			arg = ast.Undef()
+		}
+		if call, ok := arg.(*ast.Call); ok {
+			n.Arg = genRecord(ast.CallId("$gennext", call))
+			return
+		}
+		n.Arg = genRecord(arg)
+	case *ast.Block:
+		genWrapReturns(n.Body)
+	case *ast.If:
+		genWrapReturnStmt(n.Cons)
+		if n.Alt != nil {
+			genWrapReturnStmt(n.Alt)
+		}
+	case *ast.While:
+		genWrapReturnStmt(n.Body)
+	case *ast.Labeled:
+		genWrapReturnStmt(n.Body)
+	case *ast.Try:
+		genWrapReturns(n.Block.Body)
+		if n.Catch != nil {
+			genWrapReturns(n.Catch.Body)
+		}
+		if n.Finally != nil {
+			genWrapReturns(n.Finally.Body)
+		}
+	}
+}
+
+// genUnwrapCalls routes every named application through $gennext.
+func genUnwrapCalls(prog *ast.Program) {
+	var rewrite func(body []ast.Stmt)
+	unwrap := func(e ast.Expr) ast.Expr {
+		if call, ok := e.(*ast.Call); ok {
+			if id, isId := call.Callee.(*ast.Ident); isId && (id.Name == "$gennext") {
+				return e
+			}
+			return ast.CallId("$gennext", call)
+		}
+		return e
+	}
+	var doStmt func(s ast.Stmt)
+	doStmt = func(s ast.Stmt) {
+		switch n := s.(type) {
+		case *ast.VarDecl:
+			for i := range n.Decls {
+				if n.Decls[i].Init != nil {
+					n.Decls[i].Init = unwrap(n.Decls[i].Init)
+				}
+			}
+		case *ast.ExprStmt:
+			if a, ok := n.X.(*ast.Assign); ok {
+				a.Value = unwrap(a.Value)
+			}
+		case *ast.Block:
+			rewrite(n.Body)
+		case *ast.If:
+			doStmt(n.Cons)
+			if n.Alt != nil {
+				doStmt(n.Alt)
+			}
+		case *ast.While:
+			doStmt(n.Body)
+		case *ast.Labeled:
+			doStmt(n.Body)
+		case *ast.Try:
+			rewrite(n.Block.Body)
+			if n.Catch != nil {
+				rewrite(n.Catch.Body)
+			}
+			if n.Finally != nil {
+				rewrite(n.Finally.Body)
+			}
+		case *ast.FuncDecl:
+			rewrite(n.Fn.Body)
+		}
+		// Reach call sites inside function expressions (including the next()
+		// closures genFunc introduced).
+		ast.Walk(s, func(node ast.Node) bool {
+			if fn, ok := node.(*ast.Func); ok {
+				rewrite(fn.Body)
+				return false
+			}
+			return true
+		})
+	}
+	rewrite = func(body []ast.Stmt) {
+		for _, s := range body {
+			doStmt(s)
+		}
+	}
+	rewrite(prog.Body)
+}

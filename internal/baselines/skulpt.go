@@ -1,0 +1,178 @@
+package baselines
+
+import (
+	"repro/internal/ast"
+	"repro/internal/desugar"
+	"repro/internal/parser"
+	"repro/internal/printer"
+)
+
+// skulptPrelude routes arithmetic through dispatching helpers the way an
+// interpreter's opcode handlers do.
+const skulptPrelude = `
+function $sk_bin(op, a, b) {
+  switch (op) {
+    case "+": return a + b;
+    case "-": return a - b;
+    case "*": return a * b;
+    case "/": return a / b;
+    case "%": return a % b;
+    case "<": return a < b;
+    case "<=": return a <= b;
+    case ">": return a > b;
+    case ">=": return a >= b;
+    case "===": return a === b;
+    case "!==": return a !== b;
+    default: return undefined;
+  }
+}
+function $sk_truth(v) { return !!v; }
+`
+
+// CompileSkulpt models Skulpt for the Figure 12 comparison (§6.3): Skulpt
+// is a Python interpreter written in JavaScript, so every arithmetic
+// operation and comparison dispatches through a handler function instead of
+// compiling to a primitive — the structural reason compiled-and-stopified
+// PyJS beats it. Per the paper's experimental setup, the Skulpt side is
+// configured to neither yield nor time out, so no suspension machinery is
+// added at all.
+func CompileSkulpt(source string) (string, error) {
+	prog, err := parser.Parse(source)
+	if err != nil {
+		return "", err
+	}
+	nm := &desugar.Namer{}
+	desugar.Apply(prog, desugar.Options{}, nm)
+	rewriteToDispatch(prog)
+	return skulptPrelude + printer.Print(prog), nil
+}
+
+var skulptOps = map[string]bool{
+	"+": true, "-": true, "*": true, "/": true, "%": true,
+	"<": true, "<=": true, ">": true, ">=": true, "===": true, "!==": true,
+}
+
+// rewriteToDispatch replaces primitive operators with handler calls,
+// bottom-up across the whole program.
+func rewriteToDispatch(prog *ast.Program) {
+	var doExpr func(e ast.Expr) ast.Expr
+	var doStmt func(s ast.Stmt)
+	var doBody func(body []ast.Stmt)
+	doExpr = func(e ast.Expr) ast.Expr {
+		switch n := e.(type) {
+		case nil:
+			return nil
+		case *ast.Binary:
+			n.L = doExpr(n.L)
+			n.R = doExpr(n.R)
+			if skulptOps[n.Op] {
+				return ast.CallId("$sk_bin", ast.Strlit(n.Op), n.L, n.R)
+			}
+			return n
+		case *ast.Logical:
+			n.L = doExpr(n.L)
+			n.R = doExpr(n.R)
+			return n
+		case *ast.Unary:
+			n.X = doExpr(n.X)
+			return n
+		case *ast.Update:
+			n.X = doExpr(n.X)
+			return n
+		case *ast.Assign:
+			n.Target = doExpr(n.Target)
+			n.Value = doExpr(n.Value)
+			return n
+		case *ast.Cond:
+			n.Test = doExpr(n.Test)
+			n.Cons = doExpr(n.Cons)
+			n.Alt = doExpr(n.Alt)
+			return n
+		case *ast.Call:
+			n.Callee = doExpr(n.Callee)
+			for i := range n.Args {
+				n.Args[i] = doExpr(n.Args[i])
+			}
+			return n
+		case *ast.New:
+			n.Callee = doExpr(n.Callee)
+			for i := range n.Args {
+				n.Args[i] = doExpr(n.Args[i])
+			}
+			return n
+		case *ast.Member:
+			n.X = doExpr(n.X)
+			if n.Computed {
+				n.Index = doExpr(n.Index)
+			}
+			return n
+		case *ast.Seq:
+			for i := range n.Exprs {
+				n.Exprs[i] = doExpr(n.Exprs[i])
+			}
+			return n
+		case *ast.Array:
+			for i := range n.Elems {
+				n.Elems[i] = doExpr(n.Elems[i])
+			}
+			return n
+		case *ast.Object:
+			for i := range n.Props {
+				n.Props[i].Value = doExpr(n.Props[i].Value)
+			}
+			return n
+		case *ast.Func:
+			doBody(n.Body)
+			return n
+		default:
+			return e
+		}
+	}
+	doStmt = func(s ast.Stmt) {
+		switch n := s.(type) {
+		case *ast.VarDecl:
+			for i := range n.Decls {
+				if n.Decls[i].Init != nil {
+					n.Decls[i].Init = doExpr(n.Decls[i].Init)
+				}
+			}
+		case *ast.ExprStmt:
+			n.X = doExpr(n.X)
+		case *ast.Block:
+			doBody(n.Body)
+		case *ast.If:
+			n.Test = doExpr(n.Test)
+			doStmt(n.Cons)
+			if n.Alt != nil {
+				doStmt(n.Alt)
+			}
+		case *ast.While:
+			n.Test = doExpr(n.Test)
+			doStmt(n.Body)
+		case *ast.Return:
+			if n.Arg != nil {
+				n.Arg = doExpr(n.Arg)
+			}
+		case *ast.Labeled:
+			doStmt(n.Body)
+		case *ast.Throw:
+			n.Arg = doExpr(n.Arg)
+		case *ast.Try:
+			doBody(n.Block.Body)
+			if n.Catch != nil {
+				doBody(n.Catch.Body)
+			}
+			if n.Finally != nil {
+				doBody(n.Finally.Body)
+			}
+		case *ast.FuncDecl:
+			doBody(n.Fn.Body)
+		}
+	}
+	doBody = func(body []ast.Stmt) {
+		for _, s := range body {
+			doStmt(s)
+		}
+	}
+	doBody(prog.Body)
+}

@@ -1,0 +1,428 @@
+// Package core is the Stopify compiler driver: it composes the pipeline
+// (desugar → A-normalize → box → instrument), assembles the runtime
+// prelude, and exposes the stopify() API of Figure 1 — compile a program
+// with a sub-language specification and get back an AsyncRun with run,
+// pause, resume, breakpoints, stepping, and blocking operations.
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"repro/internal/anf"
+	"repro/internal/ast"
+	"repro/internal/boxes"
+	"repro/internal/desugar"
+	"repro/internal/engine"
+	"repro/internal/eventloop"
+	"repro/internal/instrument"
+	"repro/internal/interp"
+	"repro/internal/parser"
+	"repro/internal/printer"
+	"repro/internal/rt"
+)
+
+// Opts mirrors the stopify options object of Figure 1, plus host knobs
+// (engine profile, clock, output).
+type Opts struct {
+	// Cont selects the continuation representation: "checked",
+	// "exceptional", or "eager" (§3.2).
+	Cont string
+	// Ctor selects the constructor strategy: "direct" (desugar to
+	// Object.create) or "wrapped" (dynamic new.target handling) (§3.2).
+	Ctor string
+	// Timer selects the elapsed-time estimator: "exact", "countdown", or
+	// "approx" (§5.1).
+	Timer string
+	// YieldIntervalMs is δ; zero disables periodic yielding.
+	YieldIntervalMs float64
+	// CountdownN is the call budget for the countdown estimator.
+	CountdownN int
+	// DeepStacks simulates an arbitrarily deep stack (§5.2).
+	DeepStacks bool
+	// Implicits is the Impl column of Figure 5: "none", "plus", or "full".
+	Implicits string
+	// Args is the arity sub-language (§4.2): "none", "varargs", "mixed",
+	// or "full".
+	Args string
+	// Getters instruments property access for user accessors (§4.3).
+	Getters bool
+	// Eval compiles eval'd strings with Stopify (§4.3); without it, eval
+	// throws.
+	Eval bool
+	// Debug inserts $bp before every statement for breakpoints and
+	// stepping (§5.2).
+	Debug bool
+	// Suspend inserts $suspend in every function and loop; disabling it
+	// yields a continuation-only build (library/testing use).
+	Suspend bool
+	// SampleMs is the approx estimator's clock-sampling period t (§5.1);
+	// zero picks the default.
+	SampleMs float64
+	// RestoreSegment caps frames re-entered per native stack excursion
+	// during restore; zero picks a limit from the engine's stack size.
+	RestoreSegment int
+	// PerStatementGuards selects the paper's literal per-statement `if
+	// (normal)` wrapping instead of grouped guards (ablation knob).
+	PerStatementGuards bool
+}
+
+// Defaults returns the configuration used when callers leave Opts zeroed:
+// checked continuations, desugared constructors, the approx estimator with
+// a 100 ms yield interval, and the most restrictive sub-language.
+func Defaults() Opts {
+	return Opts{
+		Cont:            "checked",
+		Ctor:            "direct",
+		Timer:           "approx",
+		YieldIntervalMs: 100,
+		Implicits:       "none",
+		Args:            "none",
+		Suspend:         true,
+	}
+}
+
+func (o *Opts) normalize() error {
+	def := Defaults()
+	if o.Cont == "" {
+		o.Cont = def.Cont
+	}
+	if o.Ctor == "" {
+		o.Ctor = def.Ctor
+	}
+	if o.Timer == "" {
+		o.Timer = def.Timer
+	}
+	if o.Implicits == "" {
+		o.Implicits = def.Implicits
+	}
+	if o.Args == "" {
+		o.Args = def.Args
+	}
+	switch o.Cont {
+	case "checked", "exceptional", "eager":
+	default:
+		return fmt.Errorf("stopify: unknown continuation strategy %q", o.Cont)
+	}
+	switch o.Ctor {
+	case "direct", "wrapped":
+	default:
+		return fmt.Errorf("stopify: unknown constructor strategy %q", o.Ctor)
+	}
+	switch o.Timer {
+	case "exact", "countdown", "approx":
+	default:
+		return fmt.Errorf("stopify: unknown timer %q", o.Timer)
+	}
+	switch o.Implicits {
+	case "none", "plus", "full":
+	default:
+		return fmt.Errorf("stopify: unknown implicits mode %q", o.Implicits)
+	}
+	switch o.Args {
+	case "none", "varargs", "mixed", "full":
+	default:
+		return fmt.Errorf("stopify: unknown args mode %q", o.Args)
+	}
+	return nil
+}
+
+func (o Opts) strategy() instrument.Strategy {
+	switch o.Cont {
+	case "exceptional":
+		return instrument.Exceptional
+	case "eager":
+		return instrument.Eager
+	default:
+		return instrument.Checked
+	}
+}
+
+func (o Opts) argsMode() instrument.ArgsMode {
+	switch o.Args {
+	case "varargs":
+		return instrument.ArgsVarargs
+	case "mixed":
+		return instrument.ArgsMixed
+	case "full":
+		return instrument.ArgsFull
+	default:
+		return instrument.ArgsNone
+	}
+}
+
+func (o Opts) implicitsMode() desugar.ImplicitsMode {
+	switch o.Implicits {
+	case "plus":
+		return desugar.ImplicitsPlus
+	case "full":
+		return desugar.ImplicitsFull
+	default:
+		return desugar.ImplicitsNone
+	}
+}
+
+func (o Opts) estimator() rt.EstimatorKind {
+	switch o.Timer {
+	case "exact":
+		return rt.Exact
+	case "countdown":
+		return rt.Countdown
+	default:
+		return rt.Approx
+	}
+}
+
+// Compiled is the output of the Stopify compiler.
+type Compiled struct {
+	Prog *ast.Program
+	Opts Opts
+
+	// SourceBytes and CompiledBytes measure code growth (§6.1).
+	SourceBytes   int
+	CompiledBytes int
+}
+
+// Compile runs source through the full Stopify pipeline.
+func Compile(source string, opts Opts) (*Compiled, error) {
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	userProg, err := parser.Parse(source)
+	if err != nil {
+		return nil, err
+	}
+	nm := &desugar.Namer{}
+	merged, err := compileProgram(userProg, opts, nm, "$main", true)
+	if err != nil {
+		return nil, err
+	}
+	c := &Compiled{
+		Prog:        merged,
+		Opts:        opts,
+		SourceBytes: len(source),
+	}
+	c.CompiledBytes = len(printer.Print(merged))
+	return c, nil
+}
+
+// compileProgram wraps user statements into a function named mainName,
+// desugars, merges the prelude (when requested), normalizes, boxes, and
+// instruments.
+func compileProgram(userProg *ast.Program, opts Opts, nm *desugar.Namer, mainName string, withPrelude bool) (*ast.Program, error) {
+	wrapped := &ast.Program{Body: []ast.Stmt{
+		&ast.FuncDecl{Fn: &ast.Func{Name: mainName, Body: userProg.Body}},
+	}}
+
+	desugar.Apply(wrapped, desugar.Options{
+		Implicits:   opts.implicitsMode(),
+		Getters:     opts.Getters,
+		CtorDesugar: opts.Ctor == "direct",
+		ArgsFull:    opts.Args == "full",
+		Suspend:     opts.Suspend,
+		Breakpoints: opts.Debug,
+	}, nm)
+
+	var body []ast.Stmt
+	if withPrelude {
+		preludeProg, err := parser.Parse(preludeSource(opts))
+		if err != nil {
+			return nil, fmt.Errorf("stopify: internal prelude error: %w", err)
+		}
+		desugar.Apply(preludeProg, desugar.Options{}, nm)
+		body = append(body, preludeProg.Body...)
+	}
+	body = append(body, wrapped.Body...)
+	merged := &ast.Program{Body: body}
+
+	anf.Normalize(merged)
+	boxes.Box(merged)
+	instrument.Apply(merged, instrument.Options{
+		Strategy:           opts.strategy(),
+		WrappedCtors:       opts.Ctor == "wrapped",
+		Args:               opts.argsMode(),
+		PerStatementGuards: opts.PerStatementGuards,
+	})
+	return merged, nil
+}
+
+// Source prints the compiled JavaScript.
+func (c *Compiled) Source() string { return printer.Print(c.Prog) }
+
+// RunConfig is the host environment for one execution.
+type RunConfig struct {
+	Engine *engine.Profile // nil: uniform test profile
+	Clock  eventloop.Clock // nil: real clock
+	Out    io.Writer       // nil: discard console output
+	Seed   uint64          // Math.random seed
+}
+
+// AsyncRun is the run/pause/resume handle of Figure 1.
+type AsyncRun struct {
+	In   *interp.Interp
+	Loop *eventloop.Loop
+	RT   *rt.R
+
+	compiled  *Compiled
+	result    interp.Value
+	err       error
+	finished  bool
+	evalTurns int
+}
+
+// NewRun instantiates an interpreter realm, runtime, and event loop for the
+// compiled program.
+func (c *Compiled) NewRun(cfg RunConfig) (*AsyncRun, error) {
+	clock := cfg.Clock
+	if clock == nil {
+		clock = eventloop.NewRealClock()
+	}
+	loop := eventloop.New(clock)
+	in := interp.New(interp.Options{
+		Engine: cfg.Engine,
+		Clock:  clock,
+		Loop:   loop,
+		Out:    cfg.Out,
+		Seed:   cfg.Seed,
+	})
+	runtime := rt.New(in, loop, rt.Options{
+		Strategy:        c.Opts.strategy(),
+		YieldIntervalMs: c.Opts.YieldIntervalMs,
+		Estimator:       c.Opts.estimator(),
+		CountdownN:      c.Opts.CountdownN,
+		SampleMs:        c.Opts.SampleMs,
+		DeepStacks:      c.Opts.DeepStacks,
+		RestoreSegment:  c.Opts.RestoreSegment,
+		Debug:           c.Opts.Debug,
+	})
+	a := &AsyncRun{In: in, Loop: loop, RT: runtime, compiled: c}
+
+	if c.Opts.Eval {
+		opts := c.Opts
+		in.EvalHook = func(src string) ([]ast.Stmt, error) {
+			evalProg, err := parser.Parse(src)
+			if err != nil {
+				return nil, err
+			}
+			nm := &desugar.Namer{}
+			evalMerged, err := compileProgram(evalProg, opts, nm, nm.Fresh("$eval"), false)
+			if err != nil {
+				return nil, err
+			}
+			// The compiled program is a single function declaration; define
+			// it and invoke it immediately. Strict eval semantics: the code
+			// sees only the global scope, and the immediate invocation must
+			// terminate without capturing (the "T" sub-language of §4.3).
+			fd := evalMerged.Body[0].(*ast.FuncDecl)
+			return []ast.Stmt{
+				fd,
+				ast.ExprOf(ast.CallId(fd.Fn.Name)),
+			}, nil
+		}
+	}
+
+	// Define the prelude and $main.
+	if err := in.RunProgram(c.Prog); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Run starts the program; onDone (optional) observes completion. The
+// caller drives the event loop (or uses Wait).
+func (a *AsyncRun) Run(onDone func()) {
+	mainFn, ok := a.In.Global.Lookup("$main")
+	if !ok {
+		a.finished = true
+		a.err = fmt.Errorf("stopify: $main is not defined")
+		return
+	}
+	a.RT.Run(mainFn, func(v interp.Value, err error) {
+		a.result = v
+		a.err = err
+		a.finished = true
+		if onDone != nil {
+			onDone()
+		}
+	})
+}
+
+// Wait pumps the event loop until the program finishes or stalls (paused
+// with no pending work) and returns the completion error, if any.
+func (a *AsyncRun) Wait() error {
+	for !a.finished && a.Loop.Len() > 0 {
+		a.Loop.RunOne()
+	}
+	return a.err
+}
+
+// RunToCompletion is Run + Wait.
+func (a *AsyncRun) RunToCompletion() error {
+	a.Run(nil)
+	return a.Wait()
+}
+
+// Pause requests suspension at the next yield point (§2).
+func (a *AsyncRun) Pause(onPause func()) { a.RT.Pause(onPause) }
+
+// Resume continues a paused program.
+func (a *AsyncRun) Resume() { a.RT.Resume() }
+
+// Finished reports whether the program has completed.
+func (a *AsyncRun) Finished() bool { return a.finished }
+
+// Result returns the completion value and error.
+func (a *AsyncRun) Result() (interp.Value, error) { return a.result, a.err }
+
+// RunSource is a convenience: compile and run to completion, returning
+// console output.
+func RunSource(source string, opts Opts, cfg RunConfig) (string, error) {
+	var buf bytes.Buffer
+	if cfg.Out == nil {
+		cfg.Out = &buf
+	}
+	c, err := Compile(source, opts)
+	if err != nil {
+		return "", err
+	}
+	run, err := c.NewRun(cfg)
+	if err != nil {
+		return "", err
+	}
+	err = run.RunToCompletion()
+	return buf.String(), err
+}
+
+// RunRaw executes source without Stopify (the baseline denominator in every
+// slowdown measurement), returning console output.
+func RunRaw(source string, cfg RunConfig) (string, error) {
+	prog, err := parser.Parse(source)
+	if err != nil {
+		return "", err
+	}
+	var buf bytes.Buffer
+	out := cfg.Out
+	if out == nil {
+		out = &buf
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = eventloop.NewRealClock()
+	}
+	loop := eventloop.New(clock)
+	in := interp.New(interp.Options{Engine: cfg.Engine, Clock: clock, Loop: loop, Out: out, Seed: cfg.Seed})
+	// Raw execution has the browser's native eval: parse and run directly.
+	in.EvalHook = func(src string) ([]ast.Stmt, error) {
+		p, err := parser.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		return p.Body, nil
+	}
+	if err := in.RunProgram(prog); err != nil {
+		return buf.String(), err
+	}
+	loop.Run()
+	return buf.String(), nil
+}

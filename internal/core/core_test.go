@@ -1,0 +1,632 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/eventloop"
+	"repro/internal/interp"
+)
+
+// programs exercises the whole pipeline; each must print identically with
+// and without Stopify, under every continuation strategy, even when forced
+// to capture and restore continuations every few calls.
+var programs = []string{
+	`console.log(1 + 2 * 3);`,
+	`function f(a, b) { return a + b; } console.log(f(f(1, 2), f(3, 4)));`,
+	`function fib(n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); } console.log(fib(14));`,
+	`var s = 0; for (var i = 0; i < 200; i++) { s += i; } console.log(s);`,
+	`function g(x) { return x * 2; } var t = 0; for (var i = 0; i < 50; i++) { t += g(i); } console.log(t);`,
+	`var n = 0; while (n < 100) { n++; } console.log(n);`,
+	`function mk() { var c = 0; return function () { c = c + 1; return c; }; }
+	 var a = mk(), b = mk();
+	 a(); a(); b();
+	 console.log(a(), b());`,
+	`function outer() {
+	   var total = 0;
+	   function add(k) { total = total + k; return total; }
+	   for (var i = 1; i <= 10; i++) { add(i); }
+	   return total;
+	 }
+	 console.log(outer());`,
+	`function P(x, y) { this.x = x; this.y = y; }
+	 P.prototype.mag2 = function () { return this.x * this.x + this.y * this.y; };
+	 var p = new P(3, 4);
+	 console.log(p.mag2(), p instanceof P);`,
+	`function F() { this.a = 1; return { a: 2 }; } console.log(new F().a);`,
+	`function G() { this.a = 3; return 7; } console.log(new G().a);`,
+	`var o = { n: 5, bump: function (k) { this.n += k; return this.n; } };
+	 console.log(o.bump(1), o.bump(2), o.n);`,
+	`try { throw new Error("boom"); } catch (e) { console.log(e.message); } finally { console.log("fin"); }`,
+	`function thrower() { throw "deep"; }
+	 function mid() { thrower(); }
+	 try { mid(); } catch (e) { console.log("caught", e); }`,
+	`function f() { try { return compute(); } finally { console.log("cleanup"); } }
+	 function compute() { return 42; }
+	 console.log(f());`,
+	`function safeDiv(a, b) {
+	   try { if (b === 0) { throw new RangeError("div0"); } return a / b; }
+	   catch (e) { return -1; }
+	 }
+	 console.log(safeDiv(10, 2), safeDiv(1, 0));`,
+	`var r = [];
+	 outer: for (var i = 0; i < 4; i++) {
+	   for (var j = 0; j < 4; j++) {
+	     if (j > i) continue outer;
+	     if (i === 3) break outer;
+	     r.push(i * 10 + j);
+	   }
+	 }
+	 console.log(r.join(","));`,
+	`function cls(x) { switch (x % 3) { case 0: return "a"; case 1: return "b"; default: return "c"; } }
+	 var out = "";
+	 for (var i = 0; i < 9; i++) { out += cls(i); }
+	 console.log(out);`,
+	`var arr = [];
+	 for (var i = 9; i >= 0; i--) { arr.push(i); }
+	 arr.sort(function (a, b) { return a - b; });
+	 console.log(arr.join(""));`,
+	`function even(n) { return n === 0 ? true : odd(n - 1); }
+	 function odd(n) { return n === 0 ? false : even(n - 1); }
+	 console.log(even(50), odd(51));`,
+	`var acc = "";
+	 function emit(s) { acc += s; return acc.length; }
+	 emit("a"); emit("bc"); emit("d");
+	 console.log(acc, acc.length);`,
+	`var obj = {};
+	 for (var i = 0; i < 5; i++) { obj["k" + i] = i * i; }
+	 var sum = 0;
+	 for (var k in obj) { sum += obj[k]; }
+	 console.log(sum);`,
+	`function ack(m, n) {
+	   if (m === 0) return n + 1;
+	   if (n === 0) return ack(m - 1, 1);
+	   return ack(m - 1, ack(m, n - 1));
+	 }
+	 console.log(ack(2, 3));`,
+	`var memo = [0, 1];
+	 function fibm(n) { if (memo[n] !== undefined) return memo[n]; var v = fibm(n - 1) + fibm(n - 2); memo[n] = v; return v; }
+	 console.log(fibm(30));`,
+	`console.log([1, 2, 3].map(function (x) { return x + 1; }).join("-"));`,
+	`var x = 0;
+	 function setX(v) { x = v; return x; }
+	 var got = false && setX(1) || setX(2) && true;
+	 console.log(x, got);`,
+}
+
+// hammer configures Stopify to yield every few calls, maximizing
+// capture/restore churn so correctness bugs cannot hide.
+func hammer(cont string) Opts {
+	o := Defaults()
+	o.Cont = cont
+	o.Timer = "countdown"
+	o.CountdownN = 4
+	o.YieldIntervalMs = 1
+	return o
+}
+
+func cfgVirtual() RunConfig {
+	return RunConfig{Clock: eventloop.NewVirtualClock(), Seed: 3}
+}
+
+func TestStrategiesPreserveSemantics(t *testing.T) {
+	for _, cont := range []string{"checked", "exceptional", "eager"} {
+		cont := cont
+		t.Run(cont, func(t *testing.T) {
+			for _, src := range programs {
+				want, err := RunRaw(src, cfgVirtual())
+				if err != nil {
+					t.Fatalf("raw run failed: %v\n%s", err, src)
+				}
+				got, err := RunSource(src, hammer(cont), cfgVirtual())
+				if err != nil {
+					t.Fatalf("stopified run failed (%s): %v\n%s", cont, err, src)
+				}
+				if got != want {
+					t.Errorf("strategy %s changed semantics:\n%s\nraw:      %q\nstopified: %q", cont, src, want, got)
+				}
+			}
+		})
+	}
+}
+
+func TestManyYieldsActuallyHappen(t *testing.T) {
+	src := `var s = 0; for (var i = 0; i < 500; i++) { s += i; } console.log(s);`
+	c, err := Compile(src, hammer("checked"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	run, err := c.NewRun(RunConfig{Clock: eventloop.NewVirtualClock(), Out: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+	if run.RT.Yields < 50 {
+		t.Errorf("expected many yields, got %d", run.RT.Yields)
+	}
+	if buf.String() != "124750\n" {
+		t.Errorf("output = %q", buf.String())
+	}
+}
+
+func TestConstructorStrategies(t *testing.T) {
+	src := `
+function Counter(start) { this.n = start; }
+Counter.prototype.incr = function () { this.n++; return this.n; };
+function Wrapper(inner) { this.inner = inner; this.tag = label(); }
+function label() { return "w"; }
+var c = new Counter(10);
+c.incr(); c.incr();
+var w = new Wrapper(c);
+console.log(c.n, w.tag, w.inner === c, c instanceof Counter);`
+	want, err := RunRaw(src, cfgVirtual())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ctor := range []string{"direct", "wrapped"} {
+		o := hammer("checked")
+		o.Ctor = ctor
+		got, err := RunSource(src, o, cfgVirtual())
+		if err != nil {
+			t.Fatalf("ctor=%s: %v", ctor, err)
+		}
+		if got != want {
+			t.Errorf("ctor=%s: got %q want %q", ctor, got, want)
+		}
+	}
+}
+
+func TestCaptureInsideConstructor(t *testing.T) {
+	// The constructor calls a function while the yield hammer is running,
+	// so continuations are captured with a partially initialized `this`.
+	src := `
+function helper(k) { return k * 2; }
+function Thing(a) {
+  this.x = a;
+  this.y = helper(a);
+  this.z = this.x + this.y;
+}
+var total = 0;
+for (var i = 0; i < 20; i++) { total += new Thing(i).z; }
+console.log(total);`
+	want, err := RunRaw(src, cfgVirtual())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ctor := range []string{"direct", "wrapped"} {
+		for _, cont := range []string{"checked", "exceptional", "eager"} {
+			o := hammer(cont)
+			o.Ctor = ctor
+			got, err := RunSource(src, o, cfgVirtual())
+			if err != nil {
+				t.Fatalf("ctor=%s cont=%s: %v", ctor, cont, err)
+			}
+			if got != want {
+				t.Errorf("ctor=%s cont=%s: got %q want %q", ctor, cont, got, want)
+			}
+		}
+	}
+}
+
+func TestImplicitsModes(t *testing.T) {
+	src := `
+var obj = { valueOf: function () { return tick(); } };
+var ticks = 0;
+function tick() { ticks++; return 21; }
+console.log(obj + 21, obj * 2, ticks > 0);`
+	want, err := RunRaw(src, cfgVirtual())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := hammer("checked")
+	o.Implicits = "full"
+	got, err := RunSource(src, o, cfgVirtual())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("implicits=full: got %q want %q", got, want)
+	}
+}
+
+func TestImplicitsPlusConcat(t *testing.T) {
+	src := `
+var name = { toString: function () { return "world"; } };
+console.log("hello " + name);`
+	o := hammer("checked")
+	o.Implicits = "plus"
+	got, err := RunSource(src, o, cfgVirtual())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "hello world\n" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestGettersMode(t *testing.T) {
+	src := `
+var reads = 0;
+var o = {
+  _v: 5,
+  get v() { reads++; return this._v * 2; },
+  set v(x) { this._v = x + 1; }
+};
+o.v = 9;
+console.log(o.v, o._v, reads);`
+	want, err := RunRaw(src, cfgVirtual())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := hammer("checked")
+	o.Getters = true
+	got, err := RunSource(src, o, cfgVirtual())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("getters: got %q want %q", got, want)
+	}
+}
+
+func TestArgsModes(t *testing.T) {
+	src := `
+function varargs() {
+  var t = 0;
+  for (var i = 0; i < arguments.length; i++) { t += arguments[i]; }
+  return t;
+}
+function optional(a, b) {
+  if (b === undefined) { b = 100; }
+  return a + b;
+}
+console.log(varargs(1, 2, 3), varargs(), optional(1), optional(1, 2));`
+	want, err := RunRaw(src, cfgVirtual())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// args="none" promises nothing about the arguments object (Figure 5's ✗
+	// column): restoring re-applies formals positionally, so a function that
+	// reads `arguments` across a capture may observe the formals only. The
+	// varargs/mixed/full modes must preserve it exactly.
+	for _, mode := range []string{"varargs", "mixed", "full"} {
+		o := hammer("checked")
+		o.Args = mode
+		got, err := RunSource(src, o, cfgVirtual())
+		if err != nil {
+			t.Fatalf("args=%s: %v", mode, err)
+		}
+		if got != want {
+			t.Errorf("args=%s: got %q want %q", mode, got, want)
+		}
+	}
+	// A formals-only program is safe under args="none".
+	plain := `function add3(a, b, c) { return a + b + c; } console.log(add3(1, 2, 3));`
+	o := hammer("checked")
+	o.Args = "none"
+	got, err := RunSource(plain, o, cfgVirtual())
+	if err != nil {
+		t.Fatalf("args=none: %v", err)
+	}
+	if got != "6\n" {
+		t.Errorf("args=none: got %q", got)
+	}
+}
+
+func TestArgsFullAliasing(t *testing.T) {
+	// Writing arguments[0] must be visible through the formal and vice
+	// versa — only the full mode supports this (§4.2).
+	src := `
+function f(a) {
+  arguments[0] = 99;
+  var first = a;
+  a = 5;
+  return first + arguments[0];
+}
+console.log(f(1));`
+	o := hammer("checked")
+	o.Args = "full"
+	got, err := RunSource(src, o, cfgVirtual())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "104\n" {
+		t.Errorf("aliasing: got %q want %q", got, "104\n")
+	}
+}
+
+func TestFirstClassContinuationC(t *testing.T) {
+	// The examples from §3 of the paper.
+	src1 := `console.log(10 + $C(function (k) { return 0; }));`
+	o := Defaults()
+	o.Suspend = false
+	o.YieldIntervalMs = 0
+	got, err := RunSource(src1, o, cfgVirtual())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The program's own console.log never runs: C discards the addition.
+	if got != "" {
+		t.Errorf("C discard: got %q", got)
+	}
+
+	src2 := `
+function go() { return 10 + $C(function (k) { return k(1) + 2; }); }
+console.log(go());`
+	got, err = RunSource(src2, o, cfgVirtual())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "11\n" {
+		t.Errorf("C restore: got %q want %q", got, "11\n")
+	}
+}
+
+func TestPauseAndResume(t *testing.T) {
+	src := `
+var i = 0;
+while (i < 100000) { i++; }
+console.log("done", i);`
+	o := Defaults()
+	o.Timer = "countdown"
+	o.CountdownN = 50
+	o.YieldIntervalMs = 1
+	c, err := Compile(src, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	run, err := c.NewRun(RunConfig{Clock: eventloop.NewVirtualClock(), Out: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Run(nil)
+	paused := false
+	run.Pause(func() { paused = true })
+	// Pump until the pause lands.
+	for i := 0; i < 1000 && !paused; i++ {
+		if !run.Loop.RunOne() {
+			break
+		}
+	}
+	if !paused {
+		t.Fatal("program did not pause")
+	}
+	if run.Finished() {
+		t.Fatal("program should not have finished while paused")
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("no output expected while paused, got %q", buf.String())
+	}
+	run.Resume()
+	if err := run.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "done 100000\n" {
+		t.Errorf("after resume: %q", buf.String())
+	}
+}
+
+func TestGracefulTerminationOfInfiniteLoop(t *testing.T) {
+	// The motivating example (§1, Figure 17): an infinite loop that would
+	// freeze a browser tab pauses cleanly under Stopify.
+	src := `while (true) { }`
+	o := Defaults()
+	o.Timer = "countdown"
+	o.CountdownN = 25
+	o.YieldIntervalMs = 1
+	c, err := Compile(src, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := c.NewRun(RunConfig{Clock: eventloop.NewVirtualClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Run(nil)
+	stopped := false
+	run.Pause(func() { stopped = true })
+	for i := 0; i < 10000 && !stopped; i++ {
+		if !run.Loop.RunOne() {
+			break
+		}
+	}
+	if !stopped {
+		t.Fatal("infinite loop was not stopped")
+	}
+	if run.Finished() {
+		t.Fatal("infinite loop cannot finish")
+	}
+}
+
+func TestDeepStacks(t *testing.T) {
+	// Recursion far beyond the engine's native stack limit (§5.2). The
+	// engine allows 500 frames; the program needs 20000.
+	src := `
+function sum(n) { if (n === 0) { return 0; } return n + sum(n - 1); }
+console.log(sum(20000));`
+	eng := &engine.Profile{Name: "shallow", Speed: 1, MaxStack: 500}
+
+	// Without deep stacks: RangeError.
+	o := Defaults()
+	o.YieldIntervalMs = 0
+	o.Suspend = true
+	_, err := RunSource(src, o, RunConfig{Engine: eng, Clock: eventloop.NewVirtualClock()})
+	if err == nil || !strings.Contains(err.Error(), "RangeError") {
+		t.Fatalf("expected RangeError without deep stacks, got %v", err)
+	}
+
+	// With deep stacks: completes.
+	o.DeepStacks = true
+	got, err := RunSource(src, o, RunConfig{Engine: eng, Clock: eventloop.NewVirtualClock()})
+	if err != nil {
+		t.Fatalf("deep stacks: %v", err)
+	}
+	if got != "200010000\n" {
+		t.Errorf("deep stacks result: %q", got)
+	}
+}
+
+func TestDeepTailRecursion(t *testing.T) {
+	// Tail calls never push frames (§3.2.2), so deep mode turns unbounded
+	// tail recursion into a constant-space trampoline.
+	src := `
+function loop(n, acc) { if (n === 0) { return acc; } return loop(n - 1, acc + n); }
+console.log(loop(50000, 0));`
+	eng := &engine.Profile{Name: "shallow", Speed: 1, MaxStack: 400}
+	o := Defaults()
+	o.YieldIntervalMs = 0
+	o.DeepStacks = true
+	got, err := RunSource(src, o, RunConfig{Engine: eng, Clock: eventloop.NewVirtualClock()})
+	if err != nil {
+		t.Fatalf("tail recursion: %v", err)
+	}
+	if got != "1250025000\n" {
+		t.Errorf("tail recursion result: %q", got)
+	}
+}
+
+func TestBreakpointsAndStepping(t *testing.T) {
+	src := `var a = 1;
+var b = 2;
+var c = a + b;
+console.log(c);`
+	o := Defaults()
+	o.Debug = true
+	o.YieldIntervalMs = 0
+	c, err := Compile(src, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	run, err := c.NewRun(RunConfig{Clock: eventloop.NewVirtualClock(), Out: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hits []int
+	run.RT.OnBreak(func(line int) { hits = append(hits, line) })
+	run.RT.SetBreakpoint(3)
+	run.Run(nil)
+	run.Wait()
+	if !run.RT.Paused() {
+		t.Fatal("expected to stop at breakpoint")
+	}
+	if len(hits) != 1 || hits[0] != 3 {
+		t.Fatalf("breakpoint hits = %v, want [3]", hits)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("no output before line 3, got %q", buf.String())
+	}
+	// Single-step to line 4, then run to completion.
+	run.RT.StepOnce(func(line int) { hits = append(hits, line) })
+	run.Wait()
+	if len(hits) != 2 || hits[1] != 4 {
+		t.Fatalf("step hits = %v, want [3 4]", hits)
+	}
+	run.RT.ResumeFromBreak()
+	if err := run.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "3\n" {
+		t.Errorf("final output: %q", buf.String())
+	}
+}
+
+func TestBlockingOperation(t *testing.T) {
+	src := `
+var x = blockingDouble(21);
+console.log("got", x);`
+	o := Defaults()
+	o.YieldIntervalMs = 0
+	c, err := Compile(src, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	run, err := c.NewRun(RunConfig{Clock: eventloop.NewVirtualClock(), Out: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.RT.Blocking("blockingDouble", func(args []interp.Value, resume func(interp.Value)) {
+		n := args[0].(float64)
+		// Simulate async completion on a timer.
+		run.Loop.Post(func() { resume(n * 2) }, 30)
+	})
+	run.Run(nil)
+	if err := run.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "got 42\n" {
+		t.Errorf("blocking result: %q", buf.String())
+	}
+}
+
+func TestEvalSupport(t *testing.T) {
+	src := `
+eval("makeAdder = function (n) { return function (m) { return n + m; }; };");
+var add5 = makeAdder(5);
+console.log(add5(37));`
+	o := hammer("checked")
+	o.Eval = true
+	got, err := RunSource(src, o, cfgVirtual())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "42\n" {
+		t.Errorf("eval: got %q", got)
+	}
+}
+
+func TestEvalDisabledThrows(t *testing.T) {
+	src := `
+var failed = false;
+try { eval("1 + 1"); } catch (e) { failed = true; }
+console.log(failed);`
+	o := hammer("checked")
+	o.Eval = false
+	got, err := RunSource(src, o, cfgVirtual())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "true\n" {
+		t.Errorf("eval disabled: got %q", got)
+	}
+}
+
+func TestCodeGrowthMeasured(t *testing.T) {
+	src := `function f(x) { return x + 1; } console.log(f(1));`
+	c, err := Compile(src, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CompiledBytes <= c.SourceBytes {
+		t.Errorf("instrumentation should grow code: %d -> %d", c.SourceBytes, c.CompiledBytes)
+	}
+}
+
+func TestUncaughtErrorPropagates(t *testing.T) {
+	src := `throw new TypeError("top-level");`
+	_, err := RunSource(src, hammer("checked"), cfgVirtual())
+	if err == nil || !strings.Contains(err.Error(), "top-level") {
+		t.Errorf("expected top-level error, got %v", err)
+	}
+}
+
+func TestBadOptionsRejected(t *testing.T) {
+	for _, o := range []Opts{
+		{Cont: "bogus"},
+		{Ctor: "bogus"},
+		{Timer: "bogus"},
+		{Implicits: "bogus"},
+		{Args: "bogus"},
+	} {
+		if _, err := Compile("1;", o); err == nil {
+			t.Errorf("options %+v should be rejected", o)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/eventloop"
+	"repro/internal/interp"
+)
+
+// TestBlockingInterleavesWithTimers checks that a suspended blocking call
+// lets other queued events run first — the whole point of yielding to the
+// event loop (§2, §5.2).
+func TestBlockingInterleavesWithTimers(t *testing.T) {
+	src := `
+setTimeout(function () { console.log("timer-10"); }, 10);
+setTimeout(function () { console.log("timer-50"); }, 50);
+console.log("before-block");
+var v = slowEcho("payload");
+console.log("after-block", v);`
+	o := Defaults()
+	o.YieldIntervalMs = 0
+	c, err := Compile(src, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	run, err := c.NewRun(RunConfig{Clock: eventloop.NewVirtualClock(), Out: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.RT.Blocking("slowEcho", func(args []interp.Value, resume func(interp.Value)) {
+		run.Loop.Post(func() { resume(args[0]) }, 30)
+	})
+	run.Run(nil)
+	if err := run.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// The program finished before the 50 ms timer; drain the page's
+	// remaining events like a browser tab that stays open.
+	run.Loop.Run()
+	want := "before-block\ntimer-10\nafter-block payload\ntimer-50\n"
+	if buf.String() != want {
+		t.Errorf("interleaving:\ngot  %q\nwant %q", buf.String(), want)
+	}
+}
+
+// TestYieldingKeepsTimersResponsive runs a long computation with a tight
+// yield interval and checks a timer fires long before the computation ends
+// — the responsiveness guarantee of §5.1.
+func TestYieldingKeepsTimersResponsive(t *testing.T) {
+	src := `
+var fired = false;
+setTimeout(function () { fired = true; console.log("timer during compute"); }, 1);
+var s = 0;
+for (var i = 0; i < 30000; i++) { s += i; }
+console.log("fired-before-done:", fired);`
+	o := Defaults()
+	o.Timer = "countdown"
+	o.CountdownN = 500
+	o.YieldIntervalMs = 1
+	var buf bytes.Buffer
+	c, err := Compile(src, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A real clock: compute slices consume time, so the 1 ms timer becomes
+	// due between yields. (On a virtual clock, compute takes zero virtual
+	// time and resumptions would always outrank the timer.)
+	run, err := c.NewRun(RunConfig{Out: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Run(nil)
+	if err := run.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	want := "timer during compute\nfired-before-done: true\n"
+	if buf.String() != want {
+		t.Errorf("responsiveness:\ngot  %q\nwant %q", buf.String(), want)
+	}
+}
+
+// TestWithoutYieldingTimersStarve is the control for the previous test —
+// the browser-freezing behaviour Stopify exists to fix (§1).
+func TestWithoutYieldingTimersStarve(t *testing.T) {
+	src := `
+var fired = false;
+setTimeout(function () { fired = true; }, 1);
+var s = 0;
+for (var i = 0; i < 30000; i++) { s += i; }
+console.log("fired-before-done:", fired);`
+	var buf bytes.Buffer
+	_, err := RunRaw(src, RunConfig{Clock: eventloop.NewVirtualClock(), Out: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "fired-before-done: false\n" {
+		t.Errorf("raw execution should starve the timer, got %q", got)
+	}
+}
+
+// TestDeepStacksWithYields combines both features: deep recursion and
+// periodic yielding in the same run.
+func TestDeepStacksWithYields(t *testing.T) {
+	src := `
+function depth(n) { if (n === 0) { return 0; } return 1 + depth(n - 1); }
+console.log(depth(5000));`
+	o := Defaults()
+	o.Timer = "countdown"
+	o.CountdownN = 700
+	o.YieldIntervalMs = 1
+	o.DeepStacks = true
+	eng := Engines500()
+	got, err := RunSource(src, o, RunConfig{Engine: eng, Clock: eventloop.NewVirtualClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "5000\n" {
+		t.Errorf("deep+yield: %q", got)
+	}
+}
+
+// TestPauseWhileDeeplyRecursive pauses a computation whose stack lives
+// mostly in reified segments.
+func TestPauseWhileDeeplyRecursive(t *testing.T) {
+	src := `
+function spin(n) {
+  if (n === 0) { return 0; }
+  return 1 + spin(n - 1);
+}
+var total = 0;
+for (var round = 0; round < 50; round++) { total += spin(2000); }
+console.log(total);`
+	o := Defaults()
+	o.Timer = "countdown"
+	o.CountdownN = 300
+	o.YieldIntervalMs = 1
+	o.DeepStacks = true
+	c, err := Compile(src, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	run, err := c.NewRun(RunConfig{Engine: Engines500(), Clock: eventloop.NewVirtualClock(), Out: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Run(nil)
+	paused := false
+	run.Pause(func() { paused = true })
+	for i := 0; i < 100000 && !paused; i++ {
+		if !run.Loop.RunOne() {
+			break
+		}
+	}
+	if !paused {
+		t.Fatal("did not pause mid-recursion")
+	}
+	run.Resume()
+	if err := run.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "100000\n" {
+		t.Errorf("resumed result: %q", buf.String())
+	}
+}
+
+// Engines500 returns a 500-frame engine used by the deep-stack tests.
+func Engines500() *engine.Profile {
+	return &engine.Profile{Name: "shallow", Speed: 1, TryCost: 1, BranchCost: 1,
+		ThrowCost: 1, CallCost: 1, NewCost: 1, ObjectCreateCost: 1, PropCost: 1,
+		MaxStack: 500}
+}

@@ -1,0 +1,122 @@
+package core
+
+import "strings"
+
+// preludeSource assembles the JavaScript runtime prelude for the selected
+// sub-language. Prelude functions are compiled through the same pipeline as
+// user code (so a user valueOf that captures a continuation unwinds cleanly
+// through $add or $construct), but they are never themselves rewritten in
+// terms of each other: implicit and getter desugaring apply to user code
+// only.
+func preludeSource(opts Opts) string {
+	var b strings.Builder
+	if opts.Ctor == "direct" {
+		b.WriteString(preludeConstruct)
+	}
+	if opts.Implicits != "none" {
+		b.WriteString(preludeToPrim)
+		b.WriteString(preludePlus)
+	}
+	if opts.Implicits == "full" {
+		b.WriteString(preludeArith)
+	}
+	if opts.Getters {
+		b.WriteString(preludeGetters)
+	}
+	return b.String()
+}
+
+// preludeConstruct desugars `new` (§3.2): allocate via Object.create, apply
+// the constructor as a plain function, and honor the override-by-object
+// rule.
+const preludeConstruct = `
+function $construct(f, args) {
+  var o = Object.create(f.prototype);
+  var r = f.apply(o, args);
+  if (r !== null && (typeof r === "object" || typeof r === "function")) {
+    return r;
+  }
+  return o;
+}
+`
+
+// preludeToPrim is ToPrimitive with user valueOf/toString calls exposed as
+// ordinary (instrumented) applications — the implicit calls of §4.1.
+const preludeToPrim = `
+function $toPrim(v, hint) {
+  if (v === null || (typeof v !== "object" && typeof v !== "function")) {
+    return v;
+  }
+  var m1 = v.valueOf;
+  var m2 = v.toString;
+  if (hint === "string") {
+    var tmp = m1; m1 = m2; m2 = tmp;
+  }
+  if (typeof m1 === "function") {
+    var r1 = m1.call(v);
+    if (r1 === null || (typeof r1 !== "object" && typeof r1 !== "function")) {
+      return r1;
+    }
+  }
+  if (typeof m2 === "function") {
+    var r2 = m2.call(v);
+    if (r2 === null || (typeof r2 !== "object" && typeof r2 !== "function")) {
+      return r2;
+    }
+  }
+  throw new TypeError("cannot convert object to primitive value");
+}
+`
+
+// preludePlus exposes the + operator's implicit conversions (the JSweet
+// sub-language needs only this much, Figure 5).
+const preludePlus = `
+function $add(a, b) {
+  a = $toPrim(a, "default");
+  b = $toPrim(b, "default");
+  return a + b;
+}
+`
+
+// preludeArith exposes every remaining conversion site for the full
+// implicits mode (JavaScript-as-source, §4.1).
+const preludeArith = `
+function $sub(a, b) { return $toPrim(a, "number") - $toPrim(b, "number"); }
+function $mul(a, b) { return $toPrim(a, "number") * $toPrim(b, "number"); }
+function $div(a, b) { return $toPrim(a, "number") / $toPrim(b, "number"); }
+function $mod(a, b) { return $toPrim(a, "number") % $toPrim(b, "number"); }
+function $lt(a, b) { return $toPrim(a, "number") < $toPrim(b, "number"); }
+function $le(a, b) { return $toPrim(a, "number") <= $toPrim(b, "number"); }
+function $gt(a, b) { return $toPrim(a, "number") > $toPrim(b, "number"); }
+function $ge(a, b) { return $toPrim(a, "number") >= $toPrim(b, "number"); }
+function $neg(a) { return -$toPrim(a, "number"); }
+function $tonum(a) { return +$toPrim(a, "number"); }
+function $eq(a, b) {
+  var ao = a !== null && (typeof a === "object" || typeof a === "function");
+  var bo = b !== null && (typeof b === "object" || typeof b === "function");
+  if (ao && !bo) { return $eq($toPrim(a, "default"), b); }
+  if (bo && !ao) { return $eq(a, $toPrim(b, "default")); }
+  return a == b;
+}
+function $ne(a, b) { return !$eq(a, b); }
+`
+
+// preludeGetters routes property access through accessor lookup so user
+// getters and setters run as instrumented calls (§4.3).
+const preludeGetters = `
+function $get(o, k) {
+  var g = $lookupGetter(o, k);
+  if (g !== undefined) {
+    return g.call(o);
+  }
+  return $rawGet(o, k);
+}
+function $set(o, k, v) {
+  var s = $lookupSetter(o, k);
+  if (s !== undefined) {
+    s.call(o, v);
+    return v;
+  }
+  return $rawSet(o, k, v);
+}
+`

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/eventloop"
+)
+
+// TestRandomProgramsSurviveStopify is the pipeline's property test: for
+// randomly generated (terminating, deterministic) programs, instrumented
+// execution under every continuation strategy — with yields forced every
+// few calls — must print exactly what raw execution prints.
+func TestRandomProgramsSurviveStopify(t *testing.T) {
+	seeds := 30
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := 0; seed < seeds; seed++ {
+		src := generateProgram(int64(seed))
+		want, err := RunRaw(src, cfgVirtual())
+		if err != nil {
+			t.Fatalf("seed %d: raw run failed: %v\n%s", seed, err, src)
+		}
+		for _, cont := range []string{"checked", "exceptional", "eager"} {
+			got, err := RunSource(src, hammer(cont), cfgVirtual())
+			if err != nil {
+				t.Fatalf("seed %d (%s): %v\n%s", seed, cont, err, src)
+			}
+			if got != want {
+				t.Fatalf("seed %d (%s) diverged:\n%s\nraw: %q\ngot: %q", seed, cont, src, want, got)
+			}
+		}
+	}
+}
+
+// TestRandomProgramsDeterministic double-checks the generator itself: the
+// same seed yields the same program and the same output.
+func TestRandomProgramsDeterministic(t *testing.T) {
+	a := generateProgram(42)
+	b := generateProgram(42)
+	if a != b {
+		t.Fatal("generator is not deterministic")
+	}
+	out1, err1 := RunRaw(a, RunConfig{Clock: eventloop.NewVirtualClock(), Seed: 9})
+	out2, err2 := RunRaw(b, RunConfig{Clock: eventloop.NewVirtualClock(), Seed: 9})
+	if err1 != nil || err2 != nil || out1 != out2 {
+		t.Fatalf("random program not deterministic: %q vs %q", out1, out2)
+	}
+}
+
+// generateProgram builds a random but guaranteed-terminating program:
+// helper functions call only earlier helpers (no recursion), loops are
+// counter-bounded, and all data is numeric.
+func generateProgram(seed int64) string {
+	g := &progGen{rnd: rand.New(rand.NewSource(seed))}
+	var b strings.Builder
+
+	// Helper functions: fn0 is pure; fn1 may call fn0; fn2 may call both.
+	for i := 0; i < 3; i++ {
+		fmt.Fprintf(&b, "function fn%d(a, b) {\n", i)
+		stmts := 1 + g.rnd.Intn(3)
+		for s := 0; s < stmts; s++ {
+			fmt.Fprintf(&b, "  %s = %s;\n", g.pick([]string{"a", "b"}), g.expr(2, i, []string{"a", "b"}))
+		}
+		fmt.Fprintf(&b, "  return %s;\n}\n", g.expr(2, i, []string{"a", "b"}))
+	}
+
+	// Globals.
+	vars := []string{"v0", "v1", "v2", "v3"}
+	for _, v := range vars {
+		fmt.Fprintf(&b, "var %s = %d;\n", v, g.rnd.Intn(7))
+	}
+
+	// A closure over mutable state, exercising the boxing pass.
+	b.WriteString("function mkAcc() { var t = 0; return function (k) { t = t + k; return t; }; }\n")
+	b.WriteString("var acc = mkAcc();\n")
+
+	for s := 0; s < 6+g.rnd.Intn(6); s++ {
+		b.WriteString(g.stmt(0, vars))
+	}
+	fmt.Fprintf(&b, "console.log(%s, acc(1));\n", strings.Join(vars, ", "))
+	return b.String()
+}
+
+type progGen struct {
+	rnd     *rand.Rand
+	counter int
+}
+
+func (g *progGen) pick(xs []string) string { return xs[g.rnd.Intn(len(xs))] }
+
+func (g *progGen) fresh() string {
+	g.counter++
+	return fmt.Sprintf("c%d", g.counter)
+}
+
+// expr generates a numeric expression. maxFn bounds which helpers may be
+// called (none when 0); names are the readable variables.
+func (g *progGen) expr(depth int, maxFn int, names []string) string {
+	if depth <= 0 || g.rnd.Intn(3) == 0 {
+		if g.rnd.Intn(2) == 0 && len(names) > 0 {
+			return g.pick(names)
+		}
+		return fmt.Sprintf("%d", g.rnd.Intn(12)-2)
+	}
+	switch g.rnd.Intn(6) {
+	case 0, 1:
+		op := g.pick([]string{"+", "-", "*", "%", "|", "&"})
+		return fmt.Sprintf("(%s %s %s)", g.expr(depth-1, maxFn, names), op, g.expr(depth-1, maxFn, names))
+	case 2:
+		op := g.pick([]string{"<", "<=", "===", "!=="})
+		return fmt.Sprintf("(%s %s %s ? %s : %s)",
+			g.expr(depth-1, maxFn, names), op, g.expr(depth-1, maxFn, names),
+			g.expr(depth-1, maxFn, names), g.expr(depth-1, maxFn, names))
+	case 3:
+		if maxFn > 0 {
+			return fmt.Sprintf("fn%d(%s, %s)", g.rnd.Intn(maxFn),
+				g.expr(depth-1, maxFn, names), g.expr(depth-1, maxFn, names))
+		}
+		return g.expr(depth-1, maxFn, names)
+	case 4:
+		return fmt.Sprintf("Math.abs(%s)", g.expr(depth-1, maxFn, names))
+	default:
+		return fmt.Sprintf("(%s | 0)", g.expr(depth-1, maxFn, names))
+	}
+}
+
+func (g *progGen) stmt(depth int, vars []string) string {
+	switch g.rnd.Intn(5) {
+	case 0, 1:
+		return fmt.Sprintf("%s = %s;\n", g.pick(vars), g.expr(3, 3, vars))
+	case 2:
+		return fmt.Sprintf("if (%s) { %s = %s; } else { %s = %s; }\n",
+			g.expr(2, 3, vars),
+			g.pick(vars), g.expr(2, 3, vars),
+			g.pick(vars), g.expr(2, 3, vars))
+	case 3:
+		c := g.fresh()
+		body := fmt.Sprintf("%s = %s;", g.pick(vars), g.expr(2, 3, vars))
+		return fmt.Sprintf("var %s = 0;\nwhile (%s < %d) { %s++; %s }\n",
+			c, c, 2+g.rnd.Intn(4), c, body)
+	default:
+		return fmt.Sprintf("%s = acc(%s) %% 1000;\n", g.pick(vars), g.expr(1, 0, vars))
+	}
+}

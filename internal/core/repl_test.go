@@ -1,0 +1,73 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/eventloop"
+)
+
+// TestREPLTurns drives a multi-turn REPL session over one shared realm:
+// definitions persist across turns, each turn is independently suspendable,
+// and a runaway turn can be stopped without killing the session (§6.4).
+func TestREPLTurns(t *testing.T) {
+	c, err := Compile("", hammer("checked"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	run, err := c.NewRun(RunConfig{Clock: eventloop.NewVirtualClock(), Out: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := run.EvalAndWait(`function square(x) { return x * x; }`); err != nil {
+		t.Fatalf("turn 1: %v", err)
+	}
+	if _, err := run.EvalAndWait(`console.log(square(12));`); err != nil {
+		t.Fatalf("turn 2: %v", err)
+	}
+	if buf.String() != "144\n" {
+		t.Fatalf("repl output %q", buf.String())
+	}
+
+	// Turn 3 is an infinite loop: stop it, session survives.
+	if err := run.Eval(`while (true) { }`, nil); err != nil {
+		t.Fatal(err)
+	}
+	stopped := false
+	run.Pause(func() { stopped = true })
+	for i := 0; i < 10000 && !stopped; i++ {
+		if !run.Loop.RunOne() {
+			break
+		}
+	}
+	if !stopped {
+		t.Fatal("runaway REPL turn was not stopped")
+	}
+	// Abandon the paused turn and keep using the session.
+	buf.Reset()
+	if _, err := run.EvalAndWait(`console.log(square(3));`); err != nil {
+		t.Fatalf("turn 4 after stop: %v", err)
+	}
+	if buf.String() != "9\n" {
+		t.Fatalf("post-stop output %q", buf.String())
+	}
+}
+
+func TestREPLSyntaxError(t *testing.T) {
+	c, err := Compile("", Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := c.NewRun(RunConfig{Clock: eventloop.NewVirtualClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Eval("var = ;", nil); err == nil {
+		t.Fatal("syntax error should be reported")
+	}
+}

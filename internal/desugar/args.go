@@ -1,0 +1,158 @@
+package desugar
+
+import "repro/internal/ast"
+
+// lowerArgsFull implements the complete-arguments sub-language of §4.2:
+// every reference to a formal parameter is rewritten to an index into the
+// arguments object, so parameter/arguments aliasing behaves exactly as in
+// sloppy-mode JavaScript even across continuation capture and restore (the
+// whole arguments object travels in the reified frame). Only JavaScript
+// itself needs this (Figure 5).
+func lowerArgsFull(prog *ast.Program) {
+	// Top level has no parameters; process every function.
+	ast.Walk(prog, func(n ast.Node) bool {
+		if fn, ok := n.(*ast.Func); ok && !fn.Arrow {
+			rewriteParamsToArguments(fn)
+		}
+		return true
+	})
+}
+
+func rewriteParamsToArguments(fn *ast.Func) {
+	if len(fn.Params) == 0 {
+		return
+	}
+	index := make(map[string]int, len(fn.Params))
+	for i, p := range fn.Params {
+		index[p] = i
+	}
+	nestedRewrites := false
+	r := &rewriter{skipFuncs: true}
+	r.expr = func(e ast.Expr) ast.Expr {
+		switch n := e.(type) {
+		case *ast.Ident:
+			if i, ok := index[n.Name]; ok {
+				return ast.Idx(ast.Id("arguments"), ast.Int(i))
+			}
+			return n
+		case *ast.Func:
+			// A nested function re-binds `arguments`, so references it makes
+			// to the outer formals go through a $outerargs alias introduced
+			// in this function's prologue.
+			if rewriteFreeParams(n, index) {
+				nestedRewrites = true
+			}
+			return n
+		}
+		return e
+	}
+	fn.Body = r.stmts(fn.Body)
+	if nestedRewrites {
+		fn.Body = append([]ast.Stmt{ast.Var("$outerargs", ast.Id("arguments"))}, fn.Body...)
+	}
+}
+
+// rewriteFreeParams rewrites references to outer formals inside a nested
+// function, skipping names the nested function rebinds. `arguments` inside
+// the nested function refers to its own object, so outer-formal references
+// cannot be expressed through it; they are rewritten to $outerargs[i], a
+// binding introduced in the outer function prologue. It reports whether any
+// rewrite occurred.
+func rewriteFreeParams(fn *ast.Func, outer map[string]int) bool {
+	shadowed := map[string]bool{"arguments": true}
+	for _, p := range fn.Params {
+		shadowed[p] = true
+	}
+	for _, name := range declaredVars(fn.Body) {
+		shadowed[name] = true
+	}
+	rewrote := false
+	r := &rewriter{skipFuncs: true}
+	r.expr = func(e ast.Expr) ast.Expr {
+		switch n := e.(type) {
+		case *ast.Ident:
+			if shadowed[n.Name] {
+				return n
+			}
+			if i, ok := outer[n.Name]; ok {
+				rewrote = true
+				return ast.Idx(ast.Id("$outerargs"), ast.Int(i))
+			}
+			return n
+		case *ast.Func:
+			inner := make(map[string]int)
+			for k, v := range outer {
+				if !shadowed[k] {
+					inner[k] = v
+				}
+			}
+			if rewriteFreeParams(n, inner) {
+				rewrote = true
+			}
+			return n
+		}
+		return e
+	}
+	fn.Body = r.stmts(fn.Body)
+	return rewrote
+}
+
+// declaredVars lists var and function declarations in a body without
+// entering nested functions.
+func declaredVars(body []ast.Stmt) []string {
+	var names []string
+	var walk func(s ast.Stmt)
+	walk = func(s ast.Stmt) {
+		switch n := s.(type) {
+		case *ast.VarDecl:
+			for _, d := range n.Decls {
+				names = append(names, d.Name)
+			}
+		case *ast.FuncDecl:
+			names = append(names, n.Fn.Name)
+		case *ast.Block:
+			for _, st := range n.Body {
+				walk(st)
+			}
+		case *ast.If:
+			walk(n.Cons)
+			if n.Alt != nil {
+				walk(n.Alt)
+			}
+		case *ast.While:
+			walk(n.Body)
+		case *ast.DoWhile:
+			walk(n.Body)
+		case *ast.For:
+			if n.Init != nil {
+				walk(n.Init)
+			}
+			walk(n.Body)
+		case *ast.ForIn:
+			if n.Decl {
+				names = append(names, n.Name)
+			}
+			walk(n.Body)
+		case *ast.Labeled:
+			walk(n.Body)
+		case *ast.Switch:
+			for _, c := range n.Cases {
+				for _, st := range c.Body {
+					walk(st)
+				}
+			}
+		case *ast.Try:
+			walk(n.Block)
+			if n.Catch != nil {
+				walk(n.Catch)
+			}
+			if n.Finally != nil {
+				walk(n.Finally)
+			}
+		}
+	}
+	for _, s := range body {
+		walk(s)
+	}
+	return names
+}

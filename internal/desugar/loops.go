@@ -1,0 +1,365 @@
+package desugar
+
+import "repro/internal/ast"
+
+// lowerLoopsStmts rewrites for / do-while / for-in into while loops and
+// switch into a guarded if-chain, recursively. After this pass the only
+// looping construct is While and the only fall-through construct is gone,
+// which is what the A-normalizer and the instrumentation assume.
+func lowerLoopsStmts(body []ast.Stmt, nm *Namer) []ast.Stmt {
+	out := make([]ast.Stmt, len(body))
+	for i, s := range body {
+		out[i] = lowerLoopStmt(s, nil, nm)
+	}
+	return out
+}
+
+// lowerLoopStmt lowers one statement; labels carries the label names
+// attached directly to this statement via enclosing Labeled nodes.
+func lowerLoopStmt(s ast.Stmt, labels []string, nm *Namer) ast.Stmt {
+	switch n := s.(type) {
+	case *ast.Labeled:
+		inner := lowerLoopStmt(n.Body, append(labels, n.Label), nm)
+		return &ast.Labeled{P: n.P, Label: n.Label, Body: inner}
+	case *ast.For:
+		return lowerFor(n, labels, nm)
+	case *ast.DoWhile:
+		return lowerDoWhile(n, labels, nm)
+	case *ast.ForIn:
+		return lowerForIn(n, labels, nm)
+	case *ast.Switch:
+		return lowerSwitch(n, nm)
+	case *ast.While:
+		n.Body = lowerLoopStmt(n.Body, nil, nm)
+		lowerLoopsInExprs(n.Test, nm)
+		return n
+	case *ast.Block:
+		for i := range n.Body {
+			n.Body[i] = lowerLoopStmt(n.Body[i], nil, nm)
+		}
+		return n
+	case *ast.If:
+		lowerLoopsInExprs(n.Test, nm)
+		n.Cons = lowerLoopStmt(n.Cons, nil, nm)
+		if n.Alt != nil {
+			n.Alt = lowerLoopStmt(n.Alt, nil, nm)
+		}
+		return n
+	case *ast.Try:
+		n.Block.Body = lowerLoopsStmts(n.Block.Body, nm)
+		if n.Catch != nil {
+			n.Catch.Body = lowerLoopsStmts(n.Catch.Body, nm)
+		}
+		if n.Finally != nil {
+			n.Finally.Body = lowerLoopsStmts(n.Finally.Body, nm)
+		}
+		return n
+	case *ast.FuncDecl:
+		n.Fn.Body = lowerLoopsStmts(n.Fn.Body, nm)
+		return n
+	case *ast.VarDecl:
+		for i := range n.Decls {
+			lowerLoopsInExprs(n.Decls[i].Init, nm)
+		}
+		return n
+	case *ast.ExprStmt:
+		lowerLoopsInExprs(n.X, nm)
+		return n
+	case *ast.Return:
+		lowerLoopsInExprs(n.Arg, nm)
+		return n
+	case *ast.Throw:
+		lowerLoopsInExprs(n.Arg, nm)
+		return n
+	default:
+		return s
+	}
+}
+
+// lowerLoopsInExprs lowers loops inside function literals embedded in an
+// expression.
+func lowerLoopsInExprs(e ast.Expr, nm *Namer) {
+	if e == nil {
+		return
+	}
+	ast.Walk(e, func(n ast.Node) bool {
+		if fn, ok := n.(*ast.Func); ok {
+			fn.Body = lowerLoopsStmts(fn.Body, nm)
+			return false
+		}
+		return true
+	})
+}
+
+// lowerFor rewrites
+//
+//	for (init; test; update) body
+//
+// into
+//
+//	{ init; while (test) { $L: { body' } update; } }
+//
+// where body' has `continue` (and labeled continues naming this loop)
+// rewritten to `break $L`, so the update expression always runs.
+func lowerFor(n *ast.For, labels []string, nm *Namer) ast.Stmt {
+	blockLabel := nm.Fresh("$L")
+	body := rewriteContinues(n.Body, labels, blockLabel)
+	body = lowerLoopStmt(body, nil, nm)
+
+	inner := []ast.Stmt{&ast.Labeled{Label: blockLabel, Body: asBlock(body)}}
+	if n.Update != nil {
+		lowerLoopsInExprs(n.Update, nm)
+		inner = append(inner, ast.ExprOf(n.Update))
+	}
+	test := n.Test
+	if test == nil {
+		test = ast.Boollit(true)
+	}
+	lowerLoopsInExprs(test, nm)
+	loop := &ast.While{P: n.P, Test: test, Body: ast.BlockOf(inner...)}
+
+	var out []ast.Stmt
+	if n.Init != nil {
+		init := lowerLoopStmt(n.Init, nil, nm)
+		out = append(out, init)
+	}
+	out = append(out, loop)
+	return ast.BlockOf(out...)
+}
+
+// lowerDoWhile rewrites `do body while (test)` into
+//
+//	while (true) { $L: { body' } if (!(test)) break; }
+func lowerDoWhile(n *ast.DoWhile, labels []string, nm *Namer) ast.Stmt {
+	blockLabel := nm.Fresh("$L")
+	body := rewriteContinues(n.Body, labels, blockLabel)
+	body = lowerLoopStmt(body, nil, nm)
+	lowerLoopsInExprs(n.Test, nm)
+	return &ast.While{
+		P:    n.P,
+		Test: ast.Boollit(true),
+		Body: ast.BlockOf(
+			&ast.Labeled{Label: blockLabel, Body: asBlock(body)},
+			ast.IfThen(ast.Not(n.Test), &ast.Break{}),
+		),
+	}
+}
+
+// lowerForIn rewrites `for (k in obj) body` into a while loop over
+// Object.keys(obj); own enumerable keys in insertion order, matching the
+// interpreter's for-in.
+func lowerForIn(n *ast.ForIn, labels []string, nm *Namer) ast.Stmt {
+	blockLabel := nm.Fresh("$L")
+	keys := nm.Fresh("$ks")
+	idx := nm.Fresh("$i")
+	body := rewriteContinues(n.Body, labels, blockLabel)
+	body = lowerLoopStmt(body, nil, nm)
+	lowerLoopsInExprs(n.Obj, nm)
+
+	var out []ast.Stmt
+	if n.Decl {
+		out = append(out, ast.Var(n.Name, nil))
+	}
+	out = append(out,
+		ast.Var(keys, ast.CallN(ast.Dot(ast.Id("Object"), "keys"), n.Obj)),
+		ast.Var(idx, ast.Int(0)),
+		&ast.While{
+			Test: ast.Bin("<", ast.Id(idx), ast.Dot(ast.Id(keys), "length")),
+			Body: ast.BlockOf(
+				ast.ExprOf(ast.SetId(n.Name, ast.Idx(ast.Id(keys), ast.Id(idx)))),
+				ast.ExprOf(ast.SetId(idx, ast.Bin("+", ast.Id(idx), ast.Int(1)))),
+				&ast.Labeled{Label: blockLabel, Body: asBlock(body)},
+			),
+		},
+	)
+	return ast.BlockOf(out...)
+}
+
+// lowerSwitch rewrites switch into a match-index computation followed by
+// fall-through guarded bodies inside a labeled block:
+//
+//	{ var $d = disc; var $m = BIG;
+//	  if ($d === t0) $m = 0; else if ...; else $m = defaultIndex;
+//	  $L: { if ($m <= 0) { body0 } if ($m <= 1) { body1 } ... } }
+func lowerSwitch(n *ast.Switch, nm *Namer) ast.Stmt {
+	blockLabel := nm.Fresh("$L")
+	d := nm.Fresh("$d")
+	m := nm.Fresh("$m")
+	lowerLoopsInExprs(n.Disc, nm)
+
+	defaultIdx := len(n.Cases) // past the end: no case runs
+	for i, c := range n.Cases {
+		if c.Test == nil {
+			defaultIdx = i
+		}
+	}
+
+	// Build the match chain, skipping the default clause.
+	var chain ast.Stmt = ast.ExprOf(ast.SetId(m, ast.Int(defaultIdx)))
+	for i := len(n.Cases) - 1; i >= 0; i-- {
+		c := n.Cases[i]
+		if c.Test == nil {
+			continue
+		}
+		lowerLoopsInExprs(c.Test, nm)
+		chain = ast.IfElse(
+			ast.Bin("===", ast.Id(d), c.Test),
+			ast.ExprOf(ast.SetId(m, ast.Int(i))),
+			chain,
+		)
+	}
+
+	var guarded []ast.Stmt
+	for i, c := range n.Cases {
+		body := make([]ast.Stmt, len(c.Body))
+		for j, s := range c.Body {
+			s = rewriteSwitchBreaks(s, blockLabel)
+			body[j] = lowerLoopStmt(s, nil, nm)
+		}
+		guarded = append(guarded, ast.IfThen(
+			ast.Bin("<=", ast.Id(m), ast.Int(i)),
+			body...,
+		))
+	}
+
+	return ast.BlockOf(
+		ast.Var(d, n.Disc),
+		ast.Var(m, nil),
+		chain,
+		&ast.Labeled{Label: blockLabel, Body: ast.BlockOf(guarded...)},
+	)
+}
+
+func asBlock(s ast.Stmt) ast.Stmt {
+	if _, ok := s.(*ast.Block); ok {
+		return s
+	}
+	return ast.BlockOf(s)
+}
+
+// rewriteContinues replaces `continue` statements that target the loop being
+// desugared (unlabeled ones outside nested loops, and labeled ones naming
+// one of loopLabels at any depth) with `break target`.
+func rewriteContinues(s ast.Stmt, loopLabels []string, target string) ast.Stmt {
+	return rewriteCont(s, loopLabels, target, false)
+}
+
+func rewriteCont(s ast.Stmt, loopLabels []string, target string, shadowed bool) ast.Stmt {
+	switch n := s.(type) {
+	case *ast.Continue:
+		if n.Label == "" {
+			if !shadowed {
+				return &ast.Break{P: n.P, Label: target}
+			}
+			return n
+		}
+		if hasString(loopLabels, n.Label) {
+			return &ast.Break{P: n.P, Label: target}
+		}
+		return n
+	case *ast.Block:
+		for i := range n.Body {
+			n.Body[i] = rewriteCont(n.Body[i], loopLabels, target, shadowed)
+		}
+		return n
+	case *ast.If:
+		n.Cons = rewriteCont(n.Cons, loopLabels, target, shadowed)
+		if n.Alt != nil {
+			n.Alt = rewriteCont(n.Alt, loopLabels, target, shadowed)
+		}
+		return n
+	case *ast.While:
+		n.Body = rewriteCont(n.Body, loopLabels, target, true)
+		return n
+	case *ast.DoWhile:
+		n.Body = rewriteCont(n.Body, loopLabels, target, true)
+		return n
+	case *ast.For:
+		n.Body = rewriteCont(n.Body, loopLabels, target, true)
+		return n
+	case *ast.ForIn:
+		n.Body = rewriteCont(n.Body, loopLabels, target, true)
+		return n
+	case *ast.Labeled:
+		n.Body = rewriteCont(n.Body, loopLabels, target, shadowed)
+		return n
+	case *ast.Switch:
+		for i := range n.Cases {
+			for j := range n.Cases[i].Body {
+				n.Cases[i].Body[j] = rewriteCont(n.Cases[i].Body[j], loopLabels, target, shadowed)
+			}
+		}
+		return n
+	case *ast.Try:
+		for i := range n.Block.Body {
+			n.Block.Body[i] = rewriteCont(n.Block.Body[i], loopLabels, target, shadowed)
+		}
+		if n.Catch != nil {
+			for i := range n.Catch.Body {
+				n.Catch.Body[i] = rewriteCont(n.Catch.Body[i], loopLabels, target, shadowed)
+			}
+		}
+		if n.Finally != nil {
+			for i := range n.Finally.Body {
+				n.Finally.Body[i] = rewriteCont(n.Finally.Body[i], loopLabels, target, shadowed)
+			}
+		}
+		return n
+	default:
+		return s
+	}
+}
+
+// rewriteSwitchBreaks replaces unlabeled `break` statements that target the
+// switch being desugared (i.e. outside nested loops and switches) with
+// `break target`.
+func rewriteSwitchBreaks(s ast.Stmt, target string) ast.Stmt {
+	switch n := s.(type) {
+	case *ast.Break:
+		if n.Label == "" {
+			return &ast.Break{P: n.P, Label: target}
+		}
+		return n
+	case *ast.Block:
+		for i := range n.Body {
+			n.Body[i] = rewriteSwitchBreaks(n.Body[i], target)
+		}
+		return n
+	case *ast.If:
+		n.Cons = rewriteSwitchBreaks(n.Cons, target)
+		if n.Alt != nil {
+			n.Alt = rewriteSwitchBreaks(n.Alt, target)
+		}
+		return n
+	case *ast.Labeled:
+		n.Body = rewriteSwitchBreaks(n.Body, target)
+		return n
+	case *ast.Try:
+		for i := range n.Block.Body {
+			n.Block.Body[i] = rewriteSwitchBreaks(n.Block.Body[i], target)
+		}
+		if n.Catch != nil {
+			for i := range n.Catch.Body {
+				n.Catch.Body[i] = rewriteSwitchBreaks(n.Catch.Body[i], target)
+			}
+		}
+		if n.Finally != nil {
+			for i := range n.Finally.Body {
+				n.Finally.Body[i] = rewriteSwitchBreaks(n.Finally.Body[i], target)
+			}
+		}
+		return n
+	default:
+		// Nested loops and switches capture unlabeled breaks.
+		return s
+	}
+}
+
+func hasString(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

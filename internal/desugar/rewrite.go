@@ -1,0 +1,201 @@
+package desugar
+
+import "repro/internal/ast"
+
+// rewriter is a bottom-up AST transformer. Children are rewritten first;
+// the callbacks then see fully-rewritten children and may return replacement
+// nodes. A nil callback is the identity. When skipFuncs is set the rewriter
+// does not descend into function bodies, letting scope-sensitive passes
+// drive their own per-scope recursion.
+type rewriter struct {
+	stmt      func(ast.Stmt) ast.Stmt
+	expr      func(ast.Expr) ast.Expr
+	skipFuncs bool
+}
+
+func (r *rewriter) stmts(body []ast.Stmt) []ast.Stmt {
+	out := make([]ast.Stmt, len(body))
+	for i, s := range body {
+		out[i] = r.rstmt(s)
+	}
+	return out
+}
+
+func (r *rewriter) post(s ast.Stmt) ast.Stmt {
+	if r.stmt != nil {
+		return r.stmt(s)
+	}
+	return s
+}
+
+func (r *rewriter) postE(e ast.Expr) ast.Expr {
+	if r.expr != nil {
+		return r.expr(e)
+	}
+	return e
+}
+
+func (r *rewriter) rstmt(s ast.Stmt) ast.Stmt {
+	switch n := s.(type) {
+	case nil:
+		return nil
+	case *ast.VarDecl:
+		for i := range n.Decls {
+			if n.Decls[i].Init != nil {
+				n.Decls[i].Init = r.rexpr(n.Decls[i].Init)
+			}
+		}
+		return r.post(n)
+	case *ast.ExprStmt:
+		n.X = r.rexpr(n.X)
+		return r.post(n)
+	case *ast.Block:
+		n.Body = r.stmts(n.Body)
+		return r.post(n)
+	case *ast.If:
+		n.Test = r.rexpr(n.Test)
+		n.Cons = r.rstmt(n.Cons)
+		if n.Alt != nil {
+			n.Alt = r.rstmt(n.Alt)
+		}
+		return r.post(n)
+	case *ast.While:
+		n.Test = r.rexpr(n.Test)
+		n.Body = r.rstmt(n.Body)
+		return r.post(n)
+	case *ast.DoWhile:
+		n.Body = r.rstmt(n.Body)
+		n.Test = r.rexpr(n.Test)
+		return r.post(n)
+	case *ast.For:
+		if n.Init != nil {
+			n.Init = r.rstmt(n.Init)
+		}
+		if n.Test != nil {
+			n.Test = r.rexpr(n.Test)
+		}
+		if n.Update != nil {
+			n.Update = r.rexpr(n.Update)
+		}
+		n.Body = r.rstmt(n.Body)
+		return r.post(n)
+	case *ast.ForIn:
+		n.Obj = r.rexpr(n.Obj)
+		n.Body = r.rstmt(n.Body)
+		return r.post(n)
+	case *ast.Return:
+		if n.Arg != nil {
+			n.Arg = r.rexpr(n.Arg)
+		}
+		return r.post(n)
+	case *ast.Break, *ast.Continue, *ast.Empty:
+		return r.post(s)
+	case *ast.Labeled:
+		n.Body = r.rstmt(n.Body)
+		return r.post(n)
+	case *ast.Switch:
+		n.Disc = r.rexpr(n.Disc)
+		for i := range n.Cases {
+			if n.Cases[i].Test != nil {
+				n.Cases[i].Test = r.rexpr(n.Cases[i].Test)
+			}
+			n.Cases[i].Body = r.stmts(n.Cases[i].Body)
+		}
+		return r.post(n)
+	case *ast.Throw:
+		n.Arg = r.rexpr(n.Arg)
+		return r.post(n)
+	case *ast.Try:
+		n.Block.Body = r.stmts(n.Block.Body)
+		if n.Catch != nil {
+			n.Catch.Body = r.stmts(n.Catch.Body)
+		}
+		if n.Finally != nil {
+			n.Finally.Body = r.stmts(n.Finally.Body)
+		}
+		return r.post(n)
+	case *ast.FuncDecl:
+		if !r.skipFuncs {
+			n.Fn.Body = r.stmts(n.Fn.Body)
+		} else if r.expr != nil {
+			// Scope-wise passes handle functions through the expr callback;
+			// give declarations the same treatment. The callback must return
+			// the same *ast.Func (they all do — they rewrite bodies in
+			// place).
+			if fn, ok := r.expr(n.Fn).(*ast.Func); ok {
+				n.Fn = fn
+			}
+		}
+		return r.post(n)
+	}
+	return r.post(s)
+}
+
+func (r *rewriter) rexpr(e ast.Expr) ast.Expr {
+	switch n := e.(type) {
+	case nil:
+		return nil
+	case *ast.Array:
+		for i := range n.Elems {
+			n.Elems[i] = r.rexpr(n.Elems[i])
+		}
+		return r.postE(n)
+	case *ast.Object:
+		for i := range n.Props {
+			n.Props[i].Value = r.rexpr(n.Props[i].Value)
+		}
+		return r.postE(n)
+	case *ast.Func:
+		if !r.skipFuncs {
+			n.Body = r.stmts(n.Body)
+		}
+		return r.postE(n)
+	case *ast.Unary:
+		n.X = r.rexpr(n.X)
+		return r.postE(n)
+	case *ast.Update:
+		n.X = r.rexpr(n.X)
+		return r.postE(n)
+	case *ast.Binary:
+		n.L = r.rexpr(n.L)
+		n.R = r.rexpr(n.R)
+		return r.postE(n)
+	case *ast.Logical:
+		n.L = r.rexpr(n.L)
+		n.R = r.rexpr(n.R)
+		return r.postE(n)
+	case *ast.Assign:
+		n.Target = r.rexpr(n.Target)
+		n.Value = r.rexpr(n.Value)
+		return r.postE(n)
+	case *ast.Cond:
+		n.Test = r.rexpr(n.Test)
+		n.Cons = r.rexpr(n.Cons)
+		n.Alt = r.rexpr(n.Alt)
+		return r.postE(n)
+	case *ast.Call:
+		n.Callee = r.rexpr(n.Callee)
+		for i := range n.Args {
+			n.Args[i] = r.rexpr(n.Args[i])
+		}
+		return r.postE(n)
+	case *ast.New:
+		n.Callee = r.rexpr(n.Callee)
+		for i := range n.Args {
+			n.Args[i] = r.rexpr(n.Args[i])
+		}
+		return r.postE(n)
+	case *ast.Member:
+		n.X = r.rexpr(n.X)
+		if n.Computed {
+			n.Index = r.rexpr(n.Index)
+		}
+		return r.postE(n)
+	case *ast.Seq:
+		for i := range n.Exprs {
+			n.Exprs[i] = r.rexpr(n.Exprs[i])
+		}
+		return r.postE(n)
+	}
+	return r.postE(e)
+}

@@ -1,0 +1,43 @@
+package desugar
+
+import "repro/internal/ast"
+
+// insertSuspend inserts a $suspend() call at the top of every function body
+// and every loop body (§5.1: "Stopify instruments p such that every
+// function and loop calls the maySuspend function"). $suspend is a runtime
+// primitive that estimates elapsed time and, when the yield interval has
+// passed — or a pause, breakpoint, or stack-depth limit demands it —
+// captures the continuation and schedules its resumption on the event loop.
+//
+// It runs after loop lowering, so While is the only loop form.
+func insertSuspend(body []ast.Stmt, topLevel bool) []ast.Stmt {
+	r := &rewriter{}
+	r.stmt = func(s ast.Stmt) ast.Stmt {
+		switch n := s.(type) {
+		case *ast.While:
+			n.Body = prependSuspend(n.Body)
+		case *ast.FuncDecl:
+			n.Fn.Body = append([]ast.Stmt{suspendCall()}, n.Fn.Body...)
+		}
+		return s
+	}
+	r.expr = func(e ast.Expr) ast.Expr {
+		if fn, ok := e.(*ast.Func); ok {
+			fn.Body = append([]ast.Stmt{suspendCall()}, fn.Body...)
+		}
+		return e
+	}
+	out := r.stmts(body)
+	_ = topLevel
+	return out
+}
+
+func suspendCall() ast.Stmt { return ast.ExprOf(ast.CallId("$suspend")) }
+
+func prependSuspend(body ast.Stmt) ast.Stmt {
+	if b, ok := body.(*ast.Block); ok {
+		b.Body = append([]ast.Stmt{suspendCall()}, b.Body...)
+		return b
+	}
+	return ast.BlockOf(suspendCall(), body)
+}

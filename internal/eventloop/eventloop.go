@@ -1,0 +1,141 @@
+// Package eventloop is the browser event loop substrate: a single-threaded
+// FIFO macrotask queue with setTimeout-style deferred tasks and a pluggable
+// clock.
+//
+// Stopify's execution model is built on returning to this loop: instrumented
+// programs periodically capture their continuation, enqueue its resumption,
+// and return, so that other events (a Pause button, a timer) can run in
+// between (§2, §5.1). The loop also records how long each task ran, which is
+// exactly the "time between yields" responsiveness metric of Figure 2c.
+package eventloop
+
+import (
+	"sort"
+	"time"
+)
+
+// Clock supplies the loop's notion of time in milliseconds. A virtual clock
+// makes estimator and responsiveness tests deterministic.
+type Clock interface {
+	// Now returns the current time in milliseconds.
+	Now() float64
+	// Advance moves time forward; real clocks sleep, virtual clocks jump.
+	Advance(ms float64)
+}
+
+// RealClock is wall-clock time.
+type RealClock struct{ start time.Time }
+
+// NewRealClock returns a Clock backed by the system timer.
+func NewRealClock() *RealClock { return &RealClock{start: time.Now()} }
+
+// Now implements Clock.
+func (c *RealClock) Now() float64 { return float64(time.Since(c.start)) / float64(time.Millisecond) }
+
+// Advance implements Clock by sleeping.
+func (c *RealClock) Advance(ms float64) { time.Sleep(time.Duration(ms * float64(time.Millisecond))) }
+
+// VirtualClock is a manually advanced clock.
+type VirtualClock struct{ t float64 }
+
+// NewVirtualClock returns a virtual clock starting at 0 ms.
+func NewVirtualClock() *VirtualClock { return &VirtualClock{} }
+
+// Now implements Clock.
+func (c *VirtualClock) Now() float64 { return c.t }
+
+// Advance implements Clock.
+func (c *VirtualClock) Advance(ms float64) { c.t += ms }
+
+// Task is a unit of work on the loop.
+type Task func()
+
+type queued struct {
+	fn  Task
+	due float64
+	seq int
+}
+
+// Loop is a single-threaded macrotask queue.
+type Loop struct {
+	Clock   Clock
+	pending []queued
+	seq     int
+	stopped bool
+
+	// TaskDurations records how long each executed task ran, in ms. In
+	// browser terms this is how long the page was unresponsive, i.e. the
+	// interval between yields (Figure 2c / Figure 7).
+	TaskDurations []float64
+
+	// OnTurn, if set, is invoked between tasks; the webide example uses it
+	// to poll for user input (the "browser UI thread" getting a chance to
+	// run).
+	OnTurn func()
+}
+
+// New returns an empty loop on the given clock.
+func New(clock Clock) *Loop { return &Loop{Clock: clock} }
+
+// Post enqueues fn to run after delayMs milliseconds, like setTimeout.
+// Browsers clamp tiny delays; we run FIFO among due tasks, which preserves
+// the ordering guarantees Stopify relies on.
+func (l *Loop) Post(fn Task, delayMs float64) {
+	if delayMs < 0 {
+		delayMs = 0
+	}
+	l.pending = append(l.pending, queued{fn: fn, due: l.Clock.Now() + delayMs, seq: l.seq})
+	l.seq++
+}
+
+// Stop makes Run return after the current task completes; queued tasks are
+// discarded. This is how "killing" a page works.
+func (l *Loop) Stop() { l.stopped = true }
+
+// Len reports the number of queued tasks.
+func (l *Loop) Len() int { return len(l.pending) }
+
+// Run drains the queue, advancing the clock across idle gaps, until no
+// tasks remain or Stop is called. It returns the number of tasks executed.
+func (l *Loop) Run() int {
+	l.stopped = false
+	ran := 0
+	for len(l.pending) > 0 && !l.stopped {
+		l.step()
+		ran++
+		if l.OnTurn != nil {
+			l.OnTurn()
+		}
+	}
+	return ran
+}
+
+// RunOne executes the next due task, if any, and reports whether it did.
+func (l *Loop) RunOne() bool {
+	if len(l.pending) == 0 || l.stopped {
+		return false
+	}
+	l.step()
+	if l.OnTurn != nil {
+		l.OnTurn()
+	}
+	return true
+}
+
+func (l *Loop) step() {
+	// Pick the earliest-due task, FIFO among ties.
+	sort.SliceStable(l.pending, func(i, j int) bool {
+		if l.pending[i].due != l.pending[j].due {
+			return l.pending[i].due < l.pending[j].due
+		}
+		return l.pending[i].seq < l.pending[j].seq
+	})
+	next := l.pending[0]
+	l.pending = l.pending[1:]
+	if now := l.Clock.Now(); next.due > now {
+		l.Clock.Advance(next.due - now)
+	}
+	start := l.Clock.Now()
+	next.fn()
+	l.TaskDurations = append(l.TaskDurations, l.Clock.Now()-start)
+}

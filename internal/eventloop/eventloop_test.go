@@ -1,0 +1,129 @@
+package eventloop
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFIFOOrdering(t *testing.T) {
+	loop := New(NewVirtualClock())
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		loop.Post(func() { got = append(got, i) }, 0)
+	}
+	if n := loop.Run(); n != 5 {
+		t.Fatalf("ran %d tasks, want 5", n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order = %v, want FIFO", got)
+		}
+	}
+}
+
+func TestTimerOrdering(t *testing.T) {
+	clock := NewVirtualClock()
+	loop := New(clock)
+	var got []string
+	loop.Post(func() { got = append(got, "late") }, 50)
+	loop.Post(func() { got = append(got, "early") }, 10)
+	loop.Post(func() { got = append(got, "now") }, 0)
+	loop.Run()
+	want := []string{"now", "early", "late"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if clock.Now() < 50 {
+		t.Errorf("virtual clock should advance to the last timer, now=%v", clock.Now())
+	}
+}
+
+func TestTaskEnqueuesTask(t *testing.T) {
+	loop := New(NewVirtualClock())
+	count := 0
+	var reschedule func()
+	reschedule = func() {
+		count++
+		if count < 10 {
+			loop.Post(reschedule, 0)
+		}
+	}
+	loop.Post(reschedule, 0)
+	loop.Run()
+	if count != 10 {
+		t.Errorf("count = %d, want 10", count)
+	}
+}
+
+func TestStop(t *testing.T) {
+	loop := New(NewVirtualClock())
+	count := 0
+	var reschedule func()
+	reschedule = func() {
+		count++
+		if count == 3 {
+			loop.Stop()
+		}
+		loop.Post(reschedule, 0)
+	}
+	loop.Post(reschedule, 0)
+	loop.Run()
+	if count != 3 {
+		t.Errorf("count = %d, want 3 (stopped)", count)
+	}
+}
+
+func TestTaskDurations(t *testing.T) {
+	clock := NewVirtualClock()
+	loop := New(clock)
+	loop.Post(func() { clock.Advance(25) }, 0)
+	loop.Post(func() { clock.Advance(75) }, 0)
+	loop.Run()
+	if len(loop.TaskDurations) != 2 {
+		t.Fatalf("durations = %v", loop.TaskDurations)
+	}
+	if loop.TaskDurations[0] != 25 || loop.TaskDurations[1] != 75 {
+		t.Errorf("durations = %v, want [25 75]", loop.TaskDurations)
+	}
+}
+
+func TestRunOne(t *testing.T) {
+	loop := New(NewVirtualClock())
+	ran := false
+	loop.Post(func() { ran = true }, 0)
+	if !loop.RunOne() {
+		t.Fatal("RunOne should run the queued task")
+	}
+	if !ran {
+		t.Fatal("task did not run")
+	}
+	if loop.RunOne() {
+		t.Fatal("RunOne on empty queue should report false")
+	}
+}
+
+func TestRealClockAdvance(t *testing.T) {
+	c := NewRealClock()
+	t0 := c.Now()
+	c.Advance(5)
+	if c.Now()-t0 < 4 {
+		t.Errorf("real clock should sleep ~5ms, advanced %.2f", c.Now()-t0)
+	}
+}
+
+func TestVirtualClockNoWall(t *testing.T) {
+	start := time.Now()
+	clock := NewVirtualClock()
+	loop := New(clock)
+	loop.Post(func() {}, 10000) // 10 virtual seconds
+	loop.Run()
+	if time.Since(start) > time.Second {
+		t.Error("virtual clock must not sleep on the wall clock")
+	}
+	if clock.Now() < 10000 {
+		t.Error("virtual clock should have jumped to the timer's due time")
+	}
+}

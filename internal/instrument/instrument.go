@@ -1,0 +1,715 @@
+// Package instrument implements the paper's core contribution: the K⟦·⟧ /
+// A⟦·⟧ compilation of Figures 3 and 4, which rewrites A-normalized
+// JavaScript so every function can run in three modes —
+//
+//	normal:  execute as written
+//	capture: unwind, reifying one stack frame per activation
+//	restore: re-enter frames, jump to the saved label, and resume
+//
+// A reified frame carries the call-site label, a snapshot of the locals,
+// and a reenter thunk (Figure 3). Three interchangeable strategies decide
+// how frames are captured (§3.2): checked-return (a conditional after every
+// call), exceptional (a handler around every call), and eager (a shadow
+// stack maintained during normal execution). Constructors are either
+// desugared away before this pass or handled dynamically with new.target
+// (§3.2 "Constructors"); the arity sub-languages of §4.2 choose how reenter
+// re-applies the function. §3.1.1's catch/finally re-entry is implemented
+// by re-throwing a saved exception and re-returning a saved completion
+// value.
+//
+// Instrumented code communicates with the runtime (internal/rt) through JS
+// globals ($mode, $stack, $rstack, $shadow) and runtime natives ($C,
+// $suspend, $bp, $isSig, $isCap), mirroring the paper's generated code.
+package instrument
+
+import (
+	"repro/internal/ast"
+)
+
+// Strategy selects the continuation representation (Figure 4 b/c/d).
+type Strategy int
+
+// Continuation strategies.
+const (
+	Checked     Strategy = iota // Figure 4b: check a flag after every call
+	Exceptional                 // Figure 4c: handler around every call
+	Eager                       // Figure 4d: maintain a shadow stack
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Checked:
+		return "checked"
+	case Exceptional:
+		return "exceptional"
+	case Eager:
+		return "eager"
+	}
+	return "unknown"
+}
+
+// ArgsMode selects the arity sub-language (§4.2, Figure 5's Args column).
+type ArgsMode int
+
+// Arity sub-languages.
+const (
+	ArgsNone    ArgsMode = iota // ✗ — reenter passes formals positionally
+	ArgsVarargs                 // V — reenter applies the arguments object
+	ArgsMixed                   // M — apply arguments and restore formals
+	ArgsFull                    // ✓ — formals already live in arguments[i]
+)
+
+// Options configures the instrumentation.
+type Options struct {
+	Strategy Strategy
+	// WrappedCtors preserves new-expressions and makes every function
+	// constructor-safe using new.target; when false, constructors must
+	// have been desugared to $construct beforehand.
+	WrappedCtors bool
+	Args         ArgsMode
+	// PerStatementGuards emits the paper's literal K⟦·⟧ output — an `if
+	// (normal)` around every individual statement (Figure 4a) — instead of
+	// grouping maximal label-free runs under one guard. Used by the
+	// ablation benchmarks; grouping is semantically identical and faster.
+	PerStatementGuards bool
+}
+
+// Names of the runtime globals and primitives shared between generated
+// code and internal/rt.
+const (
+	ModeVar   = "$mode"
+	StackVar  = "$stack"
+	RStackVar = "$rstack"
+	ShadowVar = "$shadow"
+	SuspendFn = "$suspend"
+	BpFn      = "$bp"
+	IsSigFn   = "$isSig"
+	IsCapFn   = "$isCap"
+	CFn       = "$C"
+
+	ModeNormal  = "normal"
+	ModeCapture = "capture"
+	ModeRestore = "restore"
+)
+
+// Apply instruments every function in prog in place. The program's top
+// level is expected to contain only declarations (the core compiler wraps
+// user statements into a $main function first).
+func Apply(prog *ast.Program, opts Options) *ast.Program {
+	var fns []*ast.Func
+	ast.Walk(prog, func(n ast.Node) bool {
+		if fn, ok := n.(*ast.Func); ok {
+			fns = append(fns, fn)
+		}
+		return true
+	})
+	for _, fn := range fns {
+		instrumentFunc(fn, opts)
+	}
+	return prog
+}
+
+// instrumentFunc rewrites one function body. Nested functions are
+// instrumented by their own Apply visit; this pass never descends into
+// them.
+func instrumentFunc(fn *ast.Func, opts Options) {
+	if !hasNonTailSites(fn.Body) {
+		// No non-tail call sites: the function can never be suspended nor
+		// re-entered, so it needs no machinery (leaf functions pay nothing,
+		// and tail calls stay uninstrumented per §3.2.2).
+		return
+	}
+	c := &fctx{
+		opts:        opts,
+		fname:       fn.Name,
+		fin:         map[*ast.Try]*finInfo{},
+		shadowDepth: map[*ast.Try]string{},
+	}
+
+	body := fn.Body
+	body = c.renameCatchParams(body)
+	if opts.WrappedCtors {
+		body = c.ctorProtocol(body)
+	}
+	body = c.rewriteFinallyReturns(body)
+	if opts.Strategy == Eager {
+		body = c.eagerShadowDepths(body)
+	}
+	// Locals must be collected before declsToAssigns erases the var
+	// declarations.
+	locals := c.localsList(fn, body)
+	body = c.declsToAssigns(body, true)
+	c.labelSites(body)
+
+	fn.Body = append(c.prologue(fn, locals), c.kStmts(body)...)
+}
+
+// hasNonTailSites reports whether the body contains any application outside
+// tail position (Call or New anywhere except directly under `return`).
+func hasNonTailSites(body []ast.Stmt) bool {
+	found := false
+	var walkStmt func(s ast.Stmt)
+	checkExpr := func(e ast.Expr) {
+		if e == nil || found {
+			return
+		}
+		ast.Walk(e, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.Call, *ast.New:
+				found = true
+				return false
+			case *ast.Func:
+				return false // nested functions are separate scopes
+			}
+			return !found
+		})
+	}
+	walkStmt = func(s ast.Stmt) {
+		if found {
+			return
+		}
+		switch n := s.(type) {
+		case *ast.VarDecl:
+			for _, d := range n.Decls {
+				checkExpr(d.Init)
+			}
+		case *ast.ExprStmt:
+			checkExpr(n.X)
+		case *ast.Block:
+			for _, st := range n.Body {
+				walkStmt(st)
+			}
+		case *ast.If:
+			checkExpr(n.Test)
+			walkStmt(n.Cons)
+			if n.Alt != nil {
+				walkStmt(n.Alt)
+			}
+		case *ast.While:
+			checkExpr(n.Test)
+			walkStmt(n.Body)
+		case *ast.Return:
+			if call, ok := n.Arg.(*ast.Call); ok {
+				// Tail position: only the callee/args could contain nested
+				// applications, but post-ANF they are atoms.
+				for _, a := range call.Args {
+					checkExpr(a)
+				}
+				if m, isMember := call.Callee.(*ast.Member); isMember {
+					checkExpr(m.X)
+					if m.Computed {
+						checkExpr(m.Index)
+					}
+				}
+				return
+			}
+			checkExpr(n.Arg)
+		case *ast.Labeled:
+			walkStmt(n.Body)
+		case *ast.Throw:
+			checkExpr(n.Arg)
+		case *ast.Try:
+			// A function with try/finally needs instrumentation for return
+			// bookkeeping only when it has sites; recurse normally.
+			for _, st := range n.Block.Body {
+				walkStmt(st)
+			}
+			if n.Catch != nil {
+				for _, st := range n.Catch.Body {
+					walkStmt(st)
+				}
+			}
+			if n.Finally != nil {
+				for _, st := range n.Finally.Body {
+					walkStmt(st)
+				}
+			}
+		}
+	}
+	for _, s := range body {
+		walkStmt(s)
+	}
+	return found
+}
+
+// fctx is per-function instrumentation state.
+type fctx struct {
+	opts        Options
+	fname       string
+	nextLabel   int // next call-site label; labels start at 1
+	extra       []string
+	ctv         string // constructor-protocol return temp
+	genSym      int
+	fin         map[*ast.Try]*finInfo
+	shadowDepth map[*ast.Try]string
+}
+
+func (c *fctx) fresh(prefix string) string {
+	c.genSym++
+	name := prefix + itoa(c.genSym)
+	c.extra = append(c.extra, name)
+	return name
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// localsList builds the ordered locals vector used by the locals() thunk
+// and the restore prologue. Order: formals, arguments (when the arity mode
+// reifies it), declared vars and function names, then generated locals.
+func (c *fctx) localsList(fn *ast.Func, body []ast.Stmt) []string {
+	var names []string
+	seen := map[string]bool{}
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	if c.opts.Args != ArgsFull {
+		for _, p := range fn.Params {
+			add(p)
+		}
+	}
+	if c.opts.Args == ArgsMixed || c.opts.Args == ArgsFull {
+		add("arguments")
+	}
+	for _, v := range declaredNames(body) {
+		add(v)
+	}
+	for _, v := range c.extra {
+		add(v)
+	}
+	return names
+}
+
+// declaredNames lists var and function declarations without entering
+// nested functions.
+func declaredNames(body []ast.Stmt) []string {
+	var names []string
+	var walk func(s ast.Stmt)
+	walk = func(s ast.Stmt) {
+		switch n := s.(type) {
+		case *ast.VarDecl:
+			for _, d := range n.Decls {
+				names = append(names, d.Name)
+			}
+		case *ast.FuncDecl:
+			names = append(names, n.Fn.Name)
+		case *ast.Block:
+			for _, st := range n.Body {
+				walk(st)
+			}
+		case *ast.If:
+			walk(n.Cons)
+			if n.Alt != nil {
+				walk(n.Alt)
+			}
+		case *ast.While:
+			walk(n.Body)
+		case *ast.Labeled:
+			walk(n.Body)
+		case *ast.Try:
+			for _, st := range n.Block.Body {
+				walk(st)
+			}
+			if n.Catch != nil {
+				for _, st := range n.Catch.Body {
+					walk(st)
+				}
+			}
+			if n.Finally != nil {
+				for _, st := range n.Finally.Body {
+					walk(st)
+				}
+			}
+		}
+	}
+	for _, s := range body {
+		walk(s)
+	}
+	return names
+}
+
+// ---------------------------------------------------------------------------
+// Prologue (Figure 3 lines 5–13)
+// ---------------------------------------------------------------------------
+
+func isMode(mode string) ast.Expr {
+	return ast.Bin("===", ast.Id(ModeVar), ast.Strlit(mode))
+}
+
+func (c *fctx) prologue(fn *ast.Func, locals []string) []ast.Stmt {
+	var out []ast.Stmt
+
+	// var l1, l2, ... ;  — every non-formal local, so restore can assign
+	// before the original declarations run.
+	decl := &ast.VarDecl{}
+	isParam := map[string]bool{}
+	for _, p := range fn.Params {
+		isParam[p] = true
+	}
+	for _, name := range locals {
+		if !isParam[name] && name != "arguments" {
+			decl.Decls = append(decl.Decls, ast.Declarator{Name: name})
+		}
+	}
+	if len(decl.Decls) > 0 {
+		out = append(out, decl)
+	}
+
+	if c.opts.WrappedCtors {
+		out = append(out, ast.Var("$nt", &ast.NewTarget{}))
+	}
+	out = append(out, &ast.VarDecl{Decls: []ast.Declarator{
+		{Name: "$lbl", Init: ast.Int(-1)},
+		{Name: "$k"},
+	}})
+
+	// if ($mode === "restore") { restoreFrame }
+	restore := []ast.Stmt{
+		ast.ExprOf(ast.SetId("$k", ast.CallN(ast.Dot(ast.Id(RStackVar), "pop")))),
+		ast.ExprOf(ast.SetId("$lbl", ast.Dot(ast.Id("$k"), "label"))),
+		ast.Var("$l", ast.Dot(ast.Id("$k"), "locals")),
+	}
+	for i, name := range locals {
+		restore = append(restore, ast.ExprOf(ast.SetId(name, ast.Idx(ast.Id("$l"), ast.Int(i)))))
+	}
+	restore = append(restore, ast.ExprOf(ast.SetId("$k",
+		ast.Idx(ast.Id(RStackVar), ast.Bin("-", ast.Dot(ast.Id(RStackVar), "length"), ast.Int(1))))))
+	out = append(out, ast.IfThen(isMode(ModeRestore), restore...))
+
+	// var $locals = () => [ ... ];
+	elems := make([]ast.Expr, len(locals))
+	for i, name := range locals {
+		elems[i] = ast.Id(name)
+	}
+	out = append(out, ast.Var("$locals", ast.ArrowFn(nil, ast.Ret(&ast.Array{Elems: elems}))))
+
+	// var $reenter = () => F.call(this, p...)  /  F.apply(this, arguments)
+	var reenterBody ast.Expr
+	switch c.opts.Args {
+	case ArgsNone:
+		args := []ast.Expr{&ast.This{}}
+		for _, p := range fn.Params {
+			args = append(args, ast.Id(p))
+		}
+		reenterBody = ast.CallN(ast.Dot(ast.Id(c.fname), "call"), args...)
+	default: // Varargs, Mixed, Full re-apply the arguments object
+		reenterBody = ast.CallN(ast.Dot(ast.Id(c.fname), "apply"), &ast.This{}, ast.Id("arguments"))
+	}
+	out = append(out, ast.Var("$reenter", ast.ArrowFn(nil, ast.Ret(reenterBody))))
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Pre-passes
+// ---------------------------------------------------------------------------
+
+// renameCatchParams renames every catch parameter to a fresh function-wide
+// local ($e<N>) so the caught exception participates in locals capture and
+// can be re-thrown to re-enter the clause (§3.1.1).
+func (c *fctx) renameCatchParams(body []ast.Stmt) []ast.Stmt {
+	for i, s := range body {
+		body[i] = c.renameCatchStmt(s)
+	}
+	return body
+}
+
+func (c *fctx) renameCatchStmt(s ast.Stmt) ast.Stmt {
+	switch n := s.(type) {
+	case *ast.Block:
+		c.renameCatchParams(n.Body)
+	case *ast.If:
+		n.Cons = c.renameCatchStmt(n.Cons)
+		if n.Alt != nil {
+			n.Alt = c.renameCatchStmt(n.Alt)
+		}
+	case *ast.While:
+		n.Body = c.renameCatchStmt(n.Body)
+	case *ast.Labeled:
+		n.Body = c.renameCatchStmt(n.Body)
+	case *ast.Try:
+		c.renameCatchParams(n.Block.Body)
+		if n.Catch != nil {
+			fresh := c.fresh("$exn")
+			renameIdent(n.Catch.Body, n.CatchParam, fresh)
+			n.CatchParam = fresh
+			c.renameCatchParams(n.Catch.Body)
+		}
+		if n.Finally != nil {
+			c.renameCatchParams(n.Finally.Body)
+		}
+	}
+	return s
+}
+
+// renameIdent renames free occurrences of old to new inside body,
+// respecting shadowing by nested functions.
+func renameIdent(body []ast.Stmt, old, new string) {
+	for _, s := range body {
+		ast.Walk(s, func(node ast.Node) bool {
+			switch n := node.(type) {
+			case *ast.Ident:
+				if n.Name == old {
+					n.Name = new
+				}
+			case *ast.Func:
+				for _, p := range n.Params {
+					if p == old {
+						return false
+					}
+				}
+				for _, d := range declaredNames(n.Body) {
+					if d == old {
+						return false
+					}
+				}
+				if n.Name == old {
+					return false
+				}
+			}
+			return true
+		})
+	}
+}
+
+// ctorProtocol implements §3.2's wrapped-constructor strategy: capture
+// new.target into $nt, rewrite new.target references, and make every return
+// honor the constructor protocol (return `this` unless the function
+// explicitly returns an object), so that re-entering a constructor as a
+// plain function during restore yields the right value.
+func (c *fctx) ctorProtocol(body []ast.Stmt) []ast.Stmt {
+	c.ctv = c.fresh("$ctv")
+	// $nt is declared in the prologue but must also travel in the reified
+	// frame: a restored constructor re-enters as a plain call, where
+	// new.target is undefined.
+	c.extra = append(c.extra, "$nt")
+	rewriteNewTarget(body)
+	out := c.ctorReturns(body)
+	// Implicit completion: constructors return `this`.
+	out = append(out, ast.IfThen(
+		ast.Bin("!==", ast.Id("$nt"), ast.Undef()),
+		ast.Ret(&ast.This{}),
+	))
+	return out
+}
+
+func rewriteNewTarget(body []ast.Stmt) {
+	for _, s := range body {
+		rewriteNewTargetStmt(s)
+	}
+}
+
+func rewriteNewTargetStmt(s ast.Stmt) {
+	replace := func(e ast.Expr) ast.Expr {
+		if _, ok := e.(*ast.NewTarget); ok {
+			return ast.Id("$nt")
+		}
+		return e
+	}
+	swapInStmt(s, replace)
+}
+
+// ctorReturns rewrites `return e` into the explicit protocol:
+//
+//	$ctv = e;
+//	if ($nt !== undefined && $ctv is not object-like) return this;
+//	return $ctv;
+func (c *fctx) ctorReturns(body []ast.Stmt) []ast.Stmt {
+	var out []ast.Stmt
+	for _, s := range body {
+		out = append(out, c.ctorReturnStmt(s)...)
+	}
+	return out
+}
+
+func (c *fctx) ctorReturnStmt(s ast.Stmt) []ast.Stmt {
+	switch n := s.(type) {
+	case *ast.Return:
+		arg := n.Arg
+		if arg == nil {
+			arg = ast.Undef()
+		}
+		return []ast.Stmt{
+			ast.ExprOf(ast.SetId(c.ctv, arg)),
+			ast.IfThen(
+				ast.Log("&&",
+					ast.Bin("!==", ast.Id("$nt"), ast.Undef()),
+					notObjectLike(ast.Id(c.ctv)),
+				),
+				ast.Ret(&ast.This{}),
+			),
+			ast.Ret(ast.Id(c.ctv)),
+		}
+	case *ast.Block:
+		n.Body = c.ctorReturns(n.Body)
+		return []ast.Stmt{n}
+	case *ast.If:
+		n.Cons = c.wrapCtor(n.Cons)
+		if n.Alt != nil {
+			n.Alt = c.wrapCtor(n.Alt)
+		}
+		return []ast.Stmt{n}
+	case *ast.While:
+		n.Body = c.wrapCtor(n.Body)
+		return []ast.Stmt{n}
+	case *ast.Labeled:
+		n.Body = c.wrapCtor(n.Body)
+		return []ast.Stmt{n}
+	case *ast.Try:
+		n.Block.Body = c.ctorReturns(n.Block.Body)
+		if n.Catch != nil {
+			n.Catch.Body = c.ctorReturns(n.Catch.Body)
+		}
+		if n.Finally != nil {
+			n.Finally.Body = c.ctorReturns(n.Finally.Body)
+		}
+		return []ast.Stmt{n}
+	default:
+		return []ast.Stmt{s}
+	}
+}
+
+func (c *fctx) wrapCtor(s ast.Stmt) ast.Stmt {
+	out := c.ctorReturnStmt(s)
+	if len(out) == 1 {
+		return out[0]
+	}
+	return ast.BlockOf(out...)
+}
+
+// notObjectLike builds `(x === null || (typeof x !== "object" && typeof x
+// !== "function"))` — the values a constructor's return does not override.
+func notObjectLike(x ast.Expr) ast.Expr {
+	return ast.Log("||",
+		ast.Bin("===", x, &ast.Null{}),
+		ast.Log("&&",
+			ast.Bin("!==", &ast.Unary{Op: "typeof", X: x}, ast.Strlit("object")),
+			ast.Bin("!==", &ast.Unary{Op: "typeof", X: x}, ast.Strlit("function")),
+		),
+	)
+}
+
+// swapInStmt applies an expression replacement function shallowly through a
+// statement tree without entering nested functions.
+func swapInStmt(s ast.Stmt, replace func(ast.Expr) ast.Expr) {
+	var doExpr func(e ast.Expr) ast.Expr
+	doExpr = func(e ast.Expr) ast.Expr {
+		if e == nil {
+			return nil
+		}
+		if r := replace(e); r != e {
+			return r
+		}
+		switch n := e.(type) {
+		case *ast.Array:
+			for i := range n.Elems {
+				n.Elems[i] = doExpr(n.Elems[i])
+			}
+		case *ast.Object:
+			for i := range n.Props {
+				if _, isFn := n.Props[i].Value.(*ast.Func); !isFn {
+					n.Props[i].Value = doExpr(n.Props[i].Value)
+				}
+			}
+		case *ast.Unary:
+			n.X = doExpr(n.X)
+		case *ast.Update:
+			n.X = doExpr(n.X)
+		case *ast.Binary:
+			n.L = doExpr(n.L)
+			n.R = doExpr(n.R)
+		case *ast.Logical:
+			n.L = doExpr(n.L)
+			n.R = doExpr(n.R)
+		case *ast.Assign:
+			n.Target = doExpr(n.Target)
+			n.Value = doExpr(n.Value)
+		case *ast.Cond:
+			n.Test = doExpr(n.Test)
+			n.Cons = doExpr(n.Cons)
+			n.Alt = doExpr(n.Alt)
+		case *ast.Call:
+			n.Callee = doExpr(n.Callee)
+			for i := range n.Args {
+				n.Args[i] = doExpr(n.Args[i])
+			}
+		case *ast.New:
+			n.Callee = doExpr(n.Callee)
+			for i := range n.Args {
+				n.Args[i] = doExpr(n.Args[i])
+			}
+		case *ast.Member:
+			n.X = doExpr(n.X)
+			if n.Computed {
+				n.Index = doExpr(n.Index)
+			}
+		case *ast.Seq:
+			for i := range n.Exprs {
+				n.Exprs[i] = doExpr(n.Exprs[i])
+			}
+		}
+		return e
+	}
+	var doStmt func(st ast.Stmt)
+	doStmt = func(st ast.Stmt) {
+		switch n := st.(type) {
+		case *ast.VarDecl:
+			for i := range n.Decls {
+				if n.Decls[i].Init != nil {
+					n.Decls[i].Init = doExpr(n.Decls[i].Init)
+				}
+			}
+		case *ast.ExprStmt:
+			n.X = doExpr(n.X)
+		case *ast.Block:
+			for _, sub := range n.Body {
+				doStmt(sub)
+			}
+		case *ast.If:
+			n.Test = doExpr(n.Test)
+			doStmt(n.Cons)
+			if n.Alt != nil {
+				doStmt(n.Alt)
+			}
+		case *ast.While:
+			n.Test = doExpr(n.Test)
+			doStmt(n.Body)
+		case *ast.Return:
+			if n.Arg != nil {
+				n.Arg = doExpr(n.Arg)
+			}
+		case *ast.Labeled:
+			doStmt(n.Body)
+		case *ast.Throw:
+			n.Arg = doExpr(n.Arg)
+		case *ast.Try:
+			for _, sub := range n.Block.Body {
+				doStmt(sub)
+			}
+			if n.Catch != nil {
+				for _, sub := range n.Catch.Body {
+					doStmt(sub)
+				}
+			}
+			if n.Finally != nil {
+				for _, sub := range n.Finally.Body {
+					doStmt(sub)
+				}
+			}
+		}
+	}
+	doStmt(s)
+}

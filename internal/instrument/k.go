@@ -1,0 +1,619 @@
+package instrument
+
+import (
+	"repro/internal/ast"
+)
+
+// ---------------------------------------------------------------------------
+// Pre-passes over one function body
+// ---------------------------------------------------------------------------
+
+// declsToAssigns converts var declarations into plain assignments; all
+// locals are declared once in the prologue so restore-mode assignments can
+// precede the original declaration sites. Initializer-less declarations
+// disappear. top indicates the outermost call (returns a fresh slice).
+func (c *fctx) declsToAssigns(body []ast.Stmt, top bool) []ast.Stmt {
+	out := make([]ast.Stmt, 0, len(body))
+	for _, s := range body {
+		switch n := s.(type) {
+		case *ast.VarDecl:
+			for _, d := range n.Decls {
+				if d.Init == nil {
+					continue
+				}
+				out = append(out, ast.ExprOf(ast.SetId(d.Name, d.Init)))
+			}
+		case *ast.Block:
+			n.Body = c.declsToAssigns(n.Body, false)
+			out = append(out, n)
+		case *ast.If:
+			n.Cons = c.declsToAssignsNested(n.Cons)
+			if n.Alt != nil {
+				n.Alt = c.declsToAssignsNested(n.Alt)
+			}
+			out = append(out, n)
+		case *ast.While:
+			n.Body = c.declsToAssignsNested(n.Body)
+			out = append(out, n)
+		case *ast.Labeled:
+			n.Body = c.declsToAssignsNested(n.Body)
+			out = append(out, n)
+		case *ast.Try:
+			n.Block.Body = c.declsToAssigns(n.Block.Body, false)
+			if n.Catch != nil {
+				n.Catch.Body = c.declsToAssigns(n.Catch.Body, false)
+			}
+			if n.Finally != nil {
+				n.Finally.Body = c.declsToAssigns(n.Finally.Body, false)
+			}
+			out = append(out, n)
+		default:
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func (c *fctx) declsToAssignsNested(s ast.Stmt) ast.Stmt {
+	out := c.declsToAssigns([]ast.Stmt{s}, false)
+	if len(out) == 1 {
+		return out[0]
+	}
+	return ast.BlockOf(out...)
+}
+
+// rewriteFinallyReturns implements the completion-value preservation of
+// §3.1.1: inside every `try ... finally`, `return e` becomes
+//
+//	$finret = 1; $finv = e; return $finv;
+//
+// so that a continuation captured inside the finalizer can re-enter it by
+// re-returning the saved value. Tail calls inside such try blocks become
+// named calls (they were never real tail calls — the finalizer runs after).
+func (c *fctx) rewriteFinallyReturns(body []ast.Stmt) []ast.Stmt {
+	for i, s := range body {
+		body[i] = c.finStmt(s)
+	}
+	return body
+}
+
+func (c *fctx) finStmt(s ast.Stmt) ast.Stmt {
+	switch n := s.(type) {
+	case *ast.Block:
+		c.rewriteFinallyReturns(n.Body)
+	case *ast.If:
+		n.Cons = c.finStmt(n.Cons)
+		if n.Alt != nil {
+			n.Alt = c.finStmt(n.Alt)
+		}
+	case *ast.While:
+		n.Body = c.finStmt(n.Body)
+	case *ast.Labeled:
+		n.Body = c.finStmt(n.Body)
+	case *ast.Try:
+		if n.Finally != nil {
+			finret := c.fresh("$finret")
+			finv := c.fresh("$finv")
+			n.Block.Body = rewriteReturns(n.Block.Body, finret, finv)
+			if n.Catch != nil {
+				n.Catch.Body = rewriteReturns(n.Catch.Body, finret, finv)
+			}
+			c.fin[n] = &finInfo{finret: finret, finv: finv}
+		}
+		c.rewriteFinallyReturns(n.Block.Body)
+		if n.Catch != nil {
+			c.rewriteFinallyReturns(n.Catch.Body)
+		}
+		if n.Finally != nil {
+			c.rewriteFinallyReturns(n.Finally.Body)
+		}
+	}
+	return s
+}
+
+// finInfo records the completion-saving locals of a try/finally.
+type finInfo struct{ finret, finv string }
+
+// eagerShadowDepths allocates, for every try with a catch clause, a local
+// that records the shadow-stack depth at try entry; the catch handler trims
+// the shadow stack back to it, since an exception unwinds past the per-call
+// pops of the eager strategy.
+func (c *fctx) eagerShadowDepths(body []ast.Stmt) []ast.Stmt {
+	out := make([]ast.Stmt, 0, len(body))
+	for _, s := range body {
+		switch n := s.(type) {
+		case *ast.Try:
+			if n.Catch != nil {
+				sd := c.fresh("$sd")
+				c.shadowDepth[n] = sd
+				out = append(out, ast.ExprOf(ast.SetId(sd, ast.Dot(ast.Id(ShadowVar), "length"))))
+			}
+			n.Block.Body = c.eagerShadowDepths(n.Block.Body)
+			if n.Catch != nil {
+				n.Catch.Body = c.eagerShadowDepths(n.Catch.Body)
+			}
+			if n.Finally != nil {
+				n.Finally.Body = c.eagerShadowDepths(n.Finally.Body)
+			}
+			out = append(out, n)
+		case *ast.Block:
+			n.Body = c.eagerShadowDepths(n.Body)
+			out = append(out, n)
+		case *ast.If:
+			n.Cons = c.eagerShadowNested(n.Cons)
+			if n.Alt != nil {
+				n.Alt = c.eagerShadowNested(n.Alt)
+			}
+			out = append(out, n)
+		case *ast.While:
+			n.Body = c.eagerShadowNested(n.Body)
+			out = append(out, n)
+		case *ast.Labeled:
+			n.Body = c.eagerShadowNested(n.Body)
+			out = append(out, n)
+		default:
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func (c *fctx) eagerShadowNested(s ast.Stmt) ast.Stmt {
+	out := c.eagerShadowDepths([]ast.Stmt{s})
+	if len(out) == 1 {
+		return out[0]
+	}
+	return ast.BlockOf(out...)
+}
+
+// rewriteReturns rewrites returns (not inside nested functions or nested
+// try-finally blocks, which have their own rewriting) to save their value.
+func rewriteReturns(body []ast.Stmt, finret, finv string) []ast.Stmt {
+	out := make([]ast.Stmt, 0, len(body))
+	for _, s := range body {
+		out = append(out, rewriteReturnStmt(s, finret, finv)...)
+	}
+	return out
+}
+
+func rewriteReturnStmt(s ast.Stmt, finret, finv string) []ast.Stmt {
+	switch n := s.(type) {
+	case *ast.Return:
+		arg := n.Arg
+		if arg == nil {
+			arg = ast.Undef()
+		}
+		return []ast.Stmt{
+			ast.ExprOf(ast.SetId(finv, arg)),
+			ast.ExprOf(ast.SetId(finret, ast.Int(1))),
+			&ast.Return{P: n.P, Arg: ast.Id(finv)},
+		}
+	case *ast.Block:
+		n.Body = rewriteReturns(n.Body, finret, finv)
+		return []ast.Stmt{n}
+	case *ast.If:
+		n.Cons = wrapReturns(n.Cons, finret, finv)
+		if n.Alt != nil {
+			n.Alt = wrapReturns(n.Alt, finret, finv)
+		}
+		return []ast.Stmt{n}
+	case *ast.While:
+		n.Body = wrapReturns(n.Body, finret, finv)
+		return []ast.Stmt{n}
+	case *ast.Labeled:
+		n.Body = wrapReturns(n.Body, finret, finv)
+		return []ast.Stmt{n}
+	case *ast.Try:
+		// A nested try-finally rewrites its own returns later; a nested
+		// try-catch still propagates returns to our finalizer.
+		if n.Finally == nil {
+			n.Block.Body = rewriteReturns(n.Block.Body, finret, finv)
+			if n.Catch != nil {
+				n.Catch.Body = rewriteReturns(n.Catch.Body, finret, finv)
+			}
+		}
+		return []ast.Stmt{n}
+	default:
+		return []ast.Stmt{s}
+	}
+}
+
+func wrapReturns(s ast.Stmt, finret, finv string) ast.Stmt {
+	out := rewriteReturnStmt(s, finret, finv)
+	if len(out) == 1 {
+		return out[0]
+	}
+	return ast.BlockOf(out...)
+}
+
+// ---------------------------------------------------------------------------
+// Labeling
+// ---------------------------------------------------------------------------
+
+// labelSites assigns a unique label to every non-tail application site in
+// the body (step 3 of §3.1). Sites are ExprStmt assignments whose value is
+// a Call or New; labels are assigned in DFS statement order, so the label
+// set of any subtree is a contiguous range.
+func (c *fctx) labelSites(body []ast.Stmt) {
+	c.nextLabel = 1
+	var walk func(s ast.Stmt)
+	walk = func(s ast.Stmt) {
+		switch n := s.(type) {
+		case *ast.ExprStmt:
+			if a, ok := n.X.(*ast.Assign); ok {
+				switch v := a.Value.(type) {
+				case *ast.Call:
+					v.Label = c.nextLabel
+					c.nextLabel++
+				case *ast.New:
+					v.Label = c.nextLabel
+					c.nextLabel++
+				}
+			}
+		case *ast.Block:
+			for _, st := range n.Body {
+				walk(st)
+			}
+		case *ast.If:
+			walk(n.Cons)
+			if n.Alt != nil {
+				walk(n.Alt)
+			}
+		case *ast.While:
+			walk(n.Body)
+		case *ast.Labeled:
+			walk(n.Body)
+		case *ast.Try:
+			for _, st := range n.Block.Body {
+				walk(st)
+			}
+			if n.Catch != nil {
+				for _, st := range n.Catch.Body {
+					walk(st)
+				}
+			}
+			if n.Finally != nil {
+				for _, st := range n.Finally.Body {
+					walk(st)
+				}
+			}
+		}
+	}
+	for _, s := range body {
+		walk(s)
+	}
+}
+
+// labelRange returns the contiguous [lo, hi] label range contained in the
+// statements (0, 0 when none).
+func labelRange(stmts ...ast.Stmt) (int, int) {
+	lo, hi := 0, 0
+	var walk func(s ast.Stmt)
+	record := func(l int) {
+		if l == 0 {
+			return
+		}
+		if lo == 0 || l < lo {
+			lo = l
+		}
+		if l > hi {
+			hi = l
+		}
+	}
+	walk = func(s ast.Stmt) {
+		switch n := s.(type) {
+		case *ast.ExprStmt:
+			if a, ok := n.X.(*ast.Assign); ok {
+				switch v := a.Value.(type) {
+				case *ast.Call:
+					record(v.Label)
+				case *ast.New:
+					record(v.Label)
+				}
+			}
+		case *ast.Block:
+			for _, st := range n.Body {
+				walk(st)
+			}
+		case *ast.If:
+			walk(n.Cons)
+			if n.Alt != nil {
+				walk(n.Alt)
+			}
+		case *ast.While:
+			walk(n.Body)
+		case *ast.Labeled:
+			walk(n.Body)
+		case *ast.Try:
+			for _, st := range n.Block.Body {
+				walk(st)
+			}
+			if n.Catch != nil {
+				for _, st := range n.Catch.Body {
+					walk(st)
+				}
+			}
+			if n.Finally != nil {
+				for _, st := range n.Finally.Body {
+					walk(st)
+				}
+			}
+		}
+	}
+	for _, s := range stmts {
+		if s != nil {
+			walk(s)
+		}
+	}
+	return lo, hi
+}
+
+// labelTest builds the ℓ ∈ s test of Figure 4a for a contiguous range.
+func labelTest(lo, hi int) ast.Expr {
+	if lo == 0 {
+		return ast.Boollit(false)
+	}
+	if lo == hi {
+		return ast.Bin("===", ast.Id("$lbl"), ast.Int(lo))
+	}
+	return ast.Log("&&",
+		ast.Bin(">=", ast.Id("$lbl"), ast.Int(lo)),
+		ast.Bin("<=", ast.Id("$lbl"), ast.Int(hi)),
+	)
+}
+
+// ---------------------------------------------------------------------------
+// The K transform (Figure 4a)
+// ---------------------------------------------------------------------------
+
+// kStmts rewrites a statement list. Maximal runs of label-free statements
+// are grouped under a single normal-mode guard — semantically identical to
+// the paper's per-statement `if (normal)` wrapping, with less interpreter
+// overhead.
+func (c *fctx) kStmts(body []ast.Stmt) []ast.Stmt {
+	var out []ast.Stmt
+	var run []ast.Stmt
+	flush := func() {
+		if len(run) == 0 {
+			return
+		}
+		out = append(out, ast.IfThen(isMode(ModeNormal), run...))
+		run = nil
+	}
+	for _, s := range body {
+		if c.opts.PerStatementGuards {
+			flush()
+		}
+		if site, ok := callSite(s); ok {
+			flush()
+			out = append(out, c.site(site))
+			continue
+		}
+		if lo, _ := labelRange(s); lo != 0 {
+			flush()
+			out = append(out, c.kCompound(s))
+			continue
+		}
+		if fd, ok := s.(*ast.FuncDecl); ok {
+			// Hoisted declarations execute before the prologue; keep them
+			// outside guards so the binding exists in every mode.
+			flush()
+			out = append(out, fd)
+			continue
+		}
+		run = append(run, s)
+	}
+	flush()
+	return out
+}
+
+// callSite recognizes a labeled application statement.
+func callSite(s ast.Stmt) (*ast.ExprStmt, bool) {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return nil, false
+	}
+	a, ok := es.X.(*ast.Assign)
+	if !ok {
+		return nil, false
+	}
+	switch v := a.Value.(type) {
+	case *ast.Call:
+		return es, v.Label != 0
+	case *ast.New:
+		return es, v.Label != 0
+	}
+	return nil, false
+}
+
+// kCompound rewrites a label-containing compound statement.
+func (c *fctx) kCompound(s ast.Stmt) ast.Stmt {
+	switch n := s.(type) {
+	case *ast.Block:
+		return &ast.Block{P: n.P, Body: c.kStmts(n.Body)}
+	case *ast.Labeled:
+		return &ast.Labeled{P: n.P, Label: n.Label, Body: c.kCompoundOrSite(n.Body)}
+	case *ast.If:
+		consLo, consHi := labelRange(n.Cons)
+		test := ast.Log("&&", isMode(ModeNormal), n.Test)
+		var fullTest ast.Expr = test
+		if consLo != 0 {
+			fullTest = ast.Log("||", test, labelTest(consLo, consHi))
+		}
+		cons := c.kCompoundOrSite(n.Cons)
+		if n.Alt == nil {
+			return &ast.If{P: n.P, Test: fullTest, Cons: cons}
+		}
+		altLo, altHi := labelRange(n.Alt)
+		var altGuard ast.Expr = isMode(ModeNormal)
+		if altLo != 0 {
+			altGuard = ast.Log("||", altGuard, labelTest(altLo, altHi))
+		}
+		alt := ast.IfThen(altGuard, c.kCompoundOrSite(n.Alt))
+		return &ast.If{P: n.P, Test: fullTest, Cons: cons, Alt: alt}
+	case *ast.While:
+		lo, hi := labelRange(n.Body)
+		test := ast.Log("||",
+			ast.Log("&&", isMode(ModeNormal), n.Test),
+			labelTest(lo, hi),
+		)
+		return &ast.While{P: n.P, Test: test, Body: c.kCompoundOrSite(n.Body)}
+	case *ast.Try:
+		return c.kTry(n)
+	default:
+		// A label-containing statement can only be one of the forms above.
+		panic("instrument: unexpected label-containing statement")
+	}
+}
+
+// kCompoundOrSite dispatches a nested statement that may itself be a call
+// site, a label-containing compound, or plain code.
+func (c *fctx) kCompoundOrSite(s ast.Stmt) ast.Stmt {
+	if site, ok := callSite(s); ok {
+		return c.site(site)
+	}
+	if lo, _ := labelRange(s); lo != 0 {
+		return c.kCompound(s)
+	}
+	return ast.IfThen(isMode(ModeNormal), s)
+}
+
+// kTry implements the try/catch/finally re-entry machinery of §3.1.1.
+func (c *fctx) kTry(n *ast.Try) ast.Stmt {
+	blockLo, blockHi := labelRange(stmtsOf(n.Block)...)
+	var catchLo, catchHi, finLo, finHi int
+	if n.Catch != nil {
+		catchLo, catchHi = labelRange(stmtsOf(n.Catch)...)
+	}
+	if n.Finally != nil {
+		finLo, finHi = labelRange(stmtsOf(n.Finally)...)
+	}
+
+	var tryBody []ast.Stmt
+
+	// Re-enter the catch clause by re-throwing the saved exception.
+	if catchLo != 0 {
+		tryBody = append(tryBody, ast.IfThen(
+			ast.Log("&&", isMode(ModeRestore), labelTest(catchLo, catchHi)),
+			&ast.Throw{Arg: ast.Id(n.CatchParam)},
+		))
+	}
+	// Re-enter the finalizer: when the try completed with a return, re-raise
+	// that completion; otherwise fall through and let the finalizer run.
+	if finLo != 0 {
+		fi := c.fin[n]
+		if fi != nil {
+			tryBody = append(tryBody, ast.IfThen(
+				ast.Log("&&",
+					ast.Log("&&", isMode(ModeRestore), labelTest(finLo, finHi)),
+					ast.Bin("===", ast.Id(fi.finret), ast.Int(1)),
+				),
+				ast.Ret(ast.Id(fi.finv)),
+			))
+		}
+	}
+	guard := isMode(ModeNormal)
+	if blockLo != 0 {
+		guard = ast.Log("||", guard, ast.Log("&&", isMode(ModeRestore), labelTest(blockLo, blockHi)))
+	}
+	tryBody = append(tryBody, ast.IfThen(guard, c.kStmts(n.Block.Body)...))
+
+	out := &ast.Try{P: n.P, Block: ast.BlockOf(tryBody...)}
+
+	if n.Catch != nil {
+		ct := "$ct"
+		catchBody := []ast.Stmt{
+			ast.IfThen(ast.CallId(IsSigFn, ast.Id(ct)), &ast.Throw{Arg: ast.Id(ct)}),
+		}
+		if c.opts.Strategy == Eager {
+			if sd := c.shadowDepth[n]; sd != "" {
+				catchBody = append(catchBody, ast.ExprOf(ast.SetTo(
+					ast.Dot(ast.Id(ShadowVar), "length"), ast.Id(sd))))
+			}
+		}
+		catchBody = append(catchBody, ast.ExprOf(ast.SetId(n.CatchParam, ast.Id(ct))))
+		catchBody = append(catchBody, c.kStmts(n.Catch.Body)...)
+		out.CatchParam = ct
+		out.Catch = ast.BlockOf(catchBody...)
+	}
+	if n.Finally != nil {
+		out.Finally = ast.BlockOf(c.kStmts(n.Finally.Body)...)
+	}
+	return out
+}
+
+func stmtsOf(b *ast.Block) []ast.Stmt {
+	if b == nil {
+		return nil
+	}
+	return b.Body
+}
+
+// ---------------------------------------------------------------------------
+// The A transform (Figure 4 b/c/d)
+// ---------------------------------------------------------------------------
+
+// site rewrites one labeled application statement per the selected
+// strategy.
+func (c *fctx) site(es *ast.ExprStmt) ast.Stmt {
+	a := es.X.(*ast.Assign)
+	var label int
+	switch v := a.Value.(type) {
+	case *ast.Call:
+		label = v.Label
+	case *ast.New:
+		label = v.Label
+	}
+
+	guard := ast.Log("||", isMode(ModeNormal), ast.Bin("===", ast.Id("$lbl"), ast.Int(label)))
+
+	// target = $mode === "normal" ? <app> : $k.reenter();
+	apply := ast.ExprOf(ast.SetTo(a.Target, &ast.Cond{
+		Test: isMode(ModeNormal),
+		Cons: a.Value,
+		Alt:  ast.CallN(ast.Dot(ast.Id("$k"), "reenter")),
+	}))
+	clearLbl := ast.ExprOf(ast.SetId("$lbl", ast.Int(-1)))
+
+	switch c.opts.Strategy {
+	case Checked:
+		return ast.IfThen(guard,
+			apply,
+			ast.IfThen(isMode(ModeCapture),
+				c.pushFrame(StackVar, label),
+				&ast.Return{},
+			),
+			clearLbl,
+		)
+	case Exceptional:
+		handler := ast.BlockOf(
+			ast.IfThen(ast.CallId(IsCapFn, ast.Id("$e")), c.pushFrame(StackVar, label)),
+			&ast.Throw{Arg: ast.Id("$e")},
+		)
+		try := &ast.Try{
+			Block:      ast.BlockOf(apply, clearLbl),
+			CatchParam: "$e",
+			Catch:      handler,
+		}
+		return ast.IfThen(guard, try)
+	case Eager:
+		return ast.IfThen(guard,
+			c.pushFrame(ShadowVar, label),
+			apply,
+			clearLbl,
+			ast.ExprOf(ast.CallN(ast.Dot(ast.Id(ShadowVar), "pop"))),
+		)
+	}
+	panic("instrument: unknown strategy")
+}
+
+// pushFrame emits `<stack>.push({ label: j, locals: $locals(), reenter:
+// $reenter })` — the reified continuation frame of Figure 3 line 17.
+func (c *fctx) pushFrame(stack string, label int) ast.Stmt {
+	frame := &ast.Object{Props: []ast.Property{
+		{Kind: ast.PropInit, Key: "label", Value: ast.Int(label)},
+		{Kind: ast.PropInit, Key: "locals", Value: ast.CallId("$locals")},
+		{Kind: ast.PropInit, Key: "reenter", Value: ast.Id("$reenter")},
+	}}
+	return ast.ExprOf(ast.CallN(ast.Dot(ast.Id(stack), "push"), frame))
+}

@@ -1,0 +1,626 @@
+package interp
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/printer"
+)
+
+// setupGlobals builds the prototypes and global bindings of a fresh realm.
+// The library is the slice of ECMAScript that compiler-generated code and
+// the paper's benchmarks actually touch.
+func (in *Interp) setupGlobals() {
+	in.objectProto = &Object{Class: "Object"}
+	in.functionProto = NewObject(in.objectProto)
+	in.functionProto.Class = "Function"
+	in.arrayProto = NewObject(in.objectProto)
+	in.stringProto = NewObject(in.objectProto)
+	in.numberProto = NewObject(in.objectProto)
+	in.booleanProto = NewObject(in.objectProto)
+	in.errorProto = NewObject(in.objectProto)
+
+	g := in.Global
+	g.Define("undefined", Undefined{})
+	g.Define("NaN", math.NaN())
+	g.Define("Infinity", math.Inf(1))
+
+	in.setupObjectProto()
+	in.setupFunctionProto()
+	in.setupArray()
+	in.setupString()
+	in.setupNumberBoolean()
+	in.setupError()
+	in.setupMath()
+	in.setupConsoleAndTimers()
+	in.setupTopFunctions()
+}
+
+func (in *Interp) native(name string, fn NativeFunc) *Object { return in.NewNative(name, fn) }
+
+func (in *Interp) setupObjectProto() {
+	op := in.objectProto
+	op.SetHidden("hasOwnProperty", in.native("hasOwnProperty", func(in *Interp, this Value, args []Value) (Value, error) {
+		o, ok := this.(*Object)
+		if !ok || len(args) == 0 {
+			return false, nil
+		}
+		key, err := in.ToStringValue(args[0])
+		if err != nil {
+			return nil, err
+		}
+		if (o.Class == "Array" || o.Class == "Arguments") && len(o.Elems) > 0 {
+			if i, isIdx := arrayIndex(key); isIdx && i < len(o.Elems) {
+				return true, nil
+			}
+		}
+		return o.Own(key) != nil, nil
+	}))
+	op.SetHidden("toString", in.native("toString", func(in *Interp, this Value, args []Value) (Value, error) {
+		if o, ok := this.(*Object); ok {
+			return "[object " + o.Class + "]", nil
+		}
+		return "[object Object]", nil
+	}))
+
+	objectCtor := in.native("Object", func(in *Interp, this Value, args []Value) (Value, error) {
+		if len(args) > 0 {
+			if o, ok := args[0].(*Object); ok {
+				return o, nil
+			}
+		}
+		in.charge(in.Engine.ObjectCreateCost)
+		return in.NewPlainObject(), nil
+	})
+	objectCtor.SetHidden("prototype", in.objectProto)
+	objectCtor.SetHidden("create", in.native("create", func(in *Interp, this Value, args []Value) (Value, error) {
+		in.charge(in.Engine.ObjectCreateCost)
+		var proto *Object
+		if len(args) > 0 {
+			if p, ok := args[0].(*Object); ok {
+				proto = p
+			}
+		}
+		return NewObject(proto), nil
+	}))
+	objectCtor.SetHidden("keys", in.native("keys", func(in *Interp, this Value, args []Value) (Value, error) {
+		if len(args) == 0 {
+			return in.NewArray(nil), nil
+		}
+		o, ok := args[0].(*Object)
+		if !ok {
+			return nil, in.Throw("TypeError", "Object.keys called on non-object")
+		}
+		keys := o.OwnKeys()
+		elems := make([]Value, len(keys))
+		for i, k := range keys {
+			elems[i] = k
+		}
+		return in.NewArray(elems), nil
+	}))
+	objectCtor.SetHidden("getPrototypeOf", in.native("getPrototypeOf", func(in *Interp, this Value, args []Value) (Value, error) {
+		if len(args) > 0 {
+			if o, ok := args[0].(*Object); ok {
+				if o.Proto == nil {
+					return Null{}, nil
+				}
+				return o.Proto, nil
+			}
+		}
+		return Null{}, nil
+	}))
+	objectCtor.SetHidden("defineProperty", in.native("defineProperty", func(in *Interp, this Value, args []Value) (Value, error) {
+		if len(args) < 3 {
+			return nil, in.Throw("TypeError", "Object.defineProperty requires 3 arguments")
+		}
+		o, ok := args[0].(*Object)
+		if !ok {
+			return nil, in.Throw("TypeError", "Object.defineProperty called on non-object")
+		}
+		key, err := in.ToStringValue(args[1])
+		if err != nil {
+			return nil, err
+		}
+		desc, ok := args[2].(*Object)
+		if !ok {
+			return nil, in.Throw("TypeError", "property descriptor must be an object")
+		}
+		getV, _ := in.GetMember(desc, "get")
+		setV, _ := in.GetMember(desc, "set")
+		getter, _ := getV.(*Object)
+		setter, _ := setV.(*Object)
+		if getter != nil || setter != nil {
+			enumV, _ := in.GetMember(desc, "enumerable")
+			o.SetAccessor(key, getter, setter, ToBoolean(enumV))
+			return o, nil
+		}
+		valV, _ := in.GetMember(desc, "value")
+		o.SetOwn(key, valV)
+		return o, nil
+	}))
+	objectCtor.SetHidden("getOwnPropertyDescriptor", in.native("getOwnPropertyDescriptor", func(in *Interp, this Value, args []Value) (Value, error) {
+		if len(args) < 2 {
+			return Undefined{}, nil
+		}
+		o, ok := args[0].(*Object)
+		if !ok {
+			return Undefined{}, nil
+		}
+		key, err := in.ToStringValue(args[1])
+		if err != nil {
+			return nil, err
+		}
+		slot := o.Own(key)
+		if slot == nil {
+			return Undefined{}, nil
+		}
+		d := in.NewPlainObject()
+		if slot.Getter != nil || slot.Setter != nil {
+			if slot.Getter != nil {
+				d.SetOwn("get", slot.Getter)
+			}
+			if slot.Setter != nil {
+				d.SetOwn("set", slot.Setter)
+			}
+		} else {
+			d.SetOwn("value", slot.Value)
+		}
+		d.SetOwn("enumerable", slot.Enumerable)
+		return d, nil
+	}))
+	in.Global.Define("Object", objectCtor)
+}
+
+func (in *Interp) setupFunctionProto() {
+	fp := in.functionProto
+	fp.SetHidden("call", in.native("call", func(in *Interp, this Value, args []Value) (Value, error) {
+		var callThis Value = Undefined{}
+		var rest []Value
+		if len(args) > 0 {
+			callThis = args[0]
+			rest = args[1:]
+		}
+		return in.Call(this, callThis, rest, Undefined{})
+	}))
+	fp.SetHidden("apply", in.native("apply", func(in *Interp, this Value, args []Value) (Value, error) {
+		var callThis Value = Undefined{}
+		var rest []Value
+		if len(args) > 0 {
+			callThis = args[0]
+		}
+		if len(args) > 1 {
+			switch a := args[1].(type) {
+			case *Object:
+				rest = append([]Value(nil), a.Elems...)
+			case Undefined, Null:
+			default:
+				return nil, in.Throw("TypeError", "second argument to apply must be an array")
+			}
+		}
+		return in.Call(this, callThis, rest, Undefined{})
+	}))
+	fp.SetHidden("bind", in.native("bind", func(in *Interp, this Value, args []Value) (Value, error) {
+		target := this
+		var boundThis Value = Undefined{}
+		var bound []Value
+		if len(args) > 0 {
+			boundThis = args[0]
+			bound = append([]Value(nil), args[1:]...)
+		}
+		return in.native("bound", func(in *Interp, _ Value, callArgs []Value) (Value, error) {
+			all := append(append([]Value(nil), bound...), callArgs...)
+			return in.Call(target, boundThis, all, Undefined{})
+		}), nil
+	}))
+}
+
+func (in *Interp) setupError() {
+	ep := in.errorProto
+	ep.SetHidden("name", "Error")
+	ep.SetHidden("message", "")
+	ep.SetHidden("toString", in.native("toString", func(in *Interp, this Value, args []Value) (Value, error) {
+		o, ok := this.(*Object)
+		if !ok {
+			return "Error", nil
+		}
+		nameV, err := in.objGet(o, o, "name")
+		if err != nil {
+			return nil, err
+		}
+		msgV, err := in.objGet(o, o, "message")
+		if err != nil {
+			return nil, err
+		}
+		name, _ := in.ToStringValue(nameV)
+		msg, _ := in.ToStringValue(msgV)
+		if msg == "" {
+			return name, nil
+		}
+		return name + ": " + msg, nil
+	}))
+	mkErrCtor := func(name string) *Object {
+		ctor := in.native(name, func(in *Interp, this Value, args []Value) (Value, error) {
+			msg := ""
+			if len(args) > 0 {
+				if _, isU := args[0].(Undefined); !isU {
+					s, err := in.ToStringValue(args[0])
+					if err != nil {
+						return nil, err
+					}
+					msg = s
+				}
+			}
+			return in.NewError(name, msg), nil
+		})
+		ctor.SetHidden("prototype", in.errorProto)
+		in.Global.Define(name, ctor)
+		return ctor
+	}
+	mkErrCtor("Error")
+	mkErrCtor("TypeError")
+	mkErrCtor("RangeError")
+	mkErrCtor("ReferenceError")
+	mkErrCtor("SyntaxError")
+}
+
+func (in *Interp) setupMath() {
+	m := in.NewPlainObject()
+	one := func(name string, f func(float64) float64) {
+		m.SetHidden(name, in.native(name, func(in *Interp, this Value, args []Value) (Value, error) {
+			var x float64 = math.NaN()
+			if len(args) > 0 {
+				v, err := in.ToNumber(args[0])
+				if err != nil {
+					return nil, err
+				}
+				x = v
+			}
+			return f(x), nil
+		}))
+	}
+	one("abs", math.Abs)
+	one("floor", math.Floor)
+	one("ceil", math.Ceil)
+	one("sqrt", math.Sqrt)
+	one("sin", math.Sin)
+	one("cos", math.Cos)
+	one("tan", math.Tan)
+	one("atan", math.Atan)
+	one("asin", math.Asin)
+	one("acos", math.Acos)
+	one("exp", math.Exp)
+	one("log", math.Log)
+	one("round", func(x float64) float64 { return math.Floor(x + 0.5) })
+	one("trunc", math.Trunc)
+	m.SetHidden("pow", in.native("pow", func(in *Interp, this Value, args []Value) (Value, error) {
+		x, y := math.NaN(), math.NaN()
+		if len(args) > 0 {
+			v, err := in.ToNumber(args[0])
+			if err != nil {
+				return nil, err
+			}
+			x = v
+		}
+		if len(args) > 1 {
+			v, err := in.ToNumber(args[1])
+			if err != nil {
+				return nil, err
+			}
+			y = v
+		}
+		return math.Pow(x, y), nil
+	}))
+	m.SetHidden("atan2", in.native("atan2", func(in *Interp, this Value, args []Value) (Value, error) {
+		if len(args) < 2 {
+			return math.NaN(), nil
+		}
+		y, err := in.ToNumber(args[0])
+		if err != nil {
+			return nil, err
+		}
+		x, err := in.ToNumber(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return math.Atan2(y, x), nil
+	}))
+	reduce := func(name string, init float64, better func(a, b float64) bool) {
+		m.SetHidden(name, in.native(name, func(in *Interp, this Value, args []Value) (Value, error) {
+			best := init
+			for _, a := range args {
+				v, err := in.ToNumber(a)
+				if err != nil {
+					return nil, err
+				}
+				if math.IsNaN(v) {
+					return math.NaN(), nil
+				}
+				if better(v, best) {
+					best = v
+				}
+			}
+			return best, nil
+		}))
+	}
+	reduce("min", math.Inf(1), func(a, b float64) bool { return a < b })
+	reduce("max", math.Inf(-1), func(a, b float64) bool { return a > b })
+	m.SetHidden("random", in.native("random", func(in *Interp, this Value, args []Value) (Value, error) {
+		return in.Random(), nil
+	}))
+	m.SetHidden("PI", math.Pi)
+	m.SetHidden("E", math.E)
+	m.SetHidden("LN2", math.Ln2)
+	m.SetHidden("SQRT2", math.Sqrt2)
+	in.Global.Define("Math", m)
+}
+
+func (in *Interp) setupConsoleAndTimers() {
+	console := in.NewPlainObject()
+	logFn := in.native("log", func(in *Interp, this Value, args []Value) (Value, error) {
+		parts := make([]string, len(args))
+		for i, a := range args {
+			parts[i] = in.Display(a)
+		}
+		in.WriteOut(strings.Join(parts, " ") + "\n")
+		return Undefined{}, nil
+	})
+	console.SetHidden("log", logFn)
+	console.SetHidden("error", logFn)
+	console.SetHidden("warn", logFn)
+	in.Global.Define("console", console)
+
+	date := in.native("Date", func(in *Interp, this Value, args []Value) (Value, error) {
+		o := in.NewPlainObject()
+		o.Class = "Date"
+		t := in.Clock.Now()
+		o.SetHidden("getTime", in.native("getTime", func(in *Interp, this Value, args []Value) (Value, error) {
+			return t, nil
+		}))
+		return o, nil
+	})
+	date.SetHidden("now", in.native("now", func(in *Interp, this Value, args []Value) (Value, error) {
+		return in.Clock.Now(), nil
+	}))
+	in.Global.Define("Date", date)
+
+	in.Global.Define("setTimeout", in.native("setTimeout", func(in *Interp, this Value, args []Value) (Value, error) {
+		if in.Loop == nil {
+			return nil, in.Throw("Error", "setTimeout requires an event loop")
+		}
+		if len(args) == 0 {
+			return nil, in.Throw("TypeError", "setTimeout requires a callback")
+		}
+		fn := args[0]
+		delay := 0.0
+		if len(args) > 1 {
+			d, err := in.ToNumber(args[1])
+			if err != nil {
+				return nil, err
+			}
+			delay = d
+		}
+		in.Loop.Post(func() {
+			if _, err := in.Call(fn, Undefined{}, nil, Undefined{}); err != nil {
+				in.reportUncaught(err)
+			}
+		}, delay)
+		return 0.0, nil
+	}))
+}
+
+func (in *Interp) reportUncaught(err error) {
+	if in.Uncaught != nil {
+		in.Uncaught(err)
+		return
+	}
+	panic(err)
+}
+
+func (in *Interp) setupTopFunctions() {
+	g := in.Global
+	g.Define("parseInt", in.native("parseInt", func(in *Interp, this Value, args []Value) (Value, error) {
+		if len(args) == 0 {
+			return math.NaN(), nil
+		}
+		s, err := in.ToStringValue(args[0])
+		if err != nil {
+			return nil, err
+		}
+		radix := 10
+		if len(args) > 1 {
+			r, err := in.ToNumber(args[1])
+			if err != nil {
+				return nil, err
+			}
+			if r != 0 {
+				radix = int(r)
+			}
+		}
+		s = strings.TrimSpace(s)
+		neg := false
+		if strings.HasPrefix(s, "-") {
+			neg = true
+			s = s[1:]
+		} else if strings.HasPrefix(s, "+") {
+			s = s[1:]
+		}
+		if radix == 16 || radix == 10 {
+			if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+				s = s[2:]
+				radix = 16
+			}
+		}
+		end := 0
+		for end < len(s) {
+			c := s[end]
+			var d int
+			switch {
+			case c >= '0' && c <= '9':
+				d = int(c - '0')
+			case c >= 'a' && c <= 'z':
+				d = int(c-'a') + 10
+			case c >= 'A' && c <= 'Z':
+				d = int(c-'A') + 10
+			default:
+				d = 99
+			}
+			if d >= radix {
+				break
+			}
+			end++
+		}
+		if end == 0 {
+			return math.NaN(), nil
+		}
+		u, perr := strconv.ParseUint(s[:end], radix, 64)
+		if perr != nil {
+			return math.NaN(), nil
+		}
+		v := float64(u)
+		if neg {
+			v = -v
+		}
+		return v, nil
+	}))
+	g.Define("parseFloat", in.native("parseFloat", func(in *Interp, this Value, args []Value) (Value, error) {
+		if len(args) == 0 {
+			return math.NaN(), nil
+		}
+		s, err := in.ToStringValue(args[0])
+		if err != nil {
+			return nil, err
+		}
+		s = strings.TrimSpace(s)
+		end := 0
+		seenDot, seenExp := false, false
+		for end < len(s) {
+			c := s[end]
+			if c >= '0' && c <= '9' {
+				end++
+				continue
+			}
+			if (c == '+' || c == '-') && (end == 0 || s[end-1] == 'e' || s[end-1] == 'E') {
+				end++
+				continue
+			}
+			if c == '.' && !seenDot && !seenExp {
+				seenDot = true
+				end++
+				continue
+			}
+			if (c == 'e' || c == 'E') && !seenExp && end > 0 {
+				seenExp = true
+				end++
+				continue
+			}
+			break
+		}
+		f, perr := strconv.ParseFloat(strings.TrimRight(s[:end], "eE+-"), 64)
+		if perr != nil {
+			return math.NaN(), nil
+		}
+		return f, nil
+	}))
+	g.Define("isNaN", in.native("isNaN", func(in *Interp, this Value, args []Value) (Value, error) {
+		if len(args) == 0 {
+			return true, nil
+		}
+		f, err := in.ToNumber(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return math.IsNaN(f), nil
+	}))
+	g.Define("isFinite", in.native("isFinite", func(in *Interp, this Value, args []Value) (Value, error) {
+		if len(args) == 0 {
+			return false, nil
+		}
+		f, err := in.ToNumber(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return !math.IsNaN(f) && !math.IsInf(f, 0), nil
+	}))
+	g.Define("eval", in.native("eval", func(in *Interp, this Value, args []Value) (Value, error) {
+		if len(args) == 0 {
+			return Undefined{}, nil
+		}
+		src, ok := args[0].(string)
+		if !ok {
+			return args[0], nil // eval of a non-string returns it unchanged
+		}
+		if in.EvalHook == nil {
+			return nil, in.Throw("Error", "eval is not enabled in this configuration")
+		}
+		body, err := in.EvalHook(src)
+		if err != nil {
+			return nil, in.Throw("SyntaxError", "eval: %v", err)
+		}
+		if rerr := in.RunStmts(body); rerr != nil {
+			return nil, rerr
+		}
+		return Undefined{}, nil
+	}))
+}
+
+// Display renders a value for console.log without invoking user code, so
+// that instrumented and raw runs print identically.
+func (in *Interp) Display(v Value) string {
+	return in.displayDepth(v, 0)
+}
+
+func (in *Interp) displayDepth(v Value, depth int) string {
+	switch x := v.(type) {
+	case Undefined:
+		return "undefined"
+	case Null:
+		return "null"
+	case bool:
+		if x {
+			return "true"
+		}
+		return "false"
+	case float64:
+		return printer.FormatNumber(x)
+	case string:
+		return x
+	case *Object:
+		if depth > 3 {
+			return "..."
+		}
+		switch {
+		case x.IsCallable():
+			name := x.NativeName
+			if x.Fn != nil {
+				name = x.Fn.Name
+			}
+			if name == "" {
+				name = "anonymous"
+			}
+			return "[function " + name + "]"
+		case x.Class == "Array" || x.Class == "Arguments":
+			parts := make([]string, len(x.Elems))
+			for i, el := range x.Elems {
+				parts[i] = in.displayDepth(el, depth+1)
+			}
+			return strings.Join(parts, ",")
+		case x.Class == "Error":
+			name := "Error"
+			msg := ""
+			if s := x.Own("name"); s != nil {
+				name, _ = s.Value.(string)
+			}
+			if s := x.Own("message"); s != nil {
+				msg, _ = s.Value.(string)
+			}
+			if msg == "" {
+				return name
+			}
+			return name + ": " + msg
+		default:
+			return "[object " + x.Class + "]"
+		}
+	}
+	return "?"
+}

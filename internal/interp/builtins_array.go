@@ -1,0 +1,422 @@
+package interp
+
+import (
+	"sort"
+	"strings"
+)
+
+// setupArray installs the Array constructor and Array.prototype. Methods
+// that accept callbacks (sort, forEach, map, filter, reduce) call back into
+// JavaScript through a native frame; programs compiled with Stopify must not
+// capture continuations inside such callbacks (compiler-generated code in
+// practice defines its own higher-order helpers in JS, which is what the
+// benchmark programs do — see DESIGN.md §4.1).
+func (in *Interp) setupArray() {
+	arrayCtor := in.native("Array", func(in *Interp, this Value, args []Value) (Value, error) {
+		in.charge(in.Engine.ObjectCreateCost)
+		if _, isNew := this.(constructSentinel); isNew && len(args) == 1 {
+			if n, ok := args[0].(float64); ok {
+				size := int(n)
+				if size < 0 || float64(size) != n {
+					return nil, in.Throw("RangeError", "invalid array length")
+				}
+				elems := make([]Value, size)
+				for i := range elems {
+					elems[i] = Undefined{}
+				}
+				return in.NewArray(elems), nil
+			}
+		}
+		return in.NewArray(append([]Value(nil), args...)), nil
+	})
+	arrayCtor.SetHidden("prototype", in.arrayProto)
+	arrayCtor.SetHidden("isArray", in.native("isArray", func(in *Interp, this Value, args []Value) (Value, error) {
+		if len(args) == 0 {
+			return false, nil
+		}
+		o, ok := args[0].(*Object)
+		return ok && o.Class == "Array", nil
+	}))
+	in.Global.Define("Array", arrayCtor)
+
+	ap := in.arrayProto
+	method := func(name string, fn NativeFunc) { ap.SetHidden(name, in.native(name, fn)) }
+
+	selfArray := func(in *Interp, this Value) (*Object, error) {
+		o, ok := this.(*Object)
+		if !ok || (o.Class != "Array" && o.Class != "Arguments") {
+			return nil, in.Throw("TypeError", "receiver is not an array")
+		}
+		return o, nil
+	}
+
+	method("push", func(in *Interp, this Value, args []Value) (Value, error) {
+		a, err := selfArray(in, this)
+		if err != nil {
+			return nil, err
+		}
+		a.Elems = append(a.Elems, args...)
+		return float64(len(a.Elems)), nil
+	})
+	method("pop", func(in *Interp, this Value, args []Value) (Value, error) {
+		a, err := selfArray(in, this)
+		if err != nil {
+			return nil, err
+		}
+		if len(a.Elems) == 0 {
+			return Undefined{}, nil
+		}
+		v := a.Elems[len(a.Elems)-1]
+		a.Elems = a.Elems[:len(a.Elems)-1]
+		return v, nil
+	})
+	method("shift", func(in *Interp, this Value, args []Value) (Value, error) {
+		a, err := selfArray(in, this)
+		if err != nil {
+			return nil, err
+		}
+		if len(a.Elems) == 0 {
+			return Undefined{}, nil
+		}
+		v := a.Elems[0]
+		a.Elems = append([]Value(nil), a.Elems[1:]...)
+		return v, nil
+	})
+	method("unshift", func(in *Interp, this Value, args []Value) (Value, error) {
+		a, err := selfArray(in, this)
+		if err != nil {
+			return nil, err
+		}
+		a.Elems = append(append([]Value(nil), args...), a.Elems...)
+		return float64(len(a.Elems)), nil
+	})
+	method("slice", func(in *Interp, this Value, args []Value) (Value, error) {
+		a, err := selfArray(in, this)
+		if err != nil {
+			return nil, err
+		}
+		start, end, err := in.sliceBounds(args, len(a.Elems))
+		if err != nil {
+			return nil, err
+		}
+		return in.NewArray(append([]Value(nil), a.Elems[start:end]...)), nil
+	})
+	method("splice", func(in *Interp, this Value, args []Value) (Value, error) {
+		a, err := selfArray(in, this)
+		if err != nil {
+			return nil, err
+		}
+		n := len(a.Elems)
+		start := 0
+		if len(args) > 0 {
+			s, err := in.ToNumber(args[0])
+			if err != nil {
+				return nil, err
+			}
+			start = clampIndex(int(s), n)
+		}
+		count := n - start
+		if len(args) > 1 {
+			c, err := in.ToNumber(args[1])
+			if err != nil {
+				return nil, err
+			}
+			count = int(c)
+			if count < 0 {
+				count = 0
+			}
+			if count > n-start {
+				count = n - start
+			}
+		}
+		removed := append([]Value(nil), a.Elems[start:start+count]...)
+		var inserted []Value
+		if len(args) > 2 {
+			inserted = args[2:]
+		}
+		rest := append([]Value(nil), a.Elems[start+count:]...)
+		a.Elems = append(append(a.Elems[:start], inserted...), rest...)
+		return in.NewArray(removed), nil
+	})
+	method("concat", func(in *Interp, this Value, args []Value) (Value, error) {
+		a, err := selfArray(in, this)
+		if err != nil {
+			return nil, err
+		}
+		out := append([]Value(nil), a.Elems...)
+		for _, arg := range args {
+			if o, ok := arg.(*Object); ok && o.Class == "Array" {
+				out = append(out, o.Elems...)
+			} else {
+				out = append(out, arg)
+			}
+		}
+		return in.NewArray(out), nil
+	})
+	method("join", func(in *Interp, this Value, args []Value) (Value, error) {
+		a, err := selfArray(in, this)
+		if err != nil {
+			return nil, err
+		}
+		sep := ","
+		if len(args) > 0 {
+			if _, isU := args[0].(Undefined); !isU {
+				s, err := in.ToStringValue(args[0])
+				if err != nil {
+					return nil, err
+				}
+				sep = s
+			}
+		}
+		parts := make([]string, len(a.Elems))
+		for i, el := range a.Elems {
+			switch el.(type) {
+			case Undefined, Null:
+				parts[i] = ""
+			default:
+				s, err := in.ToStringValue(el)
+				if err != nil {
+					return nil, err
+				}
+				parts[i] = s
+			}
+		}
+		return strings.Join(parts, sep), nil
+	})
+	method("indexOf", func(in *Interp, this Value, args []Value) (Value, error) {
+		a, err := selfArray(in, this)
+		if err != nil {
+			return nil, err
+		}
+		if len(args) == 0 {
+			return -1.0, nil
+		}
+		for i, el := range a.Elems {
+			if StrictEquals(el, args[0]) {
+				return float64(i), nil
+			}
+		}
+		return -1.0, nil
+	})
+	method("lastIndexOf", func(in *Interp, this Value, args []Value) (Value, error) {
+		a, err := selfArray(in, this)
+		if err != nil {
+			return nil, err
+		}
+		if len(args) == 0 {
+			return -1.0, nil
+		}
+		for i := len(a.Elems) - 1; i >= 0; i-- {
+			if StrictEquals(a.Elems[i], args[0]) {
+				return float64(i), nil
+			}
+		}
+		return -1.0, nil
+	})
+	method("reverse", func(in *Interp, this Value, args []Value) (Value, error) {
+		a, err := selfArray(in, this)
+		if err != nil {
+			return nil, err
+		}
+		for i, j := 0, len(a.Elems)-1; i < j; i, j = i+1, j-1 {
+			a.Elems[i], a.Elems[j] = a.Elems[j], a.Elems[i]
+		}
+		return a, nil
+	})
+	method("sort", func(in *Interp, this Value, args []Value) (Value, error) {
+		a, err := selfArray(in, this)
+		if err != nil {
+			return nil, err
+		}
+		var cmp *Object
+		if len(args) > 0 {
+			if f, ok := args[0].(*Object); ok && f.IsCallable() {
+				cmp = f
+			}
+		}
+		var sortErr error
+		in.EnterAtomic()
+		defer in.ExitAtomic()
+		sort.SliceStable(a.Elems, func(i, j int) bool {
+			if sortErr != nil {
+				return false
+			}
+			if cmp != nil {
+				r, err := in.Call(cmp, Undefined{}, []Value{a.Elems[i], a.Elems[j]}, Undefined{})
+				if err != nil {
+					sortErr = err
+					return false
+				}
+				f, err := in.ToNumber(r)
+				if err != nil {
+					sortErr = err
+					return false
+				}
+				return f < 0
+			}
+			si, err := in.ToStringValue(a.Elems[i])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			sj, err := in.ToStringValue(a.Elems[j])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			return si < sj
+		})
+		if sortErr != nil {
+			return nil, sortErr
+		}
+		return a, nil
+	})
+	method("forEach", func(in *Interp, this Value, args []Value) (Value, error) {
+		a, err := selfArray(in, this)
+		if err != nil {
+			return nil, err
+		}
+		if len(args) == 0 {
+			return nil, in.Throw("TypeError", "forEach requires a callback")
+		}
+		in.EnterAtomic()
+		defer in.ExitAtomic()
+		for i, el := range a.Elems {
+			if _, err := in.Call(args[0], Undefined{}, []Value{el, float64(i), a}, Undefined{}); err != nil {
+				return nil, err
+			}
+		}
+		return Undefined{}, nil
+	})
+	method("map", func(in *Interp, this Value, args []Value) (Value, error) {
+		a, err := selfArray(in, this)
+		if err != nil {
+			return nil, err
+		}
+		if len(args) == 0 {
+			return nil, in.Throw("TypeError", "map requires a callback")
+		}
+		in.EnterAtomic()
+		defer in.ExitAtomic()
+		out := make([]Value, len(a.Elems))
+		for i, el := range a.Elems {
+			v, err := in.Call(args[0], Undefined{}, []Value{el, float64(i), a}, Undefined{})
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return in.NewArray(out), nil
+	})
+	method("filter", func(in *Interp, this Value, args []Value) (Value, error) {
+		a, err := selfArray(in, this)
+		if err != nil {
+			return nil, err
+		}
+		if len(args) == 0 {
+			return nil, in.Throw("TypeError", "filter requires a callback")
+		}
+		in.EnterAtomic()
+		defer in.ExitAtomic()
+		var out []Value
+		for i, el := range a.Elems {
+			v, err := in.Call(args[0], Undefined{}, []Value{el, float64(i), a}, Undefined{})
+			if err != nil {
+				return nil, err
+			}
+			if ToBoolean(v) {
+				out = append(out, el)
+			}
+		}
+		return in.NewArray(out), nil
+	})
+	method("reduce", func(in *Interp, this Value, args []Value) (Value, error) {
+		a, err := selfArray(in, this)
+		if err != nil {
+			return nil, err
+		}
+		if len(args) == 0 {
+			return nil, in.Throw("TypeError", "reduce requires a callback")
+		}
+		in.EnterAtomic()
+		defer in.ExitAtomic()
+		i := 0
+		var acc Value
+		if len(args) > 1 {
+			acc = args[1]
+		} else {
+			if len(a.Elems) == 0 {
+				return nil, in.Throw("TypeError", "reduce of empty array with no initial value")
+			}
+			acc = a.Elems[0]
+			i = 1
+		}
+		for ; i < len(a.Elems); i++ {
+			v, err := in.Call(args[0], Undefined{}, []Value{acc, a.Elems[i], float64(i), a}, Undefined{})
+			if err != nil {
+				return nil, err
+			}
+			acc = v
+		}
+		return acc, nil
+	})
+	method("toString", func(in *Interp, this Value, args []Value) (Value, error) {
+		a, err := selfArray(in, this)
+		if err != nil {
+			return nil, err
+		}
+		parts := make([]string, len(a.Elems))
+		for i, el := range a.Elems {
+			switch el.(type) {
+			case Undefined, Null:
+				parts[i] = ""
+			default:
+				s, err := in.ToStringValue(el)
+				if err != nil {
+					return nil, err
+				}
+				parts[i] = s
+			}
+		}
+		return strings.Join(parts, ","), nil
+	})
+}
+
+func clampIndex(i, n int) int {
+	if i < 0 {
+		i += n
+	}
+	if i < 0 {
+		return 0
+	}
+	if i > n {
+		return n
+	}
+	return i
+}
+
+func (in *Interp) sliceBounds(args []Value, n int) (int, int, error) {
+	start, end := 0, n
+	if len(args) > 0 {
+		if _, isU := args[0].(Undefined); !isU {
+			s, err := in.ToNumber(args[0])
+			if err != nil {
+				return 0, 0, err
+			}
+			start = clampIndex(int(s), n)
+		}
+	}
+	if len(args) > 1 {
+		if _, isU := args[1].(Undefined); !isU {
+			e, err := in.ToNumber(args[1])
+			if err != nil {
+				return 0, 0, err
+			}
+			end = clampIndex(int(e), n)
+		}
+	}
+	if end < start {
+		end = start
+	}
+	return start, end, nil
+}

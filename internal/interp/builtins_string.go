@@ -1,0 +1,364 @@
+package interp
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/printer"
+)
+
+// setupString installs the String constructor/function and String.prototype.
+// Strings are Go strings indexed by byte; the benchmark corpus is ASCII.
+func (in *Interp) setupString() {
+	stringCtor := in.native("String", func(in *Interp, this Value, args []Value) (Value, error) {
+		if len(args) == 0 {
+			return "", nil
+		}
+		return in.ToStringValue(args[0])
+	})
+	stringCtor.SetHidden("prototype", in.stringProto)
+	stringCtor.SetHidden("fromCharCode", in.native("fromCharCode", func(in *Interp, this Value, args []Value) (Value, error) {
+		var b strings.Builder
+		for _, a := range args {
+			f, err := in.ToNumber(a)
+			if err != nil {
+				return nil, err
+			}
+			b.WriteRune(rune(uint16(int64(f))))
+		}
+		return b.String(), nil
+	}))
+	in.Global.Define("String", stringCtor)
+
+	sp := in.stringProto
+	method := func(name string, fn NativeFunc) { sp.SetHidden(name, in.native(name, fn)) }
+
+	selfString := func(in *Interp, this Value) (string, error) {
+		if s, ok := this.(string); ok {
+			return s, nil
+		}
+		return in.ToStringValue(this)
+	}
+
+	method("charAt", func(in *Interp, this Value, args []Value) (Value, error) {
+		s, err := selfString(in, this)
+		if err != nil {
+			return nil, err
+		}
+		i := 0
+		if len(args) > 0 {
+			f, err := in.ToNumber(args[0])
+			if err != nil {
+				return nil, err
+			}
+			i = int(f)
+		}
+		if i < 0 || i >= len(s) {
+			return "", nil
+		}
+		return string(s[i]), nil
+	})
+	method("charCodeAt", func(in *Interp, this Value, args []Value) (Value, error) {
+		s, err := selfString(in, this)
+		if err != nil {
+			return nil, err
+		}
+		i := 0
+		if len(args) > 0 {
+			f, err := in.ToNumber(args[0])
+			if err != nil {
+				return nil, err
+			}
+			i = int(f)
+		}
+		if i < 0 || i >= len(s) {
+			return math.NaN(), nil
+		}
+		return float64(s[i]), nil
+	})
+	method("indexOf", func(in *Interp, this Value, args []Value) (Value, error) {
+		s, err := selfString(in, this)
+		if err != nil {
+			return nil, err
+		}
+		if len(args) == 0 {
+			return -1.0, nil
+		}
+		sub, err := in.ToStringValue(args[0])
+		if err != nil {
+			return nil, err
+		}
+		from := 0
+		if len(args) > 1 {
+			f, err := in.ToNumber(args[1])
+			if err != nil {
+				return nil, err
+			}
+			from = clampIndex(int(f), len(s))
+		}
+		idx := strings.Index(s[from:], sub)
+		if idx < 0 {
+			return -1.0, nil
+		}
+		return float64(idx + from), nil
+	})
+	method("lastIndexOf", func(in *Interp, this Value, args []Value) (Value, error) {
+		s, err := selfString(in, this)
+		if err != nil {
+			return nil, err
+		}
+		if len(args) == 0 {
+			return -1.0, nil
+		}
+		sub, err := in.ToStringValue(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return float64(strings.LastIndex(s, sub)), nil
+	})
+	method("substring", func(in *Interp, this Value, args []Value) (Value, error) {
+		s, err := selfString(in, this)
+		if err != nil {
+			return nil, err
+		}
+		start, end := 0, len(s)
+		if len(args) > 0 {
+			f, err := in.ToNumber(args[0])
+			if err != nil {
+				return nil, err
+			}
+			start = int(f)
+		}
+		if len(args) > 1 {
+			if _, isU := args[1].(Undefined); !isU {
+				f, err := in.ToNumber(args[1])
+				if err != nil {
+					return nil, err
+				}
+				end = int(f)
+			}
+		}
+		if start < 0 {
+			start = 0
+		}
+		if end > len(s) {
+			end = len(s)
+		}
+		if end < 0 {
+			end = 0
+		}
+		if start > len(s) {
+			start = len(s)
+		}
+		if start > end {
+			start, end = end, start
+		}
+		return s[start:end], nil
+	})
+	method("slice", func(in *Interp, this Value, args []Value) (Value, error) {
+		s, err := selfString(in, this)
+		if err != nil {
+			return nil, err
+		}
+		start, end, err := in.sliceBounds(args, len(s))
+		if err != nil {
+			return nil, err
+		}
+		return s[start:end], nil
+	})
+	method("split", func(in *Interp, this Value, args []Value) (Value, error) {
+		s, err := selfString(in, this)
+		if err != nil {
+			return nil, err
+		}
+		if len(args) == 0 {
+			return in.NewArray([]Value{s}), nil
+		}
+		sep, err := in.ToStringValue(args[0])
+		if err != nil {
+			return nil, err
+		}
+		var parts []string
+		if sep == "" {
+			for i := 0; i < len(s); i++ {
+				parts = append(parts, string(s[i]))
+			}
+		} else {
+			parts = strings.Split(s, sep)
+		}
+		elems := make([]Value, len(parts))
+		for i, p := range parts {
+			elems[i] = p
+		}
+		return in.NewArray(elems), nil
+	})
+	method("toUpperCase", func(in *Interp, this Value, args []Value) (Value, error) {
+		s, err := selfString(in, this)
+		if err != nil {
+			return nil, err
+		}
+		return strings.ToUpper(s), nil
+	})
+	method("toLowerCase", func(in *Interp, this Value, args []Value) (Value, error) {
+		s, err := selfString(in, this)
+		if err != nil {
+			return nil, err
+		}
+		return strings.ToLower(s), nil
+	})
+	method("trim", func(in *Interp, this Value, args []Value) (Value, error) {
+		s, err := selfString(in, this)
+		if err != nil {
+			return nil, err
+		}
+		return strings.TrimSpace(s), nil
+	})
+	method("concat", func(in *Interp, this Value, args []Value) (Value, error) {
+		s, err := selfString(in, this)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range args {
+			t, err := in.ToStringValue(a)
+			if err != nil {
+				return nil, err
+			}
+			s += t
+		}
+		return s, nil
+	})
+	method("replace", func(in *Interp, this Value, args []Value) (Value, error) {
+		s, err := selfString(in, this)
+		if err != nil {
+			return nil, err
+		}
+		if len(args) < 2 {
+			return s, nil
+		}
+		old, err := in.ToStringValue(args[0])
+		if err != nil {
+			return nil, err
+		}
+		nw, err := in.ToStringValue(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return strings.Replace(s, old, nw, 1), nil
+	})
+	method("repeat", func(in *Interp, this Value, args []Value) (Value, error) {
+		s, err := selfString(in, this)
+		if err != nil {
+			return nil, err
+		}
+		n := 0.0
+		if len(args) > 0 {
+			f, err := in.ToNumber(args[0])
+			if err != nil {
+				return nil, err
+			}
+			n = f
+		}
+		if n < 0 {
+			return nil, in.Throw("RangeError", "invalid repeat count")
+		}
+		return strings.Repeat(s, int(n)), nil
+	})
+	method("toString", func(in *Interp, this Value, args []Value) (Value, error) {
+		return selfString(in, this)
+	})
+}
+
+// setupNumberBoolean installs Number, Boolean, and their prototypes.
+func (in *Interp) setupNumberBoolean() {
+	numberCtor := in.native("Number", func(in *Interp, this Value, args []Value) (Value, error) {
+		if len(args) == 0 {
+			return 0.0, nil
+		}
+		return in.ToNumber(args[0])
+	})
+	numberCtor.SetHidden("prototype", in.numberProto)
+	numberCtor.SetHidden("MAX_SAFE_INTEGER", float64(1<<53-1))
+	numberCtor.SetHidden("MIN_SAFE_INTEGER", -float64(1<<53-1))
+	numberCtor.SetHidden("POSITIVE_INFINITY", math.Inf(1))
+	numberCtor.SetHidden("NEGATIVE_INFINITY", math.Inf(-1))
+	numberCtor.SetHidden("isInteger", in.native("isInteger", func(in *Interp, this Value, args []Value) (Value, error) {
+		if len(args) == 0 {
+			return false, nil
+		}
+		f, ok := args[0].(float64)
+		return ok && f == math.Trunc(f) && !math.IsInf(f, 0), nil
+	}))
+	in.Global.Define("Number", numberCtor)
+
+	np := in.numberProto
+	np.SetHidden("toString", in.native("toString", func(in *Interp, this Value, args []Value) (Value, error) {
+		f, ok := this.(float64)
+		if !ok {
+			v, err := in.ToNumber(this)
+			if err != nil {
+				return nil, err
+			}
+			f = v
+		}
+		radix := 10
+		if len(args) > 0 {
+			if _, isU := args[0].(Undefined); !isU {
+				r, err := in.ToNumber(args[0])
+				if err != nil {
+					return nil, err
+				}
+				radix = int(r)
+			}
+		}
+		if radix == 10 {
+			return printer.FormatNumber(f), nil
+		}
+		if radix < 2 || radix > 36 {
+			return nil, in.Throw("RangeError", "toString() radix must be between 2 and 36")
+		}
+		if f != math.Trunc(f) || math.IsNaN(f) || math.IsInf(f, 0) {
+			return printer.FormatNumber(f), nil
+		}
+		return strconv.FormatInt(int64(f), radix), nil
+	}))
+	np.SetHidden("toFixed", in.native("toFixed", func(in *Interp, this Value, args []Value) (Value, error) {
+		f, ok := this.(float64)
+		if !ok {
+			v, err := in.ToNumber(this)
+			if err != nil {
+				return nil, err
+			}
+			f = v
+		}
+		digits := 0
+		if len(args) > 0 {
+			d, err := in.ToNumber(args[0])
+			if err != nil {
+				return nil, err
+			}
+			digits = int(d)
+		}
+		if digits < 0 || digits > 100 {
+			return nil, in.Throw("RangeError", "toFixed() digits out of range")
+		}
+		return strconv.FormatFloat(f, 'f', digits, 64), nil
+	}))
+
+	booleanCtor := in.native("Boolean", func(in *Interp, this Value, args []Value) (Value, error) {
+		if len(args) == 0 {
+			return false, nil
+		}
+		return ToBoolean(args[0]), nil
+	})
+	booleanCtor.SetHidden("prototype", in.booleanProto)
+	in.Global.Define("Boolean", booleanCtor)
+
+	bp := in.booleanProto
+	bp.SetHidden("toString", in.native("toString", func(in *Interp, this Value, args []Value) (Value, error) {
+		if b, ok := this.(bool); ok && b {
+			return "true", nil
+		}
+		return "false", nil
+	}))
+}

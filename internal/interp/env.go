@@ -1,0 +1,56 @@
+package interp
+
+// Env is a lexical environment: a mutable frame of bindings with a parent
+// link. Closures capture the *Env, so bindings are shared by reference —
+// which is exactly what makes assignable captured variables problematic for
+// continuation restoration and why Stopify boxes them (§3.2.1).
+type Env struct {
+	parent *Env
+	vars   map[string]Value
+}
+
+// NewEnv returns an empty environment chained to parent (which may be nil
+// for the global frame).
+func NewEnv(parent *Env) *Env {
+	return &Env{parent: parent, vars: make(map[string]Value)}
+}
+
+// Define creates or overwrites a binding in this frame.
+func (e *Env) Define(name string, v Value) { e.vars[name] = v }
+
+// Has reports whether this frame (not the chain) binds name.
+func (e *Env) Has(name string) bool {
+	_, ok := e.vars[name]
+	return ok
+}
+
+// Lookup resolves name through the chain.
+func (e *Env) Lookup(name string) (Value, bool) {
+	for env := e; env != nil; env = env.parent {
+		if v, ok := env.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// Set assigns to the nearest frame binding name, reporting whether one was
+// found.
+func (e *Env) Set(name string, v Value) bool {
+	for env := e; env != nil; env = env.parent {
+		if _, ok := env.vars[name]; ok {
+			env.vars[name] = v
+			return true
+		}
+	}
+	return false
+}
+
+// Root returns the global frame at the end of the chain.
+func (e *Env) Root() *Env {
+	env := e
+	for env.parent != nil {
+		env = env.parent
+	}
+	return env
+}

@@ -1,0 +1,458 @@
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+)
+
+// eval evaluates an expression in env.
+func (in *Interp) eval(e ast.Expr, env *Env) (Value, error) {
+	switch n := e.(type) {
+	case *ast.Ident:
+		v, ok := env.Lookup(n.Name)
+		if !ok {
+			return nil, in.Throw("ReferenceError", "%s is not defined", n.Name)
+		}
+		return v, nil
+	case *ast.Number:
+		return n.Value, nil
+	case *ast.Str:
+		return n.Value, nil
+	case *ast.Bool:
+		return n.Value, nil
+	case *ast.Null:
+		return Null{}, nil
+	case *ast.This:
+		if v, ok := env.Lookup("this"); ok {
+			return v, nil
+		}
+		return Undefined{}, nil
+	case *ast.NewTarget:
+		if v, ok := env.Lookup("new.target"); ok {
+			return v, nil
+		}
+		return Undefined{}, nil
+	case *ast.Array:
+		elems := make([]Value, len(n.Elems))
+		for i, el := range n.Elems {
+			v, err := in.eval(el, env)
+			if err != nil {
+				return nil, err
+			}
+			elems[i] = v
+		}
+		in.charge(in.Engine.ObjectCreateCost)
+		return in.NewArray(elems), nil
+	case *ast.Object:
+		in.charge(in.Engine.ObjectCreateCost)
+		obj := in.NewPlainObject()
+		for _, p := range n.Props {
+			switch p.Kind {
+			case ast.PropInit:
+				v, err := in.eval(p.Value, env)
+				if err != nil {
+					return nil, err
+				}
+				obj.SetOwn(p.Key, v)
+			case ast.PropGet, ast.PropSet:
+				fn := in.makeFunction(p.Value.(*ast.Func), env)
+				slot := obj.Own(p.Key)
+				var getter, setter *Object
+				if slot != nil {
+					getter, setter = slot.Getter, slot.Setter
+				}
+				if p.Kind == ast.PropGet {
+					getter = fn
+				} else {
+					setter = fn
+				}
+				obj.SetAccessor(p.Key, getter, setter, true)
+			}
+		}
+		return obj, nil
+	case *ast.Func:
+		return in.makeFunction(n, env), nil
+	case *ast.Unary:
+		return in.evalUnary(n, env)
+	case *ast.Update:
+		return in.evalUpdate(n, env)
+	case *ast.Binary:
+		l, err := in.eval(n.L, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := in.eval(n.R, env)
+		if err != nil {
+			return nil, err
+		}
+		return in.applyBinary(n.Op, l, r)
+	case *ast.Logical:
+		l, err := in.eval(n.L, env)
+		if err != nil {
+			return nil, err
+		}
+		if n.Op == "&&" {
+			if !ToBoolean(l) {
+				return l, nil
+			}
+		} else if ToBoolean(l) {
+			return l, nil
+		}
+		return in.eval(n.R, env)
+	case *ast.Assign:
+		return in.evalAssign(n, env)
+	case *ast.Cond:
+		t, err := in.eval(n.Test, env)
+		if err != nil {
+			return nil, err
+		}
+		if ToBoolean(t) {
+			return in.eval(n.Cons, env)
+		}
+		return in.eval(n.Alt, env)
+	case *ast.Call:
+		return in.evalCall(n, env)
+	case *ast.New:
+		return in.evalNew(n, env)
+	case *ast.Member:
+		base, err := in.eval(n.X, env)
+		if err != nil {
+			return nil, err
+		}
+		key, err := in.memberKey(n, env)
+		if err != nil {
+			return nil, err
+		}
+		return in.GetMember(base, key)
+	case *ast.Seq:
+		var v Value = Undefined{}
+		for _, x := range n.Exprs {
+			var err error
+			v, err = in.eval(x, env)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return v, nil
+	}
+	return nil, fmt.Errorf("interp: unknown expression %T", e)
+}
+
+func (in *Interp) memberKey(n *ast.Member, env *Env) (string, error) {
+	if !n.Computed {
+		return n.Name, nil
+	}
+	idx, err := in.eval(n.Index, env)
+	if err != nil {
+		return "", err
+	}
+	return in.ToStringValue(idx)
+}
+
+func (in *Interp) evalUnary(n *ast.Unary, env *Env) (Value, error) {
+	switch n.Op {
+	case "typeof":
+		// typeof tolerates unresolvable identifiers.
+		if id, ok := n.X.(*ast.Ident); ok {
+			v, found := env.Lookup(id.Name)
+			if !found {
+				return "undefined", nil
+			}
+			return TypeOf(v), nil
+		}
+		v, err := in.eval(n.X, env)
+		if err != nil {
+			return nil, err
+		}
+		return TypeOf(v), nil
+	case "delete":
+		m, ok := n.X.(*ast.Member)
+		if !ok {
+			return true, nil
+		}
+		base, err := in.eval(m.X, env)
+		if err != nil {
+			return nil, err
+		}
+		key, err := in.memberKey(m, env)
+		if err != nil {
+			return nil, err
+		}
+		obj, ok := base.(*Object)
+		if !ok {
+			return true, nil
+		}
+		if (obj.Class == "Array" || obj.Class == "Arguments") && obj.props == nil {
+			if i, isIdx := arrayIndex(key); isIdx && i < len(obj.Elems) {
+				obj.Elems[i] = Undefined{}
+				return true, nil
+			}
+		}
+		obj.Delete(key)
+		return true, nil
+	}
+	v, err := in.eval(n.X, env)
+	if err != nil {
+		return nil, err
+	}
+	switch n.Op {
+	case "!":
+		return !ToBoolean(v), nil
+	case "-":
+		f, err := in.ToNumber(v)
+		if err != nil {
+			return nil, err
+		}
+		return -f, nil
+	case "+":
+		return in.ToNumber(v)
+	case "~":
+		f, err := in.ToNumber(v)
+		if err != nil {
+			return nil, err
+		}
+		return float64(^ToInt32(f)), nil
+	case "void":
+		return Undefined{}, nil
+	}
+	return nil, fmt.Errorf("interp: unknown unary op %q", n.Op)
+}
+
+func (in *Interp) evalUpdate(n *ast.Update, env *Env) (Value, error) {
+	old, err := in.eval(n.X, env)
+	if err != nil {
+		return nil, err
+	}
+	f, err := in.ToNumber(old)
+	if err != nil {
+		return nil, err
+	}
+	next := f + 1
+	if n.Op == "--" {
+		next = f - 1
+	}
+	if err := in.assignTo(n.X, next, env); err != nil {
+		return nil, err
+	}
+	if n.Prefix {
+		return next, nil
+	}
+	return f, nil
+}
+
+func (in *Interp) evalAssign(n *ast.Assign, env *Env) (Value, error) {
+	if n.Op == "=" {
+		v, err := in.eval(n.Value, env)
+		if err != nil {
+			return nil, err
+		}
+		return v, in.assignTo(n.Target, v, env)
+	}
+	// Compound assignment: evaluate the target reference once.
+	binOp := n.Op[:len(n.Op)-1]
+	switch t := n.Target.(type) {
+	case *ast.Ident:
+		old, ok := env.Lookup(t.Name)
+		if !ok {
+			return nil, in.Throw("ReferenceError", "%s is not defined", t.Name)
+		}
+		rhs, err := in.eval(n.Value, env)
+		if err != nil {
+			return nil, err
+		}
+		v, err := in.applyBinary(binOp, old, rhs)
+		if err != nil {
+			return nil, err
+		}
+		env.Set(t.Name, v)
+		return v, nil
+	case *ast.Member:
+		base, err := in.eval(t.X, env)
+		if err != nil {
+			return nil, err
+		}
+		key, err := in.memberKey(t, env)
+		if err != nil {
+			return nil, err
+		}
+		old, err := in.GetMember(base, key)
+		if err != nil {
+			return nil, err
+		}
+		rhs, err := in.eval(n.Value, env)
+		if err != nil {
+			return nil, err
+		}
+		v, err := in.applyBinary(binOp, old, rhs)
+		if err != nil {
+			return nil, err
+		}
+		return v, in.SetMember(base, key, v)
+	}
+	return nil, in.Throw("SyntaxError", "invalid assignment target")
+}
+
+func (in *Interp) assignTo(target ast.Expr, v Value, env *Env) error {
+	switch t := target.(type) {
+	case *ast.Ident:
+		if !env.Set(t.Name, v) {
+			// Implicit global, as in non-strict JS.
+			env.Root().Define(t.Name, v)
+		}
+		return nil
+	case *ast.Member:
+		base, err := in.eval(t.X, env)
+		if err != nil {
+			return err
+		}
+		key, err := in.memberKey(t, env)
+		if err != nil {
+			return err
+		}
+		return in.SetMember(base, key, v)
+	}
+	return in.Throw("SyntaxError", "invalid assignment target")
+}
+
+func (in *Interp) evalCall(n *ast.Call, env *Env) (Value, error) {
+	var this Value = Undefined{}
+	var fn Value
+	if m, ok := n.Callee.(*ast.Member); ok {
+		base, err := in.eval(m.X, env)
+		if err != nil {
+			return nil, err
+		}
+		key, err := in.memberKey(m, env)
+		if err != nil {
+			return nil, err
+		}
+		fn, err = in.GetMember(base, key)
+		if err != nil {
+			return nil, err
+		}
+		this = base
+	} else {
+		var err error
+		fn, err = in.eval(n.Callee, env)
+		if err != nil {
+			return nil, err
+		}
+	}
+	args := make([]Value, len(n.Args))
+	for i, a := range n.Args {
+		v, err := in.eval(a, env)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	return in.Call(fn, this, args, Undefined{})
+}
+
+func (in *Interp) evalNew(n *ast.New, env *Env) (Value, error) {
+	callee, err := in.eval(n.Callee, env)
+	if err != nil {
+		return nil, err
+	}
+	args := make([]Value, len(n.Args))
+	for i, a := range n.Args {
+		v, err := in.eval(a, env)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	return in.Construct(callee, args)
+}
+
+// Construct implements `new fn(args)`.
+func (in *Interp) Construct(fn Value, args []Value) (Value, error) {
+	f, ok := fn.(*Object)
+	if !ok || !f.IsCallable() {
+		return nil, in.Throw("TypeError", "%s is not a constructor", TypeOf(fn))
+	}
+	in.charge(in.Engine.NewCost)
+	if f.Native != nil {
+		// Native constructors (Error, Array, ...) allocate internally; mark
+		// construction via a sentinel this.
+		return f.Native(in, constructSentinel{}, args)
+	}
+	protoV, err := in.GetMember(f, "prototype")
+	if err != nil {
+		return nil, err
+	}
+	proto, _ := protoV.(*Object)
+	if proto == nil {
+		proto = in.objectProto
+	}
+	obj := NewObject(proto)
+	res, err := in.Call(f, obj, args, f)
+	if err != nil {
+		return nil, err
+	}
+	if ro, ok := res.(*Object); ok {
+		return ro, nil
+	}
+	return obj, nil
+}
+
+// constructSentinel marks native calls that originate from `new`.
+type constructSentinel struct{}
+
+// Call applies fn to args with the given this and new.target.
+func (in *Interp) Call(fn Value, this Value, args []Value, newTarget Value) (Value, error) {
+	f, ok := fn.(*Object)
+	if !ok || !f.IsCallable() {
+		return nil, in.Throw("TypeError", "%s is not a function", TypeOf(fn))
+	}
+	in.charge(in.Engine.CallCost)
+	if f.Native != nil {
+		return f.Native(in, this, args)
+	}
+	c := f.Fn
+	in.depth++
+	if in.depth > in.maxDepth {
+		in.depth--
+		return nil, in.Throw("RangeError", "Maximum call stack size exceeded")
+	}
+	defer func() { in.depth-- }()
+
+	env := NewEnv(c.Env)
+	if c.Name != "" && !c.Arrow {
+		env.Define(c.Name, c.Self)
+	}
+	for i, p := range c.Params {
+		if i < len(args) {
+			env.Define(p, args[i])
+		} else {
+			env.Define(p, Undefined{})
+		}
+	}
+	if !c.Arrow {
+		env.Define("this", this)
+		env.Define("new.target", newTarget)
+		ao := &Object{Class: "Arguments", Proto: in.objectProto, Elems: append([]Value(nil), args...)}
+		env.Define("arguments", ao)
+	}
+	if c.hoisted == nil {
+		c.hoisted = hoistScan(c.Body)
+	}
+	for _, name := range c.hoisted.vars {
+		if !env.Has(name) {
+			env.Define(name, Undefined{})
+		}
+	}
+	for _, fd := range c.hoisted.fns {
+		env.Define(fd.Name, in.makeFunction(fd, env))
+	}
+	err := in.execStmts(c.Body, env)
+	switch e := err.(type) {
+	case nil:
+		return Undefined{}, nil
+	case *returnErr:
+		return e.value, nil
+	default:
+		return nil, err
+	}
+}

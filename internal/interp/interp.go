@@ -1,0 +1,595 @@
+package interp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/engine"
+	"repro/internal/eventloop"
+)
+
+// Options configures a fresh interpreter.
+type Options struct {
+	// Engine selects the browser cost profile; nil means engine.Uniform().
+	Engine *engine.Profile
+	// Clock supplies Date.now and the event loop's time; nil means a real
+	// clock.
+	Clock eventloop.Clock
+	// Loop, when non-nil, backs setTimeout. Programs that never call
+	// setTimeout can run without one.
+	Loop *eventloop.Loop
+	// Out receives console.log output; nil discards it.
+	Out io.Writer
+	// Seed seeds Math.random for reproducible benchmarks.
+	Seed uint64
+}
+
+// Interp is one JavaScript realm: global environment, builtin prototypes,
+// and execution state.
+type Interp struct {
+	Engine *engine.Profile
+	Clock  eventloop.Clock
+	Loop   *eventloop.Loop
+	Global *Env
+
+	out io.Writer
+	rng uint64
+
+	depth    int
+	maxDepth int
+	atomic   int
+
+	// Steps counts statements executed, used by tests and by the harness to
+	// size workloads.
+	Steps uint64
+
+	sink uint64 // cost-model spin target; opaque to the optimizer
+
+	// EvalHook compiles source for the eval() builtin. The Stopify core
+	// installs a hook that runs the string through the full pipeline (§4.3);
+	// without a hook, eval throws.
+	EvalHook func(src string) ([]ast.Stmt, error)
+
+	// Uncaught receives exceptions that escape event-loop tasks. When nil,
+	// such an exception panics — the moral equivalent of a crashed page.
+	Uncaught func(error)
+
+	objectProto   *Object
+	functionProto *Object
+	arrayProto    *Object
+	stringProto   *Object
+	numberProto   *Object
+	booleanProto  *Object
+	errorProto    *Object
+}
+
+// New creates an interpreter with a fresh global environment.
+func New(opts Options) *Interp {
+	if opts.Engine == nil {
+		opts.Engine = engine.Uniform()
+	}
+	if opts.Clock == nil {
+		opts.Clock = eventloop.NewRealClock()
+	}
+	in := &Interp{
+		Engine:   opts.Engine,
+		Clock:    opts.Clock,
+		Loop:     opts.Loop,
+		out:      opts.Out,
+		rng:      opts.Seed*2862933555777941757 + 3037000493,
+		maxDepth: opts.Engine.MaxStack,
+	}
+	in.Global = NewEnv(nil)
+	in.setupGlobals()
+	return in
+}
+
+// charge consumes work units according to the engine profile. The loop body
+// is a data dependency on in.sink so the compiler cannot remove it.
+func (in *Interp) charge(units int) {
+	n := units * in.Engine.Speed
+	s := in.sink
+	for i := 0; i < n; i++ {
+		s = s*6364136223846793005 + 1442695040888963407
+	}
+	in.sink = s
+}
+
+// Depth reports the current JavaScript call depth; the Stopify runtime's
+// deep-stack mode reads it (DESIGN.md §4.5).
+func (in *Interp) Depth() int { return in.depth }
+
+// EnterAtomic marks the start of a native section that calls back into
+// JavaScript (Array.prototype.sort's comparator, map's callback, ...).
+// Continuations cannot unwind through a native Go frame, so the Stopify
+// runtime defers suspension while any atomic section is active — the same
+// reason real Stopify instruments runtime-library JavaScript instead of
+// using native helpers (§6.4).
+func (in *Interp) EnterAtomic() { in.atomic++ }
+
+// ExitAtomic ends a native callback section.
+func (in *Interp) ExitAtomic() { in.atomic-- }
+
+// InAtomic reports whether a native callback section is active.
+func (in *Interp) InAtomic() bool { return in.atomic > 0 }
+
+// MaxDepth reports the engine's stack limit.
+func (in *Interp) MaxDepth() int { return in.maxDepth }
+
+// Throw builds a Thrown error carrying a fresh Error object.
+func (in *Interp) Throw(name, format string, args ...interface{}) error {
+	return &Thrown{Value: in.NewError(name, fmt.Sprintf(format, args...))}
+}
+
+// NewError builds an Error object with the given name and message.
+func (in *Interp) NewError(name, message string) *Object {
+	e := &Object{Class: "Error", Proto: in.errorProto}
+	e.SetOwn("name", name)
+	e.SetOwn("message", message)
+	return e
+}
+
+// RunProgram hoists and executes a program in the global environment.
+func (in *Interp) RunProgram(prog *ast.Program) error {
+	in.hoistInto(prog.Body, in.Global)
+	return in.execStmts(prog.Body, in.Global)
+}
+
+// RunString parses nothing — callers parse; this executes pre-parsed
+// statements in the global environment (used by eval and the REPL).
+func (in *Interp) RunStmts(body []ast.Stmt) error {
+	in.hoistInto(body, in.Global)
+	return in.execStmts(body, in.Global)
+}
+
+// DefineGlobal installs a global binding (used by the Stopify runtime to
+// expose its primitives).
+func (in *Interp) DefineGlobal(name string, v Value) { in.Global.Define(name, v) }
+
+// NewNative wraps a Go function as a callable JS object.
+func (in *Interp) NewNative(name string, fn NativeFunc) *Object {
+	return &Object{Class: "Function", Proto: in.functionProto, Native: fn, NativeName: name}
+}
+
+// NewArray builds an array object around elems (not copied).
+func (in *Interp) NewArray(elems []Value) *Object {
+	return &Object{Class: "Array", Proto: in.arrayProto, Elems: elems}
+}
+
+// NewPlainObject builds an empty object with Object.prototype.
+func (in *Interp) NewPlainObject() *Object { return NewObject(in.objectProto) }
+
+// ---------------------------------------------------------------------------
+// Hoisting
+// ---------------------------------------------------------------------------
+
+type hoistInfo struct {
+	vars []string
+	fns  []*ast.Func
+}
+
+// hoistScan collects var and function declarations without descending into
+// nested functions.
+func hoistScan(body []ast.Stmt) *hoistInfo {
+	h := &hoistInfo{}
+	var walkStmt func(s ast.Stmt)
+	walkStmt = func(s ast.Stmt) {
+		switch n := s.(type) {
+		case *ast.VarDecl:
+			for _, d := range n.Decls {
+				h.vars = append(h.vars, d.Name)
+			}
+		case *ast.FuncDecl:
+			h.fns = append(h.fns, n.Fn)
+		case *ast.Block:
+			for _, st := range n.Body {
+				walkStmt(st)
+			}
+		case *ast.If:
+			walkStmt(n.Cons)
+			if n.Alt != nil {
+				walkStmt(n.Alt)
+			}
+		case *ast.While:
+			walkStmt(n.Body)
+		case *ast.DoWhile:
+			walkStmt(n.Body)
+		case *ast.For:
+			if n.Init != nil {
+				walkStmt(n.Init)
+			}
+			walkStmt(n.Body)
+		case *ast.ForIn:
+			if n.Decl {
+				h.vars = append(h.vars, n.Name)
+			}
+			walkStmt(n.Body)
+		case *ast.Labeled:
+			walkStmt(n.Body)
+		case *ast.Switch:
+			for _, c := range n.Cases {
+				for _, st := range c.Body {
+					walkStmt(st)
+				}
+			}
+		case *ast.Try:
+			walkStmt(n.Block)
+			if n.Catch != nil {
+				walkStmt(n.Catch)
+			}
+			if n.Finally != nil {
+				walkStmt(n.Finally)
+			}
+		}
+	}
+	for _, s := range body {
+		walkStmt(s)
+	}
+	return h
+}
+
+// hoistInto predeclares vars (undefined) and function declarations in env.
+func (in *Interp) hoistInto(body []ast.Stmt, env *Env) {
+	h := hoistScan(body)
+	for _, name := range h.vars {
+		if !env.Has(name) {
+			env.Define(name, Undefined{})
+		}
+	}
+	for _, fn := range h.fns {
+		env.Define(fn.Name, in.makeFunction(fn, env))
+	}
+}
+
+// makeFunction builds a function object for a literal in env. Closures
+// allocate, so they are charged like other allocations — this is what makes
+// closure-per-call continuation representations (CPS, generators) pay their
+// real cost relative to checked returns.
+func (in *Interp) makeFunction(fn *ast.Func, env *Env) *Object {
+	in.charge(in.Engine.ObjectCreateCost)
+	obj := &Object{Class: "Function", Proto: in.functionProto}
+	obj.Fn = &Closure{
+		Name:   fn.Name,
+		Params: fn.Params,
+		Body:   fn.Body,
+		Env:    env,
+		Arrow:  fn.Arrow,
+		Self:   obj,
+	}
+	obj.SetHidden("length", float64(len(fn.Params)))
+	return obj
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+func (in *Interp) execStmts(body []ast.Stmt, env *Env) error {
+	for _, s := range body {
+		if err := in.execStmt(s, env); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (in *Interp) execStmt(s ast.Stmt, env *Env) error {
+	in.Steps++
+	in.charge(1)
+	switch n := s.(type) {
+	case *ast.VarDecl:
+		for _, d := range n.Decls {
+			if d.Init == nil {
+				if !env.Has(d.Name) && !envChainHas(env, d.Name) {
+					env.Define(d.Name, Undefined{})
+				}
+				continue
+			}
+			v, err := in.eval(d.Init, env)
+			if err != nil {
+				return err
+			}
+			if !env.Set(d.Name, v) {
+				env.Define(d.Name, v)
+			}
+		}
+		return nil
+	case *ast.ExprStmt:
+		_, err := in.eval(n.X, env)
+		return err
+	case *ast.Block:
+		return in.execStmts(n.Body, env)
+	case *ast.If:
+		in.charge(in.Engine.BranchCost)
+		t, err := in.eval(n.Test, env)
+		if err != nil {
+			return err
+		}
+		if ToBoolean(t) {
+			return in.execStmt(n.Cons, env)
+		}
+		if n.Alt != nil {
+			return in.execStmt(n.Alt, env)
+		}
+		return nil
+	case *ast.While:
+		return in.execWhile(n, env, nil)
+	case *ast.DoWhile:
+		return in.execDoWhile(n, env, nil)
+	case *ast.For:
+		return in.execFor(n, env, nil)
+	case *ast.ForIn:
+		return in.execForIn(n, env, nil)
+	case *ast.Return:
+		var v Value = Undefined{}
+		if n.Arg != nil {
+			var err error
+			v, err = in.eval(n.Arg, env)
+			if err != nil {
+				return err
+			}
+		}
+		return &returnErr{value: v}
+	case *ast.Break:
+		return &breakErr{label: n.Label}
+	case *ast.Continue:
+		return &continueErr{label: n.Label}
+	case *ast.Labeled:
+		return in.execLabeled(n, env)
+	case *ast.Switch:
+		return in.execSwitch(n, env)
+	case *ast.Throw:
+		v, err := in.eval(n.Arg, env)
+		if err != nil {
+			return err
+		}
+		in.charge(in.Engine.ThrowCost)
+		return &Thrown{Value: v}
+	case *ast.Try:
+		return in.execTry(n, env)
+	case *ast.FuncDecl:
+		// Handled by hoisting; re-executing is a no-op, but if hoisting was
+		// bypassed (eval'd fragments), define it now.
+		if !envChainHas(env, n.Fn.Name) {
+			env.Define(n.Fn.Name, in.makeFunction(n.Fn, env))
+		}
+		return nil
+	case *ast.Empty:
+		return nil
+	}
+	return fmt.Errorf("interp: unknown statement %T", s)
+}
+
+func envChainHas(env *Env, name string) bool {
+	_, ok := env.Lookup(name)
+	return ok
+}
+
+func hasLabel(labels []string, l string) bool {
+	for _, x := range labels {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// loopIterDone interprets a loop body completion: it consumes continue/break
+// aimed at this loop (labels includes the loop's labels) and reports
+// (stop, err).
+func loopIterDone(err error, labels []string) (bool, error) {
+	switch e := err.(type) {
+	case nil:
+		return false, nil
+	case *continueErr:
+		if e.label == "" || hasLabel(labels, e.label) {
+			return false, nil
+		}
+		return true, err
+	case *breakErr:
+		if e.label == "" || hasLabel(labels, e.label) {
+			return true, nil
+		}
+		return true, err
+	default:
+		return true, err
+	}
+}
+
+func (in *Interp) execWhile(n *ast.While, env *Env, labels []string) error {
+	for {
+		t, err := in.eval(n.Test, env)
+		if err != nil {
+			return err
+		}
+		if !ToBoolean(t) {
+			return nil
+		}
+		stop, err := loopIterDone(in.execStmt(n.Body, env), labels)
+		if stop {
+			return err
+		}
+	}
+}
+
+func (in *Interp) execDoWhile(n *ast.DoWhile, env *Env, labels []string) error {
+	for {
+		stop, err := loopIterDone(in.execStmt(n.Body, env), labels)
+		if stop {
+			return err
+		}
+		t, err := in.eval(n.Test, env)
+		if err != nil {
+			return err
+		}
+		if !ToBoolean(t) {
+			return nil
+		}
+	}
+}
+
+func (in *Interp) execFor(n *ast.For, env *Env, labels []string) error {
+	if n.Init != nil {
+		if err := in.execStmt(n.Init, env); err != nil {
+			return err
+		}
+	}
+	for {
+		if n.Test != nil {
+			t, err := in.eval(n.Test, env)
+			if err != nil {
+				return err
+			}
+			if !ToBoolean(t) {
+				return nil
+			}
+		}
+		stop, err := loopIterDone(in.execStmt(n.Body, env), labels)
+		if stop {
+			return err
+		}
+		if n.Update != nil {
+			if _, err := in.eval(n.Update, env); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func (in *Interp) execForIn(n *ast.ForIn, env *Env, labels []string) error {
+	obj, err := in.eval(n.Obj, env)
+	if err != nil {
+		return err
+	}
+	o, ok := obj.(*Object)
+	if !ok {
+		return nil // primitives enumerate nothing we support
+	}
+	if n.Decl && !envChainHas(env, n.Name) {
+		env.Define(n.Name, Undefined{})
+	}
+	for _, key := range o.OwnKeys() {
+		if !env.Set(n.Name, key) {
+			env.Define(n.Name, key)
+		}
+		stop, err := loopIterDone(in.execStmt(n.Body, env), labels)
+		if stop {
+			return err
+		}
+	}
+	return nil
+}
+
+func (in *Interp) execLabeled(n *ast.Labeled, env *Env) error {
+	labels := []string{n.Label}
+	body := n.Body
+	for {
+		inner, ok := body.(*ast.Labeled)
+		if !ok {
+			break
+		}
+		labels = append(labels, inner.Label)
+		body = inner.Body
+	}
+	var err error
+	switch b := body.(type) {
+	case *ast.While:
+		err = in.execWhile(b, env, labels)
+	case *ast.DoWhile:
+		err = in.execDoWhile(b, env, labels)
+	case *ast.For:
+		err = in.execFor(b, env, labels)
+	case *ast.ForIn:
+		err = in.execForIn(b, env, labels)
+	default:
+		err = in.execStmt(body, env)
+	}
+	if be, ok := err.(*breakErr); ok && hasLabel(labels, be.label) {
+		return nil
+	}
+	return err
+}
+
+func (in *Interp) execSwitch(n *ast.Switch, env *Env) error {
+	disc, err := in.eval(n.Disc, env)
+	if err != nil {
+		return err
+	}
+	match := -1
+	defaultIdx := -1
+	for i, c := range n.Cases {
+		if c.Test == nil {
+			defaultIdx = i
+			continue
+		}
+		tv, err := in.eval(c.Test, env)
+		if err != nil {
+			return err
+		}
+		if StrictEquals(disc, tv) {
+			match = i
+			break
+		}
+	}
+	if match < 0 {
+		match = defaultIdx
+	}
+	if match < 0 {
+		return nil
+	}
+	for i := match; i < len(n.Cases); i++ {
+		for _, s := range n.Cases[i].Body {
+			err := in.execStmt(s, env)
+			if be, ok := err.(*breakErr); ok && be.label == "" {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (in *Interp) execTry(n *ast.Try, env *Env) error {
+	in.charge(in.Engine.TryCost)
+	err := in.execStmts(n.Block.Body, env)
+	if t, ok := err.(*Thrown); ok && n.Catch != nil {
+		cenv := NewEnv(env)
+		cenv.Define(n.CatchParam, t.Value)
+		err = in.execStmts(n.Catch.Body, cenv)
+	}
+	if n.Finally != nil {
+		if ferr := in.execStmts(n.Finally.Body, env); ferr != nil {
+			return ferr // an abrupt finally completion wins
+		}
+	}
+	return err
+}
+
+// WriteOut emits console output.
+func (in *Interp) WriteOut(s string) {
+	if in.out != nil {
+		io.WriteString(in.out, s)
+	}
+}
+
+// Random returns the next Math.random value from the seeded generator
+// (xorshift64*), in [0, 1).
+func (in *Interp) Random() float64 {
+	x := in.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	in.rng = x
+	return float64(x*2685821657736338717>>11) / float64(uint64(1)<<53)
+}
+
+// FormatThrown renders a thrown error for host display.
+func FormatThrown(t *Thrown) string {
+	var b strings.Builder
+	b.WriteString(t.Error())
+	return b.String()
+}

@@ -1,0 +1,582 @@
+package interp
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/printer"
+)
+
+// TypeOf implements the typeof operator.
+func TypeOf(v Value) string {
+	switch o := v.(type) {
+	case Undefined:
+		return "undefined"
+	case Null:
+		return "object"
+	case bool:
+		return "boolean"
+	case float64:
+		return "number"
+	case string:
+		return "string"
+	case *Object:
+		if o.IsCallable() {
+			return "function"
+		}
+		return "object"
+	}
+	return "undefined"
+}
+
+// ToBoolean implements JS truthiness.
+func ToBoolean(v Value) bool {
+	switch x := v.(type) {
+	case Undefined, Null:
+		return false
+	case bool:
+		return x
+	case float64:
+		return x != 0 && !math.IsNaN(x)
+	case string:
+		return x != ""
+	case *Object:
+		return true
+	}
+	return false
+}
+
+// ToNumber implements JS numeric coercion; objects go through ToPrimitive,
+// which may run user valueOf/toString code.
+func (in *Interp) ToNumber(v Value) (float64, error) {
+	switch x := v.(type) {
+	case Undefined:
+		return math.NaN(), nil
+	case Null:
+		return 0, nil
+	case bool:
+		if x {
+			return 1, nil
+		}
+		return 0, nil
+	case float64:
+		return x, nil
+	case string:
+		return stringToNumber(x), nil
+	case *Object:
+		prim, err := in.ToPrimitive(v, "number")
+		if err != nil {
+			return 0, err
+		}
+		return in.ToNumber(prim)
+	}
+	return math.NaN(), nil
+}
+
+func stringToNumber(s string) float64 {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0
+	}
+	if strings.HasPrefix(t, "0x") || strings.HasPrefix(t, "0X") {
+		if u, err := strconv.ParseUint(t[2:], 16, 64); err == nil {
+			return float64(u)
+		}
+		return math.NaN()
+	}
+	if t == "Infinity" || t == "+Infinity" {
+		return math.Inf(1)
+	}
+	if t == "-Infinity" {
+		return math.Inf(-1)
+	}
+	f, err := strconv.ParseFloat(t, 64)
+	if err != nil {
+		return math.NaN()
+	}
+	return f
+}
+
+// ToStringValue implements JS string coercion; objects go through
+// ToPrimitive with a string hint.
+func (in *Interp) ToStringValue(v Value) (string, error) {
+	switch x := v.(type) {
+	case Undefined:
+		return "undefined", nil
+	case Null:
+		return "null", nil
+	case bool:
+		if x {
+			return "true", nil
+		}
+		return "false", nil
+	case float64:
+		return printer.FormatNumber(x), nil
+	case string:
+		return x, nil
+	case *Object:
+		prim, err := in.ToPrimitive(v, "string")
+		if err != nil {
+			return "", err
+		}
+		if _, isObj := prim.(*Object); isObj {
+			return "", in.Throw("TypeError", "cannot convert object to primitive value")
+		}
+		return in.ToStringValue(prim)
+	}
+	return "", nil
+}
+
+// ToPrimitive converts an object by calling its valueOf/toString methods —
+// the implicit calls of §4.1 that can hide infinite loops. Primitives pass
+// through unchanged.
+func (in *Interp) ToPrimitive(v Value, hint string) (Value, error) {
+	o, ok := v.(*Object)
+	if !ok {
+		return v, nil
+	}
+	methods := []string{"valueOf", "toString"}
+	if hint == "string" {
+		methods = []string{"toString", "valueOf"}
+	}
+	in.EnterAtomic()
+	defer in.ExitAtomic()
+	for _, name := range methods {
+		m, err := in.GetMember(o, name)
+		if err != nil {
+			return nil, err
+		}
+		if f, ok := m.(*Object); ok && f.IsCallable() {
+			r, err := in.Call(f, o, nil, Undefined{})
+			if err != nil {
+				return nil, err
+			}
+			if _, isObj := r.(*Object); !isObj {
+				return r, nil
+			}
+		}
+	}
+	return nil, in.Throw("TypeError", "cannot convert object to primitive value")
+}
+
+// ToInt32 and ToUint32 implement the bitwise-operator coercions.
+func ToInt32(f float64) int32 {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0
+	}
+	return int32(uint32(int64(math.Trunc(f))))
+}
+
+// ToUint32 truncates to an unsigned 32-bit integer per the spec.
+func ToUint32(f float64) uint32 {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0
+	}
+	return uint32(int64(math.Trunc(f)))
+}
+
+// StrictEquals implements ===.
+func StrictEquals(a, b Value) bool {
+	switch x := a.(type) {
+	case Undefined:
+		_, ok := b.(Undefined)
+		return ok
+	case Null:
+		_, ok := b.(Null)
+		return ok
+	case bool:
+		y, ok := b.(bool)
+		return ok && x == y
+	case float64:
+		y, ok := b.(float64)
+		return ok && x == y // NaN != NaN falls out of Go's float compare
+	case string:
+		y, ok := b.(string)
+		return ok && x == y
+	case *Object:
+		y, ok := b.(*Object)
+		return ok && x == y
+	}
+	return false
+}
+
+// looseEquals implements ==.
+func (in *Interp) looseEquals(a, b Value) (bool, error) {
+	ta, tb := TypeOf(a), TypeOf(b)
+	_, aNull := a.(Null)
+	_, bNull := b.(Null)
+	aUndef := ta == "undefined"
+	bUndef := tb == "undefined"
+	// typeof null is "object"; normalize for the algorithm below.
+	switch {
+	case (aNull || aUndef) && (bNull || bUndef):
+		return true, nil
+	case aNull || aUndef || bNull || bUndef:
+		return false, nil
+	}
+	if ta == tb && ta != "object" && ta != "function" {
+		return StrictEquals(a, b), nil
+	}
+	ao, aIsObj := a.(*Object)
+	bo, bIsObj := b.(*Object)
+	switch {
+	case aIsObj && bIsObj:
+		return ao == bo, nil
+	case aIsObj:
+		prim, err := in.ToPrimitive(a, "default")
+		if err != nil {
+			return false, err
+		}
+		return in.looseEquals(prim, b)
+	case bIsObj:
+		prim, err := in.ToPrimitive(b, "default")
+		if err != nil {
+			return false, err
+		}
+		return in.looseEquals(a, prim)
+	}
+	// Mixed primitives: compare numerically, except bool normalization.
+	an, err := in.ToNumber(a)
+	if err != nil {
+		return false, err
+	}
+	bn, err := in.ToNumber(b)
+	if err != nil {
+		return false, err
+	}
+	return an == bn, nil
+}
+
+// applyBinary implements the binary operators.
+func (in *Interp) applyBinary(op string, l, r Value) (Value, error) {
+	switch op {
+	case "+":
+		lp, err := in.ToPrimitive(l, "default")
+		if err != nil {
+			return nil, err
+		}
+		rp, err := in.ToPrimitive(r, "default")
+		if err != nil {
+			return nil, err
+		}
+		_, lStr := lp.(string)
+		_, rStr := rp.(string)
+		if lStr || rStr {
+			ls, err := in.ToStringValue(lp)
+			if err != nil {
+				return nil, err
+			}
+			rs, err := in.ToStringValue(rp)
+			if err != nil {
+				return nil, err
+			}
+			return ls + rs, nil
+		}
+		ln, err := in.ToNumber(lp)
+		if err != nil {
+			return nil, err
+		}
+		rn, err := in.ToNumber(rp)
+		if err != nil {
+			return nil, err
+		}
+		return ln + rn, nil
+	case "-", "*", "/", "%", "**":
+		ln, err := in.ToNumber(l)
+		if err != nil {
+			return nil, err
+		}
+		rn, err := in.ToNumber(r)
+		if err != nil {
+			return nil, err
+		}
+		switch op {
+		case "-":
+			return ln - rn, nil
+		case "*":
+			return ln * rn, nil
+		case "/":
+			return ln / rn, nil
+		case "%":
+			return math.Mod(ln, rn), nil
+		default:
+			return math.Pow(ln, rn), nil
+		}
+	case "<", ">", "<=", ">=":
+		lp, err := in.ToPrimitive(l, "number")
+		if err != nil {
+			return nil, err
+		}
+		rp, err := in.ToPrimitive(r, "number")
+		if err != nil {
+			return nil, err
+		}
+		ls, lStr := lp.(string)
+		rs, rStr := rp.(string)
+		if lStr && rStr {
+			switch op {
+			case "<":
+				return ls < rs, nil
+			case ">":
+				return ls > rs, nil
+			case "<=":
+				return ls <= rs, nil
+			default:
+				return ls >= rs, nil
+			}
+		}
+		ln, err := in.ToNumber(lp)
+		if err != nil {
+			return nil, err
+		}
+		rn, err := in.ToNumber(rp)
+		if err != nil {
+			return nil, err
+		}
+		if math.IsNaN(ln) || math.IsNaN(rn) {
+			return false, nil
+		}
+		switch op {
+		case "<":
+			return ln < rn, nil
+		case ">":
+			return ln > rn, nil
+		case "<=":
+			return ln <= rn, nil
+		default:
+			return ln >= rn, nil
+		}
+	case "==":
+		return in.looseEquals(l, r)
+	case "!=":
+		eq, err := in.looseEquals(l, r)
+		return !eq, err
+	case "===":
+		return StrictEquals(l, r), nil
+	case "!==":
+		return !StrictEquals(l, r), nil
+	case "&", "|", "^", "<<", ">>":
+		ln, err := in.ToNumber(l)
+		if err != nil {
+			return nil, err
+		}
+		rn, err := in.ToNumber(r)
+		if err != nil {
+			return nil, err
+		}
+		li := ToInt32(ln)
+		ri := ToInt32(rn)
+		switch op {
+		case "&":
+			return float64(li & ri), nil
+		case "|":
+			return float64(li | ri), nil
+		case "^":
+			return float64(li ^ ri), nil
+		case "<<":
+			return float64(li << (uint32(ri) & 31)), nil
+		default:
+			return float64(li >> (uint32(ri) & 31)), nil
+		}
+	case ">>>":
+		ln, err := in.ToNumber(l)
+		if err != nil {
+			return nil, err
+		}
+		rn, err := in.ToNumber(r)
+		if err != nil {
+			return nil, err
+		}
+		return float64(ToUint32(ln) >> (ToUint32(rn) & 31)), nil
+	case "instanceof":
+		f, ok := r.(*Object)
+		if !ok || !f.IsCallable() {
+			return nil, in.Throw("TypeError", "right-hand side of instanceof is not callable")
+		}
+		lo, ok := l.(*Object)
+		if !ok {
+			return false, nil
+		}
+		protoV, err := in.GetMember(f, "prototype")
+		if err != nil {
+			return nil, err
+		}
+		proto, _ := protoV.(*Object)
+		for p := lo.Proto; p != nil; p = p.Proto {
+			if p == proto {
+				return true, nil
+			}
+		}
+		return false, nil
+	case "in":
+		o, ok := r.(*Object)
+		if !ok {
+			return nil, in.Throw("TypeError", "cannot use 'in' on a non-object")
+		}
+		key, err := in.ToStringValue(l)
+		if err != nil {
+			return nil, err
+		}
+		return in.hasProperty(o, key), nil
+	}
+	return nil, in.Throw("SyntaxError", "unknown binary operator %s", op)
+}
+
+func (in *Interp) hasProperty(o *Object, key string) bool {
+	if o.Class == "Array" || o.Class == "Arguments" {
+		if i, ok := arrayIndex(key); ok {
+			return i < len(o.Elems)
+		}
+		if key == "length" {
+			return true
+		}
+	}
+	for p := o; p != nil; p = p.Proto {
+		if p.Own(key) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// GetMember reads base[key], invoking getters and routing primitive
+// receivers to their builtin prototypes.
+func (in *Interp) GetMember(base Value, key string) (Value, error) {
+	in.charge(in.Engine.PropCost)
+	switch b := base.(type) {
+	case *Object:
+		return in.objGet(b, b, key)
+	case string:
+		if key == "length" {
+			return float64(len(b)), nil
+		}
+		if i, ok := arrayIndex(key); ok {
+			if i < len(b) {
+				return string(b[i]), nil
+			}
+			return Undefined{}, nil
+		}
+		return in.protoGet(in.stringProto, base, key)
+	case float64:
+		return in.protoGet(in.numberProto, base, key)
+	case bool:
+		return in.protoGet(in.booleanProto, base, key)
+	case Undefined:
+		return nil, in.Throw("TypeError", "cannot read property %q of undefined", key)
+	case Null:
+		return nil, in.Throw("TypeError", "cannot read property %q of null", key)
+	}
+	return Undefined{}, nil
+}
+
+func (in *Interp) protoGet(proto *Object, this Value, key string) (Value, error) {
+	for p := proto; p != nil; p = p.Proto {
+		if slot := p.Own(key); slot != nil {
+			if slot.Getter != nil {
+				return in.Call(slot.Getter, this, nil, Undefined{})
+			}
+			return slot.Value, nil
+		}
+	}
+	return Undefined{}, nil
+}
+
+func (in *Interp) objGet(o *Object, this Value, key string) (Value, error) {
+	if o.Class == "Array" || o.Class == "Arguments" {
+		if key == "length" {
+			if o.Own("length") == nil { // arrays expose length natively
+				return float64(len(o.Elems)), nil
+			}
+		}
+		if i, ok := arrayIndex(key); ok {
+			if i < len(o.Elems) {
+				return o.Elems[i], nil
+			}
+			// fall through to props for sparse writes beyond Elems
+		}
+	}
+	for p := o; p != nil; p = p.Proto {
+		if slot := p.Own(key); slot != nil {
+			if slot.Getter != nil {
+				return in.Call(slot.Getter, this, nil, Undefined{})
+			}
+			if slot.Setter != nil && slot.Getter == nil {
+				return Undefined{}, nil
+			}
+			return slot.Value, nil
+		}
+	}
+	// Functions materialize .prototype on first access.
+	if key == "prototype" && o.IsCallable() {
+		proto := in.NewPlainObject()
+		proto.SetHidden("constructor", o)
+		o.SetHidden("prototype", proto)
+		return proto, nil
+	}
+	return Undefined{}, nil
+}
+
+// SetMember writes base[key] = v, invoking setters found on the prototype
+// chain.
+func (in *Interp) SetMember(base Value, key string, v Value) error {
+	in.charge(in.Engine.PropCost)
+	o, ok := base.(*Object)
+	if !ok {
+		switch base.(type) {
+		case Undefined:
+			return in.Throw("TypeError", "cannot set property %q of undefined", key)
+		case Null:
+			return in.Throw("TypeError", "cannot set property %q of null", key)
+		}
+		return nil // writes to other primitives are silently dropped
+	}
+	if o.Class == "Array" || o.Class == "Arguments" {
+		if i, ok := arrayIndex(key); ok {
+			if o.Class == "Arguments" && i >= len(o.Elems) {
+				// Writing past the end of an arguments object creates an
+				// ordinary property; its length never changes.
+				o.SetOwn(key, v)
+				return nil
+			}
+			for len(o.Elems) <= i {
+				o.Elems = append(o.Elems, Undefined{})
+			}
+			o.Elems[i] = v
+			return nil
+		}
+		if key == "length" && o.Class == "Array" {
+			n, err := in.ToNumber(v)
+			if err != nil {
+				return err
+			}
+			size := int(n)
+			if size < 0 {
+				return in.Throw("RangeError", "invalid array length")
+			}
+			for len(o.Elems) < size {
+				o.Elems = append(o.Elems, Undefined{})
+			}
+			o.Elems = o.Elems[:size]
+			return nil
+		}
+	}
+	for p := o; p != nil; p = p.Proto {
+		if slot := p.Own(key); slot != nil {
+			if slot.Setter != nil {
+				_, err := in.Call(slot.Setter, o, []Value{v}, Undefined{})
+				return err
+			}
+			if slot.Getter != nil {
+				return nil // getter-only property: silent failure (sloppy mode)
+			}
+			if p == o {
+				slot.Value = v
+				return nil
+			}
+			break // data property on the chain: shadow it below
+		}
+	}
+	o.SetOwn(key, v)
+	return nil
+}

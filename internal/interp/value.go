@@ -1,0 +1,210 @@
+// Package interp is the JavaScript engine substrate: a tree-walking
+// interpreter for the subset defined in internal/ast, with the semantics
+// Stopify's transformations depend on — prototype chains, closures, the
+// arguments object, getters and setters, implicit valueOf/toString
+// conversions, try/catch/finally, constructors with new.target, and a
+// browser-like native stack limit.
+//
+// The interpreter plays the role of V8/Chakra/SpiderMonkey/JavaScriptCore in
+// the paper's evaluation. It charges work units through an engine.Profile so
+// that the browser-specific cost asymmetries (Figure 2b, Figure 11) are
+// reproducible, and it is deliberately not a JIT: the paper's results are
+// relative slowdowns, which survive a uniformly slower engine (DESIGN.md §1).
+package interp
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/ast"
+)
+
+// Value is any JavaScript value. The concrete types are:
+//
+//	Undefined, Null, bool, float64, string, *Object
+type Value = interface{}
+
+// Undefined is the JavaScript undefined value.
+type Undefined struct{}
+
+// Null is the JavaScript null value.
+type Null struct{}
+
+// NativeFunc is a function implemented in Go. Natives back the standard
+// library and the Stopify runtime primitives.
+type NativeFunc func(in *Interp, this Value, args []Value) (Value, error)
+
+// Prop is a property slot: either a data property or an accessor.
+type Prop struct {
+	Value      Value
+	Getter     *Object // non-nil for accessor properties
+	Setter     *Object
+	Enumerable bool
+}
+
+// Closure is the code and environment of a JavaScript function.
+type Closure struct {
+	Name   string
+	Params []string
+	Body   []ast.Stmt
+	Env    *Env
+	Arrow  bool
+	Self   *Object // the function object, for named-expression self-reference
+
+	hoisted *hoistInfo // lazily computed var/function hoisting data
+}
+
+// Object is everything with identity: plain objects, arrays, functions,
+// errors, and the arguments object.
+type Object struct {
+	Class string // "Object", "Array", "Function", "Error", "Arguments", ...
+	Proto *Object
+
+	props map[string]*Prop
+	keys  []string // insertion order, for for-in
+
+	// Elems backs Array and Arguments objects.
+	Elems []Value
+
+	// Function objects have exactly one of Fn (JavaScript) or Native set.
+	Fn         *Closure
+	Native     NativeFunc
+	NativeName string
+
+	// Extra carries host-specific payloads (e.g. reified continuation
+	// frames owned by the Stopify runtime).
+	Extra interface{}
+}
+
+// NewObject returns a plain object with the given prototype.
+func NewObject(proto *Object) *Object {
+	return &Object{Class: "Object", Proto: proto}
+}
+
+// IsCallable reports whether o can be applied.
+func (o *Object) IsCallable() bool { return o != nil && (o.Fn != nil || o.Native != nil) }
+
+// Own returns the own property slot for key, or nil.
+func (o *Object) Own(key string) *Prop {
+	if o.props == nil {
+		return nil
+	}
+	return o.props[key]
+}
+
+// SetOwn defines or overwrites an own enumerable data property.
+func (o *Object) SetOwn(key string, v Value) {
+	o.setSlot(key, &Prop{Value: v, Enumerable: true})
+}
+
+// SetHidden defines a non-enumerable data property (builtin methods).
+func (o *Object) SetHidden(key string, v Value) {
+	o.setSlot(key, &Prop{Value: v, Enumerable: false})
+}
+
+// SetAccessor installs a getter/setter pair (either may be nil).
+func (o *Object) SetAccessor(key string, getter, setter *Object, enumerable bool) {
+	o.setSlot(key, &Prop{Getter: getter, Setter: setter, Enumerable: enumerable})
+}
+
+func (o *Object) setSlot(key string, p *Prop) {
+	if o.props == nil {
+		o.props = make(map[string]*Prop)
+	}
+	if _, exists := o.props[key]; !exists {
+		o.keys = append(o.keys, key)
+	}
+	o.props[key] = p
+}
+
+// Delete removes an own property and reports whether it existed.
+func (o *Object) Delete(key string) bool {
+	if o.props == nil {
+		return false
+	}
+	if _, ok := o.props[key]; !ok {
+		return false
+	}
+	delete(o.props, key)
+	for i, k := range o.keys {
+		if k == key {
+			o.keys = append(o.keys[:i], o.keys[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// OwnKeys returns enumerable own property names in insertion order; for
+// arrays the indices come first, as engines do.
+func (o *Object) OwnKeys() []string {
+	var out []string
+	if o.Class == "Array" || o.Class == "Arguments" {
+		for i := range o.Elems {
+			out = append(out, strconv.Itoa(i))
+		}
+	}
+	for _, k := range o.keys {
+		if p := o.props[k]; p != nil && p.Enumerable {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// arrayIndex parses key as a valid array index; ok is false otherwise.
+func arrayIndex(key string) (int, bool) {
+	if key == "" || len(key) > 10 {
+		return 0, false
+	}
+	if key == "0" {
+		return 0, true
+	}
+	if key[0] < '1' || key[0] > '9' {
+		return 0, false
+	}
+	n := 0
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
+}
+
+// Thrown is a JavaScript exception propagating as a Go error.
+type Thrown struct {
+	Value Value
+}
+
+// Error implements error with a short description of the thrown value.
+func (t *Thrown) Error() string {
+	switch v := t.Value.(type) {
+	case string:
+		return "Thrown: " + v
+	case *Object:
+		if v.Class == "Error" {
+			name, _ := v.Own("name").Value.(string)
+			var msg string
+			if m := v.Own("message"); m != nil {
+				msg, _ = m.Value.(string)
+			}
+			return fmt.Sprintf("%s: %s", name, msg)
+		}
+		return "Thrown: [object " + v.Class + "]"
+	default:
+		return fmt.Sprintf("Thrown: %v", v)
+	}
+}
+
+// Control-flow completions, modeled as errors so they unwind evaluation.
+
+type breakErr struct{ label string }
+type continueErr struct{ label string }
+type returnErr struct{ value Value }
+
+func (e *breakErr) Error() string    { return "break " + e.label }
+func (e *continueErr) Error() string { return "continue " + e.label }
+func (e *returnErr) Error() string   { return "return" }

@@ -1,0 +1,162 @@
+package langs
+
+// Clojure returns the ClojureScript profile: persistent data structures
+// emulated by copy-on-write arrays and maps, multi-arity functions
+// dispatched on arguments.length (the M entry of Figure 5), and + used for
+// str (the + entry of the Impl column).
+func Clojure() *Profile {
+	return &Profile{
+		Name:     "clojure",
+		Compiler: "ClojureScript",
+		Impl:     "plus",
+		Args:     "mixed",
+		Benchmarks: []Benchmark{
+			{Name: "reduce_vec", Source: cljReduceVec},
+			{Name: "assoc_map", Source: cljAssocMap},
+			{Name: "multi_arity", Source: cljMultiArity},
+			{Name: "str_build", Source: cljStrBuild},
+			{Name: "lazy_seq", Source: cljLazySeq},
+			{Name: "frequencies", Source: cljFrequencies},
+			{Name: "loop_recur", Source: cljLoopRecur},
+			{Name: "comp_chain", Source: cljCompChain},
+		},
+	}
+}
+
+const cljRuntime = `
+function conj(vec, x) {
+  var out = vec.slice(0);
+  out.push(x);
+  return out;
+}
+function assoc(m, k, v) {
+  var out = {};
+  for (var key in m) { out[key] = m[key]; }
+  out[k] = v;
+  return out;
+}
+function get(m, k, dflt) {
+  if (arguments.length < 3) { dflt = null; }
+  var v = m[k];
+  return v === undefined ? dflt : v;
+}
+function reduce(f, init, coll) {
+  var acc = init;
+  for (var i = 0; i < coll.length; i++) { acc = f(acc, coll[i]); }
+  return acc;
+}
+function mapv(f, coll) {
+  var out = [];
+  for (var i = 0; i < coll.length; i++) { out.push(f(coll[i])); }
+  return out;
+}
+function str() {
+  var out = "";
+  for (var i = 0; i < arguments.length; i++) { out = out + arguments[i]; }
+  return out;
+}
+`
+
+const cljReduceVec = cljRuntime + `
+var v = [];
+for (var i = 0; i < 250; i++) { v = conj(v, i % 17); }
+var total = reduce(function (a, b) { return a + b * b; }, 0, v);
+console.log("reduce_vec", total);
+`
+
+const cljAssocMap = cljRuntime + `
+var m = {};
+for (var i = 0; i < 120; i++) { m = assoc(m, "k" + (i % 30), i); }
+var sum = 0;
+for (var i = 0; i < 30; i++) { sum += get(m, "k" + i, 0); }
+console.log("assoc_map", sum);
+`
+
+const cljMultiArity = cljRuntime + `
+// (defn add ([a] a) ([a b] ...) ([a b & more] ...)) compiles to an
+// arguments.length dispatch.
+function add(a, b) {
+  if (arguments.length === 1) { return a; }
+  if (arguments.length === 2) { return a + b; }
+  var t = a + b;
+  for (var i = 2; i < arguments.length; i++) { t += arguments[i]; }
+  return t;
+}
+var total = 0;
+for (var i = 0; i < 300; i++) {
+  total += add(i) + add(i, 1) + add(i, 1, 2, 3);
+}
+console.log("multi_arity", total);
+`
+
+const cljStrBuild = cljRuntime + `
+function Keyword(name) { this.name = name; }
+Keyword.prototype.toString = function () { return ":" + this.name; };
+var out = "";
+for (var i = 0; i < 50; i++) {
+  out = str(out, new Keyword("k" + (i % 5)), " ");
+}
+console.log("str_build", out.length);
+`
+
+const cljLazySeq = cljRuntime + `
+function lazySeq(thunk) { return { realized: false, thunk: thunk, val: null }; }
+function force(s) {
+  if (!s.realized) { s.val = s.thunk(); s.realized = true; }
+  return s.val;
+}
+function integers(n) {
+  return lazySeq(function () { return { first: n, rest: integers(n + 1) }; });
+}
+function takeWhileSum(s, limit) {
+  var acc = 0;
+  var cell = force(s);
+  while (cell.first < limit) {
+    acc += cell.first;
+    cell = force(cell.rest);
+  }
+  return acc;
+}
+console.log("lazy_seq", takeWhileSum(integers(0), 250));
+`
+
+const cljFrequencies = cljRuntime + `
+var words = [];
+var seed = 11;
+for (var i = 0; i < 220; i++) {
+  seed = (seed * 48271) % 2147483647;
+  words.push("w" + (seed % 12));
+}
+var freqs = reduce(function (m, w) {
+  return assoc(m, w, get(m, w, 0) + 1);
+}, {}, words);
+var top = 0;
+for (var k in freqs) { if (freqs[k] > top) { top = freqs[k]; } }
+console.log("frequencies", top);
+`
+
+const cljLoopRecur = cljRuntime + `
+// loop/recur compiles to a while(true) with rebinding.
+function gcd(a, b) {
+  while (true) {
+    if (b === 0) { return a; }
+    var t = b;
+    b = a % b;
+    a = t;
+  }
+}
+var acc = 0;
+for (var i = 1; i < 400; i++) { acc += gcd(i * 13, i + 99); }
+console.log("loop_recur", acc);
+`
+
+const cljCompChain = cljRuntime + `
+function comp(f, g) { return function (x) { return f(g(x)); }; }
+var inc = function (x) { return x + 1; };
+var dbl = function (x) { return x * 2; };
+var pipeline = inc;
+for (var i = 0; i < 8; i++) { pipeline = comp(pipeline, i % 2 === 0 ? dbl : inc); }
+var total = 0;
+for (var i = 0; i < 200; i++) { total = (total + pipeline(i)) % 100003; }
+console.log("comp_chain", total);
+`

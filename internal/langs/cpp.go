@@ -1,0 +1,210 @@
+package langs
+
+// Cpp returns the Emscripten profile: flat, C-like code over preallocated
+// numeric arrays standing in for linear memory, few small functions, heavy
+// while loops, and bit operations — no implicit conversions, getters, or
+// eval; varargs only through the arguments object (printf-style shims).
+func Cpp() *Profile {
+	return &Profile{
+		Name:     "cpp",
+		Compiler: "Emscripten",
+		Impl:     "none",
+		Args:     "varargs",
+		Benchmarks: []Benchmark{
+			{Name: "memops", Source: cppMemops},
+			{Name: "crc32", Source: cppCrc32},
+			{Name: "nsieve_bits", Source: cppNsieveBits},
+			{Name: "fannkuch", Source: cppFannkuch},
+			{Name: "quicksort_heap", Source: cppQuicksort},
+			{Name: "fixedpoint", Source: cppFixedpoint},
+			{Name: "hashloop", Source: cppHashloop},
+			{Name: "struct_array", Source: cppStructArray},
+		},
+	}
+}
+
+const cppHeap = `
+// Linear memory: HEAP32 stands in for Emscripten's typed-array views.
+var HEAP32 = [];
+for (var $i = 0; $i < 4096; $i++) { HEAP32.push(0); }
+`
+
+const cppMemops = cppHeap + `
+function memset32(ptr, val, n) {
+  var end = ptr + n;
+  while (ptr < end) { HEAP32[ptr] = val; ptr++; }
+}
+function memcpy32(dst, src, n) {
+  var i = 0;
+  while (i < n) { HEAP32[dst + i] = HEAP32[src + i]; i++; }
+}
+memset32(0, 7, 1024);
+var sum = 0;
+for (var round = 0; round < 12; round++) {
+  memcpy32(2048, 0, 1024);
+  sum = (sum + HEAP32[2048 + round * 13]) | 0;
+}
+console.log("memops", sum);
+`
+
+const cppCrc32 = cppHeap + `
+// CRC-32 table computation and streaming update, all bit ops.
+var table = [];
+for (var n = 0; n < 256; n++) {
+  var c = n;
+  for (var k = 0; k < 8; k++) {
+    c = (c & 1) ? (0xedb88320 ^ (c >>> 1)) : (c >>> 1);
+  }
+  table.push(c >>> 0);
+}
+function crcUpdate(crc, byteVal) {
+  return ((crc >>> 8) ^ table[(crc ^ byteVal) & 0xff]) >>> 0;
+}
+var crc = 0xffffffff;
+for (var i = 0; i < 3000; i++) {
+  crc = crcUpdate(crc, (i * 31) & 0xff);
+}
+console.log("crc32", (crc ^ 0xffffffff) >>> 0);
+`
+
+const cppNsieveBits = cppHeap + `
+function nsieve(m) {
+  var words = (m >> 5) + 1;
+  for (var w = 0; w < words; w++) { HEAP32[w] = 0; }
+  var count = 0;
+  for (var i = 2; i < m; i++) {
+    if ((HEAP32[i >> 5] & (1 << (i & 31))) === 0) {
+      count++;
+      for (var j = i + i; j < m; j += i) {
+        HEAP32[j >> 5] = HEAP32[j >> 5] | (1 << (j & 31));
+      }
+    }
+  }
+  return count;
+}
+console.log("nsieve_bits", nsieve(8000));
+`
+
+const cppFannkuch = cppHeap + `
+function fannkuch(n) {
+  var perm = [], perm1 = [], count = [];
+  for (var i = 0; i < n; i++) { perm.push(0); perm1.push(i); count.push(0); }
+  var maxFlips = 0, r = n;
+  var checksum = 0, sign = 1, iter = 0;
+  while (true) {
+    while (r !== 1) { count[r - 1] = r; r--; }
+    for (var i = 0; i < n; i++) { perm[i] = perm1[i]; }
+    var flips = 0;
+    var k = perm[0];
+    while (k !== 0) {
+      for (var lo = 0, hi = k; lo < hi; lo++, hi--) {
+        var t = perm[lo]; perm[lo] = perm[hi]; perm[hi] = t;
+      }
+      flips++;
+      k = perm[0];
+    }
+    if (flips > maxFlips) { maxFlips = flips; }
+    checksum += sign * flips;
+    sign = -sign;
+    iter++;
+    while (true) {
+      if (r === n) { console.log("fannkuch", maxFlips, checksum, iter); return; }
+      var p0 = perm1[0];
+      for (var i = 0; i < r; i++) { perm1[i] = perm1[i + 1]; }
+      perm1[r] = p0;
+      count[r]--;
+      if (count[r] > 0) { break; }
+      r++;
+    }
+  }
+}
+fannkuch(6);
+`
+
+const cppQuicksort = cppHeap + `
+// In-place quicksort over the heap with an explicit stack (no recursion,
+// as -O2 output often looks).
+var N = 700;
+var seedQ = 42;
+for (var i = 0; i < N; i++) {
+  seedQ = (seedQ * 1103515245 + 12345) & 0x7fffffff;
+  HEAP32[i] = seedQ % 10000;
+}
+var stack = [0, N - 1];
+while (stack.length > 0) {
+  var hi = stack.pop(), lo = stack.pop();
+  if (lo >= hi) { continue; }
+  var pivot = HEAP32[(lo + hi) >> 1];
+  var i = lo, j = hi;
+  while (i <= j) {
+    while (HEAP32[i] < pivot) { i++; }
+    while (HEAP32[j] > pivot) { j--; }
+    if (i <= j) {
+      var t = HEAP32[i]; HEAP32[i] = HEAP32[j]; HEAP32[j] = t;
+      i++; j--;
+    }
+  }
+  stack.push(lo); stack.push(j);
+  stack.push(i); stack.push(hi);
+}
+var ok = true;
+for (var i = 1; i < N; i++) { if (HEAP32[i - 1] > HEAP32[i]) { ok = false; } }
+console.log("quicksort_heap", ok, HEAP32[0], HEAP32[N - 1]);
+`
+
+const cppFixedpoint = cppHeap + `
+// 16.16 fixed-point arithmetic loop.
+function fxmul(a, b) { return ((a >> 8) * (b >> 8)) | 0; }
+var x = 1 << 16;
+var acc = 0;
+for (var i = 0; i < 4000; i++) {
+  x = fxmul(x, (1 << 16) + 37) + 11;
+  x = x & 0x7fffffff;
+  acc = (acc + (x >> 12)) | 0;
+}
+console.log("fixedpoint", acc);
+`
+
+const cppHashloop = cppHeap + `
+// FNV-1a over synthetic buffers, open-addressed table insert.
+function fnv(start, n) {
+  var h = 0x811c9dc5 | 0;
+  for (var i = 0; i < n; i++) {
+    h = (h ^ (HEAP32[start + i] & 0xff)) | 0;
+    h = (h * 16777619) | 0;
+  }
+  return h >>> 0;
+}
+for (var i = 0; i < 512; i++) { HEAP32[i] = (i * 2654435761) | 0; }
+var tableBase = 1024, tableSize = 256;
+for (var i = 0; i < tableSize; i++) { HEAP32[tableBase + i] = -1; }
+var collisions = 0;
+for (var k = 0; k < 200; k++) {
+  var h = fnv(k % 400, 16) % tableSize;
+  while (HEAP32[tableBase + h] !== -1) { h = (h + 1) % tableSize; collisions++; }
+  HEAP32[tableBase + h] = k;
+}
+console.log("hashloop", collisions);
+`
+
+const cppStructArray = cppHeap + `
+// Array-of-structs layout: stride-4 records {x, y, dx, dy} updated in bulk.
+var COUNT = 200;
+for (var i = 0; i < COUNT; i++) {
+  HEAP32[i * 4] = i;           // x
+  HEAP32[i * 4 + 1] = -i;      // y
+  HEAP32[i * 4 + 2] = (i % 7) - 3;  // dx
+  HEAP32[i * 4 + 3] = (i % 5) - 2;  // dy
+}
+for (var step = 0; step < 40; step++) {
+  for (var i = 0; i < COUNT; i++) {
+    var base = i * 4;
+    HEAP32[base] = HEAP32[base] + HEAP32[base + 2];
+    HEAP32[base + 1] = HEAP32[base + 1] + HEAP32[base + 3];
+    if (HEAP32[base] > 1000 || HEAP32[base] < -1000) { HEAP32[base + 2] = -HEAP32[base + 2]; }
+  }
+}
+var cx = 0, cy = 0;
+for (var i = 0; i < COUNT; i++) { cx += HEAP32[i * 4]; cy += HEAP32[i * 4 + 1]; }
+console.log("struct_array", cx, cy);
+`

@@ -1,0 +1,168 @@
+package langs
+
+// Dart returns the dart2js profile: class-heavy code whose getters are
+// trivial internal accessors that always terminate (the T entries of
+// Figure 5), and eval used only as compression for trivially terminating
+// generated functions.
+func Dart() *Profile {
+	return &Profile{
+		Name:     "dart",
+		Compiler: "dart2js",
+		Impl:     "none",
+		Args:     "none",
+		Getters:  true,
+		Eval:     true,
+		Benchmarks: []Benchmark{
+			{Name: "class_fields", Source: dartClassFields},
+			{Name: "getters_hot", Source: dartGettersHot},
+			{Name: "iterator", Source: dartIterator},
+			{Name: "matrix", Source: dartMatrix},
+			{Name: "tree_visit", Source: dartTreeVisit},
+			{Name: "eval_ctors", Source: dartEvalCtors},
+			{Name: "queue_sim", Source: dartQueueSim},
+			{Name: "complex", Source: dartComplex},
+		},
+	}
+}
+
+const dartClassFields = `
+function Rect(w, h) { this._w = w; this._h = h; }
+Object.defineProperty(Rect.prototype, "area", {
+  get: function () { return this._w * this._h; }
+});
+Object.defineProperty(Rect.prototype, "perimeter", {
+  get: function () { return 2 * (this._w + this._h); }
+});
+var total = 0;
+for (var i = 1; i <= 250; i++) {
+  var r = new Rect(i, i + 1);
+  total = (total + r.area + r.perimeter) % 1000003;
+}
+console.log("class_fields", total);
+`
+
+const dartGettersHot = `
+function Vec(x, y) { this._x = x; this._y = y; }
+Object.defineProperty(Vec.prototype, "x", { get: function () { return this._x; } });
+Object.defineProperty(Vec.prototype, "y", { get: function () { return this._y; } });
+Vec.prototype.plus = function (o) { return new Vec(this.x + o.x, this.y + o.y); };
+var v = new Vec(0, 0);
+for (var i = 0; i < 200; i++) { v = v.plus(new Vec(1, 2)); }
+console.log("getters_hot", v.x, v.y);
+`
+
+const dartIterator = `
+function ListIterator(list) { this._list = list; this._i = -1; this.current = null; }
+ListIterator.prototype.moveNext = function () {
+  this._i++;
+  if (this._i < this._list.length) { this.current = this._list[this._i]; return true; }
+  return false;
+};
+var data = [];
+for (var i = 0; i < 300; i++) { data.push(i * 3 % 11); }
+var sum = 0;
+var it = new ListIterator(data);
+while (it.moveNext()) { sum += it.current; }
+console.log("iterator", sum);
+`
+
+const dartMatrix = `
+function Matrix(n) {
+  this.n = n;
+  this.data = [];
+  for (var i = 0; i < n * n; i++) { this.data.push((i * 7) % 5); }
+}
+Matrix.prototype.at = function (r, c) { return this.data[r * this.n + c]; };
+Matrix.prototype.mul = function (o) {
+  var out = new Matrix(this.n);
+  for (var r = 0; r < this.n; r++) {
+    for (var c = 0; c < this.n; c++) {
+      var s = 0;
+      for (var k = 0; k < this.n; k++) { s += this.at(r, k) * o.at(k, c); }
+      out.data[r * this.n + c] = s % 101;
+    }
+  }
+  return out;
+};
+var m = new Matrix(12);
+var p = m.mul(m).mul(m);
+console.log("matrix", p.at(3, 4), p.at(7, 7));
+`
+
+const dartTreeVisit = `
+function Node(v) { this.value = v; this.children = []; }
+Node.prototype.add = function (c) { this.children.push(c); return this; };
+Node.prototype.visit = function (fn) {
+  fn(this);
+  for (var i = 0; i < this.children.length; i++) { this.children[i].visit(fn); }
+};
+function build(depth, fan) {
+  var n = new Node(depth);
+  if (depth > 0) {
+    for (var i = 0; i < fan; i++) { n.add(build(depth - 1, fan)); }
+  }
+  return n;
+}
+var count = 0, sum = 0;
+build(6, 3).visit(function (n) { count++; sum += n.value; });
+console.log("tree_visit", count, sum);
+`
+
+const dartEvalCtors = `
+// dart2js uses eval as compression for trivial generated constructors
+// (the T entry in Figure 5's Eval column).
+eval("MakeA = function () { return { kind: 'A', size: 1 }; };");
+eval("MakeB = function () { return { kind: 'B', size: 2 }; };");
+var sizes = 0;
+for (var i = 0; i < 150; i++) {
+  var v = i % 2 === 0 ? MakeA() : MakeB();
+  sizes += v.size;
+}
+console.log("eval_ctors", sizes);
+`
+
+const dartQueueSim = `
+function Queue() { this._in = []; this._out = []; }
+Queue.prototype.add = function (x) { this._in.push(x); };
+Queue.prototype.removeFirst = function () {
+  if (this._out.length === 0) {
+    while (this._in.length > 0) { this._out.push(this._in.pop()); }
+  }
+  return this._out.pop();
+};
+Object.defineProperty(Queue.prototype, "isEmpty", {
+  get: function () { return this._in.length === 0 && this._out.length === 0; }
+});
+var q = new Queue();
+var served = 0;
+for (var t = 0; t < 300; t++) {
+  q.add(t);
+  if (t % 3 === 0) {
+    while (!q.isEmpty) { served += q.removeFirst() % 7; if (served % 5 === 0) { break; } }
+  }
+}
+console.log("queue_sim", served);
+`
+
+const dartComplex = `
+function Complex(re, im) { this.re = re; this.im = im; }
+Complex.prototype.mul = function (o) {
+  return new Complex(this.re * o.re - this.im * o.im, this.re * o.im + this.im * o.re);
+};
+Complex.prototype.add = function (o) { return new Complex(this.re + o.re, this.im + o.im); };
+Object.defineProperty(Complex.prototype, "abs2", {
+  get: function () { return this.re * this.re + this.im * this.im; }
+});
+// Mandelbrot membership over a tiny grid.
+var inside = 0;
+for (var y = -6; y <= 6; y++) {
+  for (var x = -12; x <= 4; x++) {
+    var c = new Complex(x / 8, y / 8);
+    var z = new Complex(0, 0);
+    var it = 0;
+    while (it < 20 && z.abs2 < 4) { z = z.mul(z).add(c); it++; }
+    if (it === 20) { inside++; }
+  }
+}
+console.log("complex", inside);
+`

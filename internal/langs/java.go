@@ -1,0 +1,194 @@
+package langs
+
+// Java returns the JSweet profile: Java-style class hierarchies compiled to
+// constructor functions with prototype methods, interface dispatch through
+// method tables, and Java's implicit toString in string concatenation (the
+// + entry in Figure 5's Impl column and M in Args — JSweet uses arguments
+// for overload dispatch).
+func Java() *Profile {
+	return &Profile{
+		Name:     "java",
+		Compiler: "JSweet",
+		Impl:     "plus",
+		Args:     "mixed",
+		Benchmarks: []Benchmark{
+			{Name: "arraylist", Source: javaArrayList},
+			{Name: "tostring_concat", Source: javaToStringConcat},
+			{Name: "inheritance", Source: javaInheritance},
+			{Name: "hashmap", Source: javaHashMap},
+			{Name: "overloads", Source: javaOverloads},
+			{Name: "interfaces", Source: javaInterfaces},
+			{Name: "stringbuilder", Source: javaStringBuilder},
+			{Name: "exceptions", Source: javaExceptions},
+			{Name: "scimark_sor", Source: javaSOR},
+		},
+	}
+}
+
+const javaArrayList = `
+function ArrayList() { this.elementData = []; this.size = 0; }
+ArrayList.prototype.add = function (e) { this.elementData[this.size++] = e; return true; };
+ArrayList.prototype.get = function (i) { return this.elementData[i]; };
+ArrayList.prototype.set = function (i, e) { var old = this.elementData[i]; this.elementData[i] = e; return old; };
+var list = new ArrayList();
+for (var i = 0; i < 350; i++) { list.add(i % 23); }
+var sum = 0;
+for (var i = 0; i < list.size; i++) { sum += list.get(i); }
+list.set(0, 99);
+console.log("arraylist", sum, list.get(0));
+`
+
+const javaToStringConcat = `
+function Money(cents) { this.cents = cents; }
+Money.prototype.toString = function () {
+  return "$" + ((this.cents / 100) | 0) + "." + (this.cents % 100);
+};
+var report = "";
+for (var i = 0; i < 40; i++) {
+  report = report + new Money(i * 137) + "\n";
+}
+console.log("tostring_concat", report.length);
+`
+
+const javaInheritance = `
+function Animal(name) { this.name = name; }
+Animal.prototype.speak = function () { return this.name + " makes a sound"; };
+Animal.prototype.legs = function () { return 4; };
+function Dog(name) { Animal.call(this, name); }
+Dog.prototype = Object.create(Animal.prototype);
+Dog.prototype.speak = function () { return this.name + " barks"; };
+function Bird(name) { Animal.call(this, name); }
+Bird.prototype = Object.create(Animal.prototype);
+Bird.prototype.legs = function () { return 2; };
+var zoo = [];
+for (var i = 0; i < 120; i++) {
+  zoo.push(i % 2 === 0 ? new Dog("d" + i) : new Bird("b" + i));
+}
+var legs = 0, chars = 0;
+for (var i = 0; i < zoo.length; i++) {
+  legs += zoo[i].legs();
+  chars += zoo[i].speak().length;
+}
+console.log("inheritance", legs, chars);
+`
+
+const javaHashMap = `
+function HashMap() { this.buckets = []; for (var i = 0; i < 16; i++) { this.buckets.push([]); } this.count = 0; }
+HashMap.prototype.hash = function (key) {
+  var h = 0;
+  for (var i = 0; i < key.length; i++) { h = (h * 31 + key.charCodeAt(i)) | 0; }
+  return (h & 0x7fffffff) % 16;
+};
+HashMap.prototype.put = function (key, value) {
+  var b = this.buckets[this.hash(key)];
+  for (var i = 0; i < b.length; i++) {
+    if (b[i].key === key) { b[i].value = value; return; }
+  }
+  b.push({ key: key, value: value });
+  this.count++;
+};
+HashMap.prototype.get = function (key) {
+  var b = this.buckets[this.hash(key)];
+  for (var i = 0; i < b.length; i++) {
+    if (b[i].key === key) { return b[i].value; }
+  }
+  return null;
+};
+var map = new HashMap();
+for (var i = 0; i < 200; i++) { map.put("key" + (i % 60), i); }
+var total = 0;
+for (var i = 0; i < 60; i++) { total += map.get("key" + i); }
+console.log("hashmap", map.count, total);
+`
+
+const javaOverloads = `
+// Overloaded methods dispatch on arguments.length in JSweet output.
+function Calc() { this.acc = 0; }
+Calc.prototype.add = function (a, b) {
+  if (arguments.length === 1) { this.acc += a; return this; }
+  this.acc += a * b;
+  return this;
+};
+var c = new Calc();
+for (var i = 0; i < 300; i++) {
+  if (i % 2 === 0) { c.add(i); } else { c.add(i, 2); }
+}
+console.log("overloads", c.acc);
+`
+
+const javaInterfaces = `
+// Comparable/Comparator-style dispatch.
+function byValue(a, b) { return a.value - b.value; }
+function Item(value, weight) { this.value = value; this.weight = weight; }
+Item.prototype.compareTo = function (o) { return byValue(this, o); };
+var items = [];
+var seed = 5;
+for (var i = 0; i < 90; i++) {
+  seed = (seed * 48271) % 2147483647;
+  items.push(new Item(seed % 500, i));
+}
+// selection sort via compareTo
+for (var i = 0; i < items.length; i++) {
+  var min = i;
+  for (var j = i + 1; j < items.length; j++) {
+    if (items[j].compareTo(items[min]) < 0) { min = j; }
+  }
+  var t = items[i]; items[i] = items[min]; items[min] = t;
+}
+var ordered = true;
+for (var i = 1; i < items.length; i++) {
+  if (items[i - 1].value > items[i].value) { ordered = false; }
+}
+console.log("interfaces", ordered, items[0].value);
+`
+
+const javaStringBuilder = `
+function StringBuilder() { this.parts = []; }
+StringBuilder.prototype.append = function (x) { this.parts.push("" + x); return this; };
+StringBuilder.prototype.toString = function () { return this.parts.join(""); };
+var sb = new StringBuilder();
+for (var i = 0; i < 200; i++) {
+  sb.append(i).append(",");
+}
+var s = sb.toString();
+console.log("stringbuilder", s.length, s.charAt(10));
+`
+
+const javaExceptions = `
+function CheckedError(code) { this.code = code; }
+function mightFail(n) {
+  if (n % 7 === 0) { throw new CheckedError(n); }
+  return n * 2;
+}
+var handled = 0, total = 0;
+for (var i = 0; i < 250; i++) {
+  try {
+    total += mightFail(i);
+  } catch (e) {
+    handled++;
+    total += e.code;
+  }
+}
+console.log("exceptions", handled, total);
+`
+
+const javaSOR = `
+// SciMark's successive over-relaxation kernel.
+var N = 24;
+var G = [];
+for (var i = 0; i < N; i++) {
+  var row = [];
+  for (var j = 0; j < N; j++) { row.push(((i * j) % 13) / 13); }
+  G.push(row);
+}
+var omega = 1.25;
+for (var p = 0; p < 20; p++) {
+  for (var i = 1; i < N - 1; i++) {
+    var Gi = G[i], Gim = G[i - 1], Gip = G[i + 1];
+    for (var j = 1; j < N - 1; j++) {
+      Gi[j] = omega * 0.25 * (Gim[j] + Gip[j] + Gi[j - 1] + Gi[j + 1]) + (1 - omega) * Gi[j];
+    }
+  }
+}
+console.log("scimark_sor", (G[12][12] * 1e9) | 0);
+`

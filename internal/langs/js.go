@@ -1,0 +1,353 @@
+package langs
+
+// JavaScript returns the profile for JavaScript itself — the only source
+// language that needs every feature (the all-✓ row of Figure 5): implicit
+// valueOf/toString in arithmetic, getters and setters on hot paths, full
+// arguments-object behaviour, and eval.
+func JavaScript() *Profile {
+	return &Profile{
+		Name:     "javascript",
+		Compiler: "JavaScript",
+		Impl:     "full",
+		Args:     "full",
+		Getters:  true,
+		Eval:     true,
+		Benchmarks: []Benchmark{
+			{Name: "valueof_arith", Source: jsValueofArith},
+			{Name: "getter_grid", Source: jsGetterGrid},
+			{Name: "proto_chain", Source: jsProtoChain},
+			{Name: "arguments_tricks", Source: jsArgumentsTricks},
+			{Name: "dynamic_props", Source: jsDynamicProps},
+			{Name: "closures", Source: jsClosures},
+			{Name: "splice_heavy", Source: jsSpliceHeavy},
+			{Name: "regex_free_parse", Source: jsParse},
+			{Name: "eval_dispatch", Source: jsEvalDispatch},
+			{Name: "crypto_mini", Source: jsCryptoMini},
+		},
+	}
+}
+
+const jsValueofArith = `
+// Arithmetic over objects with valueOf: every + and * is an implicit call.
+function Unit(v) { this.v = v; }
+Unit.prototype.valueOf = function () { return this.v; };
+var total = 0;
+for (var i = 0; i < 120; i++) {
+  var a = new Unit(i), b = new Unit(i % 7);
+  total += a * 2 + b - (a < b ? 1 : 0);
+}
+console.log("valueof_arith", total);
+`
+
+const jsGetterGrid = `
+var cellCount = 0;
+function makeCell(v) {
+  return {
+    _v: v,
+    get value() { cellCount++; return this._v; },
+    set value(x) { this._v = x % 256; }
+  };
+}
+var grid = [];
+for (var i = 0; i < 48; i++) { grid.push(makeCell(i)); }
+for (var round = 0; round < 12; round++) {
+  for (var i = 1; i < grid.length; i++) {
+    grid[i].value = grid[i - 1].value + grid[i].value;
+  }
+}
+console.log("getter_grid", grid[47].value, cellCount);
+`
+
+const jsProtoChain = `
+var base = { level: 0, describe: function () { return "L" + this.level; } };
+var chain = base;
+for (var i = 1; i <= 8; i++) {
+  var next = Object.create(chain);
+  next.level = i;
+  chain = next;
+}
+var hits = 0;
+for (var i = 0; i < 400; i++) {
+  if (chain.describe().length === 2) { hits++; }
+}
+console.log("proto_chain", hits, chain.level);
+`
+
+const jsArgumentsTricks = `
+// Full arguments behaviour: writes through the arguments object and length
+// mismatches. (Reads go through arguments[0] after the write so the
+// checksum is identical whether or not the engine aliases formals — our
+// raw interpreter is strict-mode-like, the instrumented full-args build is
+// sloppy-like.)
+function juggle(a, b) {
+  arguments[0] = arguments[0] * 2;
+  if (arguments.length < 2) { b = arguments[0]; }
+  return arguments[0] + b + arguments.length;
+}
+var t = 0;
+for (var i = 0; i < 250; i++) {
+  t += juggle(i) + juggle(i, 1);
+}
+console.log("arguments_tricks", t);
+`
+
+const jsDynamicProps = `
+var registry = {};
+function record(name, value) {
+  var bucket = registry[name];
+  if (bucket === undefined) { bucket = { count: 0, total: 0 }; registry[name] = bucket; }
+  bucket.count++;
+  bucket.total += value;
+}
+for (var i = 0; i < 350; i++) {
+  record("metric" + (i % 9), i);
+  if (i % 50 === 0) { delete registry["metric" + (i % 9)]; }
+}
+var names = 0, counts = 0;
+for (var k in registry) { names++; counts += registry[k].count; }
+console.log("dynamic_props", names, counts);
+`
+
+const jsClosures = `
+function memoize(f) {
+  var cache = {};
+  return function (x) {
+    var key = "k" + x;
+    if (cache[key] === undefined) { cache[key] = f(x); }
+    return cache[key];
+  };
+}
+var calls = 0;
+var slow = function (n) {
+  calls++;
+  var t = 0;
+  for (var i = 0; i < n % 50; i++) { t += i; }
+  return t;
+};
+var fast = memoize(slow);
+var total = 0;
+for (var i = 0; i < 300; i++) { total += fast(i % 40); }
+console.log("closures", total, calls);
+`
+
+const jsSpliceHeavy = `
+var deck = [];
+for (var i = 0; i < 80; i++) { deck.push(i); }
+var seed = 17;
+for (var round = 0; round < 60; round++) {
+  seed = (seed * 48271) % 2147483647;
+  var from = seed % deck.length;
+  var card = deck.splice(from, 1)[0];
+  deck.push(card);
+}
+var checksum = 0;
+for (var i = 0; i < deck.length; i++) { checksum = (checksum * 31 + deck[i]) % 1000003; }
+console.log("splice_heavy", checksum);
+`
+
+const jsParse = `
+// A tiny arithmetic-expression parser: string scanning without regexes.
+function parse(src) {
+  var pos = 0;
+  function peek() { return src.charAt(pos); }
+  function num() {
+    var start = pos;
+    while (peek() >= "0" && peek() <= "9") { pos++; }
+    return parseInt(src.substring(start, pos), 10);
+  }
+  function factor() {
+    if (peek() === "(") { pos++; var v = expr(); pos++; return v; }
+    return num();
+  }
+  function term() {
+    var v = factor();
+    while (peek() === "*") { pos++; v *= factor(); }
+    return v;
+  }
+  function expr() {
+    var v = term();
+    while (peek() === "+") { pos++; v += term(); }
+    return v;
+  }
+  return expr();
+}
+var total = 0;
+for (var i = 0; i < 60; i++) {
+  total += parse("1+2*(3+" + (i % 9) + ")*2+10");
+}
+console.log("regex_free_parse", total);
+`
+
+const jsEvalDispatch = `
+// Handlers generated with eval, as dynamic frameworks do.
+eval("handleAdd = function (s, x) { return s + x; };");
+eval("handleMul = function (s, x) { return s * x % 9973; };");
+var state = 1;
+for (var i = 0; i < 200; i++) {
+  state = i % 2 === 0 ? handleAdd(state, i) : handleMul(state, 3);
+}
+console.log("eval_dispatch", state);
+`
+
+const jsCryptoMini = `
+// Kraken-flavoured byte mixing without typed arrays.
+function rotl(x, n) { return ((x << n) | (x >>> (32 - n))) | 0; }
+var state = [1732584193, -271733879, -1732584194, 271733878];
+for (var block = 0; block < 40; block++) {
+  var a = state[0], b = state[1], c = state[2], d = state[3];
+  for (var i = 0; i < 16; i++) {
+    var f = (b & c) | (~b & d);
+    var tmp = d;
+    d = c; c = b;
+    b = (b + rotl((a + f + block * 16 + i) | 0, 7)) | 0;
+    a = tmp;
+  }
+  state[0] = (state[0] + a) | 0;
+  state[1] = (state[1] + b) | 0;
+  state[2] = (state[2] + c) | 0;
+  state[3] = (state[3] + d) | 0;
+}
+console.log("crypto_mini", state[0] ^ state[1], state[2] ^ state[3]);
+`
+
+// OctaneLike returns a suite in the style of the Octane benchmarks the
+// paper measures in Figure 13: object- and call-heavy code where arithmetic
+// mostly touches known numbers, so the implicit-call desugaring rarely
+// fires at runtime.
+func OctaneLike() []Benchmark {
+	return []Benchmark{
+		{Name: "richards_like", Source: pyRichards},
+		{Name: "deltablue_like", Source: pyDeltaBlue},
+		{Name: "splay_like", Source: octSplay},
+		{Name: "navier_stokes_like", Source: octNavier},
+		{Name: "raytrace_like", Source: pyRaytrace},
+	}
+}
+
+// KrakenLike returns a suite in the style of the Kraken benchmarks: tight
+// numeric kernels whose every arithmetic operation goes through the
+// implicit-conversion helpers, which is why Figure 13 shows Kraken's
+// slowdown an order of magnitude above Octane's.
+func KrakenLike() []Benchmark {
+	return []Benchmark{
+		{Name: "crypto_like", Source: jsCryptoMini},
+		{Name: "audio_dft_like", Source: krakenDFT},
+		{Name: "imaging_like", Source: krakenImaging},
+		{Name: "astar_like", Source: krakenAstar},
+	}
+}
+
+const octSplay = `
+// Splay-tree-ish: rotations near the root on skewed lookups.
+function node(key) { return { key: key, left: null, right: null }; }
+function insert(root, key) {
+  if (root === null) { return node(key); }
+  if (key < root.key) { root.left = insert(root.left, key); }
+  else if (key > root.key) { root.right = insert(root.right, key); }
+  return root;
+}
+function rotateRight(n) { var l = n.left; n.left = l.right; l.right = n; return l; }
+function rotateLeft(n) { var r = n.right; n.right = r.left; r.left = n; return r; }
+function splayStep(root, key) {
+  if (root === null || root.key === key) { return root; }
+  if (key < root.key && root.left !== null) { return rotateRight(root); }
+  if (key > root.key && root.right !== null) { return rotateLeft(root); }
+  return root;
+}
+var root = null;
+var seed = 23;
+for (var i = 0; i < 220; i++) {
+  seed = (seed * 48271) % 2147483647;
+  root = insert(root, seed % 500);
+  root = splayStep(root, seed % 500);
+}
+function depth(n) {
+  if (n === null) { return 0; }
+  var l = depth(n.left), r = depth(n.right);
+  return 1 + (l > r ? l : r);
+}
+console.log("splay_like", depth(root));
+`
+
+const octNavier = `
+// Navier-Stokes-flavoured stencil over a small grid.
+var N = 18;
+var u = [], v = [];
+for (var i = 0; i < N * N; i++) { u.push((i % 7) / 7); v.push(0); }
+function step() {
+  for (var y = 1; y < N - 1; y++) {
+    for (var x = 1; x < N - 1; x++) {
+      var idx = y * N + x;
+      v[idx] = (u[idx - 1] + u[idx + 1] + u[idx - N] + u[idx + N]) * 0.25;
+    }
+  }
+  var t = u; u = v; v = t;
+}
+for (var s = 0; s < 30; s++) { step(); }
+console.log("navier_stokes_like", (u[(N * N / 2) | 0] * 1e9) | 0);
+`
+
+const krakenDFT = `
+// Direct DFT over a small window — multiply-accumulate saturation.
+var SIZE = 48;
+var signal = [];
+for (var i = 0; i < SIZE; i++) { signal.push(Math.sin(i * 0.7) + Math.sin(i * 0.3)); }
+var power = 0;
+for (var k = 0; k < SIZE; k++) {
+  var re = 0, im = 0;
+  for (var n = 0; n < SIZE; n++) {
+    var ang = 2 * Math.PI * k * n / SIZE;
+    re += signal[n] * Math.cos(ang);
+    im -= signal[n] * Math.sin(ang);
+  }
+  power += re * re + im * im;
+}
+console.log("audio_dft_like", (power * 1000) | 0);
+`
+
+const krakenImaging = `
+// Gaussian-ish blur + threshold over a grayscale buffer.
+var W = 40, H = 30;
+var img = [];
+for (var i = 0; i < W * H; i++) { img.push((i * 37) % 256); }
+var out = [];
+for (var i = 0; i < W * H; i++) { out.push(0); }
+for (var y = 1; y < H - 1; y++) {
+  for (var x = 1; x < W - 1; x++) {
+    var idx = y * W + x;
+    var acc = img[idx] * 4 + img[idx - 1] * 2 + img[idx + 1] * 2 + img[idx - W] * 2 + img[idx + W] * 2
+      + img[idx - W - 1] + img[idx - W + 1] + img[idx + W - 1] + img[idx + W + 1];
+    out[idx] = (acc / 16) | 0;
+  }
+}
+var bright = 0;
+for (var i = 0; i < W * H; i++) { if (out[i] > 128) { bright++; } }
+console.log("imaging_like", bright);
+`
+
+const krakenAstar = `
+// Grid path cost propagation (A*-flavoured relaxation).
+var W = 24, H = 18;
+var cost = [], dist = [];
+for (var i = 0; i < W * H; i++) {
+  cost.push(1 + ((i * 31) % 5));
+  dist.push(1e9);
+}
+dist[0] = 0;
+for (var round = 0; round < 30; round++) {
+  var changed = false;
+  for (var y = 0; y < H; y++) {
+    for (var x = 0; x < W; x++) {
+      var idx = y * W + x;
+      var d = dist[idx];
+      if (x > 0 && dist[idx - 1] + cost[idx] < d) { d = dist[idx - 1] + cost[idx]; }
+      if (x < W - 1 && dist[idx + 1] + cost[idx] < d) { d = dist[idx + 1] + cost[idx]; }
+      if (y > 0 && dist[idx - W] + cost[idx] < d) { d = dist[idx - W] + cost[idx]; }
+      if (y < H - 1 && dist[idx + W] + cost[idx] < d) { d = dist[idx + W] + cost[idx]; }
+      if (d < dist[idx]) { dist[idx] = d; changed = true; }
+    }
+  }
+  if (!changed) { break; }
+}
+console.log("astar_like", dist[W * H - 1]);
+`

@@ -1,0 +1,238 @@
+// Package native provides plain Go implementations of the benchmark
+// kernels, standing in for the paper's native binaries in the Figure 15
+// experiment: the slowdown of running in the browser (our interpreter)
+// versus running natively, without Stopify. Each kernel returns a checksum
+// so the compiler cannot elide the work.
+package native
+
+import "math"
+
+// Kernel is one natively implemented benchmark.
+type Kernel struct {
+	Name string
+	Run  func() float64
+}
+
+// Kernels returns the native counterparts of representative suite members.
+func Kernels() []Kernel {
+	return []Kernel{
+		{Name: "fib", Run: func() float64 { return float64(fib(16)) }},
+		{Name: "tak", Run: func() float64 { return float64(tak(12, 6, 0)) }},
+		{Name: "nsieve", Run: func() float64 { return float64(nsieve(8000)) }},
+		{Name: "nbody", Run: func() float64 { return nbody(120) }},
+		{Name: "spectral_norm", Run: func() float64 { return spectralNorm(24) }},
+		{Name: "binary_trees", Run: func() float64 { return float64(binaryTrees(12, 6)) }},
+		{Name: "fft", Run: func() float64 { return fftChecksum(256, 4) }},
+		{Name: "crc32", Run: func() float64 { return float64(crc32sum(3000)) }},
+	}
+}
+
+func fib(n int) int {
+	if n < 2 {
+		return n
+	}
+	return fib(n-1) + fib(n-2)
+}
+
+func tak(x, y, z int) int {
+	if y >= x {
+		return z
+	}
+	return tak(tak(x-1, y, z), tak(y-1, z, x), tak(z-1, x, y))
+}
+
+func nsieve(m int) int {
+	composite := make([]bool, m)
+	count := 0
+	for i := 2; i < m; i++ {
+		if !composite[i] {
+			count++
+			for j := i + i; j < m; j += i {
+				composite[j] = true
+			}
+		}
+	}
+	return count
+}
+
+type planet struct{ x, y, z, vx, vy, vz, mass float64 }
+
+func nbody(steps int) float64 {
+	solarMass := 4 * math.Pi * math.Pi
+	bodies := []planet{
+		{0, 0, 0, 0, 0, 0, solarMass},
+		{4.84, -1.16, -0.103, 0.606, 0.288, -0.0125, 9.54e-4 * solarMass},
+		{8.34, 4.12, -0.403, -0.276, 0.499, 0.0023, 2.85e-4 * solarMass},
+		{12.89, -15.11, -0.223, 0.296, 0.0237, -0.0029, 4.36e-5 * solarMass},
+		{15.37, -25.91, 0.179, 0.268, 0.1662, -0.0095, 5.15e-5 * solarMass},
+	}
+	dt := 0.01
+	for s := 0; s < steps; s++ {
+		for i := range bodies {
+			bi := &bodies[i]
+			for j := i + 1; j < len(bodies); j++ {
+				bj := &bodies[j]
+				dx, dy, dz := bi.x-bj.x, bi.y-bj.y, bi.z-bj.z
+				d2 := dx*dx + dy*dy + dz*dz
+				mag := dt / (d2 * math.Sqrt(d2))
+				bi.vx -= dx * bj.mass * mag
+				bi.vy -= dy * bj.mass * mag
+				bi.vz -= dz * bj.mass * mag
+				bj.vx += dx * bi.mass * mag
+				bj.vy += dy * bi.mass * mag
+				bj.vz += dz * bi.mass * mag
+			}
+		}
+		for i := range bodies {
+			b := &bodies[i]
+			b.x += dt * b.vx
+			b.y += dt * b.vy
+			b.z += dt * b.vz
+		}
+	}
+	e := 0.0
+	for i := range bodies {
+		bi := bodies[i]
+		e += 0.5 * bi.mass * (bi.vx*bi.vx + bi.vy*bi.vy + bi.vz*bi.vz)
+		for j := i + 1; j < len(bodies); j++ {
+			bj := bodies[j]
+			dx, dy, dz := bi.x-bj.x, bi.y-bj.y, bi.z-bj.z
+			e -= bi.mass * bj.mass / math.Sqrt(dx*dx+dy*dy+dz*dz)
+		}
+	}
+	return math.Trunc(e * 1e6)
+}
+
+func spectralNorm(n int) float64 {
+	a := func(i, j int) float64 { return 1 / float64((i+j)*(i+j+1)/2+i+1) }
+	av := func(v []float64) []float64 {
+		out := make([]float64, len(v))
+		for i := range v {
+			s := 0.0
+			for j := range v {
+				s += a(i, j) * v[j]
+			}
+			out[i] = s
+		}
+		return out
+	}
+	atv := func(v []float64) []float64 {
+		out := make([]float64, len(v))
+		for i := range v {
+			s := 0.0
+			for j := range v {
+				s += a(j, i) * v[j]
+			}
+			out[i] = s
+		}
+		return out
+	}
+	u := make([]float64, n)
+	for i := range u {
+		u[i] = 1
+	}
+	var v []float64
+	for it := 0; it < 6; it++ {
+		v = atv(av(u))
+		u = atv(av(v))
+	}
+	vBv, vv := 0.0, 0.0
+	for i := range u {
+		vBv += u[i] * v[i]
+		vv += v[i] * v[i]
+	}
+	return math.Trunc(math.Sqrt(vBv/vv) * 1e9)
+}
+
+type tree struct{ left, right *tree }
+
+func makeTree(depth int) *tree {
+	if depth == 0 {
+		return &tree{}
+	}
+	return &tree{left: makeTree(depth - 1), right: makeTree(depth - 1)}
+}
+
+func checkTree(t *tree) int {
+	if t.left == nil {
+		return 1
+	}
+	return 1 + checkTree(t.left) + checkTree(t.right)
+}
+
+func binaryTrees(iters, depth int) int {
+	total := 0
+	for i := 0; i < iters; i++ {
+		total += checkTree(makeTree(depth))
+	}
+	return total
+}
+
+func fftChecksum(n, rounds int) float64 {
+	re := make([]float64, n)
+	im := make([]float64, n)
+	for i := range re {
+		re[i] = math.Sin(float64(i))
+	}
+	for r := 0; r < rounds; r++ {
+		fft(re, im)
+	}
+	acc := 0.0
+	for i := range re {
+		acc += re[i]*re[i] + im[i]*im[i]
+	}
+	return math.Trunc(acc)
+}
+
+func fft(re, im []float64) {
+	n := len(re)
+	j := 0
+	for i := 0; i < n-1; i++ {
+		if i < j {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+		m := n >> 1
+		for m >= 1 && j >= m {
+			j -= m
+			m >>= 1
+		}
+		j += m
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := math.Pi / float64(half)
+		for base := 0; base < n; base += size {
+			for k := 0; k < half; k++ {
+				ang := step * float64(k)
+				wr, wi := math.Cos(ang), -math.Sin(ang)
+				idx, jdx := base+k, base+k+half
+				xr := wr*re[jdx] - wi*im[jdx]
+				xi := wr*im[jdx] + wi*re[jdx]
+				re[jdx], im[jdx] = re[idx]-xr, im[idx]-xi
+				re[idx] += xr
+				im[idx] += xi
+			}
+		}
+	}
+}
+
+func crc32sum(n int) uint32 {
+	var table [256]uint32
+	for i := range table {
+		c := uint32(i)
+		for k := 0; k < 8; k++ {
+			if c&1 != 0 {
+				c = 0xedb88320 ^ (c >> 1)
+			} else {
+				c >>= 1
+			}
+		}
+		table[i] = c
+	}
+	crc := uint32(0xffffffff)
+	for i := 0; i < n; i++ {
+		crc = (crc >> 8) ^ table[(crc^uint32(i*31))&0xff]
+	}
+	return crc ^ 0xffffffff
+}

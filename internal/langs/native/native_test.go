@@ -1,0 +1,37 @@
+package native
+
+import "testing"
+
+// Expected checksums pin the native kernels to their JavaScript
+// counterparts in internal/langs: Figure 15 only makes sense if both sides
+// compute the same thing.
+func TestKernelChecksums(t *testing.T) {
+	want := map[string]float64{
+		"fib":          987,
+		"tak":          1,
+		"nsieve":       1007,
+		"binary_trees": 1524,
+	}
+	for _, k := range Kernels() {
+		got := k.Run()
+		if expect, ok := want[k.Name]; ok && got != expect {
+			t.Errorf("%s = %v, want %v", k.Name, got, expect)
+		}
+		if got != k.Run() {
+			t.Errorf("%s is not deterministic", k.Name)
+		}
+	}
+}
+
+func TestKernelCoverage(t *testing.T) {
+	if len(Kernels()) < 8 {
+		t.Errorf("expected at least 8 native kernels, got %d", len(Kernels()))
+	}
+	seen := map[string]bool{}
+	for _, k := range Kernels() {
+		if seen[k.Name] {
+			t.Errorf("duplicate kernel %q", k.Name)
+		}
+		seen[k.Name] = true
+	}
+}

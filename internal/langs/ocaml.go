@@ -1,0 +1,192 @@
+package langs
+
+// OCaml returns the BuckleScript profile: curried functions compiled to
+// nested closures, variants and tuples represented as small arrays, and
+// nothing fancy — no implicits, no arguments tricks, no getters, no eval
+// (the all-✗ row of Figure 5). Benchmarks follow the OPerf-micro style the
+// paper cites.
+func OCaml() *Profile {
+	return &Profile{
+		Name:     "ocaml",
+		Compiler: "BuckleScript",
+		Impl:     "none",
+		Args:     "none",
+		Benchmarks: []Benchmark{
+			{Name: "curried", Source: mlCurried},
+			{Name: "variants", Source: mlVariants},
+			{Name: "fold_list", Source: mlFoldList},
+			{Name: "kb_rewrite", Source: mlKBRewrite},
+			{Name: "sieve_rec", Source: mlSieveRec},
+			{Name: "hamming", Source: mlHamming},
+			{Name: "tuples", Source: mlTuples},
+			{Name: "option_chain", Source: mlOptionChain},
+			{Name: "bdd_mini", Source: mlBddMini},
+		},
+	}
+}
+
+const mlCurried = `
+// let add a b c = a + b + c  — curried application allocates closures.
+function add(a) {
+  return function (b) {
+    return function (c) { return a + b + c; };
+  };
+}
+var total = 0;
+for (var i = 0; i < 400; i++) {
+  total = (total + add(i)(i * 2)(3)) % 1000003;
+}
+console.log("curried", total);
+`
+
+const mlVariants = `
+// type shape = Circle of float | Rect of float * float | Point
+// variants compile to tagged arrays: [tag, payload...].
+function area(s) {
+  switch (s[0]) {
+    case 0: return 3.14159 * s[1] * s[1];
+    case 1: return s[1] * s[2];
+    default: return 0;
+  }
+}
+var shapes = [];
+for (var i = 0; i < 240; i++) {
+  if (i % 3 === 0) { shapes.push([0, i % 7]); }
+  else if (i % 3 === 1) { shapes.push([1, i % 5, i % 4]); }
+  else { shapes.push([2]); }
+}
+var total = 0;
+for (var i = 0; i < shapes.length; i++) { total += area(shapes[i]); }
+console.log("variants", (total * 100 | 0));
+`
+
+const mlFoldList = `
+// Lists are [head, tail] pairs; 0 is the empty list.
+function cons(h, t) { return [h, t]; }
+function fold_left(f, acc, xs) {
+  while (xs !== 0) { acc = f(acc)(xs[0]); xs = xs[1]; }
+  return acc;
+}
+function init(n, f) {
+  var out = 0;
+  for (var i = n - 1; i >= 0; i--) { out = cons(f(i), out); }
+  return out;
+}
+var xs = init(300, function (i) { return i * i % 13; });
+var sum = fold_left(function (a) { return function (b) { return a + b; }; }, 0, xs);
+console.log("fold_list", sum);
+`
+
+const mlKBRewrite = `
+// Knuth-Bendix flavoured term rewriting: terms as tagged arrays.
+function mk(op, l, r) { return [op, l, r]; }
+function leaf(v) { return [2, v, null]; }
+function rewrite(t) {
+  if (t[0] === 2) { return t; }
+  var l = rewrite(t[1]);
+  var r = rewrite(t[2]);
+  // (x + 0) -> x ; (x * 1) -> x ; (x * 0) -> 0
+  if (t[0] === 0 && r[0] === 2 && r[1] === 0) { return l; }
+  if (t[0] === 1 && r[0] === 2 && r[1] === 1) { return l; }
+  if (t[0] === 1 && r[0] === 2 && r[1] === 0) { return leaf(0); }
+  return mk(t[0], l, r);
+}
+function size(t) {
+  if (t[0] === 2) { return 1; }
+  return 1 + size(t[1]) + size(t[2]);
+}
+function build(d, k) {
+  if (d === 0) { return leaf(k % 3); }
+  return mk(k % 2, build(d - 1, k + 1), build(d - 1, k + 2));
+}
+var total = 0;
+for (var i = 0; i < 20; i++) { total += size(rewrite(build(7, i))); }
+console.log("kb_rewrite", total);
+`
+
+const mlSieveRec = `
+// Functional sieve with recursion over int lists.
+function cons(h, t) { return [h, t]; }
+function filterNot(p, xs) {
+  if (xs === 0) { return 0; }
+  if (p(xs[0])) { return filterNot(p, xs[1]); }
+  return cons(xs[0], filterNot(p, xs[1]));
+}
+function upto(a, b) {
+  if (a > b) { return 0; }
+  return cons(a, upto(a + 1, b));
+}
+function sieve(xs) {
+  if (xs === 0) { return 0; }
+  var p = xs[0];
+  return cons(p, sieve(filterNot(function (n) { return n % p === 0; }, xs[1])));
+}
+function length(xs) { var n = 0; while (xs !== 0) { n++; xs = xs[1]; } return n; }
+console.log("sieve_rec", length(sieve(upto(2, 350))));
+`
+
+const mlHamming = `
+// Hamming numbers by three-way merge of multiplied streams.
+var found = [1];
+var i2 = 0, i5 = 0, i3 = 0;
+while (found.length < 120) {
+  var n2 = found[i2] * 2, n3 = found[i3] * 3, n5 = found[i5] * 5;
+  var next = n2 < n3 ? (n2 < n5 ? n2 : n5) : (n3 < n5 ? n3 : n5);
+  if (next === n2) { i2++; }
+  if (next === n3) { i3++; }
+  if (next === n5) { i5++; }
+  found.push(next);
+}
+console.log("hamming", found[119]);
+`
+
+const mlTuples = `
+// Pairs compile to two-element arrays; fst/snd are helpers.
+function fst(p) { return p[0]; }
+function snd(p) { return p[1]; }
+function divmod(a, b) { return [(a / b) | 0, a % b]; }
+var acc = 0;
+for (var i = 1; i < 500; i++) {
+  var dm = divmod(i * 37, 11);
+  acc = (acc + fst(dm) * 3 + snd(dm)) % 1000003;
+}
+console.log("tuples", acc);
+`
+
+const mlOptionChain = `
+// Option monad pipelines: None = 0, Some x = [x].
+function some(v) { return [v]; }
+function bind(o, f) { return o === 0 ? 0 : f(o[0]); }
+function safeDiv(a, b) { return b === 0 ? 0 : some((a / b) | 0); }
+var hits = 0, total = 0;
+for (var i = 0; i < 300; i++) {
+  var r = bind(safeDiv(1000, i % 7), function (x) {
+    return bind(safeDiv(x, (i % 3)), function (y) {
+      return some(x + y);
+    });
+  });
+  if (r !== 0) { hits++; total += r[0]; }
+}
+console.log("option_chain", hits, total);
+`
+
+const mlBddMini = `
+// Tiny BDD construction with structural hashing.
+var nodes = {};
+var nextId = 2;
+function mkNode(level, lo, hi) {
+  if (lo === hi) { return lo; }
+  var key = level + "," + lo + "," + hi;
+  var hit = nodes[key];
+  if (hit !== undefined) { return hit; }
+  var id = nextId++;
+  nodes[key] = id;
+  return id;
+}
+function buildParity(level, bits, acc) {
+  if (level === bits) { return acc ? 1 : 0; }
+  return mkNode(level, buildParity(level + 1, bits, acc), buildParity(level + 1, bits, !acc));
+}
+var root = buildParity(0, 10, false);
+console.log("bdd_mini", root, nextId);
+`

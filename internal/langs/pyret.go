@@ -1,0 +1,153 @@
+package langs
+
+// Pyret returns the Pyret profile (§6.4): a mostly-functional language that
+// leans on higher-order library functions (each-loops, folds) implemented
+// in JavaScript, deep recursion, and eval for trivially terminating value
+// constructors. The suite includes the deeply recursive programs that made
+// Figure 14's deep-stack benchmarks slow.
+func Pyret() *Profile {
+	return &Profile{
+		Name:     "pyret",
+		Compiler: "Pyret",
+		Impl:     "none",
+		Args:     "none",
+		Eval:     true,
+		Benchmarks: []Benchmark{
+			{Name: "each_loop", Source: pyretEachLoop},
+			{Name: "fold_map", Source: pyretFoldMap},
+			{Name: "data_cases", Source: pyretDataCases},
+			{Name: "deep_sum", Source: pyretDeepSum},
+			{Name: "table_filter", Source: pyretTableFilter},
+			{Name: "string_explode", Source: pyretStringExplode},
+			{Name: "binomial", Source: pyretBinomial},
+			{Name: "range_fold", Source: pyretRangeFold},
+		},
+	}
+}
+
+// pyretRuntime is the (post-Stopify) slice of Pyret's runtime: the clean
+// eachLoop of Figure 16b, plus fold/map over cons lists — higher-order
+// library functions implemented in JavaScript, with no hand-rolled stack
+// bookkeeping.
+const pyretRuntime = `
+var thisRuntime = { nothing: null };
+function eachLoop(fun, start, stop) {
+  for (var i = start; i < stop; i++) { fun(i); }
+  return thisRuntime.nothing;
+}
+function pyLink(first, rest) { return { first: first, rest: rest, isEmpty: false }; }
+var pyEmpty = { isEmpty: true };
+function pyFold(f, base, lst) {
+  if (lst.isEmpty) { return base; }
+  return pyFold(f, f(base, lst.first), lst.rest);
+}
+function pyMap(f, lst) {
+  if (lst.isEmpty) { return pyEmpty; }
+  return pyLink(f(lst.first), pyMap(f, lst.rest));
+}
+function pyRange(a, b) {
+  if (a >= b) { return pyEmpty; }
+  return pyLink(a, pyRange(a + 1, b));
+}
+function pyLength(lst) {
+  var n = 0;
+  while (!lst.isEmpty) { n++; lst = lst.rest; }
+  return n;
+}
+`
+
+const pyretEachLoop = pyretRuntime + `
+var total = 0;
+eachLoop(function (i) { total = total + i * i; }, 0, 600);
+console.log("each_loop", total);
+`
+
+const pyretFoldMap = pyretRuntime + `
+var xs = pyRange(0, 150);
+var doubled = pyMap(function (x) { return x * 2; }, xs);
+var sum = pyFold(function (a, b) { return a + b; }, 0, doubled);
+console.log("fold_map", sum, pyLength(doubled));
+`
+
+const pyretDataCases = pyretRuntime + `
+// data Shape: circle(r) | square(s) | rect(w, h) end — cases dispatch.
+function circle(r) { return { $name: "circle", r: r }; }
+function square(s) { return { $name: "square", s: s }; }
+function rect(w, h) { return { $name: "rect", w: w, h: h }; }
+function area(shape) {
+  var name = shape.$name;
+  if (name === "circle") { return 3.14159 * shape.r * shape.r; }
+  if (name === "square") { return shape.s * shape.s; }
+  return shape.w * shape.h;
+}
+var shapes = pyEmpty;
+for (var i = 0; i < 180; i++) {
+  var s = i % 3 === 0 ? circle(i % 5) : (i % 3 === 1 ? square(i % 7) : rect(i % 4, i % 6));
+  shapes = pyLink(s, shapes);
+}
+var total = pyFold(function (acc, s) { return acc + area(s); }, 0, shapes);
+console.log("data_cases", total | 0);
+`
+
+const pyretDeepSum = pyretRuntime + `
+// The deeply recursive shape that needs deep stacks in Figure 14. Depth 500
+// fits every engine profile raw; examples/deepstack shows what happens when
+// it does not.
+function deepSum(lst) {
+  if (lst.isEmpty) { return 0; }
+  return lst.first + deepSum(lst.rest);
+}
+console.log("deep_sum", deepSum(pyRange(0, 500)));
+`
+
+const pyretTableFilter = pyretRuntime + `
+function row(id, score) { return { id: id, score: score }; }
+var tbl = pyEmpty;
+for (var i = 0; i < 150; i++) { tbl = pyLink(row(i, (i * 17) % 100), tbl); }
+function pyFilter(pred, lst) {
+  if (lst.isEmpty) { return pyEmpty; }
+  if (pred(lst.first)) { return pyLink(lst.first, pyFilter(pred, lst.rest)); }
+  return pyFilter(pred, lst.rest);
+}
+var keep = pyFilter(function (r) { return r.score >= 50; }, tbl);
+var tot = pyFold(function (a, r) { return a + r.score; }, 0, keep);
+console.log("table_filter", pyLength(keep), tot);
+`
+
+const pyretStringExplode = pyretRuntime + `
+function explode(s) {
+  var out = pyEmpty;
+  for (var i = s.length - 1; i >= 0; i--) { out = pyLink(s.charAt(i), out); }
+  return out;
+}
+var text = "the quick brown fox jumps over the lazy dog ";
+var counts = {};
+for (var rep = 0; rep < 12; rep++) {
+  var chars = explode(text);
+  pyFold(function (acc, ch) {
+    counts[ch] = (counts[ch] === undefined ? 0 : counts[ch]) + 1;
+    return acc;
+  }, 0, chars);
+}
+var distinct = 0;
+for (var k in counts) { distinct++; }
+console.log("string_explode", distinct, counts["o"]);
+`
+
+const pyretBinomial = pyretRuntime + `
+function binom(n, k) {
+  if (k === 0 || k === n) { return 1; }
+  return binom(n - 1, k - 1) + binom(n - 1, k);
+}
+console.log("binomial", binom(15, 7));
+`
+
+const pyretRangeFold = pyretRuntime + `
+// eval used as Pyret does: generating trivial value constructors.
+eval("mkPoint = function (x, y) { return { x: x, y: y }; };");
+var total = pyFold(function (acc, i) {
+  var p = mkPoint(i, i * 2);
+  return acc + p.x + p.y;
+}, 0, pyRange(0, 200));
+console.log("range_fold", total);
+`

@@ -1,0 +1,497 @@
+package langs
+
+// Python returns the PyJS profile: PyJS maps Python data structures onto
+// JavaScript builtins (lists are arrays, dicts are objects), uses the
+// arguments object both for *args and for defaulted parameters (the M entry
+// in Figure 5), and never relies on implicit conversions, getters, or eval.
+// The benchmarks mirror the paper's Python suite (§2's ten plus the Skulpt
+// comparison set of Figure 12).
+func Python() *Profile {
+	return &Profile{
+		Name:     "python",
+		Compiler: "PyJS",
+		Impl:     "none",
+		Args:     "mixed",
+		Benchmarks: []Benchmark{
+			{Name: "b", Source: pyB},
+			{Name: "binary_trees", Source: pyBinaryTrees},
+			{Name: "deltablue", Source: pyDeltaBlue},
+			{Name: "fib", Source: pyFib},
+			{Name: "float", Source: pyFloat},
+			{Name: "nbody", Source: pyNBody},
+			{Name: "pystone", Source: pyPystone},
+			{Name: "richards", Source: pyRichards},
+			{Name: "scimark_fft", Source: pyFFT},
+			{Name: "spectral_norm", Source: pySpectralNorm},
+			{Name: "anagram", Source: pyAnagram},
+			{Name: "gcbench", Source: pyGCBench},
+			{Name: "schulze", Source: pySchulze},
+			{Name: "raytrace_simple", Source: pyRaytrace},
+		},
+	}
+}
+
+// range/len helpers appear in all PyJS output.
+const pyHelpers = `
+function range(a, b, step) {
+  if (arguments.length < 2) { b = a; a = 0; }
+  if (arguments.length < 3) { step = 1; }
+  var out = [];
+  for (var i = a; step > 0 ? i < b : i > b; i += step) { out.push(i); }
+  return out;
+}
+function len(x) { return x.length; }
+`
+
+const pyB = pyHelpers + `
+// b: tight nested integer loops (PyPy benchmark "b").
+function work(n) {
+  var t = 0;
+  for (var i = 0; i < n; i++) {
+    for (var j = 0; j < 50; j++) {
+      t = (t + i * j) % 100003;
+    }
+  }
+  return t;
+}
+console.log("b", work(160));
+`
+
+const pyBinaryTrees = pyHelpers + `
+// binary_trees: allocate and walk complete binary trees (Shootout).
+function makeTree(depth) {
+  if (depth === 0) { return { left: null, right: null }; }
+  return { left: makeTree(depth - 1), right: makeTree(depth - 1) };
+}
+function checkTree(t) {
+  if (t.left === null) { return 1; }
+  return 1 + checkTree(t.left) + checkTree(t.right);
+}
+var total = 0;
+var iters = range(0, 12);
+for (var i = 0; i < len(iters); i++) {
+  total += checkTree(makeTree(6));
+}
+console.log("binary_trees", total);
+`
+
+const pyDeltaBlue = pyHelpers + `
+// deltablue (miniature): one-way dataflow constraint propagation with
+// strength-ordered planner, the shape of the classic benchmark.
+function Variable(name, value) {
+  return { name: name, value: value, determinedBy: null, mark: 0 };
+}
+function Constraint(strength, input, output) {
+  return { strength: strength, input: input, output: output, satisfied: false };
+}
+function execute(c) { c.output.value = c.input.value + 1; }
+function satisfy(c, mark) {
+  if (c.output.determinedBy === null || c.output.determinedBy.strength > c.strength) {
+    c.output.determinedBy = c;
+    c.satisfied = true;
+    c.output.mark = mark;
+    execute(c);
+    return true;
+  }
+  return false;
+}
+function plan(constraints, mark) {
+  var done = 0;
+  for (var i = 0; i < len(constraints); i++) {
+    if (satisfy(constraints[i], mark)) { done++; }
+  }
+  return done;
+}
+var checksum = 0;
+for (var round = 0; round < 30; round++) {
+  var vars = [];
+  for (var v = 0; v < 20; v++) { vars.push(Variable("v" + v, v)); }
+  var cs = [];
+  for (var c = 0; c < 19; c++) { cs.push(Constraint((c * 7) % 5, vars[c], vars[c + 1])); }
+  checksum += plan(cs, round);
+  checksum += vars[19].value;
+}
+console.log("deltablue", checksum);
+`
+
+const pyFib = pyHelpers + `
+// fib: naive doubly recursive Fibonacci.
+function fib(n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+console.log("fib", fib(16));
+`
+
+const pyFloat = pyHelpers + `
+// float: floating-point point transforms (PyPy "float" benchmark shape).
+function Point(i) {
+  return { x: Math.sin(i), y: Math.cos(i) * 3, z: (i * i) / 7.0 };
+}
+function normalize(p) {
+  var norm = Math.sqrt(p.x * p.x + p.y * p.y + p.z * p.z);
+  p.x /= norm; p.y /= norm; p.z /= norm;
+  return p;
+}
+function maximize(points) {
+  var next = points[0];
+  for (var i = 1; i < len(points); i++) {
+    var p = points[i];
+    if (p.x > next.x) { next = p; }
+  }
+  return next;
+}
+function benchmark(n) {
+  var points = [];
+  for (var i = 0; i < n; i++) { points.push(normalize(Point(i))); }
+  return maximize(points);
+}
+var best = benchmark(700);
+console.log("float", (best.x * 1000 | 0), (best.y * 1000 | 0));
+`
+
+const pyNBody = pyHelpers + `
+// nbody: planetary orbital simulation (Shootout).
+function body(x, y, z, vx, vy, vz, mass) {
+  return { x: x, y: y, z: z, vx: vx, vy: vy, vz: vz, mass: mass };
+}
+var SOLAR_MASS = 4 * Math.PI * Math.PI;
+var bodies = [
+  body(0, 0, 0, 0, 0, 0, SOLAR_MASS),
+  body(4.84, -1.16, -0.103, 0.606, 0.288, -0.0125, 9.54e-4 * SOLAR_MASS),
+  body(8.34, 4.12, -0.403, -0.276, 0.499, 0.0023, 2.85e-4 * SOLAR_MASS),
+  body(12.89, -15.11, -0.223, 0.296, 0.0237, -0.0029, 4.36e-5 * SOLAR_MASS),
+  body(15.37, -25.91, 0.179, 0.268, 0.1662, -0.0095, 5.15e-5 * SOLAR_MASS)
+];
+function advance(dt) {
+  var n = len(bodies);
+  for (var i = 0; i < n; i++) {
+    var bi = bodies[i];
+    for (var j = i + 1; j < n; j++) {
+      var bj = bodies[j];
+      var dx = bi.x - bj.x, dy = bi.y - bj.y, dz = bi.z - bj.z;
+      var d2 = dx * dx + dy * dy + dz * dz;
+      var mag = dt / (d2 * Math.sqrt(d2));
+      bi.vx -= dx * bj.mass * mag; bi.vy -= dy * bj.mass * mag; bi.vz -= dz * bj.mass * mag;
+      bj.vx += dx * bi.mass * mag; bj.vy += dy * bi.mass * mag; bj.vz += dz * bi.mass * mag;
+    }
+  }
+  for (var k = 0; k < n; k++) {
+    var b = bodies[k];
+    b.x += dt * b.vx; b.y += dt * b.vy; b.z += dt * b.vz;
+  }
+}
+function energy() {
+  var e = 0;
+  for (var i = 0; i < len(bodies); i++) {
+    var bi = bodies[i];
+    e += 0.5 * bi.mass * (bi.vx * bi.vx + bi.vy * bi.vy + bi.vz * bi.vz);
+    for (var j = i + 1; j < len(bodies); j++) {
+      var bj = bodies[j];
+      var dx = bi.x - bj.x, dy = bi.y - bj.y, dz = bi.z - bj.z;
+      e -= bi.mass * bj.mass / Math.sqrt(dx * dx + dy * dy + dz * dz);
+    }
+  }
+  return e;
+}
+for (var step = 0; step < 120; step++) { advance(0.01); }
+console.log("nbody", (energy() * 1e6 | 0));
+`
+
+const pyPystone = pyHelpers + `
+// pystone: record copies, array writes and procedure calls (the classic
+// Dhrystone translation that ships with CPython).
+var IntGlob = 0;
+var Array1 = [];
+for (var z = 0; z < 51; z++) { Array1.push(0); }
+function Proc1(rec) {
+  var next = { ptr: null, discr: 0, enumComp: 0, intComp: rec.intComp, stringComp: rec.stringComp };
+  next.intComp = 5;
+  next.enumComp = Proc3(next.intComp);
+  rec.ptr = next;
+  return rec;
+}
+function Proc3(x) {
+  if (x > 2) { IntGlob = x + 1; return 1; }
+  return 2;
+}
+function Proc8(arr, idx, val) {
+  arr[idx] = val;
+  arr[idx + 1] = arr[idx];
+  arr[idx + 30] = idx;
+  IntGlob = 5;
+}
+function Func2(s1, s2) {
+  if (s1.charCodeAt(1) === s2.charCodeAt(2)) { return 1; }
+  return 0;
+}
+function loop(n) {
+  var rec = { ptr: null, discr: 0, enumComp: 0, intComp: 40, stringComp: "DHRYSTONE PROGRAM" };
+  var check = 0;
+  for (var i = 0; i < n; i++) {
+    rec = Proc1(rec);
+    Proc8(Array1, i % 20, i);
+    check += Func2("DHRYSTONE", "PROGRAM") + IntGlob + rec.ptr.intComp;
+  }
+  return check;
+}
+console.log("pystone", loop(900));
+`
+
+const pyRichards = pyHelpers + `
+// richards (miniature): an OS task scheduler with packet queues and state
+// machines — heavy method dispatch through a small class hierarchy.
+var ID_IDLE = 0, ID_WORK = 1, ID_HANDLER = 2;
+function Packet(link, id, kind) { return { link: link, id: id, kind: kind, a1: 0 }; }
+function append(packet, queue) {
+  packet.link = null;
+  if (queue === null) { return packet; }
+  var p = queue;
+  while (p.link !== null) { p = p.link; }
+  p.link = packet;
+  return queue;
+}
+function Task(id, priority, queue, fn) {
+  return { id: id, priority: priority, queue: queue, fn: fn, state: queue === null ? 1 : 0, held: false };
+}
+function Scheduler() {
+  return { tasks: [], current: null, queueCount: 0, holdCount: 0 };
+}
+function schedule(sched, iterations) {
+  for (var round = 0; round < iterations; round++) {
+    for (var t = 0; t < len(sched.tasks); t++) {
+      var task = sched.tasks[t];
+      if (task.held) { sched.holdCount++; task.held = false; continue; }
+      var packet = task.queue;
+      if (packet !== null) { task.queue = packet.link; }
+      task.queue = task.fn(task, packet);
+      sched.queueCount++;
+    }
+  }
+}
+function idleFn(task, packet) {
+  task.held = task.id % 2 === 0;
+  return task.queue;
+}
+function workFn(task, packet) {
+  if (packet === null) { return task.queue; }
+  packet.a1 = (packet.a1 + task.priority) % 26;
+  return append(packet, task.queue);
+}
+var sched = Scheduler();
+var q0 = append(Packet(null, ID_WORK, 2), null);
+q0 = append(Packet(null, ID_WORK, 2), q0);
+sched.tasks.push(Task(ID_IDLE, 0, null, idleFn));
+sched.tasks.push(Task(ID_WORK, 1000, q0, workFn));
+sched.tasks.push(Task(ID_HANDLER, 2000, append(Packet(null, ID_HANDLER, 1), null), workFn));
+schedule(sched, 700);
+console.log("richards", sched.queueCount, sched.holdCount);
+`
+
+const pyFFT = pyHelpers + `
+// scimark_fft: in-place radix-2 complex FFT over a power-of-two signal.
+function fft(re, im) {
+  var n = len(re);
+  // bit reversal
+  var j = 0;
+  for (var i = 0; i < n - 1; i++) {
+    if (i < j) {
+      var tr = re[i]; re[i] = re[j]; re[j] = tr;
+      var ti = im[i]; im[i] = im[j]; im[j] = ti;
+    }
+    var m = n >> 1;
+    while (m >= 1 && j >= m) { j -= m; m >>= 1; }
+    j += m;
+  }
+  for (var size = 2; size <= n; size <<= 1) {
+    var half = size >> 1;
+    var step = Math.PI / half;
+    for (var base = 0; base < n; base += size) {
+      for (var k = 0; k < half; k++) {
+        var ang = step * k;
+        var wr = Math.cos(ang), wi = -Math.sin(ang);
+        var idx = base + k, jdx = idx + half;
+        var xr = wr * re[jdx] - wi * im[jdx];
+        var xi = wr * im[jdx] + wi * re[jdx];
+        re[jdx] = re[idx] - xr; im[jdx] = im[idx] - xi;
+        re[idx] += xr; im[idx] += xi;
+      }
+    }
+  }
+}
+var N = 256;
+var re = [], im = [];
+for (var i = 0; i < N; i++) { re.push(Math.sin(i)); im.push(0); }
+for (var round = 0; round < 4; round++) { fft(re, im); }
+var acc = 0;
+for (var i = 0; i < N; i++) { acc += re[i] * re[i] + im[i] * im[i]; }
+console.log("scimark_fft", (acc | 0));
+`
+
+const pySpectralNorm = pyHelpers + `
+// spectral_norm: power-method estimate of the spectral norm (Shootout).
+function A(i, j) { return 1 / ((i + j) * (i + j + 1) / 2 + i + 1); }
+function Av(v) {
+  var out = [];
+  for (var i = 0; i < len(v); i++) {
+    var s = 0;
+    for (var j = 0; j < len(v); j++) { s += A(i, j) * v[j]; }
+    out.push(s);
+  }
+  return out;
+}
+function Atv(v) {
+  var out = [];
+  for (var i = 0; i < len(v); i++) {
+    var s = 0;
+    for (var j = 0; j < len(v); j++) { s += A(j, i) * v[j]; }
+    out.push(s);
+  }
+  return out;
+}
+var u = [];
+for (var i = 0; i < 24; i++) { u.push(1); }
+var v = null;
+for (var it = 0; it < 6; it++) {
+  v = Atv(Av(u));
+  u = Atv(Av(v));
+}
+var vBv = 0, vv = 0;
+for (var i = 0; i < len(u); i++) { vBv += u[i] * v[i]; vv += v[i] * v[i]; }
+console.log("spectral_norm", (Math.sqrt(vBv / vv) * 1e9 | 0));
+`
+
+const pyAnagram = pyHelpers + `
+// anagram: group words by sorted letters using dictionary-style objects.
+function sortLetters(w) {
+  var cs = w.split("");
+  // insertion sort, as PyJS emits for sorted()
+  for (var i = 1; i < len(cs); i++) {
+    var c = cs[i], j = i - 1;
+    while (j >= 0 && cs[j] > c) { cs[j + 1] = cs[j]; j--; }
+    cs[j + 1] = c;
+  }
+  return cs.join("");
+}
+var words = [];
+var seed = 7;
+for (var i = 0; i < 260; i++) {
+  var w = "";
+  for (var k = 0; k < 6; k++) {
+    seed = (seed * 1103515245 + 12345) % 2147483647;
+    w += String.fromCharCode(97 + seed % 7);
+  }
+  words.push(w);
+}
+var groups = {};
+var maxSize = 0;
+for (var i = 0; i < len(words); i++) {
+  var key = sortLetters(words[i]);
+  if (groups[key] === undefined) { groups[key] = []; }
+  groups[key].push(words[i]);
+  if (len(groups[key]) > maxSize) { maxSize = len(groups[key]); }
+}
+var distinct = 0;
+for (var k in groups) { distinct++; }
+console.log("anagram", distinct, maxSize);
+`
+
+const pyGCBench = pyHelpers + `
+// gcbench: build and drop trees to stress allocation (Boehm's GCBench).
+function Node() { return { left: null, right: null, i: 0, j: 0 }; }
+function populate(depth, node) {
+  if (depth <= 0) { return; }
+  node.left = Node();
+  node.right = Node();
+  populate(depth - 1, node.left);
+  populate(depth - 1, node.right);
+}
+function treeSize(depth) { return (1 << (depth + 1)) - 1; }
+var kept = Node();
+populate(7, kept);
+var churn = 0;
+for (var i = 0; i < 24; i++) {
+  var temp = Node();
+  populate(5, temp);
+  churn += treeSize(5);
+}
+function count(node) {
+  if (node === null) { return 0; }
+  return 1 + count(node.left) + count(node.right);
+}
+console.log("gcbench", count(kept), churn);
+`
+
+const pySchulze = pyHelpers + `
+// schulze: the Schulze voting method — Floyd-Warshall over pairwise
+// preferences (the slowest Skulpt benchmark in Figure 12).
+var C = 10;
+var d = [];
+for (var i = 0; i < C; i++) {
+  var row = [];
+  for (var j = 0; j < C; j++) { row.push(i === j ? 0 : ((i * 31 + j * 17) % 23)); }
+  d.push(row);
+}
+var p = [];
+for (var i = 0; i < C; i++) {
+  var row = [];
+  for (var j = 0; j < C; j++) {
+    row.push(i !== j && d[i][j] > d[j][i] ? d[i][j] : 0);
+  }
+  p.push(row);
+}
+for (var rep = 0; rep < 14; rep++) {
+  for (var i = 0; i < C; i++) {
+    for (var j = 0; j < C; j++) {
+      if (i === j) { continue; }
+      for (var k = 0; k < C; k++) {
+        if (i !== k && j !== k) {
+          var via = p[j][i] < p[i][k] ? p[j][i] : p[i][k];
+          if (via > p[j][k]) { p[j][k] = via; }
+        }
+      }
+    }
+  }
+}
+var winner = -1, best = -1;
+for (var i = 0; i < C; i++) {
+  var wins = 0;
+  for (var j = 0; j < C; j++) { if (i !== j && p[i][j] > p[j][i]) { wins++; } }
+  if (wins > best) { best = wins; winner = i; }
+}
+console.log("schulze", winner, best);
+`
+
+const pyRaytrace = pyHelpers + `
+// raytrace_simple: sphere intersection tests over a pixel grid.
+function dot(ax, ay, az, bx, by, bz) { return ax * bx + ay * by + az * bz; }
+function hitSphere(ox, oy, oz, dx, dy, dz, cx, cy, cz, r) {
+  var lx = cx - ox, ly = cy - oy, lz = cz - oz;
+  var tca = dot(lx, ly, lz, dx, dy, dz);
+  if (tca < 0) { return -1; }
+  var d2 = dot(lx, ly, lz, lx, ly, lz) - tca * tca;
+  if (d2 > r * r) { return -1; }
+  return tca - Math.sqrt(r * r - d2);
+}
+var spheres = [];
+for (var s = 0; s < 6; s++) {
+  spheres.push({ x: s - 3, y: (s % 3) - 1, z: 6 + s, r: 0.8 });
+}
+var hits = 0, shade = 0;
+var W = 36, H = 24;
+for (var py = 0; py < H; py++) {
+  for (var px = 0; px < W; px++) {
+    var dx = (px - W / 2) / W, dy = (py - H / 2) / H, dz = 1;
+    var norm = Math.sqrt(dx * dx + dy * dy + dz * dz);
+    dx /= norm; dy /= norm; dz /= norm;
+    var nearest = 1e9;
+    for (var s = 0; s < len(spheres); s++) {
+      var sp = spheres[s];
+      var t = hitSphere(0, 0, 0, dx, dy, dz, sp.x, sp.y, sp.z, sp.r);
+      if (t >= 0 && t < nearest) { nearest = t; }
+    }
+    if (nearest < 1e9) { hits++; shade += nearest; }
+  }
+}
+console.log("raytrace_simple", hits, (shade * 100 | 0));
+`

@@ -1,0 +1,185 @@
+package langs
+
+// Scala returns the ScalaJS profile. ScalaJS translates the Scala standard
+// library directly to JavaScript instead of mapping onto JS builtins
+// (§6.1's explanation of its higher Stopify cost), so the benchmarks route
+// every collection operation through translated library functions, box
+// values in wrapper objects, and use + for string building (the + entry in
+// Figure 5's Impl column).
+func Scala() *Profile {
+	return &Profile{
+		Name:     "scala",
+		Compiler: "ScalaJS",
+		Impl:     "plus",
+		Args:     "none",
+		Benchmarks: []Benchmark{
+			{Name: "list_ops", Source: scalaListOps},
+			{Name: "fib_boxed", Source: scalaFibBoxed},
+			{Name: "case_classes", Source: scalaCaseClasses},
+			{Name: "fold_sum", Source: scalaFoldSum},
+			{Name: "string_builder", Source: scalaStringBuilder},
+			{Name: "pattern_match", Source: scalaPatternMatch},
+			{Name: "vector_update", Source: scalaVectorUpdate},
+			{Name: "tak", Source: scalaTak},
+			{Name: "queens", Source: scalaQueens},
+			{Name: "streams", Source: scalaStreams},
+		},
+	}
+}
+
+// ScalaJS-style runtime shims: cons lists, boxed ints, Option.
+const scalaRuntime = `
+function Nil$() { return { isEmpty: true }; }
+function Cons(head, tail) { return { isEmpty: false, head: head, tail: tail }; }
+function List_length(xs) { var n = 0; while (!xs.isEmpty) { n++; xs = xs.tail; } return n; }
+function List_map(xs, f) {
+  if (xs.isEmpty) { return xs; }
+  return Cons(f(xs.head), List_map(xs.tail, f));
+}
+function List_filter(xs, f) {
+  if (xs.isEmpty) { return xs; }
+  if (f(xs.head)) { return Cons(xs.head, List_filter(xs.tail, f)); }
+  return List_filter(xs.tail, f);
+}
+function List_foldLeft(xs, z, f) {
+  while (!xs.isEmpty) { z = f(z, xs.head); xs = xs.tail; }
+  return z;
+}
+function List_range(a, b) {
+  if (a >= b) { return Nil$(); }
+  return Cons(a, List_range(a + 1, b));
+}
+function BoxedInt(v) { return { value: v }; }
+function unbox(b) { return b.value; }
+function Some(v) { return { defined: true, get: v }; }
+function None$() { return { defined: false, get: null }; }
+`
+
+const scalaListOps = scalaRuntime + `
+var xs = List_range(0, 300);
+var ys = List_map(xs, function (x) { return x * 3; });
+var zs = List_filter(ys, function (x) { return x % 2 === 0; });
+console.log("list_ops", List_length(zs), List_foldLeft(zs, 0, function (a, b) { return a + b; }));
+`
+
+const scalaFibBoxed = scalaRuntime + `
+function fib(n) {
+  if (unbox(n) < 2) { return n; }
+  return BoxedInt(unbox(fib(BoxedInt(unbox(n) - 1))) + unbox(fib(BoxedInt(unbox(n) - 2))));
+}
+console.log("fib_boxed", unbox(fib(BoxedInt(15))));
+`
+
+const scalaCaseClasses = scalaRuntime + `
+function Point(x, y) { this.x = x; this.y = y; }
+Point.prototype.copy = function (x, y) { return new Point(x, y); };
+Point.prototype.equals$ = function (o) { return this.x === o.x && this.y === o.y; };
+Point.prototype.hashCode$ = function () { return this.x * 31 + this.y; };
+var acc = 0;
+for (var i = 0; i < 400; i++) {
+  var p = new Point(i, i * 2);
+  var q = p.copy(p.x + 1, p.y);
+  if (!p.equals$(q)) { acc += q.hashCode$() % 97; }
+}
+console.log("case_classes", acc);
+`
+
+const scalaFoldSum = scalaRuntime + `
+var total = 0;
+for (var round = 0; round < 10; round++) {
+  var xs = List_range(0, 120);
+  total += List_foldLeft(xs, 0, function (a, b) { return a + b * b; }) % 10007;
+}
+console.log("fold_sum", total);
+`
+
+const scalaStringBuilder = scalaRuntime + `
+// Scala's + on mixed values relies on implicit toString (Impl = +).
+function Show(n) { this.n = n; }
+Show.prototype.toString = function () { return "S(" + this.n + ")"; };
+var out = "";
+for (var i = 0; i < 60; i++) {
+  out = out + new Show(i) + ";";
+}
+console.log("string_builder", out.length);
+`
+
+const scalaPatternMatch = scalaRuntime + `
+function Leaf(v) { return { tag: 0, v: v }; }
+function Branch(l, r) { return { tag: 1, l: l, r: r }; }
+function build(depth, v) {
+  if (depth === 0) { return Leaf(v); }
+  return Branch(build(depth - 1, v * 2), build(depth - 1, v * 2 + 1));
+}
+function evalTree(t) {
+  switch (t.tag) {
+    case 0: return t.v % 13;
+    case 1: return evalTree(t.l) + evalTree(t.r);
+    default: return 0;
+  }
+}
+var acc = 0;
+for (var i = 0; i < 10; i++) { acc += evalTree(build(7, i)); }
+console.log("pattern_match", acc);
+`
+
+const scalaVectorUpdate = scalaRuntime + `
+// Persistent-style updates: every write copies, as Vector does.
+function updated(arr, idx, v) {
+  var copy = [];
+  for (var i = 0; i < arr.length; i++) { copy.push(arr[i]); }
+  copy[idx] = v;
+  return copy;
+}
+var vec = [];
+for (var i = 0; i < 40; i++) { vec.push(0); }
+for (var step = 0; step < 120; step++) {
+  vec = updated(vec, step % 40, step);
+}
+var sum = 0;
+for (var i = 0; i < vec.length; i++) { sum += vec[i]; }
+console.log("vector_update", sum);
+`
+
+const scalaTak = scalaRuntime + `
+function tak(x, y, z) {
+  if (y >= x) { return z; }
+  return tak(tak(x - 1, y, z), tak(y - 1, z, x), tak(z - 1, x, y));
+}
+console.log("tak", tak(12, 6, 0));
+`
+
+const scalaQueens = scalaRuntime + `
+function safe(queens, col, delta) {
+  if (queens.isEmpty) { return true; }
+  var q = queens.head;
+  if (q === col || q === col + delta || q === col - delta) { return false; }
+  return safe(queens.tail, col, delta + 1);
+}
+function place(n, row, queens) {
+  if (row === 0) { return 1; }
+  var count = 0;
+  for (var col = 1; col <= n; col++) {
+    if (safe(queens, col, 1)) {
+      count += place(n, row - 1, Cons(col, queens));
+    }
+  }
+  return count;
+}
+console.log("queens", place(6, 6, Nil$()));
+`
+
+const scalaStreams = scalaRuntime + `
+// Lazy streams via thunks, the Stream.from(1).map(...).take(n) idiom.
+function StreamCons(head, tailThunk) { return { head: head, tail: tailThunk }; }
+function from(n) { return StreamCons(n, function () { return from(n + 1); }); }
+function mapS(s, f) {
+  return StreamCons(f(s.head), function () { return mapS(s.tail(), f); });
+}
+function takeSum(s, n) {
+  var acc = 0;
+  while (n > 0) { acc += s.head; s = s.tail(); n--; }
+  return acc;
+}
+console.log("streams", takeSum(mapS(from(1), function (x) { return x * x; }), 150));
+`

@@ -1,0 +1,223 @@
+package langs
+
+// Scheme returns the scheme2js profile: everything is a closure or a cons
+// cell, recursion replaces loops, and variadic procedures ride on the
+// arguments object (the V entry in Figure 5). The benchmarks follow the
+// Larceny suite the paper cites.
+func Scheme() *Profile {
+	return &Profile{
+		Name:     "scheme",
+		Compiler: "scheme2js",
+		Impl:     "none",
+		Args:     "varargs",
+		Benchmarks: []Benchmark{
+			{Name: "ctak_style", Source: schemeCtak},
+			{Name: "deriv", Source: schemeDeriv},
+			{Name: "destruct", Source: schemeDestruct},
+			{Name: "divrec", Source: schemeDivrec},
+			{Name: "sumloop", Source: schemeSumloop},
+			{Name: "mergesort", Source: schemeMergesort},
+			{Name: "primes", Source: schemePrimes},
+			{Name: "church", Source: schemeChurch},
+			{Name: "apply_list", Source: schemeApplyList},
+		},
+	}
+}
+
+const schemeRuntime = `
+function cons(a, d) { return { car: a, cdr: d }; }
+function car(p) { return p.car; }
+function cdr(p) { return p.cdr; }
+function isPair(p) { return p !== null && typeof p === "object" && p.car !== undefined; }
+function list() {
+  var out = null;
+  for (var i = arguments.length - 1; i >= 0; i--) { out = cons(arguments[i], out); }
+  return out;
+}
+function length(xs) { var n = 0; while (xs !== null) { n++; xs = xs.cdr; } return n; }
+function reverseList(xs) {
+  var out = null;
+  while (xs !== null) { out = cons(xs.car, out); xs = xs.cdr; }
+  return out;
+}
+`
+
+const schemeCtak = schemeRuntime + `
+// tak written continuation-style: every step passes an explicit k closure,
+// the way scheme2js output looks for call/cc-using code.
+function tak(x, y, z, k) {
+  if (y >= x) { return k(z); }
+  return tak(x - 1, y, z, function (a) {
+    return tak(y - 1, z, x, function (b) {
+      return tak(z - 1, x, y, function (c) {
+        return tak(a, b, c, k);
+      });
+    });
+  });
+}
+console.log("ctak_style", tak(6, 3, 0, function (v) { return v; }));
+`
+
+const schemeDeriv = schemeRuntime + `
+// deriv: symbolic differentiation over s-expressions.
+function sym(s) { return { sym: s }; }
+function isSym(x) { return x !== null && typeof x === "object" && x.sym !== undefined; }
+function deriv(e) {
+  if (typeof e === "number") { return 0; }
+  if (isSym(e)) { return e.sym === "x" ? 1 : 0; }
+  var op = car(e).sym;
+  var a = car(cdr(e)), b = car(cdr(cdr(e)));
+  if (op === "+") { return list(sym("+"), deriv(a), deriv(b)); }
+  if (op === "*") {
+    return list(sym("+"),
+      list(sym("*"), a, deriv(b)),
+      list(sym("*"), deriv(a), b));
+  }
+  return 0;
+}
+function size(e) {
+  if (!isPair(e)) { return 1; }
+  var n = 0;
+  while (e !== null) { n += size(e.car); e = e.cdr; }
+  return n;
+}
+var expr = list(sym("+"), list(sym("*"), sym("x"), sym("x")), list(sym("*"), 3, sym("x")));
+var total = 0;
+for (var i = 0; i < 60; i++) {
+  expr2 = deriv(expr);
+  total += size(expr2);
+}
+console.log("deriv", total);
+`
+
+const schemeDestruct = schemeRuntime + `
+// destruct: destructive list operations.
+function append$(a, b) {
+  if (a === null) { return b; }
+  var p = a;
+  while (p.cdr !== null) { p = p.cdr; }
+  p.cdr = b;
+  return a;
+}
+var acc = 0;
+for (var round = 0; round < 40; round++) {
+  var a = null, b = null;
+  for (var i = 0; i < 20; i++) { a = cons(i, a); b = cons(i * 2, b); }
+  acc += length(append$(reverseList(a), b));
+}
+console.log("destruct", acc);
+`
+
+const schemeDivrec = schemeRuntime + `
+// div-rec: deep non-tail recursion building lists.
+function createN(n) {
+  var a = null;
+  while (n > 0) { a = cons(n, a); n--; }
+  return a;
+}
+function recursiveDiv2(l) {
+  if (l === null) { return null; }
+  return cons(car(l), recursiveDiv2(cdr(cdr(l))));
+}
+var l200 = createN(200);
+var total = 0;
+for (var i = 0; i < 60; i++) { total += length(recursiveDiv2(l200)); }
+console.log("divrec", total);
+`
+
+const schemeSumloop = schemeRuntime + `
+// sumloop via named-let style tail recursion.
+function loop(i, n, acc) {
+  if (i >= n) { return acc; }
+  return loop(i + 1, n, acc + i);
+}
+var t = 0;
+for (var r = 0; r < 12; r++) { t = (t + loop(0, 700, 0)) % 1000003; }
+console.log("sumloop", t);
+`
+
+const schemeMergesort = schemeRuntime + `
+function split(xs) {
+  if (xs === null || xs.cdr === null) { return cons(xs, null); }
+  var slow = xs, fast = xs.cdr;
+  while (fast !== null && fast.cdr !== null) { slow = slow.cdr; fast = fast.cdr.cdr; }
+  var back = slow.cdr;
+  slow.cdr = null;
+  return cons(xs, back);
+}
+function merge(a, b) {
+  if (a === null) { return b; }
+  if (b === null) { return a; }
+  if (car(a) <= car(b)) { return cons(car(a), merge(cdr(a), b)); }
+  return cons(car(b), merge(a, cdr(b)));
+}
+function msort(xs) {
+  if (xs === null || xs.cdr === null) { return xs; }
+  var halves = split(xs);
+  return merge(msort(car(halves)), msort(cdr(halves)));
+}
+var xs = null;
+for (var i = 0; i < 120; i++) { xs = cons((i * 7919) % 997, xs); }
+var sorted = msort(xs);
+var prev = -1, ok = true, n = 0;
+while (sorted !== null) {
+  if (car(sorted) < prev) { ok = false; }
+  prev = car(sorted);
+  n++;
+  sorted = cdr(sorted);
+}
+console.log("mergesort", ok, n);
+`
+
+const schemePrimes = schemeRuntime + `
+function sieve(candidates) {
+  if (candidates === null) { return null; }
+  var p = car(candidates);
+  var rest = null, cur = cdr(candidates);
+  while (cur !== null) {
+    if (car(cur) % p !== 0) { rest = cons(car(cur), rest); }
+    cur = cdr(cur);
+  }
+  return cons(p, sieve(reverseList(rest)));
+}
+function iota(from, to) {
+  if (from > to) { return null; }
+  return cons(from, iota(from + 1, to));
+}
+console.log("primes", length(sieve(iota(2, 400))));
+`
+
+const schemeChurch = schemeRuntime + `
+// Church numerals: closure-heavy arithmetic.
+function zero(f) { return function (x) { return x; }; }
+function succ(n) {
+  return function (f) { return function (x) { return f(n(f)(x)); }; };
+}
+function plus(a, b) {
+  return function (f) { return function (x) { return a(f)(b(f)(x)); }; };
+}
+function toInt(n) { return n(function (x) { return x + 1; })(0); }
+var three = succ(succ(succ(zero)));
+var n = zero;
+for (var i = 0; i < 14; i++) { n = plus(n, three); }
+console.log("church", toInt(n));
+`
+
+const schemeApplyList = schemeRuntime + `
+// variadic procedures applied through the arguments object.
+function sumAll() {
+  var t = 0;
+  for (var i = 0; i < arguments.length; i++) { t += arguments[i]; }
+  return t;
+}
+function applyTo(f, xs) {
+  var args = [];
+  while (xs !== null) { args.push(car(xs)); xs = cdr(xs); }
+  return f.apply(null, args);
+}
+var total = 0;
+for (var i = 0; i < 150; i++) {
+  total += applyTo(sumAll, list(i, i + 1, i + 2, i * 2));
+}
+console.log("apply_list", total);
+`

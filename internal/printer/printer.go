@@ -1,0 +1,677 @@
+// Package printer renders an AST back to JavaScript source. The output is
+// precedence-correct (it round-trips through the parser) and lightly
+// indented so that instrumented programs remain inspectable — useful when
+// debugging the Stopify transformations and for the code-size experiment
+// (§6.1 of the paper).
+package printer
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/ast"
+)
+
+// Print renders a whole program.
+func Print(p *ast.Program) string {
+	pr := &printer{}
+	for _, s := range p.Body {
+		pr.stmt(s)
+	}
+	return pr.b.String()
+}
+
+// PrintStmt renders a single statement.
+func PrintStmt(s ast.Stmt) string {
+	pr := &printer{}
+	pr.stmt(s)
+	return pr.b.String()
+}
+
+// PrintExpr renders a single expression.
+func PrintExpr(e ast.Expr) string {
+	pr := &printer{}
+	pr.expr(e, 0)
+	return pr.b.String()
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+}
+
+func (p *printer) ws() {
+	for i := 0; i < p.indent; i++ {
+		p.b.WriteString("  ")
+	}
+}
+
+func (p *printer) line(s string) {
+	p.ws()
+	p.b.WriteString(s)
+	p.b.WriteByte('\n')
+}
+
+// Expression precedence levels; a child is parenthesized when its level is
+// below what its context requires.
+const (
+	precSeq = iota + 1
+	precAssign
+	precCond
+	precOr
+	precAnd
+	precBitOr
+	precBitXor
+	precBitAnd
+	precEq
+	precRel
+	precShift
+	precAdd
+	precMul
+	precExp
+	precUnary
+	precPostfix
+	precCall
+	precPrimary
+)
+
+var binLevel = map[string]int{
+	"|": precBitOr, "^": precBitXor, "&": precBitAnd,
+	"==": precEq, "!=": precEq, "===": precEq, "!==": precEq,
+	"<": precRel, ">": precRel, "<=": precRel, ">=": precRel,
+	"instanceof": precRel, "in": precRel,
+	"<<": precShift, ">>": precShift, ">>>": precShift,
+	"+": precAdd, "-": precAdd,
+	"*": precMul, "/": precMul, "%": precMul,
+	"**": precExp,
+}
+
+func level(e ast.Expr) int {
+	switch n := e.(type) {
+	case *ast.Seq:
+		return precSeq
+	case *ast.Assign:
+		return precAssign
+	case *ast.Cond:
+		return precCond
+	case *ast.Logical:
+		if n.Op == "||" {
+			return precOr
+		}
+		return precAnd
+	case *ast.Binary:
+		return binLevel[n.Op]
+	case *ast.Unary:
+		return precUnary
+	case *ast.Update:
+		if n.Prefix {
+			return precUnary
+		}
+		return precPostfix
+	case *ast.Call, *ast.New, *ast.Member:
+		return precCall
+	case *ast.Func:
+		// Function expressions parse at primary level but are fragile in
+		// several positions; give them assignment level so they are wrapped
+		// when used as operands.
+		return precAssign
+	case *ast.Number:
+		if n.Value < 0 || math.Signbit(n.Value) {
+			return precUnary
+		}
+		return precPrimary
+	default:
+		return precPrimary
+	}
+}
+
+func (p *printer) expr(e ast.Expr, min int) {
+	lv := level(e)
+	if lv < min {
+		p.b.WriteByte('(')
+		p.exprRaw(e)
+		p.b.WriteByte(')')
+		return
+	}
+	p.exprRaw(e)
+}
+
+func (p *printer) exprRaw(e ast.Expr) {
+	switch n := e.(type) {
+	case *ast.Ident:
+		p.b.WriteString(n.Name)
+	case *ast.Number:
+		p.b.WriteString(FormatNumber(n.Value))
+	case *ast.Str:
+		p.b.WriteString(Quote(n.Value))
+	case *ast.Bool:
+		if n.Value {
+			p.b.WriteString("true")
+		} else {
+			p.b.WriteString("false")
+		}
+	case *ast.Null:
+		p.b.WriteString("null")
+	case *ast.This:
+		p.b.WriteString("this")
+	case *ast.NewTarget:
+		p.b.WriteString("new.target")
+	case *ast.Array:
+		p.b.WriteByte('[')
+		for i, el := range n.Elems {
+			if i > 0 {
+				p.b.WriteString(", ")
+			}
+			p.expr(el, precAssign)
+		}
+		p.b.WriteByte(']')
+	case *ast.Object:
+		p.b.WriteString("{ ")
+		for i, prop := range n.Props {
+			if i > 0 {
+				p.b.WriteString(", ")
+			}
+			switch prop.Kind {
+			case ast.PropInit:
+				p.b.WriteString(propKey(prop.Key))
+				p.b.WriteString(": ")
+				p.expr(prop.Value, precAssign)
+			case ast.PropGet, ast.PropSet:
+				if prop.Kind == ast.PropGet {
+					p.b.WriteString("get ")
+				} else {
+					p.b.WriteString("set ")
+				}
+				p.b.WriteString(propKey(prop.Key))
+				fn := prop.Value.(*ast.Func)
+				p.paramsAndBody(fn)
+			}
+		}
+		p.b.WriteString(" }")
+	case *ast.Func:
+		if n.Arrow {
+			p.b.WriteByte('(')
+			for i, param := range n.Params {
+				if i > 0 {
+					p.b.WriteString(", ")
+				}
+				p.b.WriteString(param)
+			}
+			p.b.WriteString(") => ")
+			p.funcBody(n.Body)
+			return
+		}
+		p.b.WriteString("function")
+		if n.Name != "" {
+			p.b.WriteByte(' ')
+			p.b.WriteString(n.Name)
+		}
+		p.paramsAndBody(n)
+	case *ast.Unary:
+		p.b.WriteString(n.Op)
+		if n.Op == "typeof" || n.Op == "void" || n.Op == "delete" {
+			p.b.WriteByte(' ')
+		} else if u, ok := n.X.(*ast.Unary); ok && (u.Op == n.Op || (n.Op == "+" && u.Op == "++") || (n.Op == "-" && u.Op == "--")) {
+			p.b.WriteByte(' ') // avoid `--x` from -(-x)
+		} else if num, ok := n.X.(*ast.Number); ok && n.Op == "-" && num.Value >= 0 {
+			// fine: -5
+		}
+		p.expr(n.X, precUnary)
+	case *ast.Update:
+		if n.Prefix {
+			p.b.WriteString(n.Op)
+			p.expr(n.X, precUnary)
+		} else {
+			p.expr(n.X, precPostfix)
+			p.b.WriteString(n.Op)
+		}
+	case *ast.Binary:
+		lv := binLevel[n.Op]
+		rightMin := lv + 1
+		leftMin := lv
+		if n.Op == "**" { // right-associative
+			leftMin, rightMin = lv+1, lv
+		}
+		p.expr(n.L, leftMin)
+		p.b.WriteByte(' ')
+		p.b.WriteString(n.Op)
+		p.b.WriteByte(' ')
+		p.expr(n.R, rightMin)
+	case *ast.Logical:
+		lv := level(n)
+		p.expr(n.L, lv)
+		p.b.WriteByte(' ')
+		p.b.WriteString(n.Op)
+		p.b.WriteByte(' ')
+		p.expr(n.R, lv+1)
+	case *ast.Assign:
+		p.expr(n.Target, precCall)
+		p.b.WriteByte(' ')
+		p.b.WriteString(n.Op)
+		p.b.WriteByte(' ')
+		p.expr(n.Value, precAssign)
+	case *ast.Cond:
+		p.expr(n.Test, precCond+1)
+		p.b.WriteString(" ? ")
+		p.expr(n.Cons, precAssign)
+		p.b.WriteString(" : ")
+		p.expr(n.Alt, precAssign)
+	case *ast.Call:
+		p.expr(n.Callee, precCall)
+		p.args(n.Args)
+	case *ast.New:
+		p.b.WriteString("new ")
+		p.newCallee(n.Callee)
+		p.args(n.Args)
+	case *ast.Member:
+		p.memberBase(n.X)
+		if n.Computed {
+			p.b.WriteByte('[')
+			p.expr(n.Index, precSeq)
+			p.b.WriteByte(']')
+		} else {
+			p.b.WriteByte('.')
+			p.b.WriteString(n.Name)
+		}
+	case *ast.Seq:
+		for i, x := range n.Exprs {
+			if i > 0 {
+				p.b.WriteString(", ")
+			}
+			p.expr(x, precAssign)
+		}
+	default:
+		panic("printer: unknown expression")
+	}
+}
+
+// memberBase prints the receiver of a member access, parenthesizing the
+// cases that would mis-parse: numbers (1.x), new without args, functions.
+func (p *printer) memberBase(x ast.Expr) {
+	if num, ok := x.(*ast.Number); ok && num.Value >= 0 {
+		p.b.WriteByte('(')
+		p.exprRaw(x)
+		p.b.WriteByte(')')
+		return
+	}
+	p.expr(x, precCall)
+}
+
+// newCallee prints the constructor of a new-expression; calls inside must be
+// parenthesized so the argument list attaches to the `new`.
+func (p *printer) newCallee(x ast.Expr) {
+	if containsCall(x) {
+		p.b.WriteByte('(')
+		p.exprRaw(x)
+		p.b.WriteByte(')')
+		return
+	}
+	p.expr(x, precCall)
+}
+
+func containsCall(x ast.Expr) bool {
+	switch n := x.(type) {
+	case *ast.Call:
+		return true
+	case *ast.Member:
+		return containsCall(n.X)
+	case *ast.Ident, *ast.This:
+		return false
+	}
+	return true
+}
+
+func (p *printer) args(args []ast.Expr) {
+	p.b.WriteByte('(')
+	for i, a := range args {
+		if i > 0 {
+			p.b.WriteString(", ")
+		}
+		p.expr(a, precAssign)
+	}
+	p.b.WriteByte(')')
+}
+
+func (p *printer) paramsAndBody(fn *ast.Func) {
+	p.b.WriteByte('(')
+	for i, param := range fn.Params {
+		if i > 0 {
+			p.b.WriteString(", ")
+		}
+		p.b.WriteString(param)
+	}
+	p.b.WriteString(") ")
+	p.funcBody(fn.Body)
+}
+
+func (p *printer) funcBody(body []ast.Stmt) {
+	p.b.WriteString("{\n")
+	p.indent++
+	for _, s := range body {
+		p.stmt(s)
+	}
+	p.indent--
+	p.ws()
+	p.b.WriteByte('}')
+}
+
+func (p *printer) stmt(s ast.Stmt) {
+	switch n := s.(type) {
+	case *ast.VarDecl:
+		p.ws()
+		p.b.WriteString("var ")
+		for i, d := range n.Decls {
+			if i > 0 {
+				p.b.WriteString(", ")
+			}
+			p.b.WriteString(d.Name)
+			if d.Init != nil {
+				p.b.WriteString(" = ")
+				p.expr(d.Init, precAssign)
+			}
+		}
+		p.b.WriteString(";\n")
+	case *ast.ExprStmt:
+		p.ws()
+		if needsParensAsStmt(n.X) {
+			p.b.WriteByte('(')
+			p.exprRaw(n.X)
+			p.b.WriteByte(')')
+		} else {
+			p.expr(n.X, 0)
+		}
+		p.b.WriteString(";\n")
+	case *ast.Block:
+		p.ws()
+		p.b.WriteString("{\n")
+		p.indent++
+		for _, st := range n.Body {
+			p.stmt(st)
+		}
+		p.indent--
+		p.line("}")
+	case *ast.If:
+		p.ws()
+		p.ifChain(n)
+		p.b.WriteByte('\n')
+	case *ast.While:
+		p.ws()
+		p.b.WriteString("while (")
+		p.expr(n.Test, 0)
+		p.b.WriteString(") ")
+		p.nested(n.Body)
+		p.b.WriteByte('\n')
+	case *ast.DoWhile:
+		p.ws()
+		p.b.WriteString("do ")
+		p.nested(n.Body)
+		p.b.WriteString(" while (")
+		p.expr(n.Test, 0)
+		p.b.WriteString(");\n")
+	case *ast.For:
+		p.ws()
+		p.b.WriteString("for (")
+		switch init := n.Init.(type) {
+		case nil:
+		case *ast.VarDecl:
+			p.b.WriteString("var ")
+			for i, d := range init.Decls {
+				if i > 0 {
+					p.b.WriteString(", ")
+				}
+				p.b.WriteString(d.Name)
+				if d.Init != nil {
+					p.b.WriteString(" = ")
+					p.expr(d.Init, precAssign)
+				}
+			}
+		case *ast.ExprStmt:
+			p.expr(init.X, 0)
+		}
+		p.b.WriteString("; ")
+		if n.Test != nil {
+			p.expr(n.Test, 0)
+		}
+		p.b.WriteString("; ")
+		if n.Update != nil {
+			p.expr(n.Update, 0)
+		}
+		p.b.WriteString(") ")
+		p.nested(n.Body)
+		p.b.WriteByte('\n')
+	case *ast.ForIn:
+		p.ws()
+		p.b.WriteString("for (")
+		if n.Decl {
+			p.b.WriteString("var ")
+		}
+		p.b.WriteString(n.Name)
+		p.b.WriteString(" in ")
+		p.expr(n.Obj, 0)
+		p.b.WriteString(") ")
+		p.nested(n.Body)
+		p.b.WriteByte('\n')
+	case *ast.Return:
+		p.ws()
+		if n.Arg == nil {
+			p.b.WriteString("return;\n")
+		} else {
+			p.b.WriteString("return ")
+			p.expr(n.Arg, 0)
+			p.b.WriteString(";\n")
+		}
+	case *ast.Break:
+		if n.Label != "" {
+			p.line("break " + n.Label + ";")
+		} else {
+			p.line("break;")
+		}
+	case *ast.Continue:
+		if n.Label != "" {
+			p.line("continue " + n.Label + ";")
+		} else {
+			p.line("continue;")
+		}
+	case *ast.Labeled:
+		p.ws()
+		p.b.WriteString(n.Label)
+		p.b.WriteString(": ")
+		p.nested(n.Body)
+		p.b.WriteByte('\n')
+	case *ast.Switch:
+		p.ws()
+		p.b.WriteString("switch (")
+		p.expr(n.Disc, 0)
+		p.b.WriteString(") {\n")
+		p.indent++
+		for _, c := range n.Cases {
+			p.ws()
+			if c.Test == nil {
+				p.b.WriteString("default:\n")
+			} else {
+				p.b.WriteString("case ")
+				p.expr(c.Test, 0)
+				p.b.WriteString(":\n")
+			}
+			p.indent++
+			for _, st := range c.Body {
+				p.stmt(st)
+			}
+			p.indent--
+		}
+		p.indent--
+		p.line("}")
+	case *ast.Throw:
+		p.ws()
+		p.b.WriteString("throw ")
+		p.expr(n.Arg, 0)
+		p.b.WriteString(";\n")
+	case *ast.Try:
+		p.ws()
+		p.b.WriteString("try ")
+		p.blockInline(n.Block)
+		if n.Catch != nil {
+			p.b.WriteString(" catch (")
+			p.b.WriteString(n.CatchParam)
+			p.b.WriteString(") ")
+			p.blockInline(n.Catch)
+		}
+		if n.Finally != nil {
+			p.b.WriteString(" finally ")
+			p.blockInline(n.Finally)
+		}
+		p.b.WriteByte('\n')
+	case *ast.FuncDecl:
+		p.ws()
+		p.b.WriteString("function ")
+		p.b.WriteString(n.Fn.Name)
+		p.paramsAndBody(n.Fn)
+		p.b.WriteByte('\n')
+	case *ast.Empty:
+		p.line(";")
+	default:
+		panic("printer: unknown statement")
+	}
+}
+
+// ifChain prints if/else-if/else without re-indenting at each else-if.
+func (p *printer) ifChain(n *ast.If) {
+	p.b.WriteString("if (")
+	p.expr(n.Test, 0)
+	p.b.WriteString(") ")
+	// Guard against dangling-else: if the consequent is an if without an
+	// else, wrap it in a block.
+	cons := n.Cons
+	if inner, ok := cons.(*ast.If); ok && inner.Alt == nil && n.Alt != nil {
+		cons = &ast.Block{Body: []ast.Stmt{cons}}
+	}
+	p.nested(cons)
+	if n.Alt == nil {
+		return
+	}
+	p.b.WriteString(" else ")
+	if alt, ok := n.Alt.(*ast.If); ok {
+		p.ifChain(alt)
+		return
+	}
+	p.nested(n.Alt)
+}
+
+// nested prints a statement used as a loop/if body on the current line.
+func (p *printer) nested(s ast.Stmt) {
+	if b, ok := s.(*ast.Block); ok {
+		p.blockInline(b)
+		return
+	}
+	p.b.WriteString("{\n")
+	p.indent++
+	p.stmt(s)
+	p.indent--
+	p.ws()
+	p.b.WriteByte('}')
+}
+
+func (p *printer) blockInline(b *ast.Block) {
+	p.b.WriteString("{\n")
+	p.indent++
+	for _, s := range b.Body {
+		p.stmt(s)
+	}
+	p.indent--
+	p.ws()
+	p.b.WriteByte('}')
+}
+
+// needsParensAsStmt reports whether the expression's first token would be
+// `function` or `{`, which a statement position would mis-parse; the check
+// follows every grammar position that can begin an expression.
+func needsParensAsStmt(x ast.Expr) bool {
+	switch n := x.(type) {
+	case *ast.Func, *ast.Object:
+		return true
+	case *ast.Call:
+		return needsParensAsStmt(n.Callee)
+	case *ast.Member:
+		return needsParensAsStmt(n.X)
+	case *ast.Assign:
+		return needsParensAsStmt(n.Target)
+	case *ast.Binary:
+		return needsParensAsStmt(n.L)
+	case *ast.Logical:
+		return needsParensAsStmt(n.L)
+	case *ast.Cond:
+		return needsParensAsStmt(n.Test)
+	case *ast.Update:
+		return !n.Prefix && needsParensAsStmt(n.X)
+	case *ast.Seq:
+		return len(n.Exprs) > 0 && needsParensAsStmt(n.Exprs[0])
+	}
+	return false
+}
+
+// propKey renders an object-literal key, quoting it unless it is a valid
+// identifier.
+func propKey(key string) string {
+	if key == "" {
+		return `""`
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		ok := c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return Quote(key)
+		}
+	}
+	return key
+}
+
+// FormatNumber renders a float64 the way JavaScript's ToString does for the
+// values this repository produces (finite doubles, NaN, infinities).
+func FormatNumber(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "Infinity"
+	case math.IsInf(v, -1):
+		return "-Infinity"
+	case v == math.Trunc(v) && math.Abs(v) < 1e21:
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	default:
+		s := strconv.FormatFloat(v, 'g', -1, 64)
+		return strings.Replace(s, "e+0", "e+", 1)
+	}
+}
+
+// Quote renders a string literal with JavaScript escaping.
+func Quote(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\r':
+			b.WriteString(`\r`)
+		default:
+			if r < 0x20 {
+				b.WriteString("\\x")
+				const hex = "0123456789abcdef"
+				b.WriteByte(hex[r>>4])
+				b.WriteByte(hex[r&0xf])
+			} else {
+				b.WriteRune(r)
+			}
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}

@@ -1,0 +1,226 @@
+package rt
+
+import (
+	"repro/internal/instrument"
+	"repro/internal/interp"
+)
+
+// installNatives defines the runtime primitives instrumented code calls.
+func (r *R) installNatives() {
+	in := r.In
+
+	// $C — Sitaram & Felleisen's unary control operator (§3): reify the
+	// continuation, pass it to the argument, run the body in an empty
+	// continuation.
+	in.DefineGlobal(instrument.CFn, in.NewNative(instrument.CFn, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		if len(args) == 0 {
+			return nil, in.Throw("TypeError", "$C requires a function")
+		}
+		if in.InAtomic() {
+			return nil, in.Throw("Error", "cannot capture a continuation inside a native callback")
+		}
+		f := args[0]
+		r.beginCapture(func(frames Frames) {
+			k := r.makeContinuation(frames)
+			r.runStep(func() (interp.Value, error) {
+				return in.Call(f, interp.Undefined{}, []interp.Value{k}, interp.Undefined{})
+			})
+		})
+		return r.captureReturn()
+	}))
+
+	// $suspend — the maySuspend of Figure 6: estimate elapsed time and
+	// yield to the event loop when δ has passed, a pause is requested, or
+	// the deep-stack limit is hit.
+	in.DefineGlobal(instrument.SuspendFn, in.NewNative(instrument.SuspendFn, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		deepPressure := r.opts.DeepStacks && in.Depth() > r.opts.DeepLimit
+		timeDue := r.est != nil && r.est.due()
+		if !deepPressure && !timeDue && !r.mustPause.Load() {
+			return interp.Undefined{}, nil
+		}
+		if in.InAtomic() {
+			// Inside a native callback (sort comparator, valueOf from a raw
+			// conversion): a continuation cannot unwind through the native
+			// frame, so defer the yield to the next suspend point.
+			return interp.Undefined{}, nil
+		}
+		if r.est != nil {
+			r.est.reset()
+		}
+		r.Yields++
+		r.beginCapture(func(frames Frames) {
+			r.Loop.Post(func() {
+				if r.mustPause.Load() {
+					r.mustPause.Store(false)
+					r.paused = true
+					r.savedK = frames
+					if r.onPause != nil {
+						r.onPause()
+					}
+					return
+				}
+				r.startRestore(frames, interp.Undefined{}, nil)
+			}, 0)
+		})
+		return r.captureReturn()
+	}))
+
+	// $bp — breakpoints and single-stepping (§5.2): called before every
+	// statement when debugging is enabled, with the original source line.
+	in.DefineGlobal(instrument.BpFn, in.NewNative(instrument.BpFn, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		if len(args) > 0 {
+			if line, ok := args[0].(float64); ok {
+				r.currentLine = int(line)
+			}
+		}
+		if !r.opts.Debug {
+			return interp.Undefined{}, nil
+		}
+		if !r.stepping && !r.breakpoints[r.currentLine] {
+			return interp.Undefined{}, nil
+		}
+		if in.InAtomic() {
+			return interp.Undefined{}, nil
+		}
+		line := r.currentLine
+		r.beginCapture(func(frames Frames) {
+			r.Loop.Post(func() {
+				r.paused = true
+				r.savedK = frames
+				if r.onBreak != nil {
+					r.onBreak(line)
+				}
+			}, 0)
+		})
+		return r.captureReturn()
+	}))
+
+	// Signal predicates used by instrumented catch clauses and exceptional
+	// call-site handlers.
+	in.DefineGlobal(instrument.IsSigFn, in.NewNative(instrument.IsSigFn, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		if len(args) == 0 {
+			return false, nil
+		}
+		_, ok := isSignal(args[0])
+		return ok, nil
+	}))
+	in.DefineGlobal(instrument.IsCapFn, in.NewNative(instrument.IsCapFn, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		if len(args) == 0 {
+			return false, nil
+		}
+		o, ok := args[0].(*interp.Object)
+		return ok && o.Class == classCapture, nil
+	}))
+
+	// Getter-sub-language support (§4.3): raw, accessor-free property
+	// access plus accessor lookup, so the $get/$set prelude can invoke user
+	// getters as ordinary instrumented calls.
+	in.DefineGlobal("$lookupGetter", in.NewNative("$lookupGetter", func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		return lookupAccessor(args, false)
+	}))
+	in.DefineGlobal("$lookupSetter", in.NewNative("$lookupSetter", func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		return lookupAccessor(args, true)
+	}))
+	in.DefineGlobal("$rawGet", in.NewNative("$rawGet", func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		if len(args) < 2 {
+			return interp.Undefined{}, nil
+		}
+		key, err := in.ToStringValue(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return rawGet(in, args[0], key)
+	}))
+	in.DefineGlobal("$rawSet", in.NewNative("$rawSet", func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		if len(args) < 3 {
+			return interp.Undefined{}, nil
+		}
+		key, err := in.ToStringValue(args[1])
+		if err != nil {
+			return nil, err
+		}
+		if err := in.SetMember(args[0], key, args[2]); err != nil {
+			return nil, err
+		}
+		return args[2], nil
+	}))
+}
+
+// rawGet reads a data property without ever invoking a user getter — the
+// $get prelude invokes accessors itself, as instrumented calls. Primitive
+// receivers go through the normal path (their prototypes hold only
+// natives).
+func rawGet(in *interp.Interp, base interp.Value, key string) (interp.Value, error) {
+	o, ok := base.(*interp.Object)
+	if !ok {
+		return in.GetMember(base, key)
+	}
+	if o.Class == "Array" || o.Class == "Arguments" {
+		if key == "length" && o.Own("length") == nil {
+			return float64(len(o.Elems)), nil
+		}
+		if i, isIdx := arrayIndexKey(key); isIdx && i < len(o.Elems) {
+			return o.Elems[i], nil
+		}
+	}
+	for p := o; p != nil; p = p.Proto {
+		if slot := p.Own(key); slot != nil {
+			if slot.Getter != nil || slot.Setter != nil {
+				return interp.Undefined{}, nil
+			}
+			return slot.Value, nil
+		}
+	}
+	if key == "prototype" && o.IsCallable() {
+		return in.GetMember(o, key) // materialize the lazy prototype
+	}
+	return interp.Undefined{}, nil
+}
+
+func arrayIndexKey(key string) (int, bool) {
+	if key == "" || len(key) > 9 {
+		return 0, false
+	}
+	n := 0
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	if len(key) > 1 && key[0] == '0' {
+		return 0, false
+	}
+	return n, true
+}
+
+// lookupAccessor walks the prototype chain for a getter or setter without
+// invoking it.
+func lookupAccessor(args []interp.Value, setter bool) (interp.Value, error) {
+	if len(args) < 2 {
+		return interp.Undefined{}, nil
+	}
+	o, ok := args[0].(*interp.Object)
+	if !ok {
+		return interp.Undefined{}, nil
+	}
+	key, ok := args[1].(string)
+	if !ok {
+		return interp.Undefined{}, nil
+	}
+	for p := o; p != nil; p = p.Proto {
+		if slot := p.Own(key); slot != nil {
+			if setter && slot.Setter != nil {
+				return slot.Setter, nil
+			}
+			if !setter && slot.Getter != nil {
+				return slot.Getter, nil
+			}
+			if slot.Getter == nil && slot.Setter == nil {
+				return interp.Undefined{}, nil // plain data property shadows
+			}
+		}
+	}
+	return interp.Undefined{}, nil
+}

@@ -1,0 +1,461 @@
+// Package rt is the Stopify runtime system: the driver loop that manages
+// the normal/capture/restore execution modes (§3.1), first-class
+// continuation values, the elapsed-time estimators of §5.1, pause/resume
+// and breakpoints (§5.2), simulated blocking calls, and segmented restore —
+// the mechanism behind deep stacks (§5.2 and DESIGN.md §4.4).
+//
+// Instrumented programs talk to the runtime through the JS globals $mode,
+// $stack, $rstack and $shadow, and through the natives $C, $suspend, $bp,
+// $isSig and $isCap installed by New.
+package rt
+
+import (
+	"sync/atomic"
+
+	"repro/internal/eventloop"
+	"repro/internal/instrument"
+	"repro/internal/interp"
+)
+
+// Options configures a runtime instance.
+type Options struct {
+	Strategy instrument.Strategy
+
+	// YieldIntervalMs is δ: the desired interval between yields to the
+	// event loop. Zero or negative disables time-based yielding (the
+	// program still yields for pauses, breakpoints, and deep stacks).
+	YieldIntervalMs float64
+	Estimator       EstimatorKind
+	// CountdownN is the fixed call budget for the countdown estimator.
+	CountdownN int
+	// SampleMs is the approx estimator's clock-sampling period t.
+	SampleMs float64
+
+	// DeepStacks bounds native stack growth by capturing and resuming on an
+	// empty stack whenever the interpreter depth exceeds DeepLimit.
+	DeepStacks bool
+	DeepLimit  int
+
+	// RestoreSegment caps how many frames are re-entered per native stack
+	// excursion during restore; pending outer frames are restored lazily as
+	// inner segments return. Zero picks a limit from the engine stack.
+	RestoreSegment int
+
+	// Debug enables $bp: breakpoints and single-stepping.
+	Debug bool
+}
+
+// Frames is a reified continuation: canonical order holds the bottom frame
+// (which ends restoration) at index 0 and the outermost caller last.
+type Frames []interp.Value
+
+// R is one runtime instance, bound to an interpreter realm and event loop.
+type R struct {
+	In   *interp.Interp
+	Loop *eventloop.Loop
+
+	opts Options
+	mode string
+
+	stackObj  *interp.Object // $stack: capture-order frames (checked/exceptional)
+	rstackObj *interp.Object // $rstack: frames being re-entered
+	shadowObj *interp.Object // $shadow: eager live stack
+
+	onCaptureAction func(Frames)
+	pendingFrames   Frames // eager capture's precomputed canonical frames
+	pendingOuter    Frames // outer segments awaiting lazy restore
+	restoreValue    interp.Value
+	restoreThrow    error
+
+	est estimator
+
+	mustPause atomic.Bool
+	paused    bool
+	savedK    Frames
+	onPause   func()
+
+	breakpoints map[int]bool
+	stepping    bool
+	currentLine int
+	onBreak     func(line int)
+
+	onDone func(interp.Value, error)
+	done   bool
+
+	// Stats observable by the harness.
+	Yields   int
+	Captures int
+	Restores int
+}
+
+// New installs the runtime globals and natives into in and returns the
+// runtime.
+func New(in *interp.Interp, loop *eventloop.Loop, opts Options) *R {
+	if opts.DeepLimit <= 0 {
+		opts.DeepLimit = in.MaxDepth() / 2
+	}
+	if opts.RestoreSegment <= 0 {
+		// Each restored frame costs about two native frames (the reenter
+		// thunk plus the function itself), so a segment must leave the
+		// resumed program plenty of headroom below DeepLimit — otherwise a
+		// deep recursion would re-capture after every few calls.
+		opts.RestoreSegment = in.MaxDepth() / 8
+		if opts.RestoreSegment < 16 {
+			opts.RestoreSegment = 16
+		}
+	}
+	if opts.SampleMs <= 0 {
+		opts.SampleMs = 25
+	}
+	if opts.CountdownN <= 0 {
+		opts.CountdownN = 100000
+	}
+	r := &R{In: in, Loop: loop, opts: opts, breakpoints: map[int]bool{}}
+	r.stackObj = in.NewArray(nil)
+	r.rstackObj = in.NewArray(nil)
+	r.shadowObj = in.NewArray(nil)
+	in.DefineGlobal(instrument.StackVar, r.stackObj)
+	in.DefineGlobal(instrument.RStackVar, r.rstackObj)
+	in.DefineGlobal(instrument.ShadowVar, r.shadowObj)
+	r.setMode(instrument.ModeNormal)
+
+	if opts.YieldIntervalMs > 0 {
+		switch opts.Estimator {
+		case Exact:
+			r.est = &exactEst{clock: in.Clock, delta: opts.YieldIntervalMs, last: in.Clock.Now()}
+		case Countdown:
+			r.est = &countdownEst{n: opts.CountdownN, counter: opts.CountdownN}
+		default:
+			r.est = newApproxEst(in.Clock, opts.YieldIntervalMs, opts.SampleMs)
+		}
+	}
+
+	r.installNatives()
+	return r
+}
+
+func (r *R) setMode(m string) {
+	r.mode = m
+	r.In.DefineGlobal(instrument.ModeVar, m)
+}
+
+// Mode reports the current execution mode (for tests).
+func (r *R) Mode() string { return r.mode }
+
+// Done reports whether the program has completed.
+func (r *R) Done() bool { return r.done }
+
+// Paused reports whether the program is suspended awaiting Resume.
+func (r *R) Paused() bool { return r.paused }
+
+// CurrentLine reports the last $bp line executed (original source line).
+func (r *R) CurrentLine() int { return r.currentLine }
+
+// ---------------------------------------------------------------------------
+// Signals and continuation values
+// ---------------------------------------------------------------------------
+
+const (
+	classCapture = "CaptureSignal"
+	classRestore = "RestoreSignal"
+)
+
+type restoreData struct {
+	frames Frames
+	value  interp.Value
+}
+
+func (r *R) captureSentinel() *interp.Object {
+	return &interp.Object{Class: classCapture}
+}
+
+func (r *R) restoreSentinel(frames Frames, v interp.Value) *interp.Object {
+	return &interp.Object{Class: classRestore, Extra: &restoreData{frames: frames, value: v}}
+}
+
+func isSignal(v interp.Value) (*interp.Object, bool) {
+	o, ok := v.(*interp.Object)
+	if !ok {
+		return nil, false
+	}
+	if o.Class == classCapture || o.Class == classRestore {
+		return o, true
+	}
+	return nil, false
+}
+
+// makeContinuation wraps frames as a callable JS value: applying it aborts
+// the current continuation (by throwing a restore sentinel the driver
+// catches) and reinstates the saved one (§3).
+func (r *R) makeContinuation(frames Frames) *interp.Object {
+	k := r.In.NewNative("continuation", func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		var v interp.Value = interp.Undefined{}
+		if len(args) > 0 {
+			v = args[0]
+		}
+		return nil, &interp.Thrown{Value: r.restoreSentinel(frames, v)}
+	})
+	k.Extra = frames
+	return k
+}
+
+// ContinuationFrames extracts the frames from a continuation value made by
+// makeContinuation (used by the blocking API and tests).
+func ContinuationFrames(k *interp.Object) (Frames, bool) {
+	f, ok := k.Extra.(Frames)
+	return f, ok
+}
+
+// bottomFrame builds the frame that terminates restoration: re-entering it
+// flips execution back to normal mode and produces the restore value (or
+// re-raises a pending exception when a segment is resumed in throw mode).
+func (r *R) bottomFrame() *interp.Object {
+	frame := r.In.NewPlainObject()
+	frame.SetOwn("label", 0.0)
+	frame.SetOwn("reenter", r.In.NewNative("$bottom", func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		if n := len(r.rstackObj.Elems); n > 0 {
+			r.rstackObj.Elems = r.rstackObj.Elems[:n-1]
+		}
+		r.setMode(instrument.ModeNormal)
+		if r.restoreThrow != nil {
+			t := r.restoreThrow
+			r.restoreThrow = nil
+			return nil, t
+		}
+		return r.restoreValue, nil
+	}))
+	return frame
+}
+
+// ---------------------------------------------------------------------------
+// Capture
+// ---------------------------------------------------------------------------
+
+// beginCapture arms a capture: it records what to do with the continuation
+// once the stack has unwound, and prepares the strategy-specific state. The
+// caller (a native invoked from instrumented code) then returns normally
+// (checked) or returns the capture sentinel as a throw (exceptional/eager).
+func (r *R) beginCapture(onCapture func(Frames)) {
+	r.Captures++
+	r.onCaptureAction = onCapture
+	switch r.opts.Strategy {
+	case instrument.Eager:
+		// The shadow stack is already materialized: canonicalize now.
+		frames := make(Frames, 0, len(r.shadowObj.Elems)+1)
+		frames = append(frames, r.bottomFrame())
+		for i := len(r.shadowObj.Elems) - 1; i >= 0; i-- {
+			frames = append(frames, r.shadowObj.Elems[i])
+		}
+		r.pendingFrames = frames
+		r.setMode(instrument.ModeCapture)
+	default:
+		// Unwinding code pushes frames innermost-first after the bottom.
+		r.stackObj.Elems = append(r.stackObj.Elems[:0], r.bottomFrame())
+		r.setMode(instrument.ModeCapture)
+	}
+}
+
+// captureReturn produces the value/error a capturing native returns so the
+// unwind proceeds per strategy.
+func (r *R) captureReturn() (interp.Value, error) {
+	if r.opts.Strategy == instrument.Checked {
+		return interp.Undefined{}, nil
+	}
+	return nil, &interp.Thrown{Value: r.captureSentinel()}
+}
+
+// finishCapture runs once the stack has fully unwound to the driver: it
+// assembles the canonical continuation (including any outer segments still
+// pending from a segmented restore) and hands it to the armed action.
+func (r *R) finishCapture() {
+	var frames Frames
+	if r.opts.Strategy == instrument.Eager {
+		frames = r.pendingFrames
+		r.pendingFrames = nil
+	} else {
+		frames = append(Frames{}, r.stackObj.Elems...)
+	}
+	frames = append(frames, r.pendingOuter...)
+	r.pendingOuter = nil
+	r.stackObj.Elems = nil
+	r.shadowObj.Elems = r.shadowObj.Elems[:0]
+	r.setMode(instrument.ModeNormal)
+	act := r.onCaptureAction
+	r.onCaptureAction = nil
+	act(frames)
+}
+
+// ---------------------------------------------------------------------------
+// Restore (with segmentation — deep stacks)
+// ---------------------------------------------------------------------------
+
+// startRestore reinstates a continuation. Only the innermost RestoreSegment
+// frames are re-entered on the native stack; outer frames wait in
+// pendingOuter and are restored as inner segments return (DESIGN.md §4.4).
+func (r *R) startRestore(frames Frames, v interp.Value, throwErr error) {
+	if len(frames) == 0 {
+		r.afterStep(v, throwErr)
+		return
+	}
+	r.Restores++
+	r.stackObj.Elems = nil
+	r.shadowObj.Elems = r.shadowObj.Elems[:0]
+	seg := frames
+	if len(frames) > r.opts.RestoreSegment {
+		seg = frames[:r.opts.RestoreSegment]
+		r.pendingOuter = append(append(Frames{}, frames[r.opts.RestoreSegment:]...), r.pendingOuter...)
+	}
+	r.restoreValue = v
+	r.restoreThrow = throwErr
+	r.rstackObj.Elems = append(r.rstackObj.Elems[:0], seg...)
+	r.setMode(instrument.ModeRestore)
+
+	top, ok := seg[len(seg)-1].(*interp.Object)
+	if !ok {
+		r.finish(nil, r.In.Throw("Error", "corrupt continuation frame"))
+		return
+	}
+	reenter, err := r.In.GetMember(top, "reenter")
+	if err != nil {
+		r.finish(nil, err)
+		return
+	}
+	r.runStep(func() (interp.Value, error) {
+		return r.In.Call(reenter, interp.Undefined{}, nil, interp.Undefined{})
+	})
+}
+
+// continueSegments resumes the next pending outer segment with the inner
+// segment's completion (a value or an exception).
+func (r *R) continueSegments(v interp.Value, throwErr error) {
+	frames := append(Frames{r.bottomFrame()}, r.pendingOuter...)
+	r.pendingOuter = nil
+	r.startRestore(frames, v, throwErr)
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+// Run schedules fn (typically $main) on the event loop and reports the
+// final result through onDone. The caller pumps the loop.
+func (r *R) Run(fn interp.Value, onDone func(interp.Value, error)) {
+	r.onDone = onDone
+	r.done = false
+	r.Loop.Post(func() {
+		r.runStep(func() (interp.Value, error) {
+			return r.In.Call(fn, interp.Undefined{}, nil, interp.Undefined{})
+		})
+	}, 0)
+}
+
+// runStep executes one synchronous slice of the program and dispatches on
+// how it ended.
+func (r *R) runStep(invoke func() (interp.Value, error)) {
+	v, err := invoke()
+	r.afterStep(v, err)
+}
+
+func (r *R) afterStep(v interp.Value, err error) {
+	if err != nil {
+		if t, ok := err.(*interp.Thrown); ok {
+			if sig, isSig := isSignal(t.Value); isSig {
+				switch sig.Class {
+				case classCapture:
+					r.finishCapture()
+					return
+				case classRestore:
+					data := sig.Extra.(*restoreData)
+					r.pendingOuter = nil // the applied continuation replaces it
+					r.startRestore(data.frames, data.value, nil)
+					return
+				}
+			}
+			// An ordinary exception escaping this segment propagates into
+			// the pending outer frames, or terminates the program.
+			if len(r.pendingOuter) > 0 {
+				r.continueSegments(nil, t)
+				return
+			}
+		}
+		r.finish(nil, err)
+		return
+	}
+	if r.mode == instrument.ModeCapture {
+		// Checked-return unwinding completed.
+		r.finishCapture()
+		return
+	}
+	if len(r.pendingOuter) > 0 {
+		r.continueSegments(v, nil)
+		return
+	}
+	r.finish(v, nil)
+}
+
+func (r *R) finish(v interp.Value, err error) {
+	r.done = true
+	if r.onDone != nil {
+		r.onDone(v, err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Execution-control API (§2, Figure 1)
+// ---------------------------------------------------------------------------
+
+// Pause requests suspension at the next yield point; onPause runs once the
+// program has stopped. Safe to call from other goroutines.
+func (r *R) Pause(onPause func()) {
+	r.onPause = onPause
+	r.mustPause.Store(true)
+}
+
+// Resume restarts a paused program.
+func (r *R) Resume() {
+	if !r.paused {
+		return
+	}
+	r.paused = false
+	frames := r.savedK
+	r.savedK = nil
+	r.Loop.Post(func() { r.startRestore(frames, interp.Undefined{}, nil) }, 0)
+}
+
+// SetBreakpoint arms a breakpoint on an original source line.
+func (r *R) SetBreakpoint(line int) { r.breakpoints[line] = true }
+
+// ClearBreakpoint removes a breakpoint.
+func (r *R) ClearBreakpoint(line int) { delete(r.breakpoints, line) }
+
+// StepOnce resumes and stops again at the next statement.
+func (r *R) StepOnce(onBreak func(line int)) {
+	r.stepping = true
+	r.onBreak = onBreak
+	r.Resume()
+}
+
+// OnBreak registers the breakpoint-hit callback.
+func (r *R) OnBreak(fn func(line int)) { r.onBreak = fn }
+
+// ResumeFromBreak continues after a breakpoint without stepping.
+func (r *R) ResumeFromBreak() {
+	r.stepping = false
+	r.Resume()
+}
+
+// Blocking registers a native that simulates a blocking operation (§5.2):
+// calling name(args...) from JS suspends the program, invokes start with
+// the arguments and a resume callback, and continues with the value passed
+// to resume — which may happen after timers or external events.
+func (r *R) Blocking(name string, start func(args []interp.Value, resume func(interp.Value))) {
+	r.In.DefineGlobal(name, r.In.NewNative(name, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		saved := append([]interp.Value(nil), args...)
+		r.beginCapture(func(frames Frames) {
+			start(saved, func(result interp.Value) {
+				r.Loop.Post(func() { r.startRestore(frames, result, nil) }, 0)
+			})
+		})
+		return r.captureReturn()
+	}))
+}

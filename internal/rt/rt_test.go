@@ -1,0 +1,127 @@
+package rt
+
+import (
+	"testing"
+
+	"repro/internal/eventloop"
+)
+
+// ---------------------------------------------------------------------------
+// Estimators (§5.1, Figure 6)
+// ---------------------------------------------------------------------------
+
+func TestExactEstimator(t *testing.T) {
+	clock := eventloop.NewVirtualClock()
+	e := &exactEst{clock: clock, delta: 100}
+	if e.due() {
+		t.Fatal("not due at t=0")
+	}
+	clock.Advance(99)
+	if e.due() {
+		t.Fatal("not due before δ")
+	}
+	clock.Advance(2)
+	if !e.due() {
+		t.Fatal("due after δ")
+	}
+	e.reset()
+	if e.due() {
+		t.Fatal("reset must restart the interval")
+	}
+}
+
+func TestCountdownEstimator(t *testing.T) {
+	e := &countdownEst{n: 5, counter: 5}
+	fires := 0
+	for i := 0; i < 20; i++ {
+		if e.due() {
+			fires++
+			e.reset()
+		}
+	}
+	if fires != 4 {
+		t.Errorf("countdown(5) over 20 calls fired %d times, want 4", fires)
+	}
+}
+
+// TestApproxEstimatorConvergence drives the sampling estimator with a
+// simulated steady call rate and checks the interval between yields
+// converges near δ — the property Figure 7 measures.
+func TestApproxEstimatorConvergence(t *testing.T) {
+	clock := eventloop.NewVirtualClock()
+	e := newApproxEst(clock, 100, 25)
+	const perMs = 50 // calls per virtual millisecond
+	var intervals []float64
+	last := clock.Now()
+	calls := 0
+	for clock.Now() < 5000 {
+		calls++
+		if calls%perMs == 0 {
+			clock.Advance(1)
+		}
+		if e.due() {
+			now := clock.Now()
+			intervals = append(intervals, now-last)
+			last = now
+			e.reset()
+		}
+	}
+	if len(intervals) < 10 {
+		t.Fatalf("too few yields: %d", len(intervals))
+	}
+	// Skip the warmup, then require the steady-state mean near δ.
+	tail := intervals[len(intervals)/2:]
+	sum := 0.0
+	for _, v := range tail {
+		sum += v
+	}
+	mean := sum / float64(len(tail))
+	if mean < 50 || mean > 200 {
+		t.Errorf("steady-state interval %.1f ms, want ≈100 ms (intervals %v)", mean, tail)
+	}
+}
+
+// TestApproxAdaptsToRateChange doubles the call rate mid-run; the estimator
+// must re-converge instead of keeping the stale velocity (the failure mode
+// of the countdown approach, §2).
+func TestApproxAdaptsToRateChange(t *testing.T) {
+	clock := eventloop.NewVirtualClock()
+	e := newApproxEst(clock, 100, 25)
+	measure := func(perMs int, untilMs float64) []float64 {
+		var intervals []float64
+		last := clock.Now()
+		calls := 0
+		for clock.Now() < untilMs {
+			calls++
+			if calls%perMs == 0 {
+				clock.Advance(1)
+			}
+			if e.due() {
+				intervals = append(intervals, clock.Now()-last)
+				last = clock.Now()
+				e.reset()
+			}
+		}
+		return intervals
+	}
+	measure(40, 3000)
+	fast := measure(400, 8000) // 10x the rate
+	if len(fast) < 5 {
+		t.Fatalf("too few yields after rate change: %d", len(fast))
+	}
+	tail := fast[len(fast)/2:]
+	sum := 0.0
+	for _, v := range tail {
+		sum += v
+	}
+	mean := sum / float64(len(tail))
+	if mean < 40 || mean > 250 {
+		t.Errorf("after rate change interval %.1f ms, want ≈100 ms", mean)
+	}
+}
+
+func TestEstimatorKindString(t *testing.T) {
+	if Exact.String() != "exact" || Countdown.String() != "countdown" || Approx.String() != "approx" {
+		t.Error("EstimatorKind.String")
+	}
+}

@@ -1,0 +1,83 @@
+// Package stopify is a Go reproduction of "Putting in All the Stops:
+// Execution Control for JavaScript" (Baxter, Nigam, Politz, Krishnamurthi,
+// Guha — PLDI 2018).
+//
+// Stopify is a JavaScript-to-JavaScript compiler that retrofits execution
+// control onto the browser's single-threaded platform: given the output of
+// any compiler targeting JavaScript, it produces a program that can be
+// paused, resumed, stepped, gracefully terminated, run with an arbitrarily
+// deep stack, and suspended across simulated blocking operations — by
+// reifying first-class continuations through source instrumentation.
+//
+// This package is the public face of the library:
+//
+//	c, err := stopify.Compile(source, stopify.Options{
+//	    Cont:            "checked",     // or "exceptional", "eager"
+//	    Ctor:            "direct",      // or "wrapped"
+//	    Timer:           "approx",      // or "exact", "countdown"
+//	    YieldIntervalMs: 100,
+//	    Implicits:       "none",        // sub-language: "none", "plus", "full"
+//	    Args:            "none",        // "none", "varargs", "mixed", "full"
+//	})
+//	run, err := c.NewRun(stopify.RunConfig{Engine: stopify.Engines()["chrome"]})
+//	run.Run(nil)               // starts on the event loop
+//	run.Pause(func() { ... })  // the "stop button"
+//	run.Resume()
+//	err = run.Wait()
+//
+// The JavaScript engine substrate (parser, interpreter, browser-like cost
+// profiles, event loop), the compilation pipeline (desugaring,
+// A-normalization, boxing, the three continuation-instrumentation
+// strategies of §3.2), the runtime (modes, estimators, segmented restore),
+// the ten language profiles of Figure 5, and the full benchmark harness
+// live under internal/; see DESIGN.md for the map.
+package stopify
+
+import (
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// Options mirrors the stopify() options object of Figure 1 in the paper.
+type Options = core.Opts
+
+// Compiled is a program processed by the Stopify pipeline.
+type Compiled = core.Compiled
+
+// AsyncRun is the execution handle of Figure 1: run, pause, resume,
+// breakpoints, stepping.
+type AsyncRun = core.AsyncRun
+
+// RunConfig selects the host environment (engine profile, clock, output).
+type RunConfig = core.RunConfig
+
+// Engine is a browser-like performance profile.
+type Engine = engine.Profile
+
+// Defaults returns the default Options: checked-return continuations,
+// desugared constructors, the sampling time estimator with a 100 ms yield
+// interval, and the most restrictive (fastest) sub-language.
+func Defaults() Options { return core.Defaults() }
+
+// Compile runs source through the full Stopify pipeline: desugaring for the
+// configured sub-language, A-normalization, boxing of captured assignable
+// variables, and continuation instrumentation.
+func Compile(source string, opts Options) (*Compiled, error) {
+	return core.Compile(source, opts)
+}
+
+// RunSource compiles and runs source to completion, returning its console
+// output.
+func RunSource(source string, opts Options, cfg RunConfig) (string, error) {
+	return core.RunSource(source, opts, cfg)
+}
+
+// RunRaw executes source without Stopify — the baseline in every slowdown
+// measurement.
+func RunRaw(source string, cfg RunConfig) (string, error) {
+	return core.RunRaw(source, cfg)
+}
+
+// Engines returns the five browser-like cost profiles of the evaluation
+// (chrome, edge, firefox, safari, chromebook).
+func Engines() map[string]*Engine { return engine.Profiles() }

@@ -1,0 +1,83 @@
+package stopify
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/eventloop"
+)
+
+// TestFacadeRoundTrip exercises the public API end to end: compile, run,
+// verify against the raw baseline.
+func TestFacadeRoundTrip(t *testing.T) {
+	src := `
+function gcd(a, b) { while (b !== 0) { var t = b; b = a % b; a = t; } return a; }
+console.log(gcd(462, 1071));`
+	cfg := RunConfig{Clock: eventloop.NewVirtualClock(), Seed: 1}
+	want, err := RunRaw(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunSource(src, Defaults(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want || want != "21\n" {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}
+
+func TestFacadePauseResume(t *testing.T) {
+	src := `var n = 0; while (n < 50000) { n++; } console.log(n);`
+	opts := Defaults()
+	opts.Timer = "countdown"
+	opts.CountdownN = 100
+	c, err := Compile(src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := c.NewRun(RunConfig{Clock: eventloop.NewVirtualClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Run(nil)
+	paused := false
+	run.Pause(func() { paused = true })
+	for i := 0; i < 10000 && !paused; i++ {
+		if !run.Loop.RunOne() {
+			break
+		}
+	}
+	if !paused {
+		t.Fatal("did not pause")
+	}
+	run.Resume()
+	if err := run.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if !run.Finished() {
+		t.Fatal("did not finish after resume")
+	}
+}
+
+func TestEnginesExposed(t *testing.T) {
+	engines := Engines()
+	for _, name := range []string{"chrome", "edge", "firefox", "safari", "chromebook"} {
+		if engines[name] == nil {
+			t.Errorf("missing engine %q", name)
+		}
+	}
+}
+
+func TestCompiledSourceIsJavaScript(t *testing.T) {
+	c, err := Compile(`console.log(1);`, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := c.Source()
+	for _, marker := range []string{"$mode", "$suspend", "function $main"} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("instrumented source missing %q", marker)
+		}
+	}
+}
