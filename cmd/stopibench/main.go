@@ -1,25 +1,31 @@
 // Command stopibench regenerates the paper's evaluation: every table and
 // figure of §2 and §6, measured against this repository's substrates.
 //
-//	stopibench                # run everything at full settings
-//	stopibench -quick         # fast smoke pass
-//	stopibench -fig 2c        # one experiment (2a 2b 2c 5 7 10 11 12 13 14 15 strawmen codesize)
-//	stopibench -repeats 10    # paper-grade repetition
+//	stopibench                        # run everything at full settings
+//	stopibench -quick                 # fast smoke pass
+//	stopibench -fig 2c                # one experiment (2a 2b 2c 5 7 10 11 12 13 14 15 strawmen codesize)
+//	stopibench -repeats 10            # paper-grade repetition
+//	stopibench -interp-bench F.json   # capture the interpreter perf baseline
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"testing"
+	"time"
 
 	"repro/internal/bench"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "experiment to run (see Order in internal/bench)")
-		quick   = flag.Bool("quick", false, "small workloads, single repetition")
-		repeats = flag.Int("repeats", 0, "timed runs per data point (default 5, paper uses 10)")
+		fig         = flag.String("fig", "all", "experiment to run (see Order in internal/bench)")
+		quick       = flag.Bool("quick", false, "small workloads, single repetition")
+		repeats     = flag.Int("repeats", 0, "timed runs per data point (default 5, paper uses 10)")
+		interpBench = flag.String("interp-bench", "", "write ns/op and allocs/op for the interpreter-bound figure benchmarks to this JSON file and exit")
 	)
 	flag.Parse()
 
@@ -29,6 +35,14 @@ func main() {
 	}
 	if *repeats > 0 {
 		cfg.Repeats = *repeats
+	}
+
+	if *interpBench != "" {
+		if err := captureInterpBench(*interpBench); err != nil {
+			fmt.Fprintln(os.Stderr, "stopibench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *fig == "all" {
@@ -51,4 +65,73 @@ func main() {
 		fmt.Fprintln(os.Stderr, "stopibench:", err)
 		os.Exit(1)
 	}
+}
+
+// interpBenchResult is one row of the interpreter perf baseline.
+type interpBenchResult struct {
+	Name        string `json:"name"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+}
+
+// interpBenchFile is the schema of BENCH_interp.json: a dated snapshot of
+// the interpreter-bound figure benchmarks, so the substrate's perf
+// trajectory is tracked PR over PR.
+type interpBenchFile struct {
+	CapturedAt string              `json:"captured_at"`
+	GoVersion  string              `json:"go_version"`
+	Config     string              `json:"config"`
+	Benchmarks []interpBenchResult `json:"benchmarks"`
+}
+
+// captureInterpBench times the interpreter-bound figure benchmarks at quick
+// settings via testing.Benchmark — the same numbers `go test -bench` on the
+// root package reports — and writes them as JSON.
+func captureInterpBench(path string) error {
+	cfg := bench.QuickConfig()
+	figures := []struct {
+		name string
+		fn   func(bench.Config) (string, error)
+	}{
+		{"Fig10Languages", func(c bench.Config) (string, error) {
+			s, _, err := bench.Fig10Languages(c)
+			return s, err
+		}},
+		{"Fig13OctaneKraken", bench.Fig13OctaneKraken},
+	}
+	out := interpBenchFile{
+		CapturedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		Config:     "quick",
+	}
+	for _, f := range figures {
+		f := f
+		var failure error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.fn(cfg); err != nil {
+					failure = err
+					b.FailNow()
+				}
+			}
+		})
+		if failure != nil {
+			return fmt.Errorf("%s: %w", f.name, failure)
+		}
+		out.Benchmarks = append(out.Benchmarks, interpBenchResult{
+			Name:        f.name,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+		fmt.Printf("%-20s %12d ns/op %10d allocs/op %12d B/op\n",
+			f.name, r.NsPerOp(), r.AllocsPerOp(), r.AllocedBytesPerOp())
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -48,10 +48,13 @@ func (p *Program) Position() Pos { return p.Pos }
 // Expressions
 // ---------------------------------------------------------------------------
 
-// Ident is a variable reference.
+// Ident is a variable reference. Ref, when valid, is the static (hops,
+// slot) coordinate assigned by internal/resolve; the zero Ref means the
+// reference is resolved dynamically by name.
 type Ident struct {
 	P    Pos
 	Name string
+	Ref  Ref
 }
 
 // Number is a numeric literal. JavaScript numbers are IEEE-754 doubles.
@@ -77,15 +80,19 @@ type Null struct {
 	P Pos
 }
 
-// This is the `this` expression.
+// This is the `this` expression. Ref is the resolved coordinate of the
+// enclosing non-arrow function's `this` binding, when known statically.
 type This struct {
-	P Pos
+	P   Pos
+	Ref Ref
 }
 
 // NewTarget is the ES6 `new.target` meta-property, which Stopify uses to
-// distinguish constructor invocations from plain calls (§3.2).
+// distinguish constructor invocations from plain calls (§3.2). Ref is the
+// resolved coordinate of the binding, when known statically.
 type NewTarget struct {
-	P Pos
+	P   Pos
+	Ref Ref
 }
 
 // Array is an array literal.
@@ -126,6 +133,10 @@ type Func struct {
 	Params []string
 	Body   []Stmt
 	Arrow  bool
+
+	// Scope is the frame layout computed by internal/resolve. Nil means the
+	// function was never resolved and runs on dynamic map frames.
+	Scope *ScopeInfo
 }
 
 // Unary is a prefix unary operator: ! - + ~ typeof void delete.
@@ -253,10 +264,12 @@ func (*Seq) exprNode()       {}
 // Statements
 // ---------------------------------------------------------------------------
 
-// Declarator is a single name in a var statement.
+// Declarator is a single name in a var statement. Ref is the resolved
+// coordinate of the hoisted binding the initializer assigns to.
 type Declarator struct {
 	Name string
 	Init Expr // may be nil
+	Ref  Ref
 }
 
 // VarDecl is a `var` declaration list. The parser normalizes let/const to
@@ -310,13 +323,15 @@ type For struct {
 	Body   Stmt
 }
 
-// ForIn is a for-in loop over enumerable property names.
+// ForIn is a for-in loop over enumerable property names. Ref is the
+// resolved coordinate of the loop variable's binding.
 type ForIn struct {
 	P    Pos
 	Decl bool // true for `for (var k in o)`
 	Name string
 	Obj  Expr
 	Body Stmt
+	Ref  Ref
 }
 
 // Return is a return statement; Arg may be nil.
@@ -371,6 +386,10 @@ type Try struct {
 	CatchParam string
 	Catch      *Block
 	Finally    *Block
+
+	// CatchScope is the one-slot frame layout for the catch clause,
+	// computed by internal/resolve; nil means a dynamic catch frame.
+	CatchScope *ScopeInfo
 }
 
 // FuncDecl is a hoisted function declaration.

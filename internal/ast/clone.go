@@ -2,7 +2,10 @@ package ast
 
 // CloneProgram returns a deep copy of p. Compiler pipelines mutate trees in
 // place, so callers that reuse a parsed program across configurations clone
-// it first.
+// it first. Clones come out unresolved: scope annotations (Refs, ScopeInfo
+// layouts) are stripped rather than shared, because a layout's FnDecls
+// point at the original tree's nodes — the clone must be re-resolved after
+// whatever rewriting it was cloned for.
 func CloneProgram(p *Program) *Program {
 	if p == nil {
 		return nil
@@ -16,8 +19,7 @@ func CloneExpr(e Expr) Expr {
 	case nil:
 		return nil
 	case *Ident:
-		c := *n
-		return &c
+		return &Ident{P: n.P, Name: n.Name}
 	case *Number:
 		c := *n
 		return &c
@@ -31,11 +33,9 @@ func CloneExpr(e Expr) Expr {
 		c := *n
 		return &c
 	case *This:
-		c := *n
-		return &c
+		return &This{P: n.P}
 	case *NewTarget:
-		c := *n
-		return &c
+		return &NewTarget{P: n.P}
 	case *Array:
 		elems := make([]Expr, len(n.Elems))
 		for i, el := range n.Elems {

@@ -1,0 +1,146 @@
+package ast
+
+// This file holds the static-scope annotations written by internal/resolve
+// and consumed by the interpreter: packed (hops, slot) coordinates on
+// identifier references and per-function frame layouts. The zero value of
+// every annotation means "unresolved", so trees that never pass through the
+// resolver (hand-built tests, eval'd fragments under a raw host) keep their
+// dynamic name-lookup semantics.
+
+// Ref is a resolved variable coordinate: the number of environment frames to
+// hop outward, and the slot index within the target frame. It is packed into
+// a uint32 — bits 16..31 hold hops, bits 0..15 hold slot+1 — so that the
+// zero Ref means "unresolved".
+type Ref uint32
+
+// RefGlobal marks a reference the resolver proved unbound in every
+// enclosing static scope. Only dynamically created bindings — the global
+// frame, or a runtime define into a frame's overflow map — can supply it,
+// so the interpreter's lookup may skip every static slot layout on the way
+// out.
+const RefGlobal Ref = 1 << 31
+
+// MakeRef packs a coordinate. ok is false when hops or slot exceed the
+// packing range (hops is capped below bit 31 so no coordinate collides
+// with RefGlobal); callers leave such references unresolved, which is
+// always safe (the dynamic path finds the binding by name).
+func MakeRef(hops, slot int) (Ref, bool) {
+	if hops < 0 || hops > 0x7fff || slot < 0 || slot >= 0xffff {
+		return 0, false
+	}
+	return Ref(uint32(hops)<<16 | uint32(slot) + 1), true
+}
+
+// Valid reports whether the reference names a (hops, slot) coordinate.
+func (r Ref) Valid() bool { return r != 0 && r != RefGlobal }
+
+// Global reports whether the reference was proved to bypass all static
+// scopes.
+func (r Ref) Global() bool { return r == RefGlobal }
+
+// Hops returns the number of parent-frame hops.
+func (r Ref) Hops() int { return int(r >> 16) }
+
+// Slot returns the slot index within the target frame.
+func (r Ref) Slot() int { return int(r&0xffff) - 1 }
+
+// ScopeInfo is the slot layout of one frame, computed statically. Slot i of
+// the frame binds Names[i]; the remaining fields tell the interpreter where
+// to store the implicit bindings it materializes on function entry. A slot
+// of -1 means the binding does not exist in this frame (arrow functions) or
+// is never referenced and need not be materialized (ArgumentsSlot).
+type ScopeInfo struct {
+	Names []string
+
+	// Index maps each name in Names to its slot, for the interpreter's
+	// dynamic by-name fallback (unresolved references probing a slot
+	// frame). Nil only on layouts that predate resolution.
+	Index map[string]int
+
+	// ParamSlots maps parameter position to frame slot.
+	ParamSlots []int
+
+	// SelfSlot binds a named function's own name (the named-function-
+	// expression self-reference).
+	SelfSlot int
+
+	ThisSlot      int
+	NewTargetSlot int
+
+	// ArgumentsSlot is -1 when the function body never references
+	// `arguments`, which lets the interpreter skip building the arguments
+	// object entirely.
+	ArgumentsSlot int
+
+	// FnDecls lists hoisted function declarations and the slots their
+	// function objects are stored into on entry, in source order.
+	FnDecls []FnSlot
+}
+
+// FnSlot pairs a hoisted function declaration with its frame slot.
+type FnSlot struct {
+	Fn   *Func
+	Slot int
+}
+
+// HoistedDecls collects the var names (including for-in declarations) and
+// function declarations of one function body, without descending into
+// nested functions — JavaScript's var/function hoisting rule. The resolver
+// and the interpreter's dynamic fallback share this scan so their scope
+// models cannot drift.
+func HoistedDecls(body []Stmt) (vars []string, fns []*Func) {
+	var walkStmt func(s Stmt)
+	walkStmt = func(s Stmt) {
+		switch n := s.(type) {
+		case *VarDecl:
+			for _, d := range n.Decls {
+				vars = append(vars, d.Name)
+			}
+		case *FuncDecl:
+			fns = append(fns, n.Fn)
+		case *Block:
+			for _, st := range n.Body {
+				walkStmt(st)
+			}
+		case *If:
+			walkStmt(n.Cons)
+			if n.Alt != nil {
+				walkStmt(n.Alt)
+			}
+		case *While:
+			walkStmt(n.Body)
+		case *DoWhile:
+			walkStmt(n.Body)
+		case *For:
+			if n.Init != nil {
+				walkStmt(n.Init)
+			}
+			walkStmt(n.Body)
+		case *ForIn:
+			if n.Decl {
+				vars = append(vars, n.Name)
+			}
+			walkStmt(n.Body)
+		case *Labeled:
+			walkStmt(n.Body)
+		case *Switch:
+			for _, c := range n.Cases {
+				for _, st := range c.Body {
+					walkStmt(st)
+				}
+			}
+		case *Try:
+			walkStmt(n.Block)
+			if n.Catch != nil {
+				walkStmt(n.Catch)
+			}
+			if n.Finally != nil {
+				walkStmt(n.Finally)
+			}
+		}
+	}
+	for _, s := range body {
+		walkStmt(s)
+	}
+	return vars, fns
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/parser"
 	"repro/internal/printer"
+	"repro/internal/resolve"
 	"repro/internal/rt"
 )
 
@@ -244,6 +245,10 @@ func compileProgram(userProg *ast.Program, opts Opts, nm *desugar.Namer, mainNam
 		Args:               opts.argsMode(),
 		PerStatementGuards: opts.PerStatementGuards,
 	})
+	// Static scope resolution runs last, on the final tree the interpreter
+	// will execute: every pass above is free to synthesize bindings, and the
+	// annotations must describe exactly what runs.
+	resolve.Program(merged)
 	return merged, nil
 }
 
@@ -401,6 +406,7 @@ func RunRaw(source string, cfg RunConfig) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	resolve.Program(prog)
 	var buf bytes.Buffer
 	out := cfg.Out
 	if out == nil {
@@ -412,12 +418,15 @@ func RunRaw(source string, cfg RunConfig) (string, error) {
 	}
 	loop := eventloop.New(clock)
 	in := interp.New(interp.Options{Engine: cfg.Engine, Clock: clock, Loop: loop, Out: out, Seed: cfg.Seed})
-	// Raw execution has the browser's native eval: parse and run directly.
+	// Raw execution has the browser's native eval: parse, resolve, and run
+	// directly. The fragment's own statements execute in the dynamic global
+	// frame; only functions within get slot frames.
 	in.EvalHook = func(src string) ([]ast.Stmt, error) {
 		p, err := parser.Parse(src)
 		if err != nil {
 			return nil, err
 		}
+		resolve.Program(p)
 		return p.Body, nil
 	}
 	if err := in.RunProgram(prog); err != nil {

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// The resolver must leave global references dynamic so that code defined at
+// runtime through the eval hook — which the resolver can never see when the
+// referring function is compiled — still binds correctly.
+
+func TestResolverEvalLateBindingRaw(t *testing.T) {
+	// f is resolved before g exists anywhere; eval defines g in the global
+	// frame afterwards, and the call must find it dynamically.
+	src := `
+function f() { return g(); }
+eval("function g() { return 42; }");
+console.log(f());
+eval("g = function () { return 7; };");
+console.log(f());
+`
+	out, err := RunRaw(src, RunConfig{})
+	if err != nil {
+		t.Fatalf("raw run: %v", err)
+	}
+	if out != "42\n7\n" {
+		t.Fatalf("late-bound eval globals broken: %q", out)
+	}
+}
+
+func TestResolverEvalLateBindingStopified(t *testing.T) {
+	// Under the stopified eval hook the fragment is wrapped in a function,
+	// so declarations stay local to the turn; an (implicit-global)
+	// assignment is how eval'd code creates a binding that outlives it.
+	src := `
+function f() { return g(); }
+eval("g = function () { return 42; };");
+console.log(f());
+`
+	o := Defaults()
+	o.Eval = true
+	out, err := RunSource(src, o, RunConfig{})
+	if err != nil {
+		t.Fatalf("stopified run: %v", err)
+	}
+	if !strings.Contains(out, "42") {
+		t.Fatalf("stopified eval late binding broken: %q", out)
+	}
+}
+
+func TestResolverEvalSeesGlobalsNotLocals(t *testing.T) {
+	// Eval'd code executes in the global frame (the paper's restricted
+	// "T" sub-language of §4.3); a resolved local named like a global must
+	// keep its slot value while eval writes the global.
+	src := `
+var x = 1;
+function f() { var x = 2; eval("x = 3;"); return x; }
+console.log(f(), x);
+`
+	out, err := RunRaw(src, RunConfig{})
+	if err != nil {
+		t.Fatalf("raw run: %v", err)
+	}
+	if out != "2 3\n" {
+		t.Fatalf("eval scope isolation broken: %q", out)
+	}
+}

@@ -55,7 +55,7 @@ func (in *Interp) setupObjectProto() {
 				return true, nil
 			}
 		}
-		return o.Own(key) != nil, nil
+		return o.OwnOrLazy(key) != nil, nil
 	}))
 	op.SetHidden("toString", in.native("toString", func(in *Interp, this Value, args []Value) (Value, error) {
 		if o, ok := this.(*Object); ok {
@@ -151,7 +151,7 @@ func (in *Interp) setupObjectProto() {
 		if err != nil {
 			return nil, err
 		}
-		slot := o.Own(key)
+		slot := o.OwnOrLazy(key)
 		if slot == nil {
 			return Undefined{}, nil
 		}

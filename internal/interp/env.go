@@ -1,25 +1,98 @@
 package interp
 
-// Env is a lexical environment: a mutable frame of bindings with a parent
-// link. Closures capture the *Env, so bindings are shared by reference —
-// which is exactly what makes assignable captured variables problematic for
-// continuation restoration and why Stopify boxes them (§3.2.1).
+import "repro/internal/ast"
+
+// Env is a lexical environment frame. Closures capture the *Env, so
+// bindings are shared by reference — which is exactly what makes assignable
+// captured variables problematic for continuation restoration and why
+// Stopify boxes them (§3.2.1).
+//
+// A frame comes in two shapes. Code that went through internal/resolve runs
+// on slot frames: names is the static layout (slot i binds names[i]) and
+// slots holds the values, so resolved references are two pointer hops and
+// an array index. Everything else — the global frame, hand-built test
+// fragments, dynamically created bindings — lives in the vars map. A slot
+// frame can still grow a vars map when dynamic code defines a name the
+// resolver never saw (an undeclared for-in variable, for example), so the
+// by-name operations remain complete on every frame.
 type Env struct {
 	parent *Env
+	layout *ast.ScopeInfo // static slot layout; nil for map frames
+	slots  []Value
 	vars   map[string]Value
 }
 
-// NewEnv returns an empty environment chained to parent (which may be nil
-// for the global frame).
+// NewEnv returns an empty dynamic (map-backed) environment chained to
+// parent (which may be nil for the global frame).
 func NewEnv(parent *Env) *Env {
 	return &Env{parent: parent, vars: make(map[string]Value)}
 }
 
+// NewSlotEnv returns a slot frame with the given static layout; every slot
+// starts as undefined, which is precisely JavaScript's var-hoisting rule.
+func NewSlotEnv(parent *Env, layout *ast.ScopeInfo) *Env {
+	slots := make([]Value, len(layout.Names))
+	for i := range slots {
+		slots[i] = undefinedValue
+	}
+	return &Env{parent: parent, layout: layout, slots: slots}
+}
+
+// GetRef reads a resolved (hops, slot) coordinate.
+func (e *Env) GetRef(r ast.Ref) Value {
+	env := e
+	for n := r.Hops(); n > 0; n-- {
+		env = env.parent
+	}
+	return env.slots[r.Slot()]
+}
+
+// SetRef writes through a resolved coordinate.
+func (e *Env) SetRef(r ast.Ref, v Value) {
+	env := e
+	for n := r.Hops(); n > 0; n-- {
+		env = env.parent
+	}
+	env.slots[r.Slot()] = v
+}
+
+// slotIndex finds name in this frame's static layout, or -1. It only runs
+// on the dynamic fallback path; resolved references never reach it.
+func (e *Env) slotIndex(name string) int {
+	if e.layout == nil {
+		return -1
+	}
+	if e.layout.Index != nil {
+		if i, ok := e.layout.Index[name]; ok {
+			return i
+		}
+		return -1
+	}
+	for i, n := range e.layout.Names {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
 // Define creates or overwrites a binding in this frame.
-func (e *Env) Define(name string, v Value) { e.vars[name] = v }
+func (e *Env) Define(name string, v Value) {
+	if i := e.slotIndex(name); i >= 0 {
+		e.slots[i] = v
+		return
+	}
+	if e.vars == nil {
+		e.vars = make(map[string]Value)
+	}
+	e.vars[name] = v
+}
 
 // Has reports whether this frame (not the chain) binds name.
 func (e *Env) Has(name string) bool {
+	if e.slotIndex(name) >= 0 {
+		return true
+	}
 	_, ok := e.vars[name]
 	return ok
 }
@@ -27,6 +100,9 @@ func (e *Env) Has(name string) bool {
 // Lookup resolves name through the chain.
 func (e *Env) Lookup(name string) (Value, bool) {
 	for env := e; env != nil; env = env.parent {
+		if i := env.slotIndex(name); i >= 0 {
+			return env.slots[i], true
+		}
 		if v, ok := env.vars[name]; ok {
 			return v, true
 		}
@@ -34,10 +110,44 @@ func (e *Env) Lookup(name string) (Value, bool) {
 	return nil, false
 }
 
+// LookupDynamic resolves name through the chain probing only dynamically
+// created bindings (vars maps), skipping every static slot layout. It is
+// only correct for references the resolver proved unbound in all enclosing
+// static scopes — the common shape of a global reference from deep inside
+// compiled code.
+func (e *Env) LookupDynamic(name string) (Value, bool) {
+	for env := e; env != nil; env = env.parent {
+		if env.vars != nil {
+			if v, ok := env.vars[name]; ok {
+				return v, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// SetDynamic is Set restricted to dynamically created bindings, with the
+// same proof obligation as LookupDynamic.
+func (e *Env) SetDynamic(name string, v Value) bool {
+	for env := e; env != nil; env = env.parent {
+		if env.vars != nil {
+			if _, ok := env.vars[name]; ok {
+				env.vars[name] = v
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // Set assigns to the nearest frame binding name, reporting whether one was
 // found.
 func (e *Env) Set(name string, v Value) bool {
 	for env := e; env != nil; env = env.parent {
+		if i := env.slotIndex(name); i >= 0 {
+			env.slots[i] = v
+			return true
+		}
 		if _, ok := env.vars[name]; ok {
 			env.vars[name] = v
 			return true

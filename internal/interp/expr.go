@@ -10,29 +10,31 @@ import (
 func (in *Interp) eval(e ast.Expr, env *Env) (Value, error) {
 	switch n := e.(type) {
 	case *ast.Ident:
-		v, ok := env.Lookup(n.Name)
-		if !ok {
-			return nil, in.Throw("ReferenceError", "%s is not defined", n.Name)
-		}
-		return v, nil
+		return in.loadIdent(n, env)
 	case *ast.Number:
-		return n.Value, nil
+		return boxNumber(n.Value), nil
 	case *ast.Str:
 		return n.Value, nil
 	case *ast.Bool:
 		return n.Value, nil
 	case *ast.Null:
-		return Null{}, nil
+		return nullValue, nil
 	case *ast.This:
+		if n.Ref.Valid() {
+			return env.GetRef(n.Ref), nil
+		}
 		if v, ok := env.Lookup("this"); ok {
 			return v, nil
 		}
-		return Undefined{}, nil
+		return undefinedValue, nil
 	case *ast.NewTarget:
+		if n.Ref.Valid() {
+			return env.GetRef(n.Ref), nil
+		}
 		if v, ok := env.Lookup("new.target"); ok {
 			return v, nil
 		}
-		return Undefined{}, nil
+		return undefinedValue, nil
 	case *ast.Array:
 		elems := make([]Value, len(n.Elems))
 		for i, el := range n.Elems {
@@ -116,15 +118,8 @@ func (in *Interp) eval(e ast.Expr, env *Env) (Value, error) {
 	case *ast.New:
 		return in.evalNew(n, env)
 	case *ast.Member:
-		base, err := in.eval(n.X, env)
-		if err != nil {
-			return nil, err
-		}
-		key, err := in.memberKey(n, env)
-		if err != nil {
-			return nil, err
-		}
-		return in.GetMember(base, key)
+		_, v, err := in.evalMember(n, env)
+		return v, err
 	case *ast.Seq:
 		var v Value = Undefined{}
 		for _, x := range n.Exprs {
@@ -139,6 +134,51 @@ func (in *Interp) eval(e ast.Expr, env *Env) (Value, error) {
 	return nil, fmt.Errorf("interp: unknown expression %T", e)
 }
 
+// loadIdent reads a variable reference with the strongest static
+// information available: resolved coordinates index a slot directly,
+// proved-global names skip every slot layout, and everything else walks
+// the chain by name.
+func (in *Interp) loadIdent(n *ast.Ident, env *Env) (Value, error) {
+	if n.Ref.Valid() {
+		return env.GetRef(n.Ref), nil
+	}
+	v, ok := in.lookupIdent(n, env)
+	if !ok {
+		return nil, in.Throw("ReferenceError", "%s is not defined", n.Name)
+	}
+	return v, nil
+}
+
+// lookupIdent is loadIdent without the ReferenceError (typeof tolerates
+// unresolvable names).
+func (in *Interp) lookupIdent(n *ast.Ident, env *Env) (Value, bool) {
+	if n.Ref.Valid() {
+		return env.GetRef(n.Ref), true
+	}
+	if n.Ref.Global() {
+		return env.LookupDynamic(n.Name)
+	}
+	return env.Lookup(n.Name)
+}
+
+// storeIdent writes a variable reference, creating an implicit global when
+// the name is bound nowhere (non-strict JS).
+func (in *Interp) storeIdent(n *ast.Ident, v Value, env *Env) {
+	if n.Ref.Valid() {
+		env.SetRef(n.Ref, v)
+		return
+	}
+	if n.Ref.Global() {
+		if !env.SetDynamic(n.Name, v) {
+			env.Root().Define(n.Name, v)
+		}
+		return
+	}
+	if !env.Set(n.Name, v) {
+		env.Root().Define(n.Name, v)
+	}
+}
+
 func (in *Interp) memberKey(n *ast.Member, env *Env) (string, error) {
 	if !n.Computed {
 		return n.Name, nil
@@ -150,12 +190,40 @@ func (in *Interp) memberKey(n *ast.Member, env *Env) (string, error) {
 	return in.ToStringValue(idx)
 }
 
+// evalMember evaluates a property read, returning the receiver alongside
+// the value (callers use it for method-call `this`). Integer indexing into
+// arrays and arguments objects takes an allocation-free path that never
+// round-trips the index through a string key.
+func (in *Interp) evalMember(n *ast.Member, env *Env) (base, v Value, err error) {
+	base, err = in.eval(n.X, env)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !n.Computed {
+		v, err = in.GetMember(base, n.Name)
+		return base, v, err
+	}
+	idx, err := in.eval(n.Index, env)
+	if err != nil {
+		return nil, nil, err
+	}
+	if v, ok := in.getElemFast(base, idx); ok {
+		return base, v, nil
+	}
+	key, err := in.ToStringValue(idx)
+	if err != nil {
+		return nil, nil, err
+	}
+	v, err = in.GetMember(base, key)
+	return base, v, err
+}
+
 func (in *Interp) evalUnary(n *ast.Unary, env *Env) (Value, error) {
 	switch n.Op {
 	case "typeof":
 		// typeof tolerates unresolvable identifiers.
 		if id, ok := n.X.(*ast.Ident); ok {
-			v, found := env.Lookup(id.Name)
+			v, found := in.lookupIdent(id, env)
 			if !found {
 				return "undefined", nil
 			}
@@ -204,25 +272,123 @@ func (in *Interp) evalUnary(n *ast.Unary, env *Env) (Value, error) {
 		if err != nil {
 			return nil, err
 		}
-		return -f, nil
+		return boxNumber(-f), nil
 	case "+":
-		return in.ToNumber(v)
+		f, err := in.ToNumber(v)
+		if err != nil {
+			return nil, err
+		}
+		return boxNumber(f), nil
 	case "~":
 		f, err := in.ToNumber(v)
 		if err != nil {
 			return nil, err
 		}
-		return float64(^ToInt32(f)), nil
+		return boxNumber(float64(^ToInt32(f))), nil
 	case "void":
 		return Undefined{}, nil
 	}
 	return nil, fmt.Errorf("interp: unknown unary op %q", n.Op)
 }
 
-func (in *Interp) evalUpdate(n *ast.Update, env *Env) (Value, error) {
-	old, err := in.eval(n.X, env)
+// memberOnce is a member reference whose base and computed index were
+// evaluated exactly once; Get and Set can both run without re-triggering
+// their side effects. An object index is stringified eagerly (ToPrimitive
+// may run user code); primitive indexes keep their value so element fast
+// paths apply, stringifying on demand (side-effect-free for primitives).
+type memberOnce struct {
+	base   Value
+	idx    Value
+	key    string
+	useKey bool
+}
+
+func (in *Interp) evalMemberOnce(m *ast.Member, env *Env) (memberOnce, error) {
+	var r memberOnce
+	var err error
+	r.base, err = in.eval(m.X, env)
+	if err != nil {
+		return r, err
+	}
+	if !m.Computed {
+		r.key, r.useKey = m.Name, true
+		return r, nil
+	}
+	r.idx, err = in.eval(m.Index, env)
+	if err != nil {
+		return r, err
+	}
+	if _, isObj := r.idx.(*Object); isObj {
+		r.key, err = in.ToStringValue(r.idx)
+		if err != nil {
+			return r, err
+		}
+		r.useKey = true
+	}
+	return r, nil
+}
+
+// keyOnce stringifies the reference's index at most once across Get and
+// Set, caching the result (safe: only primitive indexes reach here).
+func (in *Interp) keyOnce(r *memberOnce) (string, error) {
+	if !r.useKey {
+		key, err := in.ToStringValue(r.idx)
+		if err != nil {
+			return "", err
+		}
+		r.key, r.useKey = key, true
+	}
+	return r.key, nil
+}
+
+func (in *Interp) getOnce(r *memberOnce) (Value, error) {
+	if !r.useKey {
+		if v, ok := in.getElemFast(r.base, r.idx); ok {
+			return v, nil
+		}
+	}
+	key, err := in.keyOnce(r)
 	if err != nil {
 		return nil, err
+	}
+	return in.GetMember(r.base, key)
+}
+
+func (in *Interp) setOnce(r *memberOnce, v Value) error {
+	if !r.useKey {
+		if in.setElemFast(r.base, r.idx, v) {
+			return nil
+		}
+	}
+	key, err := in.keyOnce(r)
+	if err != nil {
+		return err
+	}
+	return in.SetMember(r.base, key, v)
+}
+
+func (in *Interp) evalUpdate(n *ast.Update, env *Env) (Value, error) {
+	var old Value
+	var ref memberOnce
+	switch t := n.X.(type) {
+	case *ast.Ident:
+		var err error
+		old, err = in.loadIdent(t, env)
+		if err != nil {
+			return nil, err
+		}
+	case *ast.Member:
+		var err error
+		ref, err = in.evalMemberOnce(t, env)
+		if err != nil {
+			return nil, err
+		}
+		old, err = in.getOnce(&ref)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, in.Throw("SyntaxError", "invalid assignment target")
 	}
 	f, err := in.ToNumber(old)
 	if err != nil {
@@ -232,13 +398,19 @@ func (in *Interp) evalUpdate(n *ast.Update, env *Env) (Value, error) {
 	if n.Op == "--" {
 		next = f - 1
 	}
-	if err := in.assignTo(n.X, next, env); err != nil {
-		return nil, err
+	boxed := boxNumber(next)
+	switch t := n.X.(type) {
+	case *ast.Ident:
+		in.storeIdent(t, boxed, env)
+	case *ast.Member:
+		if err := in.setOnce(&ref, boxed); err != nil {
+			return nil, err
+		}
 	}
 	if n.Prefix {
-		return next, nil
+		return boxed, nil
 	}
-	return f, nil
+	return boxNumber(f), nil
 }
 
 func (in *Interp) evalAssign(n *ast.Assign, env *Env) (Value, error) {
@@ -253,9 +425,9 @@ func (in *Interp) evalAssign(n *ast.Assign, env *Env) (Value, error) {
 	binOp := n.Op[:len(n.Op)-1]
 	switch t := n.Target.(type) {
 	case *ast.Ident:
-		old, ok := env.Lookup(t.Name)
-		if !ok {
-			return nil, in.Throw("ReferenceError", "%s is not defined", t.Name)
+		old, err := in.loadIdent(t, env)
+		if err != nil {
+			return nil, err
 		}
 		rhs, err := in.eval(n.Value, env)
 		if err != nil {
@@ -265,18 +437,14 @@ func (in *Interp) evalAssign(n *ast.Assign, env *Env) (Value, error) {
 		if err != nil {
 			return nil, err
 		}
-		env.Set(t.Name, v)
+		in.storeIdent(t, v, env)
 		return v, nil
 	case *ast.Member:
-		base, err := in.eval(t.X, env)
+		ref, err := in.evalMemberOnce(t, env)
 		if err != nil {
 			return nil, err
 		}
-		key, err := in.memberKey(t, env)
-		if err != nil {
-			return nil, err
-		}
-		old, err := in.GetMember(base, key)
+		old, err := in.getOnce(&ref)
 		if err != nil {
 			return nil, err
 		}
@@ -288,7 +456,7 @@ func (in *Interp) evalAssign(n *ast.Assign, env *Env) (Value, error) {
 		if err != nil {
 			return nil, err
 		}
-		return v, in.SetMember(base, key, v)
+		return v, in.setOnce(&ref, v)
 	}
 	return nil, in.Throw("SyntaxError", "invalid assignment target")
 }
@@ -296,21 +464,14 @@ func (in *Interp) evalAssign(n *ast.Assign, env *Env) (Value, error) {
 func (in *Interp) assignTo(target ast.Expr, v Value, env *Env) error {
 	switch t := target.(type) {
 	case *ast.Ident:
-		if !env.Set(t.Name, v) {
-			// Implicit global, as in non-strict JS.
-			env.Root().Define(t.Name, v)
-		}
+		in.storeIdent(t, v, env)
 		return nil
 	case *ast.Member:
-		base, err := in.eval(t.X, env)
+		ref, err := in.evalMemberOnce(t, env)
 		if err != nil {
 			return err
 		}
-		key, err := in.memberKey(t, env)
-		if err != nil {
-			return err
-		}
-		return in.SetMember(base, key, v)
+		return in.setOnce(&ref, v)
 	}
 	return in.Throw("SyntaxError", "invalid assignment target")
 }
@@ -319,19 +480,11 @@ func (in *Interp) evalCall(n *ast.Call, env *Env) (Value, error) {
 	var this Value = Undefined{}
 	var fn Value
 	if m, ok := n.Callee.(*ast.Member); ok {
-		base, err := in.eval(m.X, env)
+		var err error
+		this, fn, err = in.evalMember(m, env)
 		if err != nil {
 			return nil, err
 		}
-		key, err := in.memberKey(m, env)
-		if err != nil {
-			return nil, err
-		}
-		fn, err = in.GetMember(base, key)
-		if err != nil {
-			return nil, err
-		}
-		this = base
 	} else {
 		var err error
 		fn, err = in.eval(n.Callee, env)
@@ -418,33 +571,68 @@ func (in *Interp) Call(fn Value, this Value, args []Value, newTarget Value) (Val
 	}
 	defer func() { in.depth-- }()
 
-	env := NewEnv(c.Env)
-	if c.Name != "" && !c.Arrow {
-		env.Define(c.Name, c.Self)
-	}
-	for i, p := range c.Params {
-		if i < len(args) {
-			env.Define(p, args[i])
-		} else {
-			env.Define(p, Undefined{})
+	var env *Env
+	if sc := c.Scope; sc != nil {
+		// Resolved function: one slice-backed frame, laid out statically.
+		// The write order matches the dynamic path's define order so that
+		// rebound names (duplicate params, a param shadowing the function's
+		// own name) keep last-write-wins semantics.
+		env = NewSlotEnv(c.Env, sc)
+		slots := env.slots
+		if sc.SelfSlot >= 0 {
+			slots[sc.SelfSlot] = c.Self
 		}
-	}
-	if !c.Arrow {
-		env.Define("this", this)
-		env.Define("new.target", newTarget)
-		ao := &Object{Class: "Arguments", Proto: in.objectProto, Elems: append([]Value(nil), args...)}
-		env.Define("arguments", ao)
-	}
-	if c.hoisted == nil {
-		c.hoisted = hoistScan(c.Body)
-	}
-	for _, name := range c.hoisted.vars {
-		if !env.Has(name) {
-			env.Define(name, Undefined{})
+		for i, slot := range sc.ParamSlots {
+			if i < len(args) {
+				slots[slot] = args[i]
+			} else {
+				slots[slot] = undefinedValue
+			}
 		}
-	}
-	for _, fd := range c.hoisted.fns {
-		env.Define(fd.Name, in.makeFunction(fd, env))
+		if sc.ThisSlot >= 0 {
+			slots[sc.ThisSlot] = this
+		}
+		if sc.NewTargetSlot >= 0 {
+			slots[sc.NewTargetSlot] = newTarget
+		}
+		if sc.ArgumentsSlot >= 0 {
+			// Only materialized when the body actually references
+			// `arguments` — the resolver proved nothing else can see it.
+			ao := &Object{Class: "Arguments", Proto: in.objectProto, Elems: append([]Value(nil), args...)}
+			slots[sc.ArgumentsSlot] = ao
+		}
+		for _, fd := range sc.FnDecls {
+			slots[fd.Slot] = in.makeFunction(fd.Fn, env)
+		}
+	} else {
+		env = NewEnv(c.Env)
+		if c.Name != "" && !c.Arrow {
+			env.Define(c.Name, c.Self)
+		}
+		for i, p := range c.Params {
+			if i < len(args) {
+				env.Define(p, args[i])
+			} else {
+				env.Define(p, Undefined{})
+			}
+		}
+		if !c.Arrow {
+			env.Define("this", this)
+			env.Define("new.target", newTarget)
+			ao := &Object{Class: "Arguments", Proto: in.objectProto, Elems: append([]Value(nil), args...)}
+			env.Define("arguments", ao)
+		}
+		if c.hoisted == nil {
+			c.hoisted = hoistScan(c.Body)
+		}
+		for _, name := range c.hoisted.vars {
+			if !env.Has(name) {
+				env.Define(name, Undefined{})
+			}
+		}
+		for _, fd := range c.hoisted.fns {
+			env.Define(fd.Name, in.makeFunction(fd, env))
+		}
 	}
 	err := in.execStmts(c.Body, env)
 	switch e := err.(type) {

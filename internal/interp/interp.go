@@ -171,63 +171,11 @@ type hoistInfo struct {
 }
 
 // hoistScan collects var and function declarations without descending into
-// nested functions.
+// nested functions. The scan itself lives in the ast package so the static
+// resolver hoists by exactly the same rule.
 func hoistScan(body []ast.Stmt) *hoistInfo {
-	h := &hoistInfo{}
-	var walkStmt func(s ast.Stmt)
-	walkStmt = func(s ast.Stmt) {
-		switch n := s.(type) {
-		case *ast.VarDecl:
-			for _, d := range n.Decls {
-				h.vars = append(h.vars, d.Name)
-			}
-		case *ast.FuncDecl:
-			h.fns = append(h.fns, n.Fn)
-		case *ast.Block:
-			for _, st := range n.Body {
-				walkStmt(st)
-			}
-		case *ast.If:
-			walkStmt(n.Cons)
-			if n.Alt != nil {
-				walkStmt(n.Alt)
-			}
-		case *ast.While:
-			walkStmt(n.Body)
-		case *ast.DoWhile:
-			walkStmt(n.Body)
-		case *ast.For:
-			if n.Init != nil {
-				walkStmt(n.Init)
-			}
-			walkStmt(n.Body)
-		case *ast.ForIn:
-			if n.Decl {
-				h.vars = append(h.vars, n.Name)
-			}
-			walkStmt(n.Body)
-		case *ast.Labeled:
-			walkStmt(n.Body)
-		case *ast.Switch:
-			for _, c := range n.Cases {
-				for _, st := range c.Body {
-					walkStmt(st)
-				}
-			}
-		case *ast.Try:
-			walkStmt(n.Block)
-			if n.Catch != nil {
-				walkStmt(n.Catch)
-			}
-			if n.Finally != nil {
-				walkStmt(n.Finally)
-			}
-		}
-	}
-	for _, s := range body {
-		walkStmt(s)
-	}
-	return h
+	vars, fns := ast.HoistedDecls(body)
+	return &hoistInfo{vars: vars, fns: fns}
 }
 
 // hoistInto predeclares vars (undefined) and function declarations in env.
@@ -257,8 +205,10 @@ func (in *Interp) makeFunction(fn *ast.Func, env *Env) *Object {
 		Env:    env,
 		Arrow:  fn.Arrow,
 		Self:   obj,
+		Scope:  fn.Scope,
 	}
-	obj.SetHidden("length", float64(len(fn.Params)))
+	// .length is materialized lazily on first access (objGet), like
+	// .prototype, so creating a closure allocates no property storage.
 	return obj
 }
 
@@ -280,7 +230,21 @@ func (in *Interp) execStmt(s ast.Stmt, env *Env) error {
 	in.charge(1)
 	switch n := s.(type) {
 	case *ast.VarDecl:
-		for _, d := range n.Decls {
+		for i := range n.Decls {
+			d := &n.Decls[i]
+			if d.Ref.Valid() {
+				// The binding was hoisted into a slot frame; with no
+				// initializer there is nothing to do (the slot is already
+				// undefined, and re-executing `var x` must not reset it).
+				if d.Init != nil {
+					v, err := in.eval(d.Init, env)
+					if err != nil {
+						return err
+					}
+					env.SetRef(d.Ref, v)
+				}
+				continue
+			}
 			if d.Init == nil {
 				if !env.Has(d.Name) && !envChainHas(env, d.Name) {
 					env.Define(d.Name, Undefined{})
@@ -467,12 +431,16 @@ func (in *Interp) execForIn(n *ast.ForIn, env *Env, labels []string) error {
 	if !ok {
 		return nil // primitives enumerate nothing we support
 	}
-	if n.Decl && !envChainHas(env, n.Name) {
+	if !n.Ref.Valid() && n.Decl && !envChainHas(env, n.Name) {
 		env.Define(n.Name, Undefined{})
 	}
 	for _, key := range o.OwnKeys() {
-		if !env.Set(n.Name, key) {
-			env.Define(n.Name, key)
+		if n.Ref.Valid() {
+			env.SetRef(n.Ref, key)
+		} else if !env.Set(n.Name, key) {
+			// Undeclared loop variable: implicit global, as in non-strict
+			// JS (and as storeIdent does for plain assignments).
+			env.Root().Define(n.Name, key)
 		}
 		stop, err := loopIterDone(in.execStmt(n.Body, env), labels)
 		if stop {
@@ -557,8 +525,14 @@ func (in *Interp) execTry(n *ast.Try, env *Env) error {
 	in.charge(in.Engine.TryCost)
 	err := in.execStmts(n.Block.Body, env)
 	if t, ok := err.(*Thrown); ok && n.Catch != nil {
-		cenv := NewEnv(env)
-		cenv.Define(n.CatchParam, t.Value)
+		var cenv *Env
+		if n.CatchScope != nil {
+			cenv = NewSlotEnv(env, n.CatchScope)
+			cenv.slots[0] = t.Value
+		} else {
+			cenv = NewEnv(env)
+			cenv.Define(n.CatchParam, t.Value)
+		}
 		err = in.execStmts(n.Catch.Body, cenv)
 	}
 	if n.Finally != nil {

@@ -281,7 +281,7 @@ func (in *Interp) applyBinary(op string, l, r Value) (Value, error) {
 		if err != nil {
 			return nil, err
 		}
-		return ln + rn, nil
+		return boxNumber(ln + rn), nil
 	case "-", "*", "/", "%", "**":
 		ln, err := in.ToNumber(l)
 		if err != nil {
@@ -293,15 +293,15 @@ func (in *Interp) applyBinary(op string, l, r Value) (Value, error) {
 		}
 		switch op {
 		case "-":
-			return ln - rn, nil
+			return boxNumber(ln - rn), nil
 		case "*":
-			return ln * rn, nil
+			return boxNumber(ln * rn), nil
 		case "/":
-			return ln / rn, nil
+			return boxNumber(ln / rn), nil
 		case "%":
-			return math.Mod(ln, rn), nil
+			return boxNumber(math.Mod(ln, rn)), nil
 		default:
-			return math.Pow(ln, rn), nil
+			return boxNumber(math.Pow(ln, rn)), nil
 		}
 	case "<", ">", "<=", ">=":
 		lp, err := in.ToPrimitive(l, "number")
@@ -369,15 +369,15 @@ func (in *Interp) applyBinary(op string, l, r Value) (Value, error) {
 		ri := ToInt32(rn)
 		switch op {
 		case "&":
-			return float64(li & ri), nil
+			return boxNumber(float64(li & ri)), nil
 		case "|":
-			return float64(li | ri), nil
+			return boxNumber(float64(li | ri)), nil
 		case "^":
-			return float64(li ^ ri), nil
+			return boxNumber(float64(li ^ ri)), nil
 		case "<<":
-			return float64(li << (uint32(ri) & 31)), nil
+			return boxNumber(float64(li << (uint32(ri) & 31))), nil
 		default:
-			return float64(li >> (uint32(ri) & 31)), nil
+			return boxNumber(float64(li >> (uint32(ri) & 31))), nil
 		}
 	case ">>>":
 		ln, err := in.ToNumber(l)
@@ -388,7 +388,7 @@ func (in *Interp) applyBinary(op string, l, r Value) (Value, error) {
 		if err != nil {
 			return nil, err
 		}
-		return float64(ToUint32(ln) >> (ToUint32(rn) & 31)), nil
+		return boxNumber(float64(ToUint32(ln) >> (ToUint32(rn) & 31))), nil
 	case "instanceof":
 		f, ok := r.(*Object)
 		if !ok || !f.IsCallable() {
@@ -433,11 +433,65 @@ func (in *Interp) hasProperty(o *Object, key string) bool {
 		}
 	}
 	for p := o; p != nil; p = p.Proto {
-		if p.Own(key) != nil {
+		if p.OwnOrLazy(key) != nil {
 			return true
 		}
 	}
 	return false
+}
+
+// getElemFast reads base[idx] for an integer index into an array or
+// arguments object, skipping the float → string key → integer round-trip
+// (and its allocation) of the generic path. ok is false when the fast path
+// does not apply and the caller must fall back to GetMember.
+func (in *Interp) getElemFast(base, idx Value) (Value, bool) {
+	o, isObj := base.(*Object)
+	if !isObj || (o.Class != "Array" && o.Class != "Arguments") {
+		return nil, false
+	}
+	f, isNum := idx.(float64)
+	if !isNum {
+		return nil, false
+	}
+	i := int(f)
+	if float64(i) != f || i < 0 || i >= len(o.Elems) || (i == 0 && math.Signbit(f)) {
+		// -0 falls back so the fast and string-key paths always agree on
+		// which property it names, regardless of array length.
+		return nil, false
+	}
+	in.charge(in.Engine.PropCost)
+	return o.Elems[i], true
+}
+
+// setElemFast writes base[idx] = v for an integer index into an array,
+// mirroring SetMember's element semantics (including growth) without the
+// string key. Indexes at or beyond 2^31 and arguments-object writes past
+// the end take the generic path, whose property-versus-element behavior
+// differs.
+func (in *Interp) setElemFast(base, idx, v Value) bool {
+	o, isObj := base.(*Object)
+	if !isObj || (o.Class != "Array" && o.Class != "Arguments") {
+		return false
+	}
+	f, isNum := idx.(float64)
+	if !isNum {
+		return false
+	}
+	i := int(f)
+	if float64(i) != f || i < 0 || i >= 1<<31 || (i == 0 && math.Signbit(f)) {
+		return false
+	}
+	if i >= len(o.Elems) {
+		if o.Class == "Arguments" {
+			return false // becomes an ordinary property; length unchanged
+		}
+		for len(o.Elems) <= i {
+			o.Elems = append(o.Elems, Undefined{})
+		}
+	}
+	in.charge(in.Engine.PropCost)
+	o.Elems[i] = v
+	return true
 }
 
 // GetMember reads base[key], invoking getters and routing primitive
@@ -449,7 +503,7 @@ func (in *Interp) GetMember(base Value, key string) (Value, error) {
 		return in.objGet(b, b, key)
 	case string:
 		if key == "length" {
-			return float64(len(b)), nil
+			return boxNumber(float64(len(b))), nil
 		}
 		if i, ok := arrayIndex(key); ok {
 			if i < len(b) {
@@ -486,7 +540,7 @@ func (in *Interp) objGet(o *Object, this Value, key string) (Value, error) {
 	if o.Class == "Array" || o.Class == "Arguments" {
 		if key == "length" {
 			if o.Own("length") == nil { // arrays expose length natively
-				return float64(len(o.Elems)), nil
+				return boxNumber(float64(len(o.Elems))), nil
 			}
 		}
 		if i, ok := arrayIndex(key); ok {
@@ -497,7 +551,7 @@ func (in *Interp) objGet(o *Object, this Value, key string) (Value, error) {
 		}
 	}
 	for p := o; p != nil; p = p.Proto {
-		if slot := p.Own(key); slot != nil {
+		if slot := p.OwnOrLazy(key); slot != nil {
 			if slot.Getter != nil {
 				return in.Call(slot.Getter, this, nil, Undefined{})
 			}
@@ -507,7 +561,11 @@ func (in *Interp) objGet(o *Object, this Value, key string) (Value, error) {
 			return slot.Value, nil
 		}
 	}
-	// Functions materialize .prototype on first access.
+	// Functions materialize .prototype on first access (.length is handled
+	// by OwnOrLazy in the walk above), so closure creation allocates no
+	// property storage. Like .prototype, a deleted .length resurfaces on
+	// the next inspection; this substrate does not model configurability of
+	// builtin function properties.
 	if key == "prototype" && o.IsCallable() {
 		proto := in.NewPlainObject()
 		proto.SetHidden("constructor", o)
@@ -562,7 +620,7 @@ func (in *Interp) SetMember(base Value, key string, v Value) error {
 		}
 	}
 	for p := o; p != nil; p = p.Proto {
-		if slot := p.Own(key); slot != nil {
+		if slot := p.OwnOrLazy(key); slot != nil {
 			if slot.Setter != nil {
 				_, err := in.Call(slot.Setter, o, []Value{v}, Undefined{})
 				return err

@@ -14,6 +14,7 @@ package interp
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 
 	"repro/internal/ast"
@@ -29,6 +30,37 @@ type Undefined struct{}
 
 // Null is the JavaScript null value.
 type Null struct{}
+
+// Interned singletons. Undefined and Null are zero-size, so boxing them
+// into an interface never allocates, but the named values keep hot paths
+// uniform and intention-revealing.
+var (
+	undefinedValue Value = Undefined{}
+	nullValue      Value = Null{}
+)
+
+// smallNumbers interns the Values of small non-negative integers — loop
+// counters, indexes, lengths — because boxing a float64 into an interface
+// heap-allocates for every bit pattern Go's runtime does not intern.
+const smallNumberLimit = 4096
+
+var smallNumbers = func() []Value {
+	t := make([]Value, smallNumberLimit)
+	for i := range t {
+		t[i] = float64(i)
+	}
+	return t
+}()
+
+// boxNumber converts a float64 to a Value without allocating for small
+// integers. Negative zero is excluded so the interned +0 cannot leak into
+// sign-observable arithmetic (1/-0 === -Infinity).
+func boxNumber(f float64) Value {
+	if i := int(f); float64(i) == f && i >= 0 && i < smallNumberLimit && (i != 0 || !math.Signbit(f)) {
+		return smallNumbers[i]
+	}
+	return f
+}
 
 // NativeFunc is a function implemented in Go. Natives back the standard
 // library and the Stopify runtime primitives.
@@ -50,6 +82,10 @@ type Closure struct {
 	Env    *Env
 	Arrow  bool
 	Self   *Object // the function object, for named-expression self-reference
+
+	// Scope is the resolver's frame layout; nil means calls build dynamic
+	// map frames.
+	Scope *ast.ScopeInfo
 
 	hoisted *hoistInfo // lazily computed var/function hoisting data
 }
@@ -115,6 +151,24 @@ func (o *Object) setSlot(key string, p *Prop) {
 		o.keys = append(o.keys, key)
 	}
 	o.props[key] = p
+}
+
+// OwnOrLazy returns the own property slot for key, materializing the own
+// properties a JavaScript function creates lazily — currently .length — so
+// that closure creation allocates no property storage until something
+// inspects it. Every own-property probe (reads, hasOwnProperty, property
+// descriptors) funnels through here to keep the lazy set in one place;
+// .prototype is also lazy but needs the interpreter to build an object, so
+// it materializes in objGet.
+func (o *Object) OwnOrLazy(key string) *Prop {
+	if p := o.Own(key); p != nil {
+		return p
+	}
+	if key == "length" && o.Fn != nil {
+		o.SetHidden("length", float64(len(o.Fn.Params)))
+		return o.Own("length")
+	}
+	return nil
 }
 
 // Delete removes an own property and reports whether it existed.

@@ -1,0 +1,291 @@
+// Package resolve implements static scope resolution for the interpreter
+// substrate: a pass that runs after the Stopify pipeline (or after plain
+// parsing, for raw runs) and annotates every lexical reference with a
+// (hops, slot) coordinate, so the interpreter can replace map-based
+// environment chains with slice-backed frames — the same
+// resolve-before-execute move real engines make in their bytecode
+// front-ends, and the same static-scope analysis Stopify itself relies on
+// when it boxes assignable captured variables (§3.2.1 of the paper).
+//
+// The pass is strictly an annotation: trees that skip it (hand-built
+// fragments, code eval'd under a raw host) still run on dynamic map frames,
+// and any single reference the resolver cannot place — a global, a name
+// bound only at runtime, a coordinate that overflows the packed Ref — is
+// simply left unresolved and falls back to by-name lookup. Program
+// semantics are identical either way.
+//
+// Scope model. The interpreter creates exactly one environment frame per
+// function call and one per entered catch clause; blocks do not create
+// frames (let/const are renamed to var upstream). The resolver mirrors that
+// chain: it walks function bodies with a stack of function and catch
+// scopes, hoists var and function declarations into the function scope
+// (sharing ast.HoistedDecls with the interpreter so the two models cannot
+// drift), and counts hops from the reference site to the defining scope.
+// Top-level code runs in the global frame, which is dynamic by design —
+// builtins, the Stopify runtime, and eval'd code all define names there at
+// runtime — so references that reach the top are left unresolved.
+package resolve
+
+import "repro/internal/ast"
+
+// Program resolves every function in prog in place.
+func Program(p *ast.Program) {
+	Stmts(p.Body)
+}
+
+// Stmts resolves top-level statements: the statements themselves run in the
+// dynamic global frame, and every function literal within gets a slot
+// layout. It is what eval hooks call on freshly compiled fragments.
+func Stmts(body []ast.Stmt) {
+	// Top-level function declarations are hoisted into the global frame
+	// before execution, so their closures are created with the global
+	// environment — resolve them against it, not against whatever catch
+	// scope their statement happens to sit in.
+	_, fns := ast.HoistedDecls(body)
+	for _, fn := range fns {
+		resolveFunc(fn, nil)
+	}
+	resolveStmts(body, nil)
+}
+
+// scope is one frame in the static chain. A nil *scope is the dynamic
+// global frame: lookups that reach it resolve to nothing.
+type scope struct {
+	parent *scope
+	names  []string
+	index  map[string]int
+
+	// info is the layout being built for a function scope; nil for catch
+	// scopes.
+	info *scopeExtra
+}
+
+// scopeExtra carries the function-scope bookkeeping needed while resolving
+// its body.
+type scopeExtra struct {
+	layout *ast.ScopeInfo
+	// argumentsSlot is the implicit `arguments` slot, recorded into the
+	// layout only if some reference actually resolves to it.
+	argumentsSlot int
+}
+
+func (s *scope) define(name string) int {
+	if slot, ok := s.index[name]; ok {
+		return slot
+	}
+	slot := len(s.names)
+	s.names = append(s.names, name)
+	s.index[name] = slot
+	return slot
+}
+
+// lookup finds name in the static chain and returns its packed coordinate.
+// A name bound by no enclosing scope resolves to RefGlobal — a proof the
+// interpreter may skip every slot layout — and a coordinate that overflows
+// the packing returns 0, plain dynamic lookup.
+func lookup(sc *scope, name string) ast.Ref {
+	hops := 0
+	for s := sc; s != nil; s = s.parent {
+		if slot, ok := s.index[name]; ok {
+			if s.info != nil && slot == s.info.argumentsSlot {
+				// The arguments object is observed; the interpreter must
+				// materialize it on entry to this function — even when the
+				// coordinate below overflows and the reference itself stays
+				// dynamic, since the by-name fallback reads the same slot.
+				s.info.layout.ArgumentsSlot = slot
+			}
+			r, ok := ast.MakeRef(hops, slot)
+			if !ok {
+				return 0
+			}
+			return r
+		}
+		hops++
+	}
+	return ast.RefGlobal
+}
+
+// resolveFunc lays out fn's frame and resolves its body.
+func resolveFunc(fn *ast.Func, enclosing *scope) {
+	sc := &scope{parent: enclosing, index: make(map[string]int)}
+	layout := &ast.ScopeInfo{
+		SelfSlot:      -1,
+		ThisSlot:      -1,
+		NewTargetSlot: -1,
+		ArgumentsSlot: -1,
+	}
+	sc.info = &scopeExtra{layout: layout, argumentsSlot: -1}
+
+	// Slot assignment mirrors the interpreter's dynamic define order on
+	// call entry, so later writes to a reused name overwrite earlier ones
+	// exactly as repeated map defines did: self name, parameters, then the
+	// implicit bindings, then hoisted declarations.
+	if fn.Name != "" && !fn.Arrow {
+		layout.SelfSlot = sc.define(fn.Name)
+	}
+	layout.ParamSlots = make([]int, len(fn.Params))
+	for i, p := range fn.Params {
+		layout.ParamSlots[i] = sc.define(p)
+	}
+	if !fn.Arrow {
+		layout.ThisSlot = sc.define("this")
+		layout.NewTargetSlot = sc.define("new.target")
+		sc.info.argumentsSlot = sc.define("arguments")
+	}
+	vars, fns := ast.HoistedDecls(fn.Body)
+	for _, v := range vars {
+		sc.define(v)
+	}
+	for _, fd := range fns {
+		layout.FnDecls = append(layout.FnDecls, ast.FnSlot{Fn: fd, Slot: sc.define(fd.Name)})
+	}
+
+	// Hoisted declarations become closures of this frame on entry (Call's
+	// FnDecls loop), even when the declaration statement sits inside a
+	// catch block — so their bodies resolve against this scope, never a
+	// catch scope on the way down. resolveStmt leaves FuncDecls alone for
+	// the same reason.
+	for _, fd := range fns {
+		resolveFunc(fd, sc)
+	}
+	resolveStmts(fn.Body, sc)
+	layout.Names = sc.names
+	layout.Index = sc.index
+	fn.Scope = layout
+}
+
+func resolveStmts(body []ast.Stmt, sc *scope) {
+	for _, s := range body {
+		resolveStmt(s, sc)
+	}
+}
+
+func resolveStmt(s ast.Stmt, sc *scope) {
+	switch n := s.(type) {
+	case nil:
+	case *ast.VarDecl:
+		for i := range n.Decls {
+			d := &n.Decls[i]
+			resolveExpr(d.Init, sc)
+			d.Ref = lookup(sc, d.Name)
+		}
+	case *ast.ExprStmt:
+		resolveExpr(n.X, sc)
+	case *ast.Block:
+		resolveStmts(n.Body, sc)
+	case *ast.If:
+		resolveExpr(n.Test, sc)
+		resolveStmt(n.Cons, sc)
+		if n.Alt != nil {
+			resolveStmt(n.Alt, sc)
+		}
+	case *ast.While:
+		resolveExpr(n.Test, sc)
+		resolveStmt(n.Body, sc)
+	case *ast.DoWhile:
+		resolveStmt(n.Body, sc)
+		resolveExpr(n.Test, sc)
+	case *ast.For:
+		if n.Init != nil {
+			resolveStmt(n.Init, sc)
+		}
+		resolveExpr(n.Test, sc)
+		resolveExpr(n.Update, sc)
+		resolveStmt(n.Body, sc)
+	case *ast.ForIn:
+		resolveExpr(n.Obj, sc)
+		n.Ref = lookup(sc, n.Name)
+		resolveStmt(n.Body, sc)
+	case *ast.Return:
+		resolveExpr(n.Arg, sc)
+	case *ast.Labeled:
+		resolveStmt(n.Body, sc)
+	case *ast.Switch:
+		resolveExpr(n.Disc, sc)
+		for _, c := range n.Cases {
+			resolveExpr(c.Test, sc)
+			resolveStmts(c.Body, sc)
+		}
+	case *ast.Throw:
+		resolveExpr(n.Arg, sc)
+	case *ast.Try:
+		resolveStmts(n.Block.Body, sc)
+		if n.Catch != nil {
+			csc := &scope{parent: sc, index: make(map[string]int)}
+			csc.define(n.CatchParam)
+			n.CatchScope = &ast.ScopeInfo{
+				Names:         csc.names,
+				Index:         csc.index,
+				SelfSlot:      -1,
+				ThisSlot:      -1,
+				NewTargetSlot: -1,
+				ArgumentsSlot: -1,
+			}
+			resolveStmts(n.Catch.Body, csc)
+		}
+		if n.Finally != nil {
+			resolveStmts(n.Finally.Body, sc)
+		}
+	case *ast.FuncDecl:
+		// Already resolved at its hoist site (resolveFunc or Stmts), against
+		// the frame its closure is actually created in.
+	}
+}
+
+func resolveExpr(e ast.Expr, sc *scope) {
+	switch n := e.(type) {
+	case nil:
+	case *ast.Ident:
+		n.Ref = lookup(sc, n.Name)
+	case *ast.This:
+		n.Ref = lookup(sc, "this")
+	case *ast.NewTarget:
+		n.Ref = lookup(sc, "new.target")
+	case *ast.Array:
+		for _, el := range n.Elems {
+			resolveExpr(el, sc)
+		}
+	case *ast.Object:
+		for _, p := range n.Props {
+			resolveExpr(p.Value, sc)
+		}
+	case *ast.Func:
+		resolveFunc(n, sc)
+	case *ast.Unary:
+		resolveExpr(n.X, sc)
+	case *ast.Update:
+		resolveExpr(n.X, sc)
+	case *ast.Binary:
+		resolveExpr(n.L, sc)
+		resolveExpr(n.R, sc)
+	case *ast.Logical:
+		resolveExpr(n.L, sc)
+		resolveExpr(n.R, sc)
+	case *ast.Assign:
+		resolveExpr(n.Target, sc)
+		resolveExpr(n.Value, sc)
+	case *ast.Cond:
+		resolveExpr(n.Test, sc)
+		resolveExpr(n.Cons, sc)
+		resolveExpr(n.Alt, sc)
+	case *ast.Call:
+		resolveExpr(n.Callee, sc)
+		for _, a := range n.Args {
+			resolveExpr(a, sc)
+		}
+	case *ast.New:
+		resolveExpr(n.Callee, sc)
+		for _, a := range n.Args {
+			resolveExpr(a, sc)
+		}
+	case *ast.Member:
+		resolveExpr(n.X, sc)
+		if n.Computed {
+			resolveExpr(n.Index, sc)
+		}
+	case *ast.Seq:
+		for _, x := range n.Exprs {
+			resolveExpr(x, sc)
+		}
+	}
+}

@@ -164,7 +164,7 @@ func rawGet(in *interp.Interp, base interp.Value, key string) (interp.Value, err
 		}
 	}
 	for p := o; p != nil; p = p.Proto {
-		if slot := p.Own(key); slot != nil {
+		if slot := p.OwnOrLazy(key); slot != nil {
 			if slot.Getter != nil || slot.Setter != nil {
 				return interp.Undefined{}, nil
 			}
