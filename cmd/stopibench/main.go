@@ -6,6 +6,7 @@
 //	stopibench -fig 2c                # one experiment (2a 2b 2c 5 7 10 11 12 13 14 15 strawmen codesize)
 //	stopibench -repeats 10            # paper-grade repetition
 //	stopibench -interp-bench F.json   # capture the interpreter perf baseline
+//	stopibench -interp-check F.json   # re-measure and fail on >25% regression
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -26,6 +28,7 @@ func main() {
 		quick       = flag.Bool("quick", false, "small workloads, single repetition")
 		repeats     = flag.Int("repeats", 0, "timed runs per data point (default 5, paper uses 10)")
 		interpBench = flag.String("interp-bench", "", "write ns/op and allocs/op for the interpreter-bound figure benchmarks to this JSON file and exit")
+		interpCheck = flag.String("interp-check", "", "re-measure the interpreter benchmarks and fail if any is >25% slower than this snapshot")
 	)
 	flag.Parse()
 
@@ -39,6 +42,13 @@ func main() {
 
 	if *interpBench != "" {
 		if err := captureInterpBench(*interpBench); err != nil {
+			fmt.Fprintln(os.Stderr, "stopibench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *interpCheck != "" {
+		if err := checkInterpBench(*interpCheck); err != nil {
 			fmt.Fprintln(os.Stderr, "stopibench:", err)
 			os.Exit(1)
 		}
@@ -85,10 +95,10 @@ type interpBenchFile struct {
 	Benchmarks []interpBenchResult `json:"benchmarks"`
 }
 
-// captureInterpBench times the interpreter-bound figure benchmarks at quick
+// measureInterpBench times the interpreter-bound figure benchmarks at quick
 // settings via testing.Benchmark — the same numbers `go test -bench` on the
-// root package reports — and writes them as JSON.
-func captureInterpBench(path string) error {
+// root package reports.
+func measureInterpBench() ([]interpBenchResult, error) {
 	cfg := bench.QuickConfig()
 	figures := []struct {
 		name string
@@ -100,11 +110,7 @@ func captureInterpBench(path string) error {
 		}},
 		{"Fig13OctaneKraken", bench.Fig13OctaneKraken},
 	}
-	out := interpBenchFile{
-		CapturedAt: time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		Config:     "quick",
-	}
+	var out []interpBenchResult
 	for _, f := range figures {
 		f := f
 		var failure error
@@ -118,9 +124,9 @@ func captureInterpBench(path string) error {
 			}
 		})
 		if failure != nil {
-			return fmt.Errorf("%s: %w", f.name, failure)
+			return nil, fmt.Errorf("%s: %w", f.name, failure)
 		}
-		out.Benchmarks = append(out.Benchmarks, interpBenchResult{
+		out = append(out, interpBenchResult{
 			Name:        f.name,
 			NsPerOp:     r.NsPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
@@ -129,9 +135,73 @@ func captureInterpBench(path string) error {
 		fmt.Printf("%-20s %12d ns/op %10d allocs/op %12d B/op\n",
 			f.name, r.NsPerOp(), r.AllocsPerOp(), r.AllocedBytesPerOp())
 	}
+	return out, nil
+}
+
+// captureInterpBench measures and writes the baseline snapshot as JSON.
+func captureInterpBench(path string) error {
+	results, err := measureInterpBench()
+	if err != nil {
+		return err
+	}
+	out := interpBenchFile{
+		CapturedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		Config:     "quick",
+		Benchmarks: results,
+	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// interpCheckTolerance is how much slower (ns/op) a benchmark may measure
+// than the committed snapshot before the check fails. 25% absorbs the
+// run-to-run noise of shared CI machines while still catching real
+// interpreter regressions, which historically land at 2x, not 1.1x.
+const interpCheckTolerance = 1.25
+
+// checkInterpBench re-measures the interpreter benchmarks and compares
+// against the snapshot at path, failing on a >25% ns/op regression.
+func checkInterpBench(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base interpBenchFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	baseline := make(map[string]interpBenchResult, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[b.Name] = b
+	}
+	results, err := measureInterpBench()
+	if err != nil {
+		return err
+	}
+	var failures []string
+	for _, r := range results {
+		b, ok := baseline[r.Name]
+		if !ok {
+			fmt.Printf("%-20s not in snapshot; skipping\n", r.Name)
+			continue
+		}
+		ratio := float64(r.NsPerOp) / float64(b.NsPerOp)
+		fmt.Printf("%-20s %12d ns/op vs snapshot %12d (%.2fx)\n",
+			r.Name, r.NsPerOp, b.NsPerOp, ratio)
+		if ratio > interpCheckTolerance {
+			failures = append(failures,
+				fmt.Sprintf("%s regressed %.0f%% (%d → %d ns/op)",
+					r.Name, (ratio-1)*100, b.NsPerOp, r.NsPerOp))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("interpreter perf regression beyond %.0f%%:\n  %s",
+			(interpCheckTolerance-1)*100, strings.Join(failures, "\n  "))
+	}
+	fmt.Println("interp-check: within tolerance")
+	return nil
 }

@@ -198,6 +198,8 @@ func (n *norm) test(e ast.Expr, out *[]ast.Stmt) ast.Expr {
 // expr normalizes e to an atom, emitting prelude statements.
 func (n *norm) expr(e ast.Expr, out *[]ast.Stmt) ast.Expr {
 	switch x := e.(type) {
+	case nil:
+		return nil // array-literal elision hole
 	case *ast.Ident, *ast.Number, *ast.Str, *ast.Bool, *ast.Null, *ast.This, *ast.NewTarget:
 		return e
 	case *ast.Func:
@@ -394,9 +396,12 @@ func (n *norm) normNew(x *ast.New, out *[]ast.Stmt) *ast.New {
 	return &ast.New{P: x.P, Callee: callee, Args: args}
 }
 
-// isAtom reports trivially pure expressions.
+// isAtom reports trivially pure expressions. A nil expression — an array
+// literal's elision hole — is vacuously atomic.
 func isAtom(e ast.Expr) bool {
 	switch e.(type) {
+	case nil:
+		return true
 	case *ast.Ident, *ast.Number, *ast.Str, *ast.Bool, *ast.Null, *ast.This, *ast.NewTarget:
 		return true
 	}

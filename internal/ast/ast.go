@@ -55,18 +55,29 @@ type Ident struct {
 	P    Pos
 	Name string
 	Ref  Ref
+
+	// Site is the inline-cache site ID assigned by internal/resolve to
+	// proved-global references, indexing the interpreter's global-binding
+	// cell cache; 0 means no cache.
+	Site uint32
 }
 
 // Number is a numeric literal. JavaScript numbers are IEEE-754 doubles.
+// Boxed, when non-nil, is Value pre-converted to an interface by
+// internal/resolve, so evaluating the literal does not allocate a fresh box
+// on every visit.
 type Number struct {
 	P     Pos
 	Value float64
+	Boxed interface{}
 }
 
-// Str is a string literal.
+// Str is a string literal. Boxed is the pre-converted interface value, as
+// on Number — string headers otherwise heap-allocate per evaluation.
 type Str struct {
 	P     Pos
 	Value string
+	Boxed interface{}
 }
 
 // Bool is a boolean literal.
@@ -210,6 +221,12 @@ type Member struct {
 	Name     string // when !Computed
 	Index    Expr   // when Computed
 	Computed bool
+
+	// Site is the inline-cache site ID assigned by internal/resolve to
+	// non-computed accesses, indexing the interpreter's property caches;
+	// 0 means no cache. Like Ref, Site is dropped by CloneExpr — cloning
+	// happens before resolution, which assigns fresh IDs to the clone.
+	Site uint32
 }
 
 // Seq is the comma operator.

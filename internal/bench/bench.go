@@ -8,6 +8,7 @@ package bench
 import (
 	"bytes"
 	"fmt"
+	"runtime/debug"
 	"time"
 
 	"repro/internal/core"
@@ -15,6 +16,18 @@ import (
 	"repro/internal/eventloop"
 	"repro/internal/stats"
 )
+
+func init() {
+	// The harness runs many short-lived interpreter realms whose live heap
+	// is tiny while their allocation rate is enormous — the worst case for
+	// Go's default GOGC=100, which was spending ~a quarter of benchmark
+	// wall time in collection cycles with near-empty live sets. Batch
+	// benchmarking is a throughput workload; trade heap headroom for it
+	// the way any engine embedder would. This is harness configuration,
+	// not library behavior: importing internal/interp leaves the host's
+	// GC policy alone.
+	debug.SetGCPercent(800)
+}
 
 // Config controls measurement effort.
 type Config struct {

@@ -110,6 +110,31 @@ func (in *Interp) setupObjectProto() {
 		}
 		return Null{}, nil
 	}))
+	objectCtor.SetHidden("setPrototypeOf", in.native("setPrototypeOf", func(in *Interp, this Value, args []Value) (Value, error) {
+		if len(args) < 2 {
+			return nil, in.Throw("TypeError", "Object.setPrototypeOf requires 2 arguments")
+		}
+		o, ok := args[0].(*Object)
+		if !ok {
+			return args[0], nil // primitives pass through unchanged
+		}
+		var proto *Object
+		switch p := args[1].(type) {
+		case *Object:
+			proto = p
+		case Null:
+			proto = nil
+		default:
+			return nil, in.Throw("TypeError", "prototype must be an object or null")
+		}
+		for c := proto; c != nil; c = c.Proto {
+			if c == o {
+				return nil, in.Throw("TypeError", "cyclic prototype chain")
+			}
+		}
+		o.SetProto(proto)
+		return o, nil
+	}))
 	objectCtor.SetHidden("defineProperty", in.native("defineProperty", func(in *Interp, this Value, args []Value) (Value, error) {
 		if len(args) < 3 {
 			return nil, in.Throw("TypeError", "Object.defineProperty requires 3 arguments")
@@ -593,7 +618,7 @@ func (in *Interp) displayDepth(v Value, depth int) string {
 		case x.IsCallable():
 			name := x.NativeName
 			if x.Fn != nil {
-				name = x.Fn.Name
+				name = x.Fn.Name()
 			}
 			if name == "" {
 				name = "anonymous"

@@ -20,22 +20,60 @@ type Env struct {
 	layout *ast.ScopeInfo // static slot layout; nil for map frames
 	slots  []Value
 	vars   map[string]Value
+
+	// cells backs the global frame: each name binds a heap cell whose
+	// identity is stable for the life of the realm (redefinition writes
+	// through the existing cell), so RefGlobal reference sites can cache
+	// the *cell after the first by-name lookup and skip the hash ever
+	// after. Non-nil only on the root frame.
+	cells map[string]*cell
 }
 
-// NewEnv returns an empty dynamic (map-backed) environment chained to
-// parent (which may be nil for the global frame).
+// cell is one global binding. Holding the value behind a pointer is what
+// lets reference sites cache the binding instead of the value.
+type cell struct{ v Value }
+
+// NewEnv returns an empty dynamic environment chained to parent. The root
+// frame (nil parent) is cell-backed — it is the realm's global frame —
+// while inner dynamic frames use a plain map.
 func NewEnv(parent *Env) *Env {
+	if parent == nil {
+		return &Env{cells: make(map[string]*cell)}
+	}
 	return &Env{parent: parent, vars: make(map[string]Value)}
 }
 
-// NewSlotEnv returns a slot frame with the given static layout; every slot
-// starts as undefined, which is precisely JavaScript's var-hoisting rule.
+// envBuf6/envBuf16 are Envs with inline slot storage, so frames cost one
+// allocation instead of two; two size classes keep small frames (plain
+// functions) from paying for the instrumented functions' temp-heavy
+// layouts.
+type envBuf6 struct {
+	e   Env
+	buf [6]Value
+}
+
+type envBuf16 struct {
+	e   Env
+	buf [16]Value
+}
+
+// NewSlotEnv returns a slot frame with the given static layout. Slots are
+// left nil and read back as undefined (GetRef/Lookup translate), which is
+// precisely JavaScript's var-hoisting rule without the cost of filling the
+// frame on every call.
 func NewSlotEnv(parent *Env, layout *ast.ScopeInfo) *Env {
-	slots := make([]Value, len(layout.Names))
-	for i := range slots {
-		slots[i] = undefinedValue
+	n := len(layout.Names)
+	if n <= 6 {
+		s := new(envBuf6)
+		s.e = Env{parent: parent, layout: layout, slots: s.buf[:n]}
+		return &s.e
 	}
-	return &Env{parent: parent, layout: layout, slots: slots}
+	if n <= 16 {
+		s := new(envBuf16)
+		s.e = Env{parent: parent, layout: layout, slots: s.buf[:n]}
+		return &s.e
+	}
+	return &Env{parent: parent, layout: layout, slots: make([]Value, n)}
 }
 
 // GetRef reads a resolved (hops, slot) coordinate.
@@ -44,7 +82,10 @@ func (e *Env) GetRef(r ast.Ref) Value {
 	for n := r.Hops(); n > 0; n-- {
 		env = env.parent
 	}
-	return env.slots[r.Slot()]
+	if v := env.slots[r.Slot()]; v != nil {
+		return v
+	}
+	return undefinedValue // never-written slot: hoisted but unassigned
 }
 
 // SetRef writes through a resolved coordinate.
@@ -78,6 +119,14 @@ func (e *Env) slotIndex(name string) int {
 
 // Define creates or overwrites a binding in this frame.
 func (e *Env) Define(name string, v Value) {
+	if e.cells != nil {
+		if c, ok := e.cells[name]; ok {
+			c.v = v
+		} else {
+			e.cells[name] = &cell{v: v}
+		}
+		return
+	}
 	if i := e.slotIndex(name); i >= 0 {
 		e.slots[i] = v
 		return
@@ -90,6 +139,10 @@ func (e *Env) Define(name string, v Value) {
 
 // Has reports whether this frame (not the chain) binds name.
 func (e *Env) Has(name string) bool {
+	if e.cells != nil {
+		_, ok := e.cells[name]
+		return ok
+	}
 	if e.slotIndex(name) >= 0 {
 		return true
 	}
@@ -97,11 +150,26 @@ func (e *Env) Has(name string) bool {
 	return ok
 }
 
+// Cell returns the binding cell for name in this frame, or nil; only the
+// global frame has cells.
+func (e *Env) Cell(name string) *cell {
+	return e.cells[name]
+}
+
 // Lookup resolves name through the chain.
 func (e *Env) Lookup(name string) (Value, bool) {
 	for env := e; env != nil; env = env.parent {
+		if env.cells != nil {
+			if c, ok := env.cells[name]; ok {
+				return c.v, true
+			}
+			continue
+		}
 		if i := env.slotIndex(name); i >= 0 {
-			return env.slots[i], true
+			if v := env.slots[i]; v != nil {
+				return v, true
+			}
+			return undefinedValue, true
 		}
 		if v, ok := env.vars[name]; ok {
 			return v, true
@@ -111,39 +179,74 @@ func (e *Env) Lookup(name string) (Value, bool) {
 }
 
 // LookupDynamic resolves name through the chain probing only dynamically
-// created bindings (vars maps), skipping every static slot layout. It is
-// only correct for references the resolver proved unbound in all enclosing
-// static scopes — the common shape of a global reference from deep inside
-// compiled code.
+// created bindings (vars maps and the global cells), skipping every static
+// slot layout. It is only correct for references the resolver proved
+// unbound in all enclosing static scopes — the common shape of a global
+// reference from deep inside compiled code.
 func (e *Env) LookupDynamic(name string) (Value, bool) {
+	v, ok, _ := e.lookupDynamicCell(name)
+	return v, ok
+}
+
+// lookupDynamicCell is LookupDynamic, also returning the global binding
+// cell when — and only when — the binding found is the global one, so the
+// caller may cache it.
+func (e *Env) lookupDynamicCell(name string) (Value, bool, *cell) {
 	for env := e; env != nil; env = env.parent {
+		if env.cells != nil {
+			if c, ok := env.cells[name]; ok {
+				return c.v, true, c
+			}
+			continue
+		}
 		if env.vars != nil {
 			if v, ok := env.vars[name]; ok {
-				return v, true
+				return v, true, nil
+			}
+		}
+	}
+	return nil, false, nil
+}
+
+// SetDynamic is Set restricted to dynamically created bindings, with the
+// same proof obligation as LookupDynamic.
+func (e *Env) SetDynamic(name string, v Value) bool {
+	_, ok := e.setDynamicCell(name, v)
+	return ok
+}
+
+// setDynamicCell is SetDynamic, also returning the global binding cell when
+// the binding written is the global one.
+func (e *Env) setDynamicCell(name string, v Value) (*cell, bool) {
+	for env := e; env != nil; env = env.parent {
+		if env.cells != nil {
+			if c, ok := env.cells[name]; ok {
+				c.v = v
+				return c, true
+			}
+			continue
+		}
+		if env.vars != nil {
+			if _, ok := env.vars[name]; ok {
+				env.vars[name] = v
+				return nil, true
 			}
 		}
 	}
 	return nil, false
 }
 
-// SetDynamic is Set restricted to dynamically created bindings, with the
-// same proof obligation as LookupDynamic.
-func (e *Env) SetDynamic(name string, v Value) bool {
-	for env := e; env != nil; env = env.parent {
-		if env.vars != nil {
-			if _, ok := env.vars[name]; ok {
-				env.vars[name] = v
-				return true
-			}
-		}
-	}
-	return false
-}
-
 // Set assigns to the nearest frame binding name, reporting whether one was
 // found.
 func (e *Env) Set(name string, v Value) bool {
 	for env := e; env != nil; env = env.parent {
+		if env.cells != nil {
+			if c, ok := env.cells[name]; ok {
+				c.v = v
+				return true
+			}
+			continue
+		}
 		if i := env.slotIndex(name); i >= 0 {
 			env.slots[i] = v
 			return true

@@ -6,19 +6,66 @@ import (
 	"repro/internal/ast"
 )
 
-// eval evaluates an expression in env.
+// eval evaluates an expression in env. The switch tests cases in source
+// order, so the hottest node kinds — identifier reads, assignments, calls,
+// member reads, operators — come first.
 func (in *Interp) eval(e ast.Expr, env *Env) (Value, error) {
 	switch n := e.(type) {
 	case *ast.Ident:
 		return in.loadIdent(n, env)
-	case *ast.Number:
-		return boxNumber(n.Value), nil
+	case *ast.Assign:
+		return in.evalAssign(n, env)
+	case *ast.Call:
+		return in.evalCall(n, env)
+	case *ast.Member:
+		_, v, err := in.evalMember(n, env)
+		return v, err
+	case *ast.Binary:
+		l, err := in.eval(n.L, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := in.eval(n.R, env)
+		if err != nil {
+			return nil, err
+		}
+		return in.applyBinary(n.Op, l, r)
+	case *ast.Logical:
+		l, err := in.eval(n.L, env)
+		if err != nil {
+			return nil, err
+		}
+		if n.Op == "&&" {
+			if !ToBoolean(l) {
+				return l, nil
+			}
+		} else if ToBoolean(l) {
+			return l, nil
+		}
+		return in.eval(n.R, env)
 	case *ast.Str:
+		if n.Boxed != nil {
+			return n.Boxed, nil
+		}
 		return n.Value, nil
-	case *ast.Bool:
-		return n.Value, nil
-	case *ast.Null:
-		return nullValue, nil
+	case *ast.Number:
+		if n.Boxed != nil {
+			return n.Boxed, nil
+		}
+		return boxNumber(n.Value), nil
+	case *ast.Cond:
+		t, err := in.eval(n.Test, env)
+		if err != nil {
+			return nil, err
+		}
+		if ToBoolean(t) {
+			return in.eval(n.Cons, env)
+		}
+		return in.eval(n.Alt, env)
+	case *ast.Func:
+		return in.makeFunction(n, env), nil
+	case *ast.Unary:
+		return in.evalUnary(n, env)
 	case *ast.This:
 		if n.Ref.Valid() {
 			return env.GetRef(n.Ref), nil
@@ -27,6 +74,14 @@ func (in *Interp) eval(e ast.Expr, env *Env) (Value, error) {
 			return v, nil
 		}
 		return undefinedValue, nil
+	case *ast.Bool:
+		return n.Value, nil
+	case *ast.Null:
+		return nullValue, nil
+	case *ast.New:
+		return in.evalNew(n, env)
+	case *ast.Update:
+		return in.evalUpdate(n, env)
 	case *ast.NewTarget:
 		if n.Ref.Valid() {
 			return env.GetRef(n.Ref), nil
@@ -38,6 +93,12 @@ func (in *Interp) eval(e ast.Expr, env *Env) (Value, error) {
 	case *ast.Array:
 		elems := make([]Value, len(n.Elems))
 		for i, el := range n.Elems {
+			if el == nil {
+				// Elision: this substrate's arrays are dense, so a hole is
+				// an undefined element (it still counts toward length).
+				elems[i] = undefinedValue
+				continue
+			}
 			v, err := in.eval(el, env)
 			if err != nil {
 				return nil, err
@@ -73,53 +134,6 @@ func (in *Interp) eval(e ast.Expr, env *Env) (Value, error) {
 			}
 		}
 		return obj, nil
-	case *ast.Func:
-		return in.makeFunction(n, env), nil
-	case *ast.Unary:
-		return in.evalUnary(n, env)
-	case *ast.Update:
-		return in.evalUpdate(n, env)
-	case *ast.Binary:
-		l, err := in.eval(n.L, env)
-		if err != nil {
-			return nil, err
-		}
-		r, err := in.eval(n.R, env)
-		if err != nil {
-			return nil, err
-		}
-		return in.applyBinary(n.Op, l, r)
-	case *ast.Logical:
-		l, err := in.eval(n.L, env)
-		if err != nil {
-			return nil, err
-		}
-		if n.Op == "&&" {
-			if !ToBoolean(l) {
-				return l, nil
-			}
-		} else if ToBoolean(l) {
-			return l, nil
-		}
-		return in.eval(n.R, env)
-	case *ast.Assign:
-		return in.evalAssign(n, env)
-	case *ast.Cond:
-		t, err := in.eval(n.Test, env)
-		if err != nil {
-			return nil, err
-		}
-		if ToBoolean(t) {
-			return in.eval(n.Cons, env)
-		}
-		return in.eval(n.Alt, env)
-	case *ast.Call:
-		return in.evalCall(n, env)
-	case *ast.New:
-		return in.evalNew(n, env)
-	case *ast.Member:
-		_, v, err := in.evalMember(n, env)
-		return v, err
 	case *ast.Seq:
 		var v Value = Undefined{}
 		for _, x := range n.Exprs {
@@ -156,7 +170,20 @@ func (in *Interp) lookupIdent(n *ast.Ident, env *Env) (Value, bool) {
 		return env.GetRef(n.Ref), true
 	}
 	if n.Ref.Global() {
-		return env.LookupDynamic(n.Name)
+		// Proved-global reference: after the first by-name hit on the
+		// global frame the site caches the binding cell, so repeat reads
+		// are a pointer load. Bindings found in an intermediate frame's
+		// overflow map (dynamically created shadows) are never cached.
+		if n.Site != 0 {
+			if c := in.icCellAt(n.Site); c != nil {
+				return c.v, true
+			}
+		}
+		v, ok, c := env.lookupDynamicCell(n.Name)
+		if ok && c != nil && n.Site != 0 {
+			in.icCacheCell(n.Site, c)
+		}
+		return v, ok
 	}
 	return env.Lookup(n.Name)
 }
@@ -169,8 +196,20 @@ func (in *Interp) storeIdent(n *ast.Ident, v Value, env *Env) {
 		return
 	}
 	if n.Ref.Global() {
-		if !env.SetDynamic(n.Name, v) {
-			env.Root().Define(n.Name, v)
+		if n.Site != 0 {
+			if c := in.icCellAt(n.Site); c != nil {
+				c.v = v
+				return
+			}
+		}
+		c, ok := env.setDynamicCell(n.Name, v)
+		if !ok {
+			root := env.Root()
+			root.Define(n.Name, v)
+			c = root.Cell(n.Name)
+		}
+		if c != nil && n.Site != 0 {
+			in.icCacheCell(n.Site, c)
 		}
 		return
 	}
@@ -200,7 +239,7 @@ func (in *Interp) evalMember(n *ast.Member, env *Env) (base, v Value, err error)
 		return nil, nil, err
 	}
 	if !n.Computed {
-		v, err = in.GetMember(base, n.Name)
+		v, err = in.getMemberSite(base, n.Name, n.Site)
 		return base, v, err
 	}
 	idx, err := in.eval(n.Index, env)
@@ -225,15 +264,15 @@ func (in *Interp) evalUnary(n *ast.Unary, env *Env) (Value, error) {
 		if id, ok := n.X.(*ast.Ident); ok {
 			v, found := in.lookupIdent(id, env)
 			if !found {
-				return "undefined", nil
+				return typeofUndefined, nil
 			}
-			return TypeOf(v), nil
+			return typeOfValue(v), nil
 		}
 		v, err := in.eval(n.X, env)
 		if err != nil {
 			return nil, err
 		}
-		return TypeOf(v), nil
+		return typeOfValue(v), nil
 	case "delete":
 		m, ok := n.X.(*ast.Member)
 		if !ok {
@@ -251,7 +290,10 @@ func (in *Interp) evalUnary(n *ast.Unary, env *Env) (Value, error) {
 		if !ok {
 			return true, nil
 		}
-		if (obj.Class == "Array" || obj.Class == "Arguments") && obj.props == nil {
+		if obj.Class == "Array" || obj.Class == "Arguments" {
+			// Element storage is separate from named properties, so this
+			// path must not depend on whether the object has any (deleting
+			// a[1] from an array that also has a.foo used to be a no-op).
 			if i, isIdx := arrayIndex(key); isIdx && i < len(obj.Elems) {
 				obj.Elems[i] = Undefined{}
 				return true, nil
@@ -301,6 +343,7 @@ type memberOnce struct {
 	idx    Value
 	key    string
 	useKey bool
+	site   uint32 // inline-cache site for non-computed references
 }
 
 func (in *Interp) evalMemberOnce(m *ast.Member, env *Env) (memberOnce, error) {
@@ -311,7 +354,7 @@ func (in *Interp) evalMemberOnce(m *ast.Member, env *Env) (memberOnce, error) {
 		return r, err
 	}
 	if !m.Computed {
-		r.key, r.useKey = m.Name, true
+		r.key, r.useKey, r.site = m.Name, true, m.Site
 		return r, nil
 	}
 	r.idx, err = in.eval(m.Index, env)
@@ -351,7 +394,7 @@ func (in *Interp) getOnce(r *memberOnce) (Value, error) {
 	if err != nil {
 		return nil, err
 	}
-	return in.GetMember(r.base, key)
+	return in.getMemberSite(r.base, key, r.site)
 }
 
 func (in *Interp) setOnce(r *memberOnce, v Value) error {
@@ -364,7 +407,7 @@ func (in *Interp) setOnce(r *memberOnce, v Value) error {
 	if err != nil {
 		return err
 	}
-	return in.SetMember(r.base, key, v)
+	return in.setMemberSite(r.base, key, v, r.site)
 }
 
 func (in *Interp) evalUpdate(n *ast.Update, env *Env) (Value, error) {
@@ -476,6 +519,34 @@ func (in *Interp) assignTo(target ast.Expr, v Value, env *Env) error {
 	return in.Throw("SyntaxError", "invalid assignment target")
 }
 
+// evalArgs evaluates an argument list into the interpreter's argument
+// arena, a stack-disciplined scratch buffer that replaces the per-call
+// slice allocation. The returned slice is valid until releaseArgs(mark);
+// callees never retain it (JS calls copy arguments into frame slots and
+// the arguments object; every native copies or reads before returning).
+func (in *Interp) evalArgs(exprs []ast.Expr, env *Env) (args []Value, mark int, err error) {
+	mark = len(in.argArena)
+	for _, a := range exprs {
+		v, err := in.eval(a, env)
+		if err != nil {
+			in.releaseArgs(mark)
+			return nil, 0, err
+		}
+		in.argArena = append(in.argArena, v)
+	}
+	return in.argArena[mark:], mark, nil
+}
+
+// releaseArgs pops the arena back to mark, clearing the freed range so the
+// arena does not pin dead object graphs.
+func (in *Interp) releaseArgs(mark int) {
+	live := in.argArena[:mark]
+	for i := mark; i < len(in.argArena); i++ {
+		in.argArena[i] = nil
+	}
+	in.argArena = live
+}
+
 func (in *Interp) evalCall(n *ast.Call, env *Env) (Value, error) {
 	var this Value = Undefined{}
 	var fn Value
@@ -492,15 +563,13 @@ func (in *Interp) evalCall(n *ast.Call, env *Env) (Value, error) {
 			return nil, err
 		}
 	}
-	args := make([]Value, len(n.Args))
-	for i, a := range n.Args {
-		v, err := in.eval(a, env)
-		if err != nil {
-			return nil, err
-		}
-		args[i] = v
+	args, mark, err := in.evalArgs(n.Args, env)
+	if err != nil {
+		return nil, err
 	}
-	return in.Call(fn, this, args, Undefined{})
+	v, err := in.Call(fn, this, args, Undefined{})
+	in.releaseArgs(mark)
+	return v, err
 }
 
 func (in *Interp) evalNew(n *ast.New, env *Env) (Value, error) {
@@ -508,15 +577,34 @@ func (in *Interp) evalNew(n *ast.New, env *Env) (Value, error) {
 	if err != nil {
 		return nil, err
 	}
-	args := make([]Value, len(n.Args))
-	for i, a := range n.Args {
-		v, err := in.eval(a, env)
-		if err != nil {
-			return nil, err
-		}
-		args[i] = v
+	args, mark, err := in.evalArgs(n.Args, env)
+	if err != nil {
+		return nil, err
 	}
-	return in.Construct(callee, args)
+	v, err := in.Construct(callee, args)
+	in.releaseArgs(mark)
+	return v, err
+}
+
+// argsObject co-locates an arguments object with inline element storage so
+// materializing `arguments` costs one allocation for the common arities.
+type argsObject struct {
+	obj Object
+	buf [4]Value
+}
+
+// newArguments builds the arguments object for a call (the elements are
+// copied — the caller's slice is arena-backed and dies with the call).
+func (in *Interp) newArguments(args []Value) *Object {
+	a := new(argsObject)
+	a.obj = Object{Class: "Arguments", Proto: in.objectProto}
+	if len(args) <= len(a.buf) {
+		a.obj.Elems = a.buf[:len(args):len(args)]
+		copy(a.obj.Elems, args)
+	} else {
+		a.obj.Elems = append([]Value(nil), args...)
+	}
+	return &a.obj
 }
 
 // Construct implements `new fn(args)`.
@@ -572,7 +660,7 @@ func (in *Interp) Call(fn Value, this Value, args []Value, newTarget Value) (Val
 	defer func() { in.depth-- }()
 
 	var env *Env
-	if sc := c.Scope; sc != nil {
+	if sc := c.Decl.Scope; sc != nil {
 		// Resolved function: one slice-backed frame, laid out statically.
 		// The write order matches the dynamic path's define order so that
 		// rebound names (duplicate params, a param shadowing the function's
@@ -586,7 +674,9 @@ func (in *Interp) Call(fn Value, this Value, args []Value, newTarget Value) (Val
 			if i < len(args) {
 				slots[slot] = args[i]
 			} else {
-				slots[slot] = undefinedValue
+				// nil reads back as undefined; the explicit write keeps
+				// last-write-wins for duplicate parameter names.
+				slots[slot] = nil
 			}
 		}
 		if sc.ThisSlot >= 0 {
@@ -598,32 +688,31 @@ func (in *Interp) Call(fn Value, this Value, args []Value, newTarget Value) (Val
 		if sc.ArgumentsSlot >= 0 {
 			// Only materialized when the body actually references
 			// `arguments` — the resolver proved nothing else can see it.
-			ao := &Object{Class: "Arguments", Proto: in.objectProto, Elems: append([]Value(nil), args...)}
-			slots[sc.ArgumentsSlot] = ao
+			slots[sc.ArgumentsSlot] = in.newArguments(args)
 		}
 		for _, fd := range sc.FnDecls {
 			slots[fd.Slot] = in.makeFunction(fd.Fn, env)
 		}
 	} else {
 		env = NewEnv(c.Env)
-		if c.Name != "" && !c.Arrow {
-			env.Define(c.Name, c.Self)
+		arrow := c.Decl.Arrow
+		if c.Decl.Name != "" && !arrow {
+			env.Define(c.Decl.Name, c.Self)
 		}
-		for i, p := range c.Params {
+		for i, p := range c.Decl.Params {
 			if i < len(args) {
 				env.Define(p, args[i])
 			} else {
 				env.Define(p, Undefined{})
 			}
 		}
-		if !c.Arrow {
+		if !arrow {
 			env.Define("this", this)
 			env.Define("new.target", newTarget)
-			ao := &Object{Class: "Arguments", Proto: in.objectProto, Elems: append([]Value(nil), args...)}
-			env.Define("arguments", ao)
+			env.Define("arguments", in.newArguments(args))
 		}
 		if c.hoisted == nil {
-			c.hoisted = hoistScan(c.Body)
+			c.hoisted = hoistScan(c.Decl.Body)
 		}
 		for _, name := range c.hoisted.vars {
 			if !env.Has(name) {
@@ -634,12 +723,17 @@ func (in *Interp) Call(fn Value, this Value, args []Value, newTarget Value) (Val
 			env.Define(fd.Name, in.makeFunction(fd, env))
 		}
 	}
-	err := in.execStmts(c.Body, env)
+	err := in.execStmts(c.Decl.Body, env)
 	switch e := err.(type) {
 	case nil:
 		return Undefined{}, nil
 	case *returnErr:
-		return e.value, nil
+		// The completion is consumed here and nothing else can hold it;
+		// recycle it (interp.go newReturn).
+		v := e.value
+		e.value = nil
+		in.retFree = append(in.retFree, e)
+		return v, nil
 	default:
 		return nil, err
 	}

@@ -56,6 +56,23 @@ type Interp struct {
 	// such an exception panics — the moral equivalent of a crashed page.
 	Uncaught func(error)
 
+	// retFree recycles returnErr completions. A returnErr is created at
+	// exactly one point (the return statement) and consumed at exactly one
+	// (the Call boundary that translates it to a value), so the freelist's
+	// push happens only once the object is provably unreachable.
+	retFree []*returnErr
+
+	// argArena is the stack-disciplined argument buffer evalArgs carves
+	// call argument slices from (expr.go).
+	argArena []Value
+
+	// Inline caches, indexed by the site IDs internal/resolve assigns
+	// (shape.go). Owned per realm so two interpreters executing the same
+	// resolved tree never observe each other's cache state.
+	icGet    icArray[getIC]
+	icSet    icArray[setIC]
+	icGlobal icArray[*cell]
+
 	objectProto   *Object
 	functionProto *Object
 	arrayProto    *Object
@@ -191,25 +208,27 @@ func (in *Interp) hoistInto(body []ast.Stmt, env *Env) {
 	}
 }
 
+// funcObject co-locates a function object with its closure so creating one
+// is a single allocation — instrumented code creates closures on every
+// call (frame thunks), making this the hottest allocation site after
+// environments.
+type funcObject struct {
+	obj Object
+	fn  Closure
+}
+
 // makeFunction builds a function object for a literal in env. Closures
 // allocate, so they are charged like other allocations — this is what makes
 // closure-per-call continuation representations (CPS, generators) pay their
 // real cost relative to checked returns.
 func (in *Interp) makeFunction(fn *ast.Func, env *Env) *Object {
 	in.charge(in.Engine.ObjectCreateCost)
-	obj := &Object{Class: "Function", Proto: in.functionProto}
-	obj.Fn = &Closure{
-		Name:   fn.Name,
-		Params: fn.Params,
-		Body:   fn.Body,
-		Env:    env,
-		Arrow:  fn.Arrow,
-		Self:   obj,
-		Scope:  fn.Scope,
-	}
+	p := new(funcObject)
+	p.obj = Object{Class: "Function", Proto: in.functionProto, Fn: &p.fn}
+	p.fn = Closure{Decl: fn, Env: env, Self: &p.obj}
 	// .length is materialized lazily on first access (objGet), like
 	// .prototype, so creating a closure allocates no property storage.
-	return obj
+	return &p.obj
 }
 
 // ---------------------------------------------------------------------------
@@ -228,7 +247,35 @@ func (in *Interp) execStmts(body []ast.Stmt, env *Env) error {
 func (in *Interp) execStmt(s ast.Stmt, env *Env) error {
 	in.Steps++
 	in.charge(1)
+	// Hot statement kinds first: instrumented code is mostly expression
+	// statements under mode-dispatch ifs.
 	switch n := s.(type) {
+	case *ast.ExprStmt:
+		_, err := in.eval(n.X, env)
+		return err
+	case *ast.If:
+		in.charge(in.Engine.BranchCost)
+		t, err := in.eval(n.Test, env)
+		if err != nil {
+			return err
+		}
+		if ToBoolean(t) {
+			return in.execStmt(n.Cons, env)
+		}
+		if n.Alt != nil {
+			return in.execStmt(n.Alt, env)
+		}
+		return nil
+	case *ast.Return:
+		var v Value = Undefined{}
+		if n.Arg != nil {
+			var err error
+			v, err = in.eval(n.Arg, env)
+			if err != nil {
+				return err
+			}
+		}
+		return in.newReturn(v)
 	case *ast.VarDecl:
 		for i := range n.Decls {
 			d := &n.Decls[i]
@@ -260,24 +307,8 @@ func (in *Interp) execStmt(s ast.Stmt, env *Env) error {
 			}
 		}
 		return nil
-	case *ast.ExprStmt:
-		_, err := in.eval(n.X, env)
-		return err
 	case *ast.Block:
 		return in.execStmts(n.Body, env)
-	case *ast.If:
-		in.charge(in.Engine.BranchCost)
-		t, err := in.eval(n.Test, env)
-		if err != nil {
-			return err
-		}
-		if ToBoolean(t) {
-			return in.execStmt(n.Cons, env)
-		}
-		if n.Alt != nil {
-			return in.execStmt(n.Alt, env)
-		}
-		return nil
 	case *ast.While:
 		return in.execWhile(n, env, nil)
 	case *ast.DoWhile:
@@ -286,19 +317,15 @@ func (in *Interp) execStmt(s ast.Stmt, env *Env) error {
 		return in.execFor(n, env, nil)
 	case *ast.ForIn:
 		return in.execForIn(n, env, nil)
-	case *ast.Return:
-		var v Value = Undefined{}
-		if n.Arg != nil {
-			var err error
-			v, err = in.eval(n.Arg, env)
-			if err != nil {
-				return err
-			}
-		}
-		return &returnErr{value: v}
 	case *ast.Break:
+		if n.Label == "" {
+			return breakUnlabeled
+		}
 		return &breakErr{label: n.Label}
 	case *ast.Continue:
+		if n.Label == "" {
+			return continueUnlabeled
+		}
 		return &continueErr{label: n.Label}
 	case *ast.Labeled:
 		return in.execLabeled(n, env)
@@ -324,6 +351,18 @@ func (in *Interp) execStmt(s ast.Stmt, env *Env) error {
 		return nil
 	}
 	return fmt.Errorf("interp: unknown statement %T", s)
+}
+
+// newReturn builds a return completion, reusing a recycled one when
+// available.
+func (in *Interp) newReturn(v Value) *returnErr {
+	if n := len(in.retFree); n > 0 {
+		re := in.retFree[n-1]
+		in.retFree = in.retFree[:n-1]
+		re.value = v
+		return re
+	}
+	return &returnErr{value: v}
 }
 
 func envChainHas(env *Env, name string) bool {

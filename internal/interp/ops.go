@@ -30,6 +30,40 @@ func TypeOf(v Value) string {
 	return "undefined"
 }
 
+// Pre-boxed typeof results: converting a string constant to an interface
+// allocates its header, and typeof runs in every instrumented dispatch
+// guard, so the evaluator returns these interned boxes instead.
+var (
+	typeofUndefined Value = "undefined"
+	typeofObject    Value = "object"
+	typeofBoolean   Value = "boolean"
+	typeofNumber    Value = "number"
+	typeofString    Value = "string"
+	typeofFunction  Value = "function"
+)
+
+// typeOfValue is TypeOf returning an interned boxed Value.
+func typeOfValue(v Value) Value {
+	switch o := v.(type) {
+	case Undefined:
+		return typeofUndefined
+	case Null:
+		return typeofObject
+	case bool:
+		return typeofBoolean
+	case float64:
+		return typeofNumber
+	case string:
+		return typeofString
+	case *Object:
+		if o.IsCallable() {
+			return typeofFunction
+		}
+		return typeofObject
+	}
+	return typeofUndefined
+}
+
 // ToBoolean implements JS truthiness.
 func ToBoolean(v Value) bool {
 	switch x := v.(type) {
@@ -160,20 +194,26 @@ func (in *Interp) ToPrimitive(v Value, hint string) (Value, error) {
 	return nil, in.Throw("TypeError", "cannot convert object to primitive value")
 }
 
-// ToInt32 and ToUint32 implement the bitwise-operator coercions.
+// ToInt32 and ToUint32 implement the bitwise-operator coercions. The
+// reduction must go through math.Mod, not int64: for |f| ≥ 2^63 the
+// float→int64 conversion is out of range (undefined result, 0 in practice),
+// which made 1e20|0 and 1e20>>>0 return 0 instead of 1661992960.
 func ToInt32(f float64) int32 {
-	if math.IsNaN(f) || math.IsInf(f, 0) {
-		return 0
-	}
-	return int32(uint32(int64(math.Trunc(f))))
+	return int32(ToUint32(f))
 }
 
-// ToUint32 truncates to an unsigned 32-bit integer per the spec.
+// ToUint32 truncates to an unsigned 32-bit integer per ES5 §9.6: truncate,
+// reduce modulo 2^32, normalize into [0, 2^32).
 func ToUint32(f float64) uint32 {
 	if math.IsNaN(f) || math.IsInf(f, 0) {
 		return 0
 	}
-	return uint32(int64(math.Trunc(f)))
+	const two32 = 4294967296
+	f = math.Mod(math.Trunc(f), two32)
+	if f < 0 {
+		f += two32
+	}
+	return uint32(f)
 }
 
 // StrictEquals implements ===.
@@ -432,12 +472,78 @@ func (in *Interp) hasProperty(o *Object, key string) bool {
 			return true
 		}
 	}
-	for p := o; p != nil; p = p.Proto {
-		if p.OwnOrLazy(key) != nil {
-			return true
+	holder, _ := in.lookupPath(o, key)
+	return holder != nil
+}
+
+// RawGet reads a data property without ever invoking a user getter — the
+// Stopify getter sub-language's $get prelude invokes accessors itself, as
+// instrumented calls, and uses this as its data-property fallback. Accessor
+// slots read as undefined. Primitive receivers go through the normal path
+// (their prototypes hold only natives).
+func (in *Interp) RawGet(base Value, key string) (Value, error) {
+	o, ok := base.(*Object)
+	if !ok {
+		return in.GetMember(base, key)
+	}
+	// No PropCost charge here: the historical $rawGet native never charged,
+	// and the engine cost model must not shift under the getter prelude.
+	if o.Class == "Array" || o.Class == "Arguments" {
+		if key == "length" && o.Own("length") == nil {
+			return boxNumber(float64(len(o.Elems))), nil
+		}
+		if i, isIdx := arrayIndex(key); isIdx && i < len(o.Elems) {
+			return o.Elems[i], nil
 		}
 	}
-	return false
+	holder, idx := in.lookupPath(o, key)
+	if holder == nil {
+		if key == "prototype" && o.IsCallable() {
+			return in.GetMember(o, key) // materialize the lazy prototype
+		}
+		return Undefined{}, nil
+	}
+	slot := &holder.slots[idx]
+	if slot.Getter != nil || slot.Setter != nil {
+		return Undefined{}, nil
+	}
+	return slot.Value, nil
+}
+
+// LookupAccessor walks the prototype chain for a getter (setter false) or
+// setter (setter true) without invoking it, for the $get/$set prelude. A
+// data property shadows (returns undefined); an accessor lacking the
+// requested side is skipped and the walk continues, matching the historical
+// behavior of the runtime's $lookupGetter/$lookupSetter natives.
+func (in *Interp) LookupAccessor(base Value, key string, setter bool) Value {
+	o, ok := base.(*Object)
+	if !ok {
+		return Undefined{}
+	}
+	holder, idx := in.lookupPath(o, key)
+	for holder != nil {
+		slot := &holder.slots[idx]
+		if setter && slot.Setter != nil {
+			return slot.Setter
+		}
+		if !setter && slot.Getter != nil {
+			return slot.Getter
+		}
+		if slot.Getter == nil && slot.Setter == nil {
+			return Undefined{} // plain data property shadows
+		}
+		// Accessor lacking the requested side: keep walking from the next
+		// prototype up.
+		next := holder.Proto
+		holder = nil
+		for p := next; p != nil; p = p.Proto {
+			if i := p.ownOrLazySlot(key); i >= 0 {
+				holder, idx = p, i
+				break
+			}
+		}
+	}
+	return Undefined{}
 }
 
 // getElemFast reads base[idx] for an integer index into an array or
@@ -497,10 +603,17 @@ func (in *Interp) setElemFast(base, idx, v Value) bool {
 // GetMember reads base[key], invoking getters and routing primitive
 // receivers to their builtin prototypes.
 func (in *Interp) GetMember(base Value, key string) (Value, error) {
+	return in.getMemberSite(base, key, 0)
+}
+
+// getMemberSite is GetMember with an inline-cache site (0 disables
+// caching); non-computed member reads call it with the site internal/
+// resolve assigned to their ast.Member node.
+func (in *Interp) getMemberSite(base Value, key string, site uint32) (Value, error) {
 	in.charge(in.Engine.PropCost)
 	switch b := base.(type) {
 	case *Object:
-		return in.objGet(b, b, key)
+		return in.objGetSite(b, b, key, site)
 	case string:
 		if key == "length" {
 			return boxNumber(float64(len(b))), nil
@@ -537,6 +650,15 @@ func (in *Interp) protoGet(proto *Object, this Value, key string) (Value, error)
 }
 
 func (in *Interp) objGet(o *Object, this Value, key string) (Value, error) {
+	return in.objGetSite(o, this, key, 0)
+}
+
+// objGetSite reads o[key] with an optional inline cache. A cache hit is a
+// shape compare (plus, for prototype-chain hits, a holder-shape compare and
+// an epoch check) followed by a direct slot read — no hash lookups. Class-
+// special properties (array length and elements) never enter the cache;
+// their pre-checks run first, exactly as the uncached walk always has.
+func (in *Interp) objGetSite(o *Object, this Value, key string, site uint32) (Value, error) {
 	if o.Class == "Array" || o.Class == "Arguments" {
 		if key == "length" {
 			if o.Own("length") == nil { // arrays expose length natively
@@ -550,34 +672,73 @@ func (in *Interp) objGet(o *Object, this Value, key string) (Value, error) {
 			// fall through to props for sparse writes beyond Elems
 		}
 	}
-	for p := o; p != nil; p = p.Proto {
-		if slot := p.OwnOrLazy(key); slot != nil {
-			if slot.Getter != nil {
-				return in.Call(slot.Getter, this, nil, Undefined{})
+	var c *getIC
+	if site != 0 {
+		shape := o.ensureShape()
+		c = in.icGetAt(site)
+		if c.shape == shape {
+			var p *Prop
+			if c.holder == nil {
+				p = &o.slots[c.slot]
+			} else if c.holder.shape == c.hshape && c.epoch == protoEpoch.Load() {
+				p = &c.holder.slots[c.slot]
 			}
-			if slot.Setter != nil && slot.Getter == nil {
-				return Undefined{}, nil
+			if p != nil {
+				if p.Getter != nil {
+					return in.Call(p.Getter, this, nil, Undefined{})
+				}
+				if p.Setter != nil {
+					return undefinedValue, nil
+				}
+				return p.Value, nil
 			}
-			return slot.Value, nil
 		}
 	}
-	// Functions materialize .prototype on first access (.length is handled
-	// by OwnOrLazy in the walk above), so closure creation allocates no
-	// property storage. Like .prototype, a deleted .length resurfaces on
-	// the next inspection; this substrate does not model configurability of
-	// builtin function properties.
-	if key == "prototype" && o.IsCallable() {
-		proto := in.NewPlainObject()
-		proto.SetHidden("constructor", o)
-		o.SetHidden("prototype", proto)
-		return proto, nil
+	holder, idx := in.lookupPath(o, key)
+	if holder == nil {
+		// Functions materialize .prototype on first access (.length is
+		// handled by the lazy slot probe inside the walk), so closure
+		// creation allocates no property storage. Like .prototype, a
+		// deleted .length resurfaces on the next inspection; this substrate
+		// does not model configurability of builtin function properties.
+		if key == "prototype" && o.IsCallable() {
+			proto := in.NewPlainObject()
+			proto.SetHidden("constructor", o)
+			o.SetHidden("prototype", proto)
+			return proto, nil
+		}
+		return Undefined{}, nil
 	}
-	return Undefined{}, nil
+	if c != nil {
+		if holder == o {
+			*c = getIC{shape: o.shape, slot: int32(idx)}
+		} else {
+			*c = getIC{shape: o.shape, holder: holder, hshape: holder.shape,
+				slot: int32(idx), epoch: protoEpoch.Load()}
+		}
+	}
+	slot := &holder.slots[idx]
+	if slot.Getter != nil {
+		return in.Call(slot.Getter, this, nil, Undefined{})
+	}
+	if slot.Setter != nil {
+		return Undefined{}, nil
+	}
+	return slot.Value, nil
 }
 
 // SetMember writes base[key] = v, invoking setters found on the prototype
 // chain.
 func (in *Interp) SetMember(base Value, key string, v Value) error {
+	return in.setMemberSite(base, key, v, 0)
+}
+
+// setMemberSite is SetMember with an inline-cache site (0 disables
+// caching). Two write kinds cache: overwriting an existing own data
+// property (shape + slot), and adding a new property (a shape transition:
+// old shape → new shape, value appended; guarded by protoEpoch so an
+// accessor appearing anywhere on the chain invalidates the shortcut).
+func (in *Interp) setMemberSite(base Value, key string, v Value, site uint32) error {
 	in.charge(in.Engine.PropCost)
 	o, ok := base.(*Object)
 	if !ok {
@@ -619,22 +780,52 @@ func (in *Interp) SetMember(base Value, key string, v Value) error {
 			return nil
 		}
 	}
-	for p := o; p != nil; p = p.Proto {
-		if slot := p.OwnOrLazy(key); slot != nil {
-			if slot.Setter != nil {
-				_, err := in.Call(slot.Setter, o, []Value{v}, Undefined{})
-				return err
-			}
-			if slot.Getter != nil {
-				return nil // getter-only property: silent failure (sloppy mode)
-			}
-			if p == o {
-				slot.Value = v
+	var c *setIC
+	if site != 0 {
+		shape := o.ensureShape()
+		c = in.icSetAt(site)
+		if c.shape == shape {
+			if c.next == nil {
+				// Existing own data property (data-ness is shape-stable:
+				// conversions fork the shape).
+				o.slots[c.slot].Value = v
 				return nil
 			}
-			break // data property on the chain: shadow it below
+			if c.epoch == protoEpoch.Load() {
+				o.slots = append(o.slots, Prop{Value: v, Enumerable: true})
+				o.shape = c.next
+				if o.usedAsProto {
+					// Same obligation as the slow path (setSlot): a new key
+					// on a prototype can shadow a cached chain hit.
+					bumpProtoEpoch()
+				}
+				return nil
+			}
 		}
 	}
+	if holder, idx := in.lookupPath(o, key); holder != nil {
+		slot := &holder.slots[idx]
+		if slot.Setter != nil {
+			_, err := in.Call(slot.Setter, o, []Value{v}, Undefined{})
+			return err
+		}
+		if slot.Getter != nil {
+			return nil // getter-only property: silent failure (sloppy mode)
+		}
+		if holder == o {
+			if c != nil {
+				*c = setIC{shape: o.shape, slot: int32(idx)}
+			}
+			slot.Value = v
+			return nil
+		}
+		// Data property on the chain: shadow it below.
+	}
+	oldShape := o.shape
 	o.SetOwn(key, v)
+	if c != nil && oldShape != nil {
+		*c = setIC{shape: oldShape, next: o.shape,
+			slot: int32(len(oldShape.keys)), epoch: protoEpoch.Load()}
+	}
 	return nil
 }

@@ -1,0 +1,225 @@
+package interp
+
+import "sync/atomic"
+
+// Hidden classes ("shapes"). Every *Object with own properties points at a
+// Shape that describes its property layout: Shape.keys lists the own keys in
+// insertion order and Shape.index maps each key to an index into the
+// object's flat slots array. Objects created along the same code path — the
+// same sequence of property additions on the same prototype — share a Shape,
+// because each addition follows the same cached transition edge. That
+// sharing is what makes property inline caches possible: a cache entry that
+// observed "key k lives at slot 3 of shape S" is valid for every object
+// whose shape pointer is still S, so a hit is one pointer compare plus an
+// array index instead of a hash lookup (and, for misses that walked the
+// prototype chain, instead of a whole chain of hash lookups).
+//
+// Shape identity doubles as the invalidation mechanism. Any change that
+// could make a cached (shape, slot) pair stale moves the object to a
+// different Shape pointer:
+//
+//   - adding a property follows (or creates) a transition edge to a child
+//     shape;
+//   - deleting a property rebuilds the shape from the root without the
+//     deleted key (and compacts the slots array to match);
+//   - converting a data property to an accessor, or back, forks the shape
+//     to a fresh identity with the same layout, so accessor-ness is a
+//     shape-stable fact and cached fast paths never need to re-check it
+//     beyond the shape compare;
+//   - changing the prototype re-roots the shape under the new prototype's
+//     transition tree.
+//
+// Prototype-chain caches (a hit found on a holder object some hops up the
+// chain) additionally guard on the holder's shape and on protoEpoch, a
+// global counter bumped whenever an object known to serve as a prototype
+// gains a key, loses a key, changes a property's data/accessor kind, or has
+// its own prototype replaced. The epoch catches the one case shape pointers
+// cannot: an object *between* the receiver and the cached holder gaining a
+// shadowing property. Objects are marked as prototypes (usedAsProto) the
+// first time an inline-cache fill walks across them.
+//
+// Shape trees are rooted per prototype: the root shape for objects whose
+// prototype is P hangs off P itself (Object.shapeRoot), so realms never
+// share shapes and a shape compare implies a prototype compare. Objects
+// with a nil prototype get a private root.
+
+// Shape is one node of a transition tree: the layout of every object that
+// was built by the same sequence of property additions.
+type Shape struct {
+	root  *Shape         // the empty shape this tree grew from
+	keys  []string       // own keys in insertion order; slot i holds keys[i]
+	index map[string]int // key → slot; nil for the empty root
+
+	// transitions maps a key to the child shape reached by adding it.
+	transitions map[string]*Shape
+}
+
+// protoEpoch invalidates prototype-chain cache entries that shape identity
+// alone cannot guard (see the package comment above). It is global rather
+// than per-realm because Object mutators have no realm pointer; cross-realm
+// bumps only cause spurious cache misses, never wrong results.
+var protoEpoch atomic.Uint32
+
+// bumpProtoEpoch invalidates every prototype-chain inline-cache entry.
+func bumpProtoEpoch() { protoEpoch.Add(1) }
+
+// emptyShapeFor returns the root shape for objects whose prototype is
+// proto, creating and memoizing it on the prototype. A nil prototype gets a
+// private root (no sharing, but Object.create(null) objects are rare).
+func emptyShapeFor(proto *Object) *Shape {
+	if proto == nil {
+		s := &Shape{}
+		s.root = s
+		return s
+	}
+	if proto.shapeRoot == nil {
+		s := &Shape{}
+		s.root = s
+		proto.shapeRoot = s
+	}
+	return proto.shapeRoot
+}
+
+// transition returns the shape reached by adding key, creating and caching
+// the edge on first use. The new key's slot is len(s.keys).
+func (s *Shape) transition(key string) *Shape {
+	if c, ok := s.transitions[key]; ok {
+		return c
+	}
+	idx := make(map[string]int, len(s.keys)+1)
+	for k, v := range s.index {
+		idx[k] = v
+	}
+	idx[key] = len(s.keys)
+	c := &Shape{
+		root:  s.root,
+		keys:  append(s.keys[:len(s.keys):len(s.keys)], key),
+		index: idx,
+	}
+	if s.transitions == nil {
+		s.transitions = make(map[string]*Shape, 1)
+	}
+	s.transitions[key] = c
+	return c
+}
+
+// fork returns a shape with the same layout but a fresh identity, severing
+// every inline-cache entry that guarded on s. Used when a property changes
+// kind (data ↔ accessor) in place, which adds no key but invalidates the
+// accessor-ness that cached fast paths rely on.
+func (s *Shape) fork() *Shape {
+	return &Shape{root: s.root, keys: s.keys, index: s.index}
+}
+
+// slotOf returns the slot index of key, or -1.
+func (s *Shape) slotOf(key string) int {
+	if s == nil {
+		return -1
+	}
+	if i, ok := s.index[key]; ok {
+		return i
+	}
+	return -1
+}
+
+// Inline-cache entries. The interpreter owns one array per access kind,
+// indexed by the site IDs internal/resolve assigns to ast.Member and
+// global ast.Ident nodes; site 0 is reserved for "no cache".
+
+// getIC caches a property read site. holder == nil means the property was
+// found on the receiver itself at slot; otherwise it was found on holder
+// (somewhere up the prototype chain), guarded by holder's shape and by
+// protoEpoch.
+type getIC struct {
+	shape  *Shape
+	holder *Object
+	hshape *Shape
+	slot   int32
+	epoch  uint32
+}
+
+// setIC caches a property write site. With next == nil the write hits an
+// existing own property at slot. With next != nil the write adds a new
+// property: the receiver moves from shape to next and the value is appended
+// at slot; protoEpoch guards against an accessor appearing anywhere on the
+// chain since the entry was filled.
+type setIC struct {
+	shape *Shape
+	next  *Shape
+	slot  int32
+	epoch uint32
+}
+
+// icArray is a site-indexed cache store. Site IDs are process-unique and
+// monotonically increasing (internal/resolve), so a realm created late in
+// a long process sees only a narrow, high-valued band of IDs — the ones in
+// the programs it actually runs. Indexing relative to the first site the
+// realm touches keeps the array proportional to that band instead of to
+// the process-lifetime maximum.
+type icArray[T any] struct {
+	base    uint32
+	entries []T
+}
+
+// at returns the entry for site, growing (and, rarely, re-basing) the
+// store as needed.
+func (a *icArray[T]) at(site uint32) *T {
+	if a.entries == nil {
+		a.base = site
+		a.entries = make([]T, 64)
+		return &a.entries[0]
+	}
+	if site < a.base {
+		// A site below the current base: shift existing entries up. Rare —
+		// execution order roughly follows assignment order.
+		shift := a.base - site
+		grown := make([]T, shift+uint32(len(a.entries)))
+		copy(grown[shift:], a.entries)
+		a.base, a.entries = site, grown
+	}
+	idx := site - a.base
+	if int(idx) >= len(a.entries) {
+		n := len(a.entries) * 2
+		if n <= int(idx) {
+			n = int(idx) + 1
+		}
+		grown := make([]T, n)
+		copy(grown, a.entries)
+		a.entries = grown
+	}
+	return &a.entries[idx]
+}
+
+// icGetAt returns the cache entry for a read site.
+func (in *Interp) icGetAt(site uint32) *getIC { return in.icGet.at(site) }
+
+// icSetAt returns the cache entry for a write site.
+func (in *Interp) icSetAt(site uint32) *setIC { return in.icSet.at(site) }
+
+// icCellAt returns the global-binding cell cached for an identifier site.
+func (in *Interp) icCellAt(site uint32) *cell { return *in.icGlobal.at(site) }
+
+// icCacheCell records the binding cell for an identifier site.
+func (in *Interp) icCacheCell(site uint32, c *cell) { *in.icGlobal.at(site) = c }
+
+// lookupPath resolves key starting at o, returning the holding object and
+// slot index, or (nil, -1) when the property exists nowhere on the chain.
+// The walk marks every prototype it crosses (usedAsProto) so that inline-
+// cache entries filled from its result — which guard on the receiver's and
+// holder's shapes plus protoEpoch — stay sound when an object between the
+// two later gains a shadowing property. The walk itself is deliberately
+// uncached: realms are short-lived in the harness and per-level shape
+// lookups are already single hash probes, so the per-site caches (filled
+// from this result) carry the repeat traffic.
+func (in *Interp) lookupPath(o *Object, key string) (*Object, int) {
+	o.ensureShape()
+	for p := o; p != nil; p = p.Proto {
+		if p != o {
+			p.usedAsProto = true
+		}
+		if idx := p.ownOrLazySlot(key); idx >= 0 {
+			return p, idx
+		}
+	}
+	return nil, -1
+}

@@ -1,0 +1,322 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+)
+
+// Shape/IC invariant tests: transition sharing, cache hits after a shape
+// match, and invalidation on delete, accessor installation, and prototype
+// mutation. These poke the unexported machinery directly; end-to-end
+// property semantics are covered in internal/core.
+
+func newTestInterp() *Interp {
+	return New(Options{})
+}
+
+func TestShapeTransitionSharing(t *testing.T) {
+	in := newTestInterp()
+	a := in.NewPlainObject()
+	b := in.NewPlainObject()
+	a.SetOwn("x", 1.0)
+	a.SetOwn("y", 2.0)
+	b.SetOwn("x", 3.0)
+	b.SetOwn("y", 4.0)
+	if a.shape == nil || a.shape != b.shape {
+		t.Fatalf("objects built along the same path must share a shape: %p vs %p", a.shape, b.shape)
+	}
+	c := in.NewPlainObject()
+	c.SetOwn("y", 5.0) // different insertion order → different shape
+	c.SetOwn("x", 6.0)
+	if c.shape == a.shape {
+		t.Fatal("different insertion order must not share the shape")
+	}
+	if got := a.shape.keys; len(got) != 2 || got[0] != "x" || got[1] != "y" {
+		t.Fatalf("shape keys = %v, want [x y]", got)
+	}
+}
+
+func TestShapeDeleteRebuildsAndResharesTree(t *testing.T) {
+	in := newTestInterp()
+	a := in.NewPlainObject()
+	a.SetOwn("x", 1.0)
+	a.SetOwn("y", 2.0)
+	a.SetOwn("z", 3.0)
+	before := a.shape
+	if !a.Delete("y") {
+		t.Fatal("Delete(y) reported the property missing")
+	}
+	if a.shape == before {
+		t.Fatal("delete must move the object to a different shape")
+	}
+	// The rebuilt shape reuses the shared transition tree: an object built
+	// as {x, z} directly lands on the same shape.
+	b := in.NewPlainObject()
+	b.SetOwn("x", 0.0)
+	b.SetOwn("z", 0.0)
+	if a.shape != b.shape {
+		t.Fatalf("post-delete shape should rejoin the tree: %p vs %p", a.shape, b.shape)
+	}
+	if p := a.Own("z"); p == nil || p.Value != 3.0 {
+		t.Fatal("slots were not compacted correctly on delete")
+	}
+	if a.Own("y") != nil {
+		t.Fatal("deleted property still present")
+	}
+}
+
+func TestShapeAccessorConversionForks(t *testing.T) {
+	in := newTestInterp()
+	a := in.NewPlainObject()
+	a.SetOwn("x", 1.0)
+	before := a.shape
+	getter := in.NewNative("g", func(in *Interp, this Value, args []Value) (Value, error) {
+		return 42.0, nil
+	})
+	a.SetAccessor("x", getter, nil, true)
+	if a.shape == before {
+		t.Fatal("data→accessor conversion must fork the shape")
+	}
+	mid := a.shape
+	a.SetOwn("x", 2.0)
+	if a.shape == mid {
+		t.Fatal("accessor→data conversion must fork the shape")
+	}
+}
+
+func TestGetICHitAndInvalidation(t *testing.T) {
+	in := newTestInterp()
+	const site = 7
+	o := in.NewPlainObject()
+	o.SetOwn("x", 1.0)
+
+	read := func() Value {
+		v, err := in.getMemberSite(o, "x", site)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if v := read(); v != 1.0 {
+		t.Fatalf("first read = %v", v)
+	}
+	c := in.icGetAt(site)
+	if c.shape != o.shape || c.holder != nil || int(c.slot) != 0 {
+		t.Fatalf("cache not filled with own hit: %+v", *c)
+	}
+	// Hit path: same shape, direct slot read.
+	o.slots[0].Value = 5.0
+	if v := read(); v != 5.0 {
+		t.Fatalf("cached read = %v, want 5", v)
+	}
+	// Delete invalidates via shape change.
+	o.Delete("x")
+	if _, ok := read().(Undefined); !ok {
+		t.Fatal("read after delete must be undefined")
+	}
+	// Re-adding refills; converting to an accessor must then divert the
+	// cached fast path to the getter.
+	o.SetOwn("x", 9.0)
+	if v := read(); v != 9.0 {
+		t.Fatalf("read after re-add = %v", v)
+	}
+	getter := in.NewNative("g", func(in *Interp, this Value, args []Value) (Value, error) {
+		return "from-getter", nil
+	})
+	o.SetAccessor("x", getter, nil, true)
+	if v := read(); v != "from-getter" {
+		t.Fatalf("read after accessor install = %v, want getter result", v)
+	}
+}
+
+func TestGetICProtoHitAndProtoMutation(t *testing.T) {
+	in := newTestInterp()
+	const site = 11
+	protoA := in.NewPlainObject()
+	protoA.SetOwn("m", "A")
+	o := NewObject(protoA)
+
+	read := func() Value {
+		v, err := in.getMemberSite(o, "m", site)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if v := read(); v != "A" {
+		t.Fatalf("proto read = %v", v)
+	}
+	c := in.icGetAt(site)
+	if c.holder != protoA {
+		t.Fatalf("cache should record the proto holder, got %+v", *c)
+	}
+	if v := read(); v != "A" {
+		t.Fatalf("cached proto read = %v", v)
+	}
+	// Mutating the holder's layout invalidates via holder shape.
+	protoA.SetOwn("other", 1.0)
+	if v := read(); v != "A" {
+		t.Fatalf("read after holder growth = %v", v)
+	}
+	// Replacing the prototype re-roots the receiver's shape; the stale
+	// entry must miss.
+	protoB := in.NewPlainObject()
+	protoB.SetOwn("m", "B")
+	o.SetProto(protoB)
+	if v := read(); v != "B" {
+		t.Fatalf("read after SetProto = %v, want B", v)
+	}
+}
+
+func TestGetICIntermediateShadowing(t *testing.T) {
+	in := newTestInterp()
+	const site = 13
+	top := in.NewPlainObject()
+	top.SetOwn("m", "top")
+	mid := NewObject(top)
+	o := NewObject(mid)
+
+	read := func() Value {
+		v, err := in.getMemberSite(o, "m", site)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if v := read(); v != "top" {
+		t.Fatalf("chain read = %v", v)
+	}
+	// An object BETWEEN the receiver and the cached holder gains the key:
+	// the protoEpoch guard must divert the next read to the new holder.
+	mid.SetOwn("m", "mid")
+	if v := read(); v != "mid" {
+		t.Fatalf("read after intermediate shadow = %v, want mid", v)
+	}
+}
+
+func TestSetICTransitionAndAccessorInvalidation(t *testing.T) {
+	in := newTestInterp()
+	const site = 17
+	proto := in.NewPlainObject()
+	write := func(o *Object, v Value) {
+		if err := in.setMemberSite(o, "y", v, site); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := NewObject(proto)
+	write(a, 1.0) // fills the transition entry
+	b := NewObject(proto)
+	write(b, 2.0) // transition hit
+	if a.shape != b.shape {
+		t.Fatal("transition writes should land both objects on the same shape")
+	}
+	if b.Own("y").Value != 2.0 {
+		t.Fatal("transition hit wrote the wrong slot")
+	}
+	write(b, 3.0) // own-hit path now
+	if b.Own("y").Value != 3.0 {
+		t.Fatal("own-hit write failed")
+	}
+	// Installing a setter on the prototype must invalidate the cached
+	// transition: the next write on a fresh object must call the setter
+	// instead of shadowing.
+	var got Value
+	setter := in.NewNative("s", func(in *Interp, this Value, args []Value) (Value, error) {
+		got = args[0]
+		return Undefined{}, nil
+	})
+	proto.SetAccessor("y", nil, setter, true)
+	fresh := NewObject(proto)
+	write(fresh, 9.0)
+	if got != 9.0 {
+		t.Fatalf("setter did not run after accessor install on proto; got %v", got)
+	}
+	if fresh.Own("y") != nil {
+		t.Fatal("write shadowed the proto setter")
+	}
+}
+
+func TestGlobalCellCaching(t *testing.T) {
+	in := newTestInterp()
+	in.DefineGlobal("g", 1.0)
+	id := &ast.Ident{Name: "g", Ref: ast.RefGlobal, Site: 3}
+	v, err := in.loadIdent(id, in.Global)
+	if err != nil || v != 1.0 {
+		t.Fatalf("global read = %v, %v", v, err)
+	}
+	if in.icCellAt(3) == nil {
+		t.Fatal("cell not cached after first lookup")
+	}
+	// Redefinition must write through the same cell so the cache stays
+	// coherent.
+	in.DefineGlobal("g", 2.0)
+	v, _ = in.loadIdent(id, in.Global)
+	if v != 2.0 {
+		t.Fatalf("cached global read = %v, want 2", v)
+	}
+	in.storeIdent(id, 3.0, in.Global)
+	if got, _ := in.Global.Lookup("g"); got != 3.0 {
+		t.Fatalf("store through cached cell = %v, want 3", got)
+	}
+}
+
+func TestToUint32LargeMagnitude(t *testing.T) {
+	cases := []struct {
+		in  float64
+		i32 int32
+		u32 uint32
+	}{
+		{1e20, 1661992960, 1661992960},
+		{-1e20, -1661992960, 2632974336},
+		{4294967296, 0, 0},
+		{-1, -1, 4294967295},
+		{3.7, 3, 3},
+		{-3.7, -3, 4294967293},
+	}
+	for _, c := range cases {
+		if got := ToInt32(c.in); got != c.i32 {
+			t.Errorf("ToInt32(%v) = %d, want %d", c.in, got, c.i32)
+		}
+		if got := ToUint32(c.in); got != c.u32 {
+			t.Errorf("ToUint32(%v) = %d, want %d", c.in, got, c.u32)
+		}
+	}
+}
+
+func TestSetICTransitionBumpsEpochForProtoReceiver(t *testing.T) {
+	in := newTestInterp()
+	const getSite, setSite = 19, 23
+	// foo lives on a grandparent; P sits between it and the reader C.
+	top := in.NewPlainObject()
+	top.SetOwn("foo", 1.0)
+	p := NewObject(top)
+	c := NewObject(p)
+
+	read := func() Value {
+		v, err := in.getMemberSite(c, "foo", getSite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if v := read(); v != 1.0 {
+		t.Fatalf("chain read = %v", v)
+	}
+	read() // cache hit; P is marked usedAsProto
+
+	// D shares P's (empty) shape; writing through the site fills the
+	// transition entry for that shape.
+	d := NewObject(top)
+	if err := in.setMemberSite(d, "foo", 5.0, setSite); err != nil {
+		t.Fatal(err)
+	}
+	// The same site now writes to P via the cached transition fast path;
+	// the epoch bump there must invalidate C's chain entry.
+	if err := in.setMemberSite(p, "foo", 2.0, setSite); err != nil {
+		t.Fatal(err)
+	}
+	if v := read(); v != 2.0 {
+		t.Fatalf("read after transition-IC write to prototype = %v, want 2 (shadowing P.foo)", v)
+	}
+}

@@ -39,10 +39,15 @@ var (
 	nullValue      Value = Null{}
 )
 
-// smallNumbers interns the Values of small non-negative integers — loop
-// counters, indexes, lengths — because boxing a float64 into an interface
+// smallNumbers interns the Values of small integers — loop counters,
+// indexes, lengths, deltas — because boxing a float64 into an interface
 // heap-allocates for every bit pattern Go's runtime does not intern.
-const smallNumberLimit = 4096
+// Negatives get a smaller table: they appear as step values and sentinel
+// results (-1), not as index ranges.
+const (
+	smallNumberLimit   = 4096
+	smallNegativeLimit = 512
+)
 
 var smallNumbers = func() []Value {
 	t := make([]Value, smallNumberLimit)
@@ -52,12 +57,25 @@ var smallNumbers = func() []Value {
 	return t
 }()
 
+var smallNegatives = func() []Value {
+	t := make([]Value, smallNegativeLimit)
+	for i := range t {
+		t[i] = float64(-i)
+	}
+	return t
+}()
+
 // boxNumber converts a float64 to a Value without allocating for small
 // integers. Negative zero is excluded so the interned +0 cannot leak into
 // sign-observable arithmetic (1/-0 === -Infinity).
 func boxNumber(f float64) Value {
-	if i := int(f); float64(i) == f && i >= 0 && i < smallNumberLimit && (i != 0 || !math.Signbit(f)) {
-		return smallNumbers[i]
+	if i := int(f); float64(i) == f {
+		if i >= 0 && i < smallNumberLimit && (i != 0 || !math.Signbit(f)) {
+			return smallNumbers[i]
+		}
+		if i < 0 && i > -smallNegativeLimit {
+			return smallNegatives[-i]
+		}
 	}
 	return f
 }
@@ -74,21 +92,34 @@ type Prop struct {
 	Enumerable bool
 }
 
-// Closure is the code and environment of a JavaScript function.
+// Closure is the code and environment of a JavaScript function. The code —
+// name, parameters, body, arrow-ness, frame layout — lives in the shared
+// *ast.Func; duplicating those fields here would cost ~80 bytes per
+// closure, and instrumented programs create closures on every call.
 type Closure struct {
-	Name   string
-	Params []string
-	Body   []ast.Stmt
-	Env    *Env
-	Arrow  bool
-	Self   *Object // the function object, for named-expression self-reference
-
-	// Scope is the resolver's frame layout; nil means calls build dynamic
-	// map frames.
-	Scope *ast.ScopeInfo
+	Decl *ast.Func
+	Env  *Env
+	Self *Object // the function object, for named-expression self-reference
 
 	hoisted *hoistInfo // lazily computed var/function hoisting data
 }
+
+// Name returns the function's declared name ("" for anonymous).
+func (c *Closure) Name() string { return c.Decl.Name }
+
+// Params returns the parameter names.
+func (c *Closure) Params() []string { return c.Decl.Params }
+
+// Body returns the function body.
+func (c *Closure) Body() []ast.Stmt { return c.Decl.Body }
+
+// Arrow reports whether this is an arrow function (lexical this, no
+// arguments object).
+func (c *Closure) Arrow() bool { return c.Decl.Arrow }
+
+// Scope returns the resolver's frame layout; nil means calls build dynamic
+// map frames.
+func (c *Closure) Scope() *ast.ScopeInfo { return c.Decl.Scope }
 
 // Object is everything with identity: plain objects, arrays, functions,
 // errors, and the arguments object.
@@ -96,8 +127,20 @@ type Object struct {
 	Class string // "Object", "Array", "Function", "Error", "Arguments", ...
 	Proto *Object
 
-	props map[string]*Prop
-	keys  []string // insertion order, for for-in
+	// shape describes the own-property layout (see shape.go); slot i of
+	// slots holds the property named shape.keys[i]. A nil shape means the
+	// object has never had an own property.
+	shape *Shape
+	slots []Prop
+
+	// shapeRoot is the root of the transition tree for objects whose
+	// prototype is this object (lazily created by emptyShapeFor).
+	shapeRoot *Shape
+
+	// usedAsProto is set the first time an inline-cache fill walks across
+	// this object as part of a prototype chain; from then on, layout changes
+	// here bump protoEpoch to invalidate chain caches.
+	usedAsProto bool
 
 	// Elems backs Array and Arguments objects.
 	Elems []Value
@@ -120,37 +163,85 @@ func NewObject(proto *Object) *Object {
 // IsCallable reports whether o can be applied.
 func (o *Object) IsCallable() bool { return o != nil && (o.Fn != nil || o.Native != nil) }
 
-// Own returns the own property slot for key, or nil.
+// Own returns the own property slot for key, or nil. The pointer is only
+// valid until the next property addition (which may grow the slots array);
+// callers read or write through it immediately.
 func (o *Object) Own(key string) *Prop {
-	if o.props == nil {
-		return nil
+	if i := o.shape.slotOf(key); i >= 0 {
+		return &o.slots[i]
 	}
-	return o.props[key]
+	return nil
+}
+
+// ensureShape materializes the empty root shape so the object can
+// participate in shape compares before its first property.
+func (o *Object) ensureShape() *Shape {
+	if o.shape == nil {
+		o.shape = emptyShapeFor(o.Proto)
+	}
+	return o.shape
 }
 
 // SetOwn defines or overwrites an own enumerable data property.
 func (o *Object) SetOwn(key string, v Value) {
-	o.setSlot(key, &Prop{Value: v, Enumerable: true})
+	o.setSlot(key, Prop{Value: v, Enumerable: true})
 }
 
 // SetHidden defines a non-enumerable data property (builtin methods).
 func (o *Object) SetHidden(key string, v Value) {
-	o.setSlot(key, &Prop{Value: v, Enumerable: false})
+	o.setSlot(key, Prop{Value: v, Enumerable: false})
 }
 
 // SetAccessor installs a getter/setter pair (either may be nil).
 func (o *Object) SetAccessor(key string, getter, setter *Object, enumerable bool) {
-	o.setSlot(key, &Prop{Getter: getter, Setter: setter, Enumerable: enumerable})
+	o.setSlot(key, Prop{Getter: getter, Setter: setter, Enumerable: enumerable})
 }
 
-func (o *Object) setSlot(key string, p *Prop) {
-	if o.props == nil {
-		o.props = make(map[string]*Prop)
+func (o *Object) setSlot(key string, p Prop) {
+	o.ensureShape()
+	if i, ok := o.shape.index[key]; ok {
+		if isAccessor(&o.slots[i]) != isAccessor(&p) {
+			// The property changes kind in place; fork the shape so cached
+			// fast paths that assumed the old kind stop matching.
+			o.shape = o.shape.fork()
+			if o.usedAsProto {
+				bumpProtoEpoch()
+			}
+		}
+		o.slots[i] = p
+		return
 	}
-	if _, exists := o.props[key]; !exists {
-		o.keys = append(o.keys, key)
+	o.shape = o.shape.transition(key)
+	if o.slots == nil {
+		// Objects typically grow a handful of properties right after
+		// creation; starting at capacity 4 turns the 1→2→4 append
+		// reallocation ladder into a single allocation.
+		o.slots = make([]Prop, 0, 4)
 	}
-	o.props[key] = p
+	o.slots = append(o.slots, p)
+	if o.usedAsProto {
+		bumpProtoEpoch()
+	}
+}
+
+func isAccessor(p *Prop) bool { return p.Getter != nil || p.Setter != nil }
+
+// SetProto replaces the prototype, re-rooting the shape under the new
+// prototype's transition tree so every cache that guarded on the old shape
+// (and therefore on the old prototype) misses.
+func (o *Object) SetProto(proto *Object) {
+	if o.Proto == proto {
+		return
+	}
+	o.Proto = proto
+	if o.shape != nil {
+		ns := emptyShapeFor(proto)
+		for _, k := range o.shape.keys {
+			ns = ns.transition(k)
+		}
+		o.shape = ns
+	}
+	bumpProtoEpoch()
 }
 
 // OwnOrLazy returns the own property slot for key, materializing the own
@@ -161,30 +252,44 @@ func (o *Object) setSlot(key string, p *Prop) {
 // .prototype is also lazy but needs the interpreter to build an object, so
 // it materializes in objGet.
 func (o *Object) OwnOrLazy(key string) *Prop {
-	if p := o.Own(key); p != nil {
-		return p
-	}
-	if key == "length" && o.Fn != nil {
-		o.SetHidden("length", float64(len(o.Fn.Params)))
-		return o.Own("length")
+	if i := o.ownOrLazySlot(key); i >= 0 {
+		return &o.slots[i]
 	}
 	return nil
 }
 
-// Delete removes an own property and reports whether it existed.
+// ownOrLazySlot is OwnOrLazy returning a slot index (for cache fills).
+func (o *Object) ownOrLazySlot(key string) int {
+	if i := o.shape.slotOf(key); i >= 0 {
+		return i
+	}
+	if key == "length" && o.Fn != nil {
+		o.SetHidden("length", float64(len(o.Fn.Params())))
+		return o.shape.slotOf(key)
+	}
+	return -1
+}
+
+// Delete removes an own property and reports whether it existed. The shape
+// is rebuilt from the root without the deleted key (compacting the slots
+// array to match), which both keeps later re-additions on the shared
+// transition tree and invalidates every cache that guarded on the old
+// shape.
 func (o *Object) Delete(key string) bool {
-	if o.props == nil {
+	i := o.shape.slotOf(key)
+	if i < 0 {
 		return false
 	}
-	if _, ok := o.props[key]; !ok {
-		return false
-	}
-	delete(o.props, key)
-	for i, k := range o.keys {
-		if k == key {
-			o.keys = append(o.keys[:i], o.keys[i+1:]...)
-			break
+	ns := o.shape.root
+	for _, k := range o.shape.keys {
+		if k != key {
+			ns = ns.transition(k)
 		}
+	}
+	o.slots = append(o.slots[:i], o.slots[i+1:]...)
+	o.shape = ns
+	if o.usedAsProto {
+		bumpProtoEpoch()
 	}
 	return true
 }
@@ -198,9 +303,11 @@ func (o *Object) OwnKeys() []string {
 			out = append(out, strconv.Itoa(i))
 		}
 	}
-	for _, k := range o.keys {
-		if p := o.props[k]; p != nil && p.Enumerable {
-			out = append(out, k)
+	if o.shape != nil {
+		for i, k := range o.shape.keys {
+			if o.slots[i].Enumerable {
+				out = append(out, k)
+			}
 		}
 	}
 	return out
@@ -262,3 +369,11 @@ type returnErr struct{ value Value }
 func (e *breakErr) Error() string    { return "break " + e.label }
 func (e *continueErr) Error() string { return "continue " + e.label }
 func (e *returnErr) Error() string   { return "return" }
+
+// Unlabeled break/continue — the overwhelmingly common case — are interned
+// so loop control never allocates. The structs are immutable after
+// creation, so sharing is safe.
+var (
+	breakUnlabeled    = &breakErr{}
+	continueUnlabeled = &continueErr{}
+)

@@ -710,6 +710,16 @@ func (p *parser) arrayLiteral() ast.Expr {
 	t := p.expect(lexer.Punct, "[")
 	arr := &ast.Array{P: posOf(t)}
 	for !p.atPunct("]") {
+		// Elision: a comma where an element would start contributes a hole
+		// (nil Expr). A single comma after the last element is the usual
+		// trailing comma and adds nothing, which this loop structure gets
+		// right: `[1,,]` parses the 1, eats its separator, then sees one
+		// more comma before `]` — one hole, length 2.
+		if p.atPunct(",") {
+			p.eat(lexer.Punct, ",")
+			arr.Elems = append(arr.Elems, nil)
+			continue
+		}
 		arr.Elems = append(arr.Elems, p.assignExpr(false))
 		if !p.eat(lexer.Punct, ",") {
 			break

@@ -368,3 +368,34 @@ func TestPositionsRecorded(t *testing.T) {
 		t.Error("second statement line")
 	}
 }
+
+func TestArrayElisions(t *testing.T) {
+	cases := []struct {
+		src   string
+		holes []bool // per element: true = hole
+	}{
+		{"[,1]", []bool{true, false}},
+		{"[1,,3]", []bool{false, true, false}},
+		{"[1,,]", []bool{false, true}},
+		{"[,]", []bool{true}},
+		{"[1,]", []bool{false}},
+		{"[,,]", []bool{true, true}},
+	}
+	for _, c := range cases {
+		e, err := ParseExpr(c.src)
+		if err != nil {
+			t.Errorf("%s: %v", c.src, err)
+			continue
+		}
+		arr := e.(*ast.Array)
+		if len(arr.Elems) != len(c.holes) {
+			t.Errorf("%s: length %d, want %d", c.src, len(arr.Elems), len(c.holes))
+			continue
+		}
+		for i, hole := range c.holes {
+			if (arr.Elems[i] == nil) != hole {
+				t.Errorf("%s: element %d hole=%v, want %v", c.src, i, arr.Elems[i] == nil, hole)
+			}
+		}
+	}
+}

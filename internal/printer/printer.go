@@ -163,7 +163,15 @@ func (p *printer) exprRaw(e ast.Expr) {
 			if i > 0 {
 				p.b.WriteString(", ")
 			}
+			if el == nil {
+				continue // elision: the separators alone encode the hole
+			}
 			p.expr(el, precAssign)
+		}
+		// A trailing hole needs one more comma: `[1, ]` would re-parse at
+		// length 1, `[1, , ]` at length 2.
+		if len(n.Elems) > 0 && n.Elems[len(n.Elems)-1] == nil {
+			p.b.WriteString(", ")
 		}
 		p.b.WriteByte(']')
 	case *ast.Object:
@@ -629,8 +637,25 @@ func propKey(key string) string {
 
 // FormatNumber renders a float64 the way JavaScript's ToString does for the
 // values this repository produces (finite doubles, NaN, infinities).
+// smallIntStrings interns the decimal strings of small integers, the
+// workhorse results of number-to-string coercion (array keys, counters in
+// console output).
+var smallIntStrings = func() [1024]string {
+	var t [1024]string
+	for i := range t {
+		t[i] = strconv.Itoa(i)
+	}
+	return t
+}()
+
 func FormatNumber(v float64) string {
 	switch {
+	case v == 0:
+		// Both zeros stringify to "0" (ES5 §9.8.1): String(-0) is "0", and
+		// o[-0] must read the same property as o[0].
+		return "0"
+	case v == math.Trunc(v) && v > 0 && v < float64(len(smallIntStrings)):
+		return smallIntStrings[int(v)]
 	case math.IsNaN(v):
 		return "NaN"
 	case math.IsInf(v, 1):

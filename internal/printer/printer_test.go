@@ -154,3 +154,24 @@ func TestNegativeNumberMember(t *testing.T) {
 		t.Fatalf("negative receiver must reparse: %s (%v)", out, err)
 	}
 }
+
+func TestElisionRoundTrip(t *testing.T) {
+	// A printed elision must re-parse to the same element count: a
+	// trailing hole needs its extra comma (`[1, , ]`, not `[1, ]`).
+	for _, src := range []string{"x = [,1]", "x = [1,,3]", "x = [1,,]", "x = [,]", "x = [,,]"} {
+		p1, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		printed := Print(p1)
+		p2, err := parser.Parse(printed)
+		if err != nil {
+			t.Fatalf("%s → %q: %v", src, printed, err)
+		}
+		arr1 := p1.Body[0].(*ast.ExprStmt).X.(*ast.Assign).Value.(*ast.Array)
+		arr2 := p2.Body[0].(*ast.ExprStmt).X.(*ast.Assign).Value.(*ast.Array)
+		if len(arr1.Elems) != len(arr2.Elems) {
+			t.Errorf("%s → %q: %d elems re-parsed as %d", src, printed, len(arr1.Elems), len(arr2.Elems))
+		}
+	}
+}

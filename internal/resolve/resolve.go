@@ -26,7 +26,25 @@
 // runtime — so references that reach the top are left unresolved.
 package resolve
 
-import "repro/internal/ast"
+import (
+	"sync/atomic"
+
+	"repro/internal/ast"
+)
+
+// Inline-cache site IDs. Every non-computed member access and every
+// proved-global identifier reference gets a process-unique positive ID; the
+// interpreter owns one cache entry per ID (per realm), so two realms
+// executing the same tree never share cache state, while re-executing a
+// site in one realm always lands on the same entry. IDs are process-unique
+// rather than per-program because one realm runs many resolved trees (the
+// prelude, the main program, every eval'd fragment) and their sites must
+// not collide. 0 is reserved for "no cache" — the zero value of
+// unresolved/hand-built nodes.
+var (
+	memberSites atomic.Uint32
+	globalSites atomic.Uint32
+)
 
 // Program resolves every function in prog in place.
 func Program(p *ast.Program) {
@@ -237,6 +255,16 @@ func resolveExpr(e ast.Expr, sc *scope) {
 	case nil:
 	case *ast.Ident:
 		n.Ref = lookup(sc, n.Name)
+		if n.Ref.Global() && n.Site == 0 {
+			n.Site = globalSites.Add(1)
+		}
+	case *ast.Number:
+		// Pre-box literals once so evaluation never re-allocates the
+		// interface box. Safe to fill here: resolution runs before
+		// execution and the annotation is read-only afterward.
+		n.Boxed = n.Value
+	case *ast.Str:
+		n.Boxed = n.Value
 	case *ast.This:
 		n.Ref = lookup(sc, "this")
 	case *ast.NewTarget:
@@ -282,6 +310,8 @@ func resolveExpr(e ast.Expr, sc *scope) {
 		resolveExpr(n.X, sc)
 		if n.Computed {
 			resolveExpr(n.Index, sc)
+		} else if n.Site == 0 {
+			n.Site = memberSites.Add(1)
 		}
 	case *ast.Seq:
 		for _, x := range n.Exprs {

@@ -116,10 +116,10 @@ func (r *R) installNatives() {
 	// access plus accessor lookup, so the $get/$set prelude can invoke user
 	// getters as ordinary instrumented calls.
 	in.DefineGlobal("$lookupGetter", in.NewNative("$lookupGetter", func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
-		return lookupAccessor(args, false)
+		return lookupAccessor(in, args, false)
 	}))
 	in.DefineGlobal("$lookupSetter", in.NewNative("$lookupSetter", func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
-		return lookupAccessor(args, true)
+		return lookupAccessor(in, args, true)
 	}))
 	in.DefineGlobal("$rawGet", in.NewNative("$rawGet", func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
 		if len(args) < 2 {
@@ -129,7 +129,7 @@ func (r *R) installNatives() {
 		if err != nil {
 			return nil, err
 		}
-		return rawGet(in, args[0], key)
+		return in.RawGet(args[0], key)
 	}))
 	in.DefineGlobal("$rawSet", in.NewNative("$rawSet", func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
 		if len(args) < 3 {
@@ -146,81 +146,17 @@ func (r *R) installNatives() {
 	}))
 }
 
-// rawGet reads a data property without ever invoking a user getter — the
-// $get prelude invokes accessors itself, as instrumented calls. Primitive
-// receivers go through the normal path (their prototypes hold only
-// natives).
-func rawGet(in *interp.Interp, base interp.Value, key string) (interp.Value, error) {
-	o, ok := base.(*interp.Object)
-	if !ok {
-		return in.GetMember(base, key)
-	}
-	if o.Class == "Array" || o.Class == "Arguments" {
-		if key == "length" && o.Own("length") == nil {
-			return float64(len(o.Elems)), nil
-		}
-		if i, isIdx := arrayIndexKey(key); isIdx && i < len(o.Elems) {
-			return o.Elems[i], nil
-		}
-	}
-	for p := o; p != nil; p = p.Proto {
-		if slot := p.OwnOrLazy(key); slot != nil {
-			if slot.Getter != nil || slot.Setter != nil {
-				return interp.Undefined{}, nil
-			}
-			return slot.Value, nil
-		}
-	}
-	if key == "prototype" && o.IsCallable() {
-		return in.GetMember(o, key) // materialize the lazy prototype
-	}
-	return interp.Undefined{}, nil
-}
-
-func arrayIndexKey(key string) (int, bool) {
-	if key == "" || len(key) > 9 {
-		return 0, false
-	}
-	n := 0
-	for i := 0; i < len(key); i++ {
-		c := key[i]
-		if c < '0' || c > '9' {
-			return 0, false
-		}
-		n = n*10 + int(c-'0')
-	}
-	if len(key) > 1 && key[0] == '0' {
-		return 0, false
-	}
-	return n, true
-}
-
-// lookupAccessor walks the prototype chain for a getter or setter without
-// invoking it.
-func lookupAccessor(args []interp.Value, setter bool) (interp.Value, error) {
+// lookupAccessor finds a getter or setter on the prototype chain without
+// invoking it. The walk itself lives in interp.LookupAccessor so it shares
+// the interpreter's shape-aware path cache — property layout is a private
+// concern of the interpreter now that objects are shape-and-slots backed.
+func lookupAccessor(in *interp.Interp, args []interp.Value, setter bool) (interp.Value, error) {
 	if len(args) < 2 {
-		return interp.Undefined{}, nil
-	}
-	o, ok := args[0].(*interp.Object)
-	if !ok {
 		return interp.Undefined{}, nil
 	}
 	key, ok := args[1].(string)
 	if !ok {
 		return interp.Undefined{}, nil
 	}
-	for p := o; p != nil; p = p.Proto {
-		if slot := p.Own(key); slot != nil {
-			if setter && slot.Setter != nil {
-				return slot.Setter, nil
-			}
-			if !setter && slot.Getter != nil {
-				return slot.Getter, nil
-			}
-			if slot.Getter == nil && slot.Setter == nil {
-				return interp.Undefined{}, nil // plain data property shadows
-			}
-		}
-	}
-	return interp.Undefined{}, nil
+	return in.LookupAccessor(args[0], key, setter), nil
 }
