@@ -121,6 +121,21 @@ func TestPropertySemanticsThroughCaches(t *testing.T) {
 			`var proto={}; var o=Object.create(proto); function wr(q,v){q.z=v;} wr(o,1); var o2=Object.create(proto);
 			 Object.defineProperty(proto,"z",{set:function(v){this.got=v;}}); wr(o2,5); console.log(o2.z, o2.got, o.z);`,
 			"undefined 5 1\n"},
+		{"set-ic-warm-site-vs-accessor-object",
+			`function w(o,v){o.x=v;} var a={x:0}; w(a,1); w(a,2); var called=false;
+			 var b={set x(v){called=true;}}; w(b,3); console.log(called, b.x, a.x);`,
+			"true undefined 2\n"},
+		{"set-ic-accessor-survives-delete-rebuild",
+			`function w(o,v){o.x=v;} var d={x:0}; w(d,1); w(d,2);
+			 var o={x:0,y:0}; var got; Object.defineProperty(o,"x",{set:function(v){got=v;}});
+			 delete o.y; w(o,9); console.log(got, o.x);`,
+			"9 undefined\n"},
+		{"set-ic-accessor-survives-proto-swap",
+			`function w(o,v){o.x=v;} var P={};
+			 var d=Object.create(P); d.x=0; w(d,1); w(d,2);
+			 var got; var q={x:0}; Object.defineProperty(q,"x",{set:function(v){got=v;}});
+			 Object.setPrototypeOf(q,P); w(q,7); console.log(got, q.x);`,
+			"7 undefined\n"},
 		{"global-cell",
 			`g1=5; function f(){return g1;} var s=0; for(var i=0;i<10;i++)s+=f(); g1=1; console.log(s+f());`,
 			"51\n"},

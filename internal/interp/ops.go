@@ -786,8 +786,9 @@ func (in *Interp) setMemberSite(base Value, key string, v Value, site uint32) er
 		c = in.icSetAt(site)
 		if c.shape == shape {
 			if c.next == nil {
-				// Existing own data property (data-ness is shape-stable:
-				// conversions fork the shape).
+				// Existing own data property. Data-ness is shape-stable:
+				// transition edges encode property kind, so an object with
+				// an accessor at this key can never share this shape.
 				o.slots[c.slot].Value = v
 				return nil
 			}

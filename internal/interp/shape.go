@@ -19,15 +19,18 @@ import "sync/atomic"
 // different Shape pointer:
 //
 //   - adding a property follows (or creates) a transition edge to a child
-//     shape;
+//     shape; the edge is keyed by (name, kind), so a data property and an
+//     accessor property of the same name reach different shapes and
+//     accessor-ness is a shape-stable fact — cached fast paths never need
+//     to re-check it beyond the shape compare;
 //   - deleting a property rebuilds the shape from the root without the
-//     deleted key (and compacts the slots array to match);
-//   - converting a data property to an accessor, or back, forks the shape
-//     to a fresh identity with the same layout, so accessor-ness is a
-//     shape-stable fact and cached fast paths never need to re-check it
-//     beyond the shape compare;
+//     deleted key (and compacts the slots array to match), replaying each
+//     surviving key with its recorded kind;
+//   - converting a data property to an accessor, or back, rebuilds the
+//     shape from the root with the new kind on that key's edge — the
+//     object lands on a different (but canonical, shareable) shape;
 //   - changing the prototype re-roots the shape under the new prototype's
-//     transition tree.
+//     transition tree, again replaying kinds.
 //
 // Prototype-chain caches (a hit found on a holder object some hops up the
 // chain) additionally guard on the holder's shape and on protoEpoch, a
@@ -46,12 +49,24 @@ import "sync/atomic"
 // Shape is one node of a transition tree: the layout of every object that
 // was built by the same sequence of property additions.
 type Shape struct {
-	root  *Shape         // the empty shape this tree grew from
-	keys  []string       // own keys in insertion order; slot i holds keys[i]
-	index map[string]int // key → slot; nil for the empty root
+	root     *Shape         // the empty shape this tree grew from
+	keys     []string       // own keys in insertion order; slot i holds keys[i]
+	accessor []bool         // accessor[i]: slot i holds a getter/setter pair
+	index    map[string]int // key → slot; nil for the empty root
 
-	// transitions maps a key to the child shape reached by adding it.
-	transitions map[string]*Shape
+	// transitions maps a (key, kind) edge to the child shape reached by
+	// adding that property. Kind is part of the edge so accessor-bearing
+	// objects never share a shape with data-shaped ones: the set-IC's
+	// own-property fast path writes slots[slot].Value on a bare shape
+	// compare, which is only sound if the compare also proves data-ness.
+	transitions map[shapeEdge]*Shape
+}
+
+// shapeEdge identifies a transition: the property name plus whether the
+// property is an accessor.
+type shapeEdge struct {
+	key      string
+	accessor bool
 }
 
 // protoEpoch invalidates prototype-chain cache entries that shape identity
@@ -80,10 +95,12 @@ func emptyShapeFor(proto *Object) *Shape {
 	return proto.shapeRoot
 }
 
-// transition returns the shape reached by adding key, creating and caching
-// the edge on first use. The new key's slot is len(s.keys).
-func (s *Shape) transition(key string) *Shape {
-	if c, ok := s.transitions[key]; ok {
+// transition returns the shape reached by adding key with the given kind,
+// creating and caching the edge on first use. The new key's slot is
+// len(s.keys).
+func (s *Shape) transition(key string, accessor bool) *Shape {
+	e := shapeEdge{key, accessor}
+	if c, ok := s.transitions[e]; ok {
 		return c
 	}
 	idx := make(map[string]int, len(s.keys)+1)
@@ -92,23 +109,36 @@ func (s *Shape) transition(key string) *Shape {
 	}
 	idx[key] = len(s.keys)
 	c := &Shape{
-		root:  s.root,
-		keys:  append(s.keys[:len(s.keys):len(s.keys)], key),
-		index: idx,
+		root:     s.root,
+		keys:     append(s.keys[:len(s.keys):len(s.keys)], key),
+		accessor: append(s.accessor[:len(s.accessor):len(s.accessor)], accessor),
+		index:    idx,
 	}
 	if s.transitions == nil {
-		s.transitions = make(map[string]*Shape, 1)
+		s.transitions = make(map[shapeEdge]*Shape, 1)
 	}
-	s.transitions[key] = c
+	s.transitions[e] = c
 	return c
 }
 
-// fork returns a shape with the same layout but a fresh identity, severing
-// every inline-cache entry that guarded on s. Used when a property changes
-// kind (data ↔ accessor) in place, which adds no key but invalidates the
-// accessor-ness that cached fast paths rely on.
-func (s *Shape) fork() *Shape {
-	return &Shape{root: s.root, keys: s.keys, index: s.index}
+// rebuild returns the shape reached by replaying s's properties onto base,
+// preserving each key's recorded kind — the invariant every rebuild must
+// uphold, since the set-IC's direct slot write trusts shape identity to
+// prove data-ness. skip drops that slot's key (delete); flip re-keys that
+// slot's edge with the opposite kind (in-place data↔accessor conversion);
+// pass -1 for either to leave all slots as recorded.
+func (s *Shape) rebuild(base *Shape, skip, flip int) *Shape {
+	for j, k := range s.keys {
+		if j == skip {
+			continue
+		}
+		kind := s.accessor[j]
+		if j == flip {
+			kind = !kind
+		}
+		base = base.transition(k, kind)
+	}
+	return base
 }
 
 // slotOf returns the slot index of key, or -1.

@@ -66,7 +66,7 @@ func TestShapeDeleteRebuildsAndResharesTree(t *testing.T) {
 	}
 }
 
-func TestShapeAccessorConversionForks(t *testing.T) {
+func TestShapeAccessorConversionChangesShape(t *testing.T) {
 	in := newTestInterp()
 	a := in.NewPlainObject()
 	a.SetOwn("x", 1.0)
@@ -76,12 +76,130 @@ func TestShapeAccessorConversionForks(t *testing.T) {
 	})
 	a.SetAccessor("x", getter, nil, true)
 	if a.shape == before {
-		t.Fatal("data→accessor conversion must fork the shape")
+		t.Fatal("data→accessor conversion must change the shape")
 	}
 	mid := a.shape
 	a.SetOwn("x", 2.0)
 	if a.shape == mid {
-		t.Fatal("accessor→data conversion must fork the shape")
+		t.Fatal("accessor→data conversion must change the shape")
+	}
+	// Kind rides on the transition edge, so the conversion back lands on
+	// the canonical data shape — shared with objects built as {x: data}.
+	if a.shape != before {
+		t.Fatalf("accessor→data conversion should rejoin the data-shaped tree: %p vs %p", a.shape, before)
+	}
+	// And an object built directly with an accessor shares the accessor
+	// shape, never the data one.
+	b := in.NewPlainObject()
+	b.SetAccessor("x", getter, nil, true)
+	if b.shape != mid {
+		t.Fatalf("accessor-built object should share the accessor shape: %p vs %p", b.shape, mid)
+	}
+	if b.shape == before {
+		t.Fatal("accessor-bearing object must not share a shape with data-shaped objects")
+	}
+}
+
+func TestSetICNeverBypassesAccessorSharingCreationPath(t *testing.T) {
+	// Regression: a warm set-IC site filled by data-shaped objects must not
+	// write through the cached slot when it later sees an object whose same-
+	// named property is an accessor. Before transition edges encoded kind,
+	// {x: data} and {set x(){}} shared a shape and the fast path silently
+	// overwrote the accessor slot's Value.
+	in := newTestInterp()
+	const site = 29
+	write := func(o *Object, v Value) {
+		if err := in.setMemberSite(o, "x", v, site); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := in.NewPlainObject()
+	a.SetOwn("x", 0.0)
+	write(a, 1.0) // fills the own-hit entry
+	write(a, 2.0) // warm hit
+	if a.Own("x").Value != 2.0 {
+		t.Fatal("warm data write failed")
+	}
+	var got Value = Undefined{}
+	setter := in.NewNative("s", func(in *Interp, this Value, args []Value) (Value, error) {
+		got = args[0]
+		return Undefined{}, nil
+	})
+	b := in.NewPlainObject()
+	b.SetAccessor("x", nil, setter, true)
+	if b.shape == a.shape {
+		t.Fatal("accessor object must not share the data object's shape")
+	}
+	write(b, 3.0)
+	if got != 3.0 {
+		t.Fatalf("setter not invoked through warm set site; got %v", got)
+	}
+	if p := b.Own("x"); p == nil || p.Setter == nil || p.Value != nil {
+		t.Fatalf("accessor slot corrupted by cached write: %+v", p)
+	}
+}
+
+func TestDeleteAndSetProtoPreserveAccessorShape(t *testing.T) {
+	// Regression: Delete and SetProto rebuild the shape by replaying
+	// transition edges; the replay must preserve each key's kind so an
+	// accessor-bearing object never rejoins the data-shaped tree.
+	in := newTestInterp()
+	const site = 31
+	write := func(o *Object, v Value) {
+		if err := in.setMemberSite(o, "x", v, site); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got Value = Undefined{}
+	setter := in.NewNative("s", func(in *Interp, this Value, args []Value) (Value, error) {
+		got = args[0]
+		return Undefined{}, nil
+	})
+
+	// Warm the site with data-shaped {x} objects.
+	d := in.NewPlainObject()
+	d.SetOwn("x", 0.0)
+	write(d, 1.0)
+	write(d, 2.0)
+
+	// o: x converted to accessor in place, then another key deleted — the
+	// rebuild must keep x's accessor-ness in the shape identity.
+	o := in.NewPlainObject()
+	o.SetOwn("x", 0.0)
+	o.SetOwn("y", 0.0)
+	o.SetAccessor("x", nil, setter, true)
+	o.Delete("y")
+	if o.shape == d.shape {
+		t.Fatal("post-delete shape must not rejoin the data-shaped tree")
+	}
+	write(o, 9.0)
+	if got != 9.0 {
+		t.Fatalf("setter not invoked after delete-rebuild; got %v", got)
+	}
+	if p := o.Own("x"); p == nil || p.Setter == nil || p.Value != nil {
+		t.Fatalf("accessor slot corrupted after delete-rebuild: %+v", p)
+	}
+
+	// Same for the SetProto re-rooting rebuild. Warm the site with a data
+	// {x} object under the NEW prototype: q's rebuilt shape lives in p2's
+	// transition tree, so a kind-dropping rebuild would land q exactly on
+	// the warmed data shape and the fast path would bypass the setter.
+	got = Undefined{}
+	p2 := in.NewPlainObject()
+	e := NewObject(p2)
+	e.SetOwn("x", 0.0)
+	write(e, 1.0)
+	write(e, 2.0)
+	q := in.NewPlainObject()
+	q.SetOwn("x", 0.0)
+	q.SetAccessor("x", nil, setter, true)
+	q.SetProto(p2)
+	if q.shape == e.shape {
+		t.Fatal("post-SetProto shape must not rejoin the new prototype's data-shaped tree")
+	}
+	write(q, 7.0)
+	if got != 7.0 {
+		t.Fatalf("setter not invoked after SetProto rebuild; got %v", got)
 	}
 }
 

@@ -200,10 +200,14 @@ func (o *Object) SetAccessor(key string, getter, setter *Object, enumerable bool
 func (o *Object) setSlot(key string, p Prop) {
 	o.ensureShape()
 	if i, ok := o.shape.index[key]; ok {
-		if isAccessor(&o.slots[i]) != isAccessor(&p) {
-			// The property changes kind in place; fork the shape so cached
-			// fast paths that assumed the old kind stop matching.
-			o.shape = o.shape.fork()
+		if o.shape.accessor[i] != isAccessor(&p) {
+			// The property changes kind in place; rebuild the shape from
+			// the root with the new kind on this key's edge. The object
+			// lands on a different (canonical) shape, so cached fast paths
+			// that assumed the old kind stop matching — and, because the
+			// kind rides on the transition edge, later rebuilds (Delete,
+			// SetProto) preserve it.
+			o.shape = o.shape.rebuild(o.shape.root, -1, i)
 			if o.usedAsProto {
 				bumpProtoEpoch()
 			}
@@ -211,7 +215,7 @@ func (o *Object) setSlot(key string, p Prop) {
 		o.slots[i] = p
 		return
 	}
-	o.shape = o.shape.transition(key)
+	o.shape = o.shape.transition(key, isAccessor(&p))
 	if o.slots == nil {
 		// Objects typically grow a handful of properties right after
 		// creation; starting at capacity 4 turns the 1→2→4 append
@@ -235,11 +239,7 @@ func (o *Object) SetProto(proto *Object) {
 	}
 	o.Proto = proto
 	if o.shape != nil {
-		ns := emptyShapeFor(proto)
-		for _, k := range o.shape.keys {
-			ns = ns.transition(k)
-		}
-		o.shape = ns
+		o.shape = o.shape.rebuild(emptyShapeFor(proto), -1, -1)
 	}
 	bumpProtoEpoch()
 }
@@ -280,12 +280,7 @@ func (o *Object) Delete(key string) bool {
 	if i < 0 {
 		return false
 	}
-	ns := o.shape.root
-	for _, k := range o.shape.keys {
-		if k != key {
-			ns = ns.transition(k)
-		}
-	}
+	ns := o.shape.rebuild(o.shape.root, i, -1)
 	o.slots = append(o.slots[:i], o.slots[i+1:]...)
 	o.shape = ns
 	if o.usedAsProto {
