@@ -5,7 +5,8 @@
 //	stopibench -quick                 # fast smoke pass
 //	stopibench -fig 2c                # one experiment (2a 2b 2c 5 7 10 11 12 13 14 15 strawmen codesize)
 //	stopibench -repeats 10            # paper-grade repetition
-//	stopibench -interp-bench F.json   # capture the interpreter perf baseline
+//	stopibench -backend bytecode      # force an execution engine for the figures
+//	stopibench -interp-bench F.json   # capture the interpreter perf baseline (both engines)
 //	stopibench -interp-check F.json   # re-measure and fail on >25% regression
 package main
 
@@ -16,10 +17,10 @@ import (
 	"os"
 	"runtime"
 	"strings"
-	"testing"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/core"
 )
 
 func main() {
@@ -27,10 +28,18 @@ func main() {
 		fig         = flag.String("fig", "all", "experiment to run (see Order in internal/bench)")
 		quick       = flag.Bool("quick", false, "small workloads, single repetition")
 		repeats     = flag.Int("repeats", 0, "timed runs per data point (default 5, paper uses 10)")
-		interpBench = flag.String("interp-bench", "", "write ns/op and allocs/op for the interpreter-bound figure benchmarks to this JSON file and exit")
+		backend     = flag.String("backend", "", "execution engine for the figures: tree or bytecode (default: $STOPIFY_BACKEND, else tree)")
+		interpBench = flag.String("interp-bench", "", "write ns/op and allocs/op for the interpreter-bound figure benchmarks, under both engines, to this JSON file and exit")
 		interpCheck = flag.String("interp-check", "", "re-measure the interpreter benchmarks and fail if any is >25% slower than this snapshot")
 	)
 	flag.Parse()
+
+	if *backend != "" {
+		// The figure experiments select their engine through RunConfig's
+		// environment default, so one setenv switches every run the
+		// harness makes.
+		os.Setenv("STOPIFY_BACKEND", *backend)
+	}
 
 	cfg := bench.DefaultConfig()
 	if *quick {
@@ -55,6 +64,8 @@ func main() {
 		return
 	}
 
+	fmt.Printf("execution engine: %s\n", activeBackend())
+
 	if *fig == "all" {
 		out, err := bench.RunAll(cfg)
 		fmt.Print(out)
@@ -77,7 +88,19 @@ func main() {
 	}
 }
 
-// interpBenchResult is one row of the interpreter perf baseline.
+// activeBackend names the engine the next run would use — the "which
+// engine ran" note in every stopibench output.
+func activeBackend() string {
+	if b := os.Getenv("STOPIFY_BACKEND"); b != "" {
+		return b
+	}
+	return core.BackendTree
+}
+
+// interpBenchResult is one row of the interpreter perf baseline. Tree-
+// walker rows keep the bare figure name ("Fig10Languages"); bytecode rows
+// are suffixed ("Fig10Languages@bytecode") so older snapshots without them
+// are skipped, not failed.
 type interpBenchResult struct {
 	Name        string `json:"name"`
 	NsPerOp     int64  `json:"ns_per_op"`
@@ -95,9 +118,15 @@ type interpBenchFile struct {
 	Benchmarks []interpBenchResult `json:"benchmarks"`
 }
 
-// measureInterpBench times the interpreter-bound figure benchmarks at quick
-// settings via testing.Benchmark — the same numbers `go test -bench` on the
-// root package reports.
+// interpBenchReps is how many times each (figure, engine) cell runs; the
+// minimum is recorded. Minimum-of-N with the engines interleaved is the
+// noise discipline for shared single-core runners: time-varying host load
+// inflates individual runs but affects both engines' minima equally.
+const interpBenchReps = 8
+
+// measureInterpBench times the interpreter-bound figure benchmarks at
+// quick settings under both execution engines, interleaved, reporting the
+// per-cell minimum.
 func measureInterpBench() ([]interpBenchResult, error) {
 	cfg := bench.QuickConfig()
 	figures := []struct {
@@ -110,30 +139,57 @@ func measureInterpBench() ([]interpBenchResult, error) {
 		}},
 		{"Fig13OctaneKraken", bench.Fig13OctaneKraken},
 	}
+	backends := []string{core.BackendTree, core.BackendBytecode}
+	prev, hadPrev := os.LookupEnv("STOPIFY_BACKEND")
+	defer func() {
+		if hadPrev {
+			os.Setenv("STOPIFY_BACKEND", prev)
+		} else {
+			os.Unsetenv("STOPIFY_BACKEND")
+		}
+	}()
 	var out []interpBenchResult
 	for _, f := range figures {
-		f := f
-		var failure error
-		r := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
+		type cell struct {
+			ns     int64
+			allocs int64
+			bytes  int64
+		}
+		mins := map[string]cell{}
+		for rep := 0; rep < interpBenchReps; rep++ {
+			for _, be := range backends {
+				os.Setenv("STOPIFY_BACKEND", be)
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				m0, a0 := ms.Mallocs, ms.TotalAlloc
+				start := time.Now()
 				if _, err := f.fn(cfg); err != nil {
-					failure = err
-					b.FailNow()
+					return nil, fmt.Errorf("%s (%s): %w", f.name, be, err)
+				}
+				ns := time.Since(start).Nanoseconds()
+				runtime.ReadMemStats(&ms)
+				cur, ok := mins[be]
+				if !ok || ns < cur.ns {
+					mins[be] = cell{
+						ns:     ns,
+						allocs: int64(ms.Mallocs - m0),
+						bytes:  int64(ms.TotalAlloc - a0),
+					}
 				}
 			}
-		})
-		if failure != nil {
-			return nil, fmt.Errorf("%s: %w", f.name, failure)
 		}
-		out = append(out, interpBenchResult{
-			Name:        f.name,
-			NsPerOp:     r.NsPerOp(),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-		})
-		fmt.Printf("%-20s %12d ns/op %10d allocs/op %12d B/op\n",
-			f.name, r.NsPerOp(), r.AllocsPerOp(), r.AllocedBytesPerOp())
+		for _, be := range backends {
+			name := f.name
+			if be != core.BackendTree {
+				name += "@" + be
+			}
+			m := mins[be]
+			out = append(out, interpBenchResult{
+				Name: name, NsPerOp: m.ns, AllocsPerOp: m.allocs, BytesPerOp: m.bytes,
+			})
+			fmt.Printf("%-30s %12d ns/op %10d allocs/op %12d B/op\n",
+				name, m.ns, m.allocs, m.bytes)
+		}
 	}
 	return out, nil
 }
@@ -147,7 +203,7 @@ func captureInterpBench(path string) error {
 	out := interpBenchFile{
 		CapturedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
-		Config:     "quick",
+		Config:     "quick min-of-" + fmt.Sprint(interpBenchReps),
 		Benchmarks: results,
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
@@ -186,11 +242,11 @@ func checkInterpBench(path string) error {
 	for _, r := range results {
 		b, ok := baseline[r.Name]
 		if !ok {
-			fmt.Printf("%-20s not in snapshot; skipping\n", r.Name)
+			fmt.Printf("%-30s not in snapshot; skipping\n", r.Name)
 			continue
 		}
 		ratio := float64(r.NsPerOp) / float64(b.NsPerOp)
-		fmt.Printf("%-20s %12d ns/op vs snapshot %12d (%.2fx)\n",
+		fmt.Printf("%-30s %12d ns/op vs snapshot %12d (%.2fx)\n",
 			r.Name, r.NsPerOp, b.NsPerOp, ratio)
 		if ratio > interpCheckTolerance {
 			failures = append(failures,

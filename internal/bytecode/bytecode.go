@@ -1,0 +1,448 @@
+// Package bytecode lowers resolved AST functions to a flat instruction
+// stream. It is the third coordinate-addressing pass of the interpreter
+// substrate: PR 1 replaced by-name scope lookups with (hops, slot) Refs,
+// PR 2 replaced by-name property lookups with shape-indexed inline-cache
+// sites, and this package replaces the tree-walker's recursive switch
+// dispatch with a linear fetch–execute loop over those same coordinates.
+// Per-instruction dispatch is also the layer production engines instrument
+// for dynamic analyses (cf. information-flow control in WebKit's JavaScript
+// bytecode), which is what the ROADMAP's follow-on analyses want.
+//
+// The compiler is strictly an acceleration layer, never a semantic one: it
+// consumes the exact tree the tree-walker would execute — after
+// internal/resolve has annotated it — and every construct it cannot lower
+// (currently try/finally and the rare unresolved declaration) is embedded
+// as an escape-hatch instruction that hands the original AST statement back
+// to the tree-walker, running in the same environment frame. A function the
+// compiler cannot handle at all simply yields no chunk and stays on the
+// tree-walker. Program semantics are identical either way; the differential
+// harness in internal/core enforces exactly that.
+//
+// The package knows nothing about the interpreter's runtime types: operand
+// meanings are documented here, but execution — including the shared
+// inline-cache arrays, engine cost charging, and environment frames — lives
+// in internal/interp's dispatch loop.
+package bytecode
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+)
+
+// Op is a bytecode opcode.
+type Op uint8
+
+// Opcodes. Stack effects are written [before] → [after], top of stack on
+// the right.
+const (
+	// OpNop does nothing (alignment/patching aid).
+	OpNop Op = iota
+
+	// --- constants and stack shuffling ---
+
+	// OpConst pushes Consts[A].
+	OpConst
+	// OpUndef pushes undefined.
+	OpUndef
+	// OpNull pushes null.
+	OpNull
+	// OpTrue pushes true.
+	OpTrue
+	// OpFalse pushes false.
+	OpFalse
+	// OpPop discards the top of stack.
+	OpPop
+	// OpDup duplicates the top: [a] → [a a].
+	OpDup
+	// OpDup2 duplicates the top pair: [a b] → [a b a b].
+	OpDup2
+	// OpDupX1 inserts a copy of the top under the next: [a b] → [b a b].
+	OpDupX1
+	// OpDupX2 inserts a copy of the top under the next two:
+	// [a b c] → [c a b c].
+	OpDupX2
+
+	// --- variables ---
+
+	// OpGetLocal pushes slot A of the current frame.
+	OpGetLocal
+	// OpSetLocal pops into slot A of the current frame.
+	OpSetLocal
+	// OpGetRef pushes the value at packed Ref A (hops > 0).
+	OpGetRef
+	// OpSetRef pops into packed Ref A.
+	OpSetRef
+	// OpGetGlobal pushes the proved-global binding Names[B], caching the
+	// global cell at inline-cache site A; ReferenceError when unbound.
+	OpGetGlobal
+	// OpSetGlobal pops into the proved-global binding Names[B] (site A),
+	// creating an implicit global when unbound.
+	OpSetGlobal
+	// OpGetDyn pushes the dynamically resolved binding Names[B];
+	// ReferenceError when unbound.
+	OpGetDyn
+	// OpSetDyn pops into the nearest binding of Names[B], creating an
+	// implicit global when unbound.
+	OpSetDyn
+	// OpTypeofGlobal pushes typeof of the proved-global Names[B] (site A),
+	// "undefined" when unbound.
+	OpTypeofGlobal
+	// OpTypeofDyn pushes typeof of the dynamic binding Names[B],
+	// "undefined" when unbound.
+	OpTypeofDyn
+	// OpThisDyn pushes the dynamic `this` binding (undefined when absent).
+	OpThisDyn
+	// OpNewTargetDyn pushes the dynamic `new.target` binding.
+	OpNewTargetDyn
+
+	// --- objects and properties ---
+
+	// OpClosure pushes a function object for Funcs[A] closed over the
+	// current environment.
+	OpClosure
+	// OpArray pops A elements and pushes an array of them.
+	OpArray
+	// OpNewObject pushes a fresh plain object.
+	OpNewObject
+	// OpSetProp pops a value and defines it as own property Names[A] of
+	// the object left on top: [obj v] → [obj].
+	OpSetProp
+	// OpSetAccessor installs Accessors[A] (an object-literal getter or
+	// setter) on the object on top of the stack: [obj] → [obj].
+	OpSetAccessor
+	// OpGetMember pops the base and pushes base[Names[A]] through
+	// inline-cache site B.
+	OpGetMember
+	// OpSetMember pops the base then a value and writes
+	// base[Names[A]] = value through site B: [v base] → [].
+	OpSetMember
+	// OpSetMemberKeep pops a value then the base, writes through site B,
+	// and pushes the value back: [base v] → [v]. Compound assignments and
+	// updates, which evaluate the base before the value, use it.
+	OpSetMemberKeep
+	// OpGetMethod pops the base and pushes the base back followed by
+	// base[Names[A]] (site B) — the receiver/callee pair of a method call:
+	// [base] → [base fn].
+	OpGetMethod
+	// OpGetMethodIndex is OpGetMethod for computed keys:
+	// [base idx] → [base fn].
+	OpGetMethodIndex
+	// OpGetIndex pops an index then the base and pushes base[index].
+	OpGetIndex
+	// OpSetIndex writes an indexed element: [v base idx] → [].
+	OpSetIndex
+	// OpSetIndexKeep writes an indexed element keeping the value:
+	// [base idx v] → [v].
+	OpSetIndexKeep
+	// OpToPropKey stringifies an object index eagerly (ToPrimitive may run
+	// user code, and compound references must run it exactly once);
+	// primitive indexes pass through untouched.
+	OpToPropKey
+	// OpDeleteMember pops the base and deletes base[Names[A]], pushing
+	// true.
+	OpDeleteMember
+	// OpDeleteIndex pops an index then the base, deletes base[index], and
+	// pushes true.
+	OpDeleteIndex
+
+	// --- calls ---
+
+	// OpCall calls a function with A arguments: [this fn a1..aA] → [ret].
+	OpCall
+	// OpNew constructs with A arguments: [fn a1..aA] → [ret].
+	OpNew
+	// OpReturn pops the return value and leaves the function.
+	OpReturn
+	// OpReturnUndef leaves the function returning undefined.
+	OpReturnUndef
+
+	// --- control flow ---
+
+	// OpJump continues at pc A.
+	OpJump
+	// OpJumpIfFalse pops a value and jumps to A when it is falsy.
+	OpJumpIfFalse
+	// OpJumpIfTrue pops a value and jumps to A when it is truthy.
+	OpJumpIfTrue
+	// OpJumpIfFalsyKeep jumps to A keeping the value when falsy, else pops
+	// (the && operator).
+	OpJumpIfFalsyKeep
+	// OpJumpIfTruthyKeep jumps to A keeping the value when truthy, else
+	// pops (the || operator).
+	OpJumpIfTruthyKeep
+
+	// --- operators ---
+
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpPow
+	OpLt
+	OpGt
+	OpLe
+	OpGe
+	OpEq
+	OpNe
+	OpStrictEq
+	OpStrictNe
+	OpBitAnd
+	OpBitOr
+	OpBitXor
+	OpShl
+	OpShr
+	OpUshr
+	OpInstanceof
+	OpIn
+	OpNot
+	OpNeg
+	OpToNumber
+	OpBitNot
+	OpVoid
+	OpTypeofVal
+
+	// --- statements, exceptions, iteration ---
+
+	// OpStmt marks A consecutive statement boundaries with no code between
+	// them: A interpreter steps, A work units, and the step-budget check —
+	// the bytecode engine's per-statement accounting must match the
+	// tree-walker's. B != 0 additionally charges BranchCost (the statement
+	// is an if whose test runs next).
+	OpStmt
+	// OpChargeBranch charges the engine's BranchCost (an if statement's
+	// test is about to run).
+	OpChargeBranch
+	// OpThrow pops a value and raises it as an exception.
+	OpThrow
+	// OpTry enters a try/catch region: a handler at pc A guards until the
+	// matching OpPopTry. The thrown value is pushed before entering the
+	// handler.
+	OpTry
+	// OpPopTry leaves a try/catch region normally.
+	OpPopTry
+	// OpEnterCatch pops the thrown value into slot 0 of a fresh catch
+	// frame laid out by Scopes[A]; the frame becomes current.
+	OpEnterCatch
+	// OpLeaveScope pops the current catch frame.
+	OpLeaveScope
+	// OpForInInit pops a value and pushes a property-name iterator over it
+	// (empty for non-objects).
+	OpForInInit
+	// OpForInNext pushes the iterator's next key, or jumps to A when
+	// exhausted (the iterator stays on the stack; the code at A pops it).
+	OpForInNext
+	// OpExecStmt executes Stmts[A] with the tree-walker in the current
+	// environment — the escape hatch for constructs the compiler does not
+	// lower (try/finally, unresolved declarations). Abrupt completions are
+	// translated back into bytecode control flow through JumpTabs[B].
+	OpExecStmt
+
+	// --- fused instructions ---
+	//
+	// Superinstructions for the sequences instrumented code executes on
+	// every mode-dispatch guard and continuation thunk; each replaces two
+	// to three plain instructions with one dispatch. The compiler emits
+	// them from AST shape alone, so they change no semantics.
+
+	// OpStrictEqConst pushes stack-top === Consts[A] (replacing
+	// OpConst+OpStrictEq).
+	OpStrictEqConst
+	// OpGlobalEqConst pushes <global Names[B], site A> === Consts[C] —
+	// the `$mode === "..."` guard at the top of every instrumented
+	// function and loop.
+	OpGlobalEqConst
+	// OpGetLocalMember pushes slot A's member Names[B] through site C.
+	OpGetLocalMember
+	// OpGetLocalMethod pushes slot A and its member Names[B] (site C) —
+	// the receiver/callee pair of a method call on a local.
+	OpGetLocalMethod
+	// OpCalleeGlobal pushes undefined (the `this` of a plain call) and
+	// the proved-global Names[B] (site A).
+	OpCalleeGlobal
+	// OpCalleeLocal pushes undefined and slot A.
+	OpCalleeLocal
+	// OpCall0Global calls the proved-global Names[B] (site A) with no
+	// arguments and undefined `this`, pushing the result — the shape of
+	// every `$suspend()` yield probe.
+	OpCall0Global
+	// OpCall0Local calls slot A with no arguments and undefined `this`,
+	// pushing the result — the shape of every continuation-thunk call.
+	OpCall0Local
+	// OpJumpGlobalNeConst jumps to A when <global, site B> !== Consts[C] —
+	// the complete `if ($mode === "...")` guard in one dispatch. The
+	// global's name, needed only on a cache miss, lives in
+	// GuardNames[pc of this instruction].
+	OpJumpGlobalNeConst
+	// OpConstSetLocal stores Consts[A] into slot B.
+	OpConstSetLocal
+	// OpClosureSetLocal stores a closure of Funcs[A] into slot B — the
+	// per-call `$locals`/`$reenter` thunk assignment.
+	OpClosureSetLocal
+	// OpSetLocalStmt stores into slot A, then marks B statement
+	// boundaries (C != 0 adds the BranchCost charge) — the ubiquitous
+	// assignment-then-next-statement sequence.
+	OpSetLocalStmt
+	// OpJumpIfFalseStmt pops a value and jumps to A when falsy; on the
+	// fall-through path it marks B statement boundaries (C != 0 adds
+	// BranchCost).
+	OpJumpIfFalseStmt
+	// OpStmtGetLocal marks B statement boundaries (C != 0 adds
+	// BranchCost), then pushes slot A.
+	OpStmtGetLocal
+	// OpStmtConst marks B statement boundaries (C != 0 adds BranchCost),
+	// then pushes Consts[A].
+	OpStmtConst
+)
+
+// Instr is one instruction. A, B, and C are opcode-specific operands: pc
+// targets, constant/name/function indexes, packed Refs, inline-cache sites,
+// or argument counts.
+type Instr struct {
+	Op      Op
+	A, B, C int32
+}
+
+// Accessor describes one getter or setter of an object literal.
+type Accessor struct {
+	Name   int32 // Names index of the property key
+	Fn     int32 // Funcs index of the accessor function literal
+	Setter bool
+}
+
+// JumpTarget is one enclosing breakable construct visible at an escape-
+// hatch instruction, with everything the dispatch loop needs to translate a
+// break/continue completion into the jump the compiler would have emitted:
+// target pcs plus the iterator pops, catch-scope pops, and handler pops the
+// jump must perform first.
+type JumpTarget struct {
+	Labels     []string // labels naming this construct ("" never appears)
+	Loop       bool     // accepts continue (labeled or not)
+	BreakPlain bool     // accepts unlabeled break (loops and switches)
+	BreakPC    int32
+	ContPC     int32 // -1 for non-loop targets
+	BreakFix   JumpFix
+	ContFix    JumpFix
+}
+
+// JumpFix is the unwinding a translated jump performs before continuing.
+type JumpFix struct {
+	PopIters    int // for-in iterators to pop off the value stack
+	LeaveScopes int // catch frames to leave
+	PopTries    int // try handlers to pop
+}
+
+// Chunk is the compiled form of one function body. The caller-side frame
+// protocol (parameter slots, this/new.target/arguments, hoisted function
+// declarations) is unchanged from the tree-walker: internal/interp sets up
+// the environment exactly as before and then either walks the tree or runs
+// the chunk.
+type Chunk struct {
+	Fn   *ast.Func
+	Code []Instr
+
+	Consts    []interface{}    // pre-boxed literal values
+	Names     []string         // property and global names
+	Funcs     []*ast.Func      // nested function literals, OpClosure operands
+	Scopes    []*ast.ScopeInfo // catch-clause frame layouts
+	Accessors []Accessor       // object-literal accessor properties
+	Stmts     []ast.Stmt       // escape-hatch statements (OpExecStmt)
+	JumpTabs  [][]JumpTarget   // per escape-hatch site, innermost first
+
+	// MaxStack is the exact operand-stack high-water mark; the dispatch
+	// loop carves a window of this size from its stack arena.
+	MaxStack int
+	// MaxTries is the try-handler high-water mark.
+	MaxTries int
+
+	// GuardNames maps the pc of an OpJumpGlobalNeConst to the Names index
+	// of its global, consulted only on an inline-cache miss.
+	GuardNames map[int32]int32
+}
+
+// opNames is the disassembly table.
+var opNames = [...]string{
+	OpNop: "nop", OpConst: "const", OpUndef: "undef", OpNull: "null",
+	OpTrue: "true", OpFalse: "false", OpPop: "pop", OpDup: "dup",
+	OpDup2: "dup2", OpDupX1: "dupx1", OpDupX2: "dupx2",
+	OpGetLocal: "getlocal", OpSetLocal: "setlocal",
+	OpGetRef: "getref", OpSetRef: "setref", OpGetGlobal: "getglobal",
+	OpSetGlobal: "setglobal", OpGetDyn: "getdyn", OpSetDyn: "setdyn",
+	OpTypeofGlobal: "typeofglobal", OpTypeofDyn: "typeofdyn",
+	OpThisDyn: "thisdyn", OpNewTargetDyn: "newtargetdyn",
+	OpClosure: "closure", OpArray: "array", OpNewObject: "newobject",
+	OpSetProp: "setprop", OpSetAccessor: "setaccessor",
+	OpGetMember: "getmember", OpSetMember: "setmember",
+	OpSetMemberKeep: "setmemberkeep", OpGetMethod: "getmethod",
+	OpGetIndex: "getindex", OpSetIndex: "setindex",
+	OpSetIndexKeep: "setindexkeep", OpToPropKey: "topropkey",
+	OpGetMethodIndex: "getmethodindex",
+	OpDeleteMember:   "delmember", OpDeleteIndex: "delindex",
+	OpCall: "call", OpNew: "new", OpReturn: "return",
+	OpReturnUndef: "returnundef", OpJump: "jump",
+	OpJumpIfFalse: "jumpfalse", OpJumpIfTrue: "jumptrue",
+	OpJumpIfFalsyKeep: "jumpfalsykeep", OpJumpIfTruthyKeep: "jumptruthykeep",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpMod: "mod",
+	OpPow: "pow", OpLt: "lt", OpGt: "gt", OpLe: "le", OpGe: "ge",
+	OpEq: "eq", OpNe: "ne", OpStrictEq: "stricteq", OpStrictNe: "strictne",
+	OpBitAnd: "band", OpBitOr: "bor", OpBitXor: "bxor", OpShl: "shl",
+	OpShr: "shr", OpUshr: "ushr", OpInstanceof: "instanceof", OpIn: "in",
+	OpNot: "not", OpNeg: "neg", OpToNumber: "tonumber", OpBitNot: "bitnot",
+	OpVoid: "void", OpTypeofVal: "typeofval", OpStmt: "stmt",
+	OpChargeBranch: "chargebranch", OpThrow: "throw", OpTry: "try",
+	OpPopTry: "poptry", OpEnterCatch: "entercatch",
+	OpLeaveScope: "leavescope", OpForInInit: "forininit",
+	OpForInNext: "forinnext", OpExecStmt: "execstmt",
+	OpStrictEqConst: "stricteqconst", OpGlobalEqConst: "globaleqconst",
+	OpGetLocalMember: "getlocalmember", OpGetLocalMethod: "getlocalmethod",
+	OpCalleeGlobal: "calleeglobal", OpCalleeLocal: "calleelocal",
+	OpCall0Global: "call0global", OpCall0Local: "call0local",
+	OpJumpGlobalNeConst: "jumpglobalneconst", OpConstSetLocal: "constsetlocal",
+	OpClosureSetLocal: "closuresetlocal", OpSetLocalStmt: "setlocalstmt",
+	OpJumpIfFalseStmt: "jumpfalsestmt", OpStmtGetLocal: "stmtgetlocal",
+	OpStmtConst: "stmtconst",
+}
+
+// String returns the opcode's mnemonic.
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Disassemble renders the chunk as one instruction per line, for tests and
+// debugging.
+func (c *Chunk) Disassemble() string {
+	var b []byte
+	for pc, ins := range c.Code {
+		b = append(b, fmt.Sprintf("%4d  %-14s", pc, ins.Op)...)
+		switch ins.Op {
+		case OpConst:
+			b = append(b, fmt.Sprintf(" %v", c.Consts[ins.A])...)
+		case OpGetMember, OpSetMember, OpSetMemberKeep, OpGetMethod,
+			OpDeleteMember, OpSetProp:
+			b = append(b, fmt.Sprintf(" %q", c.Names[ins.A])...)
+		case OpGetGlobal, OpSetGlobal, OpTypeofGlobal, OpGetDyn, OpSetDyn,
+			OpTypeofDyn, OpCalleeGlobal, OpCall0Global:
+			b = append(b, fmt.Sprintf(" %q", c.Names[ins.B])...)
+		case OpStrictEqConst:
+			b = append(b, fmt.Sprintf(" %v", c.Consts[ins.A])...)
+		case OpGlobalEqConst:
+			b = append(b, fmt.Sprintf(" %q %v", c.Names[ins.B], c.Consts[ins.C])...)
+		case OpGetLocalMember, OpGetLocalMethod:
+			b = append(b, fmt.Sprintf(" %d %q", ins.A, c.Names[ins.B])...)
+		case OpGetLocal, OpSetLocal, OpCall, OpNew, OpArray, OpClosure,
+			OpJump, OpJumpIfFalse, OpJumpIfTrue, OpJumpIfFalsyKeep,
+			OpJumpIfTruthyKeep, OpTry, OpForInNext, OpExecStmt,
+			OpEnterCatch, OpSetAccessor:
+			b = append(b, fmt.Sprintf(" %d", ins.A)...)
+		case OpGetRef, OpSetRef:
+			r := ast.Ref(uint32(ins.A))
+			b = append(b, fmt.Sprintf(" (%d,%d)", r.Hops(), r.Slot())...)
+		}
+		b = append(b, '\n')
+	}
+	return string(b)
+}

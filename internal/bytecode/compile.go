@@ -1,0 +1,1302 @@
+package bytecode
+
+import (
+	"sync"
+
+	"repro/internal/ast"
+)
+
+// The compiled-chunk cache. Chunks are pure functions of the resolved tree
+// (site IDs and Refs are annotations on the nodes themselves), so one
+// compilation serves every realm — benchmark harnesses create thousands of
+// short-lived realms over the same program, and per-realm recompilation
+// was a measurable share of their runtime. A nil entry records a rejected
+// function. The cache is bounded: once it exceeds cacheLimit entries the
+// whole map is dropped (an epoch flush), so fuzzers feeding endless fresh
+// programs cannot pin every AST they ever produced.
+var (
+	cacheMu    sync.RWMutex
+	cache      = make(map[*ast.Func]*Chunk)
+	cacheLimit = 8192
+)
+
+// CompileCached is Compile behind the process-wide cache.
+func CompileCached(fn *ast.Func) *Chunk {
+	cacheMu.RLock()
+	ch, ok := cache[fn]
+	cacheMu.RUnlock()
+	if ok {
+		return ch
+	}
+	ch = Compile(fn)
+	cacheMu.Lock()
+	if len(cache) >= cacheLimit {
+		cache = make(map[*ast.Func]*Chunk)
+	}
+	cache[fn] = ch
+	cacheMu.Unlock()
+	return ch
+}
+
+// Compile lowers a resolved function body to a chunk. It returns nil when
+// the function cannot be lowered — no frame layout (the resolver never saw
+// it), or a node kind the compiler does not know — in which case the caller
+// keeps tree-walking it. Individual statements the compiler chooses not to
+// lower (try/finally, unresolved declarations) do not fail the function;
+// they become OpExecStmt escape hatches.
+//
+// The compiler mirrors the tree-walker statement by statement: evaluation
+// order, engine cost charges, and step counting are reproduced exactly, so
+// the two engines are observationally identical — the property the
+// differential harness in internal/core checks.
+func Compile(fn *ast.Func) *Chunk {
+	if fn.Scope == nil {
+		return nil
+	}
+	c := &compiler{
+		ch:       &Chunk{Fn: fn},
+		nameIdx:  make(map[string]int32),
+		constIdx: make(map[interface{}]int32),
+	}
+	for _, s := range fn.Body {
+		c.stmt(s)
+	}
+	c.emit(OpReturnUndef, 0, 0)
+	if c.failed {
+		return nil
+	}
+	c.ch.MaxStack = c.maxSP
+	return c.ch
+}
+
+// ctx is one enclosing breakable construct during compilation.
+type ctx struct {
+	labels     []string
+	loop       bool // accepts continue
+	breakPlain bool // accepts unlabeled break (loops and switches)
+
+	// Depths at construct entry; jump fixups unwind to these. For for-in
+	// loops iterDepth includes the loop's own iterator, and the break
+	// target is the exit's pop instruction.
+	iterDepth  int
+	scopeDepth int
+	tryDepth   int
+
+	contPC     int // continue target pc; -1 while unknown
+	breakJumps []int
+	contJumps  []int
+	breakRefs  []*JumpTarget // escape-hatch entries awaiting the break pc
+	contRefs   []*JumpTarget
+}
+
+type compiler struct {
+	ch    *Chunk
+	sp    int
+	maxSP int
+
+	iterDepth  int
+	scopeDepth int
+	tryDepth   int
+
+	ctxs     []*ctx
+	nameIdx  map[string]int32
+	constIdx map[interface{}]int32
+	failed   bool
+
+	// fuseBarrier is the lowest pc into which no instruction may be
+	// merged: any pc that was captured as a jump target (loop heads,
+	// patched branches, break targets) must keep an instruction of its
+	// own. Fusions check it before folding into the previous slot.
+	fuseBarrier int
+}
+
+// ---------------------------------------------------------------------------
+// Emission helpers
+// ---------------------------------------------------------------------------
+
+func (c *compiler) emit(op Op, a, b int32) int {
+	c.ch.Code = append(c.ch.Code, Instr{Op: op, A: a, B: b})
+	return len(c.ch.Code) - 1
+}
+
+func (c *compiler) emit3(op Op, a, b, cc int32) int {
+	c.ch.Code = append(c.ch.Code, Instr{Op: op, A: a, B: b, C: cc})
+	return len(c.ch.Code) - 1
+}
+
+// emitStmt emits a statement-boundary marker, folding it into an
+// immediately preceding marker when no code or jump target separates them
+// (adjacent markers arise from blocks, empty statements, and declarations
+// that compile to nothing — by construction no side effect runs between
+// the boundaries, so one instruction may count them all).
+func (c *compiler) emitStmt() {
+	n := len(c.ch.Code)
+	if n > c.fuseBarrier && n > 0 {
+		switch last := &c.ch.Code[n-1]; last.Op {
+		case OpStmt:
+			if last.B == 0 {
+				last.A++
+				return
+			}
+		case OpSetLocal:
+			last.Op = OpSetLocalStmt
+			last.B, last.C = 1, 0
+			return
+		case OpSetLocalStmt:
+			if last.C == 0 {
+				last.B++
+				return
+			}
+		case OpJumpIfFalse:
+			last.Op = OpJumpIfFalseStmt
+			last.B, last.C = 1, 0
+			return
+		case OpJumpIfFalseStmt:
+			if last.C == 0 {
+				last.B++
+				return
+			}
+		}
+	}
+	c.emit(OpStmt, 1, 0)
+}
+
+// emitChargeBranch folds the if statement's BranchCost charge into its own
+// boundary marker when possible.
+func (c *compiler) emitChargeBranch() {
+	n := len(c.ch.Code)
+	if n > c.fuseBarrier && n > 0 {
+		switch last := &c.ch.Code[n-1]; last.Op {
+		case OpStmt:
+			if last.B == 0 {
+				last.B = 1
+				return
+			}
+		case OpSetLocalStmt, OpJumpIfFalseStmt:
+			if last.C == 0 {
+				last.C = 1
+				return
+			}
+		}
+	}
+	c.emit(OpChargeBranch, 0, 0)
+}
+
+func (c *compiler) pc() int { return len(c.ch.Code) }
+
+// emitJumpIfFalse emits a falsy-branch, folding it into an immediately
+// preceding OpGlobalEqConst (the mode-dispatch guard) when no jump target
+// separates them. Returns the instruction index to patch.
+func (c *compiler) emitJumpIfFalse() int {
+	n := len(c.ch.Code)
+	if n > c.fuseBarrier && n > 0 {
+		if last := &c.ch.Code[n-1]; last.Op == OpGlobalEqConst {
+			if c.ch.GuardNames == nil {
+				c.ch.GuardNames = make(map[int32]int32)
+			}
+			c.ch.GuardNames[int32(n-1)] = last.B
+			last.Op = OpJumpGlobalNeConst
+			last.B = last.A // site moves to B
+			last.A = -1     // jump target, patched by the caller
+			return n - 1
+		}
+	}
+	return c.emit(OpJumpIfFalse, -1, 0)
+}
+
+// emitSetLocal stores the top of stack into slot, folding constant and
+// closure producers into one instruction.
+func (c *compiler) emitSetLocal(slot int32) {
+	n := len(c.ch.Code)
+	if n > c.fuseBarrier && n > 0 {
+		switch last := &c.ch.Code[n-1]; last.Op {
+		case OpConst:
+			last.Op = OpConstSetLocal
+			last.B = slot
+			return
+		case OpClosure:
+			last.Op = OpClosureSetLocal
+			last.B = slot
+			return
+		}
+	}
+	c.emit(OpSetLocal, slot, 0)
+}
+
+// target returns the current pc as a jump target, marking it as a fuse
+// barrier so the instruction emitted there stays addressable.
+func (c *compiler) target() int {
+	c.fuseBarrier = c.pc()
+	return c.fuseBarrier
+}
+
+// patch points instruction at's A operand at the current pc.
+func (c *compiler) patch(at int) {
+	c.ch.Code[at].A = int32(c.pc())
+	c.fuseBarrier = c.pc()
+}
+
+func (c *compiler) push(n int) {
+	c.sp += n
+	if c.sp > c.maxSP {
+		c.maxSP = c.sp
+	}
+}
+
+func (c *compiler) pop(n int) { c.sp -= n }
+
+func (c *compiler) name(s string) int32 {
+	if i, ok := c.nameIdx[s]; ok {
+		return i
+	}
+	i := int32(len(c.ch.Names))
+	c.ch.Names = append(c.ch.Names, s)
+	c.nameIdx[s] = i
+	return i
+}
+
+func (c *compiler) constant(v interface{}) int32 {
+	if i, ok := c.constIdx[v]; ok {
+		return i
+	}
+	i := int32(len(c.ch.Consts))
+	c.ch.Consts = append(c.ch.Consts, v)
+	c.constIdx[v] = i
+	return i
+}
+
+func (c *compiler) emitConst(v interface{}) {
+	idx := c.constant(v)
+	n := len(c.ch.Code)
+	if n > c.fuseBarrier && n > 0 {
+		if last := &c.ch.Code[n-1]; last.Op == OpStmt {
+			last.Op = OpStmtConst
+			last.B, last.C = last.A, last.B
+			last.A = idx
+			c.push(1)
+			return
+		}
+	}
+	c.emit(OpConst, idx, 0)
+	c.push(1)
+}
+
+func (c *compiler) fn(f *ast.Func) int32 {
+	c.ch.Funcs = append(c.ch.Funcs, f)
+	return int32(len(c.ch.Funcs) - 1)
+}
+
+// ---------------------------------------------------------------------------
+// Lowerability
+// ---------------------------------------------------------------------------
+
+// lowerable reports whether stmt itself (not its nested statements, which
+// are checked individually) has a bytecode lowering. Statements that fail
+// become escape hatches.
+func (c *compiler) lowerable(s ast.Stmt) bool {
+	switch n := s.(type) {
+	case *ast.ExprStmt, *ast.If, *ast.Return, *ast.Block, *ast.While,
+		*ast.DoWhile, *ast.For, *ast.ForIn, *ast.Labeled, *ast.Switch,
+		*ast.Throw, *ast.FuncDecl, *ast.Empty:
+		return true
+	case *ast.VarDecl:
+		for i := range n.Decls {
+			d := &n.Decls[i]
+			if d.Init != nil && !d.Ref.Valid() {
+				// Unresolved initialized declaration: the dynamic define
+				// semantics (set-else-define-here) have no opcode.
+				return false
+			}
+		}
+		return true
+	case *ast.Break:
+		return c.findBreak(n.Label) != nil
+	case *ast.Continue:
+		return c.findContinue(n.Label) != nil
+	case *ast.Try:
+		// finally needs completion-threading the tree-walker already has;
+		// a catch clause without a resolved one-slot layout cannot build
+		// its frame.
+		return n.Finally == nil && (n.Catch == nil || n.CatchScope != nil)
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+func (c *compiler) stmt(s ast.Stmt) {
+	if c.failed {
+		return
+	}
+	if !c.lowerable(s) {
+		c.escape(s)
+		return
+	}
+	// Statement boundary: the tree-walker counts a step and charges one
+	// work unit per executed statement node; OpStmt reproduces both (plus
+	// the step-budget check).
+	c.emitStmt()
+	switch n := s.(type) {
+	case *ast.ExprStmt:
+		c.exprStmt(n.X)
+	case *ast.If:
+		c.emitChargeBranch()
+		c.expr(n.Test)
+		jf := c.emitJumpIfFalse()
+		c.pop(1)
+		c.stmt(n.Cons)
+		if n.Alt != nil {
+			j := c.emit(OpJump, -1, 0)
+			c.patch(jf)
+			c.stmt(n.Alt)
+			c.patch(j)
+		} else {
+			c.patch(jf)
+		}
+	case *ast.Return:
+		if n.Arg != nil {
+			c.expr(n.Arg)
+			c.emit(OpReturn, 0, 0)
+			c.pop(1)
+		} else {
+			c.emit(OpReturnUndef, 0, 0)
+		}
+	case *ast.VarDecl:
+		for i := range n.Decls {
+			d := &n.Decls[i]
+			if d.Init == nil || !d.Ref.Valid() {
+				// Hoisting already created the slot; re-executing `var x`
+				// must not reset it.
+				continue
+			}
+			c.expr(d.Init)
+			c.storeRef(d.Ref)
+		}
+	case *ast.Block:
+		for _, inner := range n.Body {
+			c.stmt(inner)
+		}
+	case *ast.While:
+		c.compileWhile(n, nil)
+	case *ast.DoWhile:
+		c.compileDoWhile(n, nil)
+	case *ast.For:
+		c.compileFor(n, nil)
+	case *ast.ForIn:
+		c.compileForIn(n, nil)
+	case *ast.Break:
+		c.breakTo(n.Label)
+	case *ast.Continue:
+		c.continueTo(n.Label)
+	case *ast.Labeled:
+		c.labeled(n)
+	case *ast.Switch:
+		c.compileSwitch(n)
+	case *ast.Throw:
+		c.expr(n.Arg)
+		c.emit(OpThrow, 0, 0)
+		c.pop(1)
+	case *ast.Try:
+		c.compileTry(n)
+	case *ast.FuncDecl, *ast.Empty:
+		// Function declarations were installed at frame entry (FnDecls);
+		// re-execution is a no-op, exactly as in the tree-walker.
+	default:
+		c.failed = true
+	}
+}
+
+// escape embeds s as a tree-walker escape hatch with a jump table built
+// from the enclosing construct stack.
+func (c *compiler) escape(s ast.Stmt) {
+	c.ch.Stmts = append(c.ch.Stmts, s)
+	stmtIdx := int32(len(c.ch.Stmts) - 1)
+
+	tab := make([]JumpTarget, len(c.ctxs))
+	for i := range c.ctxs {
+		cx := c.ctxs[len(c.ctxs)-1-i] // innermost first
+		t := &tab[i]
+		t.Labels = cx.labels
+		t.Loop = cx.loop
+		t.BreakPlain = cx.breakPlain
+		t.BreakPC, t.ContPC = -1, -1
+		fix := JumpFix{
+			PopIters:    c.iterDepth - cx.iterDepth,
+			LeaveScopes: c.scopeDepth - cx.scopeDepth,
+			PopTries:    c.tryDepth - cx.tryDepth,
+		}
+		t.BreakFix, t.ContFix = fix, fix
+		cx.breakRefs = append(cx.breakRefs, t)
+		if cx.loop {
+			if cx.contPC >= 0 {
+				t.ContPC = int32(cx.contPC)
+			} else {
+				cx.contRefs = append(cx.contRefs, t)
+			}
+		}
+	}
+	c.ch.JumpTabs = append(c.ch.JumpTabs, tab)
+	c.emit(OpExecStmt, stmtIdx, int32(len(c.ch.JumpTabs)-1))
+}
+
+// pushCtx enters a breakable construct.
+func (c *compiler) pushCtx(labels []string, loop, breakPlain bool, contPC int) *ctx {
+	cx := &ctx{
+		labels: labels, loop: loop, breakPlain: breakPlain,
+		iterDepth: c.iterDepth, scopeDepth: c.scopeDepth, tryDepth: c.tryDepth,
+		contPC: contPC,
+	}
+	c.ctxs = append(c.ctxs, cx)
+	return cx
+}
+
+// popCtx leaves the construct, patching break jumps (and escape-hatch
+// break references) to the current pc.
+func (c *compiler) popCtx(cx *ctx) {
+	c.fuseBarrier = c.pc()
+	c.ctxs = c.ctxs[:len(c.ctxs)-1]
+	for _, at := range cx.breakJumps {
+		c.patch(at)
+	}
+	for _, t := range cx.breakRefs {
+		t.BreakPC = int32(c.pc())
+	}
+}
+
+// setCont fixes the construct's continue target at the current pc, patching
+// deferred continue jumps.
+func (c *compiler) setCont(cx *ctx) {
+	cx.contPC = c.target()
+	for _, at := range cx.contJumps {
+		c.patch(at)
+	}
+	for _, t := range cx.contRefs {
+		t.ContPC = int32(cx.contPC)
+	}
+}
+
+func (c *compiler) findBreak(label string) *ctx {
+	for i := len(c.ctxs) - 1; i >= 0; i-- {
+		cx := c.ctxs[i]
+		if label == "" {
+			if cx.breakPlain {
+				return cx
+			}
+			continue
+		}
+		if hasLabel(cx.labels, label) {
+			return cx
+		}
+	}
+	return nil
+}
+
+func (c *compiler) findContinue(label string) *ctx {
+	for i := len(c.ctxs) - 1; i >= 0; i-- {
+		cx := c.ctxs[i]
+		if !cx.loop {
+			continue
+		}
+		if label == "" || hasLabel(cx.labels, label) {
+			return cx
+		}
+	}
+	return nil
+}
+
+func hasLabel(labels []string, l string) bool {
+	for _, x := range labels {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// emitUnwind emits the iterator pops, catch-frame pops, and handler pops a
+// jump out to cx must perform, preserving the static stack depth for the
+// fall-through path.
+func (c *compiler) emitUnwind(cx *ctx) {
+	for i := 0; i < c.iterDepth-cx.iterDepth; i++ {
+		c.emit(OpPop, 0, 0)
+	}
+	for i := 0; i < c.scopeDepth-cx.scopeDepth; i++ {
+		c.emit(OpLeaveScope, 0, 0)
+	}
+	for i := 0; i < c.tryDepth-cx.tryDepth; i++ {
+		c.emit(OpPopTry, 0, 0)
+	}
+}
+
+func (c *compiler) breakTo(label string) {
+	cx := c.findBreak(label)
+	c.emitUnwind(cx)
+	cx.breakJumps = append(cx.breakJumps, c.emit(OpJump, -1, 0))
+}
+
+func (c *compiler) continueTo(label string) {
+	cx := c.findContinue(label)
+	c.emitUnwind(cx)
+	if cx.contPC >= 0 {
+		c.emit(OpJump, int32(cx.contPC), 0)
+	} else {
+		cx.contJumps = append(cx.contJumps, c.emit(OpJump, -1, 0))
+	}
+}
+
+func (c *compiler) compileWhile(n *ast.While, labels []string) {
+	head := c.target()
+	c.expr(n.Test)
+	jf := c.emitJumpIfFalse()
+	c.pop(1)
+	cx := c.pushCtx(labels, true, true, head)
+	c.stmt(n.Body)
+	c.emit(OpJump, int32(head), 0)
+	c.patch(jf)
+	c.popCtx(cx)
+}
+
+func (c *compiler) compileDoWhile(n *ast.DoWhile, labels []string) {
+	body := c.target()
+	cx := c.pushCtx(labels, true, true, -1)
+	c.stmt(n.Body)
+	c.setCont(cx)
+	c.expr(n.Test)
+	c.emit(OpJumpIfTrue, int32(body), 0)
+	c.pop(1)
+	c.popCtx(cx)
+}
+
+func (c *compiler) compileFor(n *ast.For, labels []string) {
+	if n.Init != nil {
+		c.stmt(n.Init)
+	}
+	head := c.target()
+	jf := -1
+	if n.Test != nil {
+		c.expr(n.Test)
+		jf = c.emitJumpIfFalse()
+		c.pop(1)
+	}
+	cx := c.pushCtx(labels, true, true, -1)
+	c.stmt(n.Body)
+	c.setCont(cx)
+	if n.Update != nil {
+		c.exprStmt(n.Update)
+	}
+	c.emit(OpJump, int32(head), 0)
+	if jf >= 0 {
+		c.patch(jf)
+	}
+	c.popCtx(cx)
+}
+
+func (c *compiler) compileForIn(n *ast.ForIn, labels []string) {
+	c.expr(n.Obj)
+	c.emit(OpForInInit, 0, 0)
+	// The iterator replaces the object on the stack and stays there for
+	// the duration of the loop.
+	c.iterDepth++
+	head := c.target()
+	exit := c.emit(OpForInNext, -1, 0)
+	c.push(1) // the key
+	if n.Ref.Valid() {
+		c.storeRef(n.Ref)
+	} else {
+		c.emit(OpSetDyn, 0, c.name(n.Name))
+		c.pop(1)
+	}
+	cx := c.pushCtx(labels, true, true, head)
+	c.stmt(n.Body)
+	c.emit(OpJump, int32(head), 0)
+	// Exhausted (and break): pop the iterator.
+	c.patch(exit)
+	// Break targets the pop below, which discards this loop's iterator.
+	c.iterDepth--
+	c.popCtxAt(cx, c.pc())
+	c.emit(OpPop, 0, 0)
+	c.pop(1)
+}
+
+// popCtxAt is popCtx with an explicit break-target pc (the for-in exit
+// pop, which sits before the jump-target-visible end of the loop).
+func (c *compiler) popCtxAt(cx *ctx, breakPC int) {
+	c.fuseBarrier = c.pc()
+	c.ctxs = c.ctxs[:len(c.ctxs)-1]
+	for _, at := range cx.breakJumps {
+		c.ch.Code[at].A = int32(breakPC)
+	}
+	for _, t := range cx.breakRefs {
+		t.BreakPC = int32(breakPC)
+	}
+}
+
+func (c *compiler) labeled(n *ast.Labeled) {
+	labels := []string{n.Label}
+	body := n.Body
+	for {
+		inner, ok := body.(*ast.Labeled)
+		if !ok {
+			break
+		}
+		labels = append(labels, inner.Label)
+		body = inner.Body
+	}
+	switch b := body.(type) {
+	case *ast.While:
+		c.compileWhile(b, labels)
+	case *ast.DoWhile:
+		c.compileDoWhile(b, labels)
+	case *ast.For:
+		c.compileFor(b, labels)
+	case *ast.ForIn:
+		c.compileForIn(b, labels)
+	default:
+		cx := c.pushCtx(labels, false, false, -1)
+		c.stmt(body)
+		c.popCtx(cx)
+	}
+}
+
+func (c *compiler) compileSwitch(n *ast.Switch) {
+	c.expr(n.Disc)
+	// Test chain, in source order, skipping default: each test runs with
+	// the discriminant still on the stack.
+	type caseRef struct{ idx, jump int }
+	var dispatch []caseRef
+	for i, cs := range n.Cases {
+		if cs.Test == nil {
+			continue
+		}
+		c.emit(OpDup, 0, 0)
+		c.push(1)
+		c.expr(cs.Test)
+		c.emit(OpStrictEq, 0, 0)
+		c.pop(1)
+		j := c.emit(OpJumpIfTrue, -1, 0)
+		c.pop(1)
+		dispatch = append(dispatch, caseRef{idx: i, jump: j})
+	}
+	// No test matched: drop the discriminant, enter the default case (or
+	// leave).
+	c.emit(OpPop, 0, 0)
+	c.pop(1)
+	noMatch := c.emit(OpJump, -1, 0)
+
+	// Dispatch stubs: pop the discriminant, jump to the case body.
+	bodyJumps := make(map[int]int, len(dispatch))
+	for _, d := range dispatch {
+		c.patch(d.jump)
+		c.emit(OpPop, 0, 0)
+		bodyJumps[d.idx] = c.emit(OpJump, -1, 0)
+	}
+
+	cx := c.pushCtx(nil, false, true, -1)
+	defaultIdx := -1
+	for i, cs := range n.Cases {
+		if j, ok := bodyJumps[i]; ok {
+			c.patch(j)
+		}
+		if cs.Test == nil {
+			defaultIdx = i
+			// noMatch lands here.
+			c.patch(noMatch)
+		}
+		for _, inner := range cs.Body {
+			c.stmt(inner)
+		}
+	}
+	if defaultIdx < 0 {
+		c.patch(noMatch)
+	}
+	c.popCtx(cx)
+}
+
+func (c *compiler) compileTry(n *ast.Try) {
+	// The engine charges handler entry; exceptional-strategy instrumented
+	// code pays this on every application.
+	handler := c.emit(OpTry, -1, 0)
+	c.tryDepth++
+	if c.tryDepth > c.ch.MaxTries {
+		c.ch.MaxTries = c.tryDepth
+	}
+	for _, inner := range n.Block.Body {
+		c.stmt(inner)
+	}
+	c.emit(OpPopTry, 0, 0)
+	c.tryDepth--
+	end := c.emit(OpJump, -1, 0)
+	if n.Catch != nil {
+		// The unwinder pops the handler, restores the stack, pushes the
+		// thrown value, and lands here.
+		c.patch(handler)
+		c.push(1) // the unwinder pushes the thrown value
+		c.ch.Scopes = append(c.ch.Scopes, n.CatchScope)
+		c.emit(OpEnterCatch, int32(len(c.ch.Scopes)-1), 0)
+		c.pop(1)
+		c.scopeDepth++
+		for _, inner := range n.Catch.Body {
+			c.stmt(inner)
+		}
+		c.emit(OpLeaveScope, 0, 0)
+		c.scopeDepth--
+	}
+	c.patch(end)
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+// exprStmt compiles an expression in statement position, leaving nothing on
+// the stack.
+func (c *compiler) exprStmt(e ast.Expr) {
+	switch n := e.(type) {
+	case *ast.Assign:
+		c.assign(n, false)
+	case *ast.Update:
+		c.update(n, false)
+	case *ast.Seq:
+		for _, x := range n.Exprs {
+			c.exprStmt(x)
+		}
+	default:
+		c.expr(e)
+		c.emit(OpPop, 0, 0)
+		c.pop(1)
+	}
+}
+
+// expr compiles an expression, leaving exactly one value on the stack.
+func (c *compiler) expr(e ast.Expr) {
+	switch n := e.(type) {
+	case *ast.Ident:
+		c.loadIdent(n)
+	case *ast.Number:
+		if n.Boxed != nil {
+			c.emitConst(n.Boxed)
+		} else {
+			c.emitConst(n.Value)
+		}
+	case *ast.Str:
+		if n.Boxed != nil {
+			c.emitConst(n.Boxed)
+		} else {
+			c.emitConst(n.Value)
+		}
+	case *ast.Bool:
+		if n.Value {
+			c.emit(OpTrue, 0, 0)
+		} else {
+			c.emit(OpFalse, 0, 0)
+		}
+		c.push(1)
+	case *ast.Null:
+		c.emit(OpNull, 0, 0)
+		c.push(1)
+	case *ast.This:
+		if n.Ref.Valid() {
+			c.loadRef(n.Ref)
+		} else {
+			c.emit(OpThisDyn, 0, 0)
+			c.push(1)
+		}
+	case *ast.NewTarget:
+		if n.Ref.Valid() {
+			c.loadRef(n.Ref)
+		} else {
+			c.emit(OpNewTargetDyn, 0, 0)
+			c.push(1)
+		}
+	case *ast.Func:
+		c.emit(OpClosure, c.fn(n), 0)
+		c.push(1)
+	case *ast.Array:
+		for _, el := range n.Elems {
+			if el == nil {
+				// Elision: a hole is an undefined element here (arrays are
+				// dense), exactly as in the tree-walker.
+				c.emit(OpUndef, 0, 0)
+				c.push(1)
+				continue
+			}
+			c.expr(el)
+		}
+		c.emit(OpArray, int32(len(n.Elems)), 0)
+		c.pop(len(n.Elems))
+		c.push(1)
+	case *ast.Object:
+		c.emit(OpNewObject, 0, 0)
+		c.push(1)
+		for _, p := range n.Props {
+			switch p.Kind {
+			case ast.PropInit:
+				c.expr(p.Value)
+				c.emit(OpSetProp, c.name(p.Key), 0)
+				c.pop(1)
+			case ast.PropGet, ast.PropSet:
+				fl, ok := p.Value.(*ast.Func)
+				if !ok {
+					c.failed = true
+					return
+				}
+				c.ch.Accessors = append(c.ch.Accessors, Accessor{
+					Name:   c.name(p.Key),
+					Fn:     c.fn(fl),
+					Setter: p.Kind == ast.PropSet,
+				})
+				c.emit(OpSetAccessor, int32(len(c.ch.Accessors)-1), 0)
+			}
+		}
+	case *ast.Unary:
+		c.unary(n)
+	case *ast.Update:
+		c.update(n, true)
+	case *ast.Binary:
+		// `x === <literal>` is the shape of every instrumented
+		// mode-dispatch guard; fuse the constant load and compare (and,
+		// for proved-global left sides, the load too).
+		if n.Op == "===" {
+			if k, ok := literalConst(n.R); ok {
+				if id, isIdent := n.L.(*ast.Ident); isIdent && id.Ref.Global() {
+					c.emit3(OpGlobalEqConst, int32(id.Site), c.name(id.Name), c.constant(k))
+					c.push(1)
+					return
+				}
+				c.expr(n.L)
+				c.emit(OpStrictEqConst, c.constant(k), 0)
+				return
+			}
+		}
+		c.expr(n.L)
+		c.expr(n.R)
+		op, ok := binaryOps[n.Op]
+		if !ok {
+			c.failed = true
+			return
+		}
+		c.emit(op, 0, 0)
+		c.pop(1)
+	case *ast.Logical:
+		c.expr(n.L)
+		var j int
+		if n.Op == "&&" {
+			j = c.emit(OpJumpIfFalsyKeep, -1, 0)
+		} else {
+			j = c.emit(OpJumpIfTruthyKeep, -1, 0)
+		}
+		c.pop(1)
+		c.expr(n.R)
+		c.patch(j)
+	case *ast.Assign:
+		c.assign(n, true)
+	case *ast.Cond:
+		c.expr(n.Test)
+		jf := c.emitJumpIfFalse()
+		c.pop(1)
+		c.expr(n.Cons)
+		j := c.emit(OpJump, -1, 0)
+		c.pop(1) // the alternative re-pushes
+		c.patch(jf)
+		c.expr(n.Alt)
+		c.patch(j)
+	case *ast.Call:
+		c.call(n)
+	case *ast.New:
+		c.expr(n.Callee)
+		for _, a := range n.Args {
+			c.expr(a)
+		}
+		c.emit(OpNew, int32(len(n.Args)), 0)
+		c.pop(len(n.Args) + 1)
+		c.push(1)
+	case *ast.Member:
+		if !n.Computed {
+			// Member reads off a local are the hottest property accesses
+			// in instrumented code (frame records, runtime state).
+			if slot, ok := localSlot(n.X); ok {
+				c.emit3(OpGetLocalMember, slot, c.name(n.Name), int32(n.Site))
+				c.push(1)
+				return
+			}
+			c.expr(n.X)
+			c.emit(OpGetMember, c.name(n.Name), int32(n.Site))
+			return
+		}
+		c.expr(n.X)
+		c.expr(n.Index)
+		c.emit(OpGetIndex, 0, 0)
+		c.pop(2)
+		c.push(1)
+	case *ast.Seq:
+		if len(n.Exprs) == 0 {
+			c.emit(OpUndef, 0, 0)
+			c.push(1)
+			return
+		}
+		for i, x := range n.Exprs {
+			c.expr(x)
+			if i < len(n.Exprs)-1 {
+				c.emit(OpPop, 0, 0)
+				c.pop(1)
+			}
+		}
+	default:
+		c.failed = true
+	}
+}
+
+var binaryOps = map[string]Op{
+	"+": OpAdd, "-": OpSub, "*": OpMul, "/": OpDiv, "%": OpMod,
+	"**": OpPow, "<": OpLt, ">": OpGt, "<=": OpLe, ">=": OpGe,
+	"==": OpEq, "!=": OpNe, "===": OpStrictEq, "!==": OpStrictNe,
+	"&": OpBitAnd, "|": OpBitOr, "^": OpBitXor, "<<": OpShl, ">>": OpShr,
+	">>>": OpUshr, "instanceof": OpInstanceof, "in": OpIn,
+}
+
+func (c *compiler) loadRef(r ast.Ref) {
+	if r.Hops() == 0 {
+		n := len(c.ch.Code)
+		if n > c.fuseBarrier && n > 0 {
+			if last := &c.ch.Code[n-1]; last.Op == OpStmt {
+				last.Op = OpStmtGetLocal
+				last.B, last.C = last.A, last.B
+				last.A = int32(r.Slot())
+				c.push(1)
+				return
+			}
+		}
+		c.emit(OpGetLocal, int32(r.Slot()), 0)
+	} else {
+		c.emit(OpGetRef, int32(uint32(r)), 0)
+	}
+	c.push(1)
+}
+
+func (c *compiler) storeRef(r ast.Ref) {
+	if r.Hops() == 0 {
+		c.emitSetLocal(int32(r.Slot()))
+	} else {
+		c.emit(OpSetRef, int32(uint32(r)), 0)
+	}
+	c.pop(1)
+}
+
+func (c *compiler) loadIdent(n *ast.Ident) {
+	switch {
+	case n.Ref.Valid():
+		c.loadRef(n.Ref)
+	case n.Ref.Global():
+		c.emit(OpGetGlobal, int32(n.Site), c.name(n.Name))
+		c.push(1)
+	default:
+		c.emit(OpGetDyn, 0, c.name(n.Name))
+		c.push(1)
+	}
+}
+
+// storeIdent writes the top of stack into an identifier reference (popping
+// it), with the tree-walker's implicit-global semantics.
+func (c *compiler) storeIdent(n *ast.Ident) {
+	switch {
+	case n.Ref.Valid():
+		c.storeRef(n.Ref)
+	case n.Ref.Global():
+		c.emit(OpSetGlobal, int32(n.Site), c.name(n.Name))
+		c.pop(1)
+	default:
+		c.emit(OpSetDyn, 0, c.name(n.Name))
+		c.pop(1)
+	}
+}
+
+func (c *compiler) unary(n *ast.Unary) {
+	switch n.Op {
+	case "typeof":
+		if id, ok := n.X.(*ast.Ident); ok && !id.Ref.Valid() {
+			// typeof tolerates unresolvable names.
+			if id.Ref.Global() {
+				c.emit(OpTypeofGlobal, int32(id.Site), c.name(id.Name))
+			} else {
+				c.emit(OpTypeofDyn, 0, c.name(id.Name))
+			}
+			c.push(1)
+			return
+		}
+		c.expr(n.X)
+		c.emit(OpTypeofVal, 0, 0)
+	case "delete":
+		m, ok := n.X.(*ast.Member)
+		if !ok {
+			// delete of a non-reference does not evaluate its operand.
+			c.emit(OpTrue, 0, 0)
+			c.push(1)
+			return
+		}
+		c.expr(m.X)
+		if m.Computed {
+			c.expr(m.Index)
+			c.emit(OpDeleteIndex, 0, 0)
+			c.pop(2)
+		} else {
+			c.emit(OpDeleteMember, c.name(m.Name), 0)
+			c.pop(1)
+		}
+		c.push(1)
+	case "!":
+		c.expr(n.X)
+		c.emit(OpNot, 0, 0)
+	case "-":
+		c.expr(n.X)
+		c.emit(OpNeg, 0, 0)
+	case "+":
+		c.expr(n.X)
+		c.emit(OpToNumber, 0, 0)
+	case "~":
+		c.expr(n.X)
+		c.emit(OpBitNot, 0, 0)
+	case "void":
+		c.expr(n.X)
+		c.emit(OpVoid, 0, 0)
+	default:
+		c.failed = true
+	}
+}
+
+func (c *compiler) update(n *ast.Update, want bool) {
+	switch t := n.X.(type) {
+	case *ast.Ident:
+		c.loadIdent(t)
+		c.emit(OpToNumber, 0, 0)
+		if want && !n.Prefix {
+			c.emit(OpDup, 0, 0)
+			c.push(1)
+		}
+		c.emitConst(float64(1))
+		if n.Op == "++" {
+			c.emit(OpAdd, 0, 0)
+		} else {
+			c.emit(OpSub, 0, 0)
+		}
+		c.pop(1)
+		if want && n.Prefix {
+			c.emit(OpDup, 0, 0)
+			c.push(1)
+		}
+		c.storeIdent(t)
+	case *ast.Member:
+		c.memberRefDup(t)
+		c.emit(OpToNumber, 0, 0)
+		if want && !n.Prefix {
+			if t.Computed {
+				c.emit(OpDupX2, 0, 0)
+			} else {
+				c.emit(OpDupX1, 0, 0)
+			}
+			c.push(1)
+		}
+		c.emitConst(float64(1))
+		if n.Op == "++" {
+			c.emit(OpAdd, 0, 0)
+		} else {
+			c.emit(OpSub, 0, 0)
+		}
+		c.pop(1)
+		c.memberSetKeep(t)
+		if !want || !n.Prefix {
+			// Drop the written value; for a wanted postfix result the
+			// pre-increment number was tucked underneath by the DupX above
+			// and becomes the top of stack.
+			c.emit(OpPop, 0, 0)
+			c.pop(1)
+		}
+	default:
+		c.failed = true
+	}
+}
+
+// memberRefDup evaluates a member reference once (base, and for computed
+// references the stringified-at-most-once key), duplicates it, and loads
+// the current value: ... → [base (key) value].
+func (c *compiler) memberRefDup(m *ast.Member) {
+	c.expr(m.X)
+	if m.Computed {
+		c.expr(m.Index)
+		c.emit(OpToPropKey, 0, 0)
+		c.emit(OpDup2, 0, 0)
+		c.push(2)
+		c.emit(OpGetIndex, 0, 0)
+		c.pop(2)
+		c.push(1)
+	} else {
+		c.emit(OpDup, 0, 0)
+		c.push(1)
+		c.emit(OpGetMember, c.name(m.Name), int32(m.Site))
+		c.pop(1)
+		c.push(1)
+	}
+}
+
+// memberSetKeep writes [base (key) v] → [v] through the reference.
+func (c *compiler) memberSetKeep(m *ast.Member) {
+	if m.Computed {
+		c.emit(OpSetIndexKeep, 0, 0)
+		c.pop(3)
+		c.push(1)
+	} else {
+		c.emit(OpSetMemberKeep, c.name(m.Name), int32(m.Site))
+		c.pop(2)
+		c.push(1)
+	}
+}
+
+func (c *compiler) assign(n *ast.Assign, want bool) {
+	if n.Op == "=" {
+		// Plain assignment evaluates the right-hand side before the target
+		// reference, as the tree-walker does.
+		c.expr(n.Value)
+		if want {
+			c.emit(OpDup, 0, 0)
+			c.push(1)
+		}
+		switch t := n.Target.(type) {
+		case *ast.Ident:
+			c.storeIdent(t)
+		case *ast.Member:
+			c.expr(t.X)
+			if t.Computed {
+				c.expr(t.Index)
+				c.emit(OpToPropKey, 0, 0)
+				c.emit(OpSetIndex, 0, 0)
+				c.pop(3)
+			} else {
+				c.emit(OpSetMember, c.name(t.Name), int32(t.Site))
+				c.pop(2)
+			}
+		default:
+			c.failed = true
+		}
+		return
+	}
+	// Compound assignment: evaluate the target reference once.
+	binOp := n.Op[:len(n.Op)-1]
+	op, ok := binaryOps[binOp]
+	if !ok {
+		c.failed = true
+		return
+	}
+	switch t := n.Target.(type) {
+	case *ast.Ident:
+		c.loadIdent(t)
+		c.expr(n.Value)
+		c.emit(op, 0, 0)
+		c.pop(1)
+		if want {
+			c.emit(OpDup, 0, 0)
+			c.push(1)
+		}
+		c.storeIdent(t)
+	case *ast.Member:
+		c.memberRefDup(t)
+		c.expr(n.Value)
+		c.emit(op, 0, 0)
+		c.pop(1)
+		c.memberSetKeep(t)
+		if !want {
+			c.emit(OpPop, 0, 0)
+			c.pop(1)
+		}
+	default:
+		c.failed = true
+	}
+}
+
+func (c *compiler) call(n *ast.Call) {
+	switch callee := n.Callee.(type) {
+	case *ast.Member:
+		m := callee
+		if m.Computed {
+			c.expr(m.X)
+			c.expr(m.Index)
+			c.emit(OpGetMethodIndex, 0, 0)
+			c.pop(2)
+			c.push(2)
+		} else if slot, ok := localSlot(m.X); ok {
+			c.emit3(OpGetLocalMethod, slot, c.name(m.Name), int32(m.Site))
+			c.push(2)
+		} else {
+			c.expr(m.X)
+			c.emit(OpGetMethod, c.name(m.Name), int32(m.Site))
+			c.pop(1)
+			c.push(2)
+		}
+	case *ast.Ident:
+		// Plain calls of globals (runtime primitives) and locals
+		// (continuation thunks) fuse the `this` push with the callee load;
+		// the ubiquitous zero-argument forms fuse the whole call.
+		switch {
+		case callee.Ref.Global():
+			if len(n.Args) == 0 {
+				c.emit(OpCall0Global, int32(callee.Site), c.name(callee.Name))
+				c.push(1)
+				return
+			}
+			c.emit(OpCalleeGlobal, int32(callee.Site), c.name(callee.Name))
+			c.push(2)
+		case callee.Ref.Valid() && callee.Ref.Hops() == 0:
+			if len(n.Args) == 0 {
+				c.emit(OpCall0Local, int32(callee.Ref.Slot()), 0)
+				c.push(1)
+				return
+			}
+			c.emit(OpCalleeLocal, int32(callee.Ref.Slot()), 0)
+			c.push(2)
+		default:
+			c.emit(OpUndef, 0, 0)
+			c.push(1)
+			c.expr(n.Callee)
+		}
+	default:
+		c.emit(OpUndef, 0, 0)
+		c.push(1)
+		c.expr(n.Callee)
+	}
+	for _, a := range n.Args {
+		c.expr(a)
+	}
+	c.emit(OpCall, int32(len(n.Args)), 0)
+	c.pop(len(n.Args) + 2)
+	c.push(1)
+}
+
+// localSlot reports whether e is a resolved reference into the current
+// frame (hops 0), returning its slot.
+func localSlot(e ast.Expr) (int32, bool) {
+	id, ok := e.(*ast.Ident)
+	if !ok || !id.Ref.Valid() || id.Ref.Hops() != 0 {
+		return 0, false
+	}
+	return int32(id.Ref.Slot()), true
+}
+
+// literalConst extracts the constant value of a literal operand, if e is
+// one.
+func literalConst(e ast.Expr) (interface{}, bool) {
+	switch n := e.(type) {
+	case *ast.Number:
+		if n.Boxed != nil {
+			return n.Boxed, true
+		}
+		return n.Value, true
+	case *ast.Str:
+		if n.Boxed != nil {
+			return n.Boxed, true
+		}
+		return n.Value, true
+	case *ast.Bool:
+		return n.Value, true
+	}
+	return nil, false
+}

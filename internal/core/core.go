@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"os"
 
 	"repro/internal/anf"
 	"repro/internal/ast"
@@ -255,12 +256,53 @@ func compileProgram(userProg *ast.Program, opts Opts, nm *desugar.Namer, mainNam
 // Source prints the compiled JavaScript.
 func (c *Compiled) Source() string { return printer.Print(c.Prog) }
 
+// Execution engine ("backend") names accepted by RunConfig.Backend and the
+// STOPIFY_BACKEND environment variable.
+const (
+	// BackendTree is the tree-walking interpreter — the default.
+	BackendTree = "tree"
+	// BackendBytecode lowers resolved function bodies to flat bytecode
+	// (internal/bytecode) and dispatches them through internal/interp's
+	// fetch–execute loop; dynamic code (the global frame, direct eval
+	// fragments, unresolved trees) stays on the tree-walker.
+	BackendBytecode = "bytecode"
+)
+
 // RunConfig is the host environment for one execution.
 type RunConfig struct {
 	Engine *engine.Profile // nil: uniform test profile
 	Clock  eventloop.Clock // nil: real clock
 	Out    io.Writer       // nil: discard console output
 	Seed   uint64          // Math.random seed
+
+	// Backend selects the execution engine: BackendTree or
+	// BackendBytecode. Empty consults the STOPIFY_BACKEND environment
+	// variable and defaults to the tree-walker — which is how CI forces
+	// its bytecode matrix leg without touching every call site.
+	Backend string
+
+	// MaxSteps aborts execution once the interpreter's statement counter
+	// exceeds it (interp.ErrStepBudget); 0 means unlimited. The
+	// differential fuzz harness uses it to bound both engines at the same
+	// statement boundary.
+	MaxSteps uint64
+}
+
+// useBytecode resolves the configured backend. Unknown names are an error:
+// a typo in a CI matrix or benchmark flag should fail loudly, not silently
+// measure the wrong engine.
+func (cfg *RunConfig) useBytecode() (bool, error) {
+	b := cfg.Backend
+	if b == "" {
+		b = os.Getenv("STOPIFY_BACKEND")
+	}
+	switch b {
+	case "", BackendTree:
+		return false, nil
+	case BackendBytecode:
+		return true, nil
+	}
+	return false, fmt.Errorf("stopify: unknown backend %q (want %q or %q)", b, BackendTree, BackendBytecode)
 }
 
 // AsyncRun is the run/pause/resume handle of Figure 1.
@@ -279,17 +321,23 @@ type AsyncRun struct {
 // NewRun instantiates an interpreter realm, runtime, and event loop for the
 // compiled program.
 func (c *Compiled) NewRun(cfg RunConfig) (*AsyncRun, error) {
+	bc, err := cfg.useBytecode()
+	if err != nil {
+		return nil, err
+	}
 	clock := cfg.Clock
 	if clock == nil {
 		clock = eventloop.NewRealClock()
 	}
 	loop := eventloop.New(clock)
 	in := interp.New(interp.Options{
-		Engine: cfg.Engine,
-		Clock:  clock,
-		Loop:   loop,
-		Out:    cfg.Out,
-		Seed:   cfg.Seed,
+		Engine:   cfg.Engine,
+		Clock:    clock,
+		Loop:     loop,
+		Out:      cfg.Out,
+		Seed:     cfg.Seed,
+		Bytecode: bc,
+		MaxSteps: cfg.MaxSteps,
 	})
 	runtime := rt.New(in, loop, rt.Options{
 		Strategy:        c.Opts.strategy(),
@@ -402,6 +450,10 @@ func RunSource(source string, opts Opts, cfg RunConfig) (string, error) {
 // RunRaw executes source without Stopify (the baseline denominator in every
 // slowdown measurement), returning console output.
 func RunRaw(source string, cfg RunConfig) (string, error) {
+	bc, err := cfg.useBytecode()
+	if err != nil {
+		return "", err
+	}
 	prog, err := parser.Parse(source)
 	if err != nil {
 		return "", err
@@ -417,7 +469,10 @@ func RunRaw(source string, cfg RunConfig) (string, error) {
 		clock = eventloop.NewRealClock()
 	}
 	loop := eventloop.New(clock)
-	in := interp.New(interp.Options{Engine: cfg.Engine, Clock: clock, Loop: loop, Out: out, Seed: cfg.Seed})
+	in := interp.New(interp.Options{
+		Engine: cfg.Engine, Clock: clock, Loop: loop, Out: out,
+		Seed: cfg.Seed, Bytecode: bc, MaxSteps: cfg.MaxSteps,
+	})
 	// Raw execution has the browser's native eval: parse, resolve, and run
 	// directly. The fragment's own statements execute in the dynamic global
 	// frame; only functions within get slot frames.

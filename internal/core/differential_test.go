@@ -1,0 +1,362 @@
+package core_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eventloop"
+	"repro/internal/langs"
+	"repro/internal/parser"
+)
+
+// The differential harness: every program of the repository's corpora runs
+// under both execution engines — the tree-walker and the bytecode engine —
+// and must produce identical console output, identical errors (including
+// none), and the same completion kind. This is the primary safety net for
+// the second engine: the bytecode compiler is allowed to lower anything it
+// wants, as long as no program can tell.
+
+// diffBudget bounds each run; both engines abort with interp.ErrStepBudget
+// at the same statement boundary, so a budgeted divergence is still a real
+// divergence.
+const diffBudget = 3_000_000
+
+// outcome flattens a run's result into a comparable record.
+type outcome struct {
+	out   string
+	err   string
+	panic string
+}
+
+func (o outcome) String() string {
+	return fmt.Sprintf("out=%q err=%q panic=%q", o.out, o.err, o.panic)
+}
+
+// runRawOutcome executes source raw under the given backend, capturing
+// panics (uncaught event-loop exceptions crash the page, for both engines
+// alike) so they compare as outcomes instead of killing the harness.
+func runRawOutcome(src, backend string) outcome {
+	return runRawBudget(src, backend, diffBudget)
+}
+
+func runRawBudget(src, backend string, budget uint64) (o outcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			o.panic = fmt.Sprint(r)
+		}
+	}()
+	out, err := core.RunRaw(src, core.RunConfig{
+		Backend:  backend,
+		Clock:    eventloop.NewVirtualClock(),
+		Seed:     1,
+		MaxSteps: budget,
+	})
+	o.out = out
+	if err != nil {
+		o.err = err.Error()
+	}
+	return o
+}
+
+// runStopifiedOutcome compiles once (compilation is engine-independent) and
+// executes under the given backend. It returns the outcome plus the number
+// of bytecode chunk invocations, so callers can assert the bytecode engine
+// actually ran.
+func runStopifiedOutcome(t *testing.T, c *core.Compiled, backend string) (o outcome, chunkRuns uint64) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			o.panic = fmt.Sprint(r)
+		}
+	}()
+	var buf nullableBuf
+	run, err := c.NewRun(core.RunConfig{
+		Backend:  backend,
+		Clock:    eventloop.NewVirtualClock(),
+		Out:      &buf,
+		Seed:     1,
+		MaxSteps: diffBudget,
+	})
+	if err != nil {
+		o.err = err.Error()
+		return o, 0
+	}
+	if rerr := run.RunToCompletion(); rerr != nil {
+		o.err = rerr.Error()
+	}
+	run.Loop.Run() // drain remaining timers, as a page would
+	o.out = buf.String()
+	_, _, runs := run.In.BytecodeStats()
+	return o, runs
+}
+
+type nullableBuf struct{ b []byte }
+
+func (n *nullableBuf) Write(p []byte) (int, error) { n.b = append(n.b, p...); return len(p), nil }
+func (n *nullableBuf) String() string              { return string(n.b) }
+
+// diffProgram is one corpus entry.
+type diffProgram struct {
+	name string
+	src  string
+	opts core.Opts // for the stopified leg
+}
+
+// corpusPrograms assembles the full differential corpus: every language
+// benchmark, the Octane/Kraken-like suites, the JavaScript sources embedded
+// in the examples/ programs, and hand-written edge cases covering the bug
+// classes PRs 1–2 fixed.
+func corpusPrograms(t *testing.T) []diffProgram {
+	var progs []diffProgram
+
+	for _, p := range langs.All() {
+		opts := p.Opts(core.Defaults())
+		opts.Timer = "countdown"
+		opts.CountdownN = 1000
+		for _, b := range p.Benchmarks {
+			progs = append(progs, diffProgram{
+				name: p.Name + "/" + b.Name, src: b.Source, opts: opts,
+			})
+		}
+	}
+	js := langs.JavaScript()
+	jsOpts := js.Opts(core.Defaults())
+	jsOpts.Timer = "countdown"
+	jsOpts.CountdownN = 1000
+	for _, b := range append(langs.OctaneLike(), langs.KrakenLike()...) {
+		progs = append(progs, diffProgram{name: "js/" + b.Name, src: b.Source, opts: jsOpts})
+	}
+
+	for _, ex := range exampleSources(t) {
+		progs = append(progs, diffProgram{name: ex.name, src: ex.src, opts: core.Defaults()})
+	}
+
+	for i, src := range edgeCasePrograms {
+		progs = append(progs, diffProgram{
+			name: fmt.Sprintf("edge/%02d", i), src: src, opts: core.Defaults(),
+		})
+	}
+	return progs
+}
+
+// exampleSources extracts the JavaScript programs embedded as raw string
+// literals in examples/*/main.go — any backquoted literal that parses as a
+// nonempty program joins the corpus.
+func exampleSources(t *testing.T) []struct{ name, src string } {
+	t.Helper()
+	var out []struct{ name, src string }
+	files, err := filepath.Glob(filepath.Join("..", "..", "examples", "*", "main.go"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("examples/ not found: %v", err)
+	}
+	rawString := regexp.MustCompile("(?s)`[^`]*`")
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, m := range rawString.FindAllString(string(data), -1) {
+			src := m[1 : len(m)-1]
+			prog, perr := parser.Parse(src)
+			if perr != nil || len(prog.Body) == 0 {
+				continue
+			}
+			out = append(out, struct{ name, src string }{
+				name: fmt.Sprintf("example/%s/%d", filepath.Base(filepath.Dir(f)), i),
+				src:  src,
+			})
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no example sources extracted")
+	}
+	return out
+}
+
+// edgeCasePrograms are the hand-written regression programs: the compiler
+// edge cases the bytecode engine must not get wrong, wrapped in functions
+// so the bytecode path (which only handles resolved function bodies)
+// actually executes them.
+var edgeCasePrograms = []string{
+	// Elided array holes, length, and join.
+	`function f() { var a = [,1,,3,,]; return a.length + ":" + a.join("-"); }
+	 console.log(f());`,
+	// delete arr[i] with named properties present.
+	`function f() { var a = [1,2,3]; a.foo = "x"; delete a[1];
+	 return a[1] + "/" + a.length + "/" + a.foo; }
+	 console.log(f());`,
+	// Accessor vs data shape kinds, including conversion in place.
+	`function f() {
+	   var o = { get x() { return 1; }, set x(v) { this.y = v; } };
+	   var before = o.x; o.x = 42; var o2 = { x: 5 }; o2.x = 6;
+	   return before + "," + o.y + "," + o2.x;
+	 }
+	 console.log(f());`,
+	// break/continue through labeled loops, including from a catch.
+	`function f() {
+	   var log = "";
+	   outer: for (var i = 0; i < 4; i++) {
+	     inner: for (var j = 0; j < 4; j++) {
+	       if (j === 1) { continue inner; }
+	       if (j === 2 && i === 1) { continue outer; }
+	       try { if (i === 2) { break outer; } } catch (e) {}
+	       log += i + "" + j + ";";
+	     }
+	   }
+	   return log;
+	 }
+	 console.log(f());`,
+	// Labeled break out of a switch inside a loop.
+	`function f() {
+	   var s = "";
+	   loop: for (var i = 0; i < 5; i++) {
+	     switch (i) {
+	       case 1: s += "one"; break;
+	       case 2: s += "two"; continue loop;
+	       case 3: break loop;
+	       default: s += "d" + i;
+	     }
+	     s += ".";
+	   }
+	   return s;
+	 }
+	 console.log(f());`,
+	// arguments materialization and mutation.
+	`function f(a, b) { arguments[0] = 9; arguments[5] = "x";
+	 return a + "," + arguments.length + "," + arguments[5] + "," + arguments[1]; }
+	 console.log(f(1, 2, 3));`,
+	// try/finally (escape hatch) interacting with return and loops.
+	`function f() {
+	   var s = "";
+	   for (var i = 0; i < 3; i++) {
+	     try { if (i === 1) { continue; } s += "t" + i; } finally { s += "f" + i; }
+	   }
+	   try { return s + "|ret"; } finally { s += "never-seen"; }
+	 }
+	 console.log(f());`,
+	// finally overriding a return completion.
+	`function f() { try { return "a"; } finally { return "b"; } }
+	 console.log(f());`,
+	// throw through nested handlers, rethrow, and error identity.
+	`function f() {
+	   var s = "";
+	   try {
+	     try { throw new Error("boom"); } catch (e) { s += "c1:" + e.message + ";"; throw e; }
+	   } catch (e2) { s += "c2:" + e2.message; }
+	   return s;
+	 }
+	 console.log(f());`,
+	// for-in over an object mutated mid-loop (snapshot semantics), plus
+	// prototype properties and implicit-global loop variable semantics.
+	`function f() {
+	   var o = { a: 1, b: 2, c: 3 };
+	   var s = "";
+	   for (var k in o) { s += k; if (k === "a") { delete o.b; o.d = 4; } }
+	   return s;
+	 }
+	 console.log(f());`,
+	// Computed member compound assignment: index stringified exactly once.
+	`function f() {
+	   var calls = 0;
+	   var key = { toString: function () { calls++; return "k"; } };
+	   var o = { k: 10 };
+	   o[key] += 5;
+	   o[key]++;
+	   return o.k + "/" + calls;
+	 }
+	 console.log(f());`,
+	// typeof of unresolvable names; void; delete of non-members.
+	`function f() { return typeof nothingHere + "," + typeof f + "," +
+	 (void "x") + "," + (delete 1); }
+	 console.log(f());`,
+	// Deep recursion: both engines must throw the same RangeError.
+	`function f(n) { return f(n + 1); }
+	 try { f(0); } catch (e) { console.log(e.name); }`,
+	// Step-budget exhaustion: both engines abort identically.
+	`function f() { var i = 0; while (true) { i++; } }
+	 f();`,
+	// Closures over loop variables and catch parameters.
+	`function f() {
+	   var fns = [];
+	   for (var i = 0; i < 3; i++) { fns.push(function () { return i; }) }
+	   var c;
+	   try { throw 7; } catch (e) { c = function () { return e; }; }
+	   return fns[0]() + "," + fns[2]() + "," + c();
+	 }
+	 console.log(f());`,
+	// Switch fallthrough with default in the middle.
+	`function f(x) {
+	   var s = "";
+	   switch (x) { case 1: s += "1"; default: s += "d"; case 2: s += "2"; }
+	   return s;
+	 }
+	 console.log(f(1), f(2), f(3));`,
+	// Getter/setter invocation through member reads in loops (IC reuse).
+	`function f() {
+	   var hits = 0;
+	   var o = { get v() { hits++; return hits; } };
+	   var sum = 0;
+	   for (var i = 0; i < 5; i++) { sum += o.v; }
+	   return sum + "/" + hits;
+	 }
+	 console.log(f());`,
+	// String/number coercion corners fixed in PR 2.
+	`function f() { return (1e20 | 0) + "," + (1e20 >>> 0) + "," + String(-0) + "," +
+	 ({} + "") + "," + (-0 === 0); }
+	 console.log(f());`,
+	// Event-loop interleaving with timers.
+	`var log = [];
+	 function tick(n) { log.push(n); if (n < 3) { setTimeout(function () { tick(n + 1); }, 10); } }
+	 setTimeout(function () { log.push("late"); console.log(log.join(",")); }, 100);
+	 tick(0);`,
+	// eval of function-defining code (dynamic fallback path).
+	`function mk(src) { return eval(src); }
+	 var g = mk("function g(x) { return x * 2; } g");
+	 console.log(typeof g === "function" ? g(21) : "no-eval");`,
+}
+
+// TestDifferentialRaw runs the whole corpus raw under both engines.
+func TestDifferentialRaw(t *testing.T) {
+	for _, p := range corpusPrograms(t) {
+		p := p
+		t.Run("raw/"+p.name, func(t *testing.T) {
+			tree := runRawOutcome(p.src, core.BackendTree)
+			bc := runRawOutcome(p.src, core.BackendBytecode)
+			if tree != bc {
+				t.Fatalf("raw divergence:\n  tree:     %v\n  bytecode: %v", tree, bc)
+			}
+		})
+	}
+}
+
+// TestDifferentialStopified compiles the corpus with each program's own
+// sub-language options and runs the instrumented output under both engines.
+func TestDifferentialStopified(t *testing.T) {
+	sawBytecode := false
+	for _, p := range corpusPrograms(t) {
+		p := p
+		t.Run("stopified/"+p.name, func(t *testing.T) {
+			c, err := core.Compile(p.src, p.opts)
+			if err != nil {
+				// Programs outside the configured sub-language are fine —
+				// the compile error does not depend on the engine.
+				t.Skipf("does not compile under these options: %v", err)
+			}
+			tree, _ := runStopifiedOutcome(t, c, core.BackendTree)
+			bc, runs := runStopifiedOutcome(t, c, core.BackendBytecode)
+			if tree != bc {
+				t.Fatalf("stopified divergence:\n  tree:     %v\n  bytecode: %v", tree, bc)
+			}
+			if runs > 0 {
+				sawBytecode = true
+			}
+		})
+	}
+	if !sawBytecode {
+		t.Fatal("bytecode engine never executed a chunk across the whole corpus")
+	}
+}

@@ -1,0 +1,132 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/eventloop"
+	"repro/internal/parser"
+)
+
+// FuzzBytecodeVsTreewalker is the differential fuzz target: any parseable
+// input runs raw under both execution engines with a step budget, and any
+// difference in output, error, or completion kind is a failure. The seed
+// corpus follows the printer fuzz tests' approach — deterministic
+// pseudo-random program generation — plus the hand-written edge cases the
+// differential harness uses.
+func FuzzBytecodeVsTreewalker(f *testing.F) {
+	for _, src := range edgeCasePrograms {
+		f.Add(src)
+	}
+	for seed := int64(0); seed < 40; seed++ {
+		f.Add(randomProgram(rand.New(rand.NewSource(seed))))
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<14 {
+			t.Skip("oversized input")
+		}
+		if _, err := parser.Parse(src); err != nil {
+			t.Skip("does not parse")
+		}
+		tree := fuzzOutcome(src, core.BackendTree)
+		bc := fuzzOutcome(src, core.BackendBytecode)
+		if tree != bc {
+			t.Fatalf("engine divergence on:\n%s\n  tree:     %v\n  bytecode: %v",
+				src, tree, bc)
+		}
+	})
+}
+
+// fuzzOutcome is runRawOutcome with a tighter budget — fuzz inputs loop
+// forever routinely, and both engines abort at the same boundary — and a
+// shallow engine stack, so generated runaway recursion throws RangeError
+// long before the native stack (inflated by fuzz instrumentation) is at
+// risk.
+func fuzzOutcome(src, backend string) (o outcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			o.panic = fmt.Sprint(r)
+		}
+	}()
+	eng := engine.Uniform()
+	eng.MaxStack = 2000
+	out, err := core.RunRaw(src, core.RunConfig{
+		Backend:  backend,
+		Engine:   eng,
+		Clock:    eventloop.NewVirtualClock(),
+		Seed:     1,
+		MaxSteps: 50_000,
+	})
+	o.out = out
+	if err != nil {
+		o.err = err.Error()
+	}
+	return o
+}
+
+// randomProgram generates a deterministic pseudo-random program from
+// statement and expression templates covering the constructs the bytecode
+// compiler lowers (and the ones it escape-hatches).
+func randomProgram(rnd *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString("function main() {\n var s = \"\"; var n = 0; var o = {a:1,b:2}; var arr = [1,2,3];\n")
+	depth := 0
+	nStmts := 4 + rnd.Intn(8)
+	for i := 0; i < nStmts; i++ {
+		b.WriteString(randomStmt(rnd, &depth, 0))
+	}
+	b.WriteString(" return s + \"|\" + n;\n}\nconsole.log(main());\n")
+	return b.String()
+}
+
+func randomExpr(rnd *rand.Rand) string {
+	exprs := []string{
+		"n + 1", "n * 2 - 1", "n & 7", "n >>> 1", "s + n", "arr[n % 3]",
+		"o.a + o.b", "typeof o.missing", "n < 10", "n === 3", "s.length",
+		"arr.length", "\"x\" + (n | 0)", "(n ? 1 : 2)", "o[\"a\"]",
+		"-n", "~n", "!n", "n % 5 === 0 && s !== \"\"", "n > 2 || false",
+	}
+	return exprs[rnd.Intn(len(exprs))]
+}
+
+func randomStmt(rnd *rand.Rand, depth *int, level int) string {
+	if level > 2 {
+		return fmt.Sprintf(" n = %s;\n", randomExpr(rnd))
+	}
+	switch rnd.Intn(12) {
+	case 0:
+		return fmt.Sprintf(" s += %s;\n", randomExpr(rnd))
+	case 1:
+		return fmt.Sprintf(" n = %s;\n", randomExpr(rnd))
+	case 2:
+		return fmt.Sprintf(" if (%s) {\n%s } else {\n%s }\n",
+			randomExpr(rnd), randomStmt(rnd, depth, level+1), randomStmt(rnd, depth, level+1))
+	case 3:
+		return fmt.Sprintf(" for (var i%d = 0; i%d < %d; i%d++) {\n%s }\n",
+			level, level, 2+rnd.Intn(4), level, randomStmt(rnd, depth, level+1))
+	case 4:
+		return fmt.Sprintf(" try {\n%s } catch (e%d) { s += \"c\"; }\n",
+			randomStmt(rnd, depth, level+1), level)
+	case 5:
+		return fmt.Sprintf(" try {\n%s } finally { s += \"f\"; }\n",
+			randomStmt(rnd, depth, level+1))
+	case 6:
+		return fmt.Sprintf(" switch (n %% 3) { case 0: s += \"0\"; break; case 1: s += \"1\"; default: s += \"d\"; }\n")
+	case 7:
+		return fmt.Sprintf(" L%d: for (var j%d = 0; j%d < 3; j%d++) { if (j%d === 1) { %s L%d; } s += j%d; }\n",
+			level, level, level, level, level,
+			[]string{"break", "continue"}[rnd.Intn(2)], level, level)
+	case 8:
+		return fmt.Sprintf(" for (var k%d in o) { s += k%d; }\n", level, level)
+	case 9:
+		return fmt.Sprintf(" o.%s = %s;\n", []string{"a", "b", "c"}[rnd.Intn(3)], randomExpr(rnd))
+	case 10:
+		return fmt.Sprintf(" arr[%d] = %s; delete arr[%d];\n", rnd.Intn(4), randomExpr(rnd), rnd.Intn(4))
+	default:
+		return fmt.Sprintf(" (function (x) { n = x + n; })(%s);\n", randomExpr(rnd))
+	}
+}

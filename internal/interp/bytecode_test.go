@@ -1,0 +1,215 @@
+package interp
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/resolve"
+)
+
+// runEngine parses, resolves, and executes src in a fresh realm with the
+// given engine, returning console output (and failing the test on any
+// execution error).
+func runEngine(t *testing.T, src string, useBytecode bool) (string, *Interp) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	resolve.Program(prog)
+	var buf bytes.Buffer
+	in := New(Options{Out: &buf, Seed: 1, Bytecode: useBytecode})
+	if err := in.RunProgram(prog); err != nil {
+		t.Fatalf("run (bytecode=%v): %v", useBytecode, err)
+	}
+	return buf.String(), in
+}
+
+// runBoth executes src under both engines, asserts identical output, and
+// asserts the bytecode engine actually executed compiled chunks (these
+// tests exist to cover the bytecode path; silently tree-walking would make
+// them vacuous).
+func runBoth(t *testing.T, src string) string {
+	t.Helper()
+	tree, _ := runEngine(t, src, false)
+	bc, in := runEngine(t, src, true)
+	if tree != bc {
+		t.Fatalf("engine divergence:\n  tree:     %q\n  bytecode: %q", tree, bc)
+	}
+	if _, _, runs := in.BytecodeStats(); runs == 0 {
+		t.Fatal("bytecode engine compiled nothing; test is vacuous")
+	}
+	return bc
+}
+
+func TestBytecodeArrayHoles(t *testing.T) {
+	out := runBoth(t, `
+function f() {
+  var a = [,1,,3,,];
+  var b = [1,,3];
+  return a.length + ":" + a.join("-") + ":" + b[1] + ":" + (1 in b);
+}
+console.log(f());`)
+	want := "5:-1--3-:undefined:true\n"
+	if out != want {
+		t.Fatalf("got %q want %q", out, want)
+	}
+}
+
+func TestBytecodeDeleteArrayElemWithNamedProps(t *testing.T) {
+	out := runBoth(t, `
+function f() {
+  var a = [1,2,3];
+  a.foo = "x";
+  delete a[1];
+  return a[1] + "/" + a.length + "/" + a.foo;
+}
+console.log(f());`)
+	if out != "undefined/3/x\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestBytecodeAccessorVsDataKinds(t *testing.T) {
+	runBoth(t, `
+function f() {
+  var o = { get x() { return 1; }, set x(v) { this.sink = v; } };
+  var o2 = { x: 5 };            // data-shaped sibling
+  var r = o.x + ",";
+  o.x = 42;                     // must hit the setter, not a slot write
+  r += o.sink + ",";
+  o2.x = 6;                     // warm data write site
+  r += o2.x;
+  return r;
+}
+console.log(f());`)
+}
+
+func TestBytecodeLabeledBreakContinue(t *testing.T) {
+	out := runBoth(t, `
+function f() {
+  var log = "";
+  outer: for (var i = 0; i < 4; i++) {
+    switch (i) { case 3: break outer; }
+    inner: for (var j = 0; j < 4; j++) {
+      if (j === 1) { continue inner; }
+      if (j === 3) { continue outer; }
+      if (i === 2 && j === 2) { break outer; }
+      log += i + "" + j + ";";
+    }
+  }
+  return log;
+}
+console.log(f());`)
+	if out != "00;02;10;12;20;\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestBytecodeArgumentsMaterialization(t *testing.T) {
+	runBoth(t, `
+function uses(a) { return arguments.length + ":" + arguments[1]; }
+function skips(a) { return a * 2; } // no arguments reference: not materialized
+function grows() { arguments[7] = "x"; return arguments.length + ":" + arguments[7]; }
+console.log(uses(1, "two", 3), skips(21), grows(1, 2));`)
+}
+
+func TestBytecodeForInDynamicLoopVar(t *testing.T) {
+	// The loop variable is an implicit global (assigned, never declared):
+	// the bytecode store must create it at the root frame like the
+	// tree-walker does.
+	runBoth(t, `
+function f(o) { for (k in o) {} return typeof k; }
+console.log(f({a: 1}));`)
+}
+
+// TestReturnFreelistThroughEscapeHatch is the regression test for the
+// completion-record freelist audit: a return completion that escapes a
+// tree-walked statement (try/finally, the escape hatch) into the dispatch
+// loop is consumed there — exactly once — and recycled. Interleaved calls
+// through both consumption points (runChunk's escape-hatch path and Call's
+// tree epilogue) must never observe each other's completion values, which
+// is what would happen if a completion were recycled while still in
+// flight or recycled twice.
+func TestReturnFreelistThroughEscapeHatch(t *testing.T) {
+	out := runBoth(t, `
+function viaFinally(n) {
+  try { return "f" + n; } finally { var sink = n; }
+}
+function viaFinallyOverride() {
+  try { return "dropped"; } finally { return "override"; }
+}
+function plain(n) { return "p" + n; }
+function nest(n) {
+  // A tree-consumed return (plain) evaluated while an escape-hatch
+  // return (viaFinally) is being constructed, and vice versa.
+  try { return viaFinally(plain(n)) + "|" + plain(viaFinally(n)); } finally {}
+}
+var r = [];
+for (var i = 0; i < 50; i++) {
+  r.push(nest(i));
+  r.push(viaFinallyOverride());
+}
+console.log(r[0], r[1], r[98], r[99], r.length);`)
+	want := "fp0|pf0 override fp49|pf49 override 100\n"
+	if out != want {
+		t.Fatalf("freelist corruption: got %q want %q", out, want)
+	}
+}
+
+// TestBytecodeStepBudgetParity checks both engines abort a runaway loop at
+// the same statement boundary with the same error.
+func TestBytecodeStepBudgetParity(t *testing.T) {
+	src := `function f() { var i = 0; while (true) { i++; } } f();`
+	run := func(bc bool) (uint64, error) {
+		prog, err := parser.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resolve.Program(prog)
+		in := New(Options{Bytecode: bc, MaxSteps: 10_000})
+		rerr := in.RunProgram(prog)
+		return in.Steps, rerr
+	}
+	treeSteps, treeErr := run(false)
+	bcSteps, bcErr := run(true)
+	if treeErr != ErrStepBudget || bcErr != ErrStepBudget {
+		t.Fatalf("expected budget errors, got tree=%v bytecode=%v", treeErr, bcErr)
+	}
+	// Statement-marker fusion may count a handful of boundary-only
+	// statements in one step, so the counters need not be bit-identical —
+	// but they must agree to within the largest fused run.
+	diff := int64(treeSteps) - int64(bcSteps)
+	if diff < -8 || diff > 8 {
+		t.Fatalf("step counters diverged: tree=%d bytecode=%d", treeSteps, bcSteps)
+	}
+}
+
+// TestBytecodeDeepRecursionRangeError checks the engines share the stack
+// limit behavior.
+func TestBytecodeDeepRecursionRangeError(t *testing.T) {
+	runBoth(t, `
+function f(n) { return f(n + 1); }
+try { f(0); } catch (e) { console.log(e.name); }`)
+}
+
+// TestBytecodeChunkStats sanity-checks the engine-evidence counters.
+func TestBytecodeChunkStats(t *testing.T) {
+	_, in := runEngine(t, `
+function a() { return 1; }
+function b() { return a() + a(); }
+console.log(b());`, true)
+	compiled, rejected, runs := in.BytecodeStats()
+	if compiled < 2 || runs < 3 {
+		t.Fatalf("expected ≥2 compiled functions and ≥3 runs, got %d/%d", compiled, runs)
+	}
+	if rejected != 0 {
+		t.Fatalf("unexpected rejected functions: %d", rejected)
+	}
+	// The tree realm must report nothing.
+	_, in = runEngine(t, `function a() { return 1; } console.log(a());`, false)
+	if _, _, runs := in.BytecodeStats(); runs != 0 {
+		t.Fatal("tree realm reported bytecode runs")
+	}
+}

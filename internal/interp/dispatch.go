@@ -1,0 +1,983 @@
+package interp
+
+import (
+	"errors"
+
+	"repro/internal/ast"
+	"repro/internal/bytecode"
+)
+
+// This file is the bytecode execution engine: a flat fetch–execute loop
+// over the instruction stream internal/bytecode compiles from resolved
+// function bodies. It shares everything else with the tree-walker — Value
+// representation, Env frames, shapes, the per-site inline caches, the
+// engine cost model — so the two engines differ only in dispatch. The
+// tree-walker remains the substrate for dynamic code (the global frame,
+// eval'd fragments, unresolved trees) and for the per-statement escape
+// hatches the compiler emits.
+
+// ErrStepBudget aborts execution when Options.MaxSteps is exhausted. Both
+// engines check the budget at the same statement boundaries, so a budgeted
+// run diverges in neither output nor completion — the property the
+// differential fuzz harness relies on.
+var ErrStepBudget = errors.New("interp: step budget exhausted")
+
+// forInIter is the reified state of a for-in loop: the snapshot of
+// enumerable keys taken at loop entry (mutation during iteration does not
+// grow the walk, as in the tree-walker).
+type forInIter struct {
+	keys []string
+	i    int
+}
+
+// tryFrame is one active try/catch region in a chunk invocation.
+type tryFrame struct {
+	catchPC  int32 // -1 for a catchless try (charge-only region)
+	sp       int
+	envDepth int
+}
+
+// vmStackCap is the capacity of the per-realm operand-stack arena. Frames
+// beyond it (very deep recursion) fall back to private allocations.
+const vmStackCap = 8192
+
+// chunkFor returns the realm's compiled chunk for fn, compiling on first
+// call. A nil entry records a function the compiler rejected, so the
+// tree-walker handles it without re-attempting compilation. The cache is
+// per-realm (like the inline caches), which keeps compilation free of
+// cross-realm synchronization.
+func (in *Interp) chunkFor(fn *ast.Func) *bytecode.Chunk {
+	if ch, ok := in.chunks[fn]; ok {
+		return ch
+	}
+	ch := bytecode.CompileCached(fn)
+	if in.chunks == nil {
+		in.chunks = make(map[*ast.Func]*bytecode.Chunk)
+	}
+	in.chunks[fn] = ch
+	if ch == nil {
+		in.chunkFails++
+	} else {
+		in.chunkFuncs++
+	}
+	return ch
+}
+
+// BytecodeEnabled reports whether this realm dispatches resolved functions
+// through the bytecode engine.
+func (in *Interp) BytecodeEnabled() bool { return in.bytecode }
+
+// BytecodeStats reports how many functions this realm compiled to bytecode,
+// how many the compiler rejected, and how many chunk invocations ran — the
+// "which engine actually executed" evidence used by tests and the bench
+// harness.
+func (in *Interp) BytecodeStats() (compiled, rejected int, runs uint64) {
+	return in.chunkFuncs, in.chunkFails, in.chunkRuns
+}
+
+// runChunk executes a compiled function body in env (already laid out by
+// Call: parameters, this, new.target, arguments, hoisted declarations).
+// It returns the completion the tree-walker's Call epilogue would have
+// produced: (value, nil) for return/fall-off, or the propagating error.
+func (in *Interp) runChunk(ch *bytecode.Chunk, env *Env) (Value, error) {
+	in.chunkRuns++
+
+	// Operand stack: a window of the realm arena, or a private slice when
+	// the arena is full. The arena's capacity is fixed, so the backing
+	// array never moves and nested invocations cannot invalidate this
+	// frame's window.
+	if cap(in.vmStack) == 0 {
+		in.vmStack = make([]Value, 0, vmStackCap)
+	}
+	mark := len(in.vmStack)
+	var stack []Value
+	arena := mark+ch.MaxStack <= cap(in.vmStack)
+	if arena {
+		in.vmStack = in.vmStack[:mark+ch.MaxStack]
+		stack = in.vmStack[mark : mark+ch.MaxStack : mark+ch.MaxStack]
+		// The window is released un-zeroed: unlike the argument arena,
+		// whose windows outlive arbitrary callee work, stack windows are
+		// overwritten by the very next call at this depth, so stale
+		// values pin at most one arena's worth of dead objects — a
+		// bounded cost that buys back a per-call memclr.
+		defer func() { in.vmStack = in.vmStack[:mark] }()
+	} else {
+		stack = make([]Value, ch.MaxStack)
+	}
+
+	var tries []tryFrame
+	if ch.MaxTries > 0 {
+		tries = make([]tryFrame, 0, ch.MaxTries)
+	}
+
+	code := ch.Code
+	pc := 0
+	sp := 0
+	envDepth := 0
+	var err error
+
+loop:
+	for {
+		ins := code[pc]
+		pc++
+		switch ins.Op {
+		case bytecode.OpStmt:
+			in.Steps += uint64(ins.A)
+			in.charge(int(ins.A))
+			if in.maxSteps != 0 && in.Steps > in.maxSteps {
+				return nil, ErrStepBudget
+			}
+			if ins.B != 0 {
+				in.charge(in.Engine.BranchCost)
+			}
+
+		case bytecode.OpConst:
+			stack[sp] = ch.Consts[ins.A]
+			sp++
+		case bytecode.OpUndef:
+			stack[sp] = undefinedValue
+			sp++
+		case bytecode.OpNull:
+			stack[sp] = nullValue
+			sp++
+		case bytecode.OpTrue:
+			stack[sp] = trueValue
+			sp++
+		case bytecode.OpFalse:
+			stack[sp] = falseValue
+			sp++
+		case bytecode.OpPop:
+			sp--
+		case bytecode.OpDup:
+			stack[sp] = stack[sp-1]
+			sp++
+		case bytecode.OpDup2:
+			stack[sp] = stack[sp-2]
+			stack[sp+1] = stack[sp-1]
+			sp += 2
+		case bytecode.OpDupX1:
+			t := stack[sp-1]
+			stack[sp-1] = stack[sp-2]
+			stack[sp-2] = t
+			stack[sp] = t
+			sp++
+		case bytecode.OpDupX2:
+			t := stack[sp-1]
+			stack[sp-1] = stack[sp-2]
+			stack[sp-2] = stack[sp-3]
+			stack[sp-3] = t
+			stack[sp] = t
+			sp++
+
+		case bytecode.OpGetLocal:
+			v := env.slots[ins.A]
+			if v == nil {
+				v = undefinedValue
+			}
+			stack[sp] = v
+			sp++
+		case bytecode.OpSetLocal:
+			sp--
+			env.slots[ins.A] = stack[sp]
+		case bytecode.OpGetRef:
+			stack[sp] = env.GetRef(ast.Ref(uint32(ins.A)))
+			sp++
+		case bytecode.OpSetRef:
+			sp--
+			env.SetRef(ast.Ref(uint32(ins.A)), stack[sp])
+		case bytecode.OpGetGlobal:
+			if site := uint32(ins.A); site != 0 {
+				if c := in.icCellAt(site); c != nil {
+					stack[sp] = c.v
+					sp++
+					break
+				}
+			}
+			v, e := in.globalMiss(env, ch.Names[ins.B], uint32(ins.A))
+			if e != nil {
+				err = e
+				goto fail
+			}
+			stack[sp] = v
+			sp++
+		case bytecode.OpSetGlobal:
+			sp--
+			v := stack[sp]
+			if site := uint32(ins.A); site != 0 {
+				if c := in.icCellAt(site); c != nil {
+					c.v = v
+					break
+				}
+			}
+			name := ch.Names[ins.B]
+			c, ok := env.setDynamicCell(name, v)
+			if !ok {
+				root := env.Root()
+				root.Define(name, v)
+				c = root.Cell(name)
+			}
+			if c != nil && ins.A != 0 {
+				in.icCacheCell(uint32(ins.A), c)
+			}
+		case bytecode.OpGetDyn:
+			name := ch.Names[ins.B]
+			v, ok := env.Lookup(name)
+			if !ok {
+				err = in.Throw("ReferenceError", "%s is not defined", name)
+				goto fail
+			}
+			stack[sp] = v
+			sp++
+		case bytecode.OpSetDyn:
+			sp--
+			name := ch.Names[ins.B]
+			if !env.Set(name, stack[sp]) {
+				env.Root().Define(name, stack[sp])
+			}
+		case bytecode.OpTypeofGlobal:
+			var v Value
+			found := false
+			if site := uint32(ins.A); site != 0 {
+				if c := in.icCellAt(site); c != nil {
+					v, found = c.v, true
+				}
+			}
+			if !found {
+				name := ch.Names[ins.B]
+				var c *cell
+				v, found, c = env.lookupDynamicCell(name)
+				if found && c != nil && ins.A != 0 {
+					in.icCacheCell(uint32(ins.A), c)
+				}
+			}
+			if found {
+				stack[sp] = typeOfValue(v)
+			} else {
+				stack[sp] = typeofUndefined
+			}
+			sp++
+		case bytecode.OpTypeofDyn:
+			if v, ok := env.Lookup(ch.Names[ins.B]); ok {
+				stack[sp] = typeOfValue(v)
+			} else {
+				stack[sp] = typeofUndefined
+			}
+			sp++
+		case bytecode.OpThisDyn:
+			if v, ok := env.Lookup("this"); ok {
+				stack[sp] = v
+			} else {
+				stack[sp] = undefinedValue
+			}
+			sp++
+		case bytecode.OpNewTargetDyn:
+			if v, ok := env.Lookup("new.target"); ok {
+				stack[sp] = v
+			} else {
+				stack[sp] = undefinedValue
+			}
+			sp++
+
+		case bytecode.OpClosure:
+			stack[sp] = in.makeFunction(ch.Funcs[ins.A], env)
+			sp++
+		case bytecode.OpArray:
+			n := int(ins.A)
+			elems := make([]Value, n)
+			copy(elems, stack[sp-n:sp])
+			sp -= n
+			in.charge(in.Engine.ObjectCreateCost)
+			stack[sp] = in.NewArray(elems)
+			sp++
+		case bytecode.OpNewObject:
+			in.charge(in.Engine.ObjectCreateCost)
+			stack[sp] = in.NewPlainObject()
+			sp++
+		case bytecode.OpSetProp:
+			sp--
+			stack[sp-1].(*Object).SetOwn(ch.Names[ins.A], stack[sp])
+		case bytecode.OpSetAccessor:
+			acc := ch.Accessors[ins.A]
+			fn := in.makeFunction(ch.Funcs[acc.Fn], env)
+			obj := stack[sp-1].(*Object)
+			key := ch.Names[acc.Name]
+			var getter, setter *Object
+			if slot := obj.Own(key); slot != nil {
+				getter, setter = slot.Getter, slot.Setter
+			}
+			if acc.Setter {
+				setter = fn
+			} else {
+				getter = fn
+			}
+			obj.SetAccessor(key, getter, setter, true)
+
+		case bytecode.OpGetMember:
+			v, e := in.getMemberSite(stack[sp-1], ch.Names[ins.A], uint32(ins.B))
+			if e != nil {
+				err = e
+				goto fail
+			}
+			stack[sp-1] = v
+		case bytecode.OpSetMember:
+			base := stack[sp-1]
+			v := stack[sp-2]
+			sp -= 2
+			if e := in.setMemberSite(base, ch.Names[ins.A], v, uint32(ins.B)); e != nil {
+				err = e
+				goto fail
+			}
+		case bytecode.OpSetMemberKeep:
+			v := stack[sp-1]
+			base := stack[sp-2]
+			sp -= 2
+			if e := in.setMemberSite(base, ch.Names[ins.A], v, uint32(ins.B)); e != nil {
+				err = e
+				goto fail
+			}
+			stack[sp] = v
+			sp++
+		case bytecode.OpGetMethod:
+			v, e := in.getMemberSite(stack[sp-1], ch.Names[ins.A], uint32(ins.B))
+			if e != nil {
+				err = e
+				goto fail
+			}
+			stack[sp] = v
+			sp++
+		case bytecode.OpGetMethodIndex:
+			idx := stack[sp-1]
+			base := stack[sp-2]
+			v, ok := in.getElemFast(base, idx)
+			if !ok {
+				key, e := in.ToStringValue(idx)
+				if e != nil {
+					err = e
+					goto fail
+				}
+				v, e = in.GetMember(base, key)
+				if e != nil {
+					err = e
+					goto fail
+				}
+			}
+			stack[sp-1] = v
+		case bytecode.OpGetIndex:
+			idx := stack[sp-1]
+			base := stack[sp-2]
+			sp--
+			v, ok := in.getElemFast(base, idx)
+			if !ok {
+				key, e := in.ToStringValue(idx)
+				if e != nil {
+					err = e
+					goto fail
+				}
+				v, e = in.GetMember(base, key)
+				if e != nil {
+					err = e
+					goto fail
+				}
+			}
+			stack[sp-1] = v
+		case bytecode.OpSetIndex:
+			idx := stack[sp-1]
+			base := stack[sp-2]
+			v := stack[sp-3]
+			sp -= 3
+			if e := in.setIndexed(base, idx, v); e != nil {
+				err = e
+				goto fail
+			}
+		case bytecode.OpSetIndexKeep:
+			v := stack[sp-1]
+			idx := stack[sp-2]
+			base := stack[sp-3]
+			sp -= 3
+			if e := in.setIndexed(base, idx, v); e != nil {
+				err = e
+				goto fail
+			}
+			stack[sp] = v
+			sp++
+		case bytecode.OpToPropKey:
+			if _, isObj := stack[sp-1].(*Object); isObj {
+				key, e := in.ToStringValue(stack[sp-1])
+				if e != nil {
+					err = e
+					goto fail
+				}
+				stack[sp-1] = key
+			}
+		case bytecode.OpDeleteMember:
+			sp--
+			in.deleteKey(stack[sp], ch.Names[ins.A])
+			stack[sp] = trueValue
+			sp++
+		case bytecode.OpDeleteIndex:
+			idx := stack[sp-1]
+			base := stack[sp-2]
+			sp -= 2
+			key, e := in.ToStringValue(idx)
+			if e != nil {
+				err = e
+				goto fail
+			}
+			in.deleteKey(base, key)
+			stack[sp] = trueValue
+			sp++
+
+		case bytecode.OpCall:
+			argc := int(ins.A)
+			v, e := in.Call(stack[sp-argc-1], stack[sp-argc-2], stack[sp-argc:sp], undefinedValue)
+			if e != nil {
+				err = e
+				goto fail
+			}
+			sp -= argc + 1
+			stack[sp-1] = v
+		case bytecode.OpNew:
+			argc := int(ins.A)
+			v, e := in.Construct(stack[sp-argc-1], stack[sp-argc:sp])
+			if e != nil {
+				err = e
+				goto fail
+			}
+			sp -= argc
+			stack[sp-1] = v
+		case bytecode.OpReturn:
+			return stack[sp-1], nil
+		case bytecode.OpReturnUndef:
+			return undefinedValue, nil
+
+		case bytecode.OpJump:
+			pc = int(ins.A)
+		case bytecode.OpJumpIfFalse:
+			sp--
+			if !ToBoolean(stack[sp]) {
+				pc = int(ins.A)
+			}
+		case bytecode.OpJumpIfTrue:
+			sp--
+			if ToBoolean(stack[sp]) {
+				pc = int(ins.A)
+			}
+		case bytecode.OpJumpIfFalsyKeep:
+			if !ToBoolean(stack[sp-1]) {
+				pc = int(ins.A)
+			} else {
+				sp--
+			}
+		case bytecode.OpJumpIfTruthyKeep:
+			if ToBoolean(stack[sp-1]) {
+				pc = int(ins.A)
+			} else {
+				sp--
+			}
+
+		case bytecode.OpAdd:
+			l, r := stack[sp-2], stack[sp-1]
+			if lf, ok := l.(float64); ok {
+				if rf, ok := r.(float64); ok {
+					sp--
+					stack[sp-1] = boxNumber(lf + rf)
+					break
+				}
+			} else if ls, ok := l.(string); ok {
+				if rs, ok := r.(string); ok {
+					sp--
+					stack[sp-1] = ls + rs
+					break
+				}
+			}
+			v, e := in.applyBinary("+", l, r)
+			if e != nil {
+				err = e
+				goto fail
+			}
+			sp--
+			stack[sp-1] = v
+		case bytecode.OpSub, bytecode.OpMul, bytecode.OpDiv:
+			l, r := stack[sp-2], stack[sp-1]
+			if lf, ok := l.(float64); ok {
+				if rf, ok := r.(float64); ok {
+					sp--
+					switch ins.Op {
+					case bytecode.OpSub:
+						stack[sp-1] = boxNumber(lf - rf)
+					case bytecode.OpMul:
+						stack[sp-1] = boxNumber(lf * rf)
+					default:
+						stack[sp-1] = boxNumber(lf / rf)
+					}
+					break
+				}
+			}
+			v, e := in.applyBinary(binOpName[ins.Op], l, r)
+			if e != nil {
+				err = e
+				goto fail
+			}
+			sp--
+			stack[sp-1] = v
+		case bytecode.OpLt, bytecode.OpGt, bytecode.OpLe, bytecode.OpGe:
+			l, r := stack[sp-2], stack[sp-1]
+			if lf, ok := l.(float64); ok {
+				if rf, ok := r.(float64); ok {
+					sp--
+					// NaN comparisons are false on every operator, which
+					// Go's float compare already gives.
+					switch ins.Op {
+					case bytecode.OpLt:
+						stack[sp-1] = lf < rf
+					case bytecode.OpGt:
+						stack[sp-1] = lf > rf
+					case bytecode.OpLe:
+						stack[sp-1] = lf <= rf
+					default:
+						stack[sp-1] = lf >= rf
+					}
+					break
+				}
+			}
+			v, e := in.applyBinary(binOpName[ins.Op], l, r)
+			if e != nil {
+				err = e
+				goto fail
+			}
+			sp--
+			stack[sp-1] = v
+		case bytecode.OpStrictEq:
+			sp--
+			stack[sp-1] = StrictEquals(stack[sp-1], stack[sp])
+		case bytecode.OpStrictNe:
+			sp--
+			stack[sp-1] = !StrictEquals(stack[sp-1], stack[sp])
+		case bytecode.OpEq, bytecode.OpNe:
+			eq, e := in.looseEquals(stack[sp-2], stack[sp-1])
+			if e != nil {
+				err = e
+				goto fail
+			}
+			sp--
+			if ins.Op == bytecode.OpNe {
+				eq = !eq
+			}
+			stack[sp-1] = eq
+		case bytecode.OpMod, bytecode.OpPow, bytecode.OpBitAnd, bytecode.OpBitOr,
+			bytecode.OpBitXor, bytecode.OpShl, bytecode.OpShr, bytecode.OpUshr,
+			bytecode.OpInstanceof, bytecode.OpIn:
+			v, e := in.applyBinary(binOpName[ins.Op], stack[sp-2], stack[sp-1])
+			if e != nil {
+				err = e
+				goto fail
+			}
+			sp--
+			stack[sp-1] = v
+
+		case bytecode.OpNot:
+			stack[sp-1] = !ToBoolean(stack[sp-1])
+		case bytecode.OpNeg:
+			f, e := in.ToNumber(stack[sp-1])
+			if e != nil {
+				err = e
+				goto fail
+			}
+			stack[sp-1] = boxNumber(-f)
+		case bytecode.OpToNumber:
+			f, e := in.ToNumber(stack[sp-1])
+			if e != nil {
+				err = e
+				goto fail
+			}
+			stack[sp-1] = boxNumber(f)
+		case bytecode.OpBitNot:
+			f, e := in.ToNumber(stack[sp-1])
+			if e != nil {
+				err = e
+				goto fail
+			}
+			stack[sp-1] = boxNumber(float64(^ToInt32(f)))
+		case bytecode.OpVoid:
+			stack[sp-1] = undefinedValue
+		case bytecode.OpTypeofVal:
+			stack[sp-1] = typeOfValue(stack[sp-1])
+
+		case bytecode.OpChargeBranch:
+			in.charge(in.Engine.BranchCost)
+
+		case bytecode.OpStrictEqConst:
+			stack[sp-1] = StrictEquals(stack[sp-1], ch.Consts[ins.A])
+		case bytecode.OpGlobalEqConst:
+			var v Value
+			found := false
+			if site := uint32(ins.A); site != 0 {
+				if c := in.icCellAt(site); c != nil {
+					v, found = c.v, true
+				}
+			}
+			if !found {
+				var e error
+				v, e = in.globalMiss(env, ch.Names[ins.B], uint32(ins.A))
+				if e != nil {
+					err = e
+					goto fail
+				}
+			}
+			stack[sp] = StrictEquals(v, ch.Consts[ins.C])
+			sp++
+		case bytecode.OpGetLocalMember:
+			base := env.slots[ins.A]
+			if base == nil {
+				base = undefinedValue
+			}
+			v, e := in.getMemberSite(base, ch.Names[ins.B], uint32(ins.C))
+			if e != nil {
+				err = e
+				goto fail
+			}
+			stack[sp] = v
+			sp++
+		case bytecode.OpGetLocalMethod:
+			base := env.slots[ins.A]
+			if base == nil {
+				base = undefinedValue
+			}
+			v, e := in.getMemberSite(base, ch.Names[ins.B], uint32(ins.C))
+			if e != nil {
+				err = e
+				goto fail
+			}
+			stack[sp] = base
+			stack[sp+1] = v
+			sp += 2
+		case bytecode.OpCalleeGlobal:
+			stack[sp] = undefinedValue
+			sp++
+			if site := uint32(ins.A); site != 0 {
+				if c := in.icCellAt(site); c != nil {
+					stack[sp] = c.v
+					sp++
+					break
+				}
+			}
+			v, e := in.globalMiss(env, ch.Names[ins.B], uint32(ins.A))
+			if e != nil {
+				err = e
+				goto fail
+			}
+			stack[sp] = v
+			sp++
+		case bytecode.OpCalleeLocal:
+			stack[sp] = undefinedValue
+			v := env.slots[ins.A]
+			if v == nil {
+				v = undefinedValue
+			}
+			stack[sp+1] = v
+			sp += 2
+		case bytecode.OpCall0Global:
+			var fnv Value
+			found := false
+			if site := uint32(ins.A); site != 0 {
+				if c := in.icCellAt(site); c != nil {
+					fnv, found = c.v, true
+				}
+			}
+			if !found {
+				var e error
+				fnv, e = in.globalMiss(env, ch.Names[ins.B], uint32(ins.A))
+				if e != nil {
+					err = e
+					goto fail
+				}
+			}
+			v, e := in.Call(fnv, undefinedValue, nil, undefinedValue)
+			if e != nil {
+				err = e
+				goto fail
+			}
+			stack[sp] = v
+			sp++
+		case bytecode.OpJumpGlobalNeConst:
+			var v Value
+			found := false
+			if site := uint32(ins.B); site != 0 {
+				if c := in.icCellAt(site); c != nil {
+					v, found = c.v, true
+				}
+			}
+			if !found {
+				var e error
+				v, e = in.globalMiss(env, ch.Names[ch.GuardNames[int32(pc-1)]], uint32(ins.B))
+				if e != nil {
+					err = e
+					goto fail
+				}
+			}
+			if !StrictEquals(v, ch.Consts[ins.C]) {
+				pc = int(ins.A)
+			}
+		case bytecode.OpConstSetLocal:
+			env.slots[ins.B] = ch.Consts[ins.A]
+		case bytecode.OpClosureSetLocal:
+			env.slots[ins.B] = in.makeFunction(ch.Funcs[ins.A], env)
+		case bytecode.OpSetLocalStmt:
+			sp--
+			env.slots[ins.A] = stack[sp]
+			in.Steps += uint64(ins.B)
+			in.charge(int(ins.B))
+			if in.maxSteps != 0 && in.Steps > in.maxSteps {
+				return nil, ErrStepBudget
+			}
+			if ins.C != 0 {
+				in.charge(in.Engine.BranchCost)
+			}
+		case bytecode.OpJumpIfFalseStmt:
+			sp--
+			if !ToBoolean(stack[sp]) {
+				pc = int(ins.A)
+				break
+			}
+			in.Steps += uint64(ins.B)
+			in.charge(int(ins.B))
+			if in.maxSteps != 0 && in.Steps > in.maxSteps {
+				return nil, ErrStepBudget
+			}
+			if ins.C != 0 {
+				in.charge(in.Engine.BranchCost)
+			}
+		case bytecode.OpStmtGetLocal:
+			in.Steps += uint64(ins.B)
+			in.charge(int(ins.B))
+			if in.maxSteps != 0 && in.Steps > in.maxSteps {
+				return nil, ErrStepBudget
+			}
+			if ins.C != 0 {
+				in.charge(in.Engine.BranchCost)
+			}
+			v := env.slots[ins.A]
+			if v == nil {
+				v = undefinedValue
+			}
+			stack[sp] = v
+			sp++
+		case bytecode.OpStmtConst:
+			in.Steps += uint64(ins.B)
+			in.charge(int(ins.B))
+			if in.maxSteps != 0 && in.Steps > in.maxSteps {
+				return nil, ErrStepBudget
+			}
+			if ins.C != 0 {
+				in.charge(in.Engine.BranchCost)
+			}
+			stack[sp] = ch.Consts[ins.A]
+			sp++
+		case bytecode.OpCall0Local:
+			fnv := env.slots[ins.A]
+			if fnv == nil {
+				fnv = undefinedValue
+			}
+			v, e := in.Call(fnv, undefinedValue, nil, undefinedValue)
+			if e != nil {
+				err = e
+				goto fail
+			}
+			stack[sp] = v
+			sp++
+		case bytecode.OpThrow:
+			sp--
+			in.charge(in.Engine.ThrowCost)
+			err = &Thrown{Value: stack[sp]}
+			goto fail
+		case bytecode.OpTry:
+			in.charge(in.Engine.TryCost)
+			tries = append(tries, tryFrame{catchPC: ins.A, sp: sp, envDepth: envDepth})
+		case bytecode.OpPopTry:
+			tries = tries[:len(tries)-1]
+		case bytecode.OpEnterCatch:
+			sp--
+			env = NewSlotEnv(env, ch.Scopes[ins.A])
+			env.slots[0] = stack[sp]
+			envDepth++
+		case bytecode.OpLeaveScope:
+			env = env.parent
+			envDepth--
+
+		case bytecode.OpForInInit:
+			it := &forInIter{}
+			if o, ok := stack[sp-1].(*Object); ok {
+				it.keys = o.OwnKeys()
+			}
+			stack[sp-1] = it
+		case bytecode.OpForInNext:
+			it := stack[sp-1].(*forInIter)
+			if it.i >= len(it.keys) {
+				pc = int(ins.A)
+			} else {
+				stack[sp] = it.keys[it.i]
+				it.i++
+				sp++
+			}
+
+		case bytecode.OpExecStmt:
+			e := in.execStmt(ch.Stmts[ins.A], env)
+			if e == nil {
+				break
+			}
+			switch t := e.(type) {
+			case *returnErr:
+				// The completion is consumed here and nothing else can
+				// hold it; recycle it exactly as Call's epilogue does —
+				// the single-consumer invariant the freelist depends on.
+				v := t.value
+				t.value = nil
+				in.retFree = append(in.retFree, t)
+				return v, nil
+			case *breakErr:
+				tab := ch.JumpTabs[ins.B]
+				matched := false
+				for i := range tab {
+					tg := &tab[i]
+					if t.label == "" {
+						if !tg.BreakPlain {
+							continue
+						}
+					} else if !hasLabel(tg.Labels, t.label) {
+						continue
+					}
+					sp -= tg.BreakFix.PopIters
+					for n := 0; n < tg.BreakFix.LeaveScopes; n++ {
+						env = env.parent
+						envDepth--
+					}
+					tries = tries[:len(tries)-tg.BreakFix.PopTries]
+					pc = int(tg.BreakPC)
+					matched = true
+					break
+				}
+				if !matched {
+					return nil, e
+				}
+			case *continueErr:
+				tab := ch.JumpTabs[ins.B]
+				matched := false
+				for i := range tab {
+					tg := &tab[i]
+					if !tg.Loop {
+						continue
+					}
+					if t.label != "" && !hasLabel(tg.Labels, t.label) {
+						continue
+					}
+					sp -= tg.ContFix.PopIters
+					for n := 0; n < tg.ContFix.LeaveScopes; n++ {
+						env = env.parent
+						envDepth--
+					}
+					tries = tries[:len(tries)-tg.ContFix.PopTries]
+					pc = int(tg.ContPC)
+					matched = true
+					break
+				}
+				if !matched {
+					return nil, e
+				}
+			default:
+				err = e
+				goto fail
+			}
+
+		default:
+			return nil, errors.New("interp: unknown opcode " + ins.Op.String())
+		}
+		continue
+
+	fail:
+		if t, ok := err.(*Thrown); ok {
+			for len(tries) > 0 {
+				f := tries[len(tries)-1]
+				tries = tries[:len(tries)-1]
+				if f.catchPC < 0 {
+					continue
+				}
+				for envDepth > f.envDepth {
+					env = env.parent
+					envDepth--
+				}
+				sp = f.sp
+				stack[sp] = t.Value
+				sp++
+				pc = int(f.catchPC)
+				err = nil
+				continue loop
+			}
+		}
+		return nil, err
+	}
+}
+
+// globalMiss resolves a proved-global reference after an inline-cache
+// miss: the by-name dynamic lookup plus the cell-cache fill that
+// expr.go's lookupIdent performs. Every global-reading opcode funnels its
+// miss path through here so the two engines cannot drift.
+func (in *Interp) globalMiss(env *Env, name string, site uint32) (Value, error) {
+	v, ok, c := env.lookupDynamicCell(name)
+	if !ok {
+		return nil, in.Throw("ReferenceError", "%s is not defined", name)
+	}
+	if c != nil && site != 0 {
+		in.icCacheCell(site, c)
+	}
+	return v, nil
+}
+
+// setIndexed writes base[idx] = v for a computed reference whose index was
+// evaluated (and, for objects, stringified) already — the bytecode
+// counterpart of setOnce.
+func (in *Interp) setIndexed(base, idx, v Value) error {
+	if in.setElemFast(base, idx, v) {
+		return nil
+	}
+	key, err := in.ToStringValue(idx)
+	if err != nil {
+		return err
+	}
+	return in.setMemberSite(base, key, v, 0)
+}
+
+// deleteKey implements the delete operator's member path (evalUnary's
+// delete case), shared by both delete opcodes.
+func (in *Interp) deleteKey(base Value, key string) {
+	obj, ok := base.(*Object)
+	if !ok {
+		return
+	}
+	if obj.Class == "Array" || obj.Class == "Arguments" {
+		// Element storage is separate from named properties; deleting an
+		// element must work whether or not named properties exist.
+		if i, isIdx := arrayIndex(key); isIdx && i < len(obj.Elems) {
+			obj.Elems[i] = Undefined{}
+			return
+		}
+	}
+	obj.Delete(key)
+}
+
+// binOpName maps operator opcodes to the tree-walker's operator strings for
+// the generic applyBinary fallback.
+var binOpName = map[bytecode.Op]string{
+	bytecode.OpAdd: "+", bytecode.OpSub: "-", bytecode.OpMul: "*",
+	bytecode.OpDiv: "/", bytecode.OpMod: "%", bytecode.OpPow: "**",
+	bytecode.OpLt: "<", bytecode.OpGt: ">", bytecode.OpLe: "<=",
+	bytecode.OpGe: ">=", bytecode.OpBitAnd: "&", bytecode.OpBitOr: "|",
+	bytecode.OpBitXor: "^", bytecode.OpShl: "<<", bytecode.OpShr: ">>",
+	bytecode.OpUshr: ">>>", bytecode.OpInstanceof: "instanceof",
+	bytecode.OpIn: "in",
+}
+
+// Interned boolean boxes for the dispatch loop.
+var (
+	trueValue  Value = true
+	falseValue Value = false
+)

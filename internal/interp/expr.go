@@ -723,13 +723,25 @@ func (in *Interp) Call(fn Value, this Value, args []Value, newTarget Value) (Val
 			env.Define(fd.Name, in.makeFunction(fd, env))
 		}
 	}
+	// Engine dispatch: resolved bodies run on the bytecode engine when the
+	// realm enables it (dispatch.go); everything else — and any function
+	// the compiler rejects — walks the tree exactly as before. Both
+	// engines receive the identical frame built above.
+	if in.bytecode && c.Decl.Scope != nil {
+		if ch := in.chunkFor(c.Decl); ch != nil {
+			return in.runChunk(ch, env)
+		}
+	}
 	err := in.execStmts(c.Decl.Body, env)
 	switch e := err.(type) {
 	case nil:
 		return Undefined{}, nil
 	case *returnErr:
 		// The completion is consumed here and nothing else can hold it;
-		// recycle it (interp.go newReturn).
+		// recycle it (interp.go newReturn). runChunk's escape-hatch path
+		// is the only other consumer, with the same single-consume
+		// obligation — a returnErr must never be recycled twice or
+		// recycled while still propagating.
 		v := e.value
 		e.value = nil
 		in.retFree = append(in.retFree, e)

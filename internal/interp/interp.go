@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/ast"
+	"repro/internal/bytecode"
 	"repro/internal/engine"
 	"repro/internal/eventloop"
 )
@@ -24,6 +25,17 @@ type Options struct {
 	Out io.Writer
 	// Seed seeds Math.random for reproducible benchmarks.
 	Seed uint64
+	// Bytecode dispatches resolved function bodies through the flat
+	// bytecode engine (internal/bytecode + dispatch.go) instead of the
+	// tree-walker. Dynamic code — the global frame, eval'd fragments,
+	// unresolved trees, and per-statement escape hatches — always runs on
+	// the tree-walker; the two engines are observationally identical.
+	Bytecode bool
+	// MaxSteps aborts execution with ErrStepBudget once the statement
+	// counter exceeds it; 0 means unlimited. Both engines check at the
+	// same statement boundaries (the differential fuzz harness depends on
+	// budgeted runs not diverging).
+	MaxSteps uint64
 }
 
 // Interp is one JavaScript realm: global environment, builtin prototypes,
@@ -73,6 +85,17 @@ type Interp struct {
 	icSet    icArray[setIC]
 	icGlobal icArray[*cell]
 
+	// Bytecode engine state (dispatch.go): the per-realm chunk cache
+	// (nil entry = compiler rejected the function), the operand-stack
+	// arena, and counters reporting what actually ran.
+	bytecode   bool
+	maxSteps   uint64
+	chunks     map[*ast.Func]*bytecode.Chunk
+	vmStack    []Value
+	chunkFuncs int
+	chunkFails int
+	chunkRuns  uint64
+
 	objectProto   *Object
 	functionProto *Object
 	arrayProto    *Object
@@ -97,6 +120,8 @@ func New(opts Options) *Interp {
 		out:      opts.Out,
 		rng:      opts.Seed*2862933555777941757 + 3037000493,
 		maxDepth: opts.Engine.MaxStack,
+		bytecode: opts.Bytecode,
+		maxSteps: opts.MaxSteps,
 	}
 	in.Global = NewEnv(nil)
 	in.setupGlobals()
@@ -247,6 +272,9 @@ func (in *Interp) execStmts(body []ast.Stmt, env *Env) error {
 func (in *Interp) execStmt(s ast.Stmt, env *Env) error {
 	in.Steps++
 	in.charge(1)
+	if in.maxSteps != 0 && in.Steps > in.maxSteps {
+		return ErrStepBudget
+	}
 	// Hot statement kinds first: instrumented code is mostly expression
 	// statements under mode-dispatch ifs.
 	switch n := s.(type) {
