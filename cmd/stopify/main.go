@@ -20,7 +20,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
-	"repro/internal/interp"
 )
 
 func main() {
@@ -122,7 +121,7 @@ func runREPL(run *core.AsyncRun) {
 			fmt.Println("error:", err)
 			continue
 		}
-		if _, isUndef := v.(interp.Undefined); !isUndef && v != nil {
+		if !v.IsUndefined() {
 			fmt.Println("=>", run.In.Display(v))
 		}
 	}

@@ -37,10 +37,12 @@ func main() {
 		os.Exit(1)
 	}
 
-	// sleep(ms): capture the continuation, set a timer, resume later.
+	// sleep(ms): capture the continuation, set a timer, resume later. The
+	// host converts at the FromGo/ToGo boundary; engine Values never leak
+	// raw payloads into embedder code.
 	run.RT.Blocking("sleep", func(args []interp.Value, resume func(interp.Value)) {
-		ms, _ := args[0].(float64)
-		run.Loop.Post(func() { resume(interp.Undefined{}) }, ms)
+		ms, _ := args[0].ToGo().(float64)
+		run.Loop.Post(func() { resume(interp.Undefined) }, ms)
 	})
 
 	// prompt(q): answer from a queued input source (a real IDE would wire
@@ -49,7 +51,7 @@ func main() {
 	run.RT.Blocking("prompt", func(args []interp.Value, resume func(interp.Value)) {
 		fmt.Printf("[host] prompt: %v\n", args[0])
 		answer := inputs[0]
-		run.Loop.Post(func() { resume(answer) }, 10)
+		run.Loop.Post(func() { resume(interp.FromGo(answer)) }, 10)
 	})
 
 	run.Run(nil)

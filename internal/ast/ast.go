@@ -63,21 +63,20 @@ type Ident struct {
 }
 
 // Number is a numeric literal. JavaScript numbers are IEEE-754 doubles.
-// Boxed, when non-nil, is Value pre-converted to an interface by
-// internal/resolve, so evaluating the literal does not allocate a fresh box
-// on every visit.
+// There is no pre-boxed annotation anymore: the interpreter's tagged Value
+// representation carries literals unboxed, so evaluating one never
+// allocates regardless of the bit pattern.
 type Number struct {
 	P     Pos
 	Value float64
-	Boxed interface{}
 }
 
-// Str is a string literal. Boxed is the pre-converted interface value, as
-// on Number — string headers otherwise heap-allocate per evaluation.
+// Str is a string literal. As with Number, the tagged Value representation
+// made the historical pre-boxed annotation redundant — a string Value is a
+// (pointer, length) pair aliasing this node's Value field.
 type Str struct {
 	P     Pos
 	Value string
-	Boxed interface{}
 }
 
 // Bool is a boolean literal.

@@ -304,6 +304,63 @@ type Instr struct {
 	A, B, C int32
 }
 
+// ConstKind discriminates a compiler constant's payload.
+type ConstKind uint8
+
+// Constant kinds. Undefined and null have dedicated opcodes (OpUndef,
+// OpNull), so they normally never reach the pool; the kinds exist so a
+// Const zero value is still well-formed.
+const (
+	ConstUndefined ConstKind = iota
+	ConstNull
+	ConstBool
+	ConstNumber
+	ConstString
+)
+
+// Const is one constant-pool entry: a typed literal with no boxed
+// representation, so the execution engine can convert the pool to its own
+// value representation once per chunk instead of re-boxing per fetch.
+// Bool payloads ride in Num (0/1). The struct is comparable, which the
+// compiler's dedup map relies on.
+type Const struct {
+	Kind ConstKind
+	Num  float64
+	Str  string
+}
+
+// NumberConst builds a number constant.
+func NumberConst(f float64) Const { return Const{Kind: ConstNumber, Num: f} }
+
+// StringConst builds a string constant.
+func StringConst(s string) Const { return Const{Kind: ConstString, Str: s} }
+
+// BoolConst builds a boolean constant.
+func BoolConst(b bool) Const {
+	if b {
+		return Const{Kind: ConstBool, Num: 1}
+	}
+	return Const{Kind: ConstBool}
+}
+
+// display renders a constant for disassembly.
+func (c Const) display() string {
+	switch c.Kind {
+	case ConstNumber:
+		return fmt.Sprintf("%v", c.Num)
+	case ConstString:
+		return fmt.Sprintf("%q", c.Str)
+	case ConstBool:
+		if c.Num != 0 {
+			return "true"
+		}
+		return "false"
+	case ConstNull:
+		return "null"
+	}
+	return "undefined"
+}
+
 // Accessor describes one getter or setter of an object literal.
 type Accessor struct {
 	Name   int32 // Names index of the property key
@@ -342,7 +399,7 @@ type Chunk struct {
 	Fn   *ast.Func
 	Code []Instr
 
-	Consts    []interface{}    // pre-boxed literal values
+	Consts    []Const          // typed literal constants
 	Names     []string         // property and global names
 	Funcs     []*ast.Func      // nested function literals, OpClosure operands
 	Scopes    []*ast.ScopeInfo // catch-clause frame layouts
@@ -420,7 +477,7 @@ func (c *Chunk) Disassemble() string {
 		b = append(b, fmt.Sprintf("%4d  %-14s", pc, ins.Op)...)
 		switch ins.Op {
 		case OpConst:
-			b = append(b, fmt.Sprintf(" %v", c.Consts[ins.A])...)
+			b = append(b, " "+c.Consts[ins.A].display()...)
 		case OpGetMember, OpSetMember, OpSetMemberKeep, OpGetMethod,
 			OpDeleteMember, OpSetProp:
 			b = append(b, fmt.Sprintf(" %q", c.Names[ins.A])...)
@@ -428,9 +485,9 @@ func (c *Chunk) Disassemble() string {
 			OpTypeofDyn, OpCalleeGlobal, OpCall0Global:
 			b = append(b, fmt.Sprintf(" %q", c.Names[ins.B])...)
 		case OpStrictEqConst:
-			b = append(b, fmt.Sprintf(" %v", c.Consts[ins.A])...)
+			b = append(b, " "+c.Consts[ins.A].display()...)
 		case OpGlobalEqConst:
-			b = append(b, fmt.Sprintf(" %q %v", c.Names[ins.B], c.Consts[ins.C])...)
+			b = append(b, fmt.Sprintf(" %q %s", c.Names[ins.B], c.Consts[ins.C].display())...)
 		case OpGetLocalMember, OpGetLocalMethod:
 			b = append(b, fmt.Sprintf(" %d %q", ins.A, c.Names[ins.B])...)
 		case OpGetLocal, OpSetLocal, OpCall, OpNew, OpArray, OpClosure,

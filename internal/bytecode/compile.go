@@ -56,7 +56,7 @@ func Compile(fn *ast.Func) *Chunk {
 	c := &compiler{
 		ch:       &Chunk{Fn: fn},
 		nameIdx:  make(map[string]int32),
-		constIdx: make(map[interface{}]int32),
+		constIdx: make(map[Const]int32),
 	}
 	for _, s := range fn.Body {
 		c.stmt(s)
@@ -100,7 +100,7 @@ type compiler struct {
 
 	ctxs     []*ctx
 	nameIdx  map[string]int32
-	constIdx map[interface{}]int32
+	constIdx map[Const]int32
 	failed   bool
 
 	// fuseBarrier is the lowest pc into which no instruction may be
@@ -255,7 +255,7 @@ func (c *compiler) name(s string) int32 {
 	return i
 }
 
-func (c *compiler) constant(v interface{}) int32 {
+func (c *compiler) constant(v Const) int32 {
 	if i, ok := c.constIdx[v]; ok {
 		return i
 	}
@@ -265,7 +265,7 @@ func (c *compiler) constant(v interface{}) int32 {
 	return i
 }
 
-func (c *compiler) emitConst(v interface{}) {
+func (c *compiler) emitConst(v Const) {
 	idx := c.constant(v)
 	n := len(c.ch.Code)
 	if n > c.fuseBarrier && n > 0 {
@@ -775,17 +775,9 @@ func (c *compiler) expr(e ast.Expr) {
 	case *ast.Ident:
 		c.loadIdent(n)
 	case *ast.Number:
-		if n.Boxed != nil {
-			c.emitConst(n.Boxed)
-		} else {
-			c.emitConst(n.Value)
-		}
+		c.emitConst(NumberConst(n.Value))
 	case *ast.Str:
-		if n.Boxed != nil {
-			c.emitConst(n.Boxed)
-		} else {
-			c.emitConst(n.Value)
-		}
+		c.emitConst(StringConst(n.Value))
 	case *ast.Bool:
 		if n.Value {
 			c.emit(OpTrue, 0, 0)
@@ -1074,7 +1066,7 @@ func (c *compiler) update(n *ast.Update, want bool) {
 			c.emit(OpDup, 0, 0)
 			c.push(1)
 		}
-		c.emitConst(float64(1))
+		c.emitConst(NumberConst(1))
 		if n.Op == "++" {
 			c.emit(OpAdd, 0, 0)
 		} else {
@@ -1097,7 +1089,7 @@ func (c *compiler) update(n *ast.Update, want bool) {
 			}
 			c.push(1)
 		}
-		c.emitConst(float64(1))
+		c.emitConst(NumberConst(1))
 		if n.Op == "++" {
 			c.emit(OpAdd, 0, 0)
 		} else {
@@ -1283,20 +1275,14 @@ func localSlot(e ast.Expr) (int32, bool) {
 
 // literalConst extracts the constant value of a literal operand, if e is
 // one.
-func literalConst(e ast.Expr) (interface{}, bool) {
+func literalConst(e ast.Expr) (Const, bool) {
 	switch n := e.(type) {
 	case *ast.Number:
-		if n.Boxed != nil {
-			return n.Boxed, true
-		}
-		return n.Value, true
+		return NumberConst(n.Value), true
 	case *ast.Str:
-		if n.Boxed != nil {
-			return n.Boxed, true
-		}
-		return n.Value, true
+		return StringConst(n.Value), true
 	case *ast.Bool:
-		return n.Value, true
+		return BoolConst(n.Value), true
 	}
-	return nil, false
+	return Const{}, false
 }

@@ -553,9 +553,9 @@ console.log("got", x);`
 		t.Fatal(err)
 	}
 	run.RT.Blocking("blockingDouble", func(args []interp.Value, resume func(interp.Value)) {
-		n := args[0].(float64)
+		n := args[0].Num()
 		// Simulate async completion on a timer.
-		run.Loop.Post(func() { resume(n * 2) }, 30)
+		run.Loop.Post(func() { resume(interp.NumberValue(n * 2)) }, 30)
 	})
 	run.Run(nil)
 	if err := run.Wait(); err != nil {

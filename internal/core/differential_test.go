@@ -140,6 +140,11 @@ func corpusPrograms(t *testing.T) []diffProgram {
 			name: fmt.Sprintf("edge/%02d", i), src: src, opts: core.Defaults(),
 		})
 	}
+	for i, src := range valueReprEdgePrograms {
+		progs = append(progs, diffProgram{
+			name: fmt.Sprintf("valedge/%02d", i), src: src, opts: core.Defaults(),
+		})
+	}
 	return progs
 }
 
@@ -317,6 +322,147 @@ var edgeCasePrograms = []string{
 	`function mk(src) { return eval(src); }
 	 var g = mk("function g(x) { return x * 2; } g");
 	 console.log(typeof g === "function" ? g(21) : "no-eval");`,
+}
+
+// valueReprEdgePrograms pin the numeric/string boundary behavior of the
+// tagged Value representation (ISSUE 4): the distinctions the unboxed
+// representation must preserve (-0's sign, NaN's non-reflexivity, 2^53
+// integer exactness, string identity through concat chains and coercions)
+// exercised end-to-end so both engines — and raw versus stopified runs —
+// agree byte-for-byte. They also seed FuzzBytecodeVsTreewalker.
+var valueReprEdgePrograms = []string{
+	// -0 as an array key must read/write the same slot as 0; its sign
+	// stays observable through division and Infinity formatting.
+	`function f() {
+	   var a = [10, 20, 30];
+	   var z = -0;
+	   a[z] = 99;
+	   return a[0] + "," + a[-0] + "," + (1 / z) + "," + String(z) + "," + (z === 0);
+	 }
+	 console.log(f());`,
+	// -0 and NaN as object keys: both coerce through String(), so -0
+	// lands on "0" and NaN on "NaN".
+	`function f() {
+	   var o = {};
+	   o[-0] = "neg";
+	   o[0] = "pos";
+	   o[NaN] = "nan";
+	   o[0 / 0] = "nan2";
+	   var ks = [];
+	   for (var k in o) { ks.push(k); }
+	   return ks.join("|") + ";" + o["0"] + ";" + o["NaN"];
+	 }
+	 console.log(f());`,
+	// NaN in switch dispatch: never matches any case, including NaN
+	// itself; strict equality drives case selection.
+	`function f(x) {
+	   switch (x) {
+	     case NaN: return "nan-case";
+	     case 0: return "zero";
+	     case "NaN": return "string-nan";
+	     default: return "default";
+	   }
+	 }
+	 console.log(f(NaN), f(0 / 0), f(-0), f("NaN"), f(0));`,
+	// NaN in a Map-like dispatch table: property lookup via coercion DOES
+	// unify every NaN (one "NaN" key), unlike ===.
+	`function f() {
+	   var table = {};
+	   table[NaN] = 0;
+	   table[0 / 0] = (table[NaN] || 0) + 1;
+	   var hits = 0;
+	   var probes = [NaN, 0 / 0, Infinity - Infinity];
+	   for (var i = 0; i < probes.length; i++) {
+	     if (table[probes[i]] === 1) { hits++; }
+	   }
+	   return hits + "/" + (NaN === NaN) + "/" + (NaN !== NaN);
+	 }
+	 console.log(f());`,
+	// "" + bigFloat: large magnitudes, exponent formatting, and the 2^53
+	// boundary where integer exactness ends.
+	`function f() {
+	   var parts = [];
+	   parts.push("" + 1e21);
+	   parts.push("" + 1e20);
+	   parts.push("" + 123456789012345680000);
+	   parts.push("" + 9007199254740991);
+	   parts.push("" + (9007199254740991 + 1));
+	   parts.push("" + (9007199254740991 + 2));
+	   parts.push("" + 5e-7);
+	   parts.push("" + 0.000001);
+	   parts.push("" + -1.5e300);
+	   return parts.join(" ");
+	 }
+	 console.log(f());`,
+	// String concat chains: growth across many appends, identity of the
+	// result under ===, and .length bookkeeping along the way.
+	`function f() {
+	   var s = "";
+	   for (var i = 0; i < 50; i++) {
+	     s = s + i + "-";
+	   }
+	   var t = "";
+	   for (var j = 0; j < 50; j++) {
+	     t += j;
+	     t += "-";
+	   }
+	   return (s === t) + "/" + s.length + "/" + s.charAt(17) + "/" + s.slice(0, 8);
+	 }
+	 console.log(f());`,
+	// Numeric strings versus numbers at boundaries: loose equality,
+	// ordering mixing strings and numbers, hex string coercion.
+	`function f() {
+	   var r = [];
+	   r.push("10" == 10, "0x10" == 16, "" == 0, " \t" == 0, "1e3" == 1000);
+	   r.push("10" < "9", 10 < 9, "10" < 9, [2] == 2);
+	   r.push(+"-0" === 0, 1 / +"-0");
+	   return r.join(",");
+	 }
+	 console.log(f());`,
+	// Integer-exactness of the safe range through arithmetic: the tagged
+	// representation must keep every 2^53-range integer bit-exact through
+	// +, *, and string round-trips.
+	`function f() {
+	   var max = 9007199254740991;
+	   var a = max - 1;
+	   var ok = 0;
+	   if (a + 1 === max) { ok++; }
+	   if (max + 1 === max + 2) { ok++; }
+	   if ((max + "") === "9007199254740991") { ok++; }
+	   if (parseInt(max + "") === max) { ok++; }
+	   var big = 1;
+	   for (var i = 0; i < 53; i++) { big = big * 2; }
+	   if (big === max + 1) { ok++; }
+	   return ok;
+	 }
+	 console.log(f());`,
+	// typeof/=== lattice over every primitive class, as runtime strings.
+	`function f() {
+	   var vals = [undefined, null, true, 0, -0, NaN, 1.5, "", "0", "x"];
+	   var s = "";
+	   for (var i = 0; i < vals.length; i++) {
+	     s += typeof vals[i] + ":";
+	     for (var j = 0; j < vals.length; j++) {
+	       s += (vals[i] === vals[j]) ? "1" : "0";
+	     }
+	     s += ";";
+	   }
+	   return s;
+	 }
+	 console.log(f());`,
+	// String indexing and char coercion at the byte level, plus number
+	// formatting of char codes flowing back into arithmetic.
+	`function f() {
+	   var s = "The quick brown fox";
+	   var acc = 0;
+	   var out = "";
+	   for (var i = 0; i < s.length; i++) {
+	     acc = (acc * 31 + s.charCodeAt(i)) % 1000003;
+	     out = s[i] + out;
+	   }
+	   return acc + "|" + out + "|" + s[100] + "|" + s["3"];
+	 }
+	 console.log(f());`,
 }
 
 // TestDifferentialRaw runs the whole corpus raw under both engines.

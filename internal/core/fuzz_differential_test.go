@@ -22,6 +22,9 @@ func FuzzBytecodeVsTreewalker(f *testing.F) {
 	for _, src := range edgeCasePrograms {
 		f.Add(src)
 	}
+	for _, src := range valueReprEdgePrograms {
+		f.Add(src)
+	}
 	for seed := int64(0); seed < 40; seed++ {
 		f.Add(randomProgram(rand.New(rand.NewSource(seed))))
 	}

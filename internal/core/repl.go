@@ -87,10 +87,10 @@ func (a *AsyncRun) EvalAndWait(src string) (interp.Value, error) {
 	var result interp.Value
 	var rerr error
 	if err := a.Eval(src, func(v interp.Value, e error) { result = v; rerr = e }); err != nil {
-		return nil, err
+		return interp.Undefined, err
 	}
 	if err := a.Wait(); err != nil {
-		return nil, err
+		return interp.Undefined, err
 	}
 	return result, rerr
 }

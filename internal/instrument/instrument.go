@@ -136,12 +136,14 @@ func instrumentFunc(fn *ast.Func, opts Options) {
 		body = c.eagerShadowDepths(body)
 	}
 	// Locals must be collected before declsToAssigns erases the var
-	// declarations.
-	locals := c.localsList(fn, body)
+	// declarations. pushFrame (inside kStmts) inlines this list at every
+	// capture site, so it rides on the context.
+	c.locals = c.localsList(fn, body)
+	c.params = fn.Params
 	body = c.declsToAssigns(body, true)
 	c.labelSites(body)
 
-	fn.Body = append(c.prologue(fn, locals), c.kStmts(body)...)
+	fn.Body = append(c.prologue(fn, c.locals), c.kStmts(body)...)
 }
 
 // hasNonTailSites reports whether the body contains any application outside
@@ -236,7 +238,9 @@ func hasNonTailSites(body []ast.Stmt) bool {
 type fctx struct {
 	opts        Options
 	fname       string
-	nextLabel   int // next call-site label; labels start at 1
+	params      []string // formal parameters, for the reenter thunk
+	locals      []string // capture/restore locals list, for pushFrame
+	nextLabel   int      // next call-site label; labels start at 1
 	extra       []string
 	ctv         string // constructor-protocol return temp
 	genSym      int
@@ -372,9 +376,15 @@ func (c *fctx) prologue(fn *ast.Func, locals []string) []ast.Stmt {
 	if c.opts.WrappedCtors {
 		out = append(out, ast.Var("$nt", &ast.NewTarget{}))
 	}
+	// $reenter starts undefined and is materialized lazily at the first
+	// capture site a call reaches (pushFrame): calls that never suspend —
+	// the overwhelming majority — allocate no thunk closures at all. The
+	// historical prologue created $locals and $reenter arrows on every
+	// call, which was the dominant allocation of instrumented execution.
 	out = append(out, &ast.VarDecl{Decls: []ast.Declarator{
 		{Name: "$lbl", Init: ast.Int(-1)},
 		{Name: "$k"},
+		{Name: "$reenter"},
 	}})
 
 	// if ($mode === "restore") { restoreFrame }
@@ -390,27 +400,28 @@ func (c *fctx) prologue(fn *ast.Func, locals []string) []ast.Stmt {
 		ast.Idx(ast.Id(RStackVar), ast.Bin("-", ast.Dot(ast.Id(RStackVar), "length"), ast.Int(1))))))
 	out = append(out, ast.IfThen(isMode(ModeRestore), restore...))
 
-	// var $locals = () => [ ... ];
-	elems := make([]ast.Expr, len(locals))
-	for i, name := range locals {
-		elems[i] = ast.Id(name)
-	}
-	out = append(out, ast.Var("$locals", ast.ArrowFn(nil, ast.Ret(&ast.Array{Elems: elems}))))
+	return out
+}
 
-	// var $reenter = () => F.call(this, p...)  /  F.apply(this, arguments)
+// reenterArrow builds the reenter thunk: an arrow (lexical this) that
+// re-invokes the function — F.call(this, p...) under ArgsNone, or
+// F.apply(this, arguments) when the arity sub-language reifies the
+// arguments object. Each pushFrame site materializes it lazily
+// (`$reenter || ($reenter = <arrow>)`), so it is only ever evaluated on
+// the first capture a call performs.
+func (c *fctx) reenterArrow() ast.Expr {
 	var reenterBody ast.Expr
 	switch c.opts.Args {
 	case ArgsNone:
 		args := []ast.Expr{&ast.This{}}
-		for _, p := range fn.Params {
+		for _, p := range c.params {
 			args = append(args, ast.Id(p))
 		}
 		reenterBody = ast.CallN(ast.Dot(ast.Id(c.fname), "call"), args...)
 	default: // Varargs, Mixed, Full re-apply the arguments object
 		reenterBody = ast.CallN(ast.Dot(ast.Id(c.fname), "apply"), &ast.This{}, ast.Id("arguments"))
 	}
-	out = append(out, ast.Var("$reenter", ast.ArrowFn(nil, ast.Ret(reenterBody))))
-	return out
+	return ast.ArrowFn(nil, ast.Ret(reenterBody))
 }
 
 // ---------------------------------------------------------------------------

@@ -40,8 +40,11 @@ function f(x) {
 		`$mode === "restore"`,
 		"$rstack.pop()",
 		"$k.label",
-		"var $locals =",
-		"var $reenter =",
+		// Thunks are lazy (ISSUE 4): $reenter is declared uninitialized
+		// and materialized at the capture site; the locals snapshot is an
+		// inline array literal there. Normal-mode calls allocate neither.
+		"$reenter || ($reenter =",
+		"locals: [x, a, $t1]",
 		"$k.reenter()",
 		`$mode === "capture"`,
 		"$stack.push({ label: 1,",

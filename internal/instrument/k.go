@@ -607,13 +607,27 @@ func (c *fctx) site(es *ast.ExprStmt) ast.Stmt {
 	panic("instrument: unknown strategy")
 }
 
-// pushFrame emits `<stack>.push({ label: j, locals: $locals(), reenter:
-// $reenter })` — the reified continuation frame of Figure 3 line 17.
+// pushFrame emits the reified continuation frame of Figure 3 line 17:
+//
+//	<stack>.push({ label: j, locals: [l1, ...], reenter:
+//	               $reenter || ($reenter = () => F.call(this, p...)) })
+//
+// The locals snapshot is an inline array literal and the reenter thunk is
+// created lazily at the site — calls that never reach a capture site in
+// capture mode (i.e. every normal-mode call) allocate neither, which is
+// what lets the engine's call path run thunk-allocation-free. The eager
+// strategy still pays the frame object and array on every call, which is
+// precisely its cost model.
 func (c *fctx) pushFrame(stack string, label int) ast.Stmt {
+	elems := make([]ast.Expr, len(c.locals))
+	for i, name := range c.locals {
+		elems[i] = ast.Id(name)
+	}
 	frame := &ast.Object{Props: []ast.Property{
 		{Kind: ast.PropInit, Key: "label", Value: ast.Int(label)},
-		{Kind: ast.PropInit, Key: "locals", Value: ast.CallId("$locals")},
-		{Kind: ast.PropInit, Key: "reenter", Value: ast.Id("$reenter")},
+		{Kind: ast.PropInit, Key: "locals", Value: &ast.Array{Elems: elems}},
+		{Kind: ast.PropInit, Key: "reenter",
+			Value: ast.Log("||", ast.Id("$reenter"), ast.SetId("$reenter", c.reenterArrow()))},
 	}}
 	return ast.ExprOf(ast.CallN(ast.Dot(ast.Id(stack), "push"), frame))
 }

@@ -1,0 +1,224 @@
+package interp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/resolve"
+)
+
+// Allocation gates (ISSUE 4): the tagged Value representation exists so the
+// hot paths of the instrumented interpreter loop stop heap-boxing numbers
+// and strings. These tests turn that property into a tier-1 failure: if a
+// future change reintroduces boxing on the arithmetic loop, the warm
+// property get/set path, or number→string coercion, `go test` fails —
+// the regression does not wait for the perf gate.
+//
+// Two kinds of gate:
+//   - pure-op gates assert exactly 0 allocs/op on the representation's own
+//     operations (the "tagged-arith fast path" bound from the issue);
+//   - loop gates run a JS loop with thousands of iterations and assert the
+//     whole call stays under a small constant allocation budget, proving
+//     the per-iteration cost is zero without depending on the fixed
+//     per-call frame/stack setup.
+
+// allocInterp builds a realm, loads src, and returns the named function,
+// warming every inline cache and the chunk cache with one call.
+func allocInterp(t testing.TB, src, name string, bytecode bool, warm []Value) (*Interp, Value) {
+	t.Helper()
+	in := New(Options{Bytecode: bytecode})
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolve.Program(prog)
+	if err := in.RunProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	fn, ok := in.Global.Lookup(name)
+	if !ok {
+		t.Fatalf("function %s not defined", name)
+	}
+	if _, err := in.Call(fn, Undefined, warm, Undefined); err != nil {
+		t.Fatal(err)
+	}
+	return in, fn
+}
+
+// gate runs fn with args under testing.AllocsPerRun and fails when the
+// per-call allocation count exceeds budget.
+func gate(t *testing.T, in *Interp, fn Value, args []Value, budget float64, what string) {
+	t.Helper()
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := in.Call(fn, Undefined, args, Undefined); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > budget {
+		t.Errorf("%s: %.1f allocs/call, budget %.0f — the tagged representation is boxing again",
+			what, allocs, budget)
+	}
+}
+
+const allocLoopN = 4096
+
+// TestAllocGateTaggedArith: the pure representation ops allocate nothing.
+// This is the issue's "0 allocs/op on the tagged-arith fast path" bound,
+// asserted at exactly zero.
+func TestAllocGateTaggedArith(t *testing.T) {
+	in := newTestInterp()
+	a, b := NumberValue(3.25), NumberValue(11)
+	var sink Value
+	if n := testing.AllocsPerRun(1000, func() {
+		v, err := in.applyBinary("+", a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err = in.applyBinary("*", v, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink = v
+	}); n != 0 {
+		t.Errorf("number arithmetic through applyBinary: %v allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		sink = NumberValue(math.Pi)
+		sink = BoolValue(StrictEquals(sink, a))
+		sink = StringValue("tagged")
+		sink = typeOfValue(sink)
+	}); n != 0 {
+		t.Errorf("value construction/compare: %v allocs/op, want 0", n)
+	}
+	_ = sink
+}
+
+// TestAllocGateArithLoop: a JS arithmetic loop allocates a constant amount
+// per call (frame + operand-stack bookkeeping), independent of iteration
+// count — i.e. zero per iteration — on both engines.
+func TestAllocGateArithLoop(t *testing.T) {
+	const src = `
+function arith(n) {
+  var s = 0;
+  for (var i = 0; i < n; i++) {
+    s = s + i * 2 - (i & 3);
+    s = s % 1000000007;
+  }
+  return s;
+}`
+	args := []Value{NumberValue(allocLoopN)}
+	for _, eng := range []struct {
+		name     string
+		bytecode bool
+	}{{"tree", false}, {"bytecode", true}} {
+		t.Run(eng.name, func(t *testing.T) {
+			in, fn := allocInterp(t, src, "arith", eng.bytecode, args)
+			gate(t, in, fn, args, 8, "arith loop ("+eng.name+")")
+		})
+	}
+}
+
+// TestAllocGatePropertyLoop: warm string-key property get and set through
+// the inline caches allocate nothing per iteration.
+func TestAllocGatePropertyLoop(t *testing.T) {
+	const src = `
+var obj = { k: 1, other: 2 };
+function props(n) {
+  var t = 0;
+  for (var i = 0; i < n; i++) {
+    t = t + obj.k;
+    obj.k = t % 97;
+  }
+  return t;
+}`
+	args := []Value{NumberValue(allocLoopN)}
+	for _, eng := range []struct {
+		name     string
+		bytecode bool
+	}{{"tree", false}, {"bytecode", true}} {
+		t.Run(eng.name, func(t *testing.T) {
+			in, fn := allocInterp(t, src, "props", eng.bytecode, args)
+			gate(t, in, fn, args, 8, "string-key property get/set ("+eng.name+")")
+		})
+	}
+}
+
+// TestAllocGateNumberToString: coercing small integers to strings rides
+// the interned decimal table and the empty-string concat fast path —
+// zero allocations per iteration.
+func TestAllocGateNumberToString(t *testing.T) {
+	const src = `
+function coerce(n) {
+  var len = 0;
+  var s;
+  for (var i = 0; i < n; i++) {
+    s = "" + (i & 255);
+    len = len + s.length;
+  }
+  return len;
+}`
+	args := []Value{NumberValue(allocLoopN)}
+	for _, eng := range []struct {
+		name     string
+		bytecode bool
+	}{{"tree", false}, {"bytecode", true}} {
+		t.Run(eng.name, func(t *testing.T) {
+			in, fn := allocInterp(t, src, "coerce", eng.bytecode, args)
+			gate(t, in, fn, args, 8, "number→string coercion ("+eng.name+")")
+		})
+	}
+}
+
+// TestAllocGateStringCompareLoop: string-valued locals flowing through
+// comparisons and typeof never re-box.
+func TestAllocGateStringCompareLoop(t *testing.T) {
+	const src = `
+var mode = "normal";
+function guards(n) {
+  var hits = 0;
+  for (var i = 0; i < n; i++) {
+    if (mode === "normal") { hits++; }
+    if (typeof mode === "string") { hits++; }
+  }
+  return hits;
+}`
+	args := []Value{NumberValue(allocLoopN)}
+	for _, eng := range []struct {
+		name     string
+		bytecode bool
+	}{{"tree", false}, {"bytecode", true}} {
+		t.Run(eng.name, func(t *testing.T) {
+			in, fn := allocInterp(t, src, "guards", eng.bytecode, args)
+			gate(t, in, fn, args, 8, "mode-guard string compare ("+eng.name+")")
+		})
+	}
+}
+
+// TestAllocGateElementLoop: integer-indexed array reads and writes stay on
+// the element fast path with zero per-iteration allocations (the array is
+// pre-grown; growth itself may allocate).
+func TestAllocGateElementLoop(t *testing.T) {
+	const src = `
+var arr = new Array(512);
+for (var i = 0; i < 512; i++) { arr[i] = i; }
+function elems(n) {
+  var t = 0;
+  for (var i = 0; i < n; i++) {
+    var j = i & 511;
+    t = t + arr[j];
+    arr[j] = t & 1023;
+  }
+  return t;
+}`
+	args := []Value{NumberValue(allocLoopN)}
+	for _, eng := range []struct {
+		name     string
+		bytecode bool
+	}{{"tree", false}, {"bytecode", true}} {
+		t.Run(eng.name, func(t *testing.T) {
+			in, fn := allocInterp(t, src, "elems", eng.bytecode, args)
+			gate(t, in, fn, args, 8, "array element loop ("+eng.name+")")
+		})
+	}
+}

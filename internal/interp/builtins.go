@@ -22,9 +22,9 @@ func (in *Interp) setupGlobals() {
 	in.errorProto = NewObject(in.objectProto)
 
 	g := in.Global
-	g.Define("undefined", Undefined{})
-	g.Define("NaN", math.NaN())
-	g.Define("Infinity", math.Inf(1))
+	g.Define("undefined", Undefined)
+	g.Define("NaN", NumberValue(math.NaN()))
+	g.Define("Infinity", NumberValue(math.Inf(1)))
 
 	in.setupObjectProto()
 	in.setupFunctionProto()
@@ -39,247 +39,247 @@ func (in *Interp) setupGlobals() {
 
 func (in *Interp) native(name string, fn NativeFunc) *Object { return in.NewNative(name, fn) }
 
+// nativeV is native returning the function object pre-wrapped as a Value,
+// for the hidden-method tables below.
+func (in *Interp) nativeV(name string, fn NativeFunc) Value {
+	return ObjectValue(in.NewNative(name, fn))
+}
+
 func (in *Interp) setupObjectProto() {
 	op := in.objectProto
-	op.SetHidden("hasOwnProperty", in.native("hasOwnProperty", func(in *Interp, this Value, args []Value) (Value, error) {
-		o, ok := this.(*Object)
-		if !ok || len(args) == 0 {
-			return false, nil
+	op.SetHidden("hasOwnProperty", in.nativeV("hasOwnProperty", func(in *Interp, this Value, args []Value) (Value, error) {
+		o := this.Obj()
+		if o == nil || len(args) == 0 {
+			return False, nil
 		}
 		key, err := in.ToStringValue(args[0])
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		if (o.Class == "Array" || o.Class == "Arguments") && len(o.Elems) > 0 {
 			if i, isIdx := arrayIndex(key); isIdx && i < len(o.Elems) {
-				return true, nil
+				return True, nil
 			}
 		}
-		return o.OwnOrLazy(key) != nil, nil
+		return BoolValue(o.OwnOrLazy(key) != nil), nil
 	}))
-	op.SetHidden("toString", in.native("toString", func(in *Interp, this Value, args []Value) (Value, error) {
-		if o, ok := this.(*Object); ok {
-			return "[object " + o.Class + "]", nil
+	op.SetHidden("toString", in.nativeV("toString", func(in *Interp, this Value, args []Value) (Value, error) {
+		if o := this.Obj(); o != nil {
+			return StringValue("[object " + o.Class + "]"), nil
 		}
-		return "[object Object]", nil
+		return StringValue("[object Object]"), nil
 	}))
 
 	objectCtor := in.native("Object", func(in *Interp, this Value, args []Value) (Value, error) {
-		if len(args) > 0 {
-			if o, ok := args[0].(*Object); ok {
-				return o, nil
-			}
+		if len(args) > 0 && args[0].IsObject() {
+			return args[0], nil
 		}
 		in.charge(in.Engine.ObjectCreateCost)
-		return in.NewPlainObject(), nil
+		return ObjectValue(in.NewPlainObject()), nil
 	})
-	objectCtor.SetHidden("prototype", in.objectProto)
-	objectCtor.SetHidden("create", in.native("create", func(in *Interp, this Value, args []Value) (Value, error) {
+	objectCtor.SetHidden("prototype", ObjectValue(in.objectProto))
+	objectCtor.SetHidden("create", in.nativeV("create", func(in *Interp, this Value, args []Value) (Value, error) {
 		in.charge(in.Engine.ObjectCreateCost)
 		var proto *Object
 		if len(args) > 0 {
-			if p, ok := args[0].(*Object); ok {
-				proto = p
-			}
+			proto = args[0].Obj()
 		}
-		return NewObject(proto), nil
+		return ObjectValue(NewObject(proto)), nil
 	}))
-	objectCtor.SetHidden("keys", in.native("keys", func(in *Interp, this Value, args []Value) (Value, error) {
+	objectCtor.SetHidden("keys", in.nativeV("keys", func(in *Interp, this Value, args []Value) (Value, error) {
 		if len(args) == 0 {
-			return in.NewArray(nil), nil
+			return ObjectValue(in.NewArray(nil)), nil
 		}
-		o, ok := args[0].(*Object)
-		if !ok {
-			return nil, in.Throw("TypeError", "Object.keys called on non-object")
+		o := args[0].Obj()
+		if o == nil {
+			return Undefined, in.Throw("TypeError", "Object.keys called on non-object")
 		}
 		keys := o.OwnKeys()
 		elems := make([]Value, len(keys))
 		for i, k := range keys {
-			elems[i] = k
+			elems[i] = StringValue(k)
 		}
-		return in.NewArray(elems), nil
+		return ObjectValue(in.NewArray(elems)), nil
 	}))
-	objectCtor.SetHidden("getPrototypeOf", in.native("getPrototypeOf", func(in *Interp, this Value, args []Value) (Value, error) {
+	objectCtor.SetHidden("getPrototypeOf", in.nativeV("getPrototypeOf", func(in *Interp, this Value, args []Value) (Value, error) {
 		if len(args) > 0 {
-			if o, ok := args[0].(*Object); ok {
+			if o := args[0].Obj(); o != nil {
 				if o.Proto == nil {
-					return Null{}, nil
+					return Null, nil
 				}
-				return o.Proto, nil
+				return ObjectValue(o.Proto), nil
 			}
 		}
-		return Null{}, nil
+		return Null, nil
 	}))
-	objectCtor.SetHidden("setPrototypeOf", in.native("setPrototypeOf", func(in *Interp, this Value, args []Value) (Value, error) {
+	objectCtor.SetHidden("setPrototypeOf", in.nativeV("setPrototypeOf", func(in *Interp, this Value, args []Value) (Value, error) {
 		if len(args) < 2 {
-			return nil, in.Throw("TypeError", "Object.setPrototypeOf requires 2 arguments")
+			return Undefined, in.Throw("TypeError", "Object.setPrototypeOf requires 2 arguments")
 		}
-		o, ok := args[0].(*Object)
-		if !ok {
+		o := args[0].Obj()
+		if o == nil {
 			return args[0], nil // primitives pass through unchanged
 		}
 		var proto *Object
-		switch p := args[1].(type) {
-		case *Object:
-			proto = p
-		case Null:
+		switch args[1].Tag() {
+		case TagObject:
+			proto = args[1].Obj()
+		case TagNull:
 			proto = nil
 		default:
-			return nil, in.Throw("TypeError", "prototype must be an object or null")
+			return Undefined, in.Throw("TypeError", "prototype must be an object or null")
 		}
 		for c := proto; c != nil; c = c.Proto {
 			if c == o {
-				return nil, in.Throw("TypeError", "cyclic prototype chain")
+				return Undefined, in.Throw("TypeError", "cyclic prototype chain")
 			}
 		}
 		o.SetProto(proto)
-		return o, nil
+		return args[0], nil
 	}))
-	objectCtor.SetHidden("defineProperty", in.native("defineProperty", func(in *Interp, this Value, args []Value) (Value, error) {
+	objectCtor.SetHidden("defineProperty", in.nativeV("defineProperty", func(in *Interp, this Value, args []Value) (Value, error) {
 		if len(args) < 3 {
-			return nil, in.Throw("TypeError", "Object.defineProperty requires 3 arguments")
+			return Undefined, in.Throw("TypeError", "Object.defineProperty requires 3 arguments")
 		}
-		o, ok := args[0].(*Object)
-		if !ok {
-			return nil, in.Throw("TypeError", "Object.defineProperty called on non-object")
+		o := args[0].Obj()
+		if o == nil {
+			return Undefined, in.Throw("TypeError", "Object.defineProperty called on non-object")
 		}
 		key, err := in.ToStringValue(args[1])
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
-		desc, ok := args[2].(*Object)
-		if !ok {
-			return nil, in.Throw("TypeError", "property descriptor must be an object")
+		desc := args[2].Obj()
+		if desc == nil {
+			return Undefined, in.Throw("TypeError", "property descriptor must be an object")
 		}
-		getV, _ := in.GetMember(desc, "get")
-		setV, _ := in.GetMember(desc, "set")
-		getter, _ := getV.(*Object)
-		setter, _ := setV.(*Object)
+		getV, _ := in.GetMember(args[2], "get")
+		setV, _ := in.GetMember(args[2], "set")
+		getter := getV.Obj()
+		setter := setV.Obj()
 		if getter != nil || setter != nil {
-			enumV, _ := in.GetMember(desc, "enumerable")
+			enumV, _ := in.GetMember(args[2], "enumerable")
 			o.SetAccessor(key, getter, setter, ToBoolean(enumV))
-			return o, nil
+			return args[0], nil
 		}
-		valV, _ := in.GetMember(desc, "value")
+		valV, _ := in.GetMember(args[2], "value")
 		o.SetOwn(key, valV)
-		return o, nil
+		return args[0], nil
 	}))
-	objectCtor.SetHidden("getOwnPropertyDescriptor", in.native("getOwnPropertyDescriptor", func(in *Interp, this Value, args []Value) (Value, error) {
+	objectCtor.SetHidden("getOwnPropertyDescriptor", in.nativeV("getOwnPropertyDescriptor", func(in *Interp, this Value, args []Value) (Value, error) {
 		if len(args) < 2 {
-			return Undefined{}, nil
+			return Undefined, nil
 		}
-		o, ok := args[0].(*Object)
-		if !ok {
-			return Undefined{}, nil
+		o := args[0].Obj()
+		if o == nil {
+			return Undefined, nil
 		}
 		key, err := in.ToStringValue(args[1])
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		slot := o.OwnOrLazy(key)
 		if slot == nil {
-			return Undefined{}, nil
+			return Undefined, nil
 		}
 		d := in.NewPlainObject()
 		if slot.Getter != nil || slot.Setter != nil {
 			if slot.Getter != nil {
-				d.SetOwn("get", slot.Getter)
+				d.SetOwn("get", ObjectValue(slot.Getter))
 			}
 			if slot.Setter != nil {
-				d.SetOwn("set", slot.Setter)
+				d.SetOwn("set", ObjectValue(slot.Setter))
 			}
 		} else {
 			d.SetOwn("value", slot.Value)
 		}
-		d.SetOwn("enumerable", slot.Enumerable)
-		return d, nil
+		d.SetOwn("enumerable", BoolValue(slot.Enumerable))
+		return ObjectValue(d), nil
 	}))
-	in.Global.Define("Object", objectCtor)
+	in.Global.Define("Object", ObjectValue(objectCtor))
 }
 
 func (in *Interp) setupFunctionProto() {
 	fp := in.functionProto
-	fp.SetHidden("call", in.native("call", func(in *Interp, this Value, args []Value) (Value, error) {
-		var callThis Value = Undefined{}
+	fp.SetHidden("call", in.nativeV("call", func(in *Interp, this Value, args []Value) (Value, error) {
+		callThis := Undefined
 		var rest []Value
 		if len(args) > 0 {
 			callThis = args[0]
 			rest = args[1:]
 		}
-		return in.Call(this, callThis, rest, Undefined{})
+		return in.Call(this, callThis, rest, Undefined)
 	}))
-	fp.SetHidden("apply", in.native("apply", func(in *Interp, this Value, args []Value) (Value, error) {
-		var callThis Value = Undefined{}
+	fp.SetHidden("apply", in.nativeV("apply", func(in *Interp, this Value, args []Value) (Value, error) {
+		callThis := Undefined
 		var rest []Value
 		if len(args) > 0 {
 			callThis = args[0]
 		}
 		if len(args) > 1 {
-			switch a := args[1].(type) {
-			case *Object:
-				rest = append([]Value(nil), a.Elems...)
-			case Undefined, Null:
+			switch args[1].Tag() {
+			case TagObject:
+				rest = append([]Value(nil), args[1].Obj().Elems...)
+			case TagUndefined, TagNull:
 			default:
-				return nil, in.Throw("TypeError", "second argument to apply must be an array")
+				return Undefined, in.Throw("TypeError", "second argument to apply must be an array")
 			}
 		}
-		return in.Call(this, callThis, rest, Undefined{})
+		return in.Call(this, callThis, rest, Undefined)
 	}))
-	fp.SetHidden("bind", in.native("bind", func(in *Interp, this Value, args []Value) (Value, error) {
+	fp.SetHidden("bind", in.nativeV("bind", func(in *Interp, this Value, args []Value) (Value, error) {
 		target := this
-		var boundThis Value = Undefined{}
+		boundThis := Undefined
 		var bound []Value
 		if len(args) > 0 {
 			boundThis = args[0]
 			bound = append([]Value(nil), args[1:]...)
 		}
-		return in.native("bound", func(in *Interp, _ Value, callArgs []Value) (Value, error) {
+		return in.nativeV("bound", func(in *Interp, _ Value, callArgs []Value) (Value, error) {
 			all := append(append([]Value(nil), bound...), callArgs...)
-			return in.Call(target, boundThis, all, Undefined{})
+			return in.Call(target, boundThis, all, Undefined)
 		}), nil
 	}))
 }
 
 func (in *Interp) setupError() {
 	ep := in.errorProto
-	ep.SetHidden("name", "Error")
-	ep.SetHidden("message", "")
-	ep.SetHidden("toString", in.native("toString", func(in *Interp, this Value, args []Value) (Value, error) {
-		o, ok := this.(*Object)
-		if !ok {
-			return "Error", nil
+	ep.SetHidden("name", StringValue("Error"))
+	ep.SetHidden("message", StringValue(""))
+	ep.SetHidden("toString", in.nativeV("toString", func(in *Interp, this Value, args []Value) (Value, error) {
+		o := this.Obj()
+		if o == nil {
+			return StringValue("Error"), nil
 		}
-		nameV, err := in.objGet(o, o, "name")
+		nameV, err := in.objGet(o, this, "name")
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
-		msgV, err := in.objGet(o, o, "message")
+		msgV, err := in.objGet(o, this, "message")
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		name, _ := in.ToStringValue(nameV)
 		msg, _ := in.ToStringValue(msgV)
 		if msg == "" {
-			return name, nil
+			return StringValue(name), nil
 		}
-		return name + ": " + msg, nil
+		return in.concatStrings(name+": ", msg)
 	}))
 	mkErrCtor := func(name string) *Object {
 		ctor := in.native(name, func(in *Interp, this Value, args []Value) (Value, error) {
 			msg := ""
-			if len(args) > 0 {
-				if _, isU := args[0].(Undefined); !isU {
-					s, err := in.ToStringValue(args[0])
-					if err != nil {
-						return nil, err
-					}
-					msg = s
+			if len(args) > 0 && !args[0].IsUndefined() {
+				s, err := in.ToStringValue(args[0])
+				if err != nil {
+					return Undefined, err
 				}
+				msg = s
 			}
-			return in.NewError(name, msg), nil
+			return ObjectValue(in.NewError(name, msg)), nil
 		})
-		ctor.SetHidden("prototype", in.errorProto)
-		in.Global.Define(name, ctor)
+		ctor.SetHidden("prototype", ObjectValue(in.errorProto))
+		in.Global.Define(name, ObjectValue(ctor))
 		return ctor
 	}
 	mkErrCtor("Error")
@@ -292,16 +292,16 @@ func (in *Interp) setupError() {
 func (in *Interp) setupMath() {
 	m := in.NewPlainObject()
 	one := func(name string, f func(float64) float64) {
-		m.SetHidden(name, in.native(name, func(in *Interp, this Value, args []Value) (Value, error) {
-			var x float64 = math.NaN()
+		m.SetHidden(name, in.nativeV(name, func(in *Interp, this Value, args []Value) (Value, error) {
+			x := math.NaN()
 			if len(args) > 0 {
 				v, err := in.ToNumber(args[0])
 				if err != nil {
-					return nil, err
+					return Undefined, err
 				}
 				x = v
 			}
-			return f(x), nil
+			return NumberValue(f(x)), nil
 		}))
 	}
 	one("abs", math.Abs)
@@ -318,119 +318,119 @@ func (in *Interp) setupMath() {
 	one("log", math.Log)
 	one("round", func(x float64) float64 { return math.Floor(x + 0.5) })
 	one("trunc", math.Trunc)
-	m.SetHidden("pow", in.native("pow", func(in *Interp, this Value, args []Value) (Value, error) {
+	m.SetHidden("pow", in.nativeV("pow", func(in *Interp, this Value, args []Value) (Value, error) {
 		x, y := math.NaN(), math.NaN()
 		if len(args) > 0 {
 			v, err := in.ToNumber(args[0])
 			if err != nil {
-				return nil, err
+				return Undefined, err
 			}
 			x = v
 		}
 		if len(args) > 1 {
 			v, err := in.ToNumber(args[1])
 			if err != nil {
-				return nil, err
+				return Undefined, err
 			}
 			y = v
 		}
-		return math.Pow(x, y), nil
+		return NumberValue(math.Pow(x, y)), nil
 	}))
-	m.SetHidden("atan2", in.native("atan2", func(in *Interp, this Value, args []Value) (Value, error) {
+	m.SetHidden("atan2", in.nativeV("atan2", func(in *Interp, this Value, args []Value) (Value, error) {
 		if len(args) < 2 {
-			return math.NaN(), nil
+			return NumberValue(math.NaN()), nil
 		}
 		y, err := in.ToNumber(args[0])
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		x, err := in.ToNumber(args[1])
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
-		return math.Atan2(y, x), nil
+		return NumberValue(math.Atan2(y, x)), nil
 	}))
 	reduce := func(name string, init float64, better func(a, b float64) bool) {
-		m.SetHidden(name, in.native(name, func(in *Interp, this Value, args []Value) (Value, error) {
+		m.SetHidden(name, in.nativeV(name, func(in *Interp, this Value, args []Value) (Value, error) {
 			best := init
 			for _, a := range args {
 				v, err := in.ToNumber(a)
 				if err != nil {
-					return nil, err
+					return Undefined, err
 				}
 				if math.IsNaN(v) {
-					return math.NaN(), nil
+					return NumberValue(math.NaN()), nil
 				}
 				if better(v, best) {
 					best = v
 				}
 			}
-			return best, nil
+			return NumberValue(best), nil
 		}))
 	}
 	reduce("min", math.Inf(1), func(a, b float64) bool { return a < b })
 	reduce("max", math.Inf(-1), func(a, b float64) bool { return a > b })
-	m.SetHidden("random", in.native("random", func(in *Interp, this Value, args []Value) (Value, error) {
-		return in.Random(), nil
+	m.SetHidden("random", in.nativeV("random", func(in *Interp, this Value, args []Value) (Value, error) {
+		return NumberValue(in.Random()), nil
 	}))
-	m.SetHidden("PI", math.Pi)
-	m.SetHidden("E", math.E)
-	m.SetHidden("LN2", math.Ln2)
-	m.SetHidden("SQRT2", math.Sqrt2)
-	in.Global.Define("Math", m)
+	m.SetHidden("PI", NumberValue(math.Pi))
+	m.SetHidden("E", NumberValue(math.E))
+	m.SetHidden("LN2", NumberValue(math.Ln2))
+	m.SetHidden("SQRT2", NumberValue(math.Sqrt2))
+	in.Global.Define("Math", ObjectValue(m))
 }
 
 func (in *Interp) setupConsoleAndTimers() {
 	console := in.NewPlainObject()
-	logFn := in.native("log", func(in *Interp, this Value, args []Value) (Value, error) {
+	logFn := in.nativeV("log", func(in *Interp, this Value, args []Value) (Value, error) {
 		parts := make([]string, len(args))
 		for i, a := range args {
 			parts[i] = in.Display(a)
 		}
 		in.WriteOut(strings.Join(parts, " ") + "\n")
-		return Undefined{}, nil
+		return Undefined, nil
 	})
 	console.SetHidden("log", logFn)
 	console.SetHidden("error", logFn)
 	console.SetHidden("warn", logFn)
-	in.Global.Define("console", console)
+	in.Global.Define("console", ObjectValue(console))
 
 	date := in.native("Date", func(in *Interp, this Value, args []Value) (Value, error) {
 		o := in.NewPlainObject()
 		o.Class = "Date"
 		t := in.Clock.Now()
-		o.SetHidden("getTime", in.native("getTime", func(in *Interp, this Value, args []Value) (Value, error) {
-			return t, nil
+		o.SetHidden("getTime", in.nativeV("getTime", func(in *Interp, this Value, args []Value) (Value, error) {
+			return NumberValue(t), nil
 		}))
-		return o, nil
+		return ObjectValue(o), nil
 	})
-	date.SetHidden("now", in.native("now", func(in *Interp, this Value, args []Value) (Value, error) {
-		return in.Clock.Now(), nil
+	date.SetHidden("now", in.nativeV("now", func(in *Interp, this Value, args []Value) (Value, error) {
+		return NumberValue(in.Clock.Now()), nil
 	}))
-	in.Global.Define("Date", date)
+	in.Global.Define("Date", ObjectValue(date))
 
-	in.Global.Define("setTimeout", in.native("setTimeout", func(in *Interp, this Value, args []Value) (Value, error) {
+	in.Global.Define("setTimeout", in.nativeV("setTimeout", func(in *Interp, this Value, args []Value) (Value, error) {
 		if in.Loop == nil {
-			return nil, in.Throw("Error", "setTimeout requires an event loop")
+			return Undefined, in.Throw("Error", "setTimeout requires an event loop")
 		}
 		if len(args) == 0 {
-			return nil, in.Throw("TypeError", "setTimeout requires a callback")
+			return Undefined, in.Throw("TypeError", "setTimeout requires a callback")
 		}
 		fn := args[0]
 		delay := 0.0
 		if len(args) > 1 {
 			d, err := in.ToNumber(args[1])
 			if err != nil {
-				return nil, err
+				return Undefined, err
 			}
 			delay = d
 		}
 		in.Loop.Post(func() {
-			if _, err := in.Call(fn, Undefined{}, nil, Undefined{}); err != nil {
+			if _, err := in.Call(fn, Undefined, nil, Undefined); err != nil {
 				in.reportUncaught(err)
 			}
 		}, delay)
-		return 0.0, nil
+		return NumberValue(0), nil
 	}))
 }
 
@@ -444,19 +444,19 @@ func (in *Interp) reportUncaught(err error) {
 
 func (in *Interp) setupTopFunctions() {
 	g := in.Global
-	g.Define("parseInt", in.native("parseInt", func(in *Interp, this Value, args []Value) (Value, error) {
+	g.Define("parseInt", in.nativeV("parseInt", func(in *Interp, this Value, args []Value) (Value, error) {
 		if len(args) == 0 {
-			return math.NaN(), nil
+			return NumberValue(math.NaN()), nil
 		}
 		s, err := in.ToStringValue(args[0])
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		radix := 10
 		if len(args) > 1 {
 			r, err := in.ToNumber(args[1])
 			if err != nil {
-				return nil, err
+				return Undefined, err
 			}
 			if r != 0 {
 				radix = int(r)
@@ -496,25 +496,25 @@ func (in *Interp) setupTopFunctions() {
 			end++
 		}
 		if end == 0 {
-			return math.NaN(), nil
+			return NumberValue(math.NaN()), nil
 		}
 		u, perr := strconv.ParseUint(s[:end], radix, 64)
 		if perr != nil {
-			return math.NaN(), nil
+			return NumberValue(math.NaN()), nil
 		}
 		v := float64(u)
 		if neg {
 			v = -v
 		}
-		return v, nil
+		return NumberValue(v), nil
 	}))
-	g.Define("parseFloat", in.native("parseFloat", func(in *Interp, this Value, args []Value) (Value, error) {
+	g.Define("parseFloat", in.nativeV("parseFloat", func(in *Interp, this Value, args []Value) (Value, error) {
 		if len(args) == 0 {
-			return math.NaN(), nil
+			return NumberValue(math.NaN()), nil
 		}
 		s, err := in.ToStringValue(args[0])
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		s = strings.TrimSpace(s)
 		end := 0
@@ -543,49 +543,49 @@ func (in *Interp) setupTopFunctions() {
 		}
 		f, perr := strconv.ParseFloat(strings.TrimRight(s[:end], "eE+-"), 64)
 		if perr != nil {
-			return math.NaN(), nil
+			return NumberValue(math.NaN()), nil
 		}
-		return f, nil
+		return NumberValue(f), nil
 	}))
-	g.Define("isNaN", in.native("isNaN", func(in *Interp, this Value, args []Value) (Value, error) {
+	g.Define("isNaN", in.nativeV("isNaN", func(in *Interp, this Value, args []Value) (Value, error) {
 		if len(args) == 0 {
-			return true, nil
+			return True, nil
 		}
 		f, err := in.ToNumber(args[0])
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
-		return math.IsNaN(f), nil
+		return BoolValue(math.IsNaN(f)), nil
 	}))
-	g.Define("isFinite", in.native("isFinite", func(in *Interp, this Value, args []Value) (Value, error) {
+	g.Define("isFinite", in.nativeV("isFinite", func(in *Interp, this Value, args []Value) (Value, error) {
 		if len(args) == 0 {
-			return false, nil
+			return False, nil
 		}
 		f, err := in.ToNumber(args[0])
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
-		return !math.IsNaN(f) && !math.IsInf(f, 0), nil
+		return BoolValue(!math.IsNaN(f) && !math.IsInf(f, 0)), nil
 	}))
-	g.Define("eval", in.native("eval", func(in *Interp, this Value, args []Value) (Value, error) {
+	g.Define("eval", in.nativeV("eval", func(in *Interp, this Value, args []Value) (Value, error) {
 		if len(args) == 0 {
-			return Undefined{}, nil
+			return Undefined, nil
 		}
-		src, ok := args[0].(string)
-		if !ok {
+		if !args[0].IsString() {
 			return args[0], nil // eval of a non-string returns it unchanged
 		}
+		src := args[0].Str()
 		if in.EvalHook == nil {
-			return nil, in.Throw("Error", "eval is not enabled in this configuration")
+			return Undefined, in.Throw("Error", "eval is not enabled in this configuration")
 		}
 		body, err := in.EvalHook(src)
 		if err != nil {
-			return nil, in.Throw("SyntaxError", "eval: %v", err)
+			return Undefined, in.Throw("SyntaxError", "eval: %v", err)
 		}
 		if rerr := in.RunStmts(body); rerr != nil {
-			return nil, rerr
+			return Undefined, rerr
 		}
-		return Undefined{}, nil
+		return Undefined, nil
 	}))
 }
 
@@ -596,21 +596,22 @@ func (in *Interp) Display(v Value) string {
 }
 
 func (in *Interp) displayDepth(v Value, depth int) string {
-	switch x := v.(type) {
-	case Undefined:
+	switch v.tag {
+	case TagUndefined:
 		return "undefined"
-	case Null:
+	case TagNull:
 		return "null"
-	case bool:
-		if x {
+	case TagBool:
+		if v.Bool() {
 			return "true"
 		}
 		return "false"
-	case float64:
-		return printer.FormatNumber(x)
-	case string:
-		return x
-	case *Object:
+	case TagNumber:
+		return printer.FormatNumber(v.num)
+	case TagString:
+		return v.Str()
+	case TagObject:
+		x := v.Obj()
 		if depth > 3 {
 			return "..."
 		}
@@ -634,10 +635,15 @@ func (in *Interp) displayDepth(v Value, depth int) string {
 			name := "Error"
 			msg := ""
 			if s := x.Own("name"); s != nil {
-				name, _ = s.Value.(string)
+				name = ""
+				if s.Value.IsString() {
+					name = s.Value.Str()
+				}
 			}
 			if s := x.Own("message"); s != nil {
-				msg, _ = s.Value.(string)
+				if s.Value.IsString() {
+					msg = s.Value.Str()
+				}
 			}
 			if msg == "" {
 				return name

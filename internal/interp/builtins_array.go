@@ -14,37 +14,32 @@ import (
 func (in *Interp) setupArray() {
 	arrayCtor := in.native("Array", func(in *Interp, this Value, args []Value) (Value, error) {
 		in.charge(in.Engine.ObjectCreateCost)
-		if _, isNew := this.(constructSentinel); isNew && len(args) == 1 {
-			if n, ok := args[0].(float64); ok {
-				size := int(n)
-				if size < 0 || float64(size) != n {
-					return nil, in.Throw("RangeError", "invalid array length")
-				}
-				elems := make([]Value, size)
-				for i := range elems {
-					elems[i] = Undefined{}
-				}
-				return in.NewArray(elems), nil
+		if isCtorSentinel(this) && len(args) == 1 && args[0].IsNumber() {
+			n := args[0].Num()
+			size := int(n)
+			if size < 0 || float64(size) != n {
+				return Undefined, in.Throw("RangeError", "invalid array length")
 			}
+			return ObjectValue(in.NewArray(make([]Value, size))), nil
 		}
-		return in.NewArray(append([]Value(nil), args...)), nil
+		return ObjectValue(in.NewArray(append([]Value(nil), args...))), nil
 	})
-	arrayCtor.SetHidden("prototype", in.arrayProto)
-	arrayCtor.SetHidden("isArray", in.native("isArray", func(in *Interp, this Value, args []Value) (Value, error) {
+	arrayCtor.SetHidden("prototype", ObjectValue(in.arrayProto))
+	arrayCtor.SetHidden("isArray", in.nativeV("isArray", func(in *Interp, this Value, args []Value) (Value, error) {
 		if len(args) == 0 {
-			return false, nil
+			return False, nil
 		}
-		o, ok := args[0].(*Object)
-		return ok && o.Class == "Array", nil
+		o := args[0].Obj()
+		return BoolValue(o != nil && o.Class == "Array"), nil
 	}))
-	in.Global.Define("Array", arrayCtor)
+	in.Global.Define("Array", ObjectValue(arrayCtor))
 
 	ap := in.arrayProto
-	method := func(name string, fn NativeFunc) { ap.SetHidden(name, in.native(name, fn)) }
+	method := func(name string, fn NativeFunc) { ap.SetHidden(name, in.nativeV(name, fn)) }
 
 	selfArray := func(in *Interp, this Value) (*Object, error) {
-		o, ok := this.(*Object)
-		if !ok || (o.Class != "Array" && o.Class != "Arguments") {
+		o := this.Obj()
+		if o == nil || (o.Class != "Array" && o.Class != "Arguments") {
 			return nil, in.Throw("TypeError", "receiver is not an array")
 		}
 		return o, nil
@@ -53,18 +48,18 @@ func (in *Interp) setupArray() {
 	method("push", func(in *Interp, this Value, args []Value) (Value, error) {
 		a, err := selfArray(in, this)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		a.Elems = append(a.Elems, args...)
-		return float64(len(a.Elems)), nil
+		return NumberValue(float64(len(a.Elems))), nil
 	})
 	method("pop", func(in *Interp, this Value, args []Value) (Value, error) {
 		a, err := selfArray(in, this)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		if len(a.Elems) == 0 {
-			return Undefined{}, nil
+			return Undefined, nil
 		}
 		v := a.Elems[len(a.Elems)-1]
 		a.Elems = a.Elems[:len(a.Elems)-1]
@@ -73,10 +68,10 @@ func (in *Interp) setupArray() {
 	method("shift", func(in *Interp, this Value, args []Value) (Value, error) {
 		a, err := selfArray(in, this)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		if len(a.Elems) == 0 {
-			return Undefined{}, nil
+			return Undefined, nil
 		}
 		v := a.Elems[0]
 		a.Elems = append([]Value(nil), a.Elems[1:]...)
@@ -85,33 +80,33 @@ func (in *Interp) setupArray() {
 	method("unshift", func(in *Interp, this Value, args []Value) (Value, error) {
 		a, err := selfArray(in, this)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		a.Elems = append(append([]Value(nil), args...), a.Elems...)
-		return float64(len(a.Elems)), nil
+		return NumberValue(float64(len(a.Elems))), nil
 	})
 	method("slice", func(in *Interp, this Value, args []Value) (Value, error) {
 		a, err := selfArray(in, this)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		start, end, err := in.sliceBounds(args, len(a.Elems))
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
-		return in.NewArray(append([]Value(nil), a.Elems[start:end]...)), nil
+		return ObjectValue(in.NewArray(append([]Value(nil), a.Elems[start:end]...))), nil
 	})
 	method("splice", func(in *Interp, this Value, args []Value) (Value, error) {
 		a, err := selfArray(in, this)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		n := len(a.Elems)
 		start := 0
 		if len(args) > 0 {
 			s, err := in.ToNumber(args[0])
 			if err != nil {
-				return nil, err
+				return Undefined, err
 			}
 			start = clampIndex(int(s), n)
 		}
@@ -119,7 +114,7 @@ func (in *Interp) setupArray() {
 		if len(args) > 1 {
 			c, err := in.ToNumber(args[1])
 			if err != nil {
-				return nil, err
+				return Undefined, err
 			}
 			count = int(c)
 			if count < 0 {
@@ -136,103 +131,105 @@ func (in *Interp) setupArray() {
 		}
 		rest := append([]Value(nil), a.Elems[start+count:]...)
 		a.Elems = append(append(a.Elems[:start], inserted...), rest...)
-		return in.NewArray(removed), nil
+		return ObjectValue(in.NewArray(removed)), nil
 	})
 	method("concat", func(in *Interp, this Value, args []Value) (Value, error) {
 		a, err := selfArray(in, this)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		out := append([]Value(nil), a.Elems...)
 		for _, arg := range args {
-			if o, ok := arg.(*Object); ok && o.Class == "Array" {
+			if o := arg.Obj(); o != nil && o.Class == "Array" {
 				out = append(out, o.Elems...)
 			} else {
 				out = append(out, arg)
 			}
 		}
-		return in.NewArray(out), nil
+		return ObjectValue(in.NewArray(out)), nil
 	})
 	method("join", func(in *Interp, this Value, args []Value) (Value, error) {
 		a, err := selfArray(in, this)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		sep := ","
-		if len(args) > 0 {
-			if _, isU := args[0].(Undefined); !isU {
-				s, err := in.ToStringValue(args[0])
-				if err != nil {
-					return nil, err
-				}
-				sep = s
+		if len(args) > 0 && !args[0].IsUndefined() {
+			s, err := in.ToStringValue(args[0])
+			if err != nil {
+				return Undefined, err
 			}
+			sep = s
 		}
 		parts := make([]string, len(a.Elems))
+		total := 0
 		for i, el := range a.Elems {
-			switch el.(type) {
-			case Undefined, Null:
-				parts[i] = ""
-			default:
-				s, err := in.ToStringValue(el)
+			s := ""
+			if !el.IsNullish() {
+				v, err := in.ToStringValue(el)
 				if err != nil {
-					return nil, err
+					return Undefined, err
 				}
-				parts[i] = s
+				s = v
+			}
+			parts[i] = s
+			// Separator bytes count even for nullish elements — an array of
+			// holes joined on a long separator grows just as fast.
+			total += len(s) + len(sep)
+			if total > MaxStringLen {
+				return Undefined, in.Throw("RangeError", "Invalid string length")
 			}
 		}
-		return strings.Join(parts, sep), nil
+		return StringValue(strings.Join(parts, sep)), nil
 	})
 	method("indexOf", func(in *Interp, this Value, args []Value) (Value, error) {
 		a, err := selfArray(in, this)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		if len(args) == 0 {
-			return -1.0, nil
+			return NumberValue(-1), nil
 		}
 		for i, el := range a.Elems {
 			if StrictEquals(el, args[0]) {
-				return float64(i), nil
+				return NumberValue(float64(i)), nil
 			}
 		}
-		return -1.0, nil
+		return NumberValue(-1), nil
 	})
 	method("lastIndexOf", func(in *Interp, this Value, args []Value) (Value, error) {
 		a, err := selfArray(in, this)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		if len(args) == 0 {
-			return -1.0, nil
+			return NumberValue(-1), nil
 		}
 		for i := len(a.Elems) - 1; i >= 0; i-- {
 			if StrictEquals(a.Elems[i], args[0]) {
-				return float64(i), nil
+				return NumberValue(float64(i)), nil
 			}
 		}
-		return -1.0, nil
+		return NumberValue(-1), nil
 	})
 	method("reverse", func(in *Interp, this Value, args []Value) (Value, error) {
 		a, err := selfArray(in, this)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		for i, j := 0, len(a.Elems)-1; i < j; i, j = i+1, j-1 {
 			a.Elems[i], a.Elems[j] = a.Elems[j], a.Elems[i]
 		}
-		return a, nil
+		return this, nil
 	})
 	method("sort", func(in *Interp, this Value, args []Value) (Value, error) {
 		a, err := selfArray(in, this)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
-		var cmp *Object
-		if len(args) > 0 {
-			if f, ok := args[0].(*Object); ok && f.IsCallable() {
-				cmp = f
-			}
+		var cmp Value
+		if len(args) > 0 && args[0].Obj().IsCallable() {
+			cmp = args[0]
 		}
 		var sortErr error
 		in.EnterAtomic()
@@ -241,8 +238,8 @@ func (in *Interp) setupArray() {
 			if sortErr != nil {
 				return false
 			}
-			if cmp != nil {
-				r, err := in.Call(cmp, Undefined{}, []Value{a.Elems[i], a.Elems[j]}, Undefined{})
+			if cmp.IsObject() {
+				r, err := in.Call(cmp, Undefined, []Value{a.Elems[i], a.Elems[j]}, Undefined)
 				if err != nil {
 					sortErr = err
 					return false
@@ -267,76 +264,76 @@ func (in *Interp) setupArray() {
 			return si < sj
 		})
 		if sortErr != nil {
-			return nil, sortErr
+			return Undefined, sortErr
 		}
-		return a, nil
+		return this, nil
 	})
 	method("forEach", func(in *Interp, this Value, args []Value) (Value, error) {
 		a, err := selfArray(in, this)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		if len(args) == 0 {
-			return nil, in.Throw("TypeError", "forEach requires a callback")
+			return Undefined, in.Throw("TypeError", "forEach requires a callback")
 		}
 		in.EnterAtomic()
 		defer in.ExitAtomic()
 		for i, el := range a.Elems {
-			if _, err := in.Call(args[0], Undefined{}, []Value{el, float64(i), a}, Undefined{}); err != nil {
-				return nil, err
+			if _, err := in.Call(args[0], Undefined, []Value{el, NumberValue(float64(i)), this}, Undefined); err != nil {
+				return Undefined, err
 			}
 		}
-		return Undefined{}, nil
+		return Undefined, nil
 	})
 	method("map", func(in *Interp, this Value, args []Value) (Value, error) {
 		a, err := selfArray(in, this)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		if len(args) == 0 {
-			return nil, in.Throw("TypeError", "map requires a callback")
+			return Undefined, in.Throw("TypeError", "map requires a callback")
 		}
 		in.EnterAtomic()
 		defer in.ExitAtomic()
 		out := make([]Value, len(a.Elems))
 		for i, el := range a.Elems {
-			v, err := in.Call(args[0], Undefined{}, []Value{el, float64(i), a}, Undefined{})
+			v, err := in.Call(args[0], Undefined, []Value{el, NumberValue(float64(i)), this}, Undefined)
 			if err != nil {
-				return nil, err
+				return Undefined, err
 			}
 			out[i] = v
 		}
-		return in.NewArray(out), nil
+		return ObjectValue(in.NewArray(out)), nil
 	})
 	method("filter", func(in *Interp, this Value, args []Value) (Value, error) {
 		a, err := selfArray(in, this)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		if len(args) == 0 {
-			return nil, in.Throw("TypeError", "filter requires a callback")
+			return Undefined, in.Throw("TypeError", "filter requires a callback")
 		}
 		in.EnterAtomic()
 		defer in.ExitAtomic()
 		var out []Value
 		for i, el := range a.Elems {
-			v, err := in.Call(args[0], Undefined{}, []Value{el, float64(i), a}, Undefined{})
+			v, err := in.Call(args[0], Undefined, []Value{el, NumberValue(float64(i)), this}, Undefined)
 			if err != nil {
-				return nil, err
+				return Undefined, err
 			}
 			if ToBoolean(v) {
 				out = append(out, el)
 			}
 		}
-		return in.NewArray(out), nil
+		return ObjectValue(in.NewArray(out)), nil
 	})
 	method("reduce", func(in *Interp, this Value, args []Value) (Value, error) {
 		a, err := selfArray(in, this)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		if len(args) == 0 {
-			return nil, in.Throw("TypeError", "reduce requires a callback")
+			return Undefined, in.Throw("TypeError", "reduce requires a callback")
 		}
 		in.EnterAtomic()
 		defer in.ExitAtomic()
@@ -346,15 +343,15 @@ func (in *Interp) setupArray() {
 			acc = args[1]
 		} else {
 			if len(a.Elems) == 0 {
-				return nil, in.Throw("TypeError", "reduce of empty array with no initial value")
+				return Undefined, in.Throw("TypeError", "reduce of empty array with no initial value")
 			}
 			acc = a.Elems[0]
 			i = 1
 		}
 		for ; i < len(a.Elems); i++ {
-			v, err := in.Call(args[0], Undefined{}, []Value{acc, a.Elems[i], float64(i), a}, Undefined{})
+			v, err := in.Call(args[0], Undefined, []Value{acc, a.Elems[i], NumberValue(float64(i)), this}, Undefined)
 			if err != nil {
-				return nil, err
+				return Undefined, err
 			}
 			acc = v
 		}
@@ -363,22 +360,26 @@ func (in *Interp) setupArray() {
 	method("toString", func(in *Interp, this Value, args []Value) (Value, error) {
 		a, err := selfArray(in, this)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		parts := make([]string, len(a.Elems))
+		total := 0
 		for i, el := range a.Elems {
-			switch el.(type) {
-			case Undefined, Null:
-				parts[i] = ""
-			default:
-				s, err := in.ToStringValue(el)
+			s := ""
+			if !el.IsNullish() {
+				v, err := in.ToStringValue(el)
 				if err != nil {
-					return nil, err
+					return Undefined, err
 				}
-				parts[i] = s
+				s = v
+			}
+			parts[i] = s
+			total += len(s) + 1
+			if total > MaxStringLen {
+				return Undefined, in.Throw("RangeError", "Invalid string length")
 			}
 		}
-		return strings.Join(parts, ","), nil
+		return StringValue(strings.Join(parts, ",")), nil
 	})
 }
 
@@ -397,23 +398,19 @@ func clampIndex(i, n int) int {
 
 func (in *Interp) sliceBounds(args []Value, n int) (int, int, error) {
 	start, end := 0, n
-	if len(args) > 0 {
-		if _, isU := args[0].(Undefined); !isU {
-			s, err := in.ToNumber(args[0])
-			if err != nil {
-				return 0, 0, err
-			}
-			start = clampIndex(int(s), n)
+	if len(args) > 0 && !args[0].IsUndefined() {
+		s, err := in.ToNumber(args[0])
+		if err != nil {
+			return 0, 0, err
 		}
+		start = clampIndex(int(s), n)
 	}
-	if len(args) > 1 {
-		if _, isU := args[1].(Undefined); !isU {
-			e, err := in.ToNumber(args[1])
-			if err != nil {
-				return 0, 0, err
-			}
-			end = clampIndex(int(e), n)
+	if len(args) > 1 && !args[1].IsUndefined() {
+		e, err := in.ToNumber(args[1])
+		if err != nil {
+			return 0, 0, err
 		}
+		end = clampIndex(int(e), n)
 	}
 	if end < start {
 		end = start

@@ -10,33 +10,43 @@ import (
 
 // setupString installs the String constructor/function and String.prototype.
 // Strings are Go strings indexed by byte; the benchmark corpus is ASCII.
+// Single-character accesses (charAt, computed index, split("")) return the
+// raw one-byte substring — a zero-copy view into the source string. For
+// non-ASCII bytes this differs from the historical interface{}-era behavior
+// (which rune-widened the byte through string(s[i]), itself non-spec):
+// byte views are self-consistent (split("").join("") round-trips, the
+// pieces concatenate back to the original) and never allocate.
 func (in *Interp) setupString() {
 	stringCtor := in.native("String", func(in *Interp, this Value, args []Value) (Value, error) {
 		if len(args) == 0 {
-			return "", nil
+			return StringValue(""), nil
 		}
-		return in.ToStringValue(args[0])
+		s, err := in.ToStringValue(args[0])
+		if err != nil {
+			return Undefined, err
+		}
+		return StringValue(s), nil
 	})
-	stringCtor.SetHidden("prototype", in.stringProto)
-	stringCtor.SetHidden("fromCharCode", in.native("fromCharCode", func(in *Interp, this Value, args []Value) (Value, error) {
+	stringCtor.SetHidden("prototype", ObjectValue(in.stringProto))
+	stringCtor.SetHidden("fromCharCode", in.nativeV("fromCharCode", func(in *Interp, this Value, args []Value) (Value, error) {
 		var b strings.Builder
 		for _, a := range args {
 			f, err := in.ToNumber(a)
 			if err != nil {
-				return nil, err
+				return Undefined, err
 			}
 			b.WriteRune(rune(uint16(int64(f))))
 		}
-		return b.String(), nil
+		return StringValue(b.String()), nil
 	}))
-	in.Global.Define("String", stringCtor)
+	in.Global.Define("String", ObjectValue(stringCtor))
 
 	sp := in.stringProto
-	method := func(name string, fn NativeFunc) { sp.SetHidden(name, in.native(name, fn)) }
+	method := func(name string, fn NativeFunc) { sp.SetHidden(name, in.nativeV(name, fn)) }
 
 	selfString := func(in *Interp, this Value) (string, error) {
-		if s, ok := this.(string); ok {
-			return s, nil
+		if this.IsString() {
+			return this.Str(), nil
 		}
 		return in.ToStringValue(this)
 	}
@@ -44,100 +54,98 @@ func (in *Interp) setupString() {
 	method("charAt", func(in *Interp, this Value, args []Value) (Value, error) {
 		s, err := selfString(in, this)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		i := 0
 		if len(args) > 0 {
 			f, err := in.ToNumber(args[0])
 			if err != nil {
-				return nil, err
+				return Undefined, err
 			}
 			i = int(f)
 		}
 		if i < 0 || i >= len(s) {
-			return "", nil
+			return StringValue(""), nil
 		}
-		return string(s[i]), nil
+		return StringValue(s[i : i+1]), nil
 	})
 	method("charCodeAt", func(in *Interp, this Value, args []Value) (Value, error) {
 		s, err := selfString(in, this)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		i := 0
 		if len(args) > 0 {
 			f, err := in.ToNumber(args[0])
 			if err != nil {
-				return nil, err
+				return Undefined, err
 			}
 			i = int(f)
 		}
 		if i < 0 || i >= len(s) {
-			return math.NaN(), nil
+			return NumberValue(math.NaN()), nil
 		}
-		return float64(s[i]), nil
+		return NumberValue(float64(s[i])), nil
 	})
 	method("indexOf", func(in *Interp, this Value, args []Value) (Value, error) {
 		s, err := selfString(in, this)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		if len(args) == 0 {
-			return -1.0, nil
+			return NumberValue(-1), nil
 		}
 		sub, err := in.ToStringValue(args[0])
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		from := 0
 		if len(args) > 1 {
 			f, err := in.ToNumber(args[1])
 			if err != nil {
-				return nil, err
+				return Undefined, err
 			}
 			from = clampIndex(int(f), len(s))
 		}
 		idx := strings.Index(s[from:], sub)
 		if idx < 0 {
-			return -1.0, nil
+			return NumberValue(-1), nil
 		}
-		return float64(idx + from), nil
+		return NumberValue(float64(idx + from)), nil
 	})
 	method("lastIndexOf", func(in *Interp, this Value, args []Value) (Value, error) {
 		s, err := selfString(in, this)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		if len(args) == 0 {
-			return -1.0, nil
+			return NumberValue(-1), nil
 		}
 		sub, err := in.ToStringValue(args[0])
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
-		return float64(strings.LastIndex(s, sub)), nil
+		return NumberValue(float64(strings.LastIndex(s, sub))), nil
 	})
 	method("substring", func(in *Interp, this Value, args []Value) (Value, error) {
 		s, err := selfString(in, this)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		start, end := 0, len(s)
 		if len(args) > 0 {
 			f, err := in.ToNumber(args[0])
 			if err != nil {
-				return nil, err
+				return Undefined, err
 			}
 			start = int(f)
 		}
-		if len(args) > 1 {
-			if _, isU := args[1].(Undefined); !isU {
-				f, err := in.ToNumber(args[1])
-				if err != nil {
-					return nil, err
-				}
-				end = int(f)
+		if len(args) > 1 && !args[1].IsUndefined() {
+			f, err := in.ToNumber(args[1])
+			if err != nil {
+				return Undefined, err
 			}
+			end = int(f)
 		}
 		if start < 0 {
 			start = 0
@@ -154,118 +162,140 @@ func (in *Interp) setupString() {
 		if start > end {
 			start, end = end, start
 		}
-		return s[start:end], nil
+		return StringValue(s[start:end]), nil
 	})
 	method("slice", func(in *Interp, this Value, args []Value) (Value, error) {
 		s, err := selfString(in, this)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		start, end, err := in.sliceBounds(args, len(s))
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
-		return s[start:end], nil
+		return StringValue(s[start:end]), nil
 	})
 	method("split", func(in *Interp, this Value, args []Value) (Value, error) {
 		s, err := selfString(in, this)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		if len(args) == 0 {
-			return in.NewArray([]Value{s}), nil
+			return ObjectValue(in.NewArray([]Value{StringValue(s)})), nil
 		}
 		sep, err := in.ToStringValue(args[0])
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		var parts []string
 		if sep == "" {
 			for i := 0; i < len(s); i++ {
-				parts = append(parts, string(s[i]))
+				parts = append(parts, s[i:i+1])
 			}
 		} else {
 			parts = strings.Split(s, sep)
 		}
 		elems := make([]Value, len(parts))
 		for i, p := range parts {
-			elems[i] = p
+			elems[i] = StringValue(p)
 		}
-		return in.NewArray(elems), nil
+		return ObjectValue(in.NewArray(elems)), nil
 	})
 	method("toUpperCase", func(in *Interp, this Value, args []Value) (Value, error) {
 		s, err := selfString(in, this)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
-		return strings.ToUpper(s), nil
+		return StringValue(strings.ToUpper(s)), nil
 	})
 	method("toLowerCase", func(in *Interp, this Value, args []Value) (Value, error) {
 		s, err := selfString(in, this)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
-		return strings.ToLower(s), nil
+		return StringValue(strings.ToLower(s)), nil
 	})
 	method("trim", func(in *Interp, this Value, args []Value) (Value, error) {
 		s, err := selfString(in, this)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
-		return strings.TrimSpace(s), nil
+		return StringValue(strings.TrimSpace(s)), nil
 	})
 	method("concat", func(in *Interp, this Value, args []Value) (Value, error) {
 		s, err := selfString(in, this)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		for _, a := range args {
 			t, err := in.ToStringValue(a)
 			if err != nil {
-				return nil, err
+				return Undefined, err
+			}
+			if len(s)+len(t) > MaxStringLen {
+				return Undefined, in.Throw("RangeError", "Invalid string length")
 			}
 			s += t
 		}
-		return s, nil
+		return StringValue(s), nil
 	})
 	method("replace", func(in *Interp, this Value, args []Value) (Value, error) {
 		s, err := selfString(in, this)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		if len(args) < 2 {
-			return s, nil
+			return StringValue(s), nil
 		}
 		old, err := in.ToStringValue(args[0])
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		nw, err := in.ToStringValue(args[1])
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
-		return strings.Replace(s, old, nw, 1), nil
+		if len(s)+len(nw) > MaxStringLen {
+			return Undefined, in.Throw("RangeError", "Invalid string length")
+		}
+		return StringValue(strings.Replace(s, old, nw, 1)), nil
 	})
 	method("repeat", func(in *Interp, this Value, args []Value) (Value, error) {
 		s, err := selfString(in, this)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		n := 0.0
 		if len(args) > 0 {
 			f, err := in.ToNumber(args[0])
 			if err != nil {
-				return nil, err
+				return Undefined, err
 			}
 			n = f
 		}
-		if n < 0 {
-			return nil, in.Throw("RangeError", "invalid repeat count")
+		if math.IsNaN(n) {
+			n = 0 // ToInteger(NaN) is 0 — repeat 0 times
 		}
-		return strings.Repeat(s, int(n)), nil
+		n = math.Trunc(n)
+		if n < 0 || math.IsInf(n, 1) {
+			return Undefined, in.Throw("RangeError", "invalid repeat count")
+		}
+		if len(s) == 0 || n == 0 {
+			return StringValue(""), nil
+		}
+		if n > float64(MaxStringLen/len(s)) {
+			return Undefined, in.Throw("RangeError", "Invalid string length")
+		}
+		// n is now a nonnegative finite integer within the cap, so the
+		// float→int conversion is exact and strings.Repeat cannot panic.
+		return StringValue(strings.Repeat(s, int(n))), nil
 	})
 	method("toString", func(in *Interp, this Value, args []Value) (Value, error) {
-		return selfString(in, this)
+		s, err := selfString(in, this)
+		if err != nil {
+			return Undefined, err
+		}
+		return StringValue(s), nil
 	})
 }
 
@@ -273,61 +303,70 @@ func (in *Interp) setupString() {
 func (in *Interp) setupNumberBoolean() {
 	numberCtor := in.native("Number", func(in *Interp, this Value, args []Value) (Value, error) {
 		if len(args) == 0 {
-			return 0.0, nil
+			return NumberValue(0), nil
 		}
-		return in.ToNumber(args[0])
+		f, err := in.ToNumber(args[0])
+		if err != nil {
+			return Undefined, err
+		}
+		return NumberValue(f), nil
 	})
-	numberCtor.SetHidden("prototype", in.numberProto)
-	numberCtor.SetHidden("MAX_SAFE_INTEGER", float64(1<<53-1))
-	numberCtor.SetHidden("MIN_SAFE_INTEGER", -float64(1<<53-1))
-	numberCtor.SetHidden("POSITIVE_INFINITY", math.Inf(1))
-	numberCtor.SetHidden("NEGATIVE_INFINITY", math.Inf(-1))
-	numberCtor.SetHidden("isInteger", in.native("isInteger", func(in *Interp, this Value, args []Value) (Value, error) {
+	numberCtor.SetHidden("prototype", ObjectValue(in.numberProto))
+	numberCtor.SetHidden("MAX_SAFE_INTEGER", NumberValue(float64(1<<53-1)))
+	numberCtor.SetHidden("MIN_SAFE_INTEGER", NumberValue(-float64(1<<53-1)))
+	numberCtor.SetHidden("POSITIVE_INFINITY", NumberValue(math.Inf(1)))
+	numberCtor.SetHidden("NEGATIVE_INFINITY", NumberValue(math.Inf(-1)))
+	numberCtor.SetHidden("isInteger", in.nativeV("isInteger", func(in *Interp, this Value, args []Value) (Value, error) {
 		if len(args) == 0 {
-			return false, nil
+			return False, nil
 		}
-		f, ok := args[0].(float64)
-		return ok && f == math.Trunc(f) && !math.IsInf(f, 0), nil
+		if !args[0].IsNumber() {
+			return False, nil
+		}
+		f := args[0].Num()
+		return BoolValue(f == math.Trunc(f) && !math.IsInf(f, 0)), nil
 	}))
-	in.Global.Define("Number", numberCtor)
+	in.Global.Define("Number", ObjectValue(numberCtor))
 
 	np := in.numberProto
-	np.SetHidden("toString", in.native("toString", func(in *Interp, this Value, args []Value) (Value, error) {
-		f, ok := this.(float64)
-		if !ok {
+	np.SetHidden("toString", in.nativeV("toString", func(in *Interp, this Value, args []Value) (Value, error) {
+		var f float64
+		if this.IsNumber() {
+			f = this.Num()
+		} else {
 			v, err := in.ToNumber(this)
 			if err != nil {
-				return nil, err
+				return Undefined, err
 			}
 			f = v
 		}
 		radix := 10
-		if len(args) > 0 {
-			if _, isU := args[0].(Undefined); !isU {
-				r, err := in.ToNumber(args[0])
-				if err != nil {
-					return nil, err
-				}
-				radix = int(r)
+		if len(args) > 0 && !args[0].IsUndefined() {
+			r, err := in.ToNumber(args[0])
+			if err != nil {
+				return Undefined, err
 			}
+			radix = int(r)
 		}
 		if radix == 10 {
-			return printer.FormatNumber(f), nil
+			return StringValue(printer.FormatNumber(f)), nil
 		}
 		if radix < 2 || radix > 36 {
-			return nil, in.Throw("RangeError", "toString() radix must be between 2 and 36")
+			return Undefined, in.Throw("RangeError", "toString() radix must be between 2 and 36")
 		}
 		if f != math.Trunc(f) || math.IsNaN(f) || math.IsInf(f, 0) {
-			return printer.FormatNumber(f), nil
+			return StringValue(printer.FormatNumber(f)), nil
 		}
-		return strconv.FormatInt(int64(f), radix), nil
+		return StringValue(strconv.FormatInt(int64(f), radix)), nil
 	}))
-	np.SetHidden("toFixed", in.native("toFixed", func(in *Interp, this Value, args []Value) (Value, error) {
-		f, ok := this.(float64)
-		if !ok {
+	np.SetHidden("toFixed", in.nativeV("toFixed", func(in *Interp, this Value, args []Value) (Value, error) {
+		var f float64
+		if this.IsNumber() {
+			f = this.Num()
+		} else {
 			v, err := in.ToNumber(this)
 			if err != nil {
-				return nil, err
+				return Undefined, err
 			}
 			f = v
 		}
@@ -335,30 +374,30 @@ func (in *Interp) setupNumberBoolean() {
 		if len(args) > 0 {
 			d, err := in.ToNumber(args[0])
 			if err != nil {
-				return nil, err
+				return Undefined, err
 			}
 			digits = int(d)
 		}
 		if digits < 0 || digits > 100 {
-			return nil, in.Throw("RangeError", "toFixed() digits out of range")
+			return Undefined, in.Throw("RangeError", "toFixed() digits out of range")
 		}
-		return strconv.FormatFloat(f, 'f', digits, 64), nil
+		return StringValue(strconv.FormatFloat(f, 'f', digits, 64)), nil
 	}))
 
 	booleanCtor := in.native("Boolean", func(in *Interp, this Value, args []Value) (Value, error) {
 		if len(args) == 0 {
-			return false, nil
+			return False, nil
 		}
-		return ToBoolean(args[0]), nil
+		return BoolValue(ToBoolean(args[0])), nil
 	})
-	booleanCtor.SetHidden("prototype", in.booleanProto)
-	in.Global.Define("Boolean", booleanCtor)
+	booleanCtor.SetHidden("prototype", ObjectValue(in.booleanProto))
+	in.Global.Define("Boolean", ObjectValue(booleanCtor))
 
 	bp := in.booleanProto
-	bp.SetHidden("toString", in.native("toString", func(in *Interp, this Value, args []Value) (Value, error) {
-		if b, ok := this.(bool); ok && b {
-			return "true", nil
+	bp.SetHidden("toString", in.nativeV("toString", func(in *Interp, this Value, args []Value) (Value, error) {
+		if this.IsBool() && this.Bool() {
+			return StringValue("true"), nil
 		}
-		return "false", nil
+		return StringValue("false"), nil
 	}))
 }

@@ -2,6 +2,7 @@ package interp
 
 import (
 	"errors"
+	"unsafe"
 
 	"repro/internal/ast"
 	"repro/internal/bytecode"
@@ -30,6 +31,15 @@ type forInIter struct {
 	i    int
 }
 
+// iterValue wraps a for-in iterator as an engine-internal Value for the
+// operand stack. It never escapes the dispatch loop: OpForInInit pushes it,
+// OpForInNext reads it, and the exit path pops it.
+func iterValue(it *forInIter) Value {
+	return Value{tag: tagIter, ptr: unsafe.Pointer(it)}
+}
+
+func (v Value) iter() *forInIter { return (*forInIter)(v.ptr) }
+
 // tryFrame is one active try/catch region in a chunk invocation.
 type tryFrame struct {
 	catchPC  int32 // -1 for a catchless try (charge-only region)
@@ -41,18 +51,51 @@ type tryFrame struct {
 // beyond it (very deep recursion) fall back to private allocations.
 const vmStackCap = 8192
 
+// chunk is a compiled function body plus its realm-side constant pool: the
+// bytecode.Chunk's typed constants converted to tagged Values exactly once,
+// so OpConst is a single indexed copy with no representation check.
+type chunk struct {
+	*bytecode.Chunk
+	consts []Value
+}
+
+// constValue converts one compiler constant into the tagged representation.
+func constValue(c bytecode.Const) Value {
+	switch c.Kind {
+	case bytecode.ConstNumber:
+		return NumberValue(c.Num)
+	case bytecode.ConstString:
+		return StringValue(c.Str)
+	case bytecode.ConstBool:
+		return BoolValue(c.Num != 0)
+	case bytecode.ConstNull:
+		return Null
+	}
+	return Undefined
+}
+
 // chunkFor returns the realm's compiled chunk for fn, compiling on first
 // call. A nil entry records a function the compiler rejected, so the
 // tree-walker handles it without re-attempting compilation. The cache is
 // per-realm (like the inline caches), which keeps compilation free of
 // cross-realm synchronization.
-func (in *Interp) chunkFor(fn *ast.Func) *bytecode.Chunk {
+func (in *Interp) chunkFor(fn *ast.Func) *chunk {
 	if ch, ok := in.chunks[fn]; ok {
 		return ch
 	}
-	ch := bytecode.CompileCached(fn)
+	bc := bytecode.CompileCached(fn)
+	var ch *chunk
+	if bc != nil {
+		ch = &chunk{Chunk: bc}
+		if n := len(bc.Consts); n > 0 {
+			ch.consts = make([]Value, n)
+			for i, c := range bc.Consts {
+				ch.consts[i] = constValue(c)
+			}
+		}
+	}
 	if in.chunks == nil {
-		in.chunks = make(map[*ast.Func]*bytecode.Chunk)
+		in.chunks = make(map[*ast.Func]*chunk)
 	}
 	in.chunks[fn] = ch
 	if ch == nil {
@@ -79,7 +122,7 @@ func (in *Interp) BytecodeStats() (compiled, rejected int, runs uint64) {
 // Call: parameters, this, new.target, arguments, hoisted declarations).
 // It returns the completion the tree-walker's Call epilogue would have
 // produced: (value, nil) for return/fall-off, or the propagating error.
-func (in *Interp) runChunk(ch *bytecode.Chunk, env *Env) (Value, error) {
+func (in *Interp) runChunk(ch *chunk, env *Env) (Value, error) {
 	in.chunkRuns++
 
 	// Operand stack: a window of the realm arena, or a private slice when
@@ -125,26 +168,26 @@ loop:
 			in.Steps += uint64(ins.A)
 			in.charge(int(ins.A))
 			if in.maxSteps != 0 && in.Steps > in.maxSteps {
-				return nil, ErrStepBudget
+				return Undefined, ErrStepBudget
 			}
 			if ins.B != 0 {
 				in.charge(in.Engine.BranchCost)
 			}
 
 		case bytecode.OpConst:
-			stack[sp] = ch.Consts[ins.A]
+			stack[sp] = ch.consts[ins.A]
 			sp++
 		case bytecode.OpUndef:
-			stack[sp] = undefinedValue
+			stack[sp] = Undefined
 			sp++
 		case bytecode.OpNull:
-			stack[sp] = nullValue
+			stack[sp] = Null
 			sp++
 		case bytecode.OpTrue:
-			stack[sp] = trueValue
+			stack[sp] = True
 			sp++
 		case bytecode.OpFalse:
-			stack[sp] = falseValue
+			stack[sp] = False
 			sp++
 		case bytecode.OpPop:
 			sp--
@@ -170,11 +213,7 @@ loop:
 			sp++
 
 		case bytecode.OpGetLocal:
-			v := env.slots[ins.A]
-			if v == nil {
-				v = undefinedValue
-			}
-			stack[sp] = v
+			stack[sp] = env.slots[ins.A]
 			sp++
 		case bytecode.OpSetLocal:
 			sp--
@@ -267,19 +306,19 @@ loop:
 			if v, ok := env.Lookup("this"); ok {
 				stack[sp] = v
 			} else {
-				stack[sp] = undefinedValue
+				stack[sp] = Undefined
 			}
 			sp++
 		case bytecode.OpNewTargetDyn:
 			if v, ok := env.Lookup("new.target"); ok {
 				stack[sp] = v
 			} else {
-				stack[sp] = undefinedValue
+				stack[sp] = Undefined
 			}
 			sp++
 
 		case bytecode.OpClosure:
-			stack[sp] = in.makeFunction(ch.Funcs[ins.A], env)
+			stack[sp] = ObjectValue(in.makeFunction(ch.Funcs[ins.A], env))
 			sp++
 		case bytecode.OpArray:
 			n := int(ins.A)
@@ -287,19 +326,19 @@ loop:
 			copy(elems, stack[sp-n:sp])
 			sp -= n
 			in.charge(in.Engine.ObjectCreateCost)
-			stack[sp] = in.NewArray(elems)
+			stack[sp] = ObjectValue(in.NewArray(elems))
 			sp++
 		case bytecode.OpNewObject:
 			in.charge(in.Engine.ObjectCreateCost)
-			stack[sp] = in.NewPlainObject()
+			stack[sp] = ObjectValue(in.NewPlainObject())
 			sp++
 		case bytecode.OpSetProp:
 			sp--
-			stack[sp-1].(*Object).SetOwn(ch.Names[ins.A], stack[sp])
+			stack[sp-1].Obj().SetOwn(ch.Names[ins.A], stack[sp])
 		case bytecode.OpSetAccessor:
 			acc := ch.Accessors[ins.A]
 			fn := in.makeFunction(ch.Funcs[acc.Fn], env)
-			obj := stack[sp-1].(*Object)
+			obj := stack[sp-1].Obj()
 			key := ch.Names[acc.Name]
 			var getter, setter *Object
 			if slot := obj.Own(key); slot != nil {
@@ -401,18 +440,18 @@ loop:
 			stack[sp] = v
 			sp++
 		case bytecode.OpToPropKey:
-			if _, isObj := stack[sp-1].(*Object); isObj {
+			if stack[sp-1].IsObject() {
 				key, e := in.ToStringValue(stack[sp-1])
 				if e != nil {
 					err = e
 					goto fail
 				}
-				stack[sp-1] = key
+				stack[sp-1] = StringValue(key)
 			}
 		case bytecode.OpDeleteMember:
 			sp--
 			in.deleteKey(stack[sp], ch.Names[ins.A])
-			stack[sp] = trueValue
+			stack[sp] = True
 			sp++
 		case bytecode.OpDeleteIndex:
 			idx := stack[sp-1]
@@ -424,12 +463,12 @@ loop:
 				goto fail
 			}
 			in.deleteKey(base, key)
-			stack[sp] = trueValue
+			stack[sp] = True
 			sp++
 
 		case bytecode.OpCall:
 			argc := int(ins.A)
-			v, e := in.Call(stack[sp-argc-1], stack[sp-argc-2], stack[sp-argc:sp], undefinedValue)
+			v, e := in.Call(stack[sp-argc-1], stack[sp-argc-2], stack[sp-argc:sp], Undefined)
 			if e != nil {
 				err = e
 				goto fail
@@ -448,7 +487,7 @@ loop:
 		case bytecode.OpReturn:
 			return stack[sp-1], nil
 		case bytecode.OpReturnUndef:
-			return undefinedValue, nil
+			return Undefined, nil
 
 		case bytecode.OpJump:
 			pc = int(ins.A)
@@ -477,18 +516,20 @@ loop:
 
 		case bytecode.OpAdd:
 			l, r := stack[sp-2], stack[sp-1]
-			if lf, ok := l.(float64); ok {
-				if rf, ok := r.(float64); ok {
-					sp--
-					stack[sp-1] = boxNumber(lf + rf)
-					break
+			if l.tag == TagNumber && r.tag == TagNumber {
+				sp--
+				stack[sp-1] = NumberValue(l.num + r.num)
+				break
+			}
+			if l.tag == TagString && r.tag == TagString {
+				v, e := in.concatStrings(l.Str(), r.Str())
+				if e != nil {
+					err = e
+					goto fail
 				}
-			} else if ls, ok := l.(string); ok {
-				if rs, ok := r.(string); ok {
-					sp--
-					stack[sp-1] = ls + rs
-					break
-				}
+				sp--
+				stack[sp-1] = v
+				break
 			}
 			v, e := in.applyBinary("+", l, r)
 			if e != nil {
@@ -499,19 +540,17 @@ loop:
 			stack[sp-1] = v
 		case bytecode.OpSub, bytecode.OpMul, bytecode.OpDiv:
 			l, r := stack[sp-2], stack[sp-1]
-			if lf, ok := l.(float64); ok {
-				if rf, ok := r.(float64); ok {
-					sp--
-					switch ins.Op {
-					case bytecode.OpSub:
-						stack[sp-1] = boxNumber(lf - rf)
-					case bytecode.OpMul:
-						stack[sp-1] = boxNumber(lf * rf)
-					default:
-						stack[sp-1] = boxNumber(lf / rf)
-					}
-					break
+			if l.tag == TagNumber && r.tag == TagNumber {
+				sp--
+				switch ins.Op {
+				case bytecode.OpSub:
+					stack[sp-1] = NumberValue(l.num - r.num)
+				case bytecode.OpMul:
+					stack[sp-1] = NumberValue(l.num * r.num)
+				default:
+					stack[sp-1] = NumberValue(l.num / r.num)
 				}
+				break
 			}
 			v, e := in.applyBinary(binOpName[ins.Op], l, r)
 			if e != nil {
@@ -522,23 +561,21 @@ loop:
 			stack[sp-1] = v
 		case bytecode.OpLt, bytecode.OpGt, bytecode.OpLe, bytecode.OpGe:
 			l, r := stack[sp-2], stack[sp-1]
-			if lf, ok := l.(float64); ok {
-				if rf, ok := r.(float64); ok {
-					sp--
-					// NaN comparisons are false on every operator, which
-					// Go's float compare already gives.
-					switch ins.Op {
-					case bytecode.OpLt:
-						stack[sp-1] = lf < rf
-					case bytecode.OpGt:
-						stack[sp-1] = lf > rf
-					case bytecode.OpLe:
-						stack[sp-1] = lf <= rf
-					default:
-						stack[sp-1] = lf >= rf
-					}
-					break
+			if l.tag == TagNumber && r.tag == TagNumber {
+				sp--
+				// NaN comparisons are false on every operator, which
+				// Go's float compare already gives.
+				switch ins.Op {
+				case bytecode.OpLt:
+					stack[sp-1] = BoolValue(l.num < r.num)
+				case bytecode.OpGt:
+					stack[sp-1] = BoolValue(l.num > r.num)
+				case bytecode.OpLe:
+					stack[sp-1] = BoolValue(l.num <= r.num)
+				default:
+					stack[sp-1] = BoolValue(l.num >= r.num)
 				}
+				break
 			}
 			v, e := in.applyBinary(binOpName[ins.Op], l, r)
 			if e != nil {
@@ -549,10 +586,10 @@ loop:
 			stack[sp-1] = v
 		case bytecode.OpStrictEq:
 			sp--
-			stack[sp-1] = StrictEquals(stack[sp-1], stack[sp])
+			stack[sp-1] = BoolValue(StrictEquals(stack[sp-1], stack[sp]))
 		case bytecode.OpStrictNe:
 			sp--
-			stack[sp-1] = !StrictEquals(stack[sp-1], stack[sp])
+			stack[sp-1] = BoolValue(!StrictEquals(stack[sp-1], stack[sp]))
 		case bytecode.OpEq, bytecode.OpNe:
 			eq, e := in.looseEquals(stack[sp-2], stack[sp-1])
 			if e != nil {
@@ -563,7 +600,7 @@ loop:
 			if ins.Op == bytecode.OpNe {
 				eq = !eq
 			}
-			stack[sp-1] = eq
+			stack[sp-1] = BoolValue(eq)
 		case bytecode.OpMod, bytecode.OpPow, bytecode.OpBitAnd, bytecode.OpBitOr,
 			bytecode.OpBitXor, bytecode.OpShl, bytecode.OpShr, bytecode.OpUshr,
 			bytecode.OpInstanceof, bytecode.OpIn:
@@ -576,30 +613,37 @@ loop:
 			stack[sp-1] = v
 
 		case bytecode.OpNot:
-			stack[sp-1] = !ToBoolean(stack[sp-1])
+			stack[sp-1] = BoolValue(!ToBoolean(stack[sp-1]))
 		case bytecode.OpNeg:
+			if stack[sp-1].tag == TagNumber {
+				stack[sp-1] = NumberValue(-stack[sp-1].num)
+				break
+			}
 			f, e := in.ToNumber(stack[sp-1])
 			if e != nil {
 				err = e
 				goto fail
 			}
-			stack[sp-1] = boxNumber(-f)
+			stack[sp-1] = NumberValue(-f)
 		case bytecode.OpToNumber:
+			if stack[sp-1].tag == TagNumber {
+				break
+			}
 			f, e := in.ToNumber(stack[sp-1])
 			if e != nil {
 				err = e
 				goto fail
 			}
-			stack[sp-1] = boxNumber(f)
+			stack[sp-1] = NumberValue(f)
 		case bytecode.OpBitNot:
 			f, e := in.ToNumber(stack[sp-1])
 			if e != nil {
 				err = e
 				goto fail
 			}
-			stack[sp-1] = boxNumber(float64(^ToInt32(f)))
+			stack[sp-1] = NumberValue(float64(^ToInt32(f)))
 		case bytecode.OpVoid:
-			stack[sp-1] = undefinedValue
+			stack[sp-1] = Undefined
 		case bytecode.OpTypeofVal:
 			stack[sp-1] = typeOfValue(stack[sp-1])
 
@@ -607,7 +651,7 @@ loop:
 			in.charge(in.Engine.BranchCost)
 
 		case bytecode.OpStrictEqConst:
-			stack[sp-1] = StrictEquals(stack[sp-1], ch.Consts[ins.A])
+			stack[sp-1] = BoolValue(StrictEquals(stack[sp-1], ch.consts[ins.A]))
 		case bytecode.OpGlobalEqConst:
 			var v Value
 			found := false
@@ -624,13 +668,10 @@ loop:
 					goto fail
 				}
 			}
-			stack[sp] = StrictEquals(v, ch.Consts[ins.C])
+			stack[sp] = BoolValue(StrictEquals(v, ch.consts[ins.C]))
 			sp++
 		case bytecode.OpGetLocalMember:
 			base := env.slots[ins.A]
-			if base == nil {
-				base = undefinedValue
-			}
 			v, e := in.getMemberSite(base, ch.Names[ins.B], uint32(ins.C))
 			if e != nil {
 				err = e
@@ -640,9 +681,6 @@ loop:
 			sp++
 		case bytecode.OpGetLocalMethod:
 			base := env.slots[ins.A]
-			if base == nil {
-				base = undefinedValue
-			}
 			v, e := in.getMemberSite(base, ch.Names[ins.B], uint32(ins.C))
 			if e != nil {
 				err = e
@@ -652,7 +690,7 @@ loop:
 			stack[sp+1] = v
 			sp += 2
 		case bytecode.OpCalleeGlobal:
-			stack[sp] = undefinedValue
+			stack[sp] = Undefined
 			sp++
 			if site := uint32(ins.A); site != 0 {
 				if c := in.icCellAt(site); c != nil {
@@ -669,12 +707,8 @@ loop:
 			stack[sp] = v
 			sp++
 		case bytecode.OpCalleeLocal:
-			stack[sp] = undefinedValue
-			v := env.slots[ins.A]
-			if v == nil {
-				v = undefinedValue
-			}
-			stack[sp+1] = v
+			stack[sp] = Undefined
+			stack[sp+1] = env.slots[ins.A]
 			sp += 2
 		case bytecode.OpCall0Global:
 			var fnv Value
@@ -692,7 +726,7 @@ loop:
 					goto fail
 				}
 			}
-			v, e := in.Call(fnv, undefinedValue, nil, undefinedValue)
+			v, e := in.Call(fnv, Undefined, nil, Undefined)
 			if e != nil {
 				err = e
 				goto fail
@@ -715,20 +749,20 @@ loop:
 					goto fail
 				}
 			}
-			if !StrictEquals(v, ch.Consts[ins.C]) {
+			if !StrictEquals(v, ch.consts[ins.C]) {
 				pc = int(ins.A)
 			}
 		case bytecode.OpConstSetLocal:
-			env.slots[ins.B] = ch.Consts[ins.A]
+			env.slots[ins.B] = ch.consts[ins.A]
 		case bytecode.OpClosureSetLocal:
-			env.slots[ins.B] = in.makeFunction(ch.Funcs[ins.A], env)
+			env.slots[ins.B] = ObjectValue(in.makeFunction(ch.Funcs[ins.A], env))
 		case bytecode.OpSetLocalStmt:
 			sp--
 			env.slots[ins.A] = stack[sp]
 			in.Steps += uint64(ins.B)
 			in.charge(int(ins.B))
 			if in.maxSteps != 0 && in.Steps > in.maxSteps {
-				return nil, ErrStepBudget
+				return Undefined, ErrStepBudget
 			}
 			if ins.C != 0 {
 				in.charge(in.Engine.BranchCost)
@@ -742,7 +776,7 @@ loop:
 			in.Steps += uint64(ins.B)
 			in.charge(int(ins.B))
 			if in.maxSteps != 0 && in.Steps > in.maxSteps {
-				return nil, ErrStepBudget
+				return Undefined, ErrStepBudget
 			}
 			if ins.C != 0 {
 				in.charge(in.Engine.BranchCost)
@@ -751,34 +785,27 @@ loop:
 			in.Steps += uint64(ins.B)
 			in.charge(int(ins.B))
 			if in.maxSteps != 0 && in.Steps > in.maxSteps {
-				return nil, ErrStepBudget
+				return Undefined, ErrStepBudget
 			}
 			if ins.C != 0 {
 				in.charge(in.Engine.BranchCost)
 			}
-			v := env.slots[ins.A]
-			if v == nil {
-				v = undefinedValue
-			}
-			stack[sp] = v
+			stack[sp] = env.slots[ins.A]
 			sp++
 		case bytecode.OpStmtConst:
 			in.Steps += uint64(ins.B)
 			in.charge(int(ins.B))
 			if in.maxSteps != 0 && in.Steps > in.maxSteps {
-				return nil, ErrStepBudget
+				return Undefined, ErrStepBudget
 			}
 			if ins.C != 0 {
 				in.charge(in.Engine.BranchCost)
 			}
-			stack[sp] = ch.Consts[ins.A]
+			stack[sp] = ch.consts[ins.A]
 			sp++
 		case bytecode.OpCall0Local:
 			fnv := env.slots[ins.A]
-			if fnv == nil {
-				fnv = undefinedValue
-			}
-			v, e := in.Call(fnv, undefinedValue, nil, undefinedValue)
+			v, e := in.Call(fnv, Undefined, nil, Undefined)
 			if e != nil {
 				err = e
 				goto fail
@@ -806,16 +833,16 @@ loop:
 
 		case bytecode.OpForInInit:
 			it := &forInIter{}
-			if o, ok := stack[sp-1].(*Object); ok {
+			if o := stack[sp-1].Obj(); o != nil {
 				it.keys = o.OwnKeys()
 			}
-			stack[sp-1] = it
+			stack[sp-1] = iterValue(it)
 		case bytecode.OpForInNext:
-			it := stack[sp-1].(*forInIter)
+			it := stack[sp-1].iter()
 			if it.i >= len(it.keys) {
 				pc = int(ins.A)
 			} else {
-				stack[sp] = it.keys[it.i]
+				stack[sp] = StringValue(it.keys[it.i])
 				it.i++
 				sp++
 			}
@@ -831,7 +858,7 @@ loop:
 				// hold it; recycle it exactly as Call's epilogue does —
 				// the single-consumer invariant the freelist depends on.
 				v := t.value
-				t.value = nil
+				t.value = Value{}
 				in.retFree = append(in.retFree, t)
 				return v, nil
 			case *breakErr:
@@ -857,7 +884,7 @@ loop:
 					break
 				}
 				if !matched {
-					return nil, e
+					return Undefined, e
 				}
 			case *continueErr:
 				tab := ch.JumpTabs[ins.B]
@@ -881,7 +908,7 @@ loop:
 					break
 				}
 				if !matched {
-					return nil, e
+					return Undefined, e
 				}
 			default:
 				err = e
@@ -889,7 +916,7 @@ loop:
 			}
 
 		default:
-			return nil, errors.New("interp: unknown opcode " + ins.Op.String())
+			return Undefined, errors.New("interp: unknown opcode " + ins.Op.String())
 		}
 		continue
 
@@ -913,7 +940,7 @@ loop:
 				continue loop
 			}
 		}
-		return nil, err
+		return Undefined, err
 	}
 }
 
@@ -924,7 +951,7 @@ loop:
 func (in *Interp) globalMiss(env *Env, name string, site uint32) (Value, error) {
 	v, ok, c := env.lookupDynamicCell(name)
 	if !ok {
-		return nil, in.Throw("ReferenceError", "%s is not defined", name)
+		return Undefined, in.Throw("ReferenceError", "%s is not defined", name)
 	}
 	if c != nil && site != 0 {
 		in.icCacheCell(site, c)
@@ -949,15 +976,15 @@ func (in *Interp) setIndexed(base, idx, v Value) error {
 // deleteKey implements the delete operator's member path (evalUnary's
 // delete case), shared by both delete opcodes.
 func (in *Interp) deleteKey(base Value, key string) {
-	obj, ok := base.(*Object)
-	if !ok {
+	obj := base.Obj()
+	if obj == nil {
 		return
 	}
 	if obj.Class == "Array" || obj.Class == "Arguments" {
 		// Element storage is separate from named properties; deleting an
 		// element must work whether or not named properties exist.
 		if i, isIdx := arrayIndex(key); isIdx && i < len(obj.Elems) {
-			obj.Elems[i] = Undefined{}
+			obj.Elems[i] = Undefined
 			return
 		}
 	}
@@ -975,9 +1002,3 @@ var binOpName = map[bytecode.Op]string{
 	bytecode.OpUshr: ">>>", bytecode.OpInstanceof: "instanceof",
 	bytecode.OpIn: "in",
 }
-
-// Interned boolean boxes for the dispatch loop.
-var (
-	trueValue  Value = true
-	falseValue Value = false
-)

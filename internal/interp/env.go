@@ -1,6 +1,10 @@
 package interp
 
-import "repro/internal/ast"
+import (
+	"unsafe"
+
+	"repro/internal/ast"
+)
 
 // Env is a lexical environment frame. Closures capture the *Env, so
 // bindings are shared by reference — which is exactly what makes assignable
@@ -15,6 +19,10 @@ import "repro/internal/ast"
 // frame can still grow a vars map when dynamic code defines a name the
 // resolver never saw (an undeclared for-in variable, for example), so the
 // by-name operations remain complete on every frame.
+//
+// The zero Value is undefined, so a freshly allocated slot frame is already
+// correctly var-hoisted: never-written slots read back as undefined with no
+// fill pass and no per-read nil translation.
 type Env struct {
 	parent *Env
 	layout *ast.ScopeInfo // static slot layout; nil for map frames
@@ -27,6 +35,13 @@ type Env struct {
 	// the *cell after the first by-name lookup and skip the hash ever
 	// after. Non-nil only on the root frame.
 	cells map[string]*cell
+
+	// escaped records that a closure captured this frame (makeFunction
+	// marks the whole chain): the frame may outlive its call, so the call
+	// epilogue must not recycle it through the frame pool. The only way a
+	// frame outlives its call is through a Closure.Env chain, and every
+	// closure is born in makeFunction — so the mark is complete.
+	escaped bool
 }
 
 // cell is one global binding. Holding the value behind a pointer is what
@@ -58,9 +73,8 @@ type envBuf16 struct {
 }
 
 // NewSlotEnv returns a slot frame with the given static layout. Slots are
-// left nil and read back as undefined (GetRef/Lookup translate), which is
-// precisely JavaScript's var-hoisting rule without the cost of filling the
-// frame on every call.
+// zero Values and read back as undefined, which is precisely JavaScript's
+// var-hoisting rule without the cost of filling the frame on every call.
 func NewSlotEnv(parent *Env, layout *ast.ScopeInfo) *Env {
 	n := len(layout.Names)
 	if n <= 6 {
@@ -76,16 +90,65 @@ func NewSlotEnv(parent *Env, layout *ast.ScopeInfo) *Env {
 	return &Env{parent: parent, layout: layout, slots: make([]Value, n)}
 }
 
+// envPoolCap bounds each frame freelist so a burst of deep recursion does
+// not pin an arbitrary number of dead frames.
+const envPoolCap = 512
+
+// acquireFrame returns a slot frame for layout, recycling a pooled frame
+// when one is available. Pooled frames were cleared on release, so slots
+// read back as undefined exactly like a fresh frame's.
+func (in *Interp) acquireFrame(parent *Env, layout *ast.ScopeInfo) *Env {
+	n := len(layout.Names)
+	if n <= 6 {
+		if k := len(in.envFree6); k > 0 {
+			s := in.envFree6[k-1]
+			in.envFree6 = in.envFree6[:k-1]
+			s.e = Env{parent: parent, layout: layout, slots: s.buf[:n]}
+			return &s.e
+		}
+	} else if n <= 16 {
+		if k := len(in.envFree16); k > 0 {
+			s := in.envFree16[k-1]
+			in.envFree16 = in.envFree16[:k-1]
+			s.e = Env{parent: parent, layout: layout, slots: s.buf[:n]}
+			return &s.e
+		}
+	}
+	return NewSlotEnv(parent, layout)
+}
+
+// releaseFrame returns an unescaped frame to its pool when the call exits
+// (the caller checks escaped; see Call). The full inline buffer is cleared
+// (not just the layout's prefix) so a later acquire with a larger layout
+// never exposes stale values, and so the pool does not pin dead object
+// graphs. Only the two inline size classes are pooled; larger frames
+// (cap > 16) are left to the GC.
+func (in *Interp) releaseFrame(e *Env) {
+	switch cap(e.slots) {
+	case 6:
+		s := (*envBuf6)(unsafe.Pointer(e))
+		s.e = Env{} // drop parent/layout so the pool pins nothing
+		s.buf = [6]Value{}
+		if len(in.envFree6) < envPoolCap {
+			in.envFree6 = append(in.envFree6, s)
+		}
+	case 16:
+		s := (*envBuf16)(unsafe.Pointer(e))
+		s.e = Env{}
+		s.buf = [16]Value{}
+		if len(in.envFree16) < envPoolCap {
+			in.envFree16 = append(in.envFree16, s)
+		}
+	}
+}
+
 // GetRef reads a resolved (hops, slot) coordinate.
 func (e *Env) GetRef(r ast.Ref) Value {
 	env := e
 	for n := r.Hops(); n > 0; n-- {
 		env = env.parent
 	}
-	if v := env.slots[r.Slot()]; v != nil {
-		return v
-	}
-	return undefinedValue // never-written slot: hoisted but unassigned
+	return env.slots[r.Slot()]
 }
 
 // SetRef writes through a resolved coordinate.
@@ -166,16 +229,13 @@ func (e *Env) Lookup(name string) (Value, bool) {
 			continue
 		}
 		if i := env.slotIndex(name); i >= 0 {
-			if v := env.slots[i]; v != nil {
-				return v, true
-			}
-			return undefinedValue, true
+			return env.slots[i], true
 		}
 		if v, ok := env.vars[name]; ok {
 			return v, true
 		}
 	}
-	return nil, false
+	return Undefined, false
 }
 
 // LookupDynamic resolves name through the chain probing only dynamically
@@ -205,7 +265,7 @@ func (e *Env) lookupDynamicCell(name string) (Value, bool, *cell) {
 			}
 		}
 	}
-	return nil, false, nil
+	return Undefined, false, nil
 }
 
 // SetDynamic is Set restricted to dynamically created bindings, with the

@@ -23,17 +23,17 @@ func (in *Interp) eval(e ast.Expr, env *Env) (Value, error) {
 	case *ast.Binary:
 		l, err := in.eval(n.L, env)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		r, err := in.eval(n.R, env)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		return in.applyBinary(n.Op, l, r)
 	case *ast.Logical:
 		l, err := in.eval(n.L, env)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		if n.Op == "&&" {
 			if !ToBoolean(l) {
@@ -44,26 +44,20 @@ func (in *Interp) eval(e ast.Expr, env *Env) (Value, error) {
 		}
 		return in.eval(n.R, env)
 	case *ast.Str:
-		if n.Boxed != nil {
-			return n.Boxed, nil
-		}
-		return n.Value, nil
+		return StringValue(n.Value), nil
 	case *ast.Number:
-		if n.Boxed != nil {
-			return n.Boxed, nil
-		}
-		return boxNumber(n.Value), nil
+		return NumberValue(n.Value), nil
 	case *ast.Cond:
 		t, err := in.eval(n.Test, env)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		if ToBoolean(t) {
 			return in.eval(n.Cons, env)
 		}
 		return in.eval(n.Alt, env)
 	case *ast.Func:
-		return in.makeFunction(n, env), nil
+		return ObjectValue(in.makeFunction(n, env)), nil
 	case *ast.Unary:
 		return in.evalUnary(n, env)
 	case *ast.This:
@@ -73,11 +67,11 @@ func (in *Interp) eval(e ast.Expr, env *Env) (Value, error) {
 		if v, ok := env.Lookup("this"); ok {
 			return v, nil
 		}
-		return undefinedValue, nil
+		return Undefined, nil
 	case *ast.Bool:
-		return n.Value, nil
+		return BoolValue(n.Value), nil
 	case *ast.Null:
-		return nullValue, nil
+		return Null, nil
 	case *ast.New:
 		return in.evalNew(n, env)
 	case *ast.Update:
@@ -89,24 +83,23 @@ func (in *Interp) eval(e ast.Expr, env *Env) (Value, error) {
 		if v, ok := env.Lookup("new.target"); ok {
 			return v, nil
 		}
-		return undefinedValue, nil
+		return Undefined, nil
 	case *ast.Array:
 		elems := make([]Value, len(n.Elems))
 		for i, el := range n.Elems {
 			if el == nil {
 				// Elision: this substrate's arrays are dense, so a hole is
 				// an undefined element (it still counts toward length).
-				elems[i] = undefinedValue
 				continue
 			}
 			v, err := in.eval(el, env)
 			if err != nil {
-				return nil, err
+				return Undefined, err
 			}
 			elems[i] = v
 		}
 		in.charge(in.Engine.ObjectCreateCost)
-		return in.NewArray(elems), nil
+		return ObjectValue(in.NewArray(elems)), nil
 	case *ast.Object:
 		in.charge(in.Engine.ObjectCreateCost)
 		obj := in.NewPlainObject()
@@ -115,7 +108,7 @@ func (in *Interp) eval(e ast.Expr, env *Env) (Value, error) {
 			case ast.PropInit:
 				v, err := in.eval(p.Value, env)
 				if err != nil {
-					return nil, err
+					return Undefined, err
 				}
 				obj.SetOwn(p.Key, v)
 			case ast.PropGet, ast.PropSet:
@@ -133,19 +126,19 @@ func (in *Interp) eval(e ast.Expr, env *Env) (Value, error) {
 				obj.SetAccessor(p.Key, getter, setter, true)
 			}
 		}
-		return obj, nil
+		return ObjectValue(obj), nil
 	case *ast.Seq:
-		var v Value = Undefined{}
+		v := Undefined
 		for _, x := range n.Exprs {
 			var err error
 			v, err = in.eval(x, env)
 			if err != nil {
-				return nil, err
+				return Undefined, err
 			}
 		}
 		return v, nil
 	}
-	return nil, fmt.Errorf("interp: unknown expression %T", e)
+	return Undefined, fmt.Errorf("interp: unknown expression %T", e)
 }
 
 // loadIdent reads a variable reference with the strongest static
@@ -158,7 +151,7 @@ func (in *Interp) loadIdent(n *ast.Ident, env *Env) (Value, error) {
 	}
 	v, ok := in.lookupIdent(n, env)
 	if !ok {
-		return nil, in.Throw("ReferenceError", "%s is not defined", n.Name)
+		return Undefined, in.Throw("ReferenceError", "%s is not defined", n.Name)
 	}
 	return v, nil
 }
@@ -236,7 +229,7 @@ func (in *Interp) memberKey(n *ast.Member, env *Env) (string, error) {
 func (in *Interp) evalMember(n *ast.Member, env *Env) (base, v Value, err error) {
 	base, err = in.eval(n.X, env)
 	if err != nil {
-		return nil, nil, err
+		return Undefined, Undefined, err
 	}
 	if !n.Computed {
 		v, err = in.getMemberSite(base, n.Name, n.Site)
@@ -244,14 +237,14 @@ func (in *Interp) evalMember(n *ast.Member, env *Env) (base, v Value, err error)
 	}
 	idx, err := in.eval(n.Index, env)
 	if err != nil {
-		return nil, nil, err
+		return Undefined, Undefined, err
 	}
 	if v, ok := in.getElemFast(base, idx); ok {
 		return base, v, nil
 	}
 	key, err := in.ToStringValue(idx)
 	if err != nil {
-		return nil, nil, err
+		return Undefined, Undefined, err
 	}
 	v, err = in.GetMember(base, key)
 	return base, v, err
@@ -270,67 +263,67 @@ func (in *Interp) evalUnary(n *ast.Unary, env *Env) (Value, error) {
 		}
 		v, err := in.eval(n.X, env)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		return typeOfValue(v), nil
 	case "delete":
 		m, ok := n.X.(*ast.Member)
 		if !ok {
-			return true, nil
+			return True, nil
 		}
 		base, err := in.eval(m.X, env)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		key, err := in.memberKey(m, env)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
-		obj, ok := base.(*Object)
-		if !ok {
-			return true, nil
+		obj := base.Obj()
+		if obj == nil {
+			return True, nil
 		}
 		if obj.Class == "Array" || obj.Class == "Arguments" {
 			// Element storage is separate from named properties, so this
 			// path must not depend on whether the object has any (deleting
 			// a[1] from an array that also has a.foo used to be a no-op).
 			if i, isIdx := arrayIndex(key); isIdx && i < len(obj.Elems) {
-				obj.Elems[i] = Undefined{}
-				return true, nil
+				obj.Elems[i] = Undefined
+				return True, nil
 			}
 		}
 		obj.Delete(key)
-		return true, nil
+		return True, nil
 	}
 	v, err := in.eval(n.X, env)
 	if err != nil {
-		return nil, err
+		return Undefined, err
 	}
 	switch n.Op {
 	case "!":
-		return !ToBoolean(v), nil
+		return BoolValue(!ToBoolean(v)), nil
 	case "-":
 		f, err := in.ToNumber(v)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
-		return boxNumber(-f), nil
+		return NumberValue(-f), nil
 	case "+":
 		f, err := in.ToNumber(v)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
-		return boxNumber(f), nil
+		return NumberValue(f), nil
 	case "~":
 		f, err := in.ToNumber(v)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
-		return boxNumber(float64(^ToInt32(f))), nil
+		return NumberValue(float64(^ToInt32(f))), nil
 	case "void":
-		return Undefined{}, nil
+		return Undefined, nil
 	}
-	return nil, fmt.Errorf("interp: unknown unary op %q", n.Op)
+	return Undefined, fmt.Errorf("interp: unknown unary op %q", n.Op)
 }
 
 // memberOnce is a member reference whose base and computed index were
@@ -361,7 +354,7 @@ func (in *Interp) evalMemberOnce(m *ast.Member, env *Env) (memberOnce, error) {
 	if err != nil {
 		return r, err
 	}
-	if _, isObj := r.idx.(*Object); isObj {
+	if r.idx.IsObject() {
 		r.key, err = in.ToStringValue(r.idx)
 		if err != nil {
 			return r, err
@@ -392,7 +385,7 @@ func (in *Interp) getOnce(r *memberOnce) (Value, error) {
 	}
 	key, err := in.keyOnce(r)
 	if err != nil {
-		return nil, err
+		return Undefined, err
 	}
 	return in.getMemberSite(r.base, key, r.site)
 }
@@ -418,49 +411,49 @@ func (in *Interp) evalUpdate(n *ast.Update, env *Env) (Value, error) {
 		var err error
 		old, err = in.loadIdent(t, env)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 	case *ast.Member:
 		var err error
 		ref, err = in.evalMemberOnce(t, env)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		old, err = in.getOnce(&ref)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 	default:
-		return nil, in.Throw("SyntaxError", "invalid assignment target")
+		return Undefined, in.Throw("SyntaxError", "invalid assignment target")
 	}
 	f, err := in.ToNumber(old)
 	if err != nil {
-		return nil, err
+		return Undefined, err
 	}
 	next := f + 1
 	if n.Op == "--" {
 		next = f - 1
 	}
-	boxed := boxNumber(next)
+	nv := NumberValue(next)
 	switch t := n.X.(type) {
 	case *ast.Ident:
-		in.storeIdent(t, boxed, env)
+		in.storeIdent(t, nv, env)
 	case *ast.Member:
-		if err := in.setOnce(&ref, boxed); err != nil {
-			return nil, err
+		if err := in.setOnce(&ref, nv); err != nil {
+			return Undefined, err
 		}
 	}
 	if n.Prefix {
-		return boxed, nil
+		return nv, nil
 	}
-	return boxNumber(f), nil
+	return NumberValue(f), nil
 }
 
 func (in *Interp) evalAssign(n *ast.Assign, env *Env) (Value, error) {
 	if n.Op == "=" {
 		v, err := in.eval(n.Value, env)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		return v, in.assignTo(n.Target, v, env)
 	}
@@ -470,38 +463,38 @@ func (in *Interp) evalAssign(n *ast.Assign, env *Env) (Value, error) {
 	case *ast.Ident:
 		old, err := in.loadIdent(t, env)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		rhs, err := in.eval(n.Value, env)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		v, err := in.applyBinary(binOp, old, rhs)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		in.storeIdent(t, v, env)
 		return v, nil
 	case *ast.Member:
 		ref, err := in.evalMemberOnce(t, env)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		old, err := in.getOnce(&ref)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		rhs, err := in.eval(n.Value, env)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		v, err := in.applyBinary(binOp, old, rhs)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		return v, in.setOnce(&ref, v)
 	}
-	return nil, in.Throw("SyntaxError", "invalid assignment target")
+	return Undefined, in.Throw("SyntaxError", "invalid assignment target")
 }
 
 func (in *Interp) assignTo(target ast.Expr, v Value, env *Env) error {
@@ -542,32 +535,32 @@ func (in *Interp) evalArgs(exprs []ast.Expr, env *Env) (args []Value, mark int, 
 func (in *Interp) releaseArgs(mark int) {
 	live := in.argArena[:mark]
 	for i := mark; i < len(in.argArena); i++ {
-		in.argArena[i] = nil
+		in.argArena[i] = Value{}
 	}
 	in.argArena = live
 }
 
 func (in *Interp) evalCall(n *ast.Call, env *Env) (Value, error) {
-	var this Value = Undefined{}
+	this := Undefined
 	var fn Value
 	if m, ok := n.Callee.(*ast.Member); ok {
 		var err error
 		this, fn, err = in.evalMember(m, env)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 	} else {
 		var err error
 		fn, err = in.eval(n.Callee, env)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 	}
 	args, mark, err := in.evalArgs(n.Args, env)
 	if err != nil {
-		return nil, err
+		return Undefined, err
 	}
-	v, err := in.Call(fn, this, args, Undefined{})
+	v, err := in.Call(fn, this, args, Undefined)
 	in.releaseArgs(mark)
 	return v, err
 }
@@ -575,11 +568,11 @@ func (in *Interp) evalCall(n *ast.Call, env *Env) (Value, error) {
 func (in *Interp) evalNew(n *ast.New, env *Env) (Value, error) {
 	callee, err := in.eval(n.Callee, env)
 	if err != nil {
-		return nil, err
+		return Undefined, err
 	}
 	args, mark, err := in.evalArgs(n.Args, env)
 	if err != nil {
-		return nil, err
+		return Undefined, err
 	}
 	v, err := in.Construct(callee, args)
 	in.releaseArgs(mark)
@@ -609,43 +602,40 @@ func (in *Interp) newArguments(args []Value) *Object {
 
 // Construct implements `new fn(args)`.
 func (in *Interp) Construct(fn Value, args []Value) (Value, error) {
-	f, ok := fn.(*Object)
-	if !ok || !f.IsCallable() {
-		return nil, in.Throw("TypeError", "%s is not a constructor", TypeOf(fn))
+	f := fn.Obj()
+	if !f.IsCallable() {
+		return Undefined, in.Throw("TypeError", "%s is not a constructor", TypeOf(fn))
 	}
 	in.charge(in.Engine.NewCost)
 	if f.Native != nil {
 		// Native constructors (Error, Array, ...) allocate internally; mark
 		// construction via a sentinel this.
-		return f.Native(in, constructSentinel{}, args)
+		return f.Native(in, ctorSentinel, args)
 	}
-	protoV, err := in.GetMember(f, "prototype")
+	protoV, err := in.GetMember(fn, "prototype")
 	if err != nil {
-		return nil, err
+		return Undefined, err
 	}
-	proto, _ := protoV.(*Object)
+	proto := protoV.Obj()
 	if proto == nil {
 		proto = in.objectProto
 	}
 	obj := NewObject(proto)
-	res, err := in.Call(f, obj, args, f)
+	res, err := in.Call(fn, ObjectValue(obj), args, fn)
 	if err != nil {
-		return nil, err
+		return Undefined, err
 	}
-	if ro, ok := res.(*Object); ok {
-		return ro, nil
+	if res.IsObject() {
+		return res, nil
 	}
-	return obj, nil
+	return ObjectValue(obj), nil
 }
-
-// constructSentinel marks native calls that originate from `new`.
-type constructSentinel struct{}
 
 // Call applies fn to args with the given this and new.target.
 func (in *Interp) Call(fn Value, this Value, args []Value, newTarget Value) (Value, error) {
-	f, ok := fn.(*Object)
-	if !ok || !f.IsCallable() {
-		return nil, in.Throw("TypeError", "%s is not a function", TypeOf(fn))
+	f := fn.Obj()
+	if !f.IsCallable() {
+		return Undefined, in.Throw("TypeError", "%s is not a function", TypeOf(fn))
 	}
 	in.charge(in.Engine.CallCost)
 	if f.Native != nil {
@@ -655,7 +645,7 @@ func (in *Interp) Call(fn Value, this Value, args []Value, newTarget Value) (Val
 	in.depth++
 	if in.depth > in.maxDepth {
 		in.depth--
-		return nil, in.Throw("RangeError", "Maximum call stack size exceeded")
+		return Undefined, in.Throw("RangeError", "Maximum call stack size exceeded")
 	}
 	defer func() { in.depth-- }()
 
@@ -664,19 +654,26 @@ func (in *Interp) Call(fn Value, this Value, args []Value, newTarget Value) (Val
 		// Resolved function: one slice-backed frame, laid out statically.
 		// The write order matches the dynamic path's define order so that
 		// rebound names (duplicate params, a param shadowing the function's
-		// own name) keep last-write-wins semantics.
-		env = NewSlotEnv(c.Env, sc)
+		// own name) keep last-write-wins semantics. The frame comes from
+		// the per-realm pool and returns to it at exit unless a closure
+		// captured it during the call (makeFunction sets escaped).
+		env = in.acquireFrame(c.Env, sc)
+		defer func() {
+			if !env.escaped {
+				in.releaseFrame(env)
+			}
+		}()
 		slots := env.slots
 		if sc.SelfSlot >= 0 {
-			slots[sc.SelfSlot] = c.Self
+			slots[sc.SelfSlot] = ObjectValue(c.Self)
 		}
 		for i, slot := range sc.ParamSlots {
 			if i < len(args) {
 				slots[slot] = args[i]
 			} else {
-				// nil reads back as undefined; the explicit write keeps
-				// last-write-wins for duplicate parameter names.
-				slots[slot] = nil
+				// The zero Value reads back as undefined; the explicit
+				// write keeps last-write-wins for duplicate parameter names.
+				slots[slot] = Undefined
 			}
 		}
 		if sc.ThisSlot >= 0 {
@@ -688,39 +685,39 @@ func (in *Interp) Call(fn Value, this Value, args []Value, newTarget Value) (Val
 		if sc.ArgumentsSlot >= 0 {
 			// Only materialized when the body actually references
 			// `arguments` — the resolver proved nothing else can see it.
-			slots[sc.ArgumentsSlot] = in.newArguments(args)
+			slots[sc.ArgumentsSlot] = ObjectValue(in.newArguments(args))
 		}
 		for _, fd := range sc.FnDecls {
-			slots[fd.Slot] = in.makeFunction(fd.Fn, env)
+			slots[fd.Slot] = ObjectValue(in.makeFunction(fd.Fn, env))
 		}
 	} else {
 		env = NewEnv(c.Env)
 		arrow := c.Decl.Arrow
 		if c.Decl.Name != "" && !arrow {
-			env.Define(c.Decl.Name, c.Self)
+			env.Define(c.Decl.Name, ObjectValue(c.Self))
 		}
 		for i, p := range c.Decl.Params {
 			if i < len(args) {
 				env.Define(p, args[i])
 			} else {
-				env.Define(p, Undefined{})
+				env.Define(p, Undefined)
 			}
 		}
 		if !arrow {
 			env.Define("this", this)
 			env.Define("new.target", newTarget)
-			env.Define("arguments", in.newArguments(args))
+			env.Define("arguments", ObjectValue(in.newArguments(args)))
 		}
 		if c.hoisted == nil {
 			c.hoisted = hoistScan(c.Decl.Body)
 		}
 		for _, name := range c.hoisted.vars {
 			if !env.Has(name) {
-				env.Define(name, Undefined{})
+				env.Define(name, Undefined)
 			}
 		}
 		for _, fd := range c.hoisted.fns {
-			env.Define(fd.Name, in.makeFunction(fd, env))
+			env.Define(fd.Name, ObjectValue(in.makeFunction(fd, env)))
 		}
 	}
 	// Engine dispatch: resolved bodies run on the bytecode engine when the
@@ -735,7 +732,7 @@ func (in *Interp) Call(fn Value, this Value, args []Value, newTarget Value) (Val
 	err := in.execStmts(c.Decl.Body, env)
 	switch e := err.(type) {
 	case nil:
-		return Undefined{}, nil
+		return Undefined, nil
 	case *returnErr:
 		// The completion is consumed here and nothing else can hold it;
 		// recycle it (interp.go newReturn). runChunk's escape-hatch path
@@ -743,10 +740,10 @@ func (in *Interp) Call(fn Value, this Value, args []Value, newTarget Value) (Val
 		// obligation — a returnErr must never be recycled twice or
 		// recycled while still propagating.
 		v := e.value
-		e.value = nil
+		e.value = Value{}
 		in.retFree = append(in.retFree, e)
 		return v, nil
 	default:
-		return nil, err
+		return Undefined, err
 	}
 }

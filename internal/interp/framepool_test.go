@@ -1,0 +1,138 @@
+package interp
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/resolve"
+)
+
+// Frame-pool tests: calls recycle their slot frames through the per-realm
+// pool unless a closure escaped with the frame (makeFunction marks the
+// chain). Correctness here is subtle enough to deserve direct coverage on
+// top of the differential corpus: a frame recycled too eagerly corrupts
+// captured variables silently.
+
+func runPoolSrc(t *testing.T, src string, bytecode bool) string {
+	t.Helper()
+	var buf bytes.Buffer
+	in := New(Options{Out: &buf, Bytecode: bytecode})
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolve.Program(prog)
+	if err := in.RunProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestFramePoolEscapedClosures: closures created in different calls must
+// keep their own frames even though non-capturing calls recycle theirs in
+// between.
+func TestFramePoolEscapedClosures(t *testing.T) {
+	const src = `
+function leaf(x) { return x * 2; } // never captured: pooled every call
+function mk(i) {
+  var local = i * 10;
+  leaf(i); // interleave pooled calls with the capturing one
+  return function () { return local + i; };
+}
+var a = mk(1);
+var b = mk(2);
+for (var j = 0; j < 100; j++) { leaf(j); } // churn the pool
+console.log(a(), b(), a() === a());
+`
+	for _, bc := range []bool{false, true} {
+		if got := runPoolSrc(t, src, bc); got != "11 22 true\n" {
+			t.Errorf("bytecode=%v: closures observed recycled frames: %q", bc, got)
+		}
+	}
+}
+
+// TestFramePoolConditionalEscape: the same function pools its frame on
+// calls that do not evaluate the nested function literal and keeps it on
+// calls that do — the dynamic-escape property the lazy thunks rely on.
+func TestFramePoolConditionalEscape(t *testing.T) {
+	const src = `
+var saved = [];
+function maybe(i, keep) {
+  var v = i * 100;
+  if (keep) { saved.push(function () { return v; }); }
+  return v;
+}
+for (var i = 0; i < 50; i++) { maybe(i, i % 10 === 0); }
+var sum = 0;
+for (var k = 0; k < saved.length; k++) { sum += saved[k](); }
+console.log(saved.length, sum);
+`
+	// kept: i = 0,10,20,30,40 → v = 0+1000+2000+3000+4000 = 10000
+	for _, bc := range []bool{false, true} {
+		if got := runPoolSrc(t, src, bc); got != "5 10000\n" {
+			t.Errorf("bytecode=%v: conditional escape broken: %q", bc, got)
+		}
+	}
+}
+
+// TestFramePoolReuses verifies the pool actually recycles: after a burst
+// of non-capturing calls, the freelists are populated and a fresh call
+// pops from them (the allocation gates assert the same thing indirectly;
+// this pins the mechanism).
+func TestFramePoolReuses(t *testing.T) {
+	in := New(Options{})
+	prog, err := parser.Parse(`
+function f(a, b) { var c = a + b; return c; }
+var t = 0;
+for (var i = 0; i < 32; i++) { t += f(i, i); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolve.Program(prog)
+	if err := in.RunProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	// The frame layout is self + params + this + new.target + arguments +
+	// locals, so even a tiny function lands in one of the two size-class
+	// pools — just assert a pool was fed at all.
+	if len(in.envFree6)+len(in.envFree16) == 0 {
+		t.Fatal("non-capturing calls did not return frames to the pool")
+	}
+	// Recursion exercises LIFO acquire/release nesting.
+	var out bytes.Buffer
+	in2 := New(Options{Out: &out})
+	prog2, err := parser.Parse(`
+function fib(n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }
+console.log(fib(15));
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolve.Program(prog2)
+	if err := in2.RunProgram(prog2); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "610\n" {
+		t.Fatalf("recursive pooled calls computed %q, want 610", out.String())
+	}
+}
+
+// TestFramePoolCatchScopes: catch frames chain onto pooled function
+// frames; the caught binding and locals must survive the interleaving.
+func TestFramePoolCatchScopes(t *testing.T) {
+	const src = `
+function thrower(i) { throw new Error("e" + i); }
+function catcher(i) {
+  var tag = "c" + i;
+  try { thrower(i); } catch (e) { return tag + ":" + e.message; }
+}
+console.log(catcher(1), catcher(2));
+`
+	for _, bc := range []bool{false, true} {
+		if got := runPoolSrc(t, src, bc); got != "c1:e1 c2:e2\n" {
+			t.Errorf("bytecode=%v: catch over pooled frames broken: %q", bc, got)
+		}
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"strings"
 
 	"repro/internal/ast"
-	"repro/internal/bytecode"
 	"repro/internal/engine"
 	"repro/internal/eventloop"
 )
@@ -78,6 +77,12 @@ type Interp struct {
 	// call argument slices from (expr.go).
 	argArena []Value
 
+	// Frame pools for NoCapture functions (env.go): frames the resolver
+	// proved unescapable are recycled here instead of garbage-collected,
+	// one freelist per inline-storage size class.
+	envFree6  []*envBuf6
+	envFree16 []*envBuf16
+
 	// Inline caches, indexed by the site IDs internal/resolve assigns
 	// (shape.go). Owned per realm so two interpreters executing the same
 	// resolved tree never observe each other's cache state.
@@ -90,7 +95,7 @@ type Interp struct {
 	// arena, and counters reporting what actually ran.
 	bytecode   bool
 	maxSteps   uint64
-	chunks     map[*ast.Func]*bytecode.Chunk
+	chunks     map[*ast.Func]*chunk
 	vmStack    []Value
 	chunkFuncs int
 	chunkFails int
@@ -162,14 +167,14 @@ func (in *Interp) MaxDepth() int { return in.maxDepth }
 
 // Throw builds a Thrown error carrying a fresh Error object.
 func (in *Interp) Throw(name, format string, args ...interface{}) error {
-	return &Thrown{Value: in.NewError(name, fmt.Sprintf(format, args...))}
+	return &Thrown{Value: ObjectValue(in.NewError(name, fmt.Sprintf(format, args...)))}
 }
 
 // NewError builds an Error object with the given name and message.
 func (in *Interp) NewError(name, message string) *Object {
 	e := &Object{Class: "Error", Proto: in.errorProto}
-	e.SetOwn("name", name)
-	e.SetOwn("message", message)
+	e.SetOwn("name", StringValue(name))
+	e.SetOwn("message", StringValue(message))
 	return e
 }
 
@@ -225,11 +230,11 @@ func (in *Interp) hoistInto(body []ast.Stmt, env *Env) {
 	h := hoistScan(body)
 	for _, name := range h.vars {
 		if !env.Has(name) {
-			env.Define(name, Undefined{})
+			env.Define(name, Undefined)
 		}
 	}
 	for _, fn := range h.fns {
-		env.Define(fn.Name, in.makeFunction(fn, env))
+		env.Define(fn.Name, ObjectValue(in.makeFunction(fn, env)))
 	}
 }
 
@@ -246,7 +251,15 @@ type funcObject struct {
 // allocate, so they are charged like other allocations — this is what makes
 // closure-per-call continuation representations (CPS, generators) pay their
 // real cost relative to checked returns.
+//
+// The captured environment chain is marked escaped so the frame pool never
+// recycles a frame this closure can still see. Marking stops at the first
+// already-escaped frame: escape marking always walks the full chain, so an
+// escaped frame implies escaped ancestors.
 func (in *Interp) makeFunction(fn *ast.Func, env *Env) *Object {
+	for e := env; e != nil && !e.escaped; e = e.parent {
+		e.escaped = true
+	}
 	in.charge(in.Engine.ObjectCreateCost)
 	p := new(funcObject)
 	p.obj = Object{Class: "Function", Proto: in.functionProto, Fn: &p.fn}
@@ -295,7 +308,7 @@ func (in *Interp) execStmt(s ast.Stmt, env *Env) error {
 		}
 		return nil
 	case *ast.Return:
-		var v Value = Undefined{}
+		v := Undefined
 		if n.Arg != nil {
 			var err error
 			v, err = in.eval(n.Arg, env)
@@ -322,7 +335,7 @@ func (in *Interp) execStmt(s ast.Stmt, env *Env) error {
 			}
 			if d.Init == nil {
 				if !env.Has(d.Name) && !envChainHas(env, d.Name) {
-					env.Define(d.Name, Undefined{})
+					env.Define(d.Name, Undefined)
 				}
 				continue
 			}
@@ -372,7 +385,7 @@ func (in *Interp) execStmt(s ast.Stmt, env *Env) error {
 		// Handled by hoisting; re-executing is a no-op, but if hoisting was
 		// bypassed (eval'd fragments), define it now.
 		if !envChainHas(env, n.Fn.Name) {
-			env.Define(n.Fn.Name, in.makeFunction(n.Fn, env))
+			env.Define(n.Fn.Name, ObjectValue(in.makeFunction(n.Fn, env)))
 		}
 		return nil
 	case *ast.Empty:
@@ -494,20 +507,21 @@ func (in *Interp) execForIn(n *ast.ForIn, env *Env, labels []string) error {
 	if err != nil {
 		return err
 	}
-	o, ok := obj.(*Object)
-	if !ok {
+	o := obj.Obj()
+	if o == nil {
 		return nil // primitives enumerate nothing we support
 	}
 	if !n.Ref.Valid() && n.Decl && !envChainHas(env, n.Name) {
-		env.Define(n.Name, Undefined{})
+		env.Define(n.Name, Undefined)
 	}
 	for _, key := range o.OwnKeys() {
+		kv := StringValue(key)
 		if n.Ref.Valid() {
-			env.SetRef(n.Ref, key)
-		} else if !env.Set(n.Name, key) {
+			env.SetRef(n.Ref, kv)
+		} else if !env.Set(n.Name, kv) {
 			// Undeclared loop variable: implicit global, as in non-strict
 			// JS (and as storeIdent does for plain assignments).
-			env.Root().Define(n.Name, key)
+			env.Root().Define(n.Name, kv)
 		}
 		stop, err := loopIterDone(in.execStmt(n.Body, env), labels)
 		if stop {

@@ -10,19 +10,19 @@ import (
 
 // TypeOf implements the typeof operator.
 func TypeOf(v Value) string {
-	switch o := v.(type) {
-	case Undefined:
+	switch v.tag {
+	case TagUndefined:
 		return "undefined"
-	case Null:
+	case TagNull:
 		return "object"
-	case bool:
+	case TagBool:
 		return "boolean"
-	case float64:
+	case TagNumber:
 		return "number"
-	case string:
+	case TagString:
 		return "string"
-	case *Object:
-		if o.IsCallable() {
+	case TagObject:
+		if v.Obj().IsCallable() {
 			return "function"
 		}
 		return "object"
@@ -30,33 +30,34 @@ func TypeOf(v Value) string {
 	return "undefined"
 }
 
-// Pre-boxed typeof results: converting a string constant to an interface
-// allocates its header, and typeof runs in every instrumented dispatch
-// guard, so the evaluator returns these interned boxes instead.
+// Interned typeof results. With the tagged representation these cost
+// nothing to construct, but the named values keep the evaluator's returns
+// intention-revealing (and their payload pointers stable, which makes the
+// string fast path in StrictEquals hit for `typeof x === typeof y`).
 var (
-	typeofUndefined Value = "undefined"
-	typeofObject    Value = "object"
-	typeofBoolean   Value = "boolean"
-	typeofNumber    Value = "number"
-	typeofString    Value = "string"
-	typeofFunction  Value = "function"
+	typeofUndefined = StringValue("undefined")
+	typeofObject    = StringValue("object")
+	typeofBoolean   = StringValue("boolean")
+	typeofNumber    = StringValue("number")
+	typeofString    = StringValue("string")
+	typeofFunction  = StringValue("function")
 )
 
-// typeOfValue is TypeOf returning an interned boxed Value.
+// typeOfValue is TypeOf returning an interned Value.
 func typeOfValue(v Value) Value {
-	switch o := v.(type) {
-	case Undefined:
+	switch v.tag {
+	case TagUndefined:
 		return typeofUndefined
-	case Null:
+	case TagNull:
 		return typeofObject
-	case bool:
+	case TagBool:
 		return typeofBoolean
-	case float64:
+	case TagNumber:
 		return typeofNumber
-	case string:
+	case TagString:
 		return typeofString
-	case *Object:
-		if o.IsCallable() {
+	case TagObject:
+		if v.Obj().IsCallable() {
 			return typeofFunction
 		}
 		return typeofObject
@@ -66,16 +67,16 @@ func typeOfValue(v Value) Value {
 
 // ToBoolean implements JS truthiness.
 func ToBoolean(v Value) bool {
-	switch x := v.(type) {
-	case Undefined, Null:
+	switch v.tag {
+	case TagUndefined, TagNull:
 		return false
-	case bool:
-		return x
-	case float64:
-		return x != 0 && !math.IsNaN(x)
-	case string:
-		return x != ""
-	case *Object:
+	case TagBool:
+		return v.num != 0
+	case TagNumber:
+		return v.num != 0 && !math.IsNaN(v.num)
+	case TagString:
+		return v.slen != 0
+	case TagObject:
 		return true
 	}
 	return false
@@ -84,21 +85,18 @@ func ToBoolean(v Value) bool {
 // ToNumber implements JS numeric coercion; objects go through ToPrimitive,
 // which may run user valueOf/toString code.
 func (in *Interp) ToNumber(v Value) (float64, error) {
-	switch x := v.(type) {
-	case Undefined:
+	switch v.tag {
+	case TagUndefined:
 		return math.NaN(), nil
-	case Null:
+	case TagNull:
 		return 0, nil
-	case bool:
-		if x {
-			return 1, nil
-		}
-		return 0, nil
-	case float64:
-		return x, nil
-	case string:
-		return stringToNumber(x), nil
-	case *Object:
+	case TagBool:
+		return v.num, nil
+	case TagNumber:
+		return v.num, nil
+	case TagString:
+		return stringToNumber(v.Str()), nil
+	case TagObject:
 		prim, err := in.ToPrimitive(v, "number")
 		if err != nil {
 			return 0, err
@@ -135,26 +133,26 @@ func stringToNumber(s string) float64 {
 // ToStringValue implements JS string coercion; objects go through
 // ToPrimitive with a string hint.
 func (in *Interp) ToStringValue(v Value) (string, error) {
-	switch x := v.(type) {
-	case Undefined:
+	switch v.tag {
+	case TagUndefined:
 		return "undefined", nil
-	case Null:
+	case TagNull:
 		return "null", nil
-	case bool:
-		if x {
+	case TagBool:
+		if v.num != 0 {
 			return "true", nil
 		}
 		return "false", nil
-	case float64:
-		return printer.FormatNumber(x), nil
-	case string:
-		return x, nil
-	case *Object:
+	case TagNumber:
+		return printer.FormatNumber(v.num), nil
+	case TagString:
+		return v.Str(), nil
+	case TagObject:
 		prim, err := in.ToPrimitive(v, "string")
 		if err != nil {
 			return "", err
 		}
-		if _, isObj := prim.(*Object); isObj {
+		if prim.IsObject() {
 			return "", in.Throw("TypeError", "cannot convert object to primitive value")
 		}
 		return in.ToStringValue(prim)
@@ -166,8 +164,8 @@ func (in *Interp) ToStringValue(v Value) (string, error) {
 // the implicit calls of §4.1 that can hide infinite loops. Primitives pass
 // through unchanged.
 func (in *Interp) ToPrimitive(v Value, hint string) (Value, error) {
-	o, ok := v.(*Object)
-	if !ok {
+	o := v.Obj()
+	if o == nil {
 		return v, nil
 	}
 	methods := []string{"valueOf", "toString"}
@@ -177,21 +175,21 @@ func (in *Interp) ToPrimitive(v Value, hint string) (Value, error) {
 	in.EnterAtomic()
 	defer in.ExitAtomic()
 	for _, name := range methods {
-		m, err := in.GetMember(o, name)
+		m, err := in.GetMember(v, name)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
-		if f, ok := m.(*Object); ok && f.IsCallable() {
-			r, err := in.Call(f, o, nil, Undefined{})
+		if f := m.Obj(); f.IsCallable() {
+			r, err := in.Call(m, v, nil, Undefined)
 			if err != nil {
-				return nil, err
+				return Undefined, err
 			}
-			if _, isObj := r.(*Object); !isObj {
+			if !r.IsObject() {
 				return r, nil
 			}
 		}
 	}
-	return nil, in.Throw("TypeError", "cannot convert object to primitive value")
+	return Undefined, in.Throw("TypeError", "cannot convert object to primitive value")
 }
 
 // ToInt32 and ToUint32 implement the bitwise-operator coercions. The
@@ -216,53 +214,46 @@ func ToUint32(f float64) uint32 {
 	return uint32(f)
 }
 
-// StrictEquals implements ===.
+// StrictEquals implements ===. Same-tag is required first; the number
+// compare then falls out of Go's float compare (NaN != NaN included), and
+// strings compare by payload with a pointer-identity fast path.
 func StrictEquals(a, b Value) bool {
-	switch x := a.(type) {
-	case Undefined:
-		_, ok := b.(Undefined)
-		return ok
-	case Null:
-		_, ok := b.(Null)
-		return ok
-	case bool:
-		y, ok := b.(bool)
-		return ok && x == y
-	case float64:
-		y, ok := b.(float64)
-		return ok && x == y // NaN != NaN falls out of Go's float compare
-	case string:
-		y, ok := b.(string)
-		return ok && x == y
-	case *Object:
-		y, ok := b.(*Object)
-		return ok && x == y
+	if a.tag != b.tag {
+		return false
+	}
+	switch a.tag {
+	case TagUndefined, TagNull:
+		return true
+	case TagBool:
+		return a.num == b.num
+	case TagNumber:
+		return a.num == b.num
+	case TagString:
+		return sameString(a, b)
+	case TagObject:
+		return a.ptr == b.ptr
 	}
 	return false
 }
 
 // looseEquals implements ==.
 func (in *Interp) looseEquals(a, b Value) (bool, error) {
-	ta, tb := TypeOf(a), TypeOf(b)
-	_, aNull := a.(Null)
-	_, bNull := b.(Null)
-	aUndef := ta == "undefined"
-	bUndef := tb == "undefined"
-	// typeof null is "object"; normalize for the algorithm below.
+	aNullish := a.IsNullish()
+	bNullish := b.IsNullish()
 	switch {
-	case (aNull || aUndef) && (bNull || bUndef):
+	case aNullish && bNullish:
 		return true, nil
-	case aNull || aUndef || bNull || bUndef:
+	case aNullish || bNullish:
 		return false, nil
 	}
-	if ta == tb && ta != "object" && ta != "function" {
+	if a.tag == b.tag && a.tag != TagObject {
 		return StrictEquals(a, b), nil
 	}
-	ao, aIsObj := a.(*Object)
-	bo, bIsObj := b.(*Object)
+	aIsObj := a.IsObject()
+	bIsObj := b.IsObject()
 	switch {
 	case aIsObj && bIsObj:
-		return ao == bo, nil
+		return a.ptr == b.ptr, nil
 	case aIsObj:
 		prim, err := in.ToPrimitive(a, "default")
 		if err != nil {
@@ -288,179 +279,192 @@ func (in *Interp) looseEquals(a, b Value) (bool, error) {
 	return an == bn, nil
 }
 
-// applyBinary implements the binary operators.
+// applyBinary implements the binary operators. Number/number and (for +)
+// string/string operands take tag-checked fast paths that never allocate;
+// everything else goes through the coercion ladder.
 func (in *Interp) applyBinary(op string, l, r Value) (Value, error) {
 	switch op {
 	case "+":
+		if l.tag == TagNumber && r.tag == TagNumber {
+			return NumberValue(l.num + r.num), nil
+		}
 		lp, err := in.ToPrimitive(l, "default")
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		rp, err := in.ToPrimitive(r, "default")
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
-		_, lStr := lp.(string)
-		_, rStr := rp.(string)
-		if lStr || rStr {
+		if lp.IsString() || rp.IsString() {
 			ls, err := in.ToStringValue(lp)
 			if err != nil {
-				return nil, err
+				return Undefined, err
 			}
 			rs, err := in.ToStringValue(rp)
 			if err != nil {
-				return nil, err
+				return Undefined, err
 			}
-			return ls + rs, nil
+			return in.concatStrings(ls, rs)
 		}
 		ln, err := in.ToNumber(lp)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		rn, err := in.ToNumber(rp)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
-		return boxNumber(ln + rn), nil
+		return NumberValue(ln + rn), nil
 	case "-", "*", "/", "%", "**":
 		ln, err := in.ToNumber(l)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		rn, err := in.ToNumber(r)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		switch op {
 		case "-":
-			return boxNumber(ln - rn), nil
+			return NumberValue(ln - rn), nil
 		case "*":
-			return boxNumber(ln * rn), nil
+			return NumberValue(ln * rn), nil
 		case "/":
-			return boxNumber(ln / rn), nil
+			return NumberValue(ln / rn), nil
 		case "%":
-			return boxNumber(math.Mod(ln, rn)), nil
+			return NumberValue(math.Mod(ln, rn)), nil
 		default:
-			return boxNumber(math.Pow(ln, rn)), nil
+			return NumberValue(math.Pow(ln, rn)), nil
 		}
 	case "<", ">", "<=", ">=":
 		lp, err := in.ToPrimitive(l, "number")
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		rp, err := in.ToPrimitive(r, "number")
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
-		ls, lStr := lp.(string)
-		rs, rStr := rp.(string)
-		if lStr && rStr {
+		if lp.IsString() && rp.IsString() {
+			ls, rs := lp.Str(), rp.Str()
 			switch op {
 			case "<":
-				return ls < rs, nil
+				return BoolValue(ls < rs), nil
 			case ">":
-				return ls > rs, nil
+				return BoolValue(ls > rs), nil
 			case "<=":
-				return ls <= rs, nil
+				return BoolValue(ls <= rs), nil
 			default:
-				return ls >= rs, nil
+				return BoolValue(ls >= rs), nil
 			}
 		}
 		ln, err := in.ToNumber(lp)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		rn, err := in.ToNumber(rp)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		if math.IsNaN(ln) || math.IsNaN(rn) {
-			return false, nil
+			return False, nil
 		}
 		switch op {
 		case "<":
-			return ln < rn, nil
+			return BoolValue(ln < rn), nil
 		case ">":
-			return ln > rn, nil
+			return BoolValue(ln > rn), nil
 		case "<=":
-			return ln <= rn, nil
+			return BoolValue(ln <= rn), nil
 		default:
-			return ln >= rn, nil
+			return BoolValue(ln >= rn), nil
 		}
 	case "==":
-		return in.looseEquals(l, r)
+		eq, err := in.looseEquals(l, r)
+		return BoolValue(eq), err
 	case "!=":
 		eq, err := in.looseEquals(l, r)
-		return !eq, err
+		return BoolValue(!eq), err
 	case "===":
-		return StrictEquals(l, r), nil
+		return BoolValue(StrictEquals(l, r)), nil
 	case "!==":
-		return !StrictEquals(l, r), nil
+		return BoolValue(!StrictEquals(l, r)), nil
 	case "&", "|", "^", "<<", ">>":
 		ln, err := in.ToNumber(l)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		rn, err := in.ToNumber(r)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		li := ToInt32(ln)
 		ri := ToInt32(rn)
 		switch op {
 		case "&":
-			return boxNumber(float64(li & ri)), nil
+			return NumberValue(float64(li & ri)), nil
 		case "|":
-			return boxNumber(float64(li | ri)), nil
+			return NumberValue(float64(li | ri)), nil
 		case "^":
-			return boxNumber(float64(li ^ ri)), nil
+			return NumberValue(float64(li ^ ri)), nil
 		case "<<":
-			return boxNumber(float64(li << (uint32(ri) & 31))), nil
+			return NumberValue(float64(li << (uint32(ri) & 31))), nil
 		default:
-			return boxNumber(float64(li >> (uint32(ri) & 31))), nil
+			return NumberValue(float64(li >> (uint32(ri) & 31))), nil
 		}
 	case ">>>":
 		ln, err := in.ToNumber(l)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
 		rn, err := in.ToNumber(r)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
-		return boxNumber(float64(ToUint32(ln) >> (ToUint32(rn) & 31))), nil
+		return NumberValue(float64(ToUint32(ln) >> (ToUint32(rn) & 31))), nil
 	case "instanceof":
-		f, ok := r.(*Object)
-		if !ok || !f.IsCallable() {
-			return nil, in.Throw("TypeError", "right-hand side of instanceof is not callable")
+		f := r.Obj()
+		if !f.IsCallable() {
+			return Undefined, in.Throw("TypeError", "right-hand side of instanceof is not callable")
 		}
-		lo, ok := l.(*Object)
-		if !ok {
-			return false, nil
+		lo := l.Obj()
+		if lo == nil {
+			return False, nil
 		}
-		protoV, err := in.GetMember(f, "prototype")
+		protoV, err := in.GetMember(r, "prototype")
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
-		proto, _ := protoV.(*Object)
+		proto := protoV.Obj()
 		for p := lo.Proto; p != nil; p = p.Proto {
 			if p == proto {
-				return true, nil
+				return True, nil
 			}
 		}
-		return false, nil
+		return False, nil
 	case "in":
-		o, ok := r.(*Object)
-		if !ok {
-			return nil, in.Throw("TypeError", "cannot use 'in' on a non-object")
+		o := r.Obj()
+		if o == nil {
+			return Undefined, in.Throw("TypeError", "cannot use 'in' on a non-object")
 		}
 		key, err := in.ToStringValue(l)
 		if err != nil {
-			return nil, err
+			return Undefined, err
 		}
-		return in.hasProperty(o, key), nil
+		return BoolValue(in.hasProperty(o, key)), nil
 	}
-	return nil, in.Throw("SyntaxError", "unknown binary operator %s", op)
+	return Undefined, in.Throw("SyntaxError", "unknown binary operator %s", op)
+}
+
+// concatStrings builds the concatenation, enforcing the engine's string
+// length cap with the RangeError production engines throw — the Value
+// representation's 32-bit length field must never see an oversized string.
+func (in *Interp) concatStrings(ls, rs string) (Value, error) {
+	if len(ls)+len(rs) > MaxStringLen {
+		return Undefined, in.Throw("RangeError", "Invalid string length")
+	}
+	return StringValue(ls + rs), nil
 }
 
 func (in *Interp) hasProperty(o *Object, key string) bool {
@@ -482,15 +486,15 @@ func (in *Interp) hasProperty(o *Object, key string) bool {
 // slots read as undefined. Primitive receivers go through the normal path
 // (their prototypes hold only natives).
 func (in *Interp) RawGet(base Value, key string) (Value, error) {
-	o, ok := base.(*Object)
-	if !ok {
+	o := base.Obj()
+	if o == nil {
 		return in.GetMember(base, key)
 	}
 	// No PropCost charge here: the historical $rawGet native never charged,
 	// and the engine cost model must not shift under the getter prelude.
 	if o.Class == "Array" || o.Class == "Arguments" {
 		if key == "length" && o.Own("length") == nil {
-			return boxNumber(float64(len(o.Elems))), nil
+			return NumberValue(float64(len(o.Elems))), nil
 		}
 		if i, isIdx := arrayIndex(key); isIdx && i < len(o.Elems) {
 			return o.Elems[i], nil
@@ -499,13 +503,13 @@ func (in *Interp) RawGet(base Value, key string) (Value, error) {
 	holder, idx := in.lookupPath(o, key)
 	if holder == nil {
 		if key == "prototype" && o.IsCallable() {
-			return in.GetMember(o, key) // materialize the lazy prototype
+			return in.GetMember(base, key) // materialize the lazy prototype
 		}
-		return Undefined{}, nil
+		return Undefined, nil
 	}
 	slot := &holder.slots[idx]
 	if slot.Getter != nil || slot.Setter != nil {
-		return Undefined{}, nil
+		return Undefined, nil
 	}
 	return slot.Value, nil
 }
@@ -516,21 +520,21 @@ func (in *Interp) RawGet(base Value, key string) (Value, error) {
 // requested side is skipped and the walk continues, matching the historical
 // behavior of the runtime's $lookupGetter/$lookupSetter natives.
 func (in *Interp) LookupAccessor(base Value, key string, setter bool) Value {
-	o, ok := base.(*Object)
-	if !ok {
-		return Undefined{}
+	o := base.Obj()
+	if o == nil {
+		return Undefined
 	}
 	holder, idx := in.lookupPath(o, key)
 	for holder != nil {
 		slot := &holder.slots[idx]
 		if setter && slot.Setter != nil {
-			return slot.Setter
+			return ObjectValue(slot.Setter)
 		}
 		if !setter && slot.Getter != nil {
-			return slot.Getter
+			return ObjectValue(slot.Getter)
 		}
 		if slot.Getter == nil && slot.Setter == nil {
-			return Undefined{} // plain data property shadows
+			return Undefined // plain data property shadows
 		}
 		// Accessor lacking the requested side: keep walking from the next
 		// prototype up.
@@ -543,7 +547,7 @@ func (in *Interp) LookupAccessor(base Value, key string, setter bool) Value {
 			}
 		}
 	}
-	return Undefined{}
+	return Undefined
 }
 
 // getElemFast reads base[idx] for an integer index into an array or
@@ -551,19 +555,19 @@ func (in *Interp) LookupAccessor(base Value, key string, setter bool) Value {
 // (and its allocation) of the generic path. ok is false when the fast path
 // does not apply and the caller must fall back to GetMember.
 func (in *Interp) getElemFast(base, idx Value) (Value, bool) {
-	o, isObj := base.(*Object)
-	if !isObj || (o.Class != "Array" && o.Class != "Arguments") {
-		return nil, false
+	o := base.Obj()
+	if o == nil || (o.Class != "Array" && o.Class != "Arguments") {
+		return Undefined, false
 	}
-	f, isNum := idx.(float64)
-	if !isNum {
-		return nil, false
+	if idx.tag != TagNumber {
+		return Undefined, false
 	}
+	f := idx.num
 	i := int(f)
 	if float64(i) != f || i < 0 || i >= len(o.Elems) || (i == 0 && math.Signbit(f)) {
 		// -0 falls back so the fast and string-key paths always agree on
 		// which property it names, regardless of array length.
-		return nil, false
+		return Undefined, false
 	}
 	in.charge(in.Engine.PropCost)
 	return o.Elems[i], true
@@ -575,14 +579,14 @@ func (in *Interp) getElemFast(base, idx Value) (Value, bool) {
 // the end take the generic path, whose property-versus-element behavior
 // differs.
 func (in *Interp) setElemFast(base, idx, v Value) bool {
-	o, isObj := base.(*Object)
-	if !isObj || (o.Class != "Array" && o.Class != "Arguments") {
+	o := base.Obj()
+	if o == nil || (o.Class != "Array" && o.Class != "Arguments") {
 		return false
 	}
-	f, isNum := idx.(float64)
-	if !isNum {
+	if idx.tag != TagNumber {
 		return false
 	}
+	f := idx.num
 	i := int(f)
 	if float64(i) != f || i < 0 || i >= 1<<31 || (i == 0 && math.Signbit(f)) {
 		return false
@@ -592,7 +596,7 @@ func (in *Interp) setElemFast(base, idx, v Value) bool {
 			return false // becomes an ordinary property; length unchanged
 		}
 		for len(o.Elems) <= i {
-			o.Elems = append(o.Elems, Undefined{})
+			o.Elems = append(o.Elems, Undefined)
 		}
 	}
 	in.charge(in.Engine.PropCost)
@@ -611,42 +615,43 @@ func (in *Interp) GetMember(base Value, key string) (Value, error) {
 // resolve assigned to their ast.Member node.
 func (in *Interp) getMemberSite(base Value, key string, site uint32) (Value, error) {
 	in.charge(in.Engine.PropCost)
-	switch b := base.(type) {
-	case *Object:
-		return in.objGetSite(b, b, key, site)
-	case string:
+	switch base.tag {
+	case TagObject:
+		return in.objGetSite(base.Obj(), base, key, site)
+	case TagString:
+		s := base.Str()
 		if key == "length" {
-			return boxNumber(float64(len(b))), nil
+			return NumberValue(float64(len(s))), nil
 		}
 		if i, ok := arrayIndex(key); ok {
-			if i < len(b) {
-				return string(b[i]), nil
+			if i < len(s) {
+				return StringValue(s[i : i+1]), nil
 			}
-			return Undefined{}, nil
+			return Undefined, nil
 		}
 		return in.protoGet(in.stringProto, base, key)
-	case float64:
+	case TagNumber:
 		return in.protoGet(in.numberProto, base, key)
-	case bool:
+	case TagBool:
 		return in.protoGet(in.booleanProto, base, key)
-	case Undefined:
-		return nil, in.Throw("TypeError", "cannot read property %q of undefined", key)
-	case Null:
-		return nil, in.Throw("TypeError", "cannot read property %q of null", key)
+	case TagUndefined:
+		return Undefined, in.Throw("TypeError", "cannot read property %q of undefined", key)
+	case TagNull:
+		return Undefined, in.Throw("TypeError", "cannot read property %q of null", key)
 	}
-	return Undefined{}, nil
+	return Undefined, nil
 }
 
 func (in *Interp) protoGet(proto *Object, this Value, key string) (Value, error) {
 	for p := proto; p != nil; p = p.Proto {
 		if slot := p.Own(key); slot != nil {
 			if slot.Getter != nil {
-				return in.Call(slot.Getter, this, nil, Undefined{})
+				return in.Call(ObjectValue(slot.Getter), this, nil, Undefined)
 			}
 			return slot.Value, nil
 		}
 	}
-	return Undefined{}, nil
+	return Undefined, nil
 }
 
 func (in *Interp) objGet(o *Object, this Value, key string) (Value, error) {
@@ -662,7 +667,7 @@ func (in *Interp) objGetSite(o *Object, this Value, key string, site uint32) (Va
 	if o.Class == "Array" || o.Class == "Arguments" {
 		if key == "length" {
 			if o.Own("length") == nil { // arrays expose length natively
-				return boxNumber(float64(len(o.Elems))), nil
+				return NumberValue(float64(len(o.Elems))), nil
 			}
 		}
 		if i, ok := arrayIndex(key); ok {
@@ -685,10 +690,10 @@ func (in *Interp) objGetSite(o *Object, this Value, key string, site uint32) (Va
 			}
 			if p != nil {
 				if p.Getter != nil {
-					return in.Call(p.Getter, this, nil, Undefined{})
+					return in.Call(ObjectValue(p.Getter), this, nil, Undefined)
 				}
 				if p.Setter != nil {
-					return undefinedValue, nil
+					return Undefined, nil
 				}
 				return p.Value, nil
 			}
@@ -703,11 +708,11 @@ func (in *Interp) objGetSite(o *Object, this Value, key string, site uint32) (Va
 		// does not model configurability of builtin function properties.
 		if key == "prototype" && o.IsCallable() {
 			proto := in.NewPlainObject()
-			proto.SetHidden("constructor", o)
-			o.SetHidden("prototype", proto)
-			return proto, nil
+			proto.SetHidden("constructor", ObjectValue(o))
+			o.SetHidden("prototype", ObjectValue(proto))
+			return ObjectValue(proto), nil
 		}
-		return Undefined{}, nil
+		return Undefined, nil
 	}
 	if c != nil {
 		if holder == o {
@@ -719,10 +724,10 @@ func (in *Interp) objGetSite(o *Object, this Value, key string, site uint32) (Va
 	}
 	slot := &holder.slots[idx]
 	if slot.Getter != nil {
-		return in.Call(slot.Getter, this, nil, Undefined{})
+		return in.Call(ObjectValue(slot.Getter), this, nil, Undefined)
 	}
 	if slot.Setter != nil {
-		return Undefined{}, nil
+		return Undefined, nil
 	}
 	return slot.Value, nil
 }
@@ -740,12 +745,12 @@ func (in *Interp) SetMember(base Value, key string, v Value) error {
 // accessor appearing anywhere on the chain invalidates the shortcut).
 func (in *Interp) setMemberSite(base Value, key string, v Value, site uint32) error {
 	in.charge(in.Engine.PropCost)
-	o, ok := base.(*Object)
-	if !ok {
-		switch base.(type) {
-		case Undefined:
+	o := base.Obj()
+	if o == nil {
+		switch base.tag {
+		case TagUndefined:
 			return in.Throw("TypeError", "cannot set property %q of undefined", key)
-		case Null:
+		case TagNull:
 			return in.Throw("TypeError", "cannot set property %q of null", key)
 		}
 		return nil // writes to other primitives are silently dropped
@@ -759,7 +764,7 @@ func (in *Interp) setMemberSite(base Value, key string, v Value, site uint32) er
 				return nil
 			}
 			for len(o.Elems) <= i {
-				o.Elems = append(o.Elems, Undefined{})
+				o.Elems = append(o.Elems, Undefined)
 			}
 			o.Elems[i] = v
 			return nil
@@ -774,7 +779,7 @@ func (in *Interp) setMemberSite(base Value, key string, v Value, site uint32) er
 				return in.Throw("RangeError", "invalid array length")
 			}
 			for len(o.Elems) < size {
-				o.Elems = append(o.Elems, Undefined{})
+				o.Elems = append(o.Elems, Undefined)
 			}
 			o.Elems = o.Elems[:size]
 			return nil
@@ -807,7 +812,7 @@ func (in *Interp) setMemberSite(base Value, key string, v Value, site uint32) er
 	if holder, idx := in.lookupPath(o, key); holder != nil {
 		slot := &holder.slots[idx]
 		if slot.Setter != nil {
-			_, err := in.Call(slot.Setter, o, []Value{v}, Undefined{})
+			_, err := in.Call(ObjectValue(slot.Setter), base, []Value{v}, Undefined)
 			return err
 		}
 		if slot.Getter != nil {

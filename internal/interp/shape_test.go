@@ -15,20 +15,30 @@ func newTestInterp() *Interp {
 	return New(Options{})
 }
 
+// num / str build tagged test values tersely.
+func num(f float64) Value { return NumberValue(f) }
+func str(s string) Value  { return StringValue(s) }
+func isNum(v Value, f float64) bool {
+	return v.IsNumber() && StrictEquals(v, NumberValue(f))
+}
+func isStr(v Value, s string) bool {
+	return v.IsString() && v.Str() == s
+}
+
 func TestShapeTransitionSharing(t *testing.T) {
 	in := newTestInterp()
 	a := in.NewPlainObject()
 	b := in.NewPlainObject()
-	a.SetOwn("x", 1.0)
-	a.SetOwn("y", 2.0)
-	b.SetOwn("x", 3.0)
-	b.SetOwn("y", 4.0)
+	a.SetOwn("x", num(1))
+	a.SetOwn("y", num(2))
+	b.SetOwn("x", num(3))
+	b.SetOwn("y", num(4))
 	if a.shape == nil || a.shape != b.shape {
 		t.Fatalf("objects built along the same path must share a shape: %p vs %p", a.shape, b.shape)
 	}
 	c := in.NewPlainObject()
-	c.SetOwn("y", 5.0) // different insertion order → different shape
-	c.SetOwn("x", 6.0)
+	c.SetOwn("y", num(5)) // different insertion order → different shape
+	c.SetOwn("x", num(6))
 	if c.shape == a.shape {
 		t.Fatal("different insertion order must not share the shape")
 	}
@@ -40,9 +50,9 @@ func TestShapeTransitionSharing(t *testing.T) {
 func TestShapeDeleteRebuildsAndResharesTree(t *testing.T) {
 	in := newTestInterp()
 	a := in.NewPlainObject()
-	a.SetOwn("x", 1.0)
-	a.SetOwn("y", 2.0)
-	a.SetOwn("z", 3.0)
+	a.SetOwn("x", num(1))
+	a.SetOwn("y", num(2))
+	a.SetOwn("z", num(3))
 	before := a.shape
 	if !a.Delete("y") {
 		t.Fatal("Delete(y) reported the property missing")
@@ -53,12 +63,12 @@ func TestShapeDeleteRebuildsAndResharesTree(t *testing.T) {
 	// The rebuilt shape reuses the shared transition tree: an object built
 	// as {x, z} directly lands on the same shape.
 	b := in.NewPlainObject()
-	b.SetOwn("x", 0.0)
-	b.SetOwn("z", 0.0)
+	b.SetOwn("x", num(0))
+	b.SetOwn("z", num(0))
 	if a.shape != b.shape {
 		t.Fatalf("post-delete shape should rejoin the tree: %p vs %p", a.shape, b.shape)
 	}
-	if p := a.Own("z"); p == nil || p.Value != 3.0 {
+	if p := a.Own("z"); p == nil || !isNum(p.Value, 3) {
 		t.Fatal("slots were not compacted correctly on delete")
 	}
 	if a.Own("y") != nil {
@@ -69,17 +79,17 @@ func TestShapeDeleteRebuildsAndResharesTree(t *testing.T) {
 func TestShapeAccessorConversionChangesShape(t *testing.T) {
 	in := newTestInterp()
 	a := in.NewPlainObject()
-	a.SetOwn("x", 1.0)
+	a.SetOwn("x", num(1))
 	before := a.shape
 	getter := in.NewNative("g", func(in *Interp, this Value, args []Value) (Value, error) {
-		return 42.0, nil
+		return NumberValue(42), nil
 	})
 	a.SetAccessor("x", getter, nil, true)
 	if a.shape == before {
 		t.Fatal("data→accessor conversion must change the shape")
 	}
 	mid := a.shape
-	a.SetOwn("x", 2.0)
+	a.SetOwn("x", num(2))
 	if a.shape == mid {
 		t.Fatal("accessor→data conversion must change the shape")
 	}
@@ -109,32 +119,32 @@ func TestSetICNeverBypassesAccessorSharingCreationPath(t *testing.T) {
 	in := newTestInterp()
 	const site = 29
 	write := func(o *Object, v Value) {
-		if err := in.setMemberSite(o, "x", v, site); err != nil {
+		if err := in.setMemberSite(ObjectValue(o), "x", v, site); err != nil {
 			t.Fatal(err)
 		}
 	}
 	a := in.NewPlainObject()
-	a.SetOwn("x", 0.0)
-	write(a, 1.0) // fills the own-hit entry
-	write(a, 2.0) // warm hit
-	if a.Own("x").Value != 2.0 {
+	a.SetOwn("x", num(0))
+	write(a, num(1)) // fills the own-hit entry
+	write(a, num(2)) // warm hit
+	if !isNum(a.Own("x").Value, 2) {
 		t.Fatal("warm data write failed")
 	}
-	var got Value = Undefined{}
+	got := Undefined
 	setter := in.NewNative("s", func(in *Interp, this Value, args []Value) (Value, error) {
 		got = args[0]
-		return Undefined{}, nil
+		return Undefined, nil
 	})
 	b := in.NewPlainObject()
 	b.SetAccessor("x", nil, setter, true)
 	if b.shape == a.shape {
 		t.Fatal("accessor object must not share the data object's shape")
 	}
-	write(b, 3.0)
-	if got != 3.0 {
+	write(b, num(3))
+	if !isNum(got, 3) {
 		t.Fatalf("setter not invoked through warm set site; got %v", got)
 	}
-	if p := b.Own("x"); p == nil || p.Setter == nil || p.Value != nil {
+	if p := b.Own("x"); p == nil || p.Setter == nil || !p.Value.IsUndefined() {
 		t.Fatalf("accessor slot corrupted by cached write: %+v", p)
 	}
 }
@@ -146,37 +156,37 @@ func TestDeleteAndSetProtoPreserveAccessorShape(t *testing.T) {
 	in := newTestInterp()
 	const site = 31
 	write := func(o *Object, v Value) {
-		if err := in.setMemberSite(o, "x", v, site); err != nil {
+		if err := in.setMemberSite(ObjectValue(o), "x", v, site); err != nil {
 			t.Fatal(err)
 		}
 	}
-	var got Value = Undefined{}
+	got := Undefined
 	setter := in.NewNative("s", func(in *Interp, this Value, args []Value) (Value, error) {
 		got = args[0]
-		return Undefined{}, nil
+		return Undefined, nil
 	})
 
 	// Warm the site with data-shaped {x} objects.
 	d := in.NewPlainObject()
-	d.SetOwn("x", 0.0)
-	write(d, 1.0)
-	write(d, 2.0)
+	d.SetOwn("x", num(0))
+	write(d, num(1))
+	write(d, num(2))
 
 	// o: x converted to accessor in place, then another key deleted — the
 	// rebuild must keep x's accessor-ness in the shape identity.
 	o := in.NewPlainObject()
-	o.SetOwn("x", 0.0)
-	o.SetOwn("y", 0.0)
+	o.SetOwn("x", num(0))
+	o.SetOwn("y", num(0))
 	o.SetAccessor("x", nil, setter, true)
 	o.Delete("y")
 	if o.shape == d.shape {
 		t.Fatal("post-delete shape must not rejoin the data-shaped tree")
 	}
-	write(o, 9.0)
-	if got != 9.0 {
+	write(o, num(9))
+	if !isNum(got, 9) {
 		t.Fatalf("setter not invoked after delete-rebuild; got %v", got)
 	}
-	if p := o.Own("x"); p == nil || p.Setter == nil || p.Value != nil {
+	if p := o.Own("x"); p == nil || p.Setter == nil || !p.Value.IsUndefined() {
 		t.Fatalf("accessor slot corrupted after delete-rebuild: %+v", p)
 	}
 
@@ -184,21 +194,21 @@ func TestDeleteAndSetProtoPreserveAccessorShape(t *testing.T) {
 	// {x} object under the NEW prototype: q's rebuilt shape lives in p2's
 	// transition tree, so a kind-dropping rebuild would land q exactly on
 	// the warmed data shape and the fast path would bypass the setter.
-	got = Undefined{}
+	got = Undefined
 	p2 := in.NewPlainObject()
 	e := NewObject(p2)
-	e.SetOwn("x", 0.0)
-	write(e, 1.0)
-	write(e, 2.0)
+	e.SetOwn("x", num(0))
+	write(e, num(1))
+	write(e, num(2))
 	q := in.NewPlainObject()
-	q.SetOwn("x", 0.0)
+	q.SetOwn("x", num(0))
 	q.SetAccessor("x", nil, setter, true)
 	q.SetProto(p2)
 	if q.shape == e.shape {
 		t.Fatal("post-SetProto shape must not rejoin the new prototype's data-shaped tree")
 	}
-	write(q, 7.0)
-	if got != 7.0 {
+	write(q, num(7))
+	if !isNum(got, 7) {
 		t.Fatalf("setter not invoked after SetProto rebuild; got %v", got)
 	}
 }
@@ -207,16 +217,16 @@ func TestGetICHitAndInvalidation(t *testing.T) {
 	in := newTestInterp()
 	const site = 7
 	o := in.NewPlainObject()
-	o.SetOwn("x", 1.0)
+	o.SetOwn("x", num(1))
 
 	read := func() Value {
-		v, err := in.getMemberSite(o, "x", site)
+		v, err := in.getMemberSite(ObjectValue(o), "x", site)
 		if err != nil {
 			t.Fatal(err)
 		}
 		return v
 	}
-	if v := read(); v != 1.0 {
+	if v := read(); !isNum(v, 1) {
 		t.Fatalf("first read = %v", v)
 	}
 	c := in.icGetAt(site)
@@ -224,26 +234,26 @@ func TestGetICHitAndInvalidation(t *testing.T) {
 		t.Fatalf("cache not filled with own hit: %+v", *c)
 	}
 	// Hit path: same shape, direct slot read.
-	o.slots[0].Value = 5.0
-	if v := read(); v != 5.0 {
+	o.slots[0].Value = num(5)
+	if v := read(); !isNum(v, 5) {
 		t.Fatalf("cached read = %v, want 5", v)
 	}
 	// Delete invalidates via shape change.
 	o.Delete("x")
-	if _, ok := read().(Undefined); !ok {
+	if !read().IsUndefined() {
 		t.Fatal("read after delete must be undefined")
 	}
 	// Re-adding refills; converting to an accessor must then divert the
 	// cached fast path to the getter.
-	o.SetOwn("x", 9.0)
-	if v := read(); v != 9.0 {
+	o.SetOwn("x", num(9))
+	if v := read(); !isNum(v, 9) {
 		t.Fatalf("read after re-add = %v", v)
 	}
 	getter := in.NewNative("g", func(in *Interp, this Value, args []Value) (Value, error) {
-		return "from-getter", nil
+		return StringValue("from-getter"), nil
 	})
 	o.SetAccessor("x", getter, nil, true)
-	if v := read(); v != "from-getter" {
+	if v := read(); !isStr(v, "from-getter") {
 		t.Fatalf("read after accessor install = %v, want getter result", v)
 	}
 }
@@ -252,37 +262,37 @@ func TestGetICProtoHitAndProtoMutation(t *testing.T) {
 	in := newTestInterp()
 	const site = 11
 	protoA := in.NewPlainObject()
-	protoA.SetOwn("m", "A")
+	protoA.SetOwn("m", str("A"))
 	o := NewObject(protoA)
 
 	read := func() Value {
-		v, err := in.getMemberSite(o, "m", site)
+		v, err := in.getMemberSite(ObjectValue(o), "m", site)
 		if err != nil {
 			t.Fatal(err)
 		}
 		return v
 	}
-	if v := read(); v != "A" {
+	if v := read(); !isStr(v, "A") {
 		t.Fatalf("proto read = %v", v)
 	}
 	c := in.icGetAt(site)
 	if c.holder != protoA {
 		t.Fatalf("cache should record the proto holder, got %+v", *c)
 	}
-	if v := read(); v != "A" {
+	if v := read(); !isStr(v, "A") {
 		t.Fatalf("cached proto read = %v", v)
 	}
 	// Mutating the holder's layout invalidates via holder shape.
-	protoA.SetOwn("other", 1.0)
-	if v := read(); v != "A" {
+	protoA.SetOwn("other", num(1))
+	if v := read(); !isStr(v, "A") {
 		t.Fatalf("read after holder growth = %v", v)
 	}
 	// Replacing the prototype re-roots the receiver's shape; the stale
 	// entry must miss.
 	protoB := in.NewPlainObject()
-	protoB.SetOwn("m", "B")
+	protoB.SetOwn("m", str("B"))
 	o.SetProto(protoB)
-	if v := read(); v != "B" {
+	if v := read(); !isStr(v, "B") {
 		t.Fatalf("read after SetProto = %v, want B", v)
 	}
 }
@@ -291,24 +301,24 @@ func TestGetICIntermediateShadowing(t *testing.T) {
 	in := newTestInterp()
 	const site = 13
 	top := in.NewPlainObject()
-	top.SetOwn("m", "top")
+	top.SetOwn("m", str("top"))
 	mid := NewObject(top)
 	o := NewObject(mid)
 
 	read := func() Value {
-		v, err := in.getMemberSite(o, "m", site)
+		v, err := in.getMemberSite(ObjectValue(o), "m", site)
 		if err != nil {
 			t.Fatal(err)
 		}
 		return v
 	}
-	if v := read(); v != "top" {
+	if v := read(); !isStr(v, "top") {
 		t.Fatalf("chain read = %v", v)
 	}
 	// An object BETWEEN the receiver and the cached holder gains the key:
 	// the protoEpoch guard must divert the next read to the new holder.
-	mid.SetOwn("m", "mid")
-	if v := read(); v != "mid" {
+	mid.SetOwn("m", str("mid"))
+	if v := read(); !isStr(v, "mid") {
 		t.Fatalf("read after intermediate shadow = %v, want mid", v)
 	}
 }
@@ -318,22 +328,22 @@ func TestSetICTransitionAndAccessorInvalidation(t *testing.T) {
 	const site = 17
 	proto := in.NewPlainObject()
 	write := func(o *Object, v Value) {
-		if err := in.setMemberSite(o, "y", v, site); err != nil {
+		if err := in.setMemberSite(ObjectValue(o), "y", v, site); err != nil {
 			t.Fatal(err)
 		}
 	}
 	a := NewObject(proto)
-	write(a, 1.0) // fills the transition entry
+	write(a, num(1)) // fills the transition entry
 	b := NewObject(proto)
-	write(b, 2.0) // transition hit
+	write(b, num(2)) // transition hit
 	if a.shape != b.shape {
 		t.Fatal("transition writes should land both objects on the same shape")
 	}
-	if b.Own("y").Value != 2.0 {
+	if !isNum(b.Own("y").Value, 2) {
 		t.Fatal("transition hit wrote the wrong slot")
 	}
-	write(b, 3.0) // own-hit path now
-	if b.Own("y").Value != 3.0 {
+	write(b, num(3)) // own-hit path now
+	if !isNum(b.Own("y").Value, 3) {
 		t.Fatal("own-hit write failed")
 	}
 	// Installing a setter on the prototype must invalidate the cached
@@ -342,12 +352,12 @@ func TestSetICTransitionAndAccessorInvalidation(t *testing.T) {
 	var got Value
 	setter := in.NewNative("s", func(in *Interp, this Value, args []Value) (Value, error) {
 		got = args[0]
-		return Undefined{}, nil
+		return Undefined, nil
 	})
 	proto.SetAccessor("y", nil, setter, true)
 	fresh := NewObject(proto)
-	write(fresh, 9.0)
-	if got != 9.0 {
+	write(fresh, num(9))
+	if !isNum(got, 9) {
 		t.Fatalf("setter did not run after accessor install on proto; got %v", got)
 	}
 	if fresh.Own("y") != nil {
@@ -357,10 +367,10 @@ func TestSetICTransitionAndAccessorInvalidation(t *testing.T) {
 
 func TestGlobalCellCaching(t *testing.T) {
 	in := newTestInterp()
-	in.DefineGlobal("g", 1.0)
+	in.DefineGlobal("g", num(1))
 	id := &ast.Ident{Name: "g", Ref: ast.RefGlobal, Site: 3}
 	v, err := in.loadIdent(id, in.Global)
-	if err != nil || v != 1.0 {
+	if err != nil || !isNum(v, 1) {
 		t.Fatalf("global read = %v, %v", v, err)
 	}
 	if in.icCellAt(3) == nil {
@@ -368,13 +378,13 @@ func TestGlobalCellCaching(t *testing.T) {
 	}
 	// Redefinition must write through the same cell so the cache stays
 	// coherent.
-	in.DefineGlobal("g", 2.0)
+	in.DefineGlobal("g", num(2))
 	v, _ = in.loadIdent(id, in.Global)
-	if v != 2.0 {
+	if !isNum(v, 2) {
 		t.Fatalf("cached global read = %v, want 2", v)
 	}
-	in.storeIdent(id, 3.0, in.Global)
-	if got, _ := in.Global.Lookup("g"); got != 3.0 {
+	in.storeIdent(id, num(3), in.Global)
+	if got, _ := in.Global.Lookup("g"); !isNum(got, 3) {
 		t.Fatalf("store through cached cell = %v, want 3", got)
 	}
 }
@@ -407,18 +417,18 @@ func TestSetICTransitionBumpsEpochForProtoReceiver(t *testing.T) {
 	const getSite, setSite = 19, 23
 	// foo lives on a grandparent; P sits between it and the reader C.
 	top := in.NewPlainObject()
-	top.SetOwn("foo", 1.0)
+	top.SetOwn("foo", num(1))
 	p := NewObject(top)
 	c := NewObject(p)
 
 	read := func() Value {
-		v, err := in.getMemberSite(c, "foo", getSite)
+		v, err := in.getMemberSite(ObjectValue(c), "foo", getSite)
 		if err != nil {
 			t.Fatal(err)
 		}
 		return v
 	}
-	if v := read(); v != 1.0 {
+	if v := read(); !isNum(v, 1) {
 		t.Fatalf("chain read = %v", v)
 	}
 	read() // cache hit; P is marked usedAsProto
@@ -426,15 +436,15 @@ func TestSetICTransitionBumpsEpochForProtoReceiver(t *testing.T) {
 	// D shares P's (empty) shape; writing through the site fills the
 	// transition entry for that shape.
 	d := NewObject(top)
-	if err := in.setMemberSite(d, "foo", 5.0, setSite); err != nil {
+	if err := in.setMemberSite(ObjectValue(d), "foo", num(5), setSite); err != nil {
 		t.Fatal(err)
 	}
 	// The same site now writes to P via the cached transition fast path;
 	// the epoch bump there must invalidate C's chain entry.
-	if err := in.setMemberSite(p, "foo", 2.0, setSite); err != nil {
+	if err := in.setMemberSite(ObjectValue(p), "foo", num(2), setSite); err != nil {
 		t.Fatal(err)
 	}
-	if v := read(); v != 2.0 {
+	if v := read(); !isNum(v, 2) {
 		t.Fatalf("read after transition-IC write to prototype = %v, want 2 (shadowing P.foo)", v)
 	}
 }

@@ -14,70 +14,262 @@ package interp
 
 import (
 	"fmt"
-	"math"
 	"strconv"
+	"unsafe"
 
 	"repro/internal/ast"
+	"repro/internal/printer"
 )
 
-// Value is any JavaScript value. The concrete types are:
-//
-//	Undefined, Null, bool, float64, string, *Object
-type Value = interface{}
+// Tag discriminates the payload of a Value.
+type Tag uint8
 
-// Undefined is the JavaScript undefined value.
-type Undefined struct{}
-
-// Null is the JavaScript null value.
-type Null struct{}
-
-// Interned singletons. Undefined and Null are zero-size, so boxing them
-// into an interface never allocates, but the named values keep hot paths
-// uniform and intention-revealing.
-var (
-	undefinedValue Value = Undefined{}
-	nullValue      Value = Null{}
-)
-
-// smallNumbers interns the Values of small integers — loop counters,
-// indexes, lengths, deltas — because boxing a float64 into an interface
-// heap-allocates for every bit pattern Go's runtime does not intern.
-// Negatives get a smaller table: they appear as step values and sentinel
-// results (-1), not as index ranges.
+// Value tags. TagUndefined is deliberately the zero tag so that the zero
+// Value is JavaScript's undefined — never-written environment slots, cleared
+// arena entries, and freshly grown operand stacks all read back correctly
+// without an explicit fill.
 const (
-	smallNumberLimit   = 4096
-	smallNegativeLimit = 512
+	TagUndefined Tag = iota
+	TagNull
+	TagBool
+	TagNumber
+	TagString
+	TagObject
+
+	// tagIter and tagCtor are engine-internal: a reified for-in iterator
+	// living on the bytecode operand stack, and the sentinel `this` that
+	// marks a native constructor call. Neither ever escapes to user code,
+	// so the public predicates and conversions treat them as undefined.
+	tagIter
+	tagCtor
 )
 
-var smallNumbers = func() []Value {
-	t := make([]Value, smallNumberLimit)
-	for i := range t {
-		t[i] = float64(i)
-	}
-	return t
-}()
+// Value is a JavaScript value in a struct-tagged, unboxed representation.
+// Numbers, booleans, undefined, and null are carried entirely inline;
+// strings are carried as a (data pointer, length) pair into the original Go
+// string's bytes; objects are a single pointer. Nothing in this struct ever
+// forces a heap allocation: passing a float64 or a string through a Value is
+// free, which is what the interface{} representation it replaces could not
+// provide (every non-interned float64 or string conversion heap-allocated a
+// box).
+//
+// Layout (24 bytes): num carries the float64 payload for TagNumber and the
+// 0/1 payload for TagBool; ptr carries the *Object for TagObject and the
+// string data pointer for TagString; slen carries the string byte length.
+// The GC scans ptr as an ordinary pointer, so the string backing array or
+// object stays live for exactly as long as the Value does.
+//
+// Values must be compared with StrictEquals / SameValue, never with ==: a Go
+// == on the struct would compare string payloads by pointer identity and
+// NaNs bitwise, neither of which is a JavaScript equality.
+type Value struct {
+	num  float64
+	ptr  unsafe.Pointer
+	slen int32
+	tag  Tag
+}
 
-var smallNegatives = func() []Value {
-	t := make([]Value, smallNegativeLimit)
-	for i := range t {
-		t[i] = float64(-i)
-	}
-	return t
-}()
+// Interned singleton Values. These are package variables rather than
+// constructor calls at use sites purely for readability; constructing the
+// equivalent Value inline costs the same (nothing).
+var (
+	Undefined = Value{}
+	Null      = Value{tag: TagNull}
+	True      = Value{tag: TagBool, num: 1}
+	False     = Value{tag: TagBool}
+)
 
-// boxNumber converts a float64 to a Value without allocating for small
-// integers. Negative zero is excluded so the interned +0 cannot leak into
-// sign-observable arithmetic (1/-0 === -Infinity).
-func boxNumber(f float64) Value {
-	if i := int(f); float64(i) == f {
-		if i >= 0 && i < smallNumberLimit && (i != 0 || !math.Signbit(f)) {
-			return smallNumbers[i]
-		}
-		if i < 0 && i > -smallNegativeLimit {
-			return smallNegatives[-i]
-		}
+// NumberValue carries a float64 unboxed. The sign of -0 and the single
+// canonical NaN are preserved exactly as Go represents them; no interning
+// table is consulted — the representation itself is the fast path.
+func NumberValue(f float64) Value {
+	return Value{tag: TagNumber, num: f}
+}
+
+// MaxStringLen is the engine's maximum string length in bytes (1 GiB, in
+// line with production engines' caps). Growth paths (concatenation,
+// repeat) throw a RangeError beyond it; the limit also keeps every legal
+// string length inside Value's 32-bit length field.
+const MaxStringLen = 1 << 30
+
+// StringValue carries a Go string unboxed: the Value aliases the string's
+// bytes (data pointer + length), so no copy and no allocation happen here
+// or on the way back out through Str. Strings beyond MaxStringLen cannot
+// be represented; the growth paths enforce the cap with a JS RangeError
+// before ever constructing one, so the panic here is a tripwire for
+// engine bugs, not a reachable guest-code outcome.
+func StringValue(s string) Value {
+	if len(s) > MaxStringLen {
+		panic("interp: string exceeds MaxStringLen (missing RangeError guard on a growth path)")
 	}
-	return f
+	return Value{tag: TagString, ptr: unsafe.Pointer(unsafe.StringData(s)), slen: int32(len(s))}
+}
+
+// BoolValue returns True or False.
+func BoolValue(b bool) Value {
+	if b {
+		return True
+	}
+	return False
+}
+
+// ObjectValue wraps an object pointer. A nil *Object becomes undefined so
+// lookup helpers can return their zero result directly.
+func ObjectValue(o *Object) Value {
+	if o == nil {
+		return Undefined
+	}
+	return Value{tag: TagObject, ptr: unsafe.Pointer(o)}
+}
+
+// Tag returns the value's tag.
+func (v Value) Tag() Tag { return v.tag }
+
+// IsUndefined reports whether v is undefined.
+func (v Value) IsUndefined() bool { return v.tag == TagUndefined }
+
+// IsNull reports whether v is null.
+func (v Value) IsNull() bool { return v.tag == TagNull }
+
+// IsNullish reports whether v is undefined or null.
+func (v Value) IsNullish() bool { return v.tag == TagUndefined || v.tag == TagNull }
+
+// IsNumber reports whether v is a number.
+func (v Value) IsNumber() bool { return v.tag == TagNumber }
+
+// IsString reports whether v is a string.
+func (v Value) IsString() bool { return v.tag == TagString }
+
+// IsBool reports whether v is a boolean.
+func (v Value) IsBool() bool { return v.tag == TagBool }
+
+// IsObject reports whether v is an object.
+func (v Value) IsObject() bool { return v.tag == TagObject }
+
+// Num returns the float64 payload. Only meaningful for TagNumber (callers
+// check the tag first; the engine never calls it blind).
+func (v Value) Num() float64 { return v.num }
+
+// Bool returns the boolean payload.
+func (v Value) Bool() bool { return v.num != 0 }
+
+// Str reconstructs the Go string a TagString value carries. The returned
+// string shares the original backing bytes; no copy is made.
+func (v Value) Str() string {
+	if v.slen == 0 {
+		return ""
+	}
+	return unsafe.String((*byte)(v.ptr), int(v.slen))
+}
+
+// Obj returns the object payload, or nil when v is not an object — so
+// `if o := v.Obj(); o != nil` is the tagged replacement for the old
+// two-value type assertion.
+func (v Value) Obj() *Object {
+	if v.tag != TagObject {
+		return nil
+	}
+	return (*Object)(v.ptr)
+}
+
+// sameString reports payload equality of two TagString values, using
+// pointer+length identity as the fast path before comparing bytes.
+func sameString(a, b Value) bool {
+	if a.slen != b.slen {
+		return false
+	}
+	if a.ptr == b.ptr {
+		return true
+	}
+	return a.Str() == b.Str()
+}
+
+// ctorSentinel marks native calls that originate from `new` (Construct
+// passes it as `this`). It never escapes: every native either checks it or
+// ignores its receiver.
+var ctorSentinel = Value{tag: tagCtor}
+
+func isCtorSentinel(v Value) bool { return v.tag == tagCtor }
+
+// ---------------------------------------------------------------------------
+// Embedding-API conversion boundary
+// ---------------------------------------------------------------------------
+
+// FromGo converts a Go value into a Value at the embedding boundary. It
+// accepts the Go types that hosts naturally produce; anything else becomes
+// undefined. Hot engine paths never call it — they construct tagged Values
+// directly.
+func FromGo(x interface{}) Value {
+	switch t := x.(type) {
+	case nil:
+		return Null
+	case Value:
+		return t
+	case bool:
+		return BoolValue(t)
+	case float64:
+		return NumberValue(t)
+	case float32:
+		return NumberValue(float64(t))
+	case int:
+		return NumberValue(float64(t))
+	case int32:
+		return NumberValue(float64(t))
+	case int64:
+		return NumberValue(float64(t))
+	case uint:
+		return NumberValue(float64(t))
+	case uint32:
+		return NumberValue(float64(t))
+	case uint64:
+		return NumberValue(float64(t))
+	case string:
+		return StringValue(t)
+	case *Object:
+		return ObjectValue(t)
+	}
+	return Undefined
+}
+
+// ToGo converts a Value back to a plain Go value at the embedding boundary:
+// undefined and null map to nil (distinguish them with Tag before
+// converting, if it matters), numbers to float64, strings to string,
+// booleans to bool, and objects to *Object.
+func (v Value) ToGo() interface{} {
+	switch v.tag {
+	case TagBool:
+		return v.Bool()
+	case TagNumber:
+		return v.num
+	case TagString:
+		return v.Str()
+	case TagObject:
+		return (*Object)(v.ptr)
+	}
+	return nil
+}
+
+// String renders the value for debugging (fmt verbs). It never invokes user
+// code; console.log output goes through Display instead.
+func (v Value) String() string {
+	switch v.tag {
+	case TagUndefined:
+		return "undefined"
+	case TagNull:
+		return "null"
+	case TagBool:
+		if v.Bool() {
+			return "true"
+		}
+		return "false"
+	case TagNumber:
+		return printer.FormatNumber(v.num)
+	case TagString:
+		return strconv.Quote(v.Str())
+	case TagObject:
+		return "[object " + (*Object)(v.ptr).Class + "]"
+	}
+	return "<internal>"
 }
 
 // NativeFunc is a function implemented in Go. Natives back the standard
@@ -264,7 +456,7 @@ func (o *Object) ownOrLazySlot(key string) int {
 		return i
 	}
 	if key == "length" && o.Fn != nil {
-		o.SetHidden("length", float64(len(o.Fn.Params())))
+		o.SetHidden("length", NumberValue(float64(len(o.Fn.Params()))))
 		return o.shape.slotOf(key)
 	}
 	return -1
@@ -337,21 +529,24 @@ type Thrown struct {
 
 // Error implements error with a short description of the thrown value.
 func (t *Thrown) Error() string {
-	switch v := t.Value.(type) {
-	case string:
-		return "Thrown: " + v
-	case *Object:
+	switch t.Value.tag {
+	case TagString:
+		return "Thrown: " + t.Value.Str()
+	case TagObject:
+		v := t.Value.Obj()
 		if v.Class == "Error" {
-			name, _ := v.Own("name").Value.(string)
-			var msg string
-			if m := v.Own("message"); m != nil {
-				msg, _ = m.Value.(string)
+			var name, msg string
+			if s := v.Own("name"); s != nil && s.Value.IsString() {
+				name = s.Value.Str()
+			}
+			if m := v.Own("message"); m != nil && m.Value.IsString() {
+				msg = m.Value.Str()
 			}
 			return fmt.Sprintf("%s: %s", name, msg)
 		}
 		return "Thrown: [object " + v.Class + "]"
 	default:
-		return fmt.Sprintf("Thrown: %v", v)
+		return fmt.Sprintf("Thrown: %v", t.Value)
 	}
 }
 

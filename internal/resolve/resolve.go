@@ -258,13 +258,10 @@ func resolveExpr(e ast.Expr, sc *scope) {
 		if n.Ref.Global() && n.Site == 0 {
 			n.Site = globalSites.Add(1)
 		}
-	case *ast.Number:
-		// Pre-box literals once so evaluation never re-allocates the
-		// interface box. Safe to fill here: resolution runs before
-		// execution and the annotation is read-only afterward.
-		n.Boxed = n.Value
-	case *ast.Str:
-		n.Boxed = n.Value
+	case *ast.Number, *ast.Str:
+		// Literals carry no resolution state: the interpreter's tagged
+		// Value representation evaluates them without allocating, so the
+		// historical pre-boxing annotation is gone.
 	case *ast.This:
 		n.Ref = lookup(sc, "this")
 	case *ast.NewTarget:

@@ -9,40 +9,44 @@ import (
 func (r *R) installNatives() {
 	in := r.In
 
+	defineNative := func(name string, fn interp.NativeFunc) {
+		in.DefineGlobal(name, interp.ObjectValue(in.NewNative(name, fn)))
+	}
+
 	// $C — Sitaram & Felleisen's unary control operator (§3): reify the
 	// continuation, pass it to the argument, run the body in an empty
 	// continuation.
-	in.DefineGlobal(instrument.CFn, in.NewNative(instrument.CFn, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+	defineNative(instrument.CFn, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
 		if len(args) == 0 {
-			return nil, in.Throw("TypeError", "$C requires a function")
+			return interp.Undefined, in.Throw("TypeError", "$C requires a function")
 		}
 		if in.InAtomic() {
-			return nil, in.Throw("Error", "cannot capture a continuation inside a native callback")
+			return interp.Undefined, in.Throw("Error", "cannot capture a continuation inside a native callback")
 		}
 		f := args[0]
 		r.beginCapture(func(frames Frames) {
 			k := r.makeContinuation(frames)
 			r.runStep(func() (interp.Value, error) {
-				return in.Call(f, interp.Undefined{}, []interp.Value{k}, interp.Undefined{})
+				return in.Call(f, interp.Undefined, []interp.Value{interp.ObjectValue(k)}, interp.Undefined)
 			})
 		})
 		return r.captureReturn()
-	}))
+	})
 
 	// $suspend — the maySuspend of Figure 6: estimate elapsed time and
 	// yield to the event loop when δ has passed, a pause is requested, or
 	// the deep-stack limit is hit.
-	in.DefineGlobal(instrument.SuspendFn, in.NewNative(instrument.SuspendFn, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+	defineNative(instrument.SuspendFn, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
 		deepPressure := r.opts.DeepStacks && in.Depth() > r.opts.DeepLimit
 		timeDue := r.est != nil && r.est.due()
 		if !deepPressure && !timeDue && !r.mustPause.Load() {
-			return interp.Undefined{}, nil
+			return interp.Undefined, nil
 		}
 		if in.InAtomic() {
 			// Inside a native callback (sort comparator, valueOf from a raw
 			// conversion): a continuation cannot unwind through the native
 			// frame, so defer the yield to the next suspend point.
-			return interp.Undefined{}, nil
+			return interp.Undefined, nil
 		}
 		if r.est != nil {
 			r.est.reset()
@@ -59,28 +63,26 @@ func (r *R) installNatives() {
 					}
 					return
 				}
-				r.startRestore(frames, interp.Undefined{}, nil)
+				r.startRestore(frames, interp.Undefined, nil)
 			}, 0)
 		})
 		return r.captureReturn()
-	}))
+	})
 
 	// $bp — breakpoints and single-stepping (§5.2): called before every
 	// statement when debugging is enabled, with the original source line.
-	in.DefineGlobal(instrument.BpFn, in.NewNative(instrument.BpFn, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
-		if len(args) > 0 {
-			if line, ok := args[0].(float64); ok {
-				r.currentLine = int(line)
-			}
+	defineNative(instrument.BpFn, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		if len(args) > 0 && args[0].IsNumber() {
+			r.currentLine = int(args[0].Num())
 		}
 		if !r.opts.Debug {
-			return interp.Undefined{}, nil
+			return interp.Undefined, nil
 		}
 		if !r.stepping && !r.breakpoints[r.currentLine] {
-			return interp.Undefined{}, nil
+			return interp.Undefined, nil
 		}
 		if in.InAtomic() {
-			return interp.Undefined{}, nil
+			return interp.Undefined, nil
 		}
 		line := r.currentLine
 		r.beginCapture(func(frames Frames) {
@@ -93,57 +95,57 @@ func (r *R) installNatives() {
 			}, 0)
 		})
 		return r.captureReturn()
-	}))
+	})
 
 	// Signal predicates used by instrumented catch clauses and exceptional
 	// call-site handlers.
-	in.DefineGlobal(instrument.IsSigFn, in.NewNative(instrument.IsSigFn, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+	defineNative(instrument.IsSigFn, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
 		if len(args) == 0 {
-			return false, nil
+			return interp.False, nil
 		}
 		_, ok := isSignal(args[0])
-		return ok, nil
-	}))
-	in.DefineGlobal(instrument.IsCapFn, in.NewNative(instrument.IsCapFn, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		return interp.BoolValue(ok), nil
+	})
+	defineNative(instrument.IsCapFn, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
 		if len(args) == 0 {
-			return false, nil
+			return interp.False, nil
 		}
-		o, ok := args[0].(*interp.Object)
-		return ok && o.Class == classCapture, nil
-	}))
+		o := args[0].Obj()
+		return interp.BoolValue(o != nil && o.Class == classCapture), nil
+	})
 
 	// Getter-sub-language support (§4.3): raw, accessor-free property
 	// access plus accessor lookup, so the $get/$set prelude can invoke user
 	// getters as ordinary instrumented calls.
-	in.DefineGlobal("$lookupGetter", in.NewNative("$lookupGetter", func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+	defineNative("$lookupGetter", func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
 		return lookupAccessor(in, args, false)
-	}))
-	in.DefineGlobal("$lookupSetter", in.NewNative("$lookupSetter", func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+	})
+	defineNative("$lookupSetter", func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
 		return lookupAccessor(in, args, true)
-	}))
-	in.DefineGlobal("$rawGet", in.NewNative("$rawGet", func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+	})
+	defineNative("$rawGet", func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
 		if len(args) < 2 {
-			return interp.Undefined{}, nil
+			return interp.Undefined, nil
 		}
 		key, err := in.ToStringValue(args[1])
 		if err != nil {
-			return nil, err
+			return interp.Undefined, err
 		}
 		return in.RawGet(args[0], key)
-	}))
-	in.DefineGlobal("$rawSet", in.NewNative("$rawSet", func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+	})
+	defineNative("$rawSet", func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
 		if len(args) < 3 {
-			return interp.Undefined{}, nil
+			return interp.Undefined, nil
 		}
 		key, err := in.ToStringValue(args[1])
 		if err != nil {
-			return nil, err
+			return interp.Undefined, err
 		}
 		if err := in.SetMember(args[0], key, args[2]); err != nil {
-			return nil, err
+			return interp.Undefined, err
 		}
 		return args[2], nil
-	}))
+	})
 }
 
 // lookupAccessor finds a getter or setter on the prototype chain without
@@ -152,11 +154,10 @@ func (r *R) installNatives() {
 // concern of the interpreter now that objects are shape-and-slots backed.
 func lookupAccessor(in *interp.Interp, args []interp.Value, setter bool) (interp.Value, error) {
 	if len(args) < 2 {
-		return interp.Undefined{}, nil
+		return interp.Undefined, nil
 	}
-	key, ok := args[1].(string)
-	if !ok {
-		return interp.Undefined{}, nil
+	if !args[1].IsString() {
+		return interp.Undefined, nil
 	}
-	return in.LookupAccessor(args[0], key, setter), nil
+	return in.LookupAccessor(args[0], args[1].Str(), setter), nil
 }

@@ -114,9 +114,9 @@ func New(in *interp.Interp, loop *eventloop.Loop, opts Options) *R {
 	r.stackObj = in.NewArray(nil)
 	r.rstackObj = in.NewArray(nil)
 	r.shadowObj = in.NewArray(nil)
-	in.DefineGlobal(instrument.StackVar, r.stackObj)
-	in.DefineGlobal(instrument.RStackVar, r.rstackObj)
-	in.DefineGlobal(instrument.ShadowVar, r.shadowObj)
+	in.DefineGlobal(instrument.StackVar, interp.ObjectValue(r.stackObj))
+	in.DefineGlobal(instrument.RStackVar, interp.ObjectValue(r.rstackObj))
+	in.DefineGlobal(instrument.ShadowVar, interp.ObjectValue(r.shadowObj))
 	r.setMode(instrument.ModeNormal)
 
 	if opts.YieldIntervalMs > 0 {
@@ -136,7 +136,7 @@ func New(in *interp.Interp, loop *eventloop.Loop, opts Options) *R {
 
 func (r *R) setMode(m string) {
 	r.mode = m
-	r.In.DefineGlobal(instrument.ModeVar, m)
+	r.In.DefineGlobal(instrument.ModeVar, interp.StringValue(m))
 }
 
 // Mode reports the current execution mode (for tests).
@@ -174,8 +174,8 @@ func (r *R) restoreSentinel(frames Frames, v interp.Value) *interp.Object {
 }
 
 func isSignal(v interp.Value) (*interp.Object, bool) {
-	o, ok := v.(*interp.Object)
-	if !ok {
+	o := v.Obj()
+	if o == nil {
 		return nil, false
 	}
 	if o.Class == classCapture || o.Class == classRestore {
@@ -189,11 +189,11 @@ func isSignal(v interp.Value) (*interp.Object, bool) {
 // catches) and reinstates the saved one (§3).
 func (r *R) makeContinuation(frames Frames) *interp.Object {
 	k := r.In.NewNative("continuation", func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
-		var v interp.Value = interp.Undefined{}
+		v := interp.Undefined
 		if len(args) > 0 {
 			v = args[0]
 		}
-		return nil, &interp.Thrown{Value: r.restoreSentinel(frames, v)}
+		return interp.Undefined, &interp.Thrown{Value: interp.ObjectValue(r.restoreSentinel(frames, v))}
 	})
 	k.Extra = frames
 	return k
@@ -211,8 +211,8 @@ func ContinuationFrames(k *interp.Object) (Frames, bool) {
 // re-raises a pending exception when a segment is resumed in throw mode).
 func (r *R) bottomFrame() *interp.Object {
 	frame := r.In.NewPlainObject()
-	frame.SetOwn("label", 0.0)
-	frame.SetOwn("reenter", r.In.NewNative("$bottom", func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+	frame.SetOwn("label", interp.NumberValue(0))
+	frame.SetOwn("reenter", interp.ObjectValue(r.In.NewNative("$bottom", func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
 		if n := len(r.rstackObj.Elems); n > 0 {
 			r.rstackObj.Elems = r.rstackObj.Elems[:n-1]
 		}
@@ -220,10 +220,10 @@ func (r *R) bottomFrame() *interp.Object {
 		if r.restoreThrow != nil {
 			t := r.restoreThrow
 			r.restoreThrow = nil
-			return nil, t
+			return interp.Undefined, t
 		}
 		return r.restoreValue, nil
-	}))
+	})))
 	return frame
 }
 
@@ -242,7 +242,7 @@ func (r *R) beginCapture(onCapture func(Frames)) {
 	case instrument.Eager:
 		// The shadow stack is already materialized: canonicalize now.
 		frames := make(Frames, 0, len(r.shadowObj.Elems)+1)
-		frames = append(frames, r.bottomFrame())
+		frames = append(frames, interp.ObjectValue(r.bottomFrame()))
 		for i := len(r.shadowObj.Elems) - 1; i >= 0; i-- {
 			frames = append(frames, r.shadowObj.Elems[i])
 		}
@@ -250,7 +250,7 @@ func (r *R) beginCapture(onCapture func(Frames)) {
 		r.setMode(instrument.ModeCapture)
 	default:
 		// Unwinding code pushes frames innermost-first after the bottom.
-		r.stackObj.Elems = append(r.stackObj.Elems[:0], r.bottomFrame())
+		r.stackObj.Elems = append(r.stackObj.Elems[:0], interp.ObjectValue(r.bottomFrame()))
 		r.setMode(instrument.ModeCapture)
 	}
 }
@@ -259,9 +259,9 @@ func (r *R) beginCapture(onCapture func(Frames)) {
 // unwind proceeds per strategy.
 func (r *R) captureReturn() (interp.Value, error) {
 	if r.opts.Strategy == instrument.Checked {
-		return interp.Undefined{}, nil
+		return interp.Undefined, nil
 	}
-	return nil, &interp.Thrown{Value: r.captureSentinel()}
+	return interp.Undefined, &interp.Thrown{Value: interp.ObjectValue(r.captureSentinel())}
 }
 
 // finishCapture runs once the stack has fully unwound to the driver: it
@@ -310,25 +310,25 @@ func (r *R) startRestore(frames Frames, v interp.Value, throwErr error) {
 	r.rstackObj.Elems = append(r.rstackObj.Elems[:0], seg...)
 	r.setMode(instrument.ModeRestore)
 
-	top, ok := seg[len(seg)-1].(*interp.Object)
-	if !ok {
-		r.finish(nil, r.In.Throw("Error", "corrupt continuation frame"))
+	top := seg[len(seg)-1]
+	if !top.IsObject() {
+		r.finish(interp.Undefined, r.In.Throw("Error", "corrupt continuation frame"))
 		return
 	}
 	reenter, err := r.In.GetMember(top, "reenter")
 	if err != nil {
-		r.finish(nil, err)
+		r.finish(interp.Undefined, err)
 		return
 	}
 	r.runStep(func() (interp.Value, error) {
-		return r.In.Call(reenter, interp.Undefined{}, nil, interp.Undefined{})
+		return r.In.Call(reenter, interp.Undefined, nil, interp.Undefined)
 	})
 }
 
 // continueSegments resumes the next pending outer segment with the inner
 // segment's completion (a value or an exception).
 func (r *R) continueSegments(v interp.Value, throwErr error) {
-	frames := append(Frames{r.bottomFrame()}, r.pendingOuter...)
+	frames := append(Frames{interp.ObjectValue(r.bottomFrame())}, r.pendingOuter...)
 	r.pendingOuter = nil
 	r.startRestore(frames, v, throwErr)
 }
@@ -344,7 +344,7 @@ func (r *R) Run(fn interp.Value, onDone func(interp.Value, error)) {
 	r.done = false
 	r.Loop.Post(func() {
 		r.runStep(func() (interp.Value, error) {
-			return r.In.Call(fn, interp.Undefined{}, nil, interp.Undefined{})
+			return r.In.Call(fn, interp.Undefined, nil, interp.Undefined)
 		})
 	}, 0)
 }
@@ -374,11 +374,11 @@ func (r *R) afterStep(v interp.Value, err error) {
 			// An ordinary exception escaping this segment propagates into
 			// the pending outer frames, or terminates the program.
 			if len(r.pendingOuter) > 0 {
-				r.continueSegments(nil, t)
+				r.continueSegments(interp.Undefined, t)
 				return
 			}
 		}
-		r.finish(nil, err)
+		r.finish(interp.Undefined, err)
 		return
 	}
 	if r.mode == instrument.ModeCapture {
@@ -419,7 +419,7 @@ func (r *R) Resume() {
 	r.paused = false
 	frames := r.savedK
 	r.savedK = nil
-	r.Loop.Post(func() { r.startRestore(frames, interp.Undefined{}, nil) }, 0)
+	r.Loop.Post(func() { r.startRestore(frames, interp.Undefined, nil) }, 0)
 }
 
 // SetBreakpoint arms a breakpoint on an original source line.
@@ -449,7 +449,7 @@ func (r *R) ResumeFromBreak() {
 // the arguments and a resume callback, and continues with the value passed
 // to resume — which may happen after timers or external events.
 func (r *R) Blocking(name string, start func(args []interp.Value, resume func(interp.Value))) {
-	r.In.DefineGlobal(name, r.In.NewNative(name, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+	r.In.DefineGlobal(name, interp.ObjectValue(r.In.NewNative(name, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
 		saved := append([]interp.Value(nil), args...)
 		r.beginCapture(func(frames Frames) {
 			start(saved, func(result interp.Value) {
@@ -457,5 +457,5 @@ func (r *R) Blocking(name string, start func(args []interp.Value, resume func(in
 			})
 		})
 		return r.captureReturn()
-	}))
+	})))
 }
