@@ -8,6 +8,8 @@
 //	stopibench -backend bytecode      # force an execution engine for the figures
 //	stopibench -interp-bench F.json   # capture the interpreter perf baseline (both engines)
 //	stopibench -interp-check F.json   # re-measure and fail on >25% regression
+//	stopibench -supervisor            # multi-tenant throughput target (1k guests, 4 workers)
+//	stopibench -supervisor -supervisor-bench BENCH_supervisor.json
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/supervisor"
 )
 
 func main() {
@@ -31,6 +34,12 @@ func main() {
 		backend     = flag.String("backend", "", "execution engine for the figures: tree or bytecode (default: $STOPIFY_BACKEND, else tree)")
 		interpBench = flag.String("interp-bench", "", "write ns/op and allocs/op for the interpreter-bound figure benchmarks, under both engines, to this JSON file and exit")
 		interpCheck = flag.String("interp-check", "", "re-measure the interpreter benchmarks and fail if any is >25% slower than this snapshot")
+
+		supFlag    = flag.Bool("supervisor", false, "run the multi-tenant supervisor throughput target and exit")
+		supGuests  = flag.Int("supervisor-guests", 1000, "guest count for -supervisor")
+		supWorkers = flag.Int("supervisor-workers", 4, "worker pool size for -supervisor")
+		supQuantum = flag.Uint64("supervisor-quantum", 2000, "scheduling quantum in statements for -supervisor")
+		supBench   = flag.String("supervisor-bench", "", "also write the -supervisor result to this JSON file (the BENCH_supervisor.json trajectory record)")
 	)
 	flag.Parse()
 
@@ -47,6 +56,14 @@ func main() {
 	}
 	if *repeats > 0 {
 		cfg.Repeats = *repeats
+	}
+
+	if *supFlag {
+		if err := runSupervisorBench(*supGuests, *supWorkers, *supQuantum, *supBench); err != nil {
+			fmt.Fprintln(os.Stderr, "stopibench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *interpBench != "" {
@@ -86,6 +103,49 @@ func main() {
 		fmt.Fprintln(os.Stderr, "stopibench:", err)
 		os.Exit(1)
 	}
+}
+
+// supervisorBenchFile is the schema of BENCH_supervisor.json: a dated
+// snapshot of the multi-tenant throughput target, the serving-scenario
+// counterpart of BENCH_interp.json.
+type supervisorBenchFile struct {
+	CapturedAt string                  `json:"captured_at"`
+	GoVersion  string                  `json:"go_version"`
+	Result     *supervisor.BenchResult `json:"result"`
+}
+
+// runSupervisorBench executes the throughput target: M guests (with a 1%
+// hostile infinite-loop injection and an interactive lane share) through an
+// N-worker pool, printing guests/sec and the P50/P99 scheduling latency,
+// and optionally recording the snapshot.
+func runSupervisorBench(guests, workers int, quantum uint64, benchPath string) error {
+	cfg := supervisor.BenchConfig{
+		Guests:           guests,
+		Workers:          workers,
+		QuantumSteps:     quantum,
+		HostileEvery:     100,
+		InteractiveEvery: 4,
+		Backend:          os.Getenv("STOPIFY_BACKEND"),
+	}
+	fmt.Printf("execution engine: %s\n", activeBackend())
+	res, err := supervisor.RunBench(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	if benchPath == "" {
+		return nil
+	}
+	out := supervisorBenchFile{
+		CapturedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		Result:     res,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(benchPath, append(data, '\n'), 0o644)
 }
 
 // activeBackend names the engine the next run would use — the "which

@@ -1,0 +1,316 @@
+// Command stopifyd is the serving façade over the execution supervisor:
+// an HTTP daemon that accepts untrusted JavaScript, schedules it among
+// thousands of concurrent tenants on a bounded worker pool, and exposes
+// the paper's execution-control operations — pause, resume, inspect,
+// graceful kill — per run, over the wire.
+//
+//	stopifyd -addr :8034 -workers 4
+//
+//	POST /run     {"source": "...", "lane": "interactive", "deadline_ms": 5000}
+//	              → {"id": 7}
+//	GET  /status?id=7      → scheduling state, counters, output so far
+//	GET  /output?id=7      → raw console output
+//	POST /cancel?id=7      → graceful kill at the next yield point
+//	POST /pause?id=7       → take the run off the scheduler
+//	POST /resume?id=7      → put it back
+//	GET  /metrics          → fleet aggregates (queue depth, sched latency P99, ...)
+//
+// Every tenant gets the daemon's default policy unless its request narrows
+// it; a misbehaving guest (infinite loop, output bomb) dies by policy
+// without disturbing neighbors — the multi-tenant isolation argument of
+// the transaction-sandboxing literature, built from yield points.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/supervisor"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8034", "listen address")
+		workers    = flag.Int("workers", 4, "executor pool size")
+		maxPending = flag.Int("max-pending", 4096, "admission bound (backpressure beyond it)")
+		quantum    = flag.Uint64("quantum", 2000, "scheduling quantum in statements")
+		deadline   = flag.Duration("deadline", 30*time.Second, "default per-run wall deadline (0 = none)")
+		maxSteps   = flag.Uint64("max-steps", 50_000_000, "default per-run statement budget (0 = none)")
+		maxOutput  = flag.Int("max-output", 1<<20, "default per-run output cap in bytes")
+		backend    = flag.String("backend", "", "execution engine: tree or bytecode (default $STOPIFY_BACKEND)")
+		retain     = flag.Duration("retain", 10*time.Minute, "how long finished runs stay pollable before eviction")
+	)
+	flag.Parse()
+
+	sup := supervisor.New(supervisor.Options{
+		Workers:      *workers,
+		MaxPending:   *maxPending,
+		QuantumSteps: *quantum,
+		Backend:      *backend,
+		DefaultPolicy: supervisor.Policy{
+			WallDeadline:   *deadline,
+			MaxTotalSteps:  *maxSteps,
+			MaxOutputBytes: *maxOutput,
+		},
+	})
+
+	srv := &server{sup: sup, retain: *retain, doneAt: map[uint64]time.Time{}, defaults: supervisor.Policy{
+		WallDeadline:   *deadline,
+		MaxTotalSteps:  *maxSteps,
+		MaxOutputBytes: *maxOutput,
+	}}
+	go srv.janitor()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/run", srv.handleRun)
+	mux.HandleFunc("/status", srv.handleStatus)
+	mux.HandleFunc("/output", srv.handleOutput)
+	mux.HandleFunc("/cancel", srv.handleCancel)
+	mux.HandleFunc("/pause", srv.handlePause)
+	mux.HandleFunc("/resume", srv.handleResume)
+	mux.HandleFunc("/metrics", srv.handleMetrics)
+
+	hs := &http.Server{Addr: *addr, Handler: mux}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		log.Print("stopifyd: shutting down")
+		hs.Close()
+	}()
+	log.Printf("stopifyd: serving on %s (%d workers, quantum %d steps)", *addr, *workers, *quantum)
+	if err := hs.ListenAndServe(); err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	sup.Close()
+}
+
+type server struct {
+	sup      *supervisor.Supervisor
+	defaults supervisor.Policy
+	retain   time.Duration
+
+	// The supervisor keeps guests addressable until Remove, so a serving
+	// daemon must evict or leak one Result (output buffer included) per
+	// finished run. ids is every admitted run; doneAt records when the
+	// janitor first saw each finish.
+	mu     sync.Mutex
+	ids    []uint64
+	doneAt map[uint64]time.Time
+}
+
+// janitor evicts finished runs once they have been pollable for the
+// retention window.
+func (s *server) janitor() {
+	tick := s.retain / 10
+	if tick < time.Second {
+		tick = time.Second
+	}
+	for range time.Tick(tick) {
+		now := time.Now()
+		s.mu.Lock()
+		ids := append([]uint64(nil), s.ids...)
+		s.mu.Unlock()
+		// Decide evictions against the snapshot, then filter s.ids in
+		// place under the lock — handleRun may append new ids while the
+		// scan runs, and a stale-snapshot write-back would orphan them
+		// (leaking their Results forever, the very thing this janitor
+		// exists to prevent).
+		evict := make(map[uint64]bool)
+		for _, id := range ids {
+			g := s.sup.Guest(id)
+			if g == nil {
+				evict[id] = true // already removed
+				continue
+			}
+			if g.State() != supervisor.StateDone {
+				continue
+			}
+			s.mu.Lock()
+			first, seen := s.doneAt[id]
+			if !seen {
+				first = now
+				s.doneAt[id] = now
+			}
+			s.mu.Unlock()
+			if now.Sub(first) < s.retain {
+				continue
+			}
+			s.sup.Remove(id)
+			evict[id] = true
+		}
+		s.mu.Lock()
+		kept := s.ids[:0]
+		for _, id := range s.ids {
+			if !evict[id] {
+				kept = append(kept, id)
+			}
+		}
+		s.ids = kept
+		for id := range evict {
+			delete(s.doneAt, id)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// runRequest is POST /run's body.
+type runRequest struct {
+	Source string `json:"source"`
+	// Lane: "batch" (default) or "interactive".
+	Lane string `json:"lane,omitempty"`
+	// DeadlineMs overrides the daemon's default wall deadline (0 keeps it).
+	DeadlineMs float64 `json:"deadline_ms,omitempty"`
+	// MaxSteps overrides the default statement budget (0 keeps it).
+	MaxSteps uint64 `json:"max_steps,omitempty"`
+	// MaxOutputBytes overrides the default output cap (0 keeps it).
+	MaxOutputBytes int `json:"max_output_bytes,omitempty"`
+}
+
+// statusResponse is GET /status's body: the guest Info plus its output and
+// result when finished.
+type statusResponse struct {
+	supervisor.Info
+	Output   string `json:"output,omitempty"`
+	Finished bool   `json:"finished"`
+}
+
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req runRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	pol := s.defaults
+	switch req.Lane {
+	case "", "batch":
+	case "interactive":
+		pol.Lane = supervisor.LaneInteractive
+	default:
+		http.Error(w, "unknown lane "+strconv.Quote(req.Lane), http.StatusBadRequest)
+		return
+	}
+	if req.DeadlineMs > 0 {
+		pol.WallDeadline = time.Duration(req.DeadlineMs * float64(time.Millisecond))
+	}
+	if req.MaxSteps > 0 {
+		pol.MaxTotalSteps = req.MaxSteps
+	}
+	if req.MaxOutputBytes > 0 {
+		pol.MaxOutputBytes = req.MaxOutputBytes
+	}
+	g, err := s.sup.Submit(supervisor.SubmitOptions{Source: req.Source, Policy: &pol})
+	switch {
+	case err == supervisor.ErrQueueFull:
+		http.Error(w, err.Error(), http.StatusTooManyRequests) // backpressure
+		return
+	case err == supervisor.ErrClosed:
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		http.Error(w, "compile: "+err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	s.mu.Lock()
+	s.ids = append(s.ids, g.ID)
+	s.mu.Unlock()
+	writeJSON(w, map[string]uint64{"id": g.ID})
+}
+
+// guest resolves ?id=, writing the HTTP error itself when absent.
+func (s *server) guest(w http.ResponseWriter, r *http.Request) *supervisor.Guest {
+	id, err := strconv.ParseUint(r.URL.Query().Get("id"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad or missing id", http.StatusBadRequest)
+		return nil
+	}
+	g := s.sup.Guest(id)
+	if g == nil {
+		http.Error(w, "no such run", http.StatusNotFound)
+		return nil
+	}
+	return g
+}
+
+func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	g := s.guest(w, r)
+	if g == nil {
+		return
+	}
+	resp := statusResponse{Info: g.Inspect()}
+	if resp.State == "done" {
+		resp.Finished = true
+		resp.Output = g.Result().Output
+	}
+	writeJSON(w, resp)
+}
+
+func (s *server) handleOutput(w http.ResponseWriter, r *http.Request) {
+	g := s.guest(w, r)
+	if g == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, g.Output())
+}
+
+func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	g := s.guest(w, r)
+	if g == nil {
+		return
+	}
+	g.Kill(nil)
+	writeJSON(w, map[string]string{"status": "kill requested"})
+}
+
+func (s *server) handlePause(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	g := s.guest(w, r)
+	if g == nil {
+		return
+	}
+	g.Pause()
+	writeJSON(w, map[string]string{"status": "pause requested"})
+}
+
+func (s *server) handleResume(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	g := s.guest(w, r)
+	if g == nil {
+		return
+	}
+	g.Resume()
+	writeJSON(w, map[string]string{"status": "resumed"})
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.sup.Metrics())
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 
 	"repro/internal/anf"
 	"repro/internal/ast"
@@ -286,6 +287,19 @@ type RunConfig struct {
 	// differential fuzz harness uses it to bound both engines at the same
 	// statement boundary.
 	MaxSteps uint64
+
+	// QuantumSteps arms a cooperative scheduling quantum: after that many
+	// statements (counted at the same boundaries as MaxSteps, on both
+	// engines) OnQuantum fires once. The hook is one-shot; re-arm it with
+	// AsyncRun.ArmQuantum — which is what the supervisor does at the top
+	// of every scheduling turn, making statement boundaries preemption
+	// points. 0 disables.
+	QuantumSteps uint64
+	// OnQuantum is the quantum-expiry hook; it runs on the goroutine
+	// executing the program. A scheduler's hook typically requests a
+	// pause (AsyncRun.Pause), parking the program at its next yield
+	// point.
+	OnQuantum func()
 }
 
 // useBytecode resolves the configured backend. Unknown names are an error:
@@ -306,16 +320,25 @@ func (cfg *RunConfig) useBytecode() (bool, error) {
 }
 
 // AsyncRun is the run/pause/resume handle of Figure 1.
+//
+// Concurrency contract: exactly one goroutine at a time pumps the event
+// loop (Wait, RunToCompletion, or manual Loop.RunOne) and owns the
+// interpreter realm — In, and mutating methods like ArmQuantum, belong to
+// it. The control surface — Pause, Resume, Kill, Paused, Finished, Result
+// — is safe from any goroutine, which is what lets a supervisor (or a stop
+// button on another thread) steer a running program from outside.
 type AsyncRun struct {
 	In   *interp.Interp
 	Loop *eventloop.Loop
 	RT   *rt.R
 
 	compiled  *Compiled
-	result    interp.Value
-	err       error
-	finished  bool
 	evalTurns int
+
+	mu       sync.Mutex
+	result   interp.Value
+	err      error
+	finished bool
 }
 
 // NewRun instantiates an interpreter realm, runtime, and event loop for the
@@ -331,13 +354,15 @@ func (c *Compiled) NewRun(cfg RunConfig) (*AsyncRun, error) {
 	}
 	loop := eventloop.New(clock)
 	in := interp.New(interp.Options{
-		Engine:   cfg.Engine,
-		Clock:    clock,
-		Loop:     loop,
-		Out:      cfg.Out,
-		Seed:     cfg.Seed,
-		Bytecode: bc,
-		MaxSteps: cfg.MaxSteps,
+		Engine:       cfg.Engine,
+		Clock:        clock,
+		Loop:         loop,
+		Out:          cfg.Out,
+		Seed:         cfg.Seed,
+		Bytecode:     bc,
+		MaxSteps:     cfg.MaxSteps,
+		QuantumSteps: cfg.QuantumSteps,
+		OnQuantum:    cfg.OnQuantum,
 	})
 	runtime := rt.New(in, loop, rt.Options{
 		Strategy:        c.Opts.strategy(),
@@ -387,14 +412,18 @@ func (c *Compiled) NewRun(cfg RunConfig) (*AsyncRun, error) {
 func (a *AsyncRun) Run(onDone func()) {
 	mainFn, ok := a.In.Global.Lookup("$main")
 	if !ok {
+		a.mu.Lock()
 		a.finished = true
 		a.err = fmt.Errorf("stopify: $main is not defined")
+		a.mu.Unlock()
 		return
 	}
 	a.RT.Run(mainFn, func(v interp.Value, err error) {
+		a.mu.Lock()
 		a.result = v
 		a.err = err
 		a.finished = true
+		a.mu.Unlock()
 		if onDone != nil {
 			onDone()
 		}
@@ -402,12 +431,26 @@ func (a *AsyncRun) Run(onDone func()) {
 }
 
 // Wait pumps the event loop until the program finishes or stalls (paused
-// with no pending work) and returns the completion error, if any.
+// with no pending work) and returns the completion error, if any. After a
+// successful $main completion it keeps draining queued work — timer
+// callbacks run to completion, as they do in a browser and in the
+// un-stopified baseline (RunRaw drains its loop); an error stops the
+// program immediately. Like that baseline, draining honors timer delays on
+// a real clock: a program that parks an hour-long setTimeout keeps Wait
+// busy for the hour, and a self-rescheduling timer chain never returns —
+// a host that serves such programs should bound them with a policy (the
+// supervisor's wall deadline) or pump the loop itself instead of Wait.
 func (a *AsyncRun) Wait() error {
-	for !a.finished && a.Loop.Len() > 0 {
+	for a.Loop.Len() > 0 {
+		if a.Finished() {
+			if _, err := a.Result(); err != nil {
+				break
+			}
+		}
 		a.Loop.RunOne()
 	}
-	return a.err
+	_, err := a.Result()
+	return err
 }
 
 // RunToCompletion is Run + Wait.
@@ -416,17 +459,52 @@ func (a *AsyncRun) RunToCompletion() error {
 	return a.Wait()
 }
 
-// Pause requests suspension at the next yield point (§2).
+// Pause requests suspension at the next yield point (§2). Safe from any
+// goroutine.
 func (a *AsyncRun) Pause(onPause func()) { a.RT.Pause(onPause) }
 
-// Resume continues a paused program.
+// Resume continues a paused program. Safe from any goroutine.
 func (a *AsyncRun) Resume() { a.RT.Resume() }
 
-// Finished reports whether the program has completed.
-func (a *AsyncRun) Finished() bool { return a.finished }
+// Paused reports whether the program is parked at a yield point awaiting
+// Resume. Safe from any goroutine.
+func (a *AsyncRun) Paused() bool { return a.RT.Paused() }
 
-// Result returns the completion value and error.
-func (a *AsyncRun) Result() (interp.Value, error) { return a.result, a.err }
+// Kill gracefully terminates the program: it stops at its next yield point
+// (immediately, if currently paused) and completes with reason — rt.ErrKilled
+// when nil — which guest code cannot catch. Safe from any goroutine.
+func (a *AsyncRun) Kill(reason error) { a.RT.Kill(reason) }
+
+// ArmQuantum re-arms the cooperative quantum: RunConfig.OnQuantum fires
+// after n more statements. Owner-goroutine only (call it between event-loop
+// turns, never while another goroutine is pumping this run).
+func (a *AsyncRun) ArmQuantum(n uint64) { a.In.ArmQuantum(n) }
+
+// SetOnQuantum installs or replaces the quantum hook (owner-goroutine only).
+func (a *AsyncRun) SetOnQuantum(fn func()) { a.In.SetOnQuantum(fn) }
+
+// SetMaxSteps re-arms the hard step budget (owner-goroutine only); the
+// counter is cumulative, so raising it extends a budget across resumes.
+func (a *AsyncRun) SetMaxSteps(n uint64) { a.In.SetMaxSteps(n) }
+
+// Steps reports statements executed so far (owner-goroutine only; a
+// scheduler snapshots it between turns).
+func (a *AsyncRun) Steps() uint64 { return a.In.Steps }
+
+// Finished reports whether the program has completed. Safe from any
+// goroutine.
+func (a *AsyncRun) Finished() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.finished
+}
+
+// Result returns the completion value and error. Safe from any goroutine.
+func (a *AsyncRun) Result() (interp.Value, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.result, a.err
+}
 
 // RunSource is a convenience: compile and run to completion, returning
 // console output.

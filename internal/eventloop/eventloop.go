@@ -11,6 +11,7 @@ package eventloop
 
 import (
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -56,9 +57,16 @@ type queued struct {
 	seq int
 }
 
-// Loop is a single-threaded macrotask queue.
+// Loop is a macrotask queue with single-threaded execution semantics: one
+// goroutine at a time pumps it (Run/RunOne), exactly like the browser's
+// main thread. The queue itself is mutex-guarded so that *other* goroutines
+// may Post, Stop, or inspect it concurrently — that is what makes external
+// Pause/Resume/Kill on a running program goroutine-safe, and what lets the
+// supervisor's control plane talk to guests owned by worker goroutines.
 type Loop struct {
-	Clock   Clock
+	Clock Clock
+
+	mu      sync.Mutex
 	pending []queued
 	seq     int
 	stopped bool
@@ -84,24 +92,55 @@ func (l *Loop) Post(fn Task, delayMs float64) {
 	if delayMs < 0 {
 		delayMs = 0
 	}
-	l.pending = append(l.pending, queued{fn: fn, due: l.Clock.Now() + delayMs, seq: l.seq})
+	due := l.Clock.Now() + delayMs
+	l.mu.Lock()
+	l.pending = append(l.pending, queued{fn: fn, due: due, seq: l.seq})
 	l.seq++
+	l.mu.Unlock()
 }
 
 // Stop makes Run return after the current task completes; queued tasks are
 // discarded. This is how "killing" a page works.
-func (l *Loop) Stop() { l.stopped = true }
+func (l *Loop) Stop() {
+	l.mu.Lock()
+	l.stopped = true
+	l.mu.Unlock()
+}
 
 // Len reports the number of queued tasks.
-func (l *Loop) Len() int { return len(l.pending) }
+func (l *Loop) Len() int {
+	l.mu.Lock()
+	n := len(l.pending)
+	l.mu.Unlock()
+	return n
+}
+
+// NextDue reports the earliest due time (in the loop's clock domain) among
+// queued tasks. A scheduler uses it to park a program that is only waiting
+// on a timer instead of sleeping a worker on it.
+func (l *Loop) NextDue() (float64, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.pending) == 0 {
+		return 0, false
+	}
+	min := l.pending[0].due
+	for _, q := range l.pending[1:] {
+		if q.due < min {
+			min = q.due
+		}
+	}
+	return min, true
+}
 
 // Run drains the queue, advancing the clock across idle gaps, until no
 // tasks remain or Stop is called. It returns the number of tasks executed.
 func (l *Loop) Run() int {
+	l.mu.Lock()
 	l.stopped = false
+	l.mu.Unlock()
 	ran := 0
-	for len(l.pending) > 0 && !l.stopped {
-		l.step()
+	for l.step() {
 		ran++
 		if l.OnTurn != nil {
 			l.OnTurn()
@@ -112,18 +151,24 @@ func (l *Loop) Run() int {
 
 // RunOne executes the next due task, if any, and reports whether it did.
 func (l *Loop) RunOne() bool {
-	if len(l.pending) == 0 || l.stopped {
+	if !l.step() {
 		return false
 	}
-	l.step()
 	if l.OnTurn != nil {
 		l.OnTurn()
 	}
 	return true
 }
 
-func (l *Loop) step() {
-	// Pick the earliest-due task, FIFO among ties.
+// step pops the earliest-due task (FIFO among ties) under the queue lock
+// and runs it outside the lock, so tasks are free to Post and concurrent
+// controllers are never blocked behind guest execution.
+func (l *Loop) step() bool {
+	l.mu.Lock()
+	if len(l.pending) == 0 || l.stopped {
+		l.mu.Unlock()
+		return false
+	}
 	sort.SliceStable(l.pending, func(i, j int) bool {
 		if l.pending[i].due != l.pending[j].due {
 			return l.pending[i].due < l.pending[j].due
@@ -132,10 +177,15 @@ func (l *Loop) step() {
 	})
 	next := l.pending[0]
 	l.pending = l.pending[1:]
+	l.mu.Unlock()
 	if now := l.Clock.Now(); next.due > now {
 		l.Clock.Advance(next.due - now)
 	}
 	start := l.Clock.Now()
 	next.fn()
-	l.TaskDurations = append(l.TaskDurations, l.Clock.Now()-start)
+	dur := l.Clock.Now() - start
+	l.mu.Lock()
+	l.TaskDurations = append(l.TaskDurations, dur)
+	l.mu.Unlock()
+	return true
 }

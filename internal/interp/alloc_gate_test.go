@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -62,6 +63,26 @@ func gate(t *testing.T, in *Interp, fn Value, args []Value, budget float64, what
 }
 
 const allocLoopN = 4096
+
+// TestAllocGateBigFrames: a loop over a >16-slot function must not
+// heap-allocate per call — the size-bucketed big-frame freelists recycle
+// the frame exactly as the inline classes do for small functions.
+func TestAllocGateBigFrames(t *testing.T) {
+	// bigFnSrc (framepool_test.go) is the shared >16-slot function, so the
+	// gate measures exactly the layout the pool tests pin.
+	src := bigFnSrc + `
+function loop(n) {
+  var t = 0;
+  for (var i = 0; i < n; i++) { t += big(i, i); }
+  return t;
+}
+`
+	for _, bc := range []bool{false, true} {
+		in, fn := allocInterp(t, src, "loop", bc, []Value{NumberValue(float64(allocLoopN))})
+		gate(t, in, fn, []Value{NumberValue(float64(allocLoopN))}, 8,
+			"4096 calls of a 20-local function (bytecode="+fmt.Sprint(bc)+")")
+	}
+}
 
 // TestAllocGateTaggedArith: the pure representation ops allocate nothing.
 // This is the issue's "0 allocs/op on the tagged-arith fast path" bound,

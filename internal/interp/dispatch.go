@@ -167,8 +167,10 @@ loop:
 		case bytecode.OpStmt:
 			in.Steps += uint64(ins.A)
 			in.charge(int(ins.A))
-			if in.maxSteps != 0 && in.Steps > in.maxSteps {
-				return Undefined, ErrStepBudget
+			if in.Steps > in.stepLimit {
+				if err := in.stepBoundary(); err != nil {
+					return Undefined, err
+				}
 			}
 			if ins.B != 0 {
 				in.charge(in.Engine.BranchCost)
@@ -761,8 +763,10 @@ loop:
 			env.slots[ins.A] = stack[sp]
 			in.Steps += uint64(ins.B)
 			in.charge(int(ins.B))
-			if in.maxSteps != 0 && in.Steps > in.maxSteps {
-				return Undefined, ErrStepBudget
+			if in.Steps > in.stepLimit {
+				if err := in.stepBoundary(); err != nil {
+					return Undefined, err
+				}
 			}
 			if ins.C != 0 {
 				in.charge(in.Engine.BranchCost)
@@ -775,8 +779,10 @@ loop:
 			}
 			in.Steps += uint64(ins.B)
 			in.charge(int(ins.B))
-			if in.maxSteps != 0 && in.Steps > in.maxSteps {
-				return Undefined, ErrStepBudget
+			if in.Steps > in.stepLimit {
+				if err := in.stepBoundary(); err != nil {
+					return Undefined, err
+				}
 			}
 			if ins.C != 0 {
 				in.charge(in.Engine.BranchCost)
@@ -784,8 +790,10 @@ loop:
 		case bytecode.OpStmtGetLocal:
 			in.Steps += uint64(ins.B)
 			in.charge(int(ins.B))
-			if in.maxSteps != 0 && in.Steps > in.maxSteps {
-				return Undefined, ErrStepBudget
+			if in.Steps > in.stepLimit {
+				if err := in.stepBoundary(); err != nil {
+					return Undefined, err
+				}
 			}
 			if ins.C != 0 {
 				in.charge(in.Engine.BranchCost)
@@ -795,8 +803,10 @@ loop:
 		case bytecode.OpStmtConst:
 			in.Steps += uint64(ins.B)
 			in.charge(int(ins.B))
-			if in.maxSteps != 0 && in.Steps > in.maxSteps {
-				return Undefined, ErrStepBudget
+			if in.Steps > in.stepLimit {
+				if err := in.stepBoundary(); err != nil {
+					return Undefined, err
+				}
 			}
 			if ins.C != 0 {
 				in.charge(in.Engine.BranchCost)

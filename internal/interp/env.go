@@ -87,12 +87,54 @@ func NewSlotEnv(parent *Env, layout *ast.ScopeInfo) *Env {
 		s.e = Env{parent: parent, layout: layout, slots: s.buf[:n]}
 		return &s.e
 	}
+	if idx := bigBucketIdx(n); idx >= 0 {
+		// Bucket capacity, so the frame can enter a big-frame freelist on
+		// release (releaseFrame keys the bucket off cap(slots)).
+		return &Env{parent: parent, layout: layout, slots: make([]Value, n, bigBucketCaps[idx])}
+	}
 	return &Env{parent: parent, layout: layout, slots: make([]Value, n)}
 }
 
 // envPoolCap bounds each frame freelist so a burst of deep recursion does
 // not pin an arbitrary number of dead frames.
 const envPoolCap = 512
+
+// Big frames — layouts beyond the 16-slot inline class (arguments-heavy
+// instrumented functions, whose temp-laden ANF layouts routinely exceed
+// it) — recycle through size-bucketed freelists instead of the GC. Slot
+// slices are allocated with bucket capacity, so releaseFrame can identify
+// the home bucket from cap(slots) alone, exactly as the inline classes are
+// identified. Frames larger than the top bucket stay GC-allocated.
+var bigBucketCaps = [...]int{32, 64, 128, 256}
+
+// envPoolCapBig bounds each big-frame freelist; big buckets pin more bytes
+// per entry, so they keep fewer entries than the inline classes.
+const envPoolCapBig = 128
+
+// bigBucketIdx returns the freelist index whose capacity fits n slots, or
+// -1 when n exceeds the largest bucket.
+func bigBucketIdx(n int) int {
+	for i, c := range bigBucketCaps {
+		if n <= c {
+			return i
+		}
+	}
+	return -1
+}
+
+// bigBucketOfCap returns the freelist index whose capacity is exactly c,
+// or -1. Only bucket-allocated slices have bucket capacities: make with a
+// single size yields cap == len, and no layout-sized make is performed for
+// layouts ≤ the bucket bound (those use the buckets), so an exact match
+// proves bucket provenance.
+func bigBucketOfCap(c int) int {
+	for i, bc := range bigBucketCaps {
+		if c == bc {
+			return i
+		}
+	}
+	return -1
+}
 
 // acquireFrame returns a slot frame for layout, recycling a pooled frame
 // when one is available. Pooled frames were cleared on release, so slots
@@ -113,16 +155,26 @@ func (in *Interp) acquireFrame(parent *Env, layout *ast.ScopeInfo) *Env {
 			s.e = Env{parent: parent, layout: layout, slots: s.buf[:n]}
 			return &s.e
 		}
+	} else if idx := bigBucketIdx(n); idx >= 0 {
+		if free := in.envFreeBig[idx]; len(free) > 0 {
+			e := free[len(free)-1]
+			in.envFreeBig[idx] = free[:len(free)-1]
+			// The pooled buffer was fully cleared on release; reslice it to
+			// the new layout (within bucket capacity) and rewire the frame.
+			e.parent, e.layout = parent, layout
+			e.slots = e.slots[:n]
+			return e
+		}
 	}
 	return NewSlotEnv(parent, layout)
 }
 
 // releaseFrame returns an unescaped frame to its pool when the call exits
-// (the caller checks escaped; see Call). The full inline buffer is cleared
-// (not just the layout's prefix) so a later acquire with a larger layout
-// never exposes stale values, and so the pool does not pin dead object
-// graphs. Only the two inline size classes are pooled; larger frames
-// (cap > 16) are left to the GC.
+// (the caller checks escaped; see Call). The full buffer is cleared (not
+// just the layout's prefix) so a later acquire with a larger layout never
+// exposes stale values, and so the pool does not pin dead object graphs.
+// The two inline size classes and the four big buckets are pooled; frames
+// beyond the top bucket are left to the GC.
 func (in *Interp) releaseFrame(e *Env) {
 	switch cap(e.slots) {
 	case 6:
@@ -139,6 +191,21 @@ func (in *Interp) releaseFrame(e *Env) {
 		if len(in.envFree16) < envPoolCap {
 			in.envFree16 = append(in.envFree16, s)
 		}
+	default:
+		idx := bigBucketOfCap(cap(e.slots))
+		if idx < 0 || len(in.envFreeBig[idx]) >= envPoolCapBig {
+			return // beyond the top bucket (or pool full): leave to the GC
+		}
+		// Clear the whole bucket capacity — not just the layout's prefix —
+		// so a later acquire with a larger layout never sees stale values
+		// and the pool pins no dead object graphs. Resetting the Env also
+		// drops any dynamic vars map a stray eval/for-in grew on it.
+		buf := e.slots[:cap(e.slots)]
+		for i := range buf {
+			buf[i] = Value{}
+		}
+		*e = Env{slots: buf[:0]}
+		in.envFreeBig[idx] = append(in.envFreeBig[idx], e)
 	}
 }
 

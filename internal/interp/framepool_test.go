@@ -119,6 +119,89 @@ console.log(fib(15));
 	}
 }
 
+// bigFnSrc defines big(a, b): a function whose frame layout exceeds the
+// 16-slot inline class (20 named locals plus params and implicits), landing
+// it in the first big bucket.
+const bigFnSrc = `
+function big(a, b) {
+  var v1 = a + 1, v2 = a + 2, v3 = a + 3, v4 = a + 4, v5 = a + 5;
+  var v6 = b + 1, v7 = b + 2, v8 = b + 3, v9 = b + 4, v10 = b + 5;
+  var v11 = v1 + v6, v12 = v2 + v7, v13 = v3 + v8, v14 = v4 + v9, v15 = v5 + v10;
+  var v16 = v11 * 2, v17 = v12 * 2, v18 = v13 * 2, v19 = v14 * 2, v20 = v15 * 2;
+  return v16 + v17 + v18 + v19 + v20;
+}
+`
+
+// TestFramePoolBigFrames: >16-slot frames recycle through the size-bucketed
+// freelists with the same escape discipline as the inline classes — a
+// closure capturing a big frame keeps it, non-capturing calls recycle, and
+// recycled frames come back fully cleared (hoisted vars read undefined).
+func TestFramePoolBigFrames(t *testing.T) {
+	const src = bigFnSrc + `
+var saved = [];
+function bigCapture(i) {
+  var w1 = i, w2 = i, w3 = i, w4 = i, w5 = i, w6 = i, w7 = i, w8 = i;
+  var w9 = i, w10 = i, w11 = i, w12 = i, w13 = i, w14 = i, w15 = i;
+  var w16 = i, w17 = i, local = i * 1000;
+  saved.push(function () { return local + w1; });
+  return w17;
+}
+// A big frame whose later vars are never written: a dirty recycled buffer
+// would leak the previous call's values here.
+function bigFresh(x) {
+  var u1 = x, u2, u3, u4, u5, u6, u7, u8, u9, u10;
+  var u11, u12, u13, u14, u15, u16, u17, u18;
+  return u18 === undefined && u2 === undefined ? "clean" : "dirty";
+}
+var t1 = 0;
+for (var i = 0; i < 50; i++) { t1 += big(i, i + 1); }
+bigCapture(1); bigCapture(2);
+for (var j = 0; j < 50; j++) { t1 += big(j, j); }
+console.log(bigFresh(9), saved[0](), saved[1](), t1);
+`
+	for _, bc := range []bool{false, true} {
+		got := runPoolSrc(t, src, bc)
+		if got != "clean 1001 2002 55500\n" {
+			t.Errorf("bytecode=%v: big-frame pooling broken: %q", bc, got)
+		}
+	}
+}
+
+// TestFramePoolBigBucketFeeds pins the mechanism: non-capturing calls of a
+// >16-slot function populate a big bucket, and the buffers parked there are
+// fully cleared.
+func TestFramePoolBigBucketFeeds(t *testing.T) {
+	in := New(Options{})
+	prog, err := parser.Parse(bigFnSrc + `
+var t = 0;
+for (var i = 0; i < 32; i++) { t += big(i, i); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolve.Program(prog)
+	if err := in.RunProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for idx := range in.envFreeBig {
+		for _, e := range in.envFreeBig[idx] {
+			total++
+			if cap(e.slots) != bigBucketCaps[idx] {
+				t.Errorf("bucket %d holds a frame with cap %d", idx, cap(e.slots))
+			}
+			for i, v := range e.slots[:cap(e.slots)] {
+				if v != (Value{}) {
+					t.Fatalf("pooled big frame slot %d not cleared", i)
+				}
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("big-frame calls fed no bucket")
+	}
+}
+
 // TestFramePoolCatchScopes: catch frames chain onto pooled function
 // frames; the caught binding and locals must survive the interleaving.
 func TestFramePoolCatchScopes(t *testing.T) {

@@ -35,6 +35,17 @@ type Options struct {
 	// same statement boundaries (the differential fuzz harness depends on
 	// budgeted runs not diverging).
 	MaxSteps uint64
+	// QuantumSteps arms a cooperative scheduling quantum: after that many
+	// statements, OnQuantum fires once at the next statement boundary.
+	// Unlike MaxSteps this is not an abort — the program keeps running —
+	// but the hook typically requests a pause (rt.Pause), so the program
+	// parks at its next $suspend point. The supervisor re-arms the
+	// quantum before every scheduling turn (ArmQuantum); 0 disables it.
+	QuantumSteps uint64
+	// OnQuantum is the quantum-expiry hook. It runs on the executing
+	// goroutine, at the same statement boundaries where MaxSteps is
+	// checked, on both engines.
+	OnQuantum func()
 }
 
 // Interp is one JavaScript realm: global environment, builtin prototypes,
@@ -78,10 +89,13 @@ type Interp struct {
 	argArena []Value
 
 	// Frame pools for NoCapture functions (env.go): frames the resolver
-	// proved unescapable are recycled here instead of garbage-collected,
-	// one freelist per inline-storage size class.
-	envFree6  []*envBuf6
-	envFree16 []*envBuf16
+	// proved unescapable are recycled here instead of garbage-collected —
+	// one freelist per inline-storage size class, plus size-bucketed
+	// freelists for the big layouts (17–256 slots) of arguments-heavy
+	// instrumented functions.
+	envFree6   []*envBuf6
+	envFree16  []*envBuf16
+	envFreeBig [len(bigBucketCaps)][]*Env
 
 	// Inline caches, indexed by the site IDs internal/resolve assigns
 	// (shape.go). Owned per realm so two interpreters executing the same
@@ -95,6 +109,9 @@ type Interp struct {
 	// arena, and counters reporting what actually ran.
 	bytecode   bool
 	maxSteps   uint64
+	quantumEnd uint64 // Steps value at which onQuantum fires; 0 = disarmed
+	stepLimit  uint64 // min(maxSteps, quantumEnd-1); MaxUint64 = no check armed
+	onQuantum  func()
 	chunks     map[*ast.Func]*chunk
 	vmStack    []Value
 	chunkFuncs int
@@ -119,18 +136,85 @@ func New(opts Options) *Interp {
 		opts.Clock = eventloop.NewRealClock()
 	}
 	in := &Interp{
-		Engine:   opts.Engine,
-		Clock:    opts.Clock,
-		Loop:     opts.Loop,
-		out:      opts.Out,
-		rng:      opts.Seed*2862933555777941757 + 3037000493,
-		maxDepth: opts.Engine.MaxStack,
-		bytecode: opts.Bytecode,
-		maxSteps: opts.MaxSteps,
+		Engine:    opts.Engine,
+		Clock:     opts.Clock,
+		Loop:      opts.Loop,
+		out:       opts.Out,
+		rng:       opts.Seed*2862933555777941757 + 3037000493,
+		maxDepth:  opts.Engine.MaxStack,
+		bytecode:  opts.Bytecode,
+		maxSteps:  opts.MaxSteps,
+		onQuantum: opts.OnQuantum,
 	}
+	if opts.QuantumSteps > 0 {
+		in.quantumEnd = opts.QuantumSteps
+	}
+	in.recomputeStepLimit()
 	in.Global = NewEnv(nil)
 	in.setupGlobals()
 	return in
+}
+
+// recomputeStepLimit folds the two statement-boundary triggers — the hard
+// MaxSteps abort and the soft quantum hook — into one threshold so the hot
+// path stays a single compare (see stepBoundary). Disabled is MaxUint64,
+// not 0: Steps can never exceed it, and 0 must remain a *live* threshold —
+// ArmQuantum(1) means "fire at the very next statement", which is
+// stepLimit 0 with the check `Steps > stepLimit`.
+func (in *Interp) recomputeStepLimit() {
+	lim := ^uint64(0)
+	if in.maxSteps != 0 {
+		lim = in.maxSteps
+	}
+	if in.quantumEnd != 0 && in.quantumEnd-1 < lim {
+		lim = in.quantumEnd - 1
+	}
+	in.stepLimit = lim
+}
+
+// stepBoundary is the cold half of the statement-boundary check: it runs
+// only when Steps has passed stepLimit and decides which trigger fired.
+// The quantum hook is one-shot — it disarms before firing so a hook that
+// does not re-arm (ArmQuantum) fires exactly once.
+func (in *Interp) stepBoundary() error {
+	if in.maxSteps != 0 && in.Steps > in.maxSteps {
+		return ErrStepBudget
+	}
+	if in.quantumEnd != 0 && in.Steps >= in.quantumEnd {
+		in.quantumEnd = 0
+		in.recomputeStepLimit()
+		if in.onQuantum != nil {
+			in.onQuantum() // may re-arm via ArmQuantum
+		}
+		return nil
+	}
+	in.recomputeStepLimit()
+	return nil
+}
+
+// ArmQuantum schedules the OnQuantum hook to fire at the statement boundary
+// where Steps first reaches its current value plus n; n == 0 disarms. Must
+// be called from the executing goroutine (between event-loop turns, or from
+// the hook itself) — the supervisor arms it at the top of every scheduling
+// turn it hands a guest.
+func (in *Interp) ArmQuantum(n uint64) {
+	if n == 0 {
+		in.quantumEnd = 0
+	} else {
+		in.quantumEnd = in.Steps + n
+	}
+	in.recomputeStepLimit()
+}
+
+// SetOnQuantum installs the quantum-expiry hook (executing goroutine only).
+func (in *Interp) SetOnQuantum(fn func()) { in.onQuantum = fn }
+
+// SetMaxSteps re-arms the hard step budget relative to zero — the counter is
+// cumulative, so extending a budget across resumes means raising the
+// absolute ceiling. 0 removes the limit. Executing goroutine only.
+func (in *Interp) SetMaxSteps(n uint64) {
+	in.maxSteps = n
+	in.recomputeStepLimit()
 }
 
 // charge consumes work units according to the engine profile. The loop body
@@ -285,8 +369,10 @@ func (in *Interp) execStmts(body []ast.Stmt, env *Env) error {
 func (in *Interp) execStmt(s ast.Stmt, env *Env) error {
 	in.Steps++
 	in.charge(1)
-	if in.maxSteps != 0 && in.Steps > in.maxSteps {
-		return ErrStepBudget
+	if in.Steps > in.stepLimit {
+		if err := in.stepBoundary(); err != nil {
+			return err
+		}
 	}
 	// Hot statement kinds first: instrumented code is mostly expression
 	// statements under mode-dispatch ifs.

@@ -37,6 +37,13 @@ func (r *R) installNatives() {
 	// yield to the event loop when δ has passed, a pause is requested, or
 	// the deep-stack limit is hit.
 	defineNative(instrument.SuspendFn, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		if r.mustKill.Load() {
+			// Graceful termination (R.Kill): unwind with a plain Go error.
+			// Unlike a capture this needs no instrumented unwinding — a Go
+			// error propagates through any frame, native ones included, so
+			// kill is not deferred by atomic sections.
+			return interp.Undefined, r.killReason()
+		}
 		deepPressure := r.opts.DeepStacks && in.Depth() > r.opts.DeepLimit
 		timeDue := r.est != nil && r.est.due()
 		if !deepPressure && !timeDue && !r.mustPause.Load() {
@@ -52,17 +59,23 @@ func (r *R) installNatives() {
 			r.est.reset()
 		}
 		r.Yields++
+		aux := r.curAux
 		r.beginCapture(func(frames Frames) {
 			r.Loop.Post(func() {
 				if r.mustPause.Load() {
 					r.mustPause.Store(false)
+					r.mu.Lock()
 					r.paused = true
 					r.savedK = frames
-					if r.onPause != nil {
-						r.onPause()
+					r.savedAux = aux
+					cb := r.onPause
+					r.mu.Unlock()
+					if cb != nil {
+						cb()
 					}
 					return
 				}
+				r.curAux = aux
 				r.startRestore(frames, interp.Undefined, nil)
 			}, 0)
 		})
@@ -72,29 +85,65 @@ func (r *R) installNatives() {
 	// $bp — breakpoints and single-stepping (§5.2): called before every
 	// statement when debugging is enabled, with the original source line.
 	defineNative(instrument.BpFn, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		r.mu.Lock()
 		if len(args) > 0 && args[0].IsNumber() {
 			r.currentLine = int(args[0].Num())
 		}
-		if !r.opts.Debug {
-			return interp.Undefined, nil
-		}
-		if !r.stepping && !r.breakpoints[r.currentLine] {
+		line := r.currentLine
+		hit := r.opts.Debug && (r.stepping || r.breakpoints[line])
+		r.mu.Unlock()
+		if !hit {
 			return interp.Undefined, nil
 		}
 		if in.InAtomic() {
 			return interp.Undefined, nil
 		}
-		line := r.currentLine
+		aux := r.curAux
 		r.beginCapture(func(frames Frames) {
 			r.Loop.Post(func() {
+				r.mu.Lock()
 				r.paused = true
 				r.savedK = frames
-				if r.onBreak != nil {
-					r.onBreak(line)
+				r.savedAux = aux
+				cb := r.onBreak
+				r.mu.Unlock()
+				if cb != nil {
+					cb(line)
 				}
 			}, 0)
 		})
 		return r.captureReturn()
+	})
+
+	// setTimeout — Stopify-managed, shadowing the interpreter's raw
+	// builtin: callbacks run under the driver (runStep), so yields,
+	// pauses, kills, and quantum preemption work inside a timer callback
+	// exactly as inside $main. The raw builtin calls the function
+	// directly, which would strand a capture begun in the callback (the
+	// unwound sentinel has no driver to land on). Completion of a
+	// callback after the program finished is a no-op (finish is
+	// idempotent); an error it raises then is dropped, as browsers drop
+	// late uncaught exceptions.
+	defineNative("setTimeout", func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		if len(args) == 0 {
+			return interp.Undefined, in.Throw("TypeError", "setTimeout requires a callback")
+		}
+		fn := args[0]
+		delay := 0.0
+		if len(args) > 1 {
+			d, err := in.ToNumber(args[1])
+			if err != nil {
+				return interp.Undefined, err
+			}
+			delay = d
+		}
+		r.Loop.Post(func() {
+			r.curAux = true
+			r.runStep(func() (interp.Value, error) {
+				return in.Call(fn, interp.Undefined, nil, interp.Undefined)
+			})
+		}, delay)
+		return interp.NumberValue(0), nil
 	})
 
 	// Signal predicates used by instrumented catch clauses and exceptional

@@ -10,12 +10,21 @@
 package rt
 
 import (
+	"errors"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/eventloop"
 	"repro/internal/instrument"
 	"repro/internal/interp"
 )
+
+// ErrKilled reports a program that was gracefully terminated from outside
+// (R.Kill): execution stopped at a yield point and unwound without running
+// any further guest code. It is a plain Go error, not a Thrown, so guest
+// try/catch can never intercept it — the uncatchability the paper's
+// graceful termination promises (§2).
+var ErrKilled = errors.New("stopify: killed")
 
 // Options configures a runtime instance.
 type Options struct {
@@ -69,10 +78,32 @@ type R struct {
 
 	est estimator
 
+	// mu guards the externally touchable control state: everything the
+	// pause/kill/breakpoint API reads or writes from goroutines other than
+	// the one pumping the event loop. The execution-mode machinery above
+	// ($mode, $stack, capture/restore state) is deliberately outside it —
+	// only the executing goroutine touches it, and a yield point is the
+	// only place control transfers.
+	mu        sync.Mutex
 	mustPause atomic.Bool
-	paused    bool
+	mustKill  atomic.Bool
+	killErr   error // under mu; the reason Kill recorded
+	paused    bool  // under mu
 	savedK    Frames
+	savedAux  bool // under mu; the parked turn's aux tag
 	onPause   func()
+
+	// curAux tags the turn the driver is currently executing. The main
+	// chain — Run's initial task and every capture/restore descended from
+	// it — is aux=false; its completion finishes the program. Timer
+	// callbacks (the rt setTimeout) are aux=true turns: they share the
+	// whole capture/restore machinery, but completing one just ends that
+	// turn. The tag rides along through yields: a capture taken inside a
+	// callback restores as a callback. (A continuation captured on one
+	// chain and applied on the other keeps the applying turn's tag — an
+	// exotic case; first-class cross-turn control transfer has no single
+	// right answer here.) Only the pumping goroutine touches it.
+	curAux bool
 
 	breakpoints map[int]bool
 	stepping    bool
@@ -80,7 +111,7 @@ type R struct {
 	onBreak     func(line int)
 
 	onDone func(interp.Value, error)
-	done   bool
+	done   bool // under mu
 
 	// Stats observable by the harness.
 	Yields   int
@@ -142,14 +173,27 @@ func (r *R) setMode(m string) {
 // Mode reports the current execution mode (for tests).
 func (r *R) Mode() string { return r.mode }
 
-// Done reports whether the program has completed.
-func (r *R) Done() bool { return r.done }
+// Done reports whether the program has completed. Safe from any goroutine.
+func (r *R) Done() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.done
+}
 
-// Paused reports whether the program is suspended awaiting Resume.
-func (r *R) Paused() bool { return r.paused }
+// Paused reports whether the program is suspended awaiting Resume. Safe
+// from any goroutine.
+func (r *R) Paused() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.paused
+}
 
 // CurrentLine reports the last $bp line executed (original source line).
-func (r *R) CurrentLine() int { return r.currentLine }
+func (r *R) CurrentLine() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.currentLine
+}
 
 // ---------------------------------------------------------------------------
 // Signals and continuation values
@@ -340,9 +384,12 @@ func (r *R) continueSegments(v interp.Value, throwErr error) {
 // Run schedules fn (typically $main) on the event loop and reports the
 // final result through onDone. The caller pumps the loop.
 func (r *R) Run(fn interp.Value, onDone func(interp.Value, error)) {
+	r.mu.Lock()
 	r.onDone = onDone
 	r.done = false
+	r.mu.Unlock()
 	r.Loop.Post(func() {
+		r.curAux = false
 		r.runStep(func() (interp.Value, error) {
 			return r.In.Call(fn, interp.Undefined, nil, interp.Undefined)
 		})
@@ -390,13 +437,32 @@ func (r *R) afterStep(v interp.Value, err error) {
 		r.continueSegments(v, nil)
 		return
 	}
+	if r.curAux {
+		// An auxiliary turn (timer callback) completing just ends the
+		// turn; only the main chain's completion finishes the program.
+		return
+	}
 	r.finish(v, nil)
 }
 
+// finish completes the program (idempotent). It deliberately touches no
+// execution-goroutine state: Kill may invoke it from a controller
+// goroutine while an auxiliary timer turn still executes guest code, so
+// anything outside mu (pendingOuter, mode, the interpreter) is off limits.
+// pendingOuter needs no clearing here — it never survives a task (segments
+// are consumed within afterStep, and a pause folds them into savedK), so
+// a later aux turn cannot observe stale outer frames.
 func (r *R) finish(v interp.Value, err error) {
+	r.mu.Lock()
+	if r.done {
+		r.mu.Unlock()
+		return
+	}
 	r.done = true
-	if r.onDone != nil {
-		r.onDone(v, err)
+	cb := r.onDone
+	r.mu.Unlock()
+	if cb != nil {
+		cb(v, err)
 	}
 }
 
@@ -407,40 +473,110 @@ func (r *R) finish(v interp.Value, err error) {
 // Pause requests suspension at the next yield point; onPause runs once the
 // program has stopped. Safe to call from other goroutines.
 func (r *R) Pause(onPause func()) {
+	r.mu.Lock()
 	r.onPause = onPause
+	r.mu.Unlock()
 	r.mustPause.Store(true)
 }
 
-// Resume restarts a paused program.
+// Resume restarts a paused program by posting the saved continuation's
+// restoration to the event loop. Safe to call from other goroutines — the
+// restore itself runs on whichever goroutine pumps the loop.
 func (r *R) Resume() {
+	r.mu.Lock()
 	if !r.paused {
+		r.mu.Unlock()
 		return
 	}
 	r.paused = false
 	frames := r.savedK
+	aux := r.savedAux
 	r.savedK = nil
-	r.Loop.Post(func() { r.startRestore(frames, interp.Undefined, nil) }, 0)
+	r.mu.Unlock()
+	r.Loop.Post(func() {
+		r.curAux = aux
+		r.startRestore(frames, interp.Undefined, nil)
+	}, 0)
+}
+
+// Kill gracefully terminates the program: a running program stops at its
+// next yield point and completes with reason (ErrKilled when reason is
+// nil); a paused program is finished immediately, its saved continuation
+// discarded. The error is not a JavaScript exception, so guest code cannot
+// catch it. Safe from any goroutine; Kill after completion is a no-op.
+func (r *R) Kill(reason error) {
+	if reason == nil {
+		reason = ErrKilled
+	}
+	r.mu.Lock()
+	if r.done {
+		r.mu.Unlock()
+		return
+	}
+	if r.killErr == nil {
+		r.killErr = reason
+	}
+	if r.paused {
+		// Parked at a yield point: no goroutine is executing guest code,
+		// so finish synchronously on the caller.
+		r.paused = false
+		r.savedK = nil
+		reason = r.killErr
+		r.mu.Unlock()
+		r.finish(interp.Undefined, reason)
+		return
+	}
+	r.mu.Unlock()
+	r.mustKill.Store(true)
+}
+
+// killReason consumes the armed kill, returning its error.
+func (r *R) killReason() error {
+	r.mustKill.Store(false)
+	r.mu.Lock()
+	reason := r.killErr
+	r.mu.Unlock()
+	if reason == nil {
+		reason = ErrKilled
+	}
+	return reason
 }
 
 // SetBreakpoint arms a breakpoint on an original source line.
-func (r *R) SetBreakpoint(line int) { r.breakpoints[line] = true }
+func (r *R) SetBreakpoint(line int) {
+	r.mu.Lock()
+	r.breakpoints[line] = true
+	r.mu.Unlock()
+}
 
 // ClearBreakpoint removes a breakpoint.
-func (r *R) ClearBreakpoint(line int) { delete(r.breakpoints, line) }
+func (r *R) ClearBreakpoint(line int) {
+	r.mu.Lock()
+	delete(r.breakpoints, line)
+	r.mu.Unlock()
+}
 
 // StepOnce resumes and stops again at the next statement.
 func (r *R) StepOnce(onBreak func(line int)) {
+	r.mu.Lock()
 	r.stepping = true
 	r.onBreak = onBreak
+	r.mu.Unlock()
 	r.Resume()
 }
 
 // OnBreak registers the breakpoint-hit callback.
-func (r *R) OnBreak(fn func(line int)) { r.onBreak = fn }
+func (r *R) OnBreak(fn func(line int)) {
+	r.mu.Lock()
+	r.onBreak = fn
+	r.mu.Unlock()
+}
 
 // ResumeFromBreak continues after a breakpoint without stepping.
 func (r *R) ResumeFromBreak() {
+	r.mu.Lock()
 	r.stepping = false
+	r.mu.Unlock()
 	r.Resume()
 }
 
@@ -451,9 +587,13 @@ func (r *R) ResumeFromBreak() {
 func (r *R) Blocking(name string, start func(args []interp.Value, resume func(interp.Value))) {
 	r.In.DefineGlobal(name, interp.ObjectValue(r.In.NewNative(name, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
 		saved := append([]interp.Value(nil), args...)
+		aux := r.curAux
 		r.beginCapture(func(frames Frames) {
 			start(saved, func(result interp.Value) {
-				r.Loop.Post(func() { r.startRestore(frames, result, nil) }, 0)
+				r.Loop.Post(func() {
+					r.curAux = aux
+					r.startRestore(frames, result, nil)
+				}, 0)
 			})
 		})
 		return r.captureReturn()

@@ -1,0 +1,202 @@
+package supervisor
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// The supervisor throughput target (stopibench -supervisor): M guests
+// through an N-worker pool, reporting guests/sec and the scheduling-latency
+// distribution — the serving-scenario numbers the ROADMAP's north star asks
+// for, recorded alongside BENCH_interp.json as BENCH_supervisor.json.
+
+// BenchConfig sizes a supervisor throughput run.
+type BenchConfig struct {
+	Guests       int    `json:"guests"`        // default 1000
+	Workers      int    `json:"workers"`       // default 4
+	QuantumSteps uint64 `json:"quantum_steps"` // default 2000
+	// HostileEvery makes every k-th guest an infinite loop with a 250 ms
+	// deadline — the misbehaving-tenant injection. 0 disables.
+	HostileEvery int `json:"hostile_every"`
+	// InteractiveEvery routes every k-th guest through the interactive
+	// lane. 0 disables.
+	InteractiveEvery int `json:"interactive_every"`
+	// Backend forces the guests' execution engine ("" = process default).
+	Backend string `json:"backend,omitempty"`
+}
+
+func (c *BenchConfig) normalize() {
+	if c.Guests <= 0 {
+		c.Guests = 1000
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QuantumSteps == 0 {
+		c.QuantumSteps = 2000
+	}
+}
+
+// BenchResult is one throughput measurement.
+type BenchResult struct {
+	Config       BenchConfig    `json:"config"`
+	WallMs       float64        `json:"wall_ms"`
+	GuestsPerSec float64        `json:"guests_per_sec"`
+	Completed    uint64         `json:"completed"`
+	Killed       uint64         `json:"killed"`
+	Failed       uint64         `json:"failed"`
+	Preemptions  uint64         `json:"preemptions"`
+	StepsTotal   uint64         `json:"steps_total"`
+	Sched        LatencySummary `json:"sched_latency"`
+	Turn         LatencySummary `json:"turn_duration"`
+}
+
+// benchWorkloads is the guest mix: loop-heavy, call-heavy, string/property
+// heavy, and a timer user — small programs, many tenants, like the
+// embedded-script serving scenario. Each returns output depending on its
+// seed so the harness can verify isolation cheaply.
+var benchWorkloads = []func(seed int) (src, want string){
+	func(seed int) (string, string) {
+		n := 0
+		for i := 0; i < 2500; i++ {
+			n = (n + i*3 + seed) % 99991
+		}
+		return fmt.Sprintf(`
+var n = 0;
+for (var i = 0; i < 2500; i++) { n = (n + i * 3 + %d) %% 99991; }
+console.log("sum", n);
+`, seed), fmt.Sprintf("sum %d\n", n)
+	},
+	func(seed int) (string, string) {
+		var fib func(int) int
+		fib = func(n int) int {
+			if n < 2 {
+				return n
+			}
+			return fib(n-1) + fib(n-2)
+		}
+		k := 12 + seed%3
+		return fmt.Sprintf(`
+function fib(n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }
+console.log("fib", fib(%d));
+`, k), fmt.Sprintf("fib %d\n", fib(k))
+	},
+	func(seed int) (string, string) {
+		var b strings.Builder
+		for i := 0; i < 40; i++ {
+			fmt.Fprintf(&b, "%d", (seed+i)%10)
+		}
+		return fmt.Sprintf(`
+var s = "";
+for (var i = 0; i < 40; i++) { s += (%d + i) %% 10; }
+var o = {};
+for (var j = 0; j < 60; j++) { o["k" + (j %% 8)] = j; }
+var c = 0;
+for (var k in o) { c++; }
+console.log(s, c);
+`, seed), b.String() + " 8\n"
+	},
+	func(seed int) (string, string) {
+		return fmt.Sprintf(`
+var acc = %d;
+setTimeout(function () {
+  for (var i = 0; i < 500; i++) { acc += i; }
+  console.log("timer", acc);
+}, 1);
+for (var j = 0; j < 800; j++) { acc += 0; }
+`, seed), fmt.Sprintf("timer %d\n", seed+124750)
+	},
+}
+
+// RunBench executes the throughput target and verifies every guest's
+// output — a throughput number from corrupted guests would be worthless.
+func RunBench(cfg BenchConfig) (*BenchResult, error) {
+	cfg.normalize()
+	s := New(Options{
+		Workers:      cfg.Workers,
+		MaxPending:   cfg.Guests + cfg.Guests/8 + 8,
+		QuantumSteps: cfg.QuantumSteps,
+		Backend:      cfg.Backend,
+	})
+	defer s.Close()
+
+	type expect struct {
+		g       *Guest
+		want    string
+		hostile bool
+	}
+	start := time.Now()
+	guests := make([]expect, 0, cfg.Guests)
+	for i := 0; i < cfg.Guests; i++ {
+		if cfg.HostileEvery > 0 && i%cfg.HostileEvery == cfg.HostileEvery-1 {
+			pol := Policy{WallDeadline: 250 * time.Millisecond}
+			g, err := s.Submit(SubmitOptions{
+				Source: `while (true) { var x = 1; }`,
+				Policy: &pol,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("submit hostile %d: %w", i, err)
+			}
+			guests = append(guests, expect{g: g, hostile: true})
+			continue
+		}
+		src, want := benchWorkloads[i%len(benchWorkloads)](i)
+		var pol *Policy
+		if cfg.InteractiveEvery > 0 && i%cfg.InteractiveEvery == 0 {
+			pol = &Policy{Lane: LaneInteractive}
+		}
+		g, err := s.Submit(SubmitOptions{Source: src, Policy: pol})
+		if err != nil {
+			return nil, fmt.Errorf("submit %d: %w", i, err)
+		}
+		guests = append(guests, expect{g: g, want: want})
+	}
+
+	for i, e := range guests {
+		res := e.g.Wait()
+		if e.hostile {
+			if !errors.Is(res.Err, ErrDeadline) {
+				return nil, fmt.Errorf("hostile guest %d: err=%v, want deadline kill", i, res.Err)
+			}
+			continue
+		}
+		if res.Err != nil {
+			return nil, fmt.Errorf("guest %d failed: %w", i, res.Err)
+		}
+		if res.Output != e.want {
+			return nil, fmt.Errorf("guest %d output %q, want %q — isolation broken", i, res.Output, e.want)
+		}
+	}
+	wall := time.Since(start)
+
+	m := s.Metrics()
+	return &BenchResult{
+		Config:       cfg,
+		WallMs:       float64(wall) / float64(time.Millisecond),
+		GuestsPerSec: float64(cfg.Guests) / wall.Seconds(),
+		Completed:    m.Completed,
+		Killed:       m.Killed,
+		Failed:       m.Failed,
+		Preemptions:  m.Preemptions,
+		StepsTotal:   m.StepsTotal,
+		Sched:        m.SchedLatency,
+		Turn:         m.TurnDuration,
+	}, nil
+}
+
+// Format renders the result as the stopibench report block.
+func (r *BenchResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "supervisor throughput: %d guests, %d workers, quantum %d steps\n",
+		r.Config.Guests, r.Config.Workers, r.Config.QuantumSteps)
+	fmt.Fprintf(&b, "  wall %.0f ms — %.0f guests/sec (completed %d, killed %d, failed %d)\n",
+		r.WallMs, r.GuestsPerSec, r.Completed, r.Killed, r.Failed)
+	fmt.Fprintf(&b, "  scheduling latency: P50 %.2f ms  P90 %.2f ms  P99 %.2f ms  max %.2f ms (%d turns)\n",
+		r.Sched.P50, r.Sched.P90, r.Sched.P99, r.Sched.Max, r.Sched.Count)
+	fmt.Fprintf(&b, "  turn duration:      P50 %.2f ms  P90 %.2f ms  P99 %.2f ms  max %.2f ms\n",
+		r.Turn.P50, r.Turn.P90, r.Turn.P99, r.Turn.Max)
+	fmt.Fprintf(&b, "  %d preemptions, %d guest statements\n", r.Preemptions, r.StepsTotal)
+	return b.String()
+}

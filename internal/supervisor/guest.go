@@ -1,0 +1,308 @@
+package supervisor
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Lane selects a guest's scheduling class. Interactive guests are favored
+// by the weighted round-robin pick (Options.InteractiveWeight) so short,
+// latency-sensitive tenants are not stuck behind batch work — but batch
+// guests still get a guaranteed share, so neither lane can starve the
+// other.
+type Lane int
+
+const (
+	// LaneBatch is the default: throughput-oriented, scheduled fairly.
+	LaneBatch Lane = iota
+	// LaneInteractive is the low-latency lane.
+	LaneInteractive
+)
+
+// String names the lane.
+func (l Lane) String() string {
+	if l == LaneInteractive {
+		return "interactive"
+	}
+	return "batch"
+}
+
+// Policy is the per-tenant resource contract the supervisor enforces.
+type Policy struct {
+	// Lane selects the scheduling class.
+	Lane Lane
+	// WallDeadline bounds the guest's total wall-clock lifetime, measured
+	// from admission. A guest past its deadline is killed at its next
+	// preemption point with ErrDeadline — an infinite loop dies without
+	// taking a worker with it. Zero means no deadline.
+	WallDeadline time.Duration
+	// MaxTotalSteps bounds total statements executed across all quanta
+	// (interp.ErrStepBudget — a hard, uncatchable abort). Zero means
+	// unlimited.
+	MaxTotalSteps uint64
+	// MaxOutputBytes caps console output; exceeding it truncates the
+	// output and kills the guest with ErrOutputLimit. Zero picks
+	// DefaultMaxOutput.
+	MaxOutputBytes int
+}
+
+// DefaultMaxOutput is the output cap applied when a policy leaves
+// MaxOutputBytes zero.
+const DefaultMaxOutput = 1 << 20
+
+// State is a guest's position in the scheduling lifecycle.
+type State int
+
+const (
+	// StateQueued: admitted and runnable, waiting for a worker.
+	StateQueued State = iota
+	// StateRunning: owned by a worker goroutine right now.
+	StateRunning
+	// StateSleeping: parked until its earliest timer comes due.
+	StateSleeping
+	// StatePaused: externally paused (Guest.Pause); not schedulable until
+	// Guest.Resume.
+	StatePaused
+	// StateDone: finished — result available, Done() closed.
+	StateDone
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateSleeping:
+		return "sleeping"
+	case StatePaused:
+		return "paused"
+	case StateDone:
+		return "done"
+	}
+	return "invalid"
+}
+
+// Result is a finished guest's outcome.
+type Result struct {
+	// Output is the guest's console output, truncated at the policy's
+	// output cap.
+	Output string
+	// Truncated reports whether Output hit the cap.
+	Truncated bool
+	// Err is the completion error: nil for normal completion, a *interp.
+	// Thrown for an uncaught guest exception, ErrDeadline / ErrOutputLimit
+	// / rt.ErrKilled / ErrShutdown for supervisor terminations, or
+	// interp.ErrStepBudget for an exhausted step budget.
+	Err error
+	// Steps is the total statements executed.
+	Steps uint64
+	// Quanta is how many scheduling turns the guest received.
+	Quanta int
+	// Preemptions counts quantum-expiry parks (a subset of Quanta).
+	Preemptions int
+	// QueueWait is total time spent runnable-but-waiting.
+	QueueWait time.Duration
+	// WallTime is admission to completion.
+	WallTime time.Duration
+}
+
+// Info is a point-in-time snapshot of a guest (Guest.Inspect) — the
+// observability the serving façade exposes per run.
+type Info struct {
+	ID          uint64  `json:"id"`
+	Lane        string  `json:"lane"`
+	State       string  `json:"state"`
+	Steps       uint64  `json:"steps"`
+	Quanta      int     `json:"quanta"`
+	Preemptions int     `json:"preemptions"`
+	OutputBytes int     `json:"output_bytes"`
+	Truncated   bool    `json:"output_truncated"`
+	QueueWaitMs float64 `json:"queue_wait_ms"`
+	Error       string  `json:"error,omitempty"`
+	DeadlineMs  float64 `json:"deadline_remaining_ms,omitempty"`
+}
+
+// Guest is one supervised program: a compiled Stopify run plus the
+// scheduling state the supervisor tracks for it. All fields behind mu;
+// the embedded run's own control surface (rt) has its own locking.
+type Guest struct {
+	ID  uint64
+	sup *Supervisor
+
+	mu       sync.Mutex
+	state    State
+	lane     Lane
+	pol      Policy
+	compiled *core.Compiled
+	run      *core.AsyncRun // created on the first scheduling turn
+	out      *cappedWriter
+
+	killReq  error // external termination request, consumed by the scheduler
+	pauseReq bool  // external pause request, consumed at the next park
+
+	submitted  time.Time
+	deadline   time.Time // zero: none
+	readySince time.Time // when the guest last became runnable
+	queueWait  time.Duration
+	steps      uint64
+	quanta     int
+	preempts   int
+	sleepTimer *time.Timer
+
+	res    Result
+	doneCh chan struct{}
+}
+
+// Done returns a channel closed when the guest finishes.
+func (g *Guest) Done() <-chan struct{} { return g.doneCh }
+
+// Wait blocks until the guest finishes and returns its result.
+func (g *Guest) Wait() Result {
+	<-g.doneCh
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.res
+}
+
+// Result returns the outcome of a finished guest (zero Result before
+// completion; check Done or State first).
+func (g *Guest) Result() Result {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.res
+}
+
+// State reports the guest's current scheduling state.
+func (g *Guest) State() State {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.state
+}
+
+// Kill requests graceful termination with reason (rt.ErrKilled when nil).
+// A guest a worker currently owns stops at its next preemption point; a
+// parked guest is finalized immediately. Safe from any goroutine; no-op
+// after completion.
+func (g *Guest) Kill(reason error) {
+	g.sup.killGuest(g, reason)
+}
+
+// Pause takes the guest off the scheduler: a queued or sleeping guest stops
+// being schedulable immediately, a running one parks at its next preemption
+// point. Safe from any goroutine.
+func (g *Guest) Pause() {
+	g.sup.pauseGuest(g)
+}
+
+// Resume makes an externally paused guest runnable again.
+func (g *Guest) Resume() {
+	g.sup.resumeGuest(g)
+}
+
+// Inspect snapshots the guest's scheduling state and counters. Step and
+// output figures are as of the guest's last completed turn.
+func (g *Guest) Inspect() Info {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	info := Info{
+		ID:          g.ID,
+		Lane:        g.lane.String(),
+		State:       g.state.String(),
+		Steps:       g.steps,
+		Quanta:      g.quanta,
+		Preemptions: g.preempts,
+		QueueWaitMs: float64(g.queueWait) / float64(time.Millisecond),
+	}
+	if g.out != nil {
+		info.OutputBytes, info.Truncated = g.out.Stats()
+	}
+	if g.state == StateDone && g.res.Err != nil {
+		info.Error = g.res.Err.Error()
+	}
+	if !g.deadline.IsZero() && g.state != StateDone {
+		if rem := time.Until(g.deadline); rem > 0 {
+			info.DeadlineMs = float64(rem) / float64(time.Millisecond)
+		}
+	}
+	return info
+}
+
+// Output returns the console output produced so far (safe while running —
+// the capped writer has its own lock).
+func (g *Guest) Output() string {
+	g.mu.Lock()
+	out := g.out
+	g.mu.Unlock()
+	if out == nil {
+		return ""
+	}
+	return out.String()
+}
+
+// cappedWriter is a guest's console sink: a bounded buffer whose overflow
+// fires a one-shot callback (the supervisor kills the guest with
+// ErrOutputLimit). Locked because controllers read output while the worker
+// goroutine writes it.
+type cappedWriter struct {
+	mu         sync.Mutex
+	max        int
+	buf        []byte
+	truncated  bool
+	onOverflow func()
+}
+
+func newCappedWriter(max int) *cappedWriter {
+	if max <= 0 {
+		max = DefaultMaxOutput
+	}
+	return &cappedWriter{max: max}
+}
+
+// Write implements io.Writer. It always reports success — the guest's
+// console.log must not start erroring — but stops recording at the cap and
+// triggers the overflow callback exactly once.
+func (w *cappedWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	room := w.max - len(w.buf)
+	if room >= len(p) {
+		w.buf = append(w.buf, p...)
+		w.mu.Unlock()
+		return len(p), nil
+	}
+	if room > 0 {
+		w.buf = append(w.buf, p[:room]...)
+	}
+	first := !w.truncated
+	w.truncated = true
+	cb := w.onOverflow
+	w.mu.Unlock()
+	if first && cb != nil {
+		cb()
+	}
+	return len(p), nil
+}
+
+// String returns the recorded output.
+func (w *cappedWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return string(w.buf)
+}
+
+// Stats reports recorded length and whether the cap was hit.
+func (w *cappedWriter) Stats() (int, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.buf), w.truncated
+}
+
+// setOverflow installs the overflow callback (before the guest first runs).
+func (w *cappedWriter) setOverflow(fn func()) {
+	w.mu.Lock()
+	w.onOverflow = fn
+	w.mu.Unlock()
+}

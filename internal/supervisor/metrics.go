@@ -1,0 +1,179 @@
+package supervisor
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/rt"
+	"repro/internal/stats"
+)
+
+// metrics is the supervisor's aggregate instrumentation: admission and
+// completion counters plus two latency distributions — scheduling latency
+// (how long a runnable guest waited for a worker; the fleet-level
+// responsiveness number, bounded P99 = no starvation) and turn duration
+// (how long a guest held a worker between yields, the multi-tenant analogue
+// of the paper's Figure 2c time-between-yields).
+type metrics struct {
+	mu          sync.Mutex
+	submitted   uint64
+	rejected    uint64
+	completed   uint64 // finished without error
+	failed      uint64 // guest error (uncaught throw, step budget, stall)
+	killed      uint64 // supervisor termination (kill, deadline, output cap, shutdown)
+	preemptions uint64
+	stepsTotal  uint64
+	sched       reservoir
+	turns       reservoir
+}
+
+func (m *metrics) submit() {
+	m.mu.Lock()
+	m.submitted++
+	m.mu.Unlock()
+}
+
+func (m *metrics) reject() {
+	m.mu.Lock()
+	m.rejected++
+	m.mu.Unlock()
+}
+
+func (m *metrics) preempt() {
+	m.mu.Lock()
+	m.preemptions++
+	m.mu.Unlock()
+}
+
+func (m *metrics) schedLatency(d time.Duration) {
+	m.mu.Lock()
+	m.sched.add(float64(d) / float64(time.Millisecond))
+	m.mu.Unlock()
+}
+
+func (m *metrics) turn(d time.Duration) {
+	m.mu.Lock()
+	m.turns.add(float64(d) / float64(time.Millisecond))
+	m.mu.Unlock()
+}
+
+func (m *metrics) finish(err error, steps uint64) {
+	m.mu.Lock()
+	switch {
+	case err == nil:
+		m.completed++
+	case isSupervisorKill(err):
+		m.killed++
+	default:
+		m.failed++
+	}
+	m.stepsTotal += steps
+	m.mu.Unlock()
+}
+
+// isSupervisorKill classifies terminations the supervisor (or an external
+// controller) imposed, as opposed to errors the guest earned.
+func isSupervisorKill(err error) bool {
+	switch err {
+	case ErrDeadline, ErrOutputLimit, ErrShutdown:
+		return true
+	}
+	return errors.Is(err, rt.ErrKilled)
+}
+
+// LatencySummary is the percentile digest of one distribution, in
+// milliseconds.
+type LatencySummary struct {
+	Count int     `json:"count"`
+	P50   float64 `json:"p50_ms"`
+	P90   float64 `json:"p90_ms"`
+	P99   float64 `json:"p99_ms"`
+	Max   float64 `json:"max_ms"`
+}
+
+// Metrics is a point-in-time aggregate snapshot (Supervisor.Metrics).
+type Metrics struct {
+	Submitted   uint64 `json:"submitted"`
+	Rejected    uint64 `json:"rejected"`
+	Completed   uint64 `json:"completed"`
+	Failed      uint64 `json:"failed"`
+	Killed      uint64 `json:"killed"`
+	Preemptions uint64 `json:"preemptions"`
+	StepsTotal  uint64 `json:"steps_total"`
+	Active      int    `json:"active"`
+	Queued      int    `json:"queued"`
+
+	SchedLatency LatencySummary `json:"sched_latency"`
+	TurnDuration LatencySummary `json:"turn_duration"`
+}
+
+// Metrics snapshots the aggregate counters and latency digests.
+func (s *Supervisor) Metrics() Metrics {
+	s.mu.Lock()
+	active := s.pending
+	queued := len(s.interactive) + len(s.batch)
+	s.mu.Unlock()
+
+	m := &s.metrics
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Metrics{
+		Submitted:    m.submitted,
+		Rejected:     m.rejected,
+		Completed:    m.completed,
+		Failed:       m.failed,
+		Killed:       m.killed,
+		Preemptions:  m.preemptions,
+		StepsTotal:   m.stepsTotal,
+		Active:       active,
+		Queued:       queued,
+		SchedLatency: m.sched.summary(),
+		TurnDuration: m.turns.summary(),
+	}
+}
+
+// reservoir keeps an exact sample set up to its capacity and degrades to
+// uniform reservoir sampling beyond it, so percentile digests stay O(cap)
+// no matter how long the supervisor serves. Callers hold metrics.mu.
+type reservoir struct {
+	samples []float64
+	seen    int
+	rng     *rand.Rand
+}
+
+const reservoirCap = 1 << 16
+
+func (r *reservoir) add(x float64) {
+	r.seen++
+	if len(r.samples) < reservoirCap {
+		r.samples = append(r.samples, x)
+		return
+	}
+	if r.rng == nil {
+		r.rng = rand.New(rand.NewSource(1))
+	}
+	if i := r.rng.Intn(r.seen); i < reservoirCap {
+		r.samples[i] = x
+	}
+}
+
+func (r *reservoir) summary() LatencySummary {
+	if len(r.samples) == 0 {
+		return LatencySummary{}
+	}
+	max := r.samples[0]
+	for _, x := range r.samples {
+		if x > max {
+			max = x
+		}
+	}
+	return LatencySummary{
+		Count: r.seen,
+		P50:   stats.Quantile(r.samples, 0.50),
+		P90:   stats.Quantile(r.samples, 0.90),
+		P99:   stats.Quantile(r.samples, 0.99),
+		Max:   max,
+	}
+}

@@ -23,19 +23,39 @@
 //	run.Run(nil)               // starts on the event loop
 //	run.Pause(func() { ... })  // the "stop button"
 //	run.Resume()
+//	run.Kill(nil)              // graceful, uncatchable termination
 //	err = run.Wait()
+//
+// Per-run control scales to fleets: the execution supervisor schedules
+// thousands of concurrent guest programs onto a bounded worker pool, using
+// the same statement-boundary yield points as preemption points — each
+// guest gets a step quantum, parks its own continuation when it expires,
+// and requeues round-robin (with a weighted interactive lane), while
+// per-tenant policies (wall-clock deadline, step budget, output cap) are
+// enforced from outside the workers. This is the serving scenario: many
+// mutually distrusting tenants, none able to starve or crash the host.
+//
+//	sup := stopify.NewSupervisor(stopify.SupervisorOptions{Workers: 4})
+//	g, err := sup.Submit(stopify.Submission{Source: src})
+//	res := g.Wait()            // output, error, steps, preemption counts
+//
+// cmd/stopifyd wraps the supervisor in an HTTP daemon (submit → poll →
+// cancel), and `stopibench -supervisor` measures fleet throughput and
+// scheduling-latency percentiles.
 //
 // The JavaScript engine substrate (parser, interpreter, browser-like cost
 // profiles, event loop), the compilation pipeline (desugaring,
 // A-normalization, boxing, the three continuation-instrumentation
 // strategies of §3.2), the runtime (modes, estimators, segmented restore),
-// the ten language profiles of Figure 5, and the full benchmark harness
-// live under internal/; see DESIGN.md for the map.
+// the ten language profiles of Figure 5, the supervisor, and the full
+// benchmark harness live under internal/; see DESIGN.md and
+// DESIGN_supervisor.md for the map.
 package stopify
 
 import (
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/supervisor"
 )
 
 // Options mirrors the stopify() options object of Figure 1 in the paper.
@@ -81,3 +101,24 @@ func RunRaw(source string, cfg RunConfig) (string, error) {
 // Engines returns the five browser-like cost profiles of the evaluation
 // (chrome, edge, firefox, safari, chromebook).
 func Engines() map[string]*Engine { return engine.Profiles() }
+
+// Supervisor is the multi-tenant execution scheduler: N workers, M ≫ N
+// guests, statement-quantum preemption, per-tenant resource policies.
+type Supervisor = supervisor.Supervisor
+
+// SupervisorOptions configures a Supervisor (pool size, admission bound,
+// quantum, lane weighting, default policy).
+type SupervisorOptions = supervisor.Options
+
+// Submission describes one guest program for Supervisor.Submit.
+type Submission = supervisor.SubmitOptions
+
+// GuestPolicy is the per-tenant resource contract (deadline, step budget,
+// output cap, scheduling lane).
+type GuestPolicy = supervisor.Policy
+
+// Guest is a supervised run: Wait/Kill/Pause/Resume/Inspect.
+type Guest = supervisor.Guest
+
+// NewSupervisor starts a supervisor and its worker pool.
+func NewSupervisor(opts SupervisorOptions) *Supervisor { return supervisor.New(opts) }

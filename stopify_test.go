@@ -81,3 +81,39 @@ func TestCompiledSourceIsJavaScript(t *testing.T) {
 		}
 	}
 }
+
+// TestSupervisorFacade exercises the public multi-tenant surface: a small
+// fleet through NewSupervisor/Submit/Wait, with one tenant killed by
+// policy.
+func TestSupervisorFacade(t *testing.T) {
+	sup := NewSupervisor(SupervisorOptions{Workers: 2, QuantumSteps: 400})
+	defer sup.Close()
+	var guests []*Guest
+	for i := 0; i < 8; i++ {
+		g, err := sup.Submit(Submission{Source: `
+var n = 0;
+for (var i = 0; i < 500; i++) { n += i; }
+console.log("ok", n);
+`})
+		if err != nil {
+			t.Fatal(err)
+		}
+		guests = append(guests, g)
+	}
+	bad, err := sup.Submit(Submission{
+		Source: `while (true) { var x = 1; }`,
+		Policy: &GuestPolicy{MaxTotalSteps: 20000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range guests {
+		res := g.Wait()
+		if res.Err != nil || res.Output != "ok 124750\n" {
+			t.Fatalf("tenant failed: err=%v output=%q", res.Err, res.Output)
+		}
+	}
+	if res := bad.Wait(); res.Err == nil {
+		t.Fatal("step-budget tenant not terminated")
+	}
+}
