@@ -1,0 +1,181 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestDrainSmoke is the end-to-end graceful-shutdown check the CI drain leg
+// runs: build the real binary, start it, put a fleet in flight (including
+// guests parked on timers), send SIGTERM mid-fleet, and assert the daemon
+// refuses new admissions with Retry-After, flips /readyz to 503 while
+// /healthz stays 200, lets every in-flight run finish, logs the drain
+// summary, and exits 0.
+func TestDrainSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+
+	bin := filepath.Join(t.TempDir(), "stopifyd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	// Pick a free port; the tiny close-to-bind race is fine for a test.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	var logBuf bytes.Buffer
+	cmd := exec.Command(bin, "-addr", addr, "-workers", "4", "-drain", "10s")
+	cmd.Stderr = &logBuf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	base := "http://" + addr
+	waitFor(t, func() bool {
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	}, 10*time.Second, "daemon never became healthy")
+
+	if code, _ := get(t, base+"/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz before drain: %d, want 200", code)
+	}
+
+	// The fleet: quick CPU-bound guests plus timer-parked stragglers that
+	// are guaranteed to still be in flight when the signal lands.
+	n := 0
+	for i := 0; i < 30; i++ {
+		submit(t, base, fmt.Sprintf(`var s=%d; for (var i=0;i<500;i++){s=(s+i)%%7919;} console.log("ok",s);`, i))
+		n++
+	}
+	for i := 0; i < 3; i++ {
+		submit(t, base, `setTimeout(function(){ console.log("late"); }, 700);`)
+		n++
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mid-drain: liveness stays green, readiness and admission go 503 with
+	// a Retry-After hint. The timer stragglers hold the drain open long
+	// enough to observe this window.
+	waitFor(t, func() bool {
+		code, _ := get(t, base+"/readyz")
+		return code == http.StatusServiceUnavailable
+	}, 5*time.Second, "/readyz never went unready after SIGTERM")
+	if code, _ := get(t, base+"/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz during drain: %d, want 200 (drain is not ill-health)", code)
+	}
+	resp, err := http.Post(base+"/run", "application/json",
+		strings.NewReader(`{"source":"console.log(1);"}`))
+	if err != nil {
+		t.Fatalf("mid-drain submit: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("mid-drain admission: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("mid-drain admission carried no Retry-After")
+	}
+
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("daemon exit: %v\nlog:\n%s", err, logBuf.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon did not exit after SIGTERM\nlog:\n%s", logBuf.String())
+	}
+
+	logs := logBuf.String()
+	if !strings.Contains(logs, "stopifyd: draining") {
+		t.Errorf("log missing drain announcement:\n%s", logs)
+	}
+	sum := ""
+	for _, line := range strings.Split(logs, "\n") {
+		if strings.Contains(line, "stopifyd: drained") {
+			sum = line
+		}
+	}
+	if sum == "" {
+		t.Fatalf("log missing drain summary:\n%s", logs)
+	}
+	// clean=true and completed=n: nothing was killed — every in-flight run
+	// (timers included) finished inside the drain window.
+	if !strings.Contains(sum, "clean=true") {
+		t.Errorf("drain was not clean: %s", sum)
+	}
+	if !strings.Contains(sum, fmt.Sprintf("completed=%d", n)) {
+		t.Errorf("drain summary %q, want completed=%d", sum, n)
+	}
+}
+
+func submit(t *testing.T, base, source string) uint64 {
+	t.Helper()
+	body, err := json.Marshal(map[string]string{"source": source})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	var out struct {
+		ID uint64 `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.ID
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, ""
+	}
+	defer resp.Body.Close()
+	var b bytes.Buffer
+	b.ReadFrom(resp.Body)
+	return resp.StatusCode, b.String()
+}
+
+func waitFor(t *testing.T, cond func() bool, d time.Duration, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatal(msg)
+}

@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -29,8 +30,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"strconv"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/supervisor"
@@ -47,6 +51,8 @@ func main() {
 		maxOutput  = flag.Int("max-output", 1<<20, "default per-run output cap in bytes")
 		backend    = flag.String("backend", "", "execution engine: tree or bytecode (default $STOPIFY_BACKEND)")
 		retain     = flag.Duration("retain", 10*time.Minute, "how long finished runs stay pollable before eviction")
+		memBudget  = flag.Uint64("mem-budget", 256<<20, "default per-run allocation budget in bytes (0 = unmetered)")
+		drainFor   = flag.Duration("drain", 15*time.Second, "how long SIGTERM waits for in-flight runs before killing them")
 	)
 	flag.Parse()
 
@@ -59,6 +65,7 @@ func main() {
 			WallDeadline:   *deadline,
 			MaxTotalSteps:  *maxSteps,
 			MaxOutputBytes: *maxOutput,
+			MemBudgetBytes: *memBudget,
 		},
 	})
 
@@ -66,6 +73,7 @@ func main() {
 		WallDeadline:   *deadline,
 		MaxTotalSteps:  *maxSteps,
 		MaxOutputBytes: *maxOutput,
+		MemBudgetBytes: *memBudget,
 	}}
 	go srv.janitor()
 	mux := http.NewServeMux()
@@ -76,26 +84,46 @@ func main() {
 	mux.HandleFunc("/pause", srv.handlePause)
 	mux.HandleFunc("/resume", srv.handleResume)
 	mux.HandleFunc("/metrics", srv.handleMetrics)
+	mux.HandleFunc("/healthz", srv.handleHealthz)
+	mux.HandleFunc("/readyz", srv.handleReadyz)
 
-	hs := &http.Server{Addr: *addr, Handler: mux}
+	hs := &http.Server{Addr: *addr, Handler: srv.withRecover(mux)}
+
+	// Graceful shutdown: SIGTERM (what an orchestrator sends) or Ctrl-C
+	// flips the daemon into draining mode — admission refuses with
+	// Retry-After and /readyz goes unready so a load balancer rotates the
+	// node out, while status/output/metrics keep serving. In-flight runs
+	// get up to -drain to finish on their own; whatever remains is killed
+	// (ErrShutdown) by Close. Only then does the HTTP server stop.
+	done := make(chan struct{})
 	go func() {
 		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Print("stopifyd: shutting down")
-		hs.Close()
+		srv.draining.Store(true)
+		log.Printf("stopifyd: draining (up to %s for in-flight runs)", *drainFor)
+		drained := sup.DrainTimeout(*drainFor)
+		sup.Close()
+		m := sup.Metrics()
+		log.Printf("stopifyd: drained clean=%v completed=%d failed=%d killed=%d faults=%d",
+			drained, m.Completed, m.Failed, m.Killed, m.InternalFaults)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+		close(done)
 	}()
 	log.Printf("stopifyd: serving on %s (%d workers, quantum %d steps)", *addr, *workers, *quantum)
 	if err := hs.ListenAndServe(); err != http.ErrServerClosed {
 		log.Fatal(err)
 	}
-	sup.Close()
+	<-done
 }
 
 type server struct {
 	sup      *supervisor.Supervisor
 	defaults supervisor.Policy
 	retain   time.Duration
+	draining atomic.Bool // SIGTERM received: refuse admission, fail /readyz
 
 	// The supervisor keeps guests addressable until Remove, so a serving
 	// daemon must evict or leak one Result (output buffer included) per
@@ -172,6 +200,8 @@ type runRequest struct {
 	MaxSteps uint64 `json:"max_steps,omitempty"`
 	// MaxOutputBytes overrides the default output cap (0 keeps it).
 	MaxOutputBytes int `json:"max_output_bytes,omitempty"`
+	// MemBudgetBytes overrides the default allocation budget (0 keeps it).
+	MemBudgetBytes uint64 `json:"mem_budget_bytes,omitempty"`
 }
 
 // statusResponse is GET /status's body: the guest Info plus its output and
@@ -185,6 +215,13 @@ type statusResponse struct {
 func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.draining.Load() {
+		// Draining: this node is going away; tell the client when another
+		// attempt (against a healthy node) makes sense.
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
 	var req runRequest
@@ -210,12 +247,17 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if req.MaxOutputBytes > 0 {
 		pol.MaxOutputBytes = req.MaxOutputBytes
 	}
+	if req.MemBudgetBytes > 0 {
+		pol.MemBudgetBytes = req.MemBudgetBytes
+	}
 	g, err := s.sup.Submit(supervisor.SubmitOptions{Source: req.Source, Policy: &pol})
 	switch {
 	case err == supervisor.ErrQueueFull:
-		http.Error(w, err.Error(), http.StatusTooManyRequests) // backpressure
+		w.Header().Set("Retry-After", "1") // backpressure: transient, retry
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
 		return
 	case err == supervisor.ErrClosed:
+		w.Header().Set("Retry-After", "1")
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	case err != nil:
@@ -306,6 +348,41 @@ func (s *server) handleResume(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.sup.Metrics())
+}
+
+// handleHealthz is liveness: the process is up and serving. It stays 200
+// during a drain — the node is healthy, just not accepting new work — so an
+// orchestrator does not hard-kill a daemon mid-drain.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: whether this node should receive new traffic.
+// A draining node reports 503 so the load balancer rotates it out while
+// in-flight runs finish.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, map[string]string{"status": "ready"})
+}
+
+// withRecover is the daemon-side panic barrier, the HTTP analogue of the
+// supervisor worker's safeTurn: a panic in one handler becomes a logged 500
+// for that request. (net/http would recover anyway, but it slams the
+// connection shut with no response and no stack in our log.)
+func (s *server) withRecover(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				log.Printf("stopifyd: panic in %s handler: %v\n%s", r.URL.Path, rec, debug.Stack())
+				http.Error(w, "internal error", http.StatusInternalServerError)
+			}
+		}()
+		h.ServeHTTP(w, r)
+	})
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {

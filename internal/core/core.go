@@ -300,6 +300,13 @@ type RunConfig struct {
 	// pause (AsyncRun.Pause), parking the program at its next yield
 	// point.
 	OnQuantum func()
+
+	// MemBudgetBytes aborts execution with interp.ErrMemLimit once the
+	// realm's allocation meter passes it; 0 means unmetered. The meter is
+	// zeroed after the runtime prelude executes, so the budget measures the
+	// guest program's own Value-graph growth, and — like MaxSteps — it is
+	// cumulative across pause/resume.
+	MemBudgetBytes uint64
 }
 
 // useBytecode resolves the configured backend. Unknown names are an error:
@@ -363,6 +370,7 @@ func (c *Compiled) NewRun(cfg RunConfig) (*AsyncRun, error) {
 		MaxSteps:     cfg.MaxSteps,
 		QuantumSteps: cfg.QuantumSteps,
 		OnQuantum:    cfg.OnQuantum,
+		MemBudget:    cfg.MemBudgetBytes,
 	})
 	runtime := rt.New(in, loop, rt.Options{
 		Strategy:        c.Opts.strategy(),
@@ -404,6 +412,9 @@ func (c *Compiled) NewRun(cfg RunConfig) (*AsyncRun, error) {
 	if err := in.RunProgram(c.Prog); err != nil {
 		return nil, err
 	}
+	// The prelude's closures and tables are the runtime's fixed cost, not
+	// the guest's: start the allocation meter at zero for $main.
+	in.ResetMemMeter()
 	return a, nil
 }
 
@@ -490,6 +501,15 @@ func (a *AsyncRun) SetMaxSteps(n uint64) { a.In.SetMaxSteps(n) }
 // Steps reports statements executed so far (owner-goroutine only; a
 // scheduler snapshots it between turns).
 func (a *AsyncRun) Steps() uint64 { return a.In.Steps }
+
+// MemUsed reports bytes the allocation meter has charged so far
+// (owner-goroutine only; a scheduler snapshots it between turns).
+func (a *AsyncRun) MemUsed() uint64 { return a.In.MemUsed() }
+
+// SetMemBudget re-arms (or, with 0, disarms) the allocation budget
+// (owner-goroutine only); the meter is cumulative, so raising it extends a
+// budget across resumes.
+func (a *AsyncRun) SetMemBudget(n uint64) { a.In.SetMemBudget(n) }
 
 // Finished reports whether the program has completed. Safe from any
 // goroutine.

@@ -20,6 +20,12 @@ func (in *Interp) setupArray() {
 			if size < 0 || float64(size) != n {
 				return Undefined, in.Throw("RangeError", "invalid array length")
 			}
+			// Pre-check: `new Array(1e9)` is a one-call multi-gigabyte
+			// allocation; refuse before make, not after. NewArray itself
+			// charges the accepted storage.
+			if err := in.checkMem(memObjectBytes + size*memValueBytes); err != nil {
+				return Undefined, err
+			}
 			return ObjectValue(in.NewArray(make([]Value, size))), nil
 		}
 		return ObjectValue(in.NewArray(append([]Value(nil), args...))), nil
@@ -50,6 +56,7 @@ func (in *Interp) setupArray() {
 		if err != nil {
 			return Undefined, err
 		}
+		in.chargeMem(memValueBytes * len(args))
 		a.Elems = append(a.Elems, args...)
 		return NumberValue(float64(len(a.Elems))), nil
 	})
@@ -82,6 +89,7 @@ func (in *Interp) setupArray() {
 		if err != nil {
 			return Undefined, err
 		}
+		in.chargeMem(memValueBytes * len(args))
 		a.Elems = append(append([]Value(nil), args...), a.Elems...)
 		return NumberValue(float64(len(a.Elems))), nil
 	})
@@ -128,6 +136,9 @@ func (in *Interp) setupArray() {
 		var inserted []Value
 		if len(args) > 2 {
 			inserted = args[2:]
+		}
+		if grow := len(inserted) - count; grow > 0 {
+			in.chargeMem(memValueBytes * grow)
 		}
 		rest := append([]Value(nil), a.Elems[start+count:]...)
 		a.Elems = append(append(a.Elems[:start], inserted...), rest...)
@@ -180,6 +191,10 @@ func (in *Interp) setupArray() {
 				return Undefined, in.Throw("RangeError", "Invalid string length")
 			}
 		}
+		if err := in.checkMem(total); err != nil {
+			return Undefined, err
+		}
+		in.chargeMem(total)
 		return StringValue(strings.Join(parts, sep)), nil
 	})
 	method("indexOf", func(in *Interp, this Value, args []Value) (Value, error) {
@@ -379,6 +394,10 @@ func (in *Interp) setupArray() {
 				return Undefined, in.Throw("RangeError", "Invalid string length")
 			}
 		}
+		if err := in.checkMem(total); err != nil {
+			return Undefined, err
+		}
+		in.chargeMem(total)
 		return StringValue(strings.Join(parts, ",")), nil
 	})
 }

@@ -206,6 +206,7 @@ func (in *Interp) setupString() {
 		if err != nil {
 			return Undefined, err
 		}
+		in.chargeMem(len(s))
 		return StringValue(strings.ToUpper(s)), nil
 	})
 	method("toLowerCase", func(in *Interp, this Value, args []Value) (Value, error) {
@@ -213,6 +214,7 @@ func (in *Interp) setupString() {
 		if err != nil {
 			return Undefined, err
 		}
+		in.chargeMem(len(s))
 		return StringValue(strings.ToLower(s)), nil
 	})
 	method("trim", func(in *Interp, this Value, args []Value) (Value, error) {
@@ -288,6 +290,12 @@ func (in *Interp) setupString() {
 		}
 		// n is now a nonnegative finite integer within the cap, so the
 		// float→int conversion is exact and strings.Repeat cannot panic.
+		// Pre-check the meter: 'x'.repeat(1e9) is a one-call gigabyte.
+		size := len(s) * int(n)
+		if err := in.checkMem(size); err != nil {
+			return Undefined, err
+		}
+		in.chargeMem(size)
 		return StringValue(strings.Repeat(s, int(n))), nil
 	})
 	method("toString", func(in *Interp, this Value, args []Value) (Value, error) {

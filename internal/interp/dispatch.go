@@ -336,9 +336,14 @@ loop:
 			sp++
 		case bytecode.OpSetProp:
 			sp--
+			// Object-literal property: same meter charge as the tree-walker's
+			// literal path, so a budgeted guest dies identically on both
+			// engines.
+			in.chargeMem(memPropBytes)
 			stack[sp-1].Obj().SetOwn(ch.Names[ins.A], stack[sp])
 		case bytecode.OpSetAccessor:
 			acc := ch.Accessors[ins.A]
+			in.chargeMem(memPropBytes) // literal accessor prop, as OpSetProp
 			fn := in.makeFunction(ch.Funcs[acc.Fn], env)
 			obj := stack[sp-1].Obj()
 			key := ch.Names[acc.Name]

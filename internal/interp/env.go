@@ -139,6 +139,13 @@ func bigBucketOfCap(c int) int {
 // acquireFrame returns a slot frame for layout, recycling a pooled frame
 // when one is available. Pooled frames were cleared on release, so slots
 // read back as undefined exactly like a fresh frame's.
+//
+// The allocation meter charges every acquire and credits every release
+// (frameMemCost — same formula both ways, keyed off cap(slots), which
+// clearing does not change), so call traffic is net-zero against the budget
+// and only *escaped* frames — the ones a closure keeps alive — stay
+// charged. Without the credit, deep call traffic would erode a long-running
+// well-behaved guest's budget even though its live graph never grows.
 func (in *Interp) acquireFrame(parent *Env, layout *ast.ScopeInfo) *Env {
 	n := len(layout.Names)
 	if n <= 6 {
@@ -146,6 +153,7 @@ func (in *Interp) acquireFrame(parent *Env, layout *ast.ScopeInfo) *Env {
 			s := in.envFree6[k-1]
 			in.envFree6 = in.envFree6[:k-1]
 			s.e = Env{parent: parent, layout: layout, slots: s.buf[:n]}
+			in.chargeMem(frameMemCost(&s.e))
 			return &s.e
 		}
 	} else if n <= 16 {
@@ -153,6 +161,7 @@ func (in *Interp) acquireFrame(parent *Env, layout *ast.ScopeInfo) *Env {
 			s := in.envFree16[k-1]
 			in.envFree16 = in.envFree16[:k-1]
 			s.e = Env{parent: parent, layout: layout, slots: s.buf[:n]}
+			in.chargeMem(frameMemCost(&s.e))
 			return &s.e
 		}
 	} else if idx := bigBucketIdx(n); idx >= 0 {
@@ -163,10 +172,20 @@ func (in *Interp) acquireFrame(parent *Env, layout *ast.ScopeInfo) *Env {
 			// the new layout (within bucket capacity) and rewire the frame.
 			e.parent, e.layout = parent, layout
 			e.slots = e.slots[:n]
+			in.chargeMem(frameMemCost(e))
 			return e
 		}
 	}
-	return NewSlotEnv(parent, layout)
+	e := NewSlotEnv(parent, layout)
+	in.chargeMem(frameMemCost(e))
+	return e
+}
+
+// frameMemCost is the meter cost of one call frame: header plus the full
+// slot capacity (inline class or bucket), so charge and credit agree no
+// matter which layout the frame is serving when each side runs.
+func frameMemCost(e *Env) int {
+	return memFrameBytes + memValueBytes*cap(e.slots)
 }
 
 // releaseFrame returns an unescaped frame to its pool when the call exits
@@ -176,6 +195,7 @@ func (in *Interp) acquireFrame(parent *Env, layout *ast.ScopeInfo) *Env {
 // The two inline size classes and the four big buckets are pooled; frames
 // beyond the top bucket are left to the GC.
 func (in *Interp) releaseFrame(e *Env) {
+	in.creditMem(frameMemCost(e)) // the frame is dead whether or not it pools
 	switch cap(e.slots) {
 	case 6:
 		s := (*envBuf6)(unsafe.Pointer(e))

@@ -103,6 +103,7 @@ func (in *Interp) eval(e ast.Expr, env *Env) (Value, error) {
 	case *ast.Object:
 		in.charge(in.Engine.ObjectCreateCost)
 		obj := in.NewPlainObject()
+		in.chargeMem(memPropBytes * len(n.Props))
 		for _, p := range n.Props {
 			switch p.Kind {
 			case ast.PropInit:
@@ -589,6 +590,7 @@ type argsObject struct {
 // newArguments builds the arguments object for a call (the elements are
 // copied — the caller's slice is arena-backed and dies with the call).
 func (in *Interp) newArguments(args []Value) *Object {
+	in.chargeMem(memObjectBytes + memValueBytes*len(args))
 	a := new(argsObject)
 	a.obj = Object{Class: "Arguments", Proto: in.objectProto}
 	if len(args) <= len(a.buf) {

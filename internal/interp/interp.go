@@ -46,6 +46,11 @@ type Options struct {
 	// goroutine, at the same statement boundaries where MaxSteps is
 	// checked, on both engines.
 	OnQuantum func()
+	// MemBudget aborts execution with ErrMemLimit once the realm's
+	// allocation meter (mem.go) exceeds this many bytes; 0 means unmetered.
+	// Checked at the same statement boundaries as MaxSteps, on both
+	// engines.
+	MemBudget uint64
 }
 
 // Interp is one JavaScript realm: global environment, builtin prototypes,
@@ -111,6 +116,8 @@ type Interp struct {
 	maxSteps   uint64
 	quantumEnd uint64 // Steps value at which onQuantum fires; 0 = disarmed
 	stepLimit  uint64 // min(maxSteps, quantumEnd-1); MaxUint64 = no check armed
+	memUsed    uint64 // bytes charged by the allocation meter (mem.go)
+	memBudget  uint64 // allocation budget; 0 = unmetered
 	onQuantum  func()
 	chunks     map[*ast.Func]*chunk
 	vmStack    []Value
@@ -144,6 +151,7 @@ func New(opts Options) *Interp {
 		maxDepth:  opts.Engine.MaxStack,
 		bytecode:  opts.Bytecode,
 		maxSteps:  opts.MaxSteps,
+		memBudget: opts.MemBudget,
 		onQuantum: opts.OnQuantum,
 	}
 	if opts.QuantumSteps > 0 {
@@ -155,13 +163,20 @@ func New(opts Options) *Interp {
 	return in
 }
 
-// recomputeStepLimit folds the two statement-boundary triggers — the hard
-// MaxSteps abort and the soft quantum hook — into one threshold so the hot
-// path stays a single compare (see stepBoundary). Disabled is MaxUint64,
-// not 0: Steps can never exceed it, and 0 must remain a *live* threshold —
-// ArmQuantum(1) means "fire at the very next statement", which is
-// stepLimit 0 with the check `Steps > stepLimit`.
+// recomputeStepLimit folds the three statement-boundary triggers — the hard
+// MaxSteps abort, the soft quantum hook, and the allocation meter — into one
+// threshold so the hot path stays a single compare (see stepBoundary).
+// Disabled is MaxUint64, not 0: Steps can never exceed it, and 0 must remain
+// a *live* threshold — ArmQuantum(1) means "fire at the very next
+// statement", which is stepLimit 0 with the check `Steps > stepLimit`. An
+// over-budget meter pins the threshold at 0 so nothing (quantum re-arm
+// across a resume, SetMaxSteps) can slide the boundary check past a pending
+// ErrMemLimit.
 func (in *Interp) recomputeStepLimit() {
+	if in.memBudget != 0 && in.memUsed > in.memBudget {
+		in.stepLimit = 0
+		return
+	}
 	lim := ^uint64(0)
 	if in.maxSteps != 0 {
 		lim = in.maxSteps
@@ -177,6 +192,9 @@ func (in *Interp) recomputeStepLimit() {
 // The quantum hook is one-shot — it disarms before firing so a hook that
 // does not re-arm (ArmQuantum) fires exactly once.
 func (in *Interp) stepBoundary() error {
+	if in.memBudget != 0 && in.memUsed > in.memBudget {
+		return ErrMemLimit
+	}
 	if in.maxSteps != 0 && in.Steps > in.maxSteps {
 		return ErrStepBudget
 	}
@@ -256,6 +274,7 @@ func (in *Interp) Throw(name, format string, args ...interface{}) error {
 
 // NewError builds an Error object with the given name and message.
 func (in *Interp) NewError(name, message string) *Object {
+	in.chargeMem(memObjectBytes + 2*memPropBytes + len(name) + len(message))
 	e := &Object{Class: "Error", Proto: in.errorProto}
 	e.SetOwn("name", StringValue(name))
 	e.SetOwn("message", StringValue(message))
@@ -281,16 +300,24 @@ func (in *Interp) DefineGlobal(name string, v Value) { in.Global.Define(name, v)
 
 // NewNative wraps a Go function as a callable JS object.
 func (in *Interp) NewNative(name string, fn NativeFunc) *Object {
+	in.chargeMem(memObjectBytes)
 	return &Object{Class: "Function", Proto: in.functionProto, Native: fn, NativeName: name}
 }
 
-// NewArray builds an array object around elems (not copied).
+// NewArray builds an array object around elems (not copied). The meter
+// charges the element storage by capacity, so every builtin that returns a
+// fresh array (slice, map, concat, split, ...) is metered here without a
+// per-site charge.
 func (in *Interp) NewArray(elems []Value) *Object {
+	in.chargeMem(memObjectBytes + memValueBytes*cap(elems))
 	return &Object{Class: "Array", Proto: in.arrayProto, Elems: elems}
 }
 
 // NewPlainObject builds an empty object with Object.prototype.
-func (in *Interp) NewPlainObject() *Object { return NewObject(in.objectProto) }
+func (in *Interp) NewPlainObject() *Object {
+	in.chargeMem(memObjectBytes)
+	return NewObject(in.objectProto)
+}
 
 // ---------------------------------------------------------------------------
 // Hoisting
@@ -345,6 +372,7 @@ func (in *Interp) makeFunction(fn *ast.Func, env *Env) *Object {
 		e.escaped = true
 	}
 	in.charge(in.Engine.ObjectCreateCost)
+	in.chargeMem(memFuncBytes)
 	p := new(funcObject)
 	p.obj = Object{Class: "Function", Proto: in.functionProto, Fn: &p.fn}
 	p.fn = Closure{Decl: fn, Env: env, Self: &p.obj}

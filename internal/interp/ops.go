@@ -461,9 +461,17 @@ func (in *Interp) applyBinary(op string, l, r Value) (Value, error) {
 // length cap with the RangeError production engines throw — the Value
 // representation's 32-bit length field must never see an oversized string.
 func (in *Interp) concatStrings(ls, rs string) (Value, error) {
-	if len(ls)+len(rs) > MaxStringLen {
+	n := len(ls) + len(rs)
+	if n > MaxStringLen {
 		return Undefined, in.Throw("RangeError", "Invalid string length")
 	}
+	// Pre-check: doubling concat in a loop reaches gigabytes in ~30
+	// statements, so the meter must refuse the allocation, not bill it
+	// after the fact.
+	if err := in.checkMem(n); err != nil {
+		return Undefined, err
+	}
+	in.chargeMem(n)
 	return StringValue(ls + rs), nil
 }
 
@@ -595,6 +603,13 @@ func (in *Interp) setElemFast(base, idx, v Value) bool {
 		if o.Class == "Arguments" {
 			return false // becomes an ordinary property; length unchanged
 		}
+		grow := i + 1 - len(o.Elems)
+		if in.checkMem(grow*memValueBytes) != nil {
+			// Over budget: decline the fast path and let setMemberSite's
+			// growth pre-check surface ErrMemLimit.
+			return false
+		}
+		in.chargeMem(grow * memValueBytes)
 		for len(o.Elems) <= i {
 			o.Elems = append(o.Elems, Undefined)
 		}
@@ -760,8 +775,17 @@ func (in *Interp) setMemberSite(base Value, key string, v Value, site uint32) er
 			if o.Class == "Arguments" && i >= len(o.Elems) {
 				// Writing past the end of an arguments object creates an
 				// ordinary property; its length never changes.
+				in.chargeMem(memPropBytes + len(key))
 				o.SetOwn(key, v)
 				return nil
+			}
+			if grow := i + 1 - len(o.Elems); grow > 0 {
+				// Pre-check: `a[2e9] = 1` is a one-statement multi-gigabyte
+				// allocation, so refuse before growing, not after.
+				if err := in.checkMem(grow * memValueBytes); err != nil {
+					return err
+				}
+				in.chargeMem(grow * memValueBytes)
 			}
 			for len(o.Elems) <= i {
 				o.Elems = append(o.Elems, Undefined)
@@ -777,6 +801,14 @@ func (in *Interp) setMemberSite(base Value, key string, v Value, site uint32) er
 			size := int(n)
 			if size < 0 {
 				return in.Throw("RangeError", "invalid array length")
+			}
+			if grow := size - len(o.Elems); grow > 0 {
+				// Same pre-check as indexed growth: `a.length = 1e9` must die
+				// by policy, not host OOM.
+				if err := in.checkMem(grow * memValueBytes); err != nil {
+					return err
+				}
+				in.chargeMem(grow * memValueBytes)
 			}
 			for len(o.Elems) < size {
 				o.Elems = append(o.Elems, Undefined)
@@ -798,6 +830,7 @@ func (in *Interp) setMemberSite(base Value, key string, v Value, site uint32) er
 				return nil
 			}
 			if c.epoch == protoEpoch.Load() {
+				in.chargeMem(memPropBytes + len(key))
 				o.slots = append(o.slots, Prop{Value: v, Enumerable: true})
 				o.shape = c.next
 				if o.usedAsProto {
@@ -827,6 +860,9 @@ func (in *Interp) setMemberSite(base Value, key string, v Value, site uint32) er
 		}
 		// Data property on the chain: shadow it below.
 	}
+	// Reaching here means key is not an own property of o (an own data hit
+	// returned above), so SetOwn appends a new slot: charge it.
+	in.chargeMem(memPropBytes + len(key))
 	oldShape := o.shape
 	o.SetOwn(key, v)
 	if c != nil && oldShape != nil {

@@ -1,0 +1,11 @@
+// Package chaos is the supervisor's fault-injection harness. It drives the
+// build-tagged hook seam in internal/supervisor (chaosBeforeTurn, compiled
+// only under -tags=chaos) to inject engine panics, allocation storms, and
+// timer stalls into a live fleet, so the resilience claims — blast radius
+// of exactly one tenant, workers that survive engine bugs, drains that
+// converge under fire — are tested rather than asserted.
+//
+// The package's real content (the Injector and its fault kinds) lives in
+// injector.go behind the chaos build tag; this file exists so the package
+// remains buildable in production configurations where the seam is erased.
+package chaos

@@ -1,0 +1,10 @@
+//go:build !chaos
+
+package supervisor
+
+import "repro/internal/core"
+
+// chaosBeforeTurn is the production stub of the fault-injection seam: an
+// empty function the compiler erases. The real hook plumbing lives in
+// chaos_enabled.go under -tags=chaos.
+func chaosBeforeTurn(g *Guest, run *core.AsyncRun) {}

@@ -1,0 +1,49 @@
+//go:build chaos
+
+package supervisor
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// This file exists only under -tags=chaos: it is the fault-injection seam
+// the chaos harness (internal/supervisor/chaos) drives. Production builds
+// compile chaos_disabled.go instead, where the per-turn call is an empty
+// function the compiler erases — the scheduler hot path pays nothing for
+// the seam's existence.
+
+// ChaosTurn is the handle a chaos hook receives at the top of one
+// scheduling turn, on the worker goroutine that owns the guest for the
+// turn (so Run's owner-goroutine-only surface is legal to touch).
+type ChaosTurn struct {
+	// GuestID identifies the tenant about to run.
+	GuestID uint64
+	// Run is the guest's realm handle. The hook runs as the turn's owner:
+	// Run.In.ChargeMem simulates an allocation storm, panicking simulates
+	// an engine bug at the exact point a real one would surface.
+	Run *core.AsyncRun
+}
+
+var (
+	chaosMu sync.RWMutex
+	chaosFn func(ChaosTurn)
+)
+
+// SetChaosHook installs (or, with nil, removes) the process-wide fault
+// hook. Only present under -tags=chaos.
+func SetChaosHook(fn func(ChaosTurn)) {
+	chaosMu.Lock()
+	chaosFn = fn
+	chaosMu.Unlock()
+}
+
+func chaosBeforeTurn(g *Guest, run *core.AsyncRun) {
+	chaosMu.RLock()
+	fn := chaosFn
+	chaosMu.RUnlock()
+	if fn != nil {
+		fn(ChaosTurn{GuestID: g.ID, Run: run})
+	}
+}

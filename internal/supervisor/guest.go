@@ -46,6 +46,12 @@ type Policy struct {
 	// output and kills the guest with ErrOutputLimit. Zero picks
 	// DefaultMaxOutput.
 	MaxOutputBytes int
+	// MemBudgetBytes bounds the guest realm's allocation meter
+	// (interp.ErrMemLimit — a hard, uncatchable abort at the next
+	// statement boundary). The budget covers the guest program's own
+	// Value-graph growth, not the runtime prelude, and like MaxTotalSteps
+	// it is cumulative across quanta. Zero means unmetered.
+	MemBudgetBytes uint64
 }
 
 // DefaultMaxOutput is the output cap applied when a policy leaves
@@ -95,8 +101,10 @@ type Result struct {
 	Truncated bool
 	// Err is the completion error: nil for normal completion, a *interp.
 	// Thrown for an uncaught guest exception, ErrDeadline / ErrOutputLimit
-	// / rt.ErrKilled / ErrShutdown for supervisor terminations, or
-	// interp.ErrStepBudget for an exhausted step budget.
+	// / rt.ErrKilled / ErrShutdown / interp.ErrMemLimit for supervisor
+	// terminations, interp.ErrStepBudget for an exhausted step budget, or
+	// ErrInternalFault when the worker's recover barrier caught an engine
+	// panic while this guest was running.
 	Err error
 	// Steps is the total statements executed.
 	Steps uint64

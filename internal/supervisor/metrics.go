@@ -2,10 +2,12 @@ package supervisor
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"sync"
 	"time"
 
+	"repro/internal/interp"
 	"repro/internal/rt"
 	"repro/internal/stats"
 )
@@ -22,11 +24,37 @@ type metrics struct {
 	rejected    uint64
 	completed   uint64 // finished without error
 	failed      uint64 // guest error (uncaught throw, step budget, stall)
-	killed      uint64 // supervisor termination (kill, deadline, output cap, shutdown)
+	killed      uint64 // supervisor termination (kill, deadline, output cap, mem, shutdown)
 	preemptions uint64
 	stepsTotal  uint64
-	sched       reservoir
-	turns       reservoir
+
+	// Per-cause kill counters (each also counted in killed), so an operator
+	// can tell a fleet dying of deadlines from one dying of memory budgets.
+	killDeadline uint64
+	killOutput   uint64
+	killMem      uint64
+	killShutdown uint64
+	killExplicit uint64 // external Guest.Kill (rt.ErrKilled or custom reason)
+
+	// Engine faults: guests terminated by the worker's recover barrier
+	// (ErrInternalFault). Neither completed, failed, nor killed — an engine
+	// bug is nobody's policy. The most recent panic value and stack are
+	// kept for diagnosis.
+	internalFaults uint64
+	lastFault      string
+	lastFaultStack string
+
+	sched reservoir
+	turns reservoir
+}
+
+// internalFault records one recovered engine panic.
+func (m *metrics) internalFault(r interface{}, stack []byte) {
+	m.mu.Lock()
+	m.internalFaults++
+	m.lastFault = fmt.Sprint(r)
+	m.lastFaultStack = string(stack)
+	m.mu.Unlock()
 }
 
 func (m *metrics) submit() {
@@ -64,8 +92,23 @@ func (m *metrics) finish(err error, steps uint64) {
 	switch {
 	case err == nil:
 		m.completed++
+	case errors.Is(err, ErrInternalFault):
+		// Counted by internalFault (which captured the stack); finish only
+		// accounts the steps.
 	case isSupervisorKill(err):
 		m.killed++
+		switch {
+		case errors.Is(err, ErrDeadline):
+			m.killDeadline++
+		case errors.Is(err, ErrOutputLimit):
+			m.killOutput++
+		case errors.Is(err, interp.ErrMemLimit):
+			m.killMem++
+		case errors.Is(err, ErrShutdown):
+			m.killShutdown++
+		default:
+			m.killExplicit++
+		}
 	default:
 		m.failed++
 	}
@@ -74,13 +117,15 @@ func (m *metrics) finish(err error, steps uint64) {
 }
 
 // isSupervisorKill classifies terminations the supervisor (or an external
-// controller) imposed, as opposed to errors the guest earned.
+// controller) imposed, as opposed to errors the guest earned. The memory
+// budget counts as a supervisor kill, like the output cap: both are policy
+// limits enforced from outside, not errors the guest's own code raised.
 func isSupervisorKill(err error) bool {
 	switch err {
 	case ErrDeadline, ErrOutputLimit, ErrShutdown:
 		return true
 	}
-	return errors.Is(err, rt.ErrKilled)
+	return errors.Is(err, rt.ErrKilled) || errors.Is(err, interp.ErrMemLimit)
 }
 
 // LatencySummary is the percentile digest of one distribution, in
@@ -105,6 +150,19 @@ type Metrics struct {
 	Active      int    `json:"active"`
 	Queued      int    `json:"queued"`
 
+	// Per-cause breakdown of Killed.
+	KilledDeadline uint64 `json:"killed_deadline"`
+	KilledOutput   uint64 `json:"killed_output"`
+	KilledMem      uint64 `json:"killed_mem"`
+	KilledShutdown uint64 `json:"killed_shutdown"`
+	KilledExplicit uint64 `json:"killed_explicit"`
+
+	// Engine faults recovered by the worker barrier; LastFault and
+	// LastFaultStack describe the most recent one.
+	InternalFaults uint64 `json:"internal_faults"`
+	LastFault      string `json:"last_fault,omitempty"`
+	LastFaultStack string `json:"last_fault_stack,omitempty"`
+
 	SchedLatency LatencySummary `json:"sched_latency"`
 	TurnDuration LatencySummary `json:"turn_duration"`
 }
@@ -120,17 +178,25 @@ func (s *Supervisor) Metrics() Metrics {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return Metrics{
-		Submitted:    m.submitted,
-		Rejected:     m.rejected,
-		Completed:    m.completed,
-		Failed:       m.failed,
-		Killed:       m.killed,
-		Preemptions:  m.preemptions,
-		StepsTotal:   m.stepsTotal,
-		Active:       active,
-		Queued:       queued,
-		SchedLatency: m.sched.summary(),
-		TurnDuration: m.turns.summary(),
+		Submitted:      m.submitted,
+		Rejected:       m.rejected,
+		Completed:      m.completed,
+		Failed:         m.failed,
+		Killed:         m.killed,
+		Preemptions:    m.preemptions,
+		StepsTotal:     m.stepsTotal,
+		Active:         active,
+		Queued:         queued,
+		KilledDeadline: m.killDeadline,
+		KilledOutput:   m.killOutput,
+		KilledMem:      m.killMem,
+		KilledShutdown: m.killShutdown,
+		KilledExplicit: m.killExplicit,
+		InternalFaults: m.internalFaults,
+		LastFault:      m.lastFault,
+		LastFaultStack: m.lastFaultStack,
+		SchedLatency:   m.sched.summary(),
+		TurnDuration:   m.turns.summary(),
 	}
 }
 

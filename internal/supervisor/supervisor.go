@@ -22,6 +22,7 @@ package supervisor
 import (
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -47,6 +48,13 @@ var (
 	ErrQueueFull = errors.New("supervisor: admission queue full")
 	// ErrClosed reports a Submit after Close.
 	ErrClosed = errors.New("supervisor: closed")
+	// ErrInternalFault reports a guest terminated because the engine
+	// panicked while executing it — an engine bug, not the guest's error
+	// and not a policy kill. The worker's recover barrier quarantines the
+	// guest (its realm state is unknown and never touched again), captures
+	// the stack to metrics, and survives to serve the next guest: the
+	// blast radius of an engine bug is one tenant, not the process.
+	ErrInternalFault = errors.New("supervisor: internal engine fault")
 )
 
 // Options configures a Supervisor.
@@ -249,6 +257,28 @@ func (s *Supervisor) Drain() {
 		s.idle.Wait()
 	}
 	s.mu.Unlock()
+}
+
+// DrainTimeout blocks until every admitted guest has finished or d elapses,
+// reporting whether the fleet fully drained. It does not stop admission or
+// kill anything — the graceful-shutdown sequence is: stop admitting (the
+// façade's job), DrainTimeout, then Close to kill whatever remains.
+func (s *Supervisor) DrainTimeout(d time.Duration) bool {
+	deadline := time.Now().Add(d)
+	// idle only broadcasts on pending==0; the timer broadcast wakes the
+	// waiters so the deadline check below runs even if guests are stuck.
+	t := time.AfterFunc(d, func() {
+		s.mu.Lock()
+		s.idle.Broadcast()
+		s.mu.Unlock()
+	})
+	defer t.Stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.pending > 0 && time.Now().Before(deadline) {
+		s.idle.Wait()
+	}
+	return s.pending == 0
 }
 
 // Close stops admission, kills every unfinished guest (ErrShutdown), and
@@ -461,8 +491,32 @@ func (s *Supervisor) worker() {
 		g.quanta++
 		g.mu.Unlock()
 		s.metrics.schedLatency(wait)
-		s.runTurn(g)
+		s.safeTurn(g)
 	}
+}
+
+// safeTurn is the worker's recover barrier: a panic anywhere in the guest's
+// turn — the dispatch loop, a builtin, the runtime, an injected chaos fault
+// — finalizes that one guest with ErrInternalFault and lets the worker
+// live. The barrier is sound because every panic source inside runTurn
+// (NewRun, RunOne, Kill, the chaos hook) executes with no supervisor locks
+// held: the recovery path can safely take g.mu to finalize. The guest's
+// realm is quarantined — its AsyncRun is never resumed or pumped again —
+// since a panic mid-dispatch leaves engine invariants unknown.
+func (s *Supervisor) safeTurn(g *Guest) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.internalFault(r, debug.Stack())
+			g.mu.Lock()
+			if g.sleepTimer != nil {
+				g.sleepTimer.Stop()
+				g.sleepTimer = nil
+			}
+			s.finalizeLocked(g, ErrInternalFault)
+			g.mu.Unlock()
+		}
+	}()
+	s.runTurn(g)
 }
 
 // runTurn gives g one scheduling quantum on the calling worker, then
@@ -501,6 +555,12 @@ func (s *Supervisor) runTurn(g *Guest) {
 		}
 	}
 	run := g.run
+
+	// Fault-injection seam: a no-op unless built with -tags=chaos AND a
+	// hook is installed. Runs on the worker that owns the guest this turn,
+	// with no locks held, so an injected panic exercises exactly the
+	// recover barrier a real engine bug would.
+	chaosBeforeTurn(g, run)
 
 	run.ArmQuantum(s.opts.QuantumSteps)
 	if run.Paused() {
@@ -627,9 +687,10 @@ func (s *Supervisor) runTurn(g *Guest) {
 // output policing, and starts $main. Worker goroutine only.
 func (s *Supervisor) startGuest(g *Guest) error {
 	cfg := core.RunConfig{
-		Out:      g.out,
-		Backend:  s.opts.Backend,
-		MaxSteps: g.pol.MaxTotalSteps,
+		Out:            g.out,
+		Backend:        s.opts.Backend,
+		MaxSteps:       g.pol.MaxTotalSteps,
+		MemBudgetBytes: g.pol.MemBudgetBytes,
 	}
 	run, err := g.compiled.NewRun(cfg)
 	if err != nil {
