@@ -107,11 +107,24 @@ func main() {
 
 // supervisorBenchFile is the schema of BENCH_supervisor.json: a dated
 // snapshot of the multi-tenant throughput target, the serving-scenario
-// counterpart of BENCH_interp.json.
+// counterpart of BENCH_interp.json. Config records the knobs the run used,
+// so two snapshots are only comparable when their config blocks match — a
+// throughput regression at 8 workers is not a regression against a 4-worker
+// baseline.
 type supervisorBenchFile struct {
 	CapturedAt string                  `json:"captured_at"`
 	GoVersion  string                  `json:"go_version"`
+	Config     supervisorBenchConfig   `json:"config"`
 	Result     *supervisor.BenchResult `json:"result"`
+}
+
+// supervisorBenchConfig is the config block: the scheduling parameters and
+// which execution engine the guests ran on.
+type supervisorBenchConfig struct {
+	Guests       int    `json:"guests"`
+	Workers      int    `json:"workers"`
+	QuantumSteps uint64 `json:"quantum_steps"`
+	Engine       string `json:"engine"`
 }
 
 // runSupervisorBench executes the throughput target: M guests (with a 1%
@@ -139,7 +152,13 @@ func runSupervisorBench(guests, workers int, quantum uint64, benchPath string) e
 	out := supervisorBenchFile{
 		CapturedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
-		Result:     res,
+		Config: supervisorBenchConfig{
+			Guests:       guests,
+			Workers:      workers,
+			QuantumSteps: quantum,
+			Engine:       activeBackend(),
+		},
+		Result: res,
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

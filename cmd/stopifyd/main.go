@@ -13,6 +13,8 @@
 //	POST /cancel?id=7      → graceful kill at the next yield point
 //	POST /pause?id=7       → take the run off the scheduler
 //	POST /resume?id=7      → put it back
+//	POST /snapshot?id=7    → serialize a quiescent run; &keep=1 leaves it running here
+//	POST /restore          {"snapshot": "<base64>"} → admit a blob from any daemon
 //	GET  /metrics          → fleet aggregates (queue depth, sched latency P99, ...)
 //
 // Every tenant gets the daemon's default policy unless its request narrows
@@ -23,6 +25,7 @@ package main
 
 import (
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -53,6 +56,8 @@ func main() {
 		retain     = flag.Duration("retain", 10*time.Minute, "how long finished runs stay pollable before eviction")
 		memBudget  = flag.Uint64("mem-budget", 256<<20, "default per-run allocation budget in bytes (0 = unmetered)")
 		drainFor   = flag.Duration("drain", 15*time.Second, "how long SIGTERM waits for in-flight runs before killing them")
+		maxRes     = flag.Int("max-resident", 0, "max live realms in memory; idle guests beyond it park to snapshots (0 = unlimited)")
+		parkDir    = flag.String("park-dir", "", "directory for parked-guest snapshots (empty = keep blobs in memory)")
 	)
 	flag.Parse()
 
@@ -61,6 +66,8 @@ func main() {
 		MaxPending:   *maxPending,
 		QuantumSteps: *quantum,
 		Backend:      *backend,
+		MaxResident:  *maxRes,
+		ParkDir:      *parkDir,
 		DefaultPolicy: supervisor.Policy{
 			WallDeadline:   *deadline,
 			MaxTotalSteps:  *maxSteps,
@@ -83,6 +90,8 @@ func main() {
 	mux.HandleFunc("/cancel", srv.handleCancel)
 	mux.HandleFunc("/pause", srv.handlePause)
 	mux.HandleFunc("/resume", srv.handleResume)
+	mux.HandleFunc("/snapshot", srv.handleSnapshot)
+	mux.HandleFunc("/restore", srv.handleRestore)
 	mux.HandleFunc("/metrics", srv.handleMetrics)
 	mux.HandleFunc("/healthz", srv.handleHealthz)
 	mux.HandleFunc("/readyz", srv.handleReadyz)
@@ -344,6 +353,137 @@ func (s *server) handleResume(w http.ResponseWriter, r *http.Request) {
 	}
 	g.Resume()
 	writeJSON(w, map[string]string{"status": "resumed"})
+}
+
+// snapshotResponse is POST /snapshot's body: the serialized continuation,
+// base64-encoded for JSON transport, plus its raw size.
+type snapshotResponse struct {
+	ID       uint64 `json:"id"`
+	Snapshot string `json:"snapshot"`
+	Bytes    int    `json:"bytes"`
+	// Kept reports whether the run is still executing on this daemon
+	// (?keep=1); by default a hand-off kills the source copy so exactly one
+	// daemon owns the continuation.
+	Kept bool `json:"kept"`
+}
+
+// handleSnapshot serializes a quiescent run (paused, asleep on a timer, or
+// already parked) into a portable blob. The default is hand-off semantics:
+// the local copy is killed once the blob is written, so the continuation has
+// a single owner; ?keep=1 turns it into a pure checkpoint instead. Snapshot
+// works during a drain — evacuating tenants to another node is exactly what
+// a draining daemon is for.
+func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	g := s.guest(w, r)
+	if g == nil {
+		return
+	}
+	blob, err := s.sup.SnapshotGuest(g.ID)
+	switch {
+	case err == supervisor.ErrNotQuiescent:
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	case err == supervisor.ErrFinished:
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	case err != nil:
+		// Pinned (live native, opaque state): the run cannot travel, but it
+		// is unharmed and keeps executing here.
+		http.Error(w, "snapshot: "+err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	keep := r.URL.Query().Get("keep") != ""
+	if !keep {
+		g.Kill(nil)
+	}
+	writeJSON(w, snapshotResponse{
+		ID:       g.ID,
+		Snapshot: base64.StdEncoding.EncodeToString(blob),
+		Bytes:    len(blob),
+		Kept:     keep,
+	})
+}
+
+// restoreRequest is POST /restore's body. Policy fields mirror runRequest;
+// zero values keep the daemon defaults. Step and memory accounting inside
+// the blob is cumulative, so the budgets bound the guest's whole life — what
+// it spent on the originating daemon counts here too.
+type restoreRequest struct {
+	Snapshot       string  `json:"snapshot"` // base64 blob from /snapshot
+	Lane           string  `json:"lane,omitempty"`
+	DeadlineMs     float64 `json:"deadline_ms,omitempty"`
+	MaxSteps       uint64  `json:"max_steps,omitempty"`
+	MaxOutputBytes int     `json:"max_output_bytes,omitempty"`
+	MemBudgetBytes uint64  `json:"mem_budget_bytes,omitempty"`
+}
+
+// handleRestore admits a snapshot blob — typically produced by /snapshot on
+// another daemon — as a new run. Admission is synchronous (a corrupt blob
+// fails here, not on a worker later); the realm itself is rebuilt lazily on
+// the run's first scheduling turn.
+func (s *server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	var req restoreRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	blob, err := base64.StdEncoding.DecodeString(req.Snapshot)
+	if err != nil {
+		http.Error(w, "bad snapshot encoding: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	pol := s.defaults
+	switch req.Lane {
+	case "", "batch":
+	case "interactive":
+		pol.Lane = supervisor.LaneInteractive
+	default:
+		http.Error(w, "unknown lane "+strconv.Quote(req.Lane), http.StatusBadRequest)
+		return
+	}
+	if req.DeadlineMs > 0 {
+		pol.WallDeadline = time.Duration(req.DeadlineMs * float64(time.Millisecond))
+	}
+	if req.MaxSteps > 0 {
+		pol.MaxTotalSteps = req.MaxSteps
+	}
+	if req.MaxOutputBytes > 0 {
+		pol.MaxOutputBytes = req.MaxOutputBytes
+	}
+	if req.MemBudgetBytes > 0 {
+		pol.MemBudgetBytes = req.MemBudgetBytes
+	}
+	g, err := s.sup.Restore(blob, &pol)
+	switch {
+	case err == supervisor.ErrQueueFull:
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return
+	case err == supervisor.ErrClosed:
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		http.Error(w, "restore: "+err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	s.mu.Lock()
+	s.ids = append(s.ids, g.ID)
+	s.mu.Unlock()
+	writeJSON(w, map[string]uint64{"id": g.ID})
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {

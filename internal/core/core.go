@@ -24,6 +24,7 @@ import (
 	"repro/internal/printer"
 	"repro/internal/resolve"
 	"repro/internal/rt"
+	"repro/internal/snapshot"
 )
 
 // Opts mirrors the stopify options object of Figure 1, plus host knobs
@@ -182,9 +183,24 @@ type Compiled struct {
 	Prog *ast.Program
 	Opts Opts
 
+	// SourceText is the original source, retained so a snapshot can embed
+	// it and a restoring process can recompile an identical program.
+	SourceText string
+
 	// SourceBytes and CompiledBytes measure code growth (§6.1).
 	SourceBytes   int
 	CompiledBytes int
+
+	// codeTable is built lazily: only snapshot/restore needs it, and one
+	// table serves every run of this compiled program.
+	codeOnce sync.Once
+	code     *snapshot.CodeTable
+}
+
+// codeTable returns the program's deterministic function/scope ID table.
+func (c *Compiled) codeTable() *snapshot.CodeTable {
+	c.codeOnce.Do(func() { c.code = snapshot.NewCodeTable(c.Prog) })
+	return c.code
 }
 
 // Compile runs source through the full Stopify pipeline.
@@ -204,6 +220,7 @@ func Compile(source string, opts Opts) (*Compiled, error) {
 	c := &Compiled{
 		Prog:        merged,
 		Opts:        opts,
+		SourceText:  source,
 		SourceBytes: len(source),
 	}
 	c.CompiledBytes = len(printer.Print(merged))
@@ -342,6 +359,12 @@ type AsyncRun struct {
 	compiled  *Compiled
 	evalTurns int
 
+	// reg and out support Snapshot: the host-object re-link table built at
+	// realm construction, and the configured output sink (snapshots carry
+	// console output by value when the sink can expose it).
+	reg *snapshot.Registry
+	out io.Writer
+
 	mu       sync.Mutex
 	result   interp.Value
 	err      error
@@ -351,6 +374,27 @@ type AsyncRun struct {
 // NewRun instantiates an interpreter realm, runtime, and event loop for the
 // compiled program.
 func (c *Compiled) NewRun(cfg RunConfig) (*AsyncRun, error) {
+	a, err := c.newRealm(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Define the prelude and $main.
+	if err := a.In.RunProgram(c.Prog); err != nil {
+		return nil, err
+	}
+	// The prelude's closures and tables are the runtime's fixed cost, not
+	// the guest's: start the allocation meter at zero for $main.
+	a.In.ResetMemMeter()
+	return a, nil
+}
+
+// newRealm builds the interpreter realm, runtime, event loop, and host
+// registry — everything up to (but not including) running the compiled
+// program. NewRun then executes the program; Restore instead populates the
+// realm from a snapshot blob. Both paths share this function so the
+// pre-program host graph — what the snapshot registry indexes — is
+// identical on the encoding and decoding sides.
+func (c *Compiled) newRealm(cfg RunConfig) (*AsyncRun, error) {
 	bc, err := cfg.useBytecode()
 	if err != nil {
 		return nil, err
@@ -382,7 +426,11 @@ func (c *Compiled) NewRun(cfg RunConfig) (*AsyncRun, error) {
 		RestoreSegment:  c.Opts.RestoreSegment,
 		Debug:           c.Opts.Debug,
 	})
-	a := &AsyncRun{In: in, Loop: loop, RT: runtime, compiled: c}
+	a := &AsyncRun{In: in, Loop: loop, RT: runtime, compiled: c, out: cfg.Out}
+	// The registry must be built here — after the interpreter and runtime
+	// install their globals, before any guest code runs — so encoding and
+	// decoding realms index the same host graph.
+	a.reg = snapshot.NewRegistry(in)
 
 	if c.Opts.Eval {
 		opts := c.Opts
@@ -408,13 +456,6 @@ func (c *Compiled) NewRun(cfg RunConfig) (*AsyncRun, error) {
 		}
 	}
 
-	// Define the prelude and $main.
-	if err := in.RunProgram(c.Prog); err != nil {
-		return nil, err
-	}
-	// The prelude's closures and tables are the runtime's fixed cost, not
-	// the guest's: start the allocation meter at zero for $main.
-	in.ResetMemMeter()
 	return a, nil
 }
 

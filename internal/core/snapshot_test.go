@@ -1,0 +1,490 @@
+package core_test
+
+import (
+	"bytes"
+	"errors"
+	"hash/fnv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eventloop"
+	"repro/internal/snapshot"
+)
+
+// Snapshot round-trip tests: a guest parked at an arbitrary yield point must
+// serialize, restore into a fresh realm (same process here; the CI smoke
+// test covers another process), and resume to exactly the outcome of never
+// having been serialized. The baseline leg is pause-resume-in-place, which
+// has identical scheduling semantics to park-restore by construction; for
+// programs that are idle (no pending timers) at the park point, the calm
+// run is also asserted equal, per the paper's transparency claim.
+
+// parkQuantum picks a deterministic but program-varied statement count for
+// the injected pause, so the corpus collectively parks at many different
+// program points without flaky randomness.
+func parkQuantum(name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return 200 + h.Sum64()%20_000
+}
+
+// runToPark starts the program and pumps until it parks at the injected
+// quantum pause or finishes. It returns the run and its output sink.
+func runToPark(t *testing.T, c *core.Compiled, backend string, quantum uint64) (*core.AsyncRun, *bytes.Buffer) {
+	t.Helper()
+	var run *core.AsyncRun
+	buf := &bytes.Buffer{}
+	run, err := c.NewRun(core.RunConfig{
+		Backend:      backend,
+		Clock:        eventloop.NewVirtualClock(),
+		Out:          buf,
+		Seed:         1,
+		MaxSteps:     diffBudget,
+		QuantumSteps: quantum,
+		OnQuantum:    func() { run.Pause(nil) },
+	})
+	if err != nil {
+		t.Fatalf("NewRun: %v", err)
+	}
+	run.Run(nil)
+	for !run.Paused() && run.Loop.Len() > 0 {
+		if run.Finished() {
+			if _, err := run.Result(); err != nil {
+				break
+			}
+		}
+		run.Loop.RunOne()
+	}
+	return run, buf
+}
+
+// finish resumes a parked run (if parked) and drives it to completion,
+// draining timers as a page would, and flattens the result.
+func finish(run *core.AsyncRun, buf *bytes.Buffer) outcome {
+	var o outcome
+	if run.Paused() {
+		run.Resume()
+	}
+	if err := run.Wait(); err != nil {
+		o.err = err.Error()
+	}
+	run.Loop.Run()
+	o.out = buf.String()
+	return o
+}
+
+func roundTripProgram(t *testing.T, p diffProgram, backend string) {
+	t.Helper()
+	c, err := core.Compile(p.src, p.opts)
+	if err != nil {
+		t.Skipf("does not compile under these options: %v", err)
+	}
+	quantum := parkQuantum(p.name)
+
+	// Leg A: pause at the quantum, resume in place.
+	runA, bufA := runToPark(t, c, backend, quantum)
+	parked := runA.Paused()
+	idleAtPark := parked && runA.Loop.Len() == 0
+	if !parked {
+		// The program finished before the quantum fired; nothing to park.
+		t.Skipf("finished before quantum %d", quantum)
+	}
+
+	// Leg B: identical run, but serialize at the park point and resume a
+	// restored twin instead.
+	runB, bufB := runToPark(t, c, backend, quantum)
+	if !runB.Paused() {
+		t.Fatalf("leg B did not park where leg A did")
+	}
+	blob, err := runB.Snapshot()
+	if perr := (*snapshot.PinError)(nil); errors.As(err, &perr) {
+		// Pinned guests (live bound functions, Date instances, eval
+		// closures) are a documented boundary, not a failure — but the
+		// pinned run must be unharmed by the attempt.
+		inPlace := finish(runB, bufB)
+		if a := finish(runA, bufA); a != inPlace {
+			t.Fatalf("pinned snapshot attempt perturbed the run:\n  A: %v\n  B: %v", a, inPlace)
+		}
+		t.Skipf("pinned: %v", err)
+	}
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+
+	bufR := &bytes.Buffer{}
+	restored, err := core.RestoreWith(core.RunConfig{
+		Backend:  backend,
+		Clock:    eventloop.NewVirtualClock(),
+		Out:      bufR,
+		MaxSteps: diffBudget,
+	}, blob, core.RestoreOptions{ReplayOutput: true})
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+
+	a := finish(runA, bufA)
+	b := finish(restored, bufR)
+	if a != b {
+		t.Fatalf("snapshot round-trip diverged:\n  in-place: %v\n  restored: %v", a, b)
+	}
+	if idleAtPark && !strings.Contains(b.err, "step budget") {
+		// No pending tasks at the park point: pausing cannot have reordered
+		// anything, so the calm (never-paused) run must match too. The one
+		// exception is a run aborted by the step budget: re-entering frames
+		// after a pause costs a few statements of its own, so a budgeted
+		// program exhausts at a slightly different output point than the
+		// never-paused run (equally for in-place resume and restore, as the
+		// A/B comparison above proves).
+		calm, _ := runStopifiedOutcome(t, c, backend)
+		if calm != b {
+			t.Fatalf("restored run diverged from calm run:\n  calm:     %v\n  restored: %v", calm, b)
+		}
+	}
+}
+
+// TestSnapshotRoundTripDifferential round-trips the whole corpus through the
+// codec at per-program park points, on both engines.
+func TestSnapshotRoundTripDifferential(t *testing.T) {
+	for _, backend := range []string{core.BackendTree, core.BackendBytecode} {
+		for _, p := range corpusPrograms(t) {
+			p, backend := p, backend
+			t.Run(backend+"/"+p.name, func(t *testing.T) {
+				roundTripProgram(t, p, backend)
+			})
+		}
+	}
+}
+
+// adversarialPrograms target the codec's hard cases: cyclic graphs, shape
+// re-interning with accessors and deletions, escaped closures over shared
+// frames, host-object mutation deltas, and value edge cases (-0, NaN,
+// numeric-looking keys).
+func adversarialPrograms() []diffProgram {
+	opts := core.Defaults()
+	opts.Getters = true
+	mk := func(name, src string) diffProgram {
+		return diffProgram{name: name, src: src, opts: opts}
+	}
+	return []diffProgram{
+		mk("cycles", `
+			var a = {name: "a"};
+			var b = {name: "b", peer: a};
+			a.peer = b;
+			a.self = a;
+			var ring = [a, b];
+			ring.push(ring);
+			var n = 0;
+			for (var i = 0; i < 60000; i++) { n = (n + i) % 97; }
+			console.log(a.peer.peer.self.name, b.peer.name, ring[2][0].name, n);
+		`),
+		mk("accessors", `
+			var hits = 0;
+			var o = {base: 10};
+			Object.defineProperty(o, "twice", {
+				get: function () { hits++; return this.base * 2; },
+				set: function (v) { this.base = v; },
+				enumerable: true
+			});
+			var before = o.twice;
+			var n = 0;
+			for (var i = 0; i < 60000; i++) { n = (n + o.twice) % 1000003; }
+			o.twice = 21;
+			console.log(before, o.twice, o.base, hits, n);
+		`),
+		mk("escaped-closures", `
+			function counter(start) {
+				var n = start;
+				return {
+					inc: function () { n++; return n; },
+					dec: function () { n--; return n; },
+					read: function () { return n; }
+				};
+			}
+			var c1 = counter(100), c2 = counter(-5);
+			var sum = 0;
+			for (var i = 0; i < 50000; i++) {
+				sum += c1.inc() + c2.dec();
+			}
+			console.log(c1.read(), c2.read(), sum % 1000003);
+		`),
+		mk("weird-keys", `
+			var o = {};
+			o[-0] = "neg-zero-key";
+			o[NaN] = "nan-key";
+			o["0"] = "zero-string";
+			o[""] = "empty";
+			o["__proto__x"] = "protoish";
+			var vals = [0/-1, 0/0, 1/0, -1/0, 9007199254740993];
+			var n = 0;
+			for (var i = 0; i < 60000; i++) { n = (n + i * i) % 65521; }
+			console.log(o[0], o[NaN], o[""], o["__proto__x"], vals.join(","), n);
+		`),
+		mk("shape-churn", `
+			var objs = [];
+			for (var i = 0; i < 50; i++) {
+				var o = {a: i};
+				if (i % 2) { o.b = i * 2; }
+				if (i % 3) { o.c = i * 3; delete o.a; }
+				o["k" + (i % 7)] = i;
+				objs.push(o);
+			}
+			var n = 0;
+			for (var i = 0; i < 60000; i++) {
+				var o = objs[i % objs.length];
+				n = (n + (o.a || 0) + (o.b || 0) + (o.c || 0)) % 1000003;
+			}
+			console.log(n, JSON.stringify ? "js" : "nojs", objs.length);
+		`),
+		mk("host-deltas", `
+			Object.prototype.tagged = "yes";
+			Array.prototype.second = function () { return this[1]; };
+			var arr = [10, 20, 30];
+			var n = 0;
+			for (var i = 0; i < 60000; i++) { n = (n + arr.second()) % 99991; }
+			console.log(({}).tagged, arr.second(), n);
+		`),
+		mk("prototype-chains", `
+			function Base() { this.kind = "base"; }
+			Base.prototype.describe = function () { return "I am " + this.kind; };
+			function Derived() { Base.call(this); this.kind = "derived"; }
+			Derived.prototype = Object.create(Base.prototype);
+			Derived.prototype.shout = function () { return this.describe().toUpperCase(); };
+			var d = new Derived();
+			var n = 0;
+			for (var i = 0; i < 50000; i++) { n = (n + d.shout().length) % 4093; }
+			console.log(d.describe(), d.shout(), n);
+		`),
+		mk("rand-state", `
+			var before = [];
+			for (var i = 0; i < 3; i++) { before.push(Math.random()); }
+			var n = 0;
+			for (var i = 0; i < 60000; i++) { n = (n + i) % 31; }
+			var after = [];
+			for (var i = 0; i < 3; i++) { after.push(Math.random()); }
+			console.log(before.length, after.length, before[0] < 1, after[0] < 1, after.join(",").length > 5);
+		`),
+		mk("sparse-and-strings", `
+			var a = [];
+			a[0] = "start";
+			a[50] = "mid";
+			a.big = "non-index";
+			var s = "";
+			for (var i = 0; i < 40000; i++) { s = "x"; }
+			var unicode = "café ☃";
+			console.log(a.length, a[50], a.big, s.length, unicode.length, unicode);
+		`),
+		mk("try-catch-park", `
+			function risky(i) {
+				if (i % 1000 === 999) { throw {code: i}; }
+				return i * 2;
+			}
+			var caught = 0, sum = 0;
+			for (var i = 0; i < 30000; i++) {
+				try { sum = (sum + risky(i)) % 1000003; }
+				catch (e) { caught += 1; }
+			}
+			console.log(caught, sum);
+		`),
+	}
+}
+
+// TestSnapshotAdversarial round-trips the hard-case corpus on both engines.
+func TestSnapshotAdversarial(t *testing.T) {
+	for _, backend := range []string{core.BackendTree, core.BackendBytecode} {
+		for _, p := range adversarialPrograms() {
+			p, backend := p, backend
+			t.Run(backend+"/"+p.name, func(t *testing.T) {
+				roundTripProgram(t, p, backend)
+			})
+		}
+	}
+}
+
+// TestSnapshotTimers parks a guest whose event loop holds pending timers and
+// checks the restored twin fires them in the same order; it also snapshots
+// after $main completed (Done state, timers still draining).
+func TestSnapshotTimers(t *testing.T) {
+	src := `
+		var log = [];
+		setTimeout(function () { log.push("t50"); console.log(log.join(">")); }, 50);
+		setTimeout(function () { log.push("t10"); }, 10);
+		var n = 0;
+		for (var i = 0; i < 60000; i++) { n = (n + i) % 101; }
+		log.push("main" + n);
+	`
+	p := diffProgram{name: "timers", src: src, opts: core.Defaults()}
+	t.Run("parked-with-pending", func(t *testing.T) {
+		roundTripProgram(t, p, core.BackendTree)
+	})
+
+	t.Run("done-draining", func(t *testing.T) {
+		c, err := core.Compile(src, core.Defaults())
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := &bytes.Buffer{}
+		run, err := c.NewRun(core.RunConfig{Clock: eventloop.NewVirtualClock(), Out: buf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		run.Run(nil)
+		for !run.Finished() {
+			run.Loop.RunOne()
+		}
+		// $main is done; both timers are still queued. Park here.
+		blob, err := run.Snapshot()
+		if err != nil {
+			t.Fatalf("Snapshot of done-draining run: %v", err)
+		}
+		info, err := core.SnapshotMeta(blob)
+		if err != nil {
+			t.Fatalf("SnapshotMeta: %v", err)
+		}
+		if !info.Done || info.Paused {
+			t.Fatalf("meta = %+v, want Done && !Paused", info)
+		}
+		bufR := &bytes.Buffer{}
+		restored, err := core.Restore(core.RunConfig{Clock: eventloop.NewVirtualClock(), Out: bufR}, blob)
+		if err != nil {
+			t.Fatalf("Restore: %v", err)
+		}
+		if !restored.Finished() {
+			t.Fatal("restored Done guest should report Finished")
+		}
+		restored.Loop.Run()
+		want := finish(run, buf)
+		got := outcome{out: bufR.String()}
+		if want != got {
+			t.Fatalf("drain divergence:\n  source:   %v\n  restored: %v", want, got)
+		}
+		if !strings.Contains(got.out, "t10>t50") {
+			t.Fatalf("timers fired out of order: %q", got.out)
+		}
+	})
+}
+
+// TestSnapshotPins checks that each documented non-serializable obstruction
+// yields a typed PinError naming it, and leaves the guest runnable.
+func TestSnapshotPins(t *testing.T) {
+	cases := []struct {
+		name, src, wantReason string
+	}{
+		{"bound-function", `
+			function add(a, b) { return a + b; }
+			var bound = add.bind(null, 1);
+			var n = 0;
+			for (var i = 0; i < 60000; i++) { n = (n + bound(i)) % 1000003; }
+			console.log(n);
+		`, "native"},
+		{"date-instance", `
+			var d = new Date();
+			var n = 0;
+			for (var i = 0; i < 60000; i++) { n = (n + i) % 11; }
+			console.log(typeof d.getTime(), n);
+		`, "native"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := core.Compile(tc.src, core.Defaults())
+			if err != nil {
+				t.Fatal(err)
+			}
+			run, buf := runToPark(t, c, core.BackendTree, 5000)
+			if !run.Paused() {
+				t.Fatal("program did not park")
+			}
+			_, err = run.Snapshot()
+			var perr *snapshot.PinError
+			if !errors.As(err, &perr) {
+				t.Fatalf("Snapshot = %v, want *snapshot.PinError", err)
+			}
+			if !strings.Contains(perr.Reason, tc.wantReason) {
+				t.Fatalf("pin reason %q does not mention %q", perr.Reason, tc.wantReason)
+			}
+			// The failed snapshot must not have perturbed the run.
+			o := finish(run, buf)
+			if o.err != "" || o.out == "" {
+				t.Fatalf("pinned run damaged: %v", o)
+			}
+		})
+	}
+}
+
+// TestSnapshotOutputSinkPin: an output sink the codec cannot carry by value
+// pins the guest with a clear reason instead of dropping output.
+func TestSnapshotOutputSinkPin(t *testing.T) {
+	c, err := core.Compile(`var n = 0; for (var i = 0; i < 60000; i++) { n += i; } console.log(n);`, core.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var run *core.AsyncRun
+	sink := &nullableBuf{} // has String but no Bytes
+	run, err = c.NewRun(core.RunConfig{
+		Clock: eventloop.NewVirtualClock(), Out: sink,
+		QuantumSteps: 5000, OnQuantum: func() { run.Pause(nil) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Run(nil)
+	for !run.Paused() && run.Loop.Len() > 0 {
+		run.Loop.RunOne()
+	}
+	_, err = run.Snapshot()
+	var perr *snapshot.PinError
+	if !errors.As(err, &perr) {
+		t.Fatalf("Snapshot = %v, want *snapshot.PinError for opaque sink", err)
+	}
+	if !strings.Contains(perr.Reason, "output sink") {
+		t.Fatalf("pin reason %q should mention the output sink", perr.Reason)
+	}
+}
+
+// TestSnapshotAccounting: cumulative step and memory counters survive the
+// round trip, so budgets bound a guest's whole life across parks.
+func TestSnapshotAccounting(t *testing.T) {
+	c, err := core.Compile(`
+		var arr = [];
+		for (var i = 0; i < 20000; i++) { arr.push({i: i}); }
+		console.log(arr.length);
+	`, core.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, _ := runToPark(t, c, core.BackendTree, 8000)
+	if !run.Paused() {
+		t.Fatal("did not park")
+	}
+	steps, mem := run.Steps(), run.MemUsed()
+	if steps == 0 || mem == 0 {
+		t.Fatalf("expected nonzero accounting at park, got steps=%d mem=%d", steps, mem)
+	}
+	blob, err := run.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	info, err := core.SnapshotMeta(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Steps != steps || info.MemUsed != mem {
+		t.Fatalf("meta accounting (%d, %d) != live (%d, %d)", info.Steps, info.MemUsed, steps, mem)
+	}
+	restored, err := core.Restore(core.RunConfig{Clock: eventloop.NewVirtualClock(), Out: &bytes.Buffer{}}, blob)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if restored.Steps() != steps || restored.MemUsed() != mem {
+		t.Fatalf("restored accounting (%d, %d) != snapshot (%d, %d)",
+			restored.Steps(), restored.MemUsed(), steps, mem)
+	}
+	restored.Resume()
+	if err := restored.Wait(); err != nil {
+		t.Fatalf("restored run failed: %v", err)
+	}
+	if restored.Steps() <= steps {
+		t.Fatal("restored run did not continue counting from the snapshot figure")
+	}
+}

@@ -61,23 +61,10 @@ func (r *R) installNatives() {
 		r.Yields++
 		aux := r.curAux
 		r.beginCapture(func(frames Frames) {
-			r.Loop.Post(func() {
-				if r.mustPause.Load() {
-					r.mustPause.Store(false)
-					r.mu.Lock()
-					r.paused = true
-					r.savedK = frames
-					r.savedAux = aux
-					cb := r.onPause
-					r.mu.Unlock()
-					if cb != nil {
-						cb()
-					}
-					return
-				}
-				r.curAux = aux
-				r.startRestore(frames, interp.Undefined, nil)
-			}, 0)
+			// Ledgered (snapshot.go): a yield's queued resume is part of
+			// the program's serializable state, and the posted task parks
+			// instead of resuming when a pause request is armed.
+			r.postResume(frames, aux, 0)
 		})
 		return r.captureReturn()
 	})
@@ -137,12 +124,9 @@ func (r *R) installNatives() {
 			}
 			delay = d
 		}
-		r.Loop.Post(func() {
-			r.curAux = true
-			r.runStep(func() (interp.Value, error) {
-				return in.Call(fn, interp.Undefined, nil, interp.Undefined)
-			})
-		}, delay)
+		// Ledgered (snapshot.go): pending timers serialize as
+		// (due-offset, callback) records.
+		r.postTimer(fn, delay)
 		return interp.NumberValue(0), nil
 	})
 

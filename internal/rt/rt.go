@@ -113,6 +113,11 @@ type R struct {
 	onDone func(interp.Value, error)
 	done   bool // under mu
 
+	// ledger tracks runtime-posted pending tasks in serializable form
+	// (snapshot.go); under mu.
+	ledger    map[uint64]*LedgerEntry
+	ledgerSeq uint64
+
 	// Stats observable by the harness.
 	Yields   int
 	Captures int
@@ -141,7 +146,7 @@ func New(in *interp.Interp, loop *eventloop.Loop, opts Options) *R {
 	if opts.CountdownN <= 0 {
 		opts.CountdownN = 100000
 	}
-	r := &R{In: in, Loop: loop, opts: opts, breakpoints: map[int]bool{}}
+	r := &R{In: in, Loop: loop, opts: opts, breakpoints: map[int]bool{}, ledger: map[uint64]*LedgerEntry{}}
 	r.stackObj = in.NewArray(nil)
 	r.rstackObj = in.NewArray(nil)
 	r.shadowObj = in.NewArray(nil)
@@ -256,19 +261,23 @@ func ContinuationFrames(k *interp.Object) (Frames, bool) {
 func (r *R) bottomFrame() *interp.Object {
 	frame := r.In.NewPlainObject()
 	frame.SetOwn("label", interp.NumberValue(0))
-	frame.SetOwn("reenter", interp.ObjectValue(r.In.NewNative("$bottom", func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
-		if n := len(r.rstackObj.Elems); n > 0 {
-			r.rstackObj.Elems = r.rstackObj.Elems[:n-1]
-		}
-		r.setMode(instrument.ModeNormal)
-		if r.restoreThrow != nil {
-			t := r.restoreThrow
-			r.restoreThrow = nil
-			return interp.Undefined, t
-		}
-		return r.restoreValue, nil
-	})))
+	frame.SetOwn("reenter", interp.ObjectValue(r.In.NewNative("$bottom", r.bottomReenter)))
 	return frame
+}
+
+// bottomReenter is the $bottom native's body, shared with the snapshot
+// decoder (NewBottomNative) so decoded bottom frames behave identically.
+func (r *R) bottomReenter(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+	if n := len(r.rstackObj.Elems); n > 0 {
+		r.rstackObj.Elems = r.rstackObj.Elems[:n-1]
+	}
+	r.setMode(instrument.ModeNormal)
+	if r.restoreThrow != nil {
+		t := r.restoreThrow
+		r.restoreThrow = nil
+		return interp.Undefined, t
+	}
+	return r.restoreValue, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -493,10 +502,7 @@ func (r *R) Resume() {
 	aux := r.savedAux
 	r.savedK = nil
 	r.mu.Unlock()
-	r.Loop.Post(func() {
-		r.curAux = aux
-		r.startRestore(frames, interp.Undefined, nil)
-	}, 0)
+	r.postResume(frames, aux, 0)
 }
 
 // Kill gracefully terminates the program: a running program stops at its

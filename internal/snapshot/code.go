@@ -1,0 +1,113 @@
+package snapshot
+
+import (
+	"hash/fnv"
+	"strconv"
+
+	"repro/internal/ast"
+)
+
+// CodeTable assigns deterministic IDs to every function literal and every
+// scope layout in a compiled program, by a pre-order walk of the program
+// body. The whole compile pipeline (desugar → prelude → ANF → boxes →
+// instrument → resolve) is deterministic, so compiling the same source with
+// the same options in another process — or just another realm — yields a
+// tree whose walk visits structurally identical functions in the same
+// order. That makes (function ID, captured environment) a portable closure
+// identity, the classic code/data split of image-based serialization.
+type CodeTable struct {
+	funcs   []*ast.Func
+	funcID  map[*ast.Func]int
+	scopes  []*ast.ScopeInfo
+	scopeID map[*ast.ScopeInfo]int
+	sum     uint64
+}
+
+// NewCodeTable walks prog and returns its table.
+func NewCodeTable(prog *ast.Program) *CodeTable {
+	t := &CodeTable{
+		funcID:  make(map[*ast.Func]int),
+		scopeID: make(map[*ast.ScopeInfo]int),
+	}
+	addScope := func(s *ast.ScopeInfo) {
+		if s == nil {
+			return
+		}
+		if _, ok := t.scopeID[s]; ok {
+			return
+		}
+		t.scopeID[s] = len(t.scopes)
+		t.scopes = append(t.scopes, s)
+	}
+	for _, stmt := range prog.Body {
+		ast.Walk(stmt, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.Func:
+				if _, ok := t.funcID[x]; !ok {
+					t.funcID[x] = len(t.funcs)
+					t.funcs = append(t.funcs, x)
+					addScope(x.Scope)
+				}
+			case *ast.Try:
+				addScope(x.CatchScope)
+			}
+			return true
+		})
+	}
+	t.sum = t.fingerprint()
+	return t
+}
+
+// fingerprint hashes the structural identity of the table — function names,
+// arities, and slot layouts — so a decode against a realm whose compile
+// diverged (different options, a nondeterministic pass) fails loudly
+// instead of pairing environments with the wrong layouts.
+func (t *CodeTable) fingerprint() uint64 {
+	h := fnv.New64a()
+	num := func(n int) {
+		h.Write([]byte(strconv.Itoa(n)))
+		h.Write([]byte{';'})
+	}
+	for _, fn := range t.funcs {
+		h.Write([]byte(fn.Name))
+		h.Write([]byte{0})
+		num(len(fn.Params))
+	}
+	for _, s := range t.scopes {
+		for _, name := range s.Names {
+			h.Write([]byte(name))
+			h.Write([]byte{0})
+		}
+		num(len(s.Names))
+	}
+	return h.Sum64()
+}
+
+// FuncID resolves a function literal to its ID; ok is false for functions
+// outside the compiled program (eval-compiled code).
+func (t *CodeTable) FuncID(fn *ast.Func) (int, bool) {
+	id, ok := t.funcID[fn]
+	return id, ok
+}
+
+// ScopeID resolves a scope layout to its ID.
+func (t *CodeTable) ScopeID(s *ast.ScopeInfo) (int, bool) {
+	id, ok := t.scopeID[s]
+	return id, ok
+}
+
+// Func returns the function with the given ID, or nil.
+func (t *CodeTable) Func(id int) *ast.Func {
+	if id < 0 || id >= len(t.funcs) {
+		return nil
+	}
+	return t.funcs[id]
+}
+
+// Scope returns the scope layout with the given ID, or nil.
+func (t *CodeTable) Scope(id int) *ast.ScopeInfo {
+	if id < 0 || id >= len(t.scopes) {
+		return nil
+	}
+	return t.scopes[id]
+}

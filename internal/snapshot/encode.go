@@ -1,0 +1,626 @@
+package snapshot
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/interp"
+	"repro/internal/rt"
+)
+
+// Input is everything the encoder needs from the embedding layer. The
+// caller (core.AsyncRun.Snapshot) guarantees quiescence: no goroutine is
+// executing guest code, so the graph walk is read-only and race-free.
+type Input struct {
+	In   *interp.Interp
+	RT   *rt.R
+	Code *CodeTable
+	Reg  *Registry
+
+	// HostMeta is an opaque header the embedding layer round-trips —
+	// core stores the program source and compile options there, so a
+	// restoring process can rebuild an identical realm before decoding.
+	HostMeta []byte
+	// Output is the console output produced so far, carried by value.
+	Output []byte
+	// Result is the main chain's completion value when the run finished
+	// normally and is draining timers (rt reports Done).
+	Result interp.Value
+	// WallUnixMs timestamps the snapshot (wall clock), so a restore can
+	// credit parked time against pending timer due-offsets.
+	WallUnixMs float64
+}
+
+// object node kinds on the wire.
+const (
+	nodePlain = iota
+	nodeClosure
+	nodeBottom
+	nodeContinuation
+)
+
+// host-delta op kinds on the wire.
+const (
+	opSetProp = iota
+	opDelProp
+	opSetProto
+	opSetElems
+)
+
+// flag bits in the header.
+const (
+	flagPaused = 1 << iota
+	flagDone
+	flagSavedAux
+)
+
+type enc struct {
+	in   *interp.Interp
+	reg  *Registry
+	code *CodeTable
+
+	objID  map[*interp.Object]int
+	objs   []*interp.Object
+	objQ   []*interp.Object
+	envID  map[*interp.Env]int
+	envs   []*interp.Env
+	envQ   []*interp.Env
+	deltas []hostDelta
+
+	err error
+}
+
+type hostDelta struct {
+	ordinal int
+	ops     []deltaOp
+}
+
+type deltaOp struct {
+	kind  byte
+	key   string
+	prop  interp.Prop
+	proto interp.Value // opSetProto: the new prototype (undefined = nil)
+	elems []interp.Value
+}
+
+// Encode serializes a quiescent run. It returns a *PinError when live state
+// reaches outside the serializable boundary.
+func Encode(input Input) ([]byte, error) {
+	r := input.RT
+	if !r.ModeNormal() {
+		return nil, pinf("runtime is mid capture/restore (not at a statement boundary)")
+	}
+	if input.In.InAtomic() {
+		return nil, pinf("a native callback section is active")
+	}
+	if input.In.Depth() != 0 {
+		return nil, pinf("guest frames are live on the native stack")
+	}
+	st := r.SnapshotState()
+	tasks := r.PendingTasks()
+	if got := r.Loop.Len(); got != len(tasks) {
+		return nil, pinf("%d event-loop task(s) not owned by the runtime (blocking host call or debugger)", got-len(tasks))
+	}
+	prist := pristine()
+	if input.Reg.Sum() != prist.Sum() || input.Reg.Len() != prist.Len() {
+		return nil, pinf("host registry diverged from the pristine realm (host natives installed after realm construction?)")
+	}
+
+	e := &enc{
+		in:    input.In,
+		reg:   input.Reg,
+		code:  input.Code,
+		objID: make(map[*interp.Object]int),
+		envID: make(map[*interp.Env]int),
+	}
+
+	// Host deltas first: comparing against the pristine twin tells us which
+	// guest values hang off mutated host objects, and those values are
+	// discovery roots like any other.
+	e.collectDeltas(prist)
+
+	// Discovery: assign IDs to every reachable non-registry object and
+	// every reachable environment frame, in deterministic root order.
+	root := input.In.Global
+	globalNames := root.GlobalNames()
+	for _, name := range globalNames {
+		v, _ := root.Lookup(name)
+		e.discoverValue(v)
+	}
+	for _, f := range st.Frames {
+		e.discoverValue(f)
+	}
+	e.discoverValue(input.Result)
+	for _, t := range tasks {
+		e.discoverValue(t.Fn)
+		for _, f := range t.Frames {
+			e.discoverValue(f)
+		}
+	}
+	for _, d := range e.deltas {
+		for _, op := range d.ops {
+			e.discoverProp(op.prop)
+			e.discoverValue(op.proto)
+			for _, v := range op.elems {
+				e.discoverValue(v)
+			}
+		}
+	}
+	e.drain()
+	if e.err != nil {
+		return nil, e.err
+	}
+
+	// Emission.
+	w := &writer{}
+	w.buf = append(w.buf, magic[:]...)
+	w.u8(Version)
+	w.bytes(input.HostMeta)
+	w.uvarint(input.In.Steps)
+	w.uvarint(input.In.MemUsed())
+	w.u64(input.In.RandState())
+	w.bytes(input.Output)
+	var flags byte
+	if st.Paused {
+		flags |= flagPaused
+	}
+	if st.Done {
+		flags |= flagDone
+	}
+	if st.Aux {
+		flags |= flagSavedAux
+	}
+	w.u8(flags)
+	w.f64(input.WallUnixMs)
+
+	w.uvarint(uint64(e.reg.Len()))
+	w.u64(e.reg.Sum())
+	w.uvarint(uint64(len(e.code.funcs)))
+	w.uvarint(uint64(len(e.code.scopes)))
+	w.u64(e.code.sum)
+
+	e.emitEnvs(w)
+	e.emitObjects(w)
+
+	w.uvarint(uint64(len(globalNames)))
+	for _, name := range globalNames {
+		v, _ := root.Lookup(name)
+		w.str(name)
+		e.value(w, v)
+	}
+
+	w.uvarint(uint64(len(e.deltas)))
+	for _, d := range e.deltas {
+		w.uvarint(uint64(d.ordinal))
+		w.uvarint(uint64(len(d.ops)))
+		for _, op := range d.ops {
+			w.u8(op.kind)
+			switch op.kind {
+			case opSetProp:
+				w.str(op.key)
+				e.prop(w, op.prop)
+			case opDelProp:
+				w.str(op.key)
+			case opSetProto:
+				e.value(w, op.proto)
+			case opSetElems:
+				w.uvarint(uint64(len(op.elems)))
+				for _, v := range op.elems {
+					e.value(w, v)
+				}
+			}
+		}
+	}
+
+	w.uvarint(uint64(len(st.Frames)))
+	for _, f := range st.Frames {
+		e.value(w, f)
+	}
+	e.value(w, input.Result)
+
+	w.uvarint(uint64(len(tasks)))
+	for _, t := range tasks {
+		w.u8(byte(t.Kind))
+		w.f64(t.Due)
+		switch t.Kind {
+		case rt.TaskTimer:
+			e.value(w, t.Fn)
+		case rt.TaskResume:
+			w.bool(t.Aux)
+			w.uvarint(uint64(len(t.Frames)))
+			for _, f := range t.Frames {
+				e.value(w, f)
+			}
+		}
+	}
+
+	if e.err != nil {
+		return nil, e.err
+	}
+	return w.buf, nil
+}
+
+// ---------------------------------------------------------------------------
+// Host deltas
+// ---------------------------------------------------------------------------
+
+// collectDeltas diffs every registry object against its pristine twin.
+// Value equality across the two realms: primitives by payload, objects by
+// matching registry ordinal (a host object can only equal its own twin; a
+// guest object is never equal to anything pristine).
+func (e *enc) collectDeltas(prist *Registry) {
+	for i := 0; i < e.reg.Len(); i++ {
+		live, twin := e.reg.Object(i), prist.Object(i)
+		var ops []deltaOp
+		liveProps := live.OwnProps()
+		twinProps := twin.OwnProps()
+		twinByKey := make(map[string]interp.Prop, len(twinProps))
+		for _, p := range twinProps {
+			twinByKey[p.Key] = p.Prop
+		}
+		liveKeys := make(map[string]bool, len(liveProps))
+		for _, p := range liveProps {
+			liveKeys[p.Key] = true
+			tp, ok := twinByKey[p.Key]
+			if !ok || !e.propEq(p.Prop, tp, prist) {
+				ops = append(ops, deltaOp{kind: opSetProp, key: p.Key, prop: p.Prop})
+			}
+		}
+		for _, p := range twinProps {
+			if !liveKeys[p.Key] {
+				ops = append(ops, deltaOp{kind: opDelProp, key: p.Key})
+			}
+		}
+		if !e.protoEq(live.Proto, twin.Proto, prist) {
+			ops = append(ops, deltaOp{kind: opSetProto, proto: interp.ObjectValue(live.Proto)})
+		}
+		if !e.elemsEq(live.Elems, twin.Elems, prist) {
+			ops = append(ops, deltaOp{kind: opSetElems, elems: live.Elems})
+		}
+		if len(ops) > 0 {
+			e.deltas = append(e.deltas, hostDelta{ordinal: i, ops: ops})
+		}
+	}
+}
+
+func (e *enc) propEq(a, b interp.Prop, prist *Registry) bool {
+	return a.Enumerable == b.Enumerable &&
+		e.protoEq(a.Getter, b.Getter, prist) &&
+		e.protoEq(a.Setter, b.Setter, prist) &&
+		e.hostValueEq(a.Value, b.Value, prist)
+}
+
+// protoEq compares two object pointers across the live/pristine realms.
+func (e *enc) protoEq(a, b *interp.Object, prist *Registry) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	ai, aok := e.reg.Ordinal(a)
+	bi, bok := prist.Ordinal(b)
+	return aok && bok && ai == bi
+}
+
+func (e *enc) hostValueEq(a, b interp.Value, prist *Registry) bool {
+	if a.Tag() != b.Tag() {
+		return false
+	}
+	switch a.Tag() {
+	case interp.TagUndefined, interp.TagNull:
+		return true
+	case interp.TagBool:
+		return a.Bool() == b.Bool()
+	case interp.TagNumber:
+		return math.Float64bits(a.Num()) == math.Float64bits(b.Num())
+	case interp.TagString:
+		return a.Str() == b.Str()
+	case interp.TagObject:
+		return e.protoEq(a.Obj(), b.Obj(), prist)
+	}
+	return false
+}
+
+func (e *enc) elemsEq(a, b []interp.Value, prist *Registry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !e.hostValueEq(a[i], b[i], prist) {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Discovery
+// ---------------------------------------------------------------------------
+
+func (e *enc) discoverValue(v interp.Value) {
+	if e.err != nil {
+		return
+	}
+	if v.Tag() > interp.TagObject {
+		e.err = pinf("an engine-internal value (iterator or constructor sentinel) is reachable")
+		return
+	}
+	o := v.Obj()
+	if o == nil {
+		return
+	}
+	e.discoverObject(o)
+}
+
+func (e *enc) discoverObject(o *interp.Object) {
+	if e.err != nil || o == nil {
+		return
+	}
+	if _, ok := e.reg.Ordinal(o); ok {
+		return
+	}
+	if _, ok := e.objID[o]; ok {
+		return
+	}
+	e.objID[o] = len(e.objs)
+	e.objs = append(e.objs, o)
+	e.objQ = append(e.objQ, o)
+}
+
+func (e *enc) discoverEnv(env *interp.Env) {
+	if e.err != nil || env == nil || env.IsGlobalFrame() {
+		return
+	}
+	if _, ok := e.envID[env]; ok {
+		return
+	}
+	e.envID[env] = len(e.envs)
+	e.envs = append(e.envs, env)
+	e.envQ = append(e.envQ, env)
+}
+
+func (e *enc) discoverProp(p interp.Prop) {
+	e.discoverObject(p.Getter)
+	e.discoverObject(p.Setter)
+	e.discoverValue(p.Value)
+}
+
+// drain processes the discovery worklists iteratively (guest graphs can be
+// arbitrarily deep — recursion would blow the Go stack on a long list).
+func (e *enc) drain() {
+	for e.err == nil && (len(e.objQ) > 0 || len(e.envQ) > 0) {
+		if n := len(e.objQ); n > 0 {
+			o := e.objQ[n-1]
+			e.objQ = e.objQ[:n-1]
+			e.scanObject(o)
+			continue
+		}
+		n := len(e.envQ)
+		env := e.envQ[n-1]
+		e.envQ = e.envQ[:n-1]
+		e.scanEnv(env)
+	}
+}
+
+// scanObject classifies o and discovers its children. Classification must
+// agree with emitObjects.
+func (e *enc) scanObject(o *interp.Object) {
+	switch {
+	case o.Native != nil:
+		switch o.NativeName {
+		case "$bottom":
+			// Closes over the runtime only; rebuilt by NewBottomNative.
+		case "continuation":
+			frames, ok := rt.ContinuationFrames(o)
+			if !ok {
+				e.err = pinf("continuation value without reified frames")
+				return
+			}
+			for _, f := range frames {
+				e.discoverValue(f)
+			}
+		default:
+			e.err = pinf("native function %q was created at runtime and has no registry name", o.NativeName)
+			return
+		}
+	case o.Fn != nil:
+		if _, ok := e.code.FuncID(o.Fn.Decl); !ok {
+			e.err = pinf("closure over code outside the compiled program (eval)")
+			return
+		}
+		e.discoverEnv(o.Fn.Env)
+	default:
+		if o.Extra != nil {
+			e.err = pinf("object of class %q carries a host payload", o.Class)
+			return
+		}
+	}
+	e.discoverObject(o.Proto)
+	for _, p := range o.OwnProps() {
+		e.discoverProp(p.Prop)
+	}
+	for _, v := range o.Elems {
+		e.discoverValue(v)
+	}
+}
+
+func (e *enc) scanEnv(env *interp.Env) {
+	if layout := env.Layout(); layout != nil {
+		if _, ok := e.code.ScopeID(layout); !ok {
+			e.err = pinf("environment frame with a layout outside the compiled program (eval)")
+			return
+		}
+	}
+	e.discoverEnv(env.Parent())
+	for _, v := range env.SlotValues() {
+		e.discoverValue(v)
+	}
+	for _, v := range env.DynamicVars() {
+		e.discoverValue(v)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Emission
+// ---------------------------------------------------------------------------
+
+// value tags on the wire.
+const (
+	wvUndefined = iota
+	wvNull
+	wvFalse
+	wvTrue
+	wvNumber
+	wvString
+	wvObjRef
+	wvHostRef
+)
+
+func (e *enc) value(w *writer, v interp.Value) {
+	switch v.Tag() {
+	case interp.TagUndefined:
+		w.u8(wvUndefined)
+	case interp.TagNull:
+		w.u8(wvNull)
+	case interp.TagBool:
+		if v.Bool() {
+			w.u8(wvTrue)
+		} else {
+			w.u8(wvFalse)
+		}
+	case interp.TagNumber:
+		w.u8(wvNumber)
+		w.f64(v.Num())
+	case interp.TagString:
+		w.u8(wvString)
+		w.str(v.Str())
+	case interp.TagObject:
+		e.objRef(w, v.Obj())
+	}
+}
+
+// objRef writes a reference to o (host ordinal or node ID). nil encodes as
+// undefined — used for absent prototypes and absent getter/setter halves.
+func (e *enc) objRef(w *writer, o *interp.Object) {
+	if o == nil {
+		w.u8(wvUndefined)
+		return
+	}
+	if ord, ok := e.reg.Ordinal(o); ok {
+		w.u8(wvHostRef)
+		w.uvarint(uint64(ord))
+		return
+	}
+	id, ok := e.objID[o]
+	if !ok {
+		// Discovery visited everything reachable from the roots; an
+		// unknown object here is a codec bug, not guest behavior.
+		e.err = corruptf("object escaped discovery (encoder bug)")
+		return
+	}
+	w.u8(wvObjRef)
+	w.uvarint(uint64(id))
+}
+
+func (e *enc) prop(w *writer, p interp.Prop) {
+	var bits byte
+	if p.Enumerable {
+		bits |= 1
+	}
+	if p.Getter != nil || p.Setter != nil {
+		bits |= 2
+	}
+	w.u8(bits)
+	if bits&2 != 0 {
+		e.objRef(w, p.Getter)
+		e.objRef(w, p.Setter)
+		return
+	}
+	e.value(w, p.Value)
+}
+
+func (e *enc) emitEnvs(w *writer) {
+	w.uvarint(uint64(len(e.envs)))
+	for _, env := range e.envs {
+		layout := env.Layout()
+		if layout != nil {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+		e.envRef(w, env.Parent())
+		if layout != nil {
+			id, _ := e.code.ScopeID(layout)
+			w.uvarint(uint64(id))
+			slots := env.SlotValues()
+			w.uvarint(uint64(len(slots)))
+			for _, v := range slots {
+				e.value(w, v)
+			}
+		}
+		vars := env.DynamicVars()
+		keys := make([]string, 0, len(vars))
+		for k := range vars {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		w.uvarint(uint64(len(keys)))
+		for _, k := range keys {
+			w.str(k)
+			e.value(w, vars[k])
+		}
+	}
+}
+
+// envRef: 0 is the global frame, i+1 is env node i.
+func (e *enc) envRef(w *writer, env *interp.Env) {
+	if env == nil || env.IsGlobalFrame() {
+		w.uvarint(0)
+		return
+	}
+	id, ok := e.envID[env]
+	if !ok {
+		e.err = corruptf("environment escaped discovery (encoder bug)")
+		return
+	}
+	w.uvarint(uint64(id) + 1)
+}
+
+func (e *enc) emitObjects(w *writer) {
+	w.uvarint(uint64(len(e.objs)))
+	for _, o := range e.objs {
+		switch {
+		case o.Native != nil && o.NativeName == "$bottom":
+			w.u8(nodeBottom)
+		case o.Native != nil: // "continuation"; scanObject pinned the rest
+			w.u8(nodeContinuation)
+			frames, _ := rt.ContinuationFrames(o)
+			w.uvarint(uint64(len(frames)))
+			for _, f := range frames {
+				e.value(w, f)
+			}
+		case o.Fn != nil:
+			w.u8(nodeClosure)
+			id, _ := e.code.FuncID(o.Fn.Decl)
+			w.uvarint(uint64(id))
+			e.envRef(w, o.Fn.Env)
+		default:
+			w.u8(nodePlain)
+			w.str(o.Class)
+		}
+		// Uniform tail for every kind: prototype, own props in insertion
+		// order, elements.
+		e.objRef(w, o.Proto)
+		props := o.OwnProps()
+		w.uvarint(uint64(len(props)))
+		for _, p := range props {
+			w.str(p.Key)
+			e.prop(w, p.Prop)
+		}
+		w.uvarint(uint64(len(o.Elems)))
+		for _, v := range o.Elems {
+			e.value(w, v)
+		}
+	}
+}

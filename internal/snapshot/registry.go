@@ -1,0 +1,132 @@
+package snapshot
+
+import (
+	"hash/fnv"
+	"strconv"
+	"sync"
+
+	"repro/internal/eventloop"
+	"repro/internal/interp"
+	"repro/internal/rt"
+)
+
+// Registry is the host-object re-link table: every object reachable from a
+// realm's globals before the prelude runs — builtins, prototypes, the
+// Stopify runtime's natives and stack arrays — indexed by a deterministic
+// traversal path. Host objects cross the serialization boundary by name:
+// the encoder writes the ordinal, the decoder re-links the ordinal to the
+// same-path object in the destination realm. Guest mutations *of* host
+// objects (a monkey-patched builtin, a property added to Object.prototype)
+// are captured separately, as deltas against a pristine twin realm (see
+// encode.go), so the registry itself never needs to copy initial state.
+//
+// The traversal is deterministic because everything it consults is:
+// global names sorted, own properties in shape insertion order, elements
+// in index order, prototype last. Both sides build their registry at the
+// same realm-construction point (after the runtime installs its globals,
+// before the prelude executes), so ordinals agree; a fingerprint in the
+// blob turns any drift into a loud decode error.
+type Registry struct {
+	paths  []string
+	objs   []*interp.Object
+	byObj  map[*interp.Object]int
+	byPath map[string]int
+	sum    uint64
+}
+
+// NewRegistry enumerates the realm's pre-prelude host graph. Call it right
+// after rt.New (and any host-native installation that must survive
+// snapshots), before the prelude runs.
+func NewRegistry(in *interp.Interp) *Registry {
+	r := &Registry{
+		byObj:  make(map[*interp.Object]int),
+		byPath: make(map[string]int),
+	}
+	root := in.Global
+	for _, name := range root.GlobalNames() {
+		v, _ := root.Lookup(name)
+		r.visit(name, v)
+	}
+	h := fnv.New64a()
+	for _, p := range r.paths {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	r.sum = h.Sum64()
+	return r
+}
+
+func (r *Registry) visit(path string, v interp.Value) {
+	o := v.Obj()
+	if o == nil {
+		return
+	}
+	if _, ok := r.byObj[o]; ok {
+		return
+	}
+	idx := len(r.objs)
+	r.byObj[o] = idx
+	r.byPath[path] = idx
+	r.objs = append(r.objs, o)
+	r.paths = append(r.paths, path)
+	for _, p := range o.OwnProps() {
+		if p.Prop.Getter != nil {
+			r.visit(path+"."+p.Key+":get", interp.ObjectValue(p.Prop.Getter))
+		}
+		if p.Prop.Setter != nil {
+			r.visit(path+"."+p.Key+":set", interp.ObjectValue(p.Prop.Setter))
+		}
+		r.visit(path+"."+p.Key, p.Prop.Value)
+	}
+	for i, e := range o.Elems {
+		r.visit(path+"["+strconv.Itoa(i)+"]", e)
+	}
+	if o.Proto != nil {
+		r.visit(path+".__proto__", interp.ObjectValue(o.Proto))
+	}
+}
+
+// Ordinal resolves a host object to its registry ordinal.
+func (r *Registry) Ordinal(o *interp.Object) (int, bool) {
+	i, ok := r.byObj[o]
+	return i, ok
+}
+
+// Object resolves an ordinal back to the realm's object.
+func (r *Registry) Object(i int) *interp.Object {
+	if i < 0 || i >= len(r.objs) {
+		return nil
+	}
+	return r.objs[i]
+}
+
+// Len reports the registry size.
+func (r *Registry) Len() int { return len(r.objs) }
+
+// Sum is the path-list fingerprint embedded in blobs.
+func (r *Registry) Sum() uint64 { return r.sum }
+
+// Path names an ordinal (diagnostics).
+func (r *Registry) Path(i int) string { return r.paths[i] }
+
+// The pristine twin: one throwaway realm per process, built with default
+// options and never executed, whose registry supplies the *initial* state
+// of every host object for delta comparison. The host graph's structure
+// does not depend on engine profile, clocks, or runtime options — only on
+// which natives the interpreter and runtime install, which is fixed — so
+// one twin serves every snapshot in the process. Guarded by a Once; the
+// realm costs a few hundred objects.
+var (
+	pristineOnce sync.Once
+	pristineReg  *Registry
+)
+
+func pristine() *Registry {
+	pristineOnce.Do(func() {
+		loop := eventloop.New(eventloop.NewVirtualClock())
+		in := interp.New(interp.Options{Loop: loop})
+		rt.New(in, loop, rt.Options{})
+		pristineReg = NewRegistry(in)
+	})
+	return pristineReg
+}

@@ -1,0 +1,59 @@
+// Package snapshot is the serialization codec for paused Stopify guests: it
+// encodes the reachable Value graph of a quiescent run — saved continuation
+// frames, environment chains, objects with their shapes, closures, pending
+// timers — into a self-contained blob, and decodes such a blob into a fresh
+// realm built from the same compiled program.
+//
+// The codec leans on three deterministic structures shared by the encoding
+// and decoding realms:
+//
+//   - the code table: function and scope-layout IDs assigned by a pre-order
+//     walk of the compiled program (the compile pipeline is deterministic,
+//     so recompiling the embedded source in another process yields the same
+//     walk); closures serialize as (function ID, environment ref);
+//   - the host registry: every host object reachable from the realm's
+//     globals *before* the prelude runs, named by a deterministic
+//     traversal path ("Object.prototype.hasOwnProperty", "$suspend", ...);
+//     natives serialize as registry ordinals and re-link on restore, and
+//     guest mutations of host objects serialize as deltas against a
+//     pristine twin realm;
+//   - the runtime's pending-task ledger (rt.PendingTasks): event-loop tasks
+//     as (due-offset, payload) records.
+//
+// Anything outside those structures — a native created at runtime (a bound
+// function, a per-instance Date method), a closure over eval-compiled code,
+// an event-loop task the runtime did not post (a Blocking resume, a
+// debugger park) — has no serializable identity, and encoding fails with a
+// typed *PinError naming the obstruction instead of corrupting state.
+package snapshot
+
+import "fmt"
+
+// Version is the wire-format version byte. A decoder refuses blobs from a
+// different version outright: the format carries raw graph structure, and
+// guessing across versions corrupts realms.
+const Version = 1
+
+// magic prefixes every blob.
+var magic = [4]byte{'S', 'N', 'A', 'P'}
+
+// PinError reports that a guest's live state contains something the codec
+// cannot serialize — the guest is "pinned" in memory. The run itself is
+// unharmed: Snapshot is read-only, and a pinned guest keeps executing.
+type PinError struct {
+	// Reason names the non-serializable obstruction.
+	Reason string
+}
+
+// Error implements error.
+func (e *PinError) Error() string { return "snapshot: guest pinned: " + e.Reason }
+
+// pinf builds a PinError.
+func pinf(format string, args ...interface{}) error {
+	return &PinError{Reason: fmt.Sprintf(format, args...)}
+}
+
+// corruptf reports a malformed or mismatched blob.
+func corruptf(format string, args ...interface{}) error {
+	return fmt.Errorf("snapshot: corrupt blob: "+format, args...)
+}

@@ -130,6 +130,7 @@ type Info struct {
 	OutputBytes int     `json:"output_bytes"`
 	Truncated   bool    `json:"output_truncated"`
 	QueueWaitMs float64 `json:"queue_wait_ms"`
+	Parked      bool    `json:"parked,omitempty"`
 	Error       string  `json:"error,omitempty"`
 	DeadlineMs  float64 `json:"deadline_remaining_ms,omitempty"`
 }
@@ -151,6 +152,18 @@ type Guest struct {
 
 	killReq  error // external termination request, consumed by the scheduler
 	pauseReq bool  // external pause request, consumed at the next park
+
+	// Park state (the MaxResident residency limiter, park.go). A parked
+	// guest has no realm: run is nil and the serialized snapshot lives in
+	// parkBlob (or on disk at parkPath when ParkDir is set). replayOut marks
+	// a guest admitted from an external blob (Supervisor.Restore), whose
+	// carried output must be replayed into out on first restore.
+	parked    bool
+	parkBlob  []byte
+	parkPath  string
+	parkedAt  time.Time
+	replayOut bool
+	lastTurn  time.Time // when the guest last held a worker (LRU park order)
 
 	submitted  time.Time
 	deadline   time.Time // zero: none
@@ -224,6 +237,7 @@ func (g *Guest) Inspect() Info {
 		Quanta:      g.quanta,
 		Preemptions: g.preempts,
 		QueueWaitMs: float64(g.queueWait) / float64(time.Millisecond),
+		Parked:      g.parked,
 	}
 	if g.out != nil {
 		info.OutputBytes, info.Truncated = g.out.Stats()
@@ -306,6 +320,15 @@ func (w *cappedWriter) Stats() (int, bool) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return len(w.buf), w.truncated
+}
+
+// Bytes returns a copy of the recorded output. Its presence is what lets
+// core.AsyncRun.Snapshot carry a supervised guest's console output by value
+// instead of pinning the guest on an opaque sink.
+func (w *cappedWriter) Bytes() []byte {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]byte(nil), w.buf...)
 }
 
 // setOverflow installs the overflow callback (before the guest first runs).

@@ -44,8 +44,45 @@ type metrics struct {
 	lastFault      string
 	lastFaultStack string
 
-	sched reservoir
-	turns reservoir
+	// Residency limiter traffic: parks (guests serialized out of memory),
+	// restores (realms rebuilt on touch), pins (park attempts refused by
+	// the codec), total snapshot bytes produced, and admissions via
+	// Supervisor.Restore from external blobs.
+	parks         uint64
+	restores      uint64
+	parkPins      uint64
+	snapshotBytes uint64
+	restoreAdmits uint64
+
+	sched      reservoir
+	turns      reservoir
+	restoreLat reservoir
+}
+
+func (m *metrics) park(blobLen int) {
+	m.mu.Lock()
+	m.parks++
+	m.snapshotBytes += uint64(blobLen)
+	m.mu.Unlock()
+}
+
+func (m *metrics) parkPinned() {
+	m.mu.Lock()
+	m.parkPins++
+	m.mu.Unlock()
+}
+
+func (m *metrics) restoreDone(d time.Duration) {
+	m.mu.Lock()
+	m.restores++
+	m.restoreLat.add(float64(d) / float64(time.Millisecond))
+	m.mu.Unlock()
+}
+
+func (m *metrics) restoreAdmit() {
+	m.mu.Lock()
+	m.restoreAdmits++
+	m.mu.Unlock()
 }
 
 // internalFault records one recovered engine panic.
@@ -163,6 +200,17 @@ type Metrics struct {
 	LastFault      string `json:"last_fault,omitempty"`
 	LastFaultStack string `json:"last_fault_stack,omitempty"`
 
+	// Residency limiter: live realms vs parked snapshots right now, park /
+	// restore traffic, and how long a restore-on-touch stalls a turn.
+	ResidentGuests     int            `json:"resident_guests"`
+	ParkedGuests       int            `json:"parked_guests"`
+	Parks              uint64         `json:"parks"`
+	Restores           uint64         `json:"restores"`
+	ParkPins           uint64         `json:"park_pins"`
+	SnapshotBytesTotal uint64         `json:"snapshot_bytes_total"`
+	RestoreAdmits      uint64         `json:"restore_admits"`
+	RestoreLatency     LatencySummary `json:"restore_latency"`
+
 	SchedLatency LatencySummary `json:"sched_latency"`
 	TurnDuration LatencySummary `json:"turn_duration"`
 }
@@ -172,31 +220,41 @@ func (s *Supervisor) Metrics() Metrics {
 	s.mu.Lock()
 	active := s.pending
 	queued := len(s.interactive) + len(s.batch)
+	resident := s.resident
+	parked := s.parkedN
 	s.mu.Unlock()
 
 	m := &s.metrics
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return Metrics{
-		Submitted:      m.submitted,
-		Rejected:       m.rejected,
-		Completed:      m.completed,
-		Failed:         m.failed,
-		Killed:         m.killed,
-		Preemptions:    m.preemptions,
-		StepsTotal:     m.stepsTotal,
-		Active:         active,
-		Queued:         queued,
-		KilledDeadline: m.killDeadline,
-		KilledOutput:   m.killOutput,
-		KilledMem:      m.killMem,
-		KilledShutdown: m.killShutdown,
-		KilledExplicit: m.killExplicit,
-		InternalFaults: m.internalFaults,
-		LastFault:      m.lastFault,
-		LastFaultStack: m.lastFaultStack,
-		SchedLatency:   m.sched.summary(),
-		TurnDuration:   m.turns.summary(),
+		Submitted:          m.submitted,
+		Rejected:           m.rejected,
+		Completed:          m.completed,
+		Failed:             m.failed,
+		Killed:             m.killed,
+		Preemptions:        m.preemptions,
+		StepsTotal:         m.stepsTotal,
+		Active:             active,
+		Queued:             queued,
+		KilledDeadline:     m.killDeadline,
+		KilledOutput:       m.killOutput,
+		KilledMem:          m.killMem,
+		KilledShutdown:     m.killShutdown,
+		KilledExplicit:     m.killExplicit,
+		InternalFaults:     m.internalFaults,
+		LastFault:          m.lastFault,
+		LastFaultStack:     m.lastFaultStack,
+		ResidentGuests:     resident,
+		ParkedGuests:       parked,
+		Parks:              m.parks,
+		Restores:           m.restores,
+		ParkPins:           m.parkPins,
+		SnapshotBytesTotal: m.snapshotBytes,
+		RestoreAdmits:      m.restoreAdmits,
+		RestoreLatency:     m.restoreLat.summary(),
+		SchedLatency:       m.sched.summary(),
+		TurnDuration:       m.turns.summary(),
 	}
 }
 

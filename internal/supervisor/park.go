@@ -1,0 +1,269 @@
+package supervisor
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Residency limiting: with Options.MaxResident set, the supervisor keeps at
+// most that many live realms in memory. When a turn ends over the limit,
+// idle guests — externally paused or asleep on a timer, least-recently-run
+// first — are serialized through the snapshot codec and their realms
+// dropped; the blob lives in memory or, with Options.ParkDir, on disk.
+// Touching a parked guest (its timer fires, Resume, a worker picks it up)
+// restores the realm transparently before the turn runs. A guest the codec
+// cannot serialize (a live bound function, a Date instance — see
+// snapshot.PinError) simply stays resident: parking is an optimization, not
+// a correctness boundary.
+//
+// The same machinery gives guests process mobility: SnapshotGuest hands a
+// quiescent guest's blob to the caller (stopifyd's snapshot endpoint), and
+// Supervisor.Restore admits a blob produced by any process as a new guest.
+
+// Residency errors.
+var (
+	// ErrUnknownGuest reports an ID with no admitted guest.
+	ErrUnknownGuest = errors.New("supervisor: unknown guest")
+	// ErrNotQuiescent reports a snapshot request against a guest that is
+	// running or queued to run; pause it first and retry once it parks.
+	ErrNotQuiescent = errors.New("supervisor: guest is not quiescent (pause it first)")
+	// ErrFinished reports a snapshot request against a finished guest.
+	ErrFinished = errors.New("supervisor: guest already finished")
+)
+
+// maybeParkSome enforces MaxResident after a scheduling turn: while the
+// resident-realm count exceeds the limit, park idle guests LRU-first. Runs
+// on a worker with no locks held.
+func (s *Supervisor) maybeParkSome() {
+	max := s.opts.MaxResident
+	if max <= 0 {
+		return
+	}
+	s.mu.Lock()
+	over := s.resident - max
+	if over <= 0 {
+		s.mu.Unlock()
+		return
+	}
+	cands := make([]*Guest, 0, len(s.guests))
+	for _, g := range s.guests {
+		cands = append(cands, g)
+	}
+	s.mu.Unlock()
+
+	type scored struct {
+		g    *Guest
+		last time.Time
+	}
+	idle := make([]scored, 0, len(cands))
+	for _, g := range cands {
+		g.mu.Lock()
+		if g.run != nil && !g.parked && (g.state == StatePaused || g.state == StateSleeping) {
+			idle = append(idle, scored{g, g.lastTurn})
+		}
+		g.mu.Unlock()
+	}
+	sort.Slice(idle, func(i, j int) bool { return idle[i].last.Before(idle[j].last) })
+
+	for _, c := range idle {
+		s.mu.Lock()
+		over = s.resident - max
+		s.mu.Unlock()
+		if over <= 0 {
+			return
+		}
+		s.tryPark(c.g)
+	}
+}
+
+// tryPark serializes one idle guest and drops its realm. Reports whether the
+// guest was parked; a pinned or non-idle guest is left untouched.
+func (s *Supervisor) tryPark(g *Guest) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	// Re-validate under the lock: the guest may have been claimed, killed,
+	// or finished since the candidate scan.
+	if g.run == nil || g.parked || (g.state != StatePaused && g.state != StateSleeping) {
+		return false
+	}
+	blob, err := g.run.Snapshot()
+	if err != nil {
+		// Pinned (or transiently non-quiescent): stays resident.
+		s.metrics.parkPinned()
+		return false
+	}
+	g.parkBlob = blob
+	g.parkPath = ""
+	if s.opts.ParkDir != "" {
+		path := filepath.Join(s.opts.ParkDir, fmt.Sprintf("guest-%d.snap", g.ID))
+		if werr := os.WriteFile(path, blob, 0o600); werr == nil {
+			g.parkPath = path
+			g.parkBlob = nil
+		}
+		// On write failure the blob silently stays in memory: parking
+		// degrades, it does not kill tenants.
+	}
+	g.parked = true
+	g.parkedAt = time.Now()
+	g.run = nil
+	s.mu.Lock()
+	s.resident--
+	s.parkedN++
+	s.mu.Unlock()
+	s.metrics.park(len(blob))
+	return true
+}
+
+// restoreGuest rebuilds a parked guest's realm before a turn (restore on
+// touch). Worker goroutine, no locks held.
+func (s *Supervisor) restoreGuest(g *Guest) error {
+	g.mu.Lock()
+	blob, path, parkedAt, replay := g.parkBlob, g.parkPath, g.parkedAt, g.replayOut
+	g.mu.Unlock()
+	if blob == nil && path != "" {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("supervisor: reading parked snapshot: %w", err)
+		}
+		blob = b
+	}
+	if blob == nil {
+		return errors.New("supervisor: parked guest has no snapshot")
+	}
+	var elapsed float64
+	if !parkedAt.IsZero() {
+		elapsed = float64(time.Since(parkedAt)) / float64(time.Millisecond)
+	}
+	start := time.Now()
+	run, err := core.RestoreWith(core.RunConfig{
+		Out:            g.out,
+		Backend:        s.opts.Backend,
+		MaxSteps:       g.pol.MaxTotalSteps,
+		MemBudgetBytes: g.pol.MemBudgetBytes,
+	}, blob, core.RestoreOptions{ReplayOutput: replay, ElapsedMs: elapsed})
+	if err != nil {
+		return err
+	}
+	// Re-wire the scheduling hooks exactly as startGuest does.
+	run.SetOnQuantum(func() { run.Pause(nil) })
+	g.out.setOverflow(func() { run.Kill(ErrOutputLimit) })
+
+	g.mu.Lock()
+	g.run = run
+	g.parked = false
+	g.parkBlob = nil
+	g.parkPath = ""
+	g.replayOut = false
+	g.mu.Unlock()
+	if path != "" {
+		os.Remove(path)
+	}
+	s.mu.Lock()
+	s.resident++
+	s.parkedN--
+	s.mu.Unlock()
+	s.metrics.restoreDone(time.Since(start))
+	return nil
+}
+
+// SnapshotGuest serializes a quiescent guest — paused, asleep on a timer,
+// or already parked — without disturbing it. Running or queued guests
+// return ErrNotQuiescent: pause the guest and retry once it parks. The
+// returned blob is the caller's; the guest keeps executing here unless the
+// caller also kills it (the daemon's hand-off endpoint does exactly that).
+func (s *Supervisor) SnapshotGuest(id uint64) ([]byte, error) {
+	s.mu.Lock()
+	g := s.guests[id]
+	s.mu.Unlock()
+	if g == nil {
+		return nil, ErrUnknownGuest
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	switch {
+	case g.state == StateDone:
+		return nil, ErrFinished
+	case g.parked:
+		if g.parkBlob != nil {
+			return append([]byte(nil), g.parkBlob...), nil
+		}
+		return os.ReadFile(g.parkPath)
+	case (g.state == StatePaused || g.state == StateSleeping) && g.run != nil:
+		return g.run.Snapshot()
+	default:
+		return nil, ErrNotQuiescent
+	}
+}
+
+// Restore admits a snapshot blob — from SnapshotGuest here, or from another
+// process entirely — as a new guest under pol (DefaultPolicy when nil). The
+// blob's carried console output replays into the new guest's output buffer,
+// and its cumulative step/memory accounting carries over, so policy budgets
+// span the guest's whole life across processes. The guest is queued; a
+// worker rebuilds its realm on first touch.
+func (s *Supervisor) Restore(blob []byte, pol *Policy) (*Guest, error) {
+	// Validate the header before admission so a corrupt blob fails the
+	// caller synchronously, not the worker later.
+	if _, err := core.SnapshotMeta(blob); err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	closed, pending := s.closed, s.pending
+	s.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if pending >= s.opts.MaxPending {
+		s.metrics.reject()
+		return nil, ErrQueueFull
+	}
+
+	p := s.opts.DefaultPolicy
+	if pol != nil {
+		p = *pol
+	}
+	now := time.Now()
+	g := &Guest{
+		sup:        s,
+		pol:        p,
+		lane:       p.Lane,
+		out:        newCappedWriter(p.MaxOutputBytes),
+		parked:     true,
+		parkBlob:   append([]byte(nil), blob...),
+		parkedAt:   now,
+		replayOut:  true,
+		submitted:  now,
+		readySince: now,
+		doneCh:     make(chan struct{}),
+	}
+	if p.WallDeadline > 0 {
+		g.deadline = now.Add(p.WallDeadline)
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if s.pending >= s.opts.MaxPending {
+		s.mu.Unlock()
+		s.metrics.reject()
+		return nil, ErrQueueFull
+	}
+	s.nextID++
+	g.ID = s.nextID
+	s.pending++
+	s.parkedN++
+	s.guests[g.ID] = g
+	s.pushLocked(g)
+	s.mu.Unlock()
+	s.metrics.restoreAdmit()
+	return g, nil
+}

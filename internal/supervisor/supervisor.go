@@ -22,6 +22,7 @@ package supervisor
 import (
 	"errors"
 	"fmt"
+	"os"
 	"runtime/debug"
 	"sync"
 	"time"
@@ -76,6 +77,14 @@ type Options struct {
 	// Backend forces an execution engine for guests ("tree"/"bytecode");
 	// empty uses the process default (STOPIFY_BACKEND).
 	Backend string
+	// MaxResident bounds live guest realms in memory. Beyond it, idle
+	// guests (paused or asleep) are parked — serialized through the
+	// snapshot codec and their realms dropped — least-recently-run first,
+	// and restored transparently when next touched. 0 means unbounded.
+	MaxResident int
+	// ParkDir, when set, spills parked snapshots to disk instead of
+	// holding the blobs in memory.
+	ParkDir string
 	// DefaultPolicy applies to guests submitted without one.
 	DefaultPolicy Policy
 }
@@ -123,6 +132,8 @@ type Supervisor struct {
 	batch       []*Guest
 	rrCredit    int // interactive picks left before a batch pick
 	pending     int // admitted, not yet done
+	resident    int // unfinished guests holding a live realm (run != nil)
+	parkedN     int // unfinished guests whose realm is a parked snapshot
 	nextID      uint64
 	guests      map[uint64]*Guest
 	closed      bool
@@ -517,6 +528,9 @@ func (s *Supervisor) safeTurn(g *Guest) {
 		}
 	}()
 	s.runTurn(g)
+	// Residency enforcement rides on turn boundaries: if this turn pushed
+	// the fleet over MaxResident, park idle guests before taking new work.
+	s.maybeParkSome()
 }
 
 // runTurn gives g one scheduling quantum on the calling worker, then
@@ -544,10 +558,20 @@ func (s *Supervisor) runTurn(g *Guest) {
 		return
 	}
 
-	// First turn: instantiate the realm and start $main. NewRun executes
-	// the prelude, so it happens here on a worker, not at Submit.
+	// No realm: either the first turn (instantiate and start $main — NewRun
+	// executes the prelude, so it happens here on a worker, not at Submit)
+	// or a parked guest being touched (rebuild the realm from its snapshot).
 	if g.run == nil {
-		if err := s.startGuest(g); err != nil {
+		g.mu.Lock()
+		parked := g.parked
+		g.mu.Unlock()
+		var err error
+		if parked {
+			err = s.restoreGuest(g)
+		} else {
+			err = s.startGuest(g)
+		}
+		if err != nil {
 			g.mu.Lock()
 			s.finalizeLocked(g, err)
 			g.mu.Unlock()
@@ -616,6 +640,7 @@ func (s *Supervisor) runTurn(g *Guest) {
 	// Classify.
 	g.mu.Lock()
 	g.steps = run.Steps()
+	g.lastTurn = time.Now()
 	if preempted && !g.pauseReq {
 		g.preempts++
 	}
@@ -703,6 +728,9 @@ func (s *Supervisor) startGuest(g *Guest) error {
 	g.mu.Lock()
 	g.run = run
 	g.mu.Unlock()
+	s.mu.Lock()
+	s.resident++
+	s.mu.Unlock()
 	run.Run(nil)
 	return nil
 }
@@ -735,8 +763,24 @@ func (s *Supervisor) finalizeLocked(g *Guest, err error) {
 	close(g.doneCh)
 	s.metrics.finish(err, g.steps)
 
+	// Release park artifacts: a guest killed while parked leaves neither a
+	// stale spill file nor a phantom entry in the residency gauges.
+	wasResident, wasParked := g.run != nil, g.parked
+	g.parked = false
+	g.parkBlob = nil
+	if g.parkPath != "" {
+		os.Remove(g.parkPath)
+		g.parkPath = ""
+	}
+
 	s.mu.Lock()
 	s.pending--
+	if wasResident {
+		s.resident--
+	}
+	if wasParked {
+		s.parkedN--
+	}
 	if s.pending == 0 {
 		s.idle.Broadcast()
 	}
