@@ -1,0 +1,114 @@
+package core_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eventloop"
+)
+
+// Corrupt-blob robustness: Restore and SnapshotMeta are documented as safe
+// on untrusted cross-process blobs — any corruption must surface as an
+// error (or a still-terminating guest), never a panic or an unkillable
+// loop. These tests mutate a real snapshot byte-by-byte and splice in the
+// overflow patterns a crafted blob would use (uvarint lengths and refs near
+// 2^64 that wrap naive bounds checks to negative ints).
+
+// corruptSrc exercises every decoder table: objects with props and elems,
+// closures over escaped envs, accessors, and a pending timer.
+const corruptSrc = `
+var shared = { n: 0, arr: [1, 2.5, "x", null] };
+Object.defineProperty(shared, "twice", { get: function () { return shared.n * 2; } });
+function mk(i) { return function () { shared.n = shared.n + i; return shared.twice; }; }
+var fs = [mk(1), mk(2), mk(3)];
+setTimeout(function () { print("late " + fs[0]()); }, 5);
+var i = 0;
+while (i < 200) { fs[i % 3](); i = i + 1; }
+print("done " + shared.n);
+`
+
+// corruptBudget keeps each surviving mutant's resume cheap; the pristine
+// program finishes well inside it.
+const corruptBudget = 100_000
+
+// corruptBlob parks corruptSrc mid-run and returns its snapshot.
+func corruptBlob(t *testing.T) []byte {
+	t.Helper()
+	opts := core.Defaults()
+	opts.Getters = true
+	c, err := core.Compile(corruptSrc, opts)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	run, _ := runToPark(t, c, core.BackendTree, 500)
+	if !run.Paused() {
+		t.Fatal("program finished before parking")
+	}
+	blob, err := run.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	return blob
+}
+
+// tryRestore feeds a (possibly corrupt) blob through both untrusted entry
+// points. A panic fails the test via the harness; errors are expected.
+func tryRestore(t *testing.T, blob []byte) {
+	t.Helper()
+	core.SnapshotMeta(blob)
+	run, err := core.Restore(core.RunConfig{
+		Backend:  core.BackendTree,
+		Clock:    eventloop.NewVirtualClock(),
+		Out:      &bytes.Buffer{},
+		MaxSteps: corruptBudget,
+	}, blob)
+	if err != nil || run == nil {
+		return
+	}
+	// Mutations that survive decoding must still yield a guest that runs to
+	// completion (or a guest error) without crashing the realm.
+	run.Resume()
+	run.Wait()
+	run.Loop.Run()
+}
+
+// TestRestoreCorruptBlobMutations overwrites bytes of a real snapshot at
+// strided positions and truncates it at every length.
+func TestRestoreCorruptBlobMutations(t *testing.T) {
+	blob := corruptBlob(t)
+	stride := len(blob)/512 + 1
+	for i := 0; i < len(blob); i += stride {
+		for _, b := range []byte{blob[i] ^ 0xFF, 0xFF, blob[i] ^ 0x01} {
+			m := append([]byte{}, blob...)
+			m[i] = b
+			tryRestore(t, m)
+		}
+	}
+	for n := 0; n < len(blob); n += 7 {
+		tryRestore(t, blob[:n])
+	}
+}
+
+// TestRestoreCorruptBlobSplicedOverflow splices uvarint encodings of values
+// near 2^64 into strided positions, the pattern that wraps an unchecked
+// `off+n` bounds comparison or an `int(uvarint)` ref conversion negative.
+func TestRestoreCorruptBlobSplicedOverflow(t *testing.T) {
+	blob := corruptBlob(t)
+	payloads := [][]byte{
+		binary.AppendUvarint(nil, math.MaxUint64),
+		binary.AppendUvarint(nil, math.MaxUint64-2),
+		binary.AppendUvarint(nil, uint64(math.MaxInt64)+1),
+	}
+	stride := len(blob)/512 + 1
+	for i := 0; i <= len(blob); i += stride {
+		for _, p := range payloads {
+			m := append([]byte{}, blob[:i]...)
+			m = append(m, p...)
+			m = append(m, blob[min(i, len(blob)):]...)
+			tryRestore(t, m)
+		}
+	}
+}

@@ -11,6 +11,7 @@ package rt
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -75,6 +76,8 @@ type R struct {
 	pendingOuter    Frames // outer segments awaiting lazy restore
 	restoreValue    interp.Value
 	restoreThrow    error
+	restoreDepth    int  // live startRestore nesting on the Go stack
+	contain         bool // adopted from a snapshot: recover guest-turn panics
 
 	est estimator
 
@@ -342,6 +345,14 @@ func (r *R) finishCapture() {
 // Restore (with segmentation — deep stacks)
 // ---------------------------------------------------------------------------
 
+// maxRestoreDepth bounds how deep startRestore may nest on the Go stack.
+// Restores recurse through afterStep (segmented restores and continuation
+// applications within one turn), and a cyclic continuation — constructible
+// only from a corrupt snapshot blob, since guests cannot forge Frames —
+// would otherwise recurse forever without consuming guest steps, overflowing
+// the engine stack before MaxSteps or the preemption watchdog can act.
+const maxRestoreDepth = 32768
+
 // startRestore reinstates a continuation. Only the innermost RestoreSegment
 // frames are re-entered on the native stack; outer frames wait in
 // pendingOuter and are restored as inner segments return (DESIGN.md §4.4).
@@ -350,6 +361,12 @@ func (r *R) startRestore(frames Frames, v interp.Value, throwErr error) {
 		r.afterStep(v, throwErr)
 		return
 	}
+	if r.restoreDepth >= maxRestoreDepth {
+		r.finish(interp.Undefined, r.In.Throw("Error", "continuation restore depth exceeded (cyclic or corrupt continuation)"))
+		return
+	}
+	r.restoreDepth++
+	defer func() { r.restoreDepth-- }()
 	r.Restores++
 	r.stackObj.Elems = nil
 	r.shadowObj.Elems = r.shadowObj.Elems[:0]
@@ -406,8 +423,20 @@ func (r *R) Run(fn interp.Value, onDone func(interp.Value, error)) {
 }
 
 // runStep executes one synchronous slice of the program and dispatches on
-// how it ended.
+// how it ended. Restored runtimes additionally contain panics: a snapshot
+// blob that decodes cleanly can still encode a semantically inconsistent
+// graph (a closure paired with a wrong-layout environment chain, say) whose
+// execution faults deep inside the interpreter, and Restore is documented
+// as safe on untrusted cross-process blobs. Fresh runs keep panicking
+// loudly — there a panic is an engine bug, not hostile input.
 func (r *R) runStep(invoke func() (interp.Value, error)) {
+	if r.contain {
+		defer func() {
+			if p := recover(); p != nil {
+				r.finish(interp.Undefined, fmt.Errorf("stopify: internal fault in restored guest: %v", p))
+			}
+		}()
+	}
 	v, err := invoke()
 	r.afterStep(v, err)
 }

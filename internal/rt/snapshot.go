@@ -176,6 +176,7 @@ func (r *R) SnapshotState() ParkState {
 // an adopted runtime — the caller reposts the ledger and either Resumes (if
 // paused) or just pumps the loop.
 func (r *R) AdoptParked(st ParkState, onDone func(interp.Value, error)) {
+	r.contain = true
 	r.mu.Lock()
 	r.onDone = onDone
 	r.done = st.Done

@@ -173,7 +173,7 @@ func Decode(blob []byte, in *interp.Interp, runtime *rt.R, code *CodeTable, reg 
 	}
 	deltas := make([]rawDelta, r.count())
 	for i := range deltas {
-		deltas[i].ordinal = int(r.uvarint())
+		deltas[i].ordinal = r.ref()
 		deltas[i].ops = make([]rawDeltaOp, r.count())
 		for j := range deltas[i].ops {
 			op := &deltas[i].ops[j]
@@ -252,7 +252,7 @@ func Decode(blob []byte, in *interp.Interp, runtime *rt.R, code *CodeTable, reg 
 		if ref == 0 {
 			return global, nil
 		}
-		if ref-1 >= len(d.envs) {
+		if ref < 0 || ref-1 >= len(d.envs) {
 			return nil, corruptf("env ref %d out of range", ref)
 		}
 		return d.envs[ref-1], nil
@@ -444,7 +444,7 @@ func (d *dec) rval(r *reader) wval {
 	case wvString:
 		v.str = r.str()
 	case wvObjRef, wvHostRef:
-		v.ref = int(r.uvarint())
+		v.ref = r.ref()
 	default:
 		if r.err == nil {
 			r.err = corruptf("unknown value tag %d", v.tag)
@@ -465,9 +465,9 @@ func (d *dec) parseProp(r *reader, p *rawProp) {
 
 func (d *dec) parseEnv(r *reader, re *rawEnv) {
 	re.slot = r.u8() == 1
-	re.parentRef = int(r.uvarint())
+	re.parentRef = r.ref()
 	if re.slot {
-		re.scopeID = int(r.uvarint())
+		re.scopeID = r.ref()
 		re.slots = make([]wval, r.count())
 		for i := range re.slots {
 			re.slots[i] = d.rval(r)
@@ -492,8 +492,8 @@ func (d *dec) parseObj(r *reader, ro *rawObj) {
 	case nodePlain:
 		ro.class = r.str()
 	case nodeClosure:
-		ro.funcID = int(r.uvarint())
-		ro.envRef = int(r.uvarint())
+		ro.funcID = r.ref()
+		ro.envRef = r.ref()
 	case nodeBottom:
 	case nodeContinuation:
 		ro.frames = make([]wval, r.count())
@@ -537,7 +537,7 @@ func (d *dec) resolve(v wval) (interp.Value, error) {
 	case wvString:
 		return interp.StringValue(v.str), nil
 	case wvObjRef:
-		if v.ref >= len(d.objs) {
+		if v.ref < 0 || v.ref >= len(d.objs) {
 			return interp.Undefined, corruptf("object ref %d out of range", v.ref)
 		}
 		return interp.ObjectValue(d.objs[v.ref]), nil

@@ -87,7 +87,9 @@ func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
 
 func (r *reader) bytes() []byte {
 	n := r.uvarint()
-	if r.err != nil || uint64(r.off)+n > uint64(len(r.buf)) {
+	// Compare against the remaining bytes, not off+n: a crafted length near
+	// 2^64 would wrap the addition and slip past the check.
+	if r.err != nil || n > uint64(len(r.buf)-r.off) {
 		r.fail()
 		return nil
 	}
@@ -99,6 +101,21 @@ func (r *reader) bytes() []byte {
 func (r *reader) str() string { return string(r.bytes()) }
 
 func (r *reader) bool() bool { return r.u8() != 0 }
+
+// ref reads a uvarint that will be used as a table index or ordinal. Values
+// that do not fit in a non-negative int are rejected here, so callers never
+// see a wire value wrap to a negative index.
+func (r *reader) ref() int {
+	n := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if n > uint64(math.MaxInt) {
+		r.fail()
+		return 0
+	}
+	return int(n)
+}
 
 // count reads a length that will be used to allocate a slice, bounding it
 // by what the remaining bytes could possibly encode (at least one byte per

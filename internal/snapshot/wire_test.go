@@ -1,0 +1,52 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// TestReaderBytesLengthOverflow feeds bytes() a crafted uvarint length near
+// 2^64. A naive bounds check (off+n > len) wraps and slices with a negative
+// length; the reader must instead fail with a corruption error.
+func TestReaderBytesLengthOverflow(t *testing.T) {
+	for _, n := range []uint64{math.MaxUint64, math.MaxUint64 - 2, math.MaxUint64 - 16, 1 << 63} {
+		blob := binary.AppendUvarint(nil, n)
+		blob = append(blob, "payload"...)
+		r := &reader{buf: blob}
+		if b := r.bytes(); b != nil {
+			t.Fatalf("length %d: bytes() = %q, want nil", n, b)
+		}
+		if r.err == nil {
+			t.Fatalf("length %d: reader did not fail", n)
+		}
+	}
+}
+
+// TestReaderRefOverflow checks that ref() rejects wire values that would
+// wrap to a negative int instead of handing them to table-index callers.
+func TestReaderRefOverflow(t *testing.T) {
+	for _, n := range []uint64{math.MaxUint64, uint64(math.MaxInt) + 1, 1 << 63} {
+		r := &reader{buf: binary.AppendUvarint(nil, n)}
+		if got := r.ref(); got != 0 || r.err == nil {
+			t.Fatalf("ref %d: got %d, err %v; want 0 and a corruption error", n, got, r.err)
+		}
+	}
+	r := &reader{buf: binary.AppendUvarint(nil, 42)}
+	if got := r.ref(); got != 42 || r.err != nil {
+		t.Fatalf("ref 42: got %d, err %v", got, r.err)
+	}
+}
+
+// TestReadMetaCraftedLength is the reviewer PoC: a blob with valid magic and
+// version whose host-meta length uvarint is 2^64-3. ReadMeta must return a
+// corruption error, not panic with a slice-bounds fault.
+func TestReadMetaCraftedLength(t *testing.T) {
+	blob := append([]byte{}, magic[:]...)
+	blob = append(blob, Version)
+	blob = binary.AppendUvarint(blob, math.MaxUint64-2)
+	blob = append(blob, make([]byte, 32)...)
+	if _, err := ReadMeta(blob); err == nil {
+		t.Fatal("ReadMeta accepted a blob with a 2^64-3 length prefix")
+	}
+}
