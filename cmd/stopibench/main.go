@@ -9,13 +9,19 @@
 //	stopibench -interp-bench F.json   # capture the interpreter perf baseline (both engines)
 //	stopibench -interp-check F.json   # re-measure and fail on >25% regression
 //	stopibench -supervisor            # multi-tenant throughput target (1k guests, 4 workers)
-//	stopibench -supervisor -supervisor-bench BENCH_supervisor.json
+//	stopibench -supervisor -arrival-rate 500 -duration 30s
+//	                                  # sustained open-loop load harness (windowed P99)
+//	stopibench -supervisor -arrival-rate 500 -duration 30s -supervisor-bench BENCH_supervisor.json
+//	                                  # ...and append the run to the committed trajectory
+//	stopibench -supervisor-check BENCH_supervisor.json -arrival-rate 150 -duration 10s
+//	                                  # re-run and fail on SLO regression vs the trajectory
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"strings"
@@ -35,11 +41,18 @@ func main() {
 		interpBench = flag.String("interp-bench", "", "write ns/op and allocs/op for the interpreter-bound figure benchmarks, under both engines, to this JSON file and exit")
 		interpCheck = flag.String("interp-check", "", "re-measure the interpreter benchmarks and fail if any is >25% slower than this snapshot")
 
-		supFlag    = flag.Bool("supervisor", false, "run the multi-tenant supervisor throughput target and exit")
-		supGuests  = flag.Int("supervisor-guests", 1000, "guest count for -supervisor")
+		supFlag    = flag.Bool("supervisor", false, "run the multi-tenant supervisor target and exit (closed-loop batch; -arrival-rate switches to the sustained open-loop harness)")
+		supGuests  = flag.Int("supervisor-guests", 1000, "guest count for the closed-loop -supervisor target")
 		supWorkers = flag.Int("supervisor-workers", 4, "worker pool size for -supervisor")
 		supQuantum = flag.Uint64("supervisor-quantum", 2000, "scheduling quantum in statements for -supervisor")
-		supBench   = flag.String("supervisor-bench", "", "also write the -supervisor result to this JSON file (the BENCH_supervisor.json trajectory record)")
+		supBench   = flag.String("supervisor-bench", "", "append the -supervisor result to this JSON trajectory file (BENCH_supervisor.json)")
+		supCheck   = flag.String("supervisor-check", "", "run the sustained-load harness and fail if P99 sched latency or error rate regresses past threshold vs the latest load entry in this trajectory file")
+
+		arrivalRate = flag.Float64("arrival-rate", 0, "open-loop arrival rate in guests/sec for -supervisor / -supervisor-check (0 keeps -supervisor closed-loop)")
+		duration    = flag.Duration("duration", 10*time.Second, "generation period for the open-loop harness")
+		fixedArr    = flag.Bool("fixed-arrivals", false, "fixed-interval arrivals instead of Poisson")
+		maxResident = flag.Int("supervisor-max-resident", 0, "MaxResident for the load harness (0 = workers*8, forcing park/restore on the hot path; negative = unbounded)")
+		supSeed     = flag.Int64("supervisor-seed", 1, "seed for arrival spacing and churn targeting")
 	)
 	flag.Parse()
 
@@ -58,8 +71,30 @@ func main() {
 		cfg.Repeats = *repeats
 	}
 
-	if *supFlag {
-		if err := runSupervisorBench(*supGuests, *supWorkers, *supQuantum, *supBench); err != nil {
+	if *supFlag || *supCheck != "" {
+		loadCfg := supervisor.LoadConfig{
+			ArrivalRate:   *arrivalRate,
+			Duration:      *duration,
+			FixedArrivals: *fixedArr,
+			Workers:       *supWorkers,
+			QuantumSteps:  *supQuantum,
+			MaxResident:   *maxResident,
+			Seed:          *supSeed,
+			Backend:       os.Getenv("STOPIFY_BACKEND"),
+		}
+		var err error
+		switch {
+		case *supCheck != "":
+			if loadCfg.ArrivalRate <= 0 {
+				loadCfg.ArrivalRate = 150 // smoke-scale default for the gate
+			}
+			err = checkSupervisorLoad(*supCheck, loadCfg)
+		case *arrivalRate > 0:
+			err = runSupervisorLoad(loadCfg, *supBench)
+		default:
+			err = runSupervisorBench(*supGuests, *supWorkers, *supQuantum, *supBench)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "stopibench:", err)
 			os.Exit(1)
 		}
@@ -105,32 +140,85 @@ func main() {
 	}
 }
 
-// supervisorBenchFile is the schema of BENCH_supervisor.json: a dated
-// snapshot of the multi-tenant throughput target, the serving-scenario
-// counterpart of BENCH_interp.json. Config records the knobs the run used,
-// so two snapshots are only comparable when their config blocks match — a
-// throughput regression at 8 workers is not a regression against a 4-worker
-// baseline.
-type supervisorBenchFile struct {
+// supervisorTrajectory is the schema of BENCH_supervisor.json: an appendable
+// series of dated supervisor measurements, the serving-scenario counterpart
+// of BENCH_interp.json. Each entry records its own config (inside the result
+// blocks), so the file can mix closed-loop throughput snapshots and
+// sustained-load runs across machines and PRs without losing comparability —
+// the check gates only against entries of its own kind.
+type supervisorTrajectory struct {
+	Entries []supervisorTrajEntry `json:"entries"`
+}
+
+// supervisorTrajEntry is one measurement: exactly one of Load / Throughput
+// is set, per Kind.
+type supervisorTrajEntry struct {
 	CapturedAt string                  `json:"captured_at"`
 	GoVersion  string                  `json:"go_version"`
-	Config     supervisorBenchConfig   `json:"config"`
-	Result     *supervisor.BenchResult `json:"result"`
+	Engine     string                  `json:"engine"`
+	Kind       string                  `json:"kind"` // "load" | "throughput"
+	Load       *supervisor.LoadResult  `json:"load,omitempty"`
+	Throughput *supervisor.BenchResult `json:"throughput,omitempty"`
 }
 
-// supervisorBenchConfig is the config block: the scheduling parameters and
-// which execution engine the guests ran on.
-type supervisorBenchConfig struct {
-	Guests       int    `json:"guests"`
-	Workers      int    `json:"workers"`
-	QuantumSteps uint64 `json:"quantum_steps"`
-	Engine       string `json:"engine"`
+// readTrajectory loads a trajectory file. A missing file is an empty
+// trajectory (capture bootstraps it); the pre-trajectory single-snapshot
+// format ({"config":..., "result":...}) is converted to one throughput
+// entry so old baselines keep working.
+func readTrajectory(path string) (*supervisorTrajectory, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &supervisorTrajectory{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var traj supervisorTrajectory
+	if err := json.Unmarshal(data, &traj); err == nil && traj.Entries != nil {
+		return &traj, nil
+	}
+	var legacy struct {
+		CapturedAt string `json:"captured_at"`
+		GoVersion  string `json:"go_version"`
+		Config     struct {
+			Engine string `json:"engine"`
+		} `json:"config"`
+		Result *supervisor.BenchResult `json:"result"`
+	}
+	if err := json.Unmarshal(data, &legacy); err != nil || legacy.Result == nil {
+		return nil, fmt.Errorf("parsing %s: not a trajectory or legacy snapshot", path)
+	}
+	return &supervisorTrajectory{Entries: []supervisorTrajEntry{{
+		CapturedAt: legacy.CapturedAt,
+		GoVersion:  legacy.GoVersion,
+		Engine:     legacy.Config.Engine,
+		Kind:       "throughput",
+		Throughput: legacy.Result,
+	}}}, nil
 }
 
-// runSupervisorBench executes the throughput target: M guests (with a 1%
-// hostile infinite-loop injection and an interactive lane share) through an
-// N-worker pool, printing guests/sec and the P50/P99 scheduling latency,
-// and optionally recording the snapshot.
+// appendTrajectory adds one entry to the trajectory at path, creating the
+// file if needed.
+func appendTrajectory(path string, e supervisorTrajEntry) error {
+	traj, err := readTrajectory(path)
+	if err != nil {
+		return err
+	}
+	e.CapturedAt = time.Now().UTC().Format(time.RFC3339)
+	e.GoVersion = runtime.Version()
+	e.Engine = activeBackend()
+	traj.Entries = append(traj.Entries, e)
+	data, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// runSupervisorBench executes the closed-loop throughput target: M guests
+// (with a 1% hostile infinite-loop injection and an interactive lane share)
+// through an N-worker pool, printing guests/sec and the P50/P99 scheduling
+// latency, and optionally appending the run to the trajectory.
 func runSupervisorBench(guests, workers int, quantum uint64, benchPath string) error {
 	cfg := supervisor.BenchConfig{
 		Guests:           guests,
@@ -149,22 +237,108 @@ func runSupervisorBench(guests, workers int, quantum uint64, benchPath string) e
 	if benchPath == "" {
 		return nil
 	}
-	out := supervisorBenchFile{
-		CapturedAt: time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		Config: supervisorBenchConfig{
-			Guests:       guests,
-			Workers:      workers,
-			QuantumSteps: quantum,
-			Engine:       activeBackend(),
-		},
-		Result: res,
-	}
-	data, err := json.MarshalIndent(out, "", "  ")
+	return appendTrajectory(benchPath, supervisorTrajEntry{Kind: "throughput", Throughput: res})
+}
+
+// runSupervisorLoad executes the sustained open-loop harness and optionally
+// appends the run to the trajectory. Unexpected guest outcomes (wrong
+// output, an unasked-for error) fail the command — a latency number over
+// corrupted tenants would be worthless. Overload symptoms do NOT: an
+// open-loop harness pushed past the machine's capacity reports rejects,
+// stragglers, and a blown-up windowed P99 honestly, and the SLO verdict
+// belongs to -supervisor-check, which gates the same figures against the
+// committed baseline.
+func runSupervisorLoad(cfg supervisor.LoadConfig, benchPath string) error {
+	fmt.Printf("execution engine: %s\n", activeBackend())
+	res, err := supervisor.RunLoad(cfg)
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(benchPath, append(data, '\n'), 0o644)
+	fmt.Print(res.Format())
+	if res.Unexpected > 0 {
+		return fmt.Errorf("sustained load: %d unexpected outcomes — %s",
+			res.Unexpected, res.FirstUnexpected)
+	}
+	if res.Stragglers > 0 || res.Rejected > 0 {
+		fmt.Printf("overloaded: %d stragglers past the drain budget, %d rejected admissions — offered load exceeds this machine's capacity\n",
+			res.Stragglers, res.Rejected)
+	}
+	if benchPath == "" {
+		return nil
+	}
+	return appendTrajectory(benchPath, supervisorTrajEntry{Kind: "load", Load: res})
+}
+
+// SLO gate thresholds for -supervisor-check. The gate is a smoke alarm for
+// CI, not a microbenchmark: the multiplier and the absolute floors absorb
+// the machine-to-machine spread between where the baseline was captured and
+// where the check runs, while still catching the regressions that matter
+// (a scheduling cliff lands at 10x the floor, not 1.1x).
+const (
+	sloP99Mult    = 3.0   // worst-window P99 may be this much over baseline
+	sloP99FloorMs = 250.0 // ...but never gated below this absolute bound
+	sloErrMult    = 5.0   // error rate multiplier over baseline
+	sloErrFloor   = 0.01  // ...with this absolute floor
+)
+
+// checkSupervisorLoad runs the sustained-load harness and fails when its
+// windowed P99 scheduling latency or error rate regresses past threshold
+// against the most recent load entry in the committed trajectory.
+func checkSupervisorLoad(path string, cfg supervisor.LoadConfig) error {
+	traj, err := readTrajectory(path)
+	if err != nil {
+		return err
+	}
+	var base *supervisorTrajEntry
+	for i := range traj.Entries {
+		e := &traj.Entries[i]
+		if e.Kind != "load" || e.Load == nil {
+			continue
+		}
+		// Latest wins; an engine-matched entry beats an older mismatch.
+		if base == nil || base.Engine != activeBackend() || e.Engine == activeBackend() {
+			base = e
+		}
+	}
+	if base == nil {
+		return fmt.Errorf("%s has no sustained-load entry; capture one with -supervisor -arrival-rate=... -supervisor-bench=%s", path, path)
+	}
+
+	fmt.Printf("execution engine: %s\n", activeBackend())
+	res, err := supervisor.RunLoad(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+
+	p99Gate := math.Max(sloP99Mult*base.Load.WorstWindowP99, sloP99FloorMs)
+	errGate := math.Max(sloErrMult*base.Load.ErrorRate, sloErrFloor)
+	fmt.Printf("supervisor-check vs %s (captured %s, engine %s):\n", path, base.CapturedAt, base.Engine)
+	fmt.Printf("  worst-window P99 %8.2f ms  baseline %8.2f ms  gate %8.2f ms\n",
+		res.WorstWindowP99, base.Load.WorstWindowP99, p99Gate)
+	fmt.Printf("  error rate       %8.4f     baseline %8.4f     gate %8.4f\n",
+		res.ErrorRate, base.Load.ErrorRate, errGate)
+
+	var failures []string
+	if res.WorstWindowP99 > p99Gate {
+		failures = append(failures, fmt.Sprintf(
+			"worst-window P99 sched latency %.2f ms exceeds gate %.2f ms (baseline %.2f ms)",
+			res.WorstWindowP99, p99Gate, base.Load.WorstWindowP99))
+	}
+	if res.ErrorRate > errGate {
+		failures = append(failures, fmt.Sprintf(
+			"error rate %.4f exceeds gate %.4f (baseline %.4f; %d unexpected, %d stragglers, %d rejected)",
+			res.ErrorRate, errGate, base.Load.ErrorRate, res.Unexpected, res.Stragglers, res.Rejected))
+	}
+	if res.Unexpected > 0 {
+		failures = append(failures, fmt.Sprintf(
+			"%d guests with unexpected outcomes: %s", res.Unexpected, res.FirstUnexpected))
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("supervisor SLO regression:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Println("supervisor-check: within SLO")
+	return nil
 }
 
 // activeBackend names the engine the next run would use — the "which

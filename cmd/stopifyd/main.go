@@ -9,7 +9,10 @@
 //	POST /run     {"source": "...", "lane": "interactive", "deadline_ms": 5000}
 //	              → {"id": 7}
 //	GET  /status?id=7      → scheduling state, counters, output so far
-//	GET  /output?id=7      → raw console output
+//	GET  /output?id=7      → raw console output (X-Stopify-Next-Offset for polling)
+//	GET  /output?id=7&follow=1&from=120
+//	                       → live chunked stream from byte 120; a dropped client
+//	                         reconnects with from=<bytes it already has>, losslessly
 //	POST /cancel?id=7      → graceful kill at the next yield point
 //	POST /pause?id=7       → take the run off the scheduler
 //	POST /resume?id=7      → put it back
@@ -28,7 +31,6 @@ import (
 	"encoding/base64"
 	"encoding/json"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -307,13 +309,69 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// handleOutput serves console output. Plain GET returns everything recorded
+// so far (from byte ?from=, default 0) with X-Stopify-Next-Offset naming
+// where the next poll should resume. ?follow=1 upgrades to a live stream:
+// chunks are flushed as the guest writes them, until the guest finishes or
+// the client goes away. A disconnected client reconnects losslessly by
+// passing the byte count it already holds as ?from= — output offsets are
+// stable for the guest's whole retained life, park/restore included.
 func (s *server) handleOutput(w http.ResponseWriter, r *http.Request) {
 	g := s.guest(w, r)
 	if g == nil {
 		return
 	}
+	from := 0
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "bad from offset", http.StatusBadRequest)
+			return
+		}
+		from = n
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprint(w, g.Output())
+
+	if r.URL.Query().Get("follow") == "" {
+		data, next := g.OutputSince(from)
+		w.Header().Set("X-Stopify-Next-Offset", strconv.Itoa(next))
+		w.Write(data)
+		return
+	}
+
+	// Follow mode. The grab-channel-then-read order makes the loop lossless:
+	// a write that lands after OutputSince closes the channel we are about to
+	// select on, so the next iteration picks it up.
+	fl, _ := w.(http.Flusher)
+	off := from
+	for {
+		ch := g.OutputChanged()
+		data, next := g.OutputSince(off)
+		if len(data) > 0 {
+			if _, err := w.Write(data); err != nil {
+				return // client went away
+			}
+			off = next
+			if fl != nil {
+				fl.Flush()
+			}
+			continue
+		}
+		select {
+		case <-ch:
+		case <-g.Done():
+			// Final drain: the guest finished after our last read.
+			if data, _ := g.OutputSince(off); len(data) > 0 {
+				w.Write(data)
+				if fl != nil {
+					fl.Flush()
+				}
+			}
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
 }
 
 func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {

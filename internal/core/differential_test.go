@@ -145,6 +145,11 @@ func corpusPrograms(t *testing.T) []diffProgram {
 			name: fmt.Sprintf("valedge/%02d", i), src: src, opts: core.Defaults(),
 		})
 	}
+	for i, src := range unicodeEdgePrograms {
+		progs = append(progs, diffProgram{
+			name: fmt.Sprintf("unicode/%02d", i), src: src, opts: core.Defaults(),
+		})
+	}
 	return progs
 }
 
@@ -461,6 +466,74 @@ var valueReprEdgePrograms = []string{
 	     out = s[i] + out;
 	   }
 	   return acc + "|" + out + "|" + s[100] + "|" + s["3"];
+	 }
+	 console.log(f());`,
+}
+
+// unicodeEdgePrograms pin the WTF-8 single-character semantics (ISSUE 8):
+// strings are byte-indexed, but charAt/computed-index/split("") decode the
+// character starting at the offset, charCodeAt returns the decoded code
+// point, and fromCharCode round-trips every BMP code unit including lone
+// surrogates. Joining the corpus gives them all three legs: raw and
+// stopified engine-vs-engine equality plus the snapshot round-trip suite.
+var unicodeEdgePrograms = []string{
+	// Byte length vs decoded single-character reads across 1/2/3/4-byte
+	// characters; charCodeAt yields code points, not lead bytes.
+	`function f() {
+	   var s = "añ€🙂";
+	   return s.length + "|" + s[0] + s[1] + s[3] + s[6] + "|" + s.charAt(3) +
+	     "|" + s.charCodeAt(1) + "," + s.charCodeAt(3) + "," + s.charCodeAt(6);
+	 }
+	 console.log(f());`,
+	// codePointAt decodes whole code points (4-byte 🙂 included) and at()
+	// takes negative byte offsets from the end.
+	`function f() {
+	   var s = "añ€🙂";
+	   return s.codePointAt(0) + "," + s.codePointAt(1) + "," + s.codePointAt(6) +
+	     "|" + s.at(0) + s.at(-4) + "|" + s.at(99) + "," + s.codePointAt(99);
+	 }
+	 console.log(f());`,
+	// split("") segments at character boundaries and join round-trips.
+	`function f() {
+	   var s = "héllo wörld", a = s.split("");
+	   var lens = "";
+	   for (var i = 0; i < a.length; i++) { lens += a[i].length; }
+	   return a.length + "|" + a.join("") + "|" + (a.join("") === s) + "|" + lens;
+	 }
+	 console.log(f());`,
+	// fromCharCode(c).charCodeAt(0) === c for BMP code units, surrogates
+	// included; encoded byte lengths follow the 1/2/3-byte UTF-8 bands.
+	`function f() {
+	   var codes = [65, 0xE9, 0x20AC, 0xD800, 0xDFFF, 0xFFFF, 0x7F, 0x80, 0x7FF, 0x800];
+	   var ok = 0, s = "";
+	   for (var i = 0; i < codes.length; i++) {
+	     var c = String.fromCharCode(codes[i]);
+	     if (c.charCodeAt(0) === codes[i]) { ok++; }
+	     s += c;
+	   }
+	   return ok + "|" + s.length;
+	 }
+	 console.log(f());`,
+	// Byte-offset semantics of concat/indexOf/slice on multi-byte text.
+	`function f() {
+	   var c = "€" + "円";
+	   return c.length + "|" + c.indexOf("円") + "|" + c.slice(3) + "|" +
+	     c.charAt(0) + "|" + c.split("").length;
+	 }
+	 console.log(f());`,
+	// Mid-sequence offsets degrade to the one-byte view (self-consistent
+	// for arbitrary bytes); a character-start offset reads the whole char.
+	`function f() {
+	   var s = "€";
+	   return s[0] + "|" + s[1].length + "," + s[2].length + "|" +
+	     s.charCodeAt(1) + "," + s.charCodeAt(2) + "|" + (s[0] === s);
+	 }
+	 console.log(f());`,
+	// \u escapes agree with fromCharCode, including a lone surrogate.
+	`function f() {
+	   var s = "é€\ud834";
+	   return s.length + "|" + s.charCodeAt(0) + "," + s.charCodeAt(2) + "," +
+	     s.charCodeAt(5) + "|" + (s === String.fromCharCode(0xE9, 0x20AC, 0xD834));
 	 }
 	 console.log(f());`,
 }

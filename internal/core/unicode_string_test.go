@@ -1,0 +1,96 @@
+package core
+
+import "testing"
+
+// Absolute-output pins for the WTF-8 single-character semantics (ISSUE 8).
+// The differential corpus (unicodeEdgePrograms) proves the engines agree
+// with each other and survive a snapshot round-trip; these cases pin what
+// the agreed-upon answer actually is, raw under both engines and through
+// the full Stopify pipeline.
+
+func runUnicodeCase(t *testing.T, src, want string) {
+	t.Helper()
+	for _, backend := range []string{BackendTree, BackendBytecode} {
+		out, err := RunRaw(src, RunConfig{Backend: backend})
+		if err != nil {
+			t.Fatalf("[raw/%s] error: %v\noutput: %s", backend, err, out)
+		}
+		if out != want {
+			t.Errorf("[raw/%s] got %q want %q", backend, out, want)
+		}
+		c, err := Compile(src, Defaults())
+		if err != nil {
+			t.Fatalf("[stopified/%s] compile: %v", backend, err)
+		}
+		var buf outBuf
+		run, err := c.NewRun(RunConfig{Backend: backend, Out: &buf})
+		if err != nil {
+			t.Fatalf("[stopified/%s] NewRun: %v", backend, err)
+		}
+		if err := run.RunToCompletion(); err != nil {
+			t.Fatalf("[stopified/%s] run: %v", backend, err)
+		}
+		run.Loop.Run()
+		if buf.String() != want {
+			t.Errorf("[stopified/%s] got %q want %q", backend, buf.String(), want)
+		}
+	}
+}
+
+type outBuf struct{ b []byte }
+
+func (o *outBuf) Write(p []byte) (int, error) { o.b = append(o.b, p...); return len(p), nil }
+func (o *outBuf) String() string              { return string(o.b) }
+
+func TestUnicodeIndexCharAtCharCode(t *testing.T) {
+	// length counts bytes; single-character reads decode the character
+	// starting at the offset; charCodeAt returns the code point.
+	runUnicodeCase(t, `var s = "añ€🙂";
+console.log(s.length, s[0], s[1], s[3], s[6]);
+console.log(s.charAt(0), s.charAt(1), s.charAt(3), s.charAt(6));
+console.log(s.charCodeAt(0), s.charCodeAt(1), s.charCodeAt(3), s.charCodeAt(6));`,
+		"10 a ñ € 🙂\na ñ € 🙂\n97 241 8364 128578\n")
+}
+
+func TestUnicodeCodePointAtAndAt(t *testing.T) {
+	// codePointAt reads the full code point at a byte offset (WTF-8 stores
+	// supplementary characters whole, so no pair combining); at() accepts
+	// negative byte offsets from the end and returns undefined out of range.
+	runUnicodeCase(t, `var s = "añ€🙂";
+console.log(s.codePointAt(0), s.codePointAt(6), s.codePointAt(99));
+console.log(s.at(1), s.at(-4), s.at(-99), s.at(99));`,
+		"97 128578 undefined\nñ 🙂 undefined undefined\n")
+}
+
+func TestUnicodeSplitJoinRoundTrip(t *testing.T) {
+	runUnicodeCase(t, `var s = "héllo wörld";
+var a = s.split("");
+console.log(a.length, a.join("") === s, a[1], a[1].length);`,
+		"11 true é 2\n")
+}
+
+func TestUnicodeFromCharCodeSurrogates(t *testing.T) {
+	// fromCharCode(c).charCodeAt(0) === c for every band of the BMP,
+	// including the surrogate range WriteRune used to mangle to U+FFFD.
+	runUnicodeCase(t, `var codes = [65, 0xE9, 0x20AC, 0xD800, 0xDBFF, 0xDC00, 0xDFFF, 0xFFFF];
+var bad = 0;
+for (var i = 0; i < codes.length; i++) {
+  if (String.fromCharCode(codes[i]).charCodeAt(0) !== codes[i]) { bad++; }
+}
+console.log(bad, String.fromCharCode(0xD800).length);`,
+		"0 3\n")
+}
+
+func TestUnicodeMidSequenceFallback(t *testing.T) {
+	// A mid-character offset reads the raw continuation byte — the
+	// one-byte view that keeps arbitrary byte strings self-consistent.
+	runUnicodeCase(t, `var s = "€";
+console.log(s[0] === s, s[1].length, s.charCodeAt(1), s.charCodeAt(2));`,
+		"true 1 130 172\n")
+}
+
+func TestUnicodeEscapeLiteralsMatchFromCharCode(t *testing.T) {
+	runUnicodeCase(t, `var s = "é€\ud834";
+console.log(s.length, s.charCodeAt(5), s === String.fromCharCode(0xE9, 0x20AC, 0xD834));`,
+		"8 55348 true\n")
+}

@@ -9,13 +9,14 @@ import (
 )
 
 // setupString installs the String constructor/function and String.prototype.
-// Strings are Go strings indexed by byte; the benchmark corpus is ASCII.
-// Single-character accesses (charAt, computed index, split("")) return the
-// raw one-byte substring — a zero-copy view into the source string. For
-// non-ASCII bytes this differs from the historical interface{}-era behavior
-// (which rune-widened the byte through string(s[i]), itself non-spec):
-// byte views are self-consistent (split("").join("") round-trips, the
-// pieces concatenate back to the original) and never allocate.
+// Strings are Go strings: WTF-8 bytes, with length and indices counted in
+// bytes. Single-character accesses (charAt, computed index, split(""))
+// decode the character starting at the given byte offset (see wtf8.go), so
+// non-ASCII text round-trips; charCodeAt returns the decoded code point and
+// fromCharCode encodes every BMP code unit — surrogates included — so
+// fromCharCode(c).charCodeAt(0) === c. ASCII keeps the zero-copy one-byte
+// fast path, and offsets that do not start a valid sequence degrade to the
+// raw one-byte view, so arbitrary byte strings still split/join-round-trip.
 func (in *Interp) setupString() {
 	stringCtor := in.native("String", func(in *Interp, this Value, args []Value) (Value, error) {
 		if len(args) == 0 {
@@ -29,15 +30,15 @@ func (in *Interp) setupString() {
 	})
 	stringCtor.SetHidden("prototype", ObjectValue(in.stringProto))
 	stringCtor.SetHidden("fromCharCode", in.nativeV("fromCharCode", func(in *Interp, this Value, args []Value) (Value, error) {
-		var b strings.Builder
+		b := make([]byte, 0, len(args)*3)
 		for _, a := range args {
 			f, err := in.ToNumber(a)
 			if err != nil {
 				return Undefined, err
 			}
-			b.WriteRune(rune(uint16(int64(f))))
+			b = appendWTF8(b, uint16(int64(f)))
 		}
-		return StringValue(b.String()), nil
+		return StringValue(string(b)), nil
 	}))
 	in.Global.Define("String", ObjectValue(stringCtor))
 
@@ -67,7 +68,7 @@ func (in *Interp) setupString() {
 		if i < 0 || i >= len(s) {
 			return StringValue(""), nil
 		}
-		return StringValue(s[i : i+1]), nil
+		return StringValue(charView(s, i)), nil
 	})
 	method("charCodeAt", func(in *Interp, this Value, args []Value) (Value, error) {
 		s, err := selfString(in, this)
@@ -85,7 +86,51 @@ func (in *Interp) setupString() {
 		if i < 0 || i >= len(s) {
 			return NumberValue(math.NaN()), nil
 		}
-		return NumberValue(float64(s[i])), nil
+		r, _ := decodeWTF8(s, i)
+		return NumberValue(float64(r)), nil
+	})
+	// codePointAt needs no pair-combining step here: WTF-8 stores
+	// supplementary characters as single 4-byte sequences, so the decoded
+	// rune at a byte offset already is the full code point.
+	method("codePointAt", func(in *Interp, this Value, args []Value) (Value, error) {
+		s, err := selfString(in, this)
+		if err != nil {
+			return Undefined, err
+		}
+		i := 0
+		if len(args) > 0 {
+			f, err := in.ToNumber(args[0])
+			if err != nil {
+				return Undefined, err
+			}
+			i = int(f)
+		}
+		if i < 0 || i >= len(s) {
+			return Undefined, nil
+		}
+		r, _ := decodeWTF8(s, i)
+		return NumberValue(float64(r)), nil
+	})
+	method("at", func(in *Interp, this Value, args []Value) (Value, error) {
+		s, err := selfString(in, this)
+		if err != nil {
+			return Undefined, err
+		}
+		i := 0
+		if len(args) > 0 {
+			f, err := in.ToNumber(args[0])
+			if err != nil {
+				return Undefined, err
+			}
+			i = int(f)
+		}
+		if i < 0 {
+			i += len(s)
+		}
+		if i < 0 || i >= len(s) {
+			return Undefined, nil
+		}
+		return StringValue(charView(s, i)), nil
 	})
 	method("indexOf", func(in *Interp, this Value, args []Value) (Value, error) {
 		s, err := selfString(in, this)
@@ -189,8 +234,10 @@ func (in *Interp) setupString() {
 		}
 		var parts []string
 		if sep == "" {
-			for i := 0; i < len(s); i++ {
-				parts = append(parts, s[i:i+1])
+			for i := 0; i < len(s); {
+				c := charView(s, i)
+				parts = append(parts, c)
+				i += len(c)
 			}
 		} else {
 			parts = strings.Split(s, sep)

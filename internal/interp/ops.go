@@ -640,7 +640,7 @@ func (in *Interp) getMemberSite(base Value, key string, site uint32) (Value, err
 		}
 		if i, ok := arrayIndex(key); ok {
 			if i < len(s) {
-				return StringValue(s[i : i+1]), nil
+				return StringValue(charView(s, i)), nil
 			}
 			return Undefined, nil
 		}

@@ -1,0 +1,85 @@
+package interp
+
+import "unicode/utf8"
+
+// WTF-8 character access for guest strings.
+//
+// Guest strings are Go strings: UTF-8 bytes, with `length` and indices
+// counted in bytes. Single-character reads decode the character that
+// *starts* at the given byte offset instead of slicing one raw byte, so
+// non-ASCII text survives charAt/index/split round-trips. The decoder is
+// WTF-8, not strict UTF-8: lone surrogates (U+D800–U+DFFF) produced by
+// String.fromCharCode are encoded in their natural 3-byte form and decode
+// back to themselves, which is what keeps
+// fromCharCode(c).charCodeAt(0) === c for every BMP code unit.
+//
+// Offsets that do not start a valid sequence — a continuation byte, a
+// truncated or overlong sequence, a stray 0xFE/0xFF — degrade to the
+// historical one-byte view: the byte reads as its own value and the
+// substring view is that single byte. Arbitrary byte strings therefore
+// still round-trip through split("")/join(""), and the ASCII fast path
+// (one compare, zero-copy slice) is unchanged.
+
+// decodeWTF8 decodes the character starting at s[i] (0 <= i < len(s)),
+// returning its code point and encoded size in bytes. Size 1 with the raw
+// byte value is the fallback for anything that is not a well-formed WTF-8
+// sequence start.
+func decodeWTF8(s string, i int) (rune, int) {
+	b0 := s[i]
+	if b0 < utf8.RuneSelf {
+		return rune(b0), 1
+	}
+	n := len(s) - i
+	switch {
+	case b0&0xE0 == 0xC0: // 2-byte
+		if n >= 2 && isCont(s[i+1]) {
+			r := rune(b0&0x1F)<<6 | rune(s[i+1]&0x3F)
+			if r >= 0x80 {
+				return r, 2
+			}
+		}
+	case b0&0xF0 == 0xE0: // 3-byte (surrogates allowed: WTF-8)
+		if n >= 3 && isCont(s[i+1]) && isCont(s[i+2]) {
+			r := rune(b0&0x0F)<<12 | rune(s[i+1]&0x3F)<<6 | rune(s[i+2]&0x3F)
+			if r >= 0x800 {
+				return r, 3
+			}
+		}
+	case b0&0xF8 == 0xF0: // 4-byte
+		if n >= 4 && isCont(s[i+1]) && isCont(s[i+2]) && isCont(s[i+3]) {
+			r := rune(b0&0x07)<<18 | rune(s[i+1]&0x3F)<<12 |
+				rune(s[i+2]&0x3F)<<6 | rune(s[i+3]&0x3F)
+			if r >= 0x10000 && r <= 0x10FFFF {
+				return r, 4
+			}
+		}
+	}
+	return rune(b0), 1
+}
+
+func isCont(b byte) bool { return b&0xC0 == 0x80 }
+
+// charView returns the single-character substring starting at byte i — a
+// zero-copy view into s covering the whole WTF-8 sequence (or one byte on
+// the fallback path).
+func charView(s string, i int) string {
+	if s[i] < utf8.RuneSelf {
+		return s[i : i+1]
+	}
+	_, size := decodeWTF8(s, i)
+	return s[i : i+size]
+}
+
+// appendWTF8 appends the WTF-8 encoding of a BMP code unit (0–0xFFFF):
+// standard UTF-8, except surrogates keep their natural 3-byte encoding
+// instead of utf8's U+FFFD replacement.
+func appendWTF8(dst []byte, c uint16) []byte {
+	switch {
+	case c < 0x80:
+		return append(dst, byte(c))
+	case c < 0x800:
+		return append(dst, 0xC0|byte(c>>6), 0x80|byte(c&0x3F))
+	default:
+		return append(dst, 0xE0|byte(c>>12), 0x80|byte(c>>6&0x3F), 0x80|byte(c&0x3F))
+	}
+}

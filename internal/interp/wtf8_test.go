@@ -1,0 +1,71 @@
+package interp
+
+import "testing"
+
+// Every BMP code unit — surrogates included — must encode and decode back
+// to itself: the invariant behind fromCharCode(c).charCodeAt(0) === c.
+func TestWTF8RoundTripBMP(t *testing.T) {
+	for c := 0; c <= 0xFFFF; c++ {
+		b := appendWTF8(nil, uint16(c))
+		r, size := decodeWTF8(string(b), 0)
+		if r != rune(c) || size != len(b) {
+			t.Fatalf("code unit %#04x: encoded %x, decoded (%#x, %d)", c, b, r, size)
+		}
+		var wantLen int
+		switch {
+		case c < 0x80:
+			wantLen = 1
+		case c < 0x800:
+			wantLen = 2
+		default:
+			wantLen = 3
+		}
+		if len(b) != wantLen {
+			t.Fatalf("code unit %#04x: encoded length %d, want %d", c, len(b), wantLen)
+		}
+	}
+}
+
+// Supplementary-plane characters decode as 4-byte sequences (charCodeAt on
+// an astral character returns its code point; there is no surrogate-pair
+// splitting in the byte-indexed model).
+func TestWTF8DecodeAstral(t *testing.T) {
+	s := "🙂" // U+1F642
+	r, size := decodeWTF8(s, 0)
+	if r != 0x1F642 || size != 4 {
+		t.Fatalf("decoded (%#x, %d), want (0x1F642, 4)", r, size)
+	}
+	if got := charView(s, 0); got != s {
+		t.Fatalf("charView = %q, want %q", got, s)
+	}
+}
+
+// Offsets that do not start a well-formed sequence degrade to the one-byte
+// view, so arbitrary byte strings stay self-consistent.
+func TestWTF8Fallbacks(t *testing.T) {
+	cases := []struct {
+		name string
+		s    string
+		want rune
+	}{
+		{"continuation byte", "\x80", 0x80},
+		{"truncated 3-byte", "\xE2\x82", 0xE2},
+		{"overlong 2-byte", "\xC0\x80", 0xC0},
+		{"overlong 3-byte", "\xE0\x80\x80", 0xE0},
+		{"beyond U+10FFFF", "\xF7\xBF\xBF\xBF", 0xF7},
+		{"stray FF", "\xFF", 0xFF},
+	}
+	for _, c := range cases {
+		r, size := decodeWTF8(c.s, 0)
+		if r != c.want || size != 1 {
+			t.Errorf("%s: decoded (%#x, %d), want (%#x, 1)", c.name, r, size, c.want)
+		}
+		if got := charView(c.s, 0); got != c.s[:1] {
+			t.Errorf("%s: charView = %q, want one byte", c.name, got)
+		}
+	}
+	// Mid-sequence offset inside a valid character: the continuation byte.
+	if r, size := decodeWTF8("€", 1); r != 0x82 || size != 1 {
+		t.Errorf("mid-char offset: decoded (%#x, %d), want (0x82, 1)", r, size)
+	}
+}

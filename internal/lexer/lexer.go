@@ -327,7 +327,16 @@ func (l *lexer) stringLit(line, col int) (Token, error) {
 				h[i] = l.advance()
 			}
 			v, _ := strconv.ParseUint(string(h[:]), 16, 32)
-			b.WriteRune(rune(v))
+			if v >= 0xD800 && v <= 0xDFFF {
+				// Lone surrogate: keep its natural 3-byte (WTF-8) encoding
+				// so "\ud800".charCodeAt(0) reads back 0xD800 — WriteRune
+				// would mangle it to U+FFFD.
+				b.WriteByte(0xE0 | byte(v>>12))
+				b.WriteByte(0x80 | byte(v>>6&0x3F))
+				b.WriteByte(0x80 | byte(v&0x3F))
+			} else {
+				b.WriteRune(rune(v))
+			}
 		case '\n':
 			// Line continuation: contributes nothing.
 		default:

@@ -153,6 +153,11 @@ type Guest struct {
 	killReq  error // external termination request, consumed by the scheduler
 	pauseReq bool  // external pause request, consumed at the next park
 
+	// home is the index of the guest's run queue (work-stealing migrates
+	// it). Guarded by sup.mu, not g.mu — it is queue topology, not guest
+	// state.
+	home int
+
 	// Park state (the MaxResident residency limiter, park.go). A parked
 	// guest has no realm: run is nil and the serialized snapshot lives in
 	// parkBlob (or on disk at parkPath when ParkDir is set). replayOut marks
@@ -265,6 +270,36 @@ func (g *Guest) Output() string {
 	return out.String()
 }
 
+// OutputSince returns a copy of the console output from byte offset off
+// (clamped into the recorded range) plus the offset to resume from — the
+// incremental read a streaming endpoint serves. Offsets are stable: the
+// buffer is append-only until the guest is removed.
+func (g *Guest) OutputSince(off int) ([]byte, int) {
+	g.mu.Lock()
+	out := g.out
+	g.mu.Unlock()
+	if out == nil {
+		return nil, 0
+	}
+	return out.readFrom(off)
+}
+
+// OutputChanged returns a channel closed at the next output append. Fetch it
+// BEFORE calling OutputSince — the read-then-wait order is what makes a
+// follower lossless (a write landing between the two closes the channel the
+// follower is about to select on).
+func (g *Guest) OutputChanged() <-chan struct{} {
+	g.mu.Lock()
+	out := g.out
+	g.mu.Unlock()
+	if out == nil {
+		ch := make(chan struct{})
+		close(ch)
+		return ch
+	}
+	return out.changed()
+}
+
 // cappedWriter is a guest's console sink: a bounded buffer whose overflow
 // fires a one-shot callback (the supervisor kills the guest with
 // ErrOutputLimit). Locked because controllers read output while the worker
@@ -275,13 +310,14 @@ type cappedWriter struct {
 	buf        []byte
 	truncated  bool
 	onOverflow func()
+	notify     chan struct{} // closed and replaced on append (broadcast to followers)
 }
 
 func newCappedWriter(max int) *cappedWriter {
 	if max <= 0 {
 		max = DefaultMaxOutput
 	}
-	return &cappedWriter{max: max}
+	return &cappedWriter{max: max, notify: make(chan struct{})}
 }
 
 // Write implements io.Writer. It always reports success — the guest's
@@ -291,8 +327,15 @@ func (w *cappedWriter) Write(p []byte) (int, error) {
 	w.mu.Lock()
 	room := w.max - len(w.buf)
 	if room >= len(p) {
+		if len(p) == 0 {
+			w.mu.Unlock()
+			return 0, nil
+		}
 		w.buf = append(w.buf, p...)
+		note := w.notify
+		w.notify = make(chan struct{})
 		w.mu.Unlock()
+		close(note)
 		return len(p), nil
 	}
 	if room > 0 {
@@ -301,7 +344,10 @@ func (w *cappedWriter) Write(p []byte) (int, error) {
 	first := !w.truncated
 	w.truncated = true
 	cb := w.onOverflow
+	note := w.notify
+	w.notify = make(chan struct{})
 	w.mu.Unlock()
+	close(note) // the truncation point itself is an event followers want
 	if first && cb != nil {
 		cb()
 	}
@@ -329,6 +375,29 @@ func (w *cappedWriter) Bytes() []byte {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return append([]byte(nil), w.buf...)
+}
+
+// readFrom copies the recorded output from byte offset off (clamped into
+// range) and reports the offset to resume from.
+func (w *cappedWriter) readFrom(off int) ([]byte, int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if off < 0 {
+		off = 0
+	}
+	if off > len(w.buf) {
+		off = len(w.buf)
+	}
+	data := append([]byte(nil), w.buf[off:]...)
+	return data, off + len(data)
+}
+
+// changed returns the current notification channel; it is closed (and
+// replaced) by the next append.
+func (w *cappedWriter) changed() <-chan struct{} {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.notify
 }
 
 // setOverflow installs the overflow callback (before the guest first runs).

@@ -1,0 +1,87 @@
+package supervisor
+
+import (
+	"testing"
+	"time"
+)
+
+// A short sustained-load run is the integration test for the whole serving
+// stack at once: open-loop arrivals, lane scheduling with work-stealing,
+// churn-driven pause/resume/kill, and park/restore through MaxResident on
+// the hot path — with every finished guest's output verified.
+func TestRunLoadShortSustained(t *testing.T) {
+	res, err := RunLoad(LoadConfig{
+		ArrivalRate: 300,
+		Duration:    2 * time.Second,
+		Workers:     4,
+		MaxResident: 8, // tiny on purpose: force park/restore traffic
+		Seed:        42,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if res.Unexpected != 0 || res.Stragglers != 0 {
+		t.Fatalf("unexpected=%d stragglers=%d (first: %s)",
+			res.Unexpected, res.Stragglers, res.FirstUnexpected)
+	}
+	if res.Arrivals < 100 {
+		t.Errorf("arrivals = %d, want a few hundred at 300/s over 2s", res.Arrivals)
+	}
+	if res.Admitted != res.Arrivals-res.Rejected {
+		t.Errorf("admitted %d != arrivals %d - rejected %d", res.Admitted, res.Arrivals, res.Rejected)
+	}
+	if res.Parks == 0 || res.Restores == 0 {
+		t.Errorf("parks=%d restores=%d — MaxResident=8 under churn must park and restore", res.Parks, res.Restores)
+	}
+	if res.ChurnPauses == 0 || res.ChurnKills == 0 {
+		t.Errorf("churn idle: pauses=%d kills=%d", res.ChurnPauses, res.ChurnKills)
+	}
+	if res.ErrorRate > 0.01 {
+		t.Errorf("error rate %.4f > 0.01 (rejected=%d)", res.ErrorRate, res.Rejected)
+	}
+	if len(res.Windows) == 0 {
+		t.Fatal("no windowed metrics recorded")
+	}
+	turns := 0
+	for _, w := range res.Windows {
+		turns += w.Turns
+	}
+	if turns == 0 {
+		t.Error("windowed digest saw zero turns")
+	}
+	if res.WorstWindowP99 <= 0 {
+		t.Errorf("worst window P99 = %v, want > 0", res.WorstWindowP99)
+	}
+	if res.Format() == "" {
+		t.Error("empty report")
+	}
+}
+
+// The fixed-arrival variant must hit its schedule deterministically.
+func TestRunLoadFixedArrivals(t *testing.T) {
+	res, err := RunLoad(LoadConfig{
+		ArrivalRate:    100,
+		Duration:       time.Second,
+		FixedArrivals:  true,
+		Workers:        2,
+		MaxResident:    -1, // unbounded: the no-parking configuration still holds SLO
+		HostileEvery:   -1,
+		ChurnKillEvery: -1,
+		Seed:           7,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	// A metronome at 100/s over 1s fires exactly 100 times (t=0 included,
+	// modulo the final boundary).
+	if res.Arrivals < 95 || res.Arrivals > 105 {
+		t.Errorf("fixed arrivals = %d, want ~100", res.Arrivals)
+	}
+	if res.Unexpected != 0 || res.Stragglers != 0 {
+		t.Fatalf("unexpected=%d stragglers=%d (first: %s)",
+			res.Unexpected, res.Stragglers, res.FirstUnexpected)
+	}
+	if res.ChurnKills != 0 {
+		t.Errorf("kills disabled but ChurnKills = %d", res.ChurnKills)
+	}
+}

@@ -26,6 +26,7 @@ type metrics struct {
 	failed      uint64 // guest error (uncaught throw, step budget, stall)
 	killed      uint64 // supervisor termination (kill, deadline, output cap, mem, shutdown)
 	preemptions uint64
+	steals      uint64 // guests run by a worker other than their home queue's
 	stepsTotal  uint64
 
 	// Per-cause kill counters (each also counted in killed), so an operator
@@ -57,6 +58,117 @@ type metrics struct {
 	sched      reservoir
 	turns      reservoir
 	restoreLat reservoir
+
+	// Windowed scheduling latency: a ring of fixed-width time buckets over
+	// the supervisor's lifetime, so a sustained-load run sees P99 *over
+	// time* — a latency cliff in minute 25 of a 30-minute run is invisible
+	// in the whole-run reservoir above but unmissable in its window.
+	winStart time.Time
+	winLen   time.Duration
+	winBase  int // absolute index of windows[0] (ring has dropped winBase older buckets)
+	windows  []windowBucket
+}
+
+// windowBucket accumulates one time slice's scheduling-latency samples.
+type windowBucket struct {
+	samples []float64 // ms; capped at windowSampleCap via reservoir downsampling
+	seen    int
+	rng     *rand.Rand
+}
+
+const (
+	// windowSampleCap bounds one bucket's exact sample set.
+	windowSampleCap = 8192
+	// windowRingCap bounds how many buckets are retained (oldest dropped).
+	windowRingCap = 4096
+)
+
+func (b *windowBucket) add(x float64) {
+	b.seen++
+	if len(b.samples) < windowSampleCap {
+		b.samples = append(b.samples, x)
+		return
+	}
+	if b.rng == nil {
+		b.rng = rand.New(rand.NewSource(int64(b.seen)))
+	}
+	if i := b.rng.Intn(b.seen); i < windowSampleCap {
+		b.samples[i] = x
+	}
+}
+
+func (m *metrics) initWindows(start time.Time, width time.Duration) {
+	m.mu.Lock()
+	m.winStart = start
+	m.winLen = width
+	m.mu.Unlock()
+}
+
+// windowAdd files one scheduling-latency sample into its time bucket.
+// Caller holds m.mu.
+func (m *metrics) windowAdd(now time.Time, ms float64) {
+	if m.winLen <= 0 {
+		return
+	}
+	idx := int(now.Sub(m.winStart) / m.winLen)
+	if idx < m.winBase {
+		idx = m.winBase // clock skew: file into the oldest retained bucket
+	}
+	for m.winBase+len(m.windows) <= idx {
+		m.windows = append(m.windows, windowBucket{})
+		if len(m.windows) > windowRingCap {
+			drop := len(m.windows) - windowRingCap
+			m.windows = m.windows[drop:]
+			m.winBase += drop
+		}
+	}
+	m.windows[idx-m.winBase].add(ms)
+}
+
+// WindowSummary is one time slice of the windowed scheduling-latency
+// digest: percentiles of how long runnable guests waited for a worker
+// during [StartMs, StartMs+WidthMs) of the supervisor's life.
+type WindowSummary struct {
+	StartMs float64 `json:"start_ms"`
+	WidthMs float64 `json:"width_ms"`
+	Turns   int     `json:"turns"`
+	P50     float64 `json:"p50_ms"`
+	P90     float64 `json:"p90_ms"`
+	P99     float64 `json:"p99_ms"`
+	Max     float64 `json:"max_ms"`
+}
+
+// Windows returns the retained windowed scheduling-latency digest, oldest
+// first. Empty buckets (no turns scheduled in that slice) are included, so
+// the series is contiguous in time.
+func (s *Supervisor) Windows() []WindowSummary {
+	m := &s.metrics
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]WindowSummary, len(m.windows))
+	width := float64(m.winLen) / float64(time.Millisecond)
+	for i := range m.windows {
+		b := &m.windows[i]
+		w := WindowSummary{
+			StartMs: float64(m.winBase+i) * width,
+			WidthMs: width,
+			Turns:   b.seen,
+		}
+		if len(b.samples) > 0 {
+			max := b.samples[0]
+			for _, x := range b.samples {
+				if x > max {
+					max = x
+				}
+			}
+			w.P50 = stats.Quantile(b.samples, 0.50)
+			w.P90 = stats.Quantile(b.samples, 0.90)
+			w.P99 = stats.Quantile(b.samples, 0.99)
+			w.Max = max
+		}
+		out[i] = w
+	}
+	return out
 }
 
 func (m *metrics) park(blobLen int) {
@@ -113,8 +225,16 @@ func (m *metrics) preempt() {
 }
 
 func (m *metrics) schedLatency(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
 	m.mu.Lock()
-	m.sched.add(float64(d) / float64(time.Millisecond))
+	m.sched.add(ms)
+	m.windowAdd(time.Now(), ms)
+	m.mu.Unlock()
+}
+
+func (m *metrics) steal() {
+	m.mu.Lock()
+	m.steals++
 	m.mu.Unlock()
 }
 
@@ -183,6 +303,7 @@ type Metrics struct {
 	Failed      uint64 `json:"failed"`
 	Killed      uint64 `json:"killed"`
 	Preemptions uint64 `json:"preemptions"`
+	Steals      uint64 `json:"steals"`
 	StepsTotal  uint64 `json:"steps_total"`
 	Active      int    `json:"active"`
 	Queued      int    `json:"queued"`
@@ -219,7 +340,10 @@ type Metrics struct {
 func (s *Supervisor) Metrics() Metrics {
 	s.mu.Lock()
 	active := s.pending
-	queued := len(s.interactive) + len(s.batch)
+	queued := 0
+	for i := range s.queues {
+		queued += s.queues[i].depth()
+	}
 	resident := s.resident
 	parked := s.parkedN
 	s.mu.Unlock()
@@ -234,6 +358,7 @@ func (s *Supervisor) Metrics() Metrics {
 		Failed:             m.failed,
 		Killed:             m.killed,
 		Preemptions:        m.preemptions,
+		Steals:             m.steals,
 		StepsTotal:         m.stepsTotal,
 		Active:             active,
 		Queued:             queued,

@@ -51,8 +51,11 @@ func (s *Supervisor) maybeParkSome() {
 		s.mu.Unlock()
 		return
 	}
-	cands := make([]*Guest, 0, len(s.guests))
-	for _, g := range s.guests {
+	// Scan only guests holding a live realm: the full registry keeps every
+	// finished guest for result/output lookup, so iterating it here would
+	// cost O(total admissions) per turn boundary under sustained load.
+	cands := make([]*Guest, 0, len(s.residents))
+	for _, g := range s.residents {
 		cands = append(cands, g)
 	}
 	s.mu.Unlock()
@@ -114,6 +117,7 @@ func (s *Supervisor) tryPark(g *Guest) bool {
 	g.run = nil
 	s.mu.Lock()
 	s.resident--
+	delete(s.residents, g.ID)
 	s.parkedN++
 	s.mu.Unlock()
 	s.metrics.park(len(blob))
@@ -166,6 +170,7 @@ func (s *Supervisor) restoreGuest(g *Guest) error {
 	}
 	s.mu.Lock()
 	s.resident++
+	s.residents[g.ID] = g
 	s.parkedN--
 	s.mu.Unlock()
 	s.metrics.restoreDone(time.Since(start))
@@ -235,6 +240,7 @@ func (s *Supervisor) Restore(blob []byte, pol *Policy) (*Guest, error) {
 		pol:        p,
 		lane:       p.Lane,
 		out:        newCappedWriter(p.MaxOutputBytes),
+		home:       -1, // assigned round-robin on first push
 		parked:     true,
 		parkBlob:   append([]byte(nil), blob...),
 		parkedAt:   now,

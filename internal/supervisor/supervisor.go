@@ -85,6 +85,10 @@ type Options struct {
 	// ParkDir, when set, spills parked snapshots to disk instead of
 	// holding the blobs in memory.
 	ParkDir string
+	// MetricsWindow is the bucket width of the windowed scheduling-latency
+	// digest (Supervisor.Windows) — the over-time view the sustained-load
+	// harness gates on, as opposed to the whole-run reservoir. Default 1s.
+	MetricsWindow time.Duration
 	// DefaultPolicy applies to guests submitted without one.
 	DefaultPolicy Policy
 }
@@ -104,6 +108,9 @@ func (o *Options) normalize() {
 	}
 	if o.SleepSlackMs <= 0 {
 		o.SleepSlackMs = 1
+	}
+	if o.MetricsWindow <= 0 {
+		o.MetricsWindow = time.Second
 	}
 }
 
@@ -125,18 +132,22 @@ type SubmitOptions struct {
 type Supervisor struct {
 	opts Options
 
-	mu          sync.Mutex
-	cond        *sync.Cond // runnable work or shutdown
-	idle        *sync.Cond // pending == 0 (Drain)
-	interactive []*Guest
-	batch       []*Guest
-	rrCredit    int // interactive picks left before a batch pick
-	pending     int // admitted, not yet done
-	resident    int // unfinished guests holding a live realm (run != nil)
-	parkedN     int // unfinished guests whose realm is a parked snapshot
-	nextID      uint64
-	guests      map[uint64]*Guest
-	closed      bool
+	mu       sync.Mutex
+	cond     *sync.Cond  // runnable work or shutdown
+	idle     *sync.Cond  // pending == 0 (Drain)
+	queues   []laneQueue // one two-lane run queue per worker (work-stealing)
+	nextHome int         // round-robin home-queue assignment for new guests
+	pending  int         // admitted, not yet done
+	resident int         // unfinished guests holding a live realm (run != nil)
+	parkedN  int         // unfinished guests whose realm is a parked snapshot
+	nextID   uint64
+	guests   map[uint64]*Guest
+	// residents mirrors the subset of guests with run != nil so the
+	// MaxResident park scan is O(resident), not O(every guest ever
+	// admitted) — under sustained arrivals the full registry grows without
+	// bound and an all-guests scan per turn boundary is quadratic.
+	residents map[uint64]*Guest
+	closed    bool
 
 	wg      sync.WaitGroup
 	metrics metrics
@@ -145,13 +156,21 @@ type Supervisor struct {
 // New starts a supervisor and its worker pool.
 func New(opts Options) *Supervisor {
 	opts.normalize()
-	s := &Supervisor{opts: opts, guests: make(map[uint64]*Guest)}
+	s := &Supervisor{
+		opts:      opts,
+		guests:    make(map[uint64]*Guest),
+		residents: make(map[uint64]*Guest),
+	}
 	s.cond = sync.NewCond(&s.mu)
 	s.idle = sync.NewCond(&s.mu)
-	s.rrCredit = opts.InteractiveWeight
+	s.queues = make([]laneQueue, opts.Workers)
+	for i := range s.queues {
+		s.queues[i].rrCredit = opts.InteractiveWeight
+	}
+	s.metrics.initWindows(time.Now(), opts.MetricsWindow)
 	s.wg.Add(opts.Workers)
 	for i := 0; i < opts.Workers; i++ {
-		go s.worker()
+		go s.worker(i)
 	}
 	return s
 }
@@ -202,6 +221,7 @@ func (s *Supervisor) Submit(opt SubmitOptions) (*Guest, error) {
 		lane:       pol.Lane,
 		compiled:   compiled,
 		out:        newCappedWriter(pol.MaxOutputBytes),
+		home:       -1, // assigned round-robin on first push
 		submitted:  now,
 		readySince: now,
 		doneCh:     make(chan struct{}),
@@ -315,43 +335,95 @@ func (s *Supervisor) Close() {
 }
 
 // ---------------------------------------------------------------------------
-// Run queues
+// Run queues (per-worker, with work-stealing)
 // ---------------------------------------------------------------------------
 
-// pushLocked appends g to its lane queue and wakes a worker. Caller holds
-// s.mu; g must already be StateQueued (or about to be treated as such).
+// laneQueue is one worker's two-lane run queue. Each admitted guest gets a
+// home queue (round-robin across workers); its owner pops with the weighted
+// interactive/batch pick, and a worker whose own queue is empty steals from
+// the deepest sibling backlog instead of sleeping — the fix for the turn
+// imbalance the sustained-load harness exposes when one worker's tenants
+// happen to be the long-turn ones. All queues live under s.mu; "stealing"
+// here is about queue topology (affinity plus rebalancing), not lock-free
+// deques.
+type laneQueue struct {
+	interactive []*Guest
+	batch       []*Guest
+	rrCredit    int // interactive picks left before a batch pick
+}
+
+func (q *laneQueue) depth() int { return len(q.interactive) + len(q.batch) }
+
+// pop implements the weighted round-robin pick between the queue's lanes:
+// when both have waiting guests, weight interactive turns run per batch
+// turn; a lone non-empty lane always runs. Returns nil when both are empty.
+func (q *laneQueue) pop(weight int) *Guest {
+	var g *Guest
+	switch {
+	case len(q.interactive) > 0 && len(q.batch) > 0:
+		if q.rrCredit > 0 {
+			q.rrCredit--
+			g, q.interactive = q.interactive[0], q.interactive[1:]
+		} else {
+			q.rrCredit = weight
+			g, q.batch = q.batch[0], q.batch[1:]
+		}
+	case len(q.interactive) > 0:
+		g, q.interactive = q.interactive[0], q.interactive[1:]
+	case len(q.batch) > 0:
+		g, q.batch = q.batch[0], q.batch[1:]
+	}
+	return g
+}
+
+// pushLocked appends g to its home queue's lane and wakes a worker. Caller
+// holds s.mu; g must already be StateQueued (or about to be treated as
+// such). A first-time guest (home < 0) is assigned its home round-robin.
+// Any worker the Signal wakes can run the guest — if its own queue is
+// empty it steals — so one cond covers all queues.
 func (s *Supervisor) pushLocked(g *Guest) {
+	if g.home < 0 {
+		g.home = s.nextHome
+		s.nextHome = (s.nextHome + 1) % len(s.queues)
+	}
+	q := &s.queues[g.home]
 	if g.lane == LaneInteractive {
-		s.interactive = append(s.interactive, g)
+		q.interactive = append(q.interactive, g)
 	} else {
-		s.batch = append(s.batch, g)
+		q.batch = append(q.batch, g)
 	}
 	s.cond.Signal()
 }
 
-// popLocked implements the weighted round-robin pick between lanes: when
-// both have waiting guests, InteractiveWeight interactive turns run per
-// batch turn; a lone non-empty lane always runs. Returns nil when both are
-// empty. It pops unconditionally — it cannot inspect guest state, because
-// the lock order is strictly g.mu → s.mu — so every caller must perform
-// the worker's claim step (take g.mu, verify StateQueued, discard
+// popLocked picks the next guest for worker w: its own queue first, then a
+// steal from the sibling with the deepest backlog. Returns nil when every
+// queue is empty. It pops unconditionally — it cannot inspect guest state,
+// because the lock order is strictly g.mu → s.mu — so every caller must
+// perform the worker's claim step (take g.mu, verify StateQueued, discard
 // otherwise) before running what it popped; killed and paused guests are
 // weeded out there.
-func (s *Supervisor) popLocked() *Guest {
-	var g *Guest
-	switch {
-	case len(s.interactive) > 0 && len(s.batch) > 0:
-		if s.rrCredit > 0 {
-			s.rrCredit--
-			g, s.interactive = s.interactive[0], s.interactive[1:]
-		} else {
-			s.rrCredit = s.opts.InteractiveWeight
-			g, s.batch = s.batch[0], s.batch[1:]
+func (s *Supervisor) popLocked(w int) *Guest {
+	if g := s.queues[w].pop(s.opts.InteractiveWeight); g != nil {
+		return g
+	}
+	victim, depth := -1, 0
+	for i := range s.queues {
+		if i == w {
+			continue
 		}
-	case len(s.interactive) > 0:
-		g, s.interactive = s.interactive[0], s.interactive[1:]
-	case len(s.batch) > 0:
-		g, s.batch = s.batch[0], s.batch[1:]
+		if d := s.queues[i].depth(); d > depth {
+			victim, depth = i, d
+		}
+	}
+	if victim < 0 {
+		return nil
+	}
+	g := s.queues[victim].pop(s.opts.InteractiveWeight)
+	if g != nil {
+		// The thief becomes the new home: a guest that keeps getting stolen
+		// is a guest whose home worker is overloaded, so migrate it.
+		g.home = w
+		s.metrics.steal()
 	}
 	return g
 }
@@ -472,13 +544,13 @@ func (s *Supervisor) resumeGuest(g *Guest) {
 // The scheduler proper (worker goroutines)
 // ---------------------------------------------------------------------------
 
-func (s *Supervisor) worker() {
+func (s *Supervisor) worker(w int) {
 	defer s.wg.Done()
 	for {
 		s.mu.Lock()
 		var g *Guest
 		for {
-			g = s.popLocked()
+			g = s.popLocked(w)
 			if g != nil || s.closed {
 				break
 			}
@@ -730,6 +802,7 @@ func (s *Supervisor) startGuest(g *Guest) error {
 	g.mu.Unlock()
 	s.mu.Lock()
 	s.resident++
+	s.residents[g.ID] = g
 	s.mu.Unlock()
 	run.Run(nil)
 	return nil
@@ -777,6 +850,7 @@ func (s *Supervisor) finalizeLocked(g *Guest, err error) {
 	s.pending--
 	if wasResident {
 		s.resident--
+		delete(s.residents, g.ID)
 	}
 	if wasParked {
 		s.parkedN--
