@@ -33,19 +33,36 @@ func TestSnapshotHandoffSmoke(t *testing.T) {
 	baseA := startDaemon(t, bin)
 	baseB := startDaemon(t, bin)
 
-	// The traveler: prints, burns enough statements to outlive many quanta,
-	// prints a checksum only a faithful restore can reproduce.
+	// The traveler: prints, schedules its finale on a *bound function* timer
+	// with a forwarded extra arg (plus a cancelled twin that must stay dead
+	// in process B), holds a Date whose time-value must survive the move,
+	// then burns enough statements to outlive many quanta. The hand-off
+	// happens mid-main with both ledger entries pending, so the blob carries
+	// every wire-v2 node kind across the process boundary.
 	src := `
+var born = new Date();
+var t0 = born.getTime();
 console.log("phase1");
+function finishImpl(tag, bonus) {
+  var s = 0;
+  for (var i = 0; i < 500000; i++) { s = (s + i) % 1048573; }
+  console.log(tag, s + bonus, born.getTime() === t0 ? "stable" : "drift");
+}
+var decoy = setTimeout(finishImpl.bind(null, "never"), 5000, 0);
+setTimeout(finishImpl.bind(null, "phase2"), 5000, 7);
+clearTimeout(decoy);
 var s = 0;
 for (var i = 0; i < 2000000; i++) { s = (s + i) % 1048573; }
-console.log("phase2", s);
+console.log("mid", s);
 `
-	want := 0
+	mainSum, cbSum := 0, 0
 	for i := 0; i < 2000000; i++ {
-		want = (want + i) % 1048573
+		mainSum = (mainSum + i) % 1048573
 	}
-	wantOut := fmt.Sprintf("phase1\nphase2 %d\n", want)
+	for i := 0; i < 500000; i++ {
+		cbSum = (cbSum + i) % 1048573
+	}
+	wantOut := fmt.Sprintf("phase1\nmid %d\nphase2 %d stable\n", mainSum, cbSum+7)
 
 	id := submit(t, baseA, src)
 

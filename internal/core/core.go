@@ -70,6 +70,13 @@ type Opts struct {
 	// PerStatementGuards selects the paper's literal per-statement `if
 	// (normal)` wrapping instead of grouped guards (ablation knob).
 	PerStatementGuards bool
+	// LegacyPrelude compiles the wire-v1 prelude text instead of the
+	// current one. Restore sets it automatically for version-1 snapshot
+	// blobs, and re-parks carry it forward in their headers: a blob's
+	// saved continuations index prelude functions by code-table position,
+	// so the restoring realm must compile the exact prelude source the
+	// parking realm did. Fresh runs leave it off.
+	LegacyPrelude bool
 }
 
 // Defaults returns the configuration used when callers leave Opts zeroed:

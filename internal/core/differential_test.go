@@ -327,6 +327,45 @@ var edgeCasePrograms = []string{
 	`function mk(src) { return eval(src); }
 	 var g = mk("function g(x) { return x * 2; } g");
 	 console.log(typeof g === "function" ? g(21) : "no-eval");`,
+	// `new boundFn()` constructs the target: bound args prepended, boundThis
+	// ignored, instances land on the target's prototype chain.
+	`function Pair(a, b) { this.a = a; this.b = b; }
+	 Pair.prototype.sum = function () { return this.a + this.b; };
+	 var P1 = Pair.bind({poison: true}, 10);
+	 var p = new P1(5);
+	 console.log(p.a, p.b, p.sum(), p.poison === undefined, p instanceof Pair, p instanceof P1);`,
+	// Timer handles: real distinct IDs, cancellation (double and unknown
+	// cancels are no-ops), extra setTimeout args forwarded to the callback.
+	`var a = setTimeout(function () { console.log("A"); }, 20);
+	 var b = setTimeout(function (x, y) { console.log("B", x, y); }, 10, "p", "q");
+	 var c = setTimeout(function () { console.log("C-dead"); }, 5);
+	 console.log(typeof a, a !== b, b !== c, a >= 1);
+	 clearTimeout(c);
+	 clearTimeout(c);
+	 clearTimeout(12345);`,
+	// Date without new returns a string (spec 21.4.2); a Date instance's
+	// time-value is a data slot, stable after the clock advances.
+	`var s = Date();
+	 var d = new Date();
+	 var t0 = d.getTime();
+	 setTimeout(function () {
+	   console.log(typeof s, s.length > 10, d.getTime() === t0, typeof d.valueOf());
+	 }, 25);`,
+	// Bound .length: target arity minus bound args, floored at zero,
+	// through re-binding chains.
+	`function f4(a, b, c, d) { return a; }
+	 var b0 = f4.bind(null);
+	 var b2 = f4.bind(null, 1, 2);
+	 var b9 = b2.bind(null, 3, 4, 5, 6);
+	 console.log(f4.length, b0.length, b2.length, b9.length);`,
+	// instanceof consults the bound chain's ultimate target prototype.
+	`function Animal() {}
+	 function Dog() {}
+	 Dog.prototype = new Animal();
+	 var D = Dog.bind(null);
+	 var DD = D.bind(null);
+	 var d = new DD();
+	 console.log(d instanceof DD, d instanceof D, d instanceof Dog, d instanceof Animal, typeof DD);`,
 }
 
 // valueReprEdgePrograms pin the numeric/string boundary behavior of the

@@ -27,6 +27,20 @@ func FuzzSnapshotRoundTrip(f *testing.F) {
 	for _, p := range adversarialPrograms() {
 		f.Add(p.src)
 	}
+	for _, p := range pinShrinkPrograms() {
+		f.Add(p.src)
+	}
+	// Targeted seeds for the wire-v2 node kinds: bound chains over varied
+	// targets, Date arithmetic, and timer-handle churn.
+	f.Add(`function f(a,b,c){return a+b*c;} var g=f.bind({x:1},2); var h=g.bind(null,3);
+		var o={m:f}; var bm=o.m.bind(o,5);
+		for(var i=0;i<9000;i++){} console.log(h(4), bm(6,7), h.length, new h(10).constructor===undefined);`)
+	f.Add(`var a=new Date(0), b=new Date(1e12), c=new Date(NaN);
+		for(var i=0;i<9000;i++){} console.log(a.getTime(), b.valueOf(), ""+(c.getTime()!==c.getTime()), typeof Date());`)
+	f.Add(`var ids=[]; function cb(){console.log("hit",arguments.length);}
+		for(var i=0;i<6;i++){ids.push(setTimeout(cb,5*i,i,"x"));}
+		clearTimeout(ids[1]); clearTimeout(ids[3]); clearTimeout(-1); clearTimeout("2.5");
+		for(var i=0;i<9000;i++){}`)
 	for seed := int64(100); seed < 130; seed++ {
 		f.Add(randomProgram(rand.New(rand.NewSource(seed))))
 	}

@@ -46,6 +46,7 @@ func (a *AsyncRun) Snapshot() ([]byte, error) {
 		sink, ok := a.out.(interface{ Bytes() []byte })
 		if !ok {
 			return nil, &snapshot.PinError{
+				Kind:   snapshot.PinRegistry,
 				Reason: fmt.Sprintf("output sink %T cannot be carried by value (no Bytes method)", a.out),
 			}
 		}
@@ -64,6 +65,7 @@ func (a *AsyncRun) Snapshot() ([]byte, error) {
 		Output:     outBytes,
 		Result:     result,
 		WallUnixMs: float64(time.Now().UnixMilli()),
+		TimerSeq:   a.RT.TimerSeq(),
 	})
 }
 
@@ -111,6 +113,11 @@ func RestoreWith(cfg RunConfig, blob []byte, ro RestoreOptions) (*AsyncRun, erro
 	if err := json.Unmarshal(meta.HostMeta, &hdr); err != nil {
 		return nil, fmt.Errorf("stopify: snapshot header: %w", err)
 	}
+	if meta.Version == 1 {
+		// A v1 blob's continuations index the old prelude's code table; the
+		// flag rides in Opts so re-parks of this guest stay restorable.
+		hdr.Opts.LegacyPrelude = true
+	}
 	c, err := Compile(hdr.Source, hdr.Opts)
 	if err != nil {
 		return nil, fmt.Errorf("stopify: recompiling snapshot source: %w", err)
@@ -127,6 +134,9 @@ func RestoreWith(cfg RunConfig, blob []byte, ro RestoreOptions) (*AsyncRun, erro
 	// Decode allocations were charged to the fresh meter; overwrite with the
 	// snapshot's cumulative figures so budgets span park/restore cycles.
 	a.In.SetAccounting(d.Meta.Steps, d.Meta.MemUsed)
+	// Continue the setTimeout handle sequence where the source left off, so
+	// IDs stay unique (and clearTimeout keys stay valid) across the park.
+	a.RT.SetTimerSeq(d.Meta.TimerSeq)
 	if ro.ReplayOutput && len(d.Meta.Output) > 0 && a.out != nil {
 		if _, err := a.out.Write(d.Meta.Output); err != nil {
 			return nil, fmt.Errorf("stopify: replaying snapshot output: %w", err)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"hash/fnv"
+	"os"
 	"strings"
 	"testing"
 
@@ -364,30 +365,151 @@ func TestSnapshotTimers(t *testing.T) {
 	})
 }
 
-// TestSnapshotPins checks that each documented non-serializable obstruction
-// yields a typed PinError naming it, and leaves the guest runnable.
+// pinShrinkPrograms is state that used to pin a guest resident — bound
+// functions built from captured-native closures, Date instances whose
+// methods closed over Go time calls, fire-and-forget timer handles — and
+// now serializes as plain data (interp.BoundFunction, interp.DateData, the
+// ledger's TimerID/Cancelled fields). Each program holds such state live
+// across the park point; a PinError here is a regression, not a boundary.
+func pinShrinkPrograms() []diffProgram {
+	mk := func(name, src string) diffProgram {
+		return diffProgram{name: name, src: src, opts: core.Defaults()}
+	}
+	return []diffProgram{
+		mk("bound-chain", `
+			function add3(a, b, c) { return a + b + c; }
+			var add1 = add3.bind(null, 1);
+			var add2 = add1.bind({ignored: true}, 10);
+			var n = 0;
+			for (var i = 0; i < 60000; i++) { n = (n + add2(i)) % 1000003; }
+			console.log(add3.length, add1.length, add2.length, add2(5), n);
+		`),
+		mk("bound-construct", `
+			function Point(x, y) { this.x = x; this.y = y; }
+			Point.prototype.norm = function () { return this.x * this.x + this.y * this.y; };
+			var P7 = Point.bind({hijack: "me"}, 7);
+			var n = 0;
+			for (var i = 0; i < 60000; i++) { n = (n + i) % 4093; }
+			var p = new P7(9);
+			console.log(p.x, p.y, p.norm(), p instanceof Point, p instanceof P7,
+				p.hijack === undefined, n);
+		`),
+		mk("date-instances", `
+			var d0 = new Date();
+			var t0 = d0.getTime();
+			var fixed = new Date(86400000);
+			var n = 0;
+			for (var i = 0; i < 60000; i++) { n = (n + i) % 101; }
+			var stable = d0.getTime() === t0 && d0.valueOf() === t0;
+			console.log(typeof t0, stable, fixed.getTime(), typeof Date(), n);
+		`),
+		mk("timer-handles", `
+			var log = ["start"];
+			var t1 = setTimeout(function (a, b) {
+				log.push("t1" + a + b);
+				console.log(log.join(","));
+			}, 30, "x", "y");
+			var t2 = setTimeout(function () { log.push("t2-should-not-fire"); }, 20);
+			var t3 = setTimeout(function () { log.push("t3"); }, 10);
+			clearTimeout(t2);
+			clearTimeout(9999);
+			var n = 0;
+			for (var i = 0; i < 60000; i++) { n = (n + i) % 97; }
+			log.push("main" + n + ":" + t1 + ":" + t2 + ":" + t3);
+		`),
+	}
+}
+
+// roundTripNoPin is roundTripProgram with the pin escape hatch closed: the
+// program must serialize, restore, and finish byte-identically to the
+// in-place leg.
+func roundTripNoPin(t *testing.T, p diffProgram, backend string) {
+	t.Helper()
+	c, err := core.Compile(p.src, p.opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	quantum := parkQuantum(p.name)
+
+	runA, bufA := runToPark(t, c, backend, quantum)
+	if !runA.Paused() {
+		t.Fatalf("program finished before quantum %d; grow its main loop", quantum)
+	}
+	runB, bufB := runToPark(t, c, backend, quantum)
+	if !runB.Paused() {
+		t.Fatal("leg B did not park where leg A did")
+	}
+	blob, err := runB.Snapshot()
+	var perr *snapshot.PinError
+	if errors.As(err, &perr) {
+		t.Fatalf("pin-shrink regression: %s state pinned the guest (kind %q): %v",
+			p.name, perr.Kind, err)
+	}
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	_ = bufB
+
+	bufR := &bytes.Buffer{}
+	restored, err := core.RestoreWith(core.RunConfig{
+		Backend:  backend,
+		Clock:    eventloop.NewVirtualClock(),
+		Out:      bufR,
+		MaxSteps: diffBudget,
+	}, blob, core.RestoreOptions{ReplayOutput: true})
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	a := finish(runA, bufA)
+	b := finish(restored, bufR)
+	if a != b {
+		t.Fatalf("round trip diverged:\n  in-place: %v\n  restored: %v", a, b)
+	}
+	if a.out == "" || a.err != "" {
+		t.Fatalf("corpus program did not produce clean output: %v", a)
+	}
+}
+
+// TestSnapshotPinShrink round-trips guests holding live bound functions
+// (called and constructed), Date instances, and pending cancelled and
+// uncancelled timers with forwarded extra args, on both engines. These were
+// all PinError cases before wire v2.
+func TestSnapshotPinShrink(t *testing.T) {
+	for _, backend := range []string{core.BackendTree, core.BackendBytecode} {
+		for _, p := range pinShrinkPrograms() {
+			p, backend := p, backend
+			t.Run(backend+"/"+p.name, func(t *testing.T) {
+				roundTripNoPin(t, p, backend)
+			})
+		}
+	}
+}
+
+// TestSnapshotPins checks that each still-documented non-serializable
+// obstruction yields a typed PinError naming it, and leaves the guest
+// runnable. (Bound functions and Date instances used to live in this list;
+// since wire v2 they serialize — TestSnapshotPinShrink covers them.)
 func TestSnapshotPins(t *testing.T) {
+	evalOpts := core.Defaults()
+	evalOpts.Eval = true
 	cases := []struct {
-		name, src, wantReason string
+		name, src  string
+		opts       core.Opts
+		wantKind   string
+		wantReason string
 	}{
-		{"bound-function", `
-			function add(a, b) { return a + b; }
-			var bound = add.bind(null, 1);
+		{"eval-closure", `
+			eval("make = function (n) { return function (m) { return n + m; }; };");
+			var f = make(7);
 			var n = 0;
-			for (var i = 0; i < 60000; i++) { n = (n + bound(i)) % 1000003; }
+			for (var i = 0; i < 60000; i++) { n = (n + f(i)) % 1000003; }
 			console.log(n);
-		`, "native"},
-		{"date-instance", `
-			var d = new Date();
-			var n = 0;
-			for (var i = 0; i < 60000; i++) { n = (n + i) % 11; }
-			console.log(typeof d.getTime(), n);
-		`, "native"},
+		`, evalOpts, snapshot.PinEval, "eval"},
 	}
 	for _, tc := range cases {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
-			c, err := core.Compile(tc.src, core.Defaults())
+			c, err := core.Compile(tc.src, tc.opts)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -400,6 +522,9 @@ func TestSnapshotPins(t *testing.T) {
 			if !errors.As(err, &perr) {
 				t.Fatalf("Snapshot = %v, want *snapshot.PinError", err)
 			}
+			if perr.Kind != tc.wantKind {
+				t.Fatalf("pin kind = %q, want %q", perr.Kind, tc.wantKind)
+			}
 			if !strings.Contains(perr.Reason, tc.wantReason) {
 				t.Fatalf("pin reason %q does not mention %q", perr.Reason, tc.wantReason)
 			}
@@ -409,6 +534,69 @@ func TestSnapshotPins(t *testing.T) {
 				t.Fatalf("pinned run damaged: %v", o)
 			}
 		})
+	}
+}
+
+// TestSnapshotWireV1Golden decodes a blob captured from the pre-v2 binary
+// (testdata/v1_parked.blob: closures plus two pending timers, parked
+// mid-loop at quantum 5000, seed 1, virtual clock). Wire v1 has no
+// bound/date node kinds, no timer-handle counter, and re-links host refs
+// against a smaller host graph; the legacy registry view must reproduce
+// that realm's ordinals exactly so guests parked before the upgrade still
+// restore. Re-parking the restored guest then writes wire v2 — the upgrade
+// path for long-parked fleets.
+func TestSnapshotWireV1Golden(t *testing.T) {
+	blob, err := os.ReadFile("testdata/v1_parked.blob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/v1_parked.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := blob[4]; got != 1 {
+		t.Fatalf("golden blob version byte = %d, want 1 (re-capture it from a pre-v2 binary)", got)
+	}
+	info, err := core.SnapshotMeta(blob)
+	if err != nil {
+		t.Fatalf("SnapshotMeta on v1 blob: %v", err)
+	}
+	if info.Steps == 0 || info.MemUsed == 0 {
+		t.Fatalf("golden blob carries no accounting: %+v", info)
+	}
+
+	buf := &bytes.Buffer{}
+	run, err := core.Restore(core.RunConfig{
+		Clock: eventloop.NewVirtualClock(), Out: buf, MaxSteps: diffBudget,
+	}, blob)
+	if err != nil {
+		t.Fatalf("decoding the v1 golden blob: %v", err)
+	}
+	if run.Steps() != info.Steps || run.MemUsed() != info.MemUsed {
+		t.Fatalf("restored accounting (%d, %d) != blob header (%d, %d)",
+			run.Steps(), run.MemUsed(), info.Steps, info.MemUsed)
+	}
+
+	// Re-park immediately: the restored guest lives in a v2 realm, so its
+	// next snapshot is wire v2. Finish that twin instead of the original to
+	// cover the whole v1 → restore → v2 → restore chain.
+	blob2, err := run.Snapshot()
+	if err != nil {
+		t.Fatalf("re-parking restored v1 guest: %v", err)
+	}
+	if got := blob2[4]; got != snapshot.Version {
+		t.Fatalf("re-park wrote version %d, want %d", got, snapshot.Version)
+	}
+	buf2 := &bytes.Buffer{}
+	run2, err := core.Restore(core.RunConfig{
+		Clock: eventloop.NewVirtualClock(), Out: buf2, MaxSteps: diffBudget,
+	}, blob2)
+	if err != nil {
+		t.Fatalf("restoring the re-parked blob: %v", err)
+	}
+	o := finish(run2, buf2)
+	if o.err != "" || o.out != string(want) {
+		t.Fatalf("v1 golden run diverged:\n  got:  %v\n  want: out=%q", o, want)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"math"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/printer"
 )
@@ -228,17 +229,22 @@ func (in *Interp) setupFunctionProto() {
 		return in.Call(this, callThis, rest, Undefined)
 	}))
 	fp.SetHidden("bind", in.nativeV("bind", func(in *Interp, this Value, args []Value) (Value, error) {
-		target := this
+		if !this.Obj().IsCallable() {
+			return Undefined, in.Throw("TypeError", "Function.prototype.bind called on non-callable")
+		}
 		boundThis := Undefined
 		var bound []Value
 		if len(args) > 0 {
 			boundThis = args[0]
 			bound = append([]Value(nil), args[1:]...)
 		}
-		return in.nativeV("bound", func(in *Interp, _ Value, callArgs []Value) (Value, error) {
-			all := append(append([]Value(nil), bound...), callArgs...)
-			return in.Call(target, boundThis, all, Undefined)
-		}), nil
+		// A data-backed function kind, not a native closure: the snapshot
+		// codec traverses Target/This/Args like any other object graph.
+		in.charge(in.Engine.ObjectCreateCost)
+		in.chargeMem(memObjectBytes + memValueBytes*len(bound))
+		o := &Object{Class: "Function", Proto: in.functionProto,
+			Bound: &BoundFunction{Target: this, This: boundThis, Args: bound}}
+		return ObjectValue(o), nil
 	}))
 }
 
@@ -395,18 +401,61 @@ func (in *Interp) setupConsoleAndTimers() {
 	console.SetHidden("warn", logFn)
 	in.Global.Define("console", ObjectValue(console))
 
+	// Date instances are plain objects with a time-value data slot; every
+	// method lives on the shared Date.prototype so instances hold no
+	// closures and the snapshot codec can carry them. Property insertion
+	// order below is load-bearing: the host registry fingerprints the
+	// pre-prelude DFS, and wire-v1 back-compat reconstructs the old
+	// traversal by filtering out the Date.prototype subtree — which only
+	// works if the surviving entries ("now" first) keep their old order.
+	dp := NewObject(in.objectProto)
+	in.dateProto = dp
+	timeSlot := func(this Value) (float64, bool) {
+		if o := this.Obj(); o != nil && o.Date != nil {
+			return o.Date.MS, true
+		}
+		return 0, false
+	}
+	getTime := in.nativeV("getTime", func(in *Interp, this Value, args []Value) (Value, error) {
+		ms, ok := timeSlot(this)
+		if !ok {
+			return Undefined, in.Throw("TypeError", "this is not a Date object")
+		}
+		return NumberValue(ms), nil
+	})
+	dp.SetHidden("getTime", getTime)
+	dp.SetHidden("valueOf", getTime)
+	dp.SetHidden("toString", in.nativeV("toString", func(in *Interp, this Value, args []Value) (Value, error) {
+		ms, ok := timeSlot(this)
+		if !ok {
+			return Undefined, in.Throw("TypeError", "this is not a Date object")
+		}
+		return StringValue(formatDateMS(ms)), nil
+	}))
 	date := in.native("Date", func(in *Interp, this Value, args []Value) (Value, error) {
-		o := in.NewPlainObject()
-		o.Class = "Date"
-		t := in.Clock.Now()
-		o.SetHidden("getTime", in.nativeV("getTime", func(in *Interp, this Value, args []Value) (Value, error) {
-			return NumberValue(t), nil
-		}))
+		if !isCtorSentinel(this) {
+			// Date(...) without new: a string of the current time, arguments
+			// ignored (spec §21.4.2).
+			return StringValue(formatDateMS(in.Clock.Now())), nil
+		}
+		ms := in.Clock.Now()
+		if len(args) > 0 {
+			v, err := in.ToNumber(args[0])
+			if err != nil {
+				return Undefined, err
+			}
+			ms = v
+		}
+		in.charge(in.Engine.ObjectCreateCost)
+		in.chargeMem(memObjectBytes)
+		o := &Object{Class: "Date", Proto: in.dateProto, Date: &DateData{MS: ms}}
 		return ObjectValue(o), nil
 	})
 	date.SetHidden("now", in.nativeV("now", func(in *Interp, this Value, args []Value) (Value, error) {
 		return NumberValue(in.Clock.Now()), nil
 	}))
+	date.SetHidden("prototype", ObjectValue(dp))
+	dp.SetHidden("constructor", ObjectValue(date))
 	in.Global.Define("Date", ObjectValue(date))
 
 	in.Global.Define("setTimeout", in.nativeV("setTimeout", func(in *Interp, this Value, args []Value) (Value, error) {
@@ -425,13 +474,55 @@ func (in *Interp) setupConsoleAndTimers() {
 			}
 			delay = d
 		}
+		var extra []Value
+		if len(args) > 2 {
+			extra = append([]Value(nil), args[2:]...)
+			in.chargeMem(memValueBytes * len(extra))
+		}
+		in.timerSeq++
+		id := in.timerSeq
 		in.Loop.Post(func() {
-			if _, err := in.Call(fn, Undefined, nil, Undefined); err != nil {
+			if in.timerDead[id] {
+				delete(in.timerDead, id)
+				return
+			}
+			if _, err := in.Call(fn, Undefined, extra, Undefined); err != nil {
 				in.reportUncaught(err)
 			}
 		}, delay)
-		return NumberValue(0), nil
+		return NumberValue(float64(id)), nil
 	}))
+	in.Global.Define("clearTimeout", in.nativeV("clearTimeout", func(in *Interp, this Value, args []Value) (Value, error) {
+		if len(args) == 0 {
+			return Undefined, nil
+		}
+		idf, err := in.ToNumber(args[0])
+		if err != nil {
+			return Undefined, err
+		}
+		// Only IDs this realm actually issued are recorded, so a hostile
+		// clearTimeout(i) loop cannot grow the dead-set without first
+		// paying for the matching setTimeout calls.
+		id := uint64(idf)
+		if idf == math.Trunc(idf) && id >= 1 && id <= in.timerSeq {
+			if in.timerDead == nil {
+				in.timerDead = make(map[uint64]bool)
+			}
+			in.timerDead[id] = true
+		}
+		return Undefined, nil
+	}))
+}
+
+// formatDateMS renders a time value the way Date.prototype.toString does,
+// pinned to UTC so raw, stopified, and snapshot-restored runs print
+// identically regardless of host timezone.
+func formatDateMS(ms float64) string {
+	if math.IsNaN(ms) || math.Abs(ms) > 8.64e15 {
+		return "Invalid Date"
+	}
+	t := time.UnixMilli(int64(math.Floor(ms))).UTC()
+	return t.Format("Mon Jan 02 2006 15:04:05") + " GMT+0000 (Coordinated Universal Time)"
 }
 
 func (in *Interp) reportUncaught(err error) {
@@ -620,6 +711,9 @@ func (in *Interp) displayDepth(v Value, depth int) string {
 			name := x.NativeName
 			if x.Fn != nil {
 				name = x.Fn.Name()
+			}
+			if x.Bound != nil {
+				name = "bound"
 			}
 			if name == "" {
 				name = "anonymous"

@@ -609,6 +609,21 @@ func (in *Interp) Construct(fn Value, args []Value) (Value, error) {
 		return Undefined, in.Throw("TypeError", "%s is not a constructor", TypeOf(fn))
 	}
 	in.charge(in.Engine.NewCost)
+	if b := f.Bound; b != nil {
+		// `new boundFn(args)` constructs the *target* with the bound args
+		// prepended; boundThis is ignored (spec §10.4.1.2 [[Construct]]).
+		// The delegation consumes a stack frame so bound→bound chains
+		// cannot recurse unboundedly.
+		in.depth++
+		if in.depth > in.maxDepth {
+			in.depth--
+			return Undefined, in.Throw("RangeError", "Maximum call stack size exceeded")
+		}
+		all := append(append(make([]Value, 0, len(b.Args)+len(args)), b.Args...), args...)
+		v, err := in.Construct(b.Target, all)
+		in.depth--
+		return v, err
+	}
 	if f.Native != nil {
 		// Native constructors (Error, Array, ...) allocate internally; mark
 		// construction via a sentinel this.
@@ -642,6 +657,21 @@ func (in *Interp) Call(fn Value, this Value, args []Value, newTarget Value) (Val
 	in.charge(in.Engine.CallCost)
 	if f.Native != nil {
 		return f.Native(in, this, args)
+	}
+	if b := f.Bound; b != nil {
+		// Bound call: the caller's this is discarded in favor of boundThis,
+		// bound args are prepended. Depth-guarded like a closure call so a
+		// self-referential bound chain (only constructible from a hostile
+		// snapshot) hits the stack limit instead of hanging Go.
+		in.depth++
+		if in.depth > in.maxDepth {
+			in.depth--
+			return Undefined, in.Throw("RangeError", "Maximum call stack size exceeded")
+		}
+		all := append(append(make([]Value, 0, len(b.Args)+len(args)), b.Args...), args...)
+		v, err := in.Call(b.Target, b.This, all, Undefined)
+		in.depth--
+		return v, err
 	}
 	c := f.Fn
 	in.depth++

@@ -132,6 +132,14 @@ type Interp struct {
 	numberProto   *Object
 	booleanProto  *Object
 	errorProto    *Object
+	dateProto     *Object
+
+	// Raw-path timer ledger: setTimeout hands out monotonically increasing
+	// IDs and clearTimeout marks them dead before they fire. The stopified
+	// path shadows both globals with rt's ledgered versions, which keep an
+	// identical ID sequence so raw and stopified output stay byte-equal.
+	timerSeq  uint64
+	timerDead map[uint64]bool
 }
 
 // New creates an interpreter with a fresh global environment.

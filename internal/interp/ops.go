@@ -428,6 +428,16 @@ func (in *Interp) applyBinary(op string, l, r Value) (Value, error) {
 		if !f.IsCallable() {
 			return Undefined, in.Throw("TypeError", "right-hand side of instanceof is not callable")
 		}
+		// `x instanceof boundFn` checks against the bound *target*'s
+		// prototype (spec: bound-function [[HasInstance]] delegates). The
+		// walk is depth-capped like boundLength.
+		for depth := 0; depth < 1000 && f != nil && f.Bound != nil; depth++ {
+			r = f.Bound.Target
+			f = r.Obj()
+			if !f.IsCallable() {
+				return Undefined, in.Throw("TypeError", "bound target is not callable")
+			}
+		}
 		lo := l.Obj()
 		if lo == nil {
 			return False, nil
@@ -510,7 +520,7 @@ func (in *Interp) RawGet(base Value, key string) (Value, error) {
 	}
 	holder, idx := in.lookupPath(o, key)
 	if holder == nil {
-		if key == "prototype" && o.IsCallable() {
+		if key == "prototype" && o.IsCallable() && o.Bound == nil {
 			return in.GetMember(base, key) // materialize the lazy prototype
 		}
 		return Undefined, nil
@@ -721,7 +731,9 @@ func (in *Interp) objGetSite(o *Object, this Value, key string, site uint32) (Va
 		// creation allocates no property storage. Like .prototype, a
 		// deleted .length resurfaces on the next inspection; this substrate
 		// does not model configurability of builtin function properties.
-		if key == "prototype" && o.IsCallable() {
+		// Bound functions are excluded: per spec they have no .prototype
+		// own property, and `new boundFn()` consults the target's instead.
+		if key == "prototype" && o.IsCallable() && o.Bound == nil {
 			proto := in.NewPlainObject()
 			proto.SetHidden("constructor", ObjectValue(o))
 			o.SetHidden("prototype", ObjectValue(proto))

@@ -337,10 +337,21 @@ type Object struct {
 	// Elems backs Array and Arguments objects.
 	Elems []Value
 
-	// Function objects have exactly one of Fn (JavaScript) or Native set.
+	// Function objects have exactly one of Fn (JavaScript), Native, or
+	// Bound set.
 	Fn         *Closure
 	Native     NativeFunc
 	NativeName string
+
+	// Bound is set on the result of Function.prototype.bind: a data-backed
+	// function kind (target, receiver, partial args) instead of an opaque
+	// native closure, so the snapshot codec can traverse it.
+	Bound *BoundFunction
+
+	// Date is the data slot of a Date instance: the construction-time
+	// epoch milliseconds. Methods live on the shared Date.prototype, so
+	// the instance itself is plain serializable data.
+	Date *DateData
 
 	// Extra carries host-specific payloads (e.g. reified continuation
 	// frames owned by the Stopify runtime).
@@ -352,8 +363,25 @@ func NewObject(proto *Object) *Object {
 	return &Object{Class: "Object", Proto: proto}
 }
 
+// BoundFunction is the state of a function produced by
+// Function.prototype.bind: the target callable, the fixed receiver, and the
+// partially-applied arguments. Calling prepends Args and uses This;
+// constructing prepends Args and ignores This (spec §10.4.1.2).
+type BoundFunction struct {
+	Target Value
+	This   Value
+	Args   []Value
+}
+
+// DateData carries a Date instance's time value (epoch milliseconds).
+type DateData struct {
+	MS float64
+}
+
 // IsCallable reports whether o can be applied.
-func (o *Object) IsCallable() bool { return o != nil && (o.Fn != nil || o.Native != nil) }
+func (o *Object) IsCallable() bool {
+	return o != nil && (o.Fn != nil || o.Native != nil || o.Bound != nil)
+}
 
 // Own returns the own property slot for key, or nil. The pointer is only
 // valid until the next property addition (which may grow the slots array);
@@ -459,7 +487,31 @@ func (o *Object) ownOrLazySlot(key string) int {
 		o.SetHidden("length", NumberValue(float64(len(o.Fn.Params()))))
 		return o.shape.slotOf(key)
 	}
+	if key == "length" && o.Bound != nil {
+		o.SetHidden("length", NumberValue(boundLength(o)))
+		return o.shape.slotOf(key)
+	}
 	return -1
+}
+
+// boundLength computes a bound function's .length: the ultimate target's
+// parameter count minus every bound argument along the chain, clamped at
+// zero (spec: BoundFunctionCreate). The walk is depth-capped because a
+// hostile snapshot blob can, in principle, decode a bound cycle.
+func boundLength(o *Object) float64 {
+	drop, cur := 0, o
+	for depth := 0; depth < 1000 && cur != nil && cur.Bound != nil; depth++ {
+		drop += len(cur.Bound.Args)
+		cur = cur.Bound.Target.Obj()
+	}
+	base := 0
+	if cur != nil && cur.Fn != nil {
+		base = len(cur.Fn.Params())
+	}
+	if n := base - drop; n > 0 {
+		return float64(n)
+	}
+	return 0
 }
 
 // Delete removes an own property and reports whether it existed. The shape

@@ -1,6 +1,8 @@
 package rt
 
 import (
+	"math"
+
 	"repro/internal/instrument"
 	"repro/internal/interp"
 )
@@ -124,10 +126,32 @@ func (r *R) installNatives() {
 			}
 			delay = d
 		}
+		var extra []interp.Value
+		if len(args) > 2 {
+			extra = append([]interp.Value(nil), args[2:]...)
+		}
 		// Ledgered (snapshot.go): pending timers serialize as
-		// (due-offset, callback) records.
-		r.postTimer(fn, delay)
-		return interp.NumberValue(0), nil
+		// (due-offset, callback, extra-args, handle) records.
+		id := r.nextTimerID()
+		r.postTimer(LedgerEntry{Fn: fn, Args: extra, TimerID: id}, delay)
+		return interp.NumberValue(float64(id)), nil
+	})
+
+	// clearTimeout — shadows the interpreter's raw builtin with the
+	// ledgered version: the cancellation marks the pending entry rather
+	// than touching the loop, so it survives snapshot/restore.
+	defineNative("clearTimeout", func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		if len(args) == 0 {
+			return interp.Undefined, nil
+		}
+		idf, err := in.ToNumber(args[0])
+		if err != nil {
+			return interp.Undefined, err
+		}
+		if idf == math.Trunc(idf) && idf >= 1 {
+			r.cancelTimer(uint64(idf))
+		}
+		return interp.Undefined, nil
 	})
 
 	// Signal predicates used by instrumented catch clauses and exceptional
@@ -178,6 +202,38 @@ func (r *R) installNatives() {
 			return interp.Undefined, err
 		}
 		return args[2], nil
+	})
+
+	// Bound-function support for the $construct prelude (§3.2): `new` on a
+	// bound function must construct the ultimate target with the bound args
+	// prepended and boundThis ignored, but the prelude's f.apply(o, args)
+	// would substitute boundThis for the fresh object. $boundFn unwraps one
+	// bound layer (undefined for ordinary functions) and $boundArgs prepends
+	// that layer's bound args; the prelude loops until the target is plain
+	// and only then allocates and applies. Both natives terminate trivially,
+	// so they cannot strand a capture begun in the constructor body.
+	defineNative("$boundFn", func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		if len(args) == 0 {
+			return interp.Undefined, nil
+		}
+		if o := args[0].Obj(); o != nil && o.Bound != nil {
+			return o.Bound.Target, nil
+		}
+		return interp.Undefined, nil
+	})
+	defineNative("$boundArgs", func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		if len(args) < 2 {
+			return interp.Undefined, nil
+		}
+		o := args[0].Obj()
+		rest := args[1].Obj()
+		if o == nil || o.Bound == nil || rest == nil {
+			return args[1], nil
+		}
+		all := make([]interp.Value, 0, len(o.Bound.Args)+len(rest.Elems))
+		all = append(all, o.Bound.Args...)
+		all = append(all, rest.Elems...)
+		return interp.ObjectValue(in.NewArray(all)), nil
 	})
 }
 

@@ -121,6 +121,13 @@ type R struct {
 	ledger    map[uint64]*LedgerEntry
 	ledgerSeq uint64
 
+	// timerSeq numbers guest setTimeout calls (IDs start at 1). It is a
+	// separate counter from ledgerSeq — which also counts $suspend resume
+	// posts — so the ID sequence a stopified guest observes matches the
+	// raw interpreter's exactly. Serialized in the snapshot header and
+	// restored via SetTimerSeq, keeping IDs unique across a park. Under mu.
+	timerSeq uint64
+
 	// Stats observable by the harness.
 	Yields   int
 	Captures int

@@ -33,19 +33,37 @@ const (
 // reproduces the source queue's FIFO-among-due ordering on restore.
 type LedgerEntry struct {
 	Kind   TaskKind
-	Fn     interp.Value // TaskTimer: the callback
-	Frames Frames       // TaskResume: the continuation
-	Aux    bool         // TaskResume: the turn tag to restore under
+	Fn     interp.Value   // TaskTimer: the callback
+	Args   []interp.Value // TaskTimer: extra setTimeout args, forwarded to Fn
+	Frames Frames         // TaskResume: the continuation
+	Aux    bool           // TaskResume: the turn tag to restore under
 	Due    float64
-	seq    uint64
+
+	// TimerID is the guest-visible setTimeout handle (clearTimeout's key);
+	// Cancelled marks a cleared timer whose queued loop task will fire as a
+	// no-op. The entry stays in the ledger after clearTimeout — removing it
+	// would desync Loop.Len() from the ledger and false-pin the snapshot —
+	// so cancellation records ride the serialized pending-task list.
+	TimerID   uint64
+	Cancelled bool
+
+	seq uint64
 }
 
-// postTimer posts a ledgered setTimeout callback task.
-func (r *R) postTimer(fn interp.Value, delay float64) {
-	r.postTracked(LedgerEntry{Kind: TaskTimer, Fn: fn, Aux: true}, delay, func() {
+// postTimer posts a ledgered setTimeout callback task. The caller fills
+// Fn/Args/TimerID (and Cancelled, when reposting a cleared timer from a
+// snapshot).
+func (r *R) postTimer(e LedgerEntry, delay float64) {
+	e.Kind = TaskTimer
+	e.Aux = true
+	fn, fnArgs := e.Fn, e.Args
+	r.postTracked(e, delay, func(cancelled bool) {
+		if cancelled {
+			return
+		}
 		r.curAux = true
 		r.runStep(func() (interp.Value, error) {
-			return r.In.Call(fn, interp.Undefined, nil, interp.Undefined)
+			return r.In.Call(fn, interp.Undefined, fnArgs, interp.Undefined)
 		})
 	})
 }
@@ -54,7 +72,7 @@ func (r *R) postTimer(fn interp.Value, delay float64) {
 // pause request that arrived while it was queued by parking instead of
 // running — the same semantics as the $suspend yield it usually is.
 func (r *R) postResume(frames Frames, aux bool, delay float64) {
-	r.postTracked(LedgerEntry{Kind: TaskResume, Frames: frames, Aux: aux}, delay, func() {
+	r.postTracked(LedgerEntry{Kind: TaskResume, Frames: frames, Aux: aux}, delay, func(bool) {
 		if r.mustPause.Load() {
 			r.mustPause.Store(false)
 			r.mu.Lock()
@@ -86,8 +104,10 @@ func (r *R) postResume(frames Frames, aux bool, delay float64) {
 
 // postTracked records e in the ledger, posts run, and removes the entry
 // when the task starts. Due is recorded absolute (loop-clock domain) and
-// converted to an offset by PendingTasks.
-func (r *R) postTracked(e LedgerEntry, delay float64, run func()) {
+// converted to an offset by PendingTasks. The entry's Cancelled flag —
+// which clearTimeout may set while the task is queued — is read under mu at
+// fire time and handed to run.
+func (r *R) postTracked(e LedgerEntry, delay float64, run func(cancelled bool)) {
 	if delay < 0 {
 		delay = 0
 	}
@@ -100,10 +120,50 @@ func (r *R) postTracked(e LedgerEntry, delay float64, run func()) {
 	r.mu.Unlock()
 	r.Loop.Post(func() {
 		r.mu.Lock()
+		cancelled := r.ledger[id] != nil && r.ledger[id].Cancelled
 		delete(r.ledger, id)
 		r.mu.Unlock()
-		run()
+		run(cancelled)
 	}, delay)
+}
+
+// nextTimerID issues the next guest-visible setTimeout handle (starting at
+// 1, matching the raw interpreter's sequence exactly).
+func (r *R) nextTimerID() uint64 {
+	r.mu.Lock()
+	r.timerSeq++
+	id := r.timerSeq
+	r.mu.Unlock()
+	return id
+}
+
+// cancelTimer marks the pending timer with guest handle id cancelled; its
+// queued loop task fires as a no-op. Unknown or already-fired IDs are
+// ignored, as clearTimeout is.
+func (r *R) cancelTimer(id uint64) {
+	r.mu.Lock()
+	for _, e := range r.ledger {
+		if e.Kind == TaskTimer && e.TimerID == id {
+			e.Cancelled = true
+		}
+	}
+	r.mu.Unlock()
+}
+
+// TimerSeq reports the last issued setTimeout handle, for the snapshot
+// header; SetTimerSeq restores it so a restored guest keeps issuing unique,
+// deterministic IDs.
+func (r *R) TimerSeq() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.timerSeq
+}
+
+// SetTimerSeq seeds the setTimeout handle counter (snapshot restore).
+func (r *R) SetTimerSeq(n uint64) {
+	r.mu.Lock()
+	r.timerSeq = n
+	r.mu.Unlock()
 }
 
 // PendingTasks returns the ledgered pending tasks in post order, Due
@@ -146,7 +206,10 @@ func (r *R) RepostLedger(entries []LedgerEntry, elapsedMs float64) {
 		}
 		switch e.Kind {
 		case TaskTimer:
-			r.postTimer(e.Fn, delay)
+			// Reposted wholesale, cancellation flag included: a cancelled
+			// timer stays a ledgered no-op until its due time, exactly as in
+			// the source process.
+			r.postTimer(e, delay)
 		case TaskResume:
 			r.postResume(e.Frames, e.Aux, delay)
 		}

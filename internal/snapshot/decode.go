@@ -10,6 +10,8 @@ import (
 // source and options), plus the accounting and control flags the embedding
 // layer applies after decoding.
 type Meta struct {
+	// Version is the blob's wire version (in [VersionMin, Version]).
+	Version    byte
 	HostMeta   []byte
 	Steps      uint64
 	MemUsed    uint64
@@ -19,6 +21,9 @@ type Meta struct {
 	Done       bool
 	SavedAux   bool
 	WallUnixMs float64
+	// TimerSeq is the source runtime's last-issued setTimeout handle
+	// (wire v2; 0 in v1 blobs, which predate real timer IDs).
+	TimerSeq uint64
 }
 
 // Decoded is the result of decoding a blob into a realm: the runtime
@@ -46,9 +51,11 @@ func readMeta(r *reader) (Meta, error) {
 		return m, corruptf("bad magic")
 	}
 	r.off = len(magic)
-	if v := r.u8(); v != Version {
-		return m, corruptf("wire version %d, want %d", v, Version)
+	v := r.u8()
+	if v < VersionMin || v > Version {
+		return m, corruptf("wire version %d, want %d..%d", v, VersionMin, Version)
 	}
+	m.Version = v
 	m.HostMeta = r.bytes()
 	m.Steps = r.uvarint()
 	m.MemUsed = r.uvarint()
@@ -59,6 +66,9 @@ func readMeta(r *reader) (Meta, error) {
 	m.Done = flags&flagDone != 0
 	m.SavedAux = flags&flagSavedAux != 0
 	m.WallUnixMs = r.f64()
+	if v >= 2 {
+		m.TimerSeq = r.uvarint()
+	}
 	return m, r.err
 }
 
@@ -81,14 +91,18 @@ type rawProp struct {
 }
 
 type rawObj struct {
-	kind   byte
-	class  string // nodePlain
-	funcID int    // nodeClosure
-	envRef int    // nodeClosure
-	frames []wval // nodeContinuation
-	proto  wval
-	props  []rawProp
-	elems  []wval
+	kind    byte
+	class   string  // nodePlain
+	funcID  int     // nodeClosure
+	envRef  int     // nodeClosure
+	frames  []wval  // nodeContinuation
+	btarget wval    // nodeBound
+	bthis   wval    // nodeBound
+	bargs   []wval  // nodeBound
+	dateMS  float64 // nodeDate
+	proto   wval
+	props   []rawProp
+	elems   []wval
 }
 
 type rawEnv struct {
@@ -107,6 +121,7 @@ type dec struct {
 	rt   *rt.R
 	code *CodeTable
 	reg  *Registry
+	ver  byte
 
 	envs  []*interp.Env
 	objs  []*interp.Object
@@ -125,6 +140,13 @@ func Decode(blob []byte, in *interp.Interp, runtime *rt.R, code *CodeTable, reg 
 	if err != nil {
 		return nil, err
 	}
+	if meta.Version == 1 {
+		// A v1 blob was written against a realm whose host graph predates
+		// the clearTimeout global and the shared Date.prototype; re-link
+		// its host ordinals through the filtered legacy view so
+		// fingerprints and ordinals line up (registry.go).
+		reg = reg.legacyV1()
+	}
 
 	regCount := r.uvarint()
 	regSum := r.u64()
@@ -138,7 +160,7 @@ func Decode(blob []byte, in *interp.Interp, runtime *rt.R, code *CodeTable, reg 
 		return nil, corruptf("compiled program mismatch (blob %d funcs/%d scopes, realm %d/%d) — recompilation diverged", funcCount, scopeCount, len(code.funcs), len(code.scopes))
 	}
 
-	d := &dec{in: in, rt: runtime, code: code, reg: reg}
+	d := &dec{in: in, rt: runtime, code: code, reg: reg, ver: meta.Version}
 
 	// Parse the env and object tables fully before allocating anything:
 	// references point in both directions.
@@ -202,11 +224,14 @@ func Decode(blob []byte, in *interp.Interp, runtime *rt.R, code *CodeTable, reg 
 	}
 	result := d.rval(r)
 	type rawLedger struct {
-		kind   byte
-		due    float64
-		fn     wval
-		aux    bool
-		frames []wval
+		kind      byte
+		due       float64
+		fn        wval
+		timerID   uint64
+		cancelled bool
+		args      []wval
+		aux       bool
+		frames    []wval
 	}
 	ledger := make([]rawLedger, r.count())
 	for i := range ledger {
@@ -216,6 +241,14 @@ func Decode(blob []byte, in *interp.Interp, runtime *rt.R, code *CodeTable, reg 
 		switch rt.TaskKind(le.kind) {
 		case rt.TaskTimer:
 			le.fn = d.rval(r)
+			if meta.Version >= 2 {
+				le.timerID = r.uvarint()
+				le.cancelled = r.bool()
+				le.args = make([]wval, r.count())
+				for j := range le.args {
+					le.args[j] = d.rval(r)
+				}
+			}
 		case rt.TaskResume:
 			le.aux = r.bool()
 			le.frames = make([]wval, r.count())
@@ -290,6 +323,14 @@ func Decode(blob []byte, in *interp.Interp, runtime *rt.R, code *CodeTable, reg 
 			k, fill := runtime.RestoredContinuation()
 			d.objs[i] = k
 			d.fills[i] = fill
+		case nodeBound:
+			// Two-phase like continuations: the BoundFunction is allocated
+			// empty and its Target/This/Args are resolved in the fill loop,
+			// since bound graphs can be cyclic (a bound function stored in
+			// its own bound args).
+			d.objs[i] = &interp.Object{Class: "Function", Bound: &interp.BoundFunction{}}
+		case nodeDate:
+			d.objs[i] = &interp.Object{Class: "Date", Date: &interp.DateData{MS: ro.dateMS}}
 		default:
 			return nil, corruptf("unknown object kind %d", ro.kind)
 		}
@@ -351,6 +392,22 @@ func Decode(blob []byte, in *interp.Interp, runtime *rt.R, code *CodeTable, reg 
 			}
 			fill(frames)
 		}
+		if b := o.Bound; b != nil {
+			if b.Target, err = d.resolve(ro.btarget); err != nil {
+				return nil, err
+			}
+			if b.This, err = d.resolve(ro.bthis); err != nil {
+				return nil, err
+			}
+			if n := len(ro.bargs); n > 0 {
+				b.Args = make([]interp.Value, n)
+				for j, wv := range ro.bargs {
+					if b.Args[j], err = d.resolve(wv); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
 	}
 
 	// Replay guest mutations of host objects.
@@ -411,13 +468,22 @@ func Decode(blob []byte, in *interp.Interp, runtime *rt.R, code *CodeTable, reg 
 		Result: res,
 	}
 	for _, le := range ledger {
-		entry := rt.LedgerEntry{Kind: rt.TaskKind(le.kind), Due: le.due, Aux: le.aux}
+		entry := rt.LedgerEntry{Kind: rt.TaskKind(le.kind), Due: le.due, Aux: le.aux,
+			TimerID: le.timerID, Cancelled: le.cancelled}
 		if entry.Kind == rt.TaskTimer {
 			fn, err := d.resolve(le.fn)
 			if err != nil {
 				return nil, err
 			}
 			entry.Fn = fn
+			if n := len(le.args); n > 0 {
+				entry.Args = make([]interp.Value, n)
+				for j, wv := range le.args {
+					if entry.Args[j], err = d.resolve(wv); err != nil {
+						return nil, err
+					}
+				}
+			}
 		} else {
 			f, err := d.resolveFrames(le.frames)
 			if err != nil {
@@ -500,6 +566,23 @@ func (d *dec) parseObj(r *reader, ro *rawObj) {
 		for i := range ro.frames {
 			ro.frames[i] = d.rval(r)
 		}
+	case nodeBound:
+		if d.ver < 2 {
+			r.err = corruptf("bound-function node in a v%d blob", d.ver)
+			return
+		}
+		ro.btarget = d.rval(r)
+		ro.bthis = d.rval(r)
+		ro.bargs = make([]wval, r.count())
+		for i := range ro.bargs {
+			ro.bargs[i] = d.rval(r)
+		}
+	case nodeDate:
+		if d.ver < 2 {
+			r.err = corruptf("date node in a v%d blob", d.ver)
+			return
+		}
+		ro.dateMS = r.f64()
 	default:
 		if r.err == nil {
 			r.err = corruptf("unknown object kind %d", ro.kind)

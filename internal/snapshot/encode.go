@@ -29,14 +29,19 @@ type Input struct {
 	// WallUnixMs timestamps the snapshot (wall clock), so a restore can
 	// credit parked time against pending timer due-offsets.
 	WallUnixMs float64
+	// TimerSeq is the last setTimeout handle the runtime issued; a restored
+	// runtime continues the sequence so handles stay unique across a park.
+	TimerSeq uint64
 }
 
-// object node kinds on the wire.
+// object node kinds on the wire. nodeBound and nodeDate are wire v2.
 const (
 	nodePlain = iota
 	nodeClosure
 	nodeBottom
 	nodeContinuation
+	nodeBound
+	nodeDate
 )
 
 // host-delta op kinds on the wire.
@@ -88,22 +93,22 @@ type deltaOp struct {
 func Encode(input Input) ([]byte, error) {
 	r := input.RT
 	if !r.ModeNormal() {
-		return nil, pinf("runtime is mid capture/restore (not at a statement boundary)")
+		return nil, pinf(PinMode, "runtime is mid capture/restore (not at a statement boundary)")
 	}
 	if input.In.InAtomic() {
-		return nil, pinf("a native callback section is active")
+		return nil, pinf(PinMode, "a native callback section is active")
 	}
 	if input.In.Depth() != 0 {
-		return nil, pinf("guest frames are live on the native stack")
+		return nil, pinf(PinMode, "guest frames are live on the native stack")
 	}
 	st := r.SnapshotState()
 	tasks := r.PendingTasks()
 	if got := r.Loop.Len(); got != len(tasks) {
-		return nil, pinf("%d event-loop task(s) not owned by the runtime (blocking host call or debugger)", got-len(tasks))
+		return nil, pinf(PinTask, "%d event-loop task(s) not owned by the runtime (blocking host call or debugger)", got-len(tasks))
 	}
 	prist := pristine()
 	if input.Reg.Sum() != prist.Sum() || input.Reg.Len() != prist.Len() {
-		return nil, pinf("host registry diverged from the pristine realm (host natives installed after realm construction?)")
+		return nil, pinf(PinRegistry, "host registry diverged from the pristine realm (host natives installed after realm construction?)")
 	}
 
 	e := &enc{
@@ -133,6 +138,9 @@ func Encode(input Input) ([]byte, error) {
 	e.discoverValue(input.Result)
 	for _, t := range tasks {
 		e.discoverValue(t.Fn)
+		for _, a := range t.Args {
+			e.discoverValue(a)
+		}
 		for _, f := range t.Frames {
 			e.discoverValue(f)
 		}
@@ -172,6 +180,7 @@ func Encode(input Input) ([]byte, error) {
 	}
 	w.u8(flags)
 	w.f64(input.WallUnixMs)
+	w.uvarint(input.TimerSeq)
 
 	w.uvarint(uint64(e.reg.Len()))
 	w.u64(e.reg.Sum())
@@ -225,6 +234,12 @@ func Encode(input Input) ([]byte, error) {
 		switch t.Kind {
 		case rt.TaskTimer:
 			e.value(w, t.Fn)
+			w.uvarint(t.TimerID)
+			w.bool(t.Cancelled)
+			w.uvarint(uint64(len(t.Args)))
+			for _, a := range t.Args {
+				e.value(w, a)
+			}
 		case rt.TaskResume:
 			w.bool(t.Aux)
 			w.uvarint(uint64(len(t.Frames)))
@@ -343,7 +358,7 @@ func (e *enc) discoverValue(v interp.Value) {
 		return
 	}
 	if v.Tag() > interp.TagObject {
-		e.err = pinf("an engine-internal value (iterator or constructor sentinel) is reachable")
+		e.err = pinf(PinInternal, "an engine-internal value (iterator or constructor sentinel) is reachable")
 		return
 	}
 	o := v.Obj()
@@ -414,25 +429,35 @@ func (e *enc) scanObject(o *interp.Object) {
 		case "continuation":
 			frames, ok := rt.ContinuationFrames(o)
 			if !ok {
-				e.err = pinf("continuation value without reified frames")
+				e.err = pinf(PinNative, "continuation value without reified frames")
 				return
 			}
 			for _, f := range frames {
 				e.discoverValue(f)
 			}
 		default:
-			e.err = pinf("native function %q was created at runtime and has no registry name", o.NativeName)
+			e.err = pinf(PinNative, "native function %q was created at runtime and has no registry name", o.NativeName)
 			return
 		}
 	case o.Fn != nil:
 		if _, ok := e.code.FuncID(o.Fn.Decl); !ok {
-			e.err = pinf("closure over code outside the compiled program (eval)")
+			e.err = pinf(PinEval, "closure over code outside the compiled program (eval)")
 			return
 		}
 		e.discoverEnv(o.Fn.Env)
+	case o.Bound != nil:
+		// Data-backed bound function: target, receiver, and partial args
+		// are ordinary graph edges.
+		e.discoverValue(o.Bound.Target)
+		e.discoverValue(o.Bound.This)
+		for _, v := range o.Bound.Args {
+			e.discoverValue(v)
+		}
+	case o.Date != nil:
+		// Pure data slot; nothing beyond the uniform tail to discover.
 	default:
 		if o.Extra != nil {
-			e.err = pinf("object of class %q carries a host payload", o.Class)
+			e.err = pinf(PinHost, "object of class %q carries a host payload", o.Class)
 			return
 		}
 	}
@@ -448,7 +473,7 @@ func (e *enc) scanObject(o *interp.Object) {
 func (e *enc) scanEnv(env *interp.Env) {
 	if layout := env.Layout(); layout != nil {
 		if _, ok := e.code.ScopeID(layout); !ok {
-			e.err = pinf("environment frame with a layout outside the compiled program (eval)")
+			e.err = pinf(PinEval, "environment frame with a layout outside the compiled program (eval)")
 			return
 		}
 	}
@@ -605,6 +630,17 @@ func (e *enc) emitObjects(w *writer) {
 			id, _ := e.code.FuncID(o.Fn.Decl)
 			w.uvarint(uint64(id))
 			e.envRef(w, o.Fn.Env)
+		case o.Bound != nil:
+			w.u8(nodeBound)
+			e.value(w, o.Bound.Target)
+			e.value(w, o.Bound.This)
+			w.uvarint(uint64(len(o.Bound.Args)))
+			for _, v := range o.Bound.Args {
+				e.value(w, v)
+			}
+		case o.Date != nil:
+			w.u8(nodeDate)
+			w.f64(o.Date.MS)
 		default:
 			w.u8(nodePlain)
 			w.str(o.Class)

@@ -3,6 +3,7 @@ package snapshot
 import (
 	"hash/fnv"
 	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/eventloop"
@@ -108,6 +109,40 @@ func (r *Registry) Sum() uint64 { return r.sum }
 
 // Path names an ordinal (diagnostics).
 func (r *Registry) Path(i int) string { return r.paths[i] }
+
+// legacyV1 returns the registry as a wire-v1 decoder must see it. Wire v2's
+// realm grew host-graph additions a v1 realm never had: the clearTimeout
+// global, the shared Date.prototype subtree, and the $boundFn/$boundArgs
+// construct-support natives. All are *first* reachable under exactly those
+// paths (every other object on those subtrees — Object.prototype, the Date
+// constructor — was already visited earlier in the DFS), so filtering the
+// paths out and recomputing the fingerprint reproduces the v1 traversal's
+// ordinal assignment exactly. A dropped ordinal cannot appear in a v1 blob:
+// the object did not exist in the realm that wrote it.
+func (r *Registry) legacyV1() *Registry {
+	lr := &Registry{
+		byObj:  make(map[*interp.Object]int),
+		byPath: make(map[string]int),
+	}
+	for i, p := range r.paths {
+		if p == "clearTimeout" || p == "$boundFn" || p == "$boundArgs" ||
+			p == "Date.prototype" || strings.HasPrefix(p, "Date.prototype.") {
+			continue
+		}
+		idx := len(lr.objs)
+		lr.byObj[r.objs[i]] = idx
+		lr.byPath[p] = idx
+		lr.objs = append(lr.objs, r.objs[i])
+		lr.paths = append(lr.paths, p)
+	}
+	h := fnv.New64a()
+	for _, p := range lr.paths {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	lr.sum = h.Sum64()
+	return lr
+}
 
 // The pristine twin: one throwaway realm per process, built with default
 // options and never executed, whose registry supplies the *initial* state

@@ -20,27 +20,53 @@
 //   - the runtime's pending-task ledger (rt.PendingTasks): event-loop tasks
 //     as (due-offset, payload) records.
 //
-// Anything outside those structures — a native created at runtime (a bound
-// function, a per-instance Date method), a closure over eval-compiled code,
-// an event-loop task the runtime did not post (a Blocking resume, a
-// debugger park) — has no serializable identity, and encoding fails with a
-// typed *PinError naming the obstruction instead of corrupting state.
+// Bound functions and Date instances are data-backed (interp.BoundFunction
+// / interp.DateData) and serialize as first-class node kinds since wire v2.
+// Anything outside those structures — a native created at runtime, a
+// closure over eval-compiled code, an event-loop task the runtime did not
+// post (a Blocking resume, a debugger park) — has no serializable identity,
+// and encoding fails with a typed *PinError naming the obstruction instead
+// of corrupting state.
 package snapshot
 
 import "fmt"
 
-// Version is the wire-format version byte. A decoder refuses blobs from a
-// different version outright: the format carries raw graph structure, and
-// guessing across versions corrupts realms.
-const Version = 1
+// Version is the wire-format version byte the encoder writes. The decoder
+// accepts every version in [VersionMin, Version]: the format carries raw
+// graph structure, so guessing across unknown versions corrupts realms, but
+// older versions are an explicit subset — v2 added bound-function and
+// date-slot node kinds, a timer-handle counter in the header, and
+// cancellation/extra-arg fields on timer ledger records, all of which a v1
+// blob simply lacks. V1 blobs additionally re-link host references through
+// a filtered legacy registry view (registry.go) because the v2 realm's
+// host graph gained objects a v1 realm never had.
+const (
+	Version    = 2
+	VersionMin = 1
+)
 
 // magic prefixes every blob.
 var magic = [4]byte{'S', 'N', 'A', 'P'}
+
+// Pin-reason kinds, the coarse taxonomy behind PinError.Kind. The
+// supervisor counts parks blocked per kind, so the effect of shrinking the
+// pin set is measurable (metrics.go park_pins_by_reason).
+const (
+	PinMode     = "mode"     // mid capture/restore, atomic section, or live native stack
+	PinTask     = "task"     // event-loop task the runtime did not post
+	PinRegistry = "registry" // host registry diverged, or an uncopyable output sink
+	PinNative   = "native"   // runtime-created native with no registry identity
+	PinEval     = "eval"     // closure or frame over eval-compiled code
+	PinHost     = "host"     // object carrying an opaque host payload
+	PinInternal = "internal" // engine-internal value reachable from guest state
+)
 
 // PinError reports that a guest's live state contains something the codec
 // cannot serialize — the guest is "pinned" in memory. The run itself is
 // unharmed: Snapshot is read-only, and a pinned guest keeps executing.
 type PinError struct {
+	// Kind is the coarse pin taxonomy (the Pin* constants).
+	Kind string
 	// Reason names the non-serializable obstruction.
 	Reason string
 }
@@ -49,8 +75,8 @@ type PinError struct {
 func (e *PinError) Error() string { return "snapshot: guest pinned: " + e.Reason }
 
 // pinf builds a PinError.
-func pinf(format string, args ...interface{}) error {
-	return &PinError{Reason: fmt.Sprintf(format, args...)}
+func pinf(kind, format string, args ...interface{}) error {
+	return &PinError{Kind: kind, Reason: fmt.Sprintf(format, args...)}
 }
 
 // corruptf reports a malformed or mismatched blob.

@@ -147,7 +147,10 @@ type LoadResult struct {
 	Parks       uint64 `json:"parks"`
 	Restores    uint64 `json:"restores"`
 	ParkPins    uint64 `json:"park_pins"`
-	StepsTotal  uint64 `json:"steps_total"`
+	// ParkPinsByReason breaks ParkPins down by snapshot.PinError kind;
+	// the standard mix must keep it empty (gated in the verify pass).
+	ParkPinsByReason map[string]uint64 `json:"park_pins_by_reason,omitempty"`
+	StepsTotal       uint64            `json:"steps_total"`
 
 	Sched      LatencySummary `json:"sched_latency"`
 	Turn       LatencySummary `json:"turn_duration"`
@@ -175,7 +178,13 @@ type loadRec struct {
 
 // loadInteractiveProgram is a multi-turn REPL session: bursts of work
 // separated by think-time sleeps, on the interactive lane. While it sleeps
-// it is exactly the idle-but-live tenant MaxResident parks.
+// it is exactly the idle-but-live tenant MaxResident parks — and what it
+// holds across those parks is deliberately the state wire v2 un-pinned: the
+// turn callback is a *bound* function, a Date from session start must read
+// the same time-value after every restore, and each turn schedules a decoy
+// timer it immediately cancels (the cancelled handle rides the ledger; if
+// cancellation were lost across a park the decoy would run an extra turn
+// and the output check below would catch it).
 func loadInteractiveProgram(seed int) (src, want string) {
 	const turns = 3
 	sleep := 40 + seed%80
@@ -187,32 +196,49 @@ func loadInteractiveProgram(seed int) (src, want string) {
 		}
 		fmt.Fprintf(&w, "t%d %d\n", t, acc)
 	}
+	w.WriteString("bye stable\n")
 	src = fmt.Sprintf(`
+var born = new Date();
+var t0 = born.getTime();
 var acc = %d;
 var turn = 0;
-function step() {
+function stepImpl(tag) {
   for (var i = 0; i < 300; i++) { acc = (acc + i * 7 + %d) %% 9973; }
-  console.log("t" + turn, acc);
+  console.log(tag + turn, acc);
   turn++;
-  if (turn < %d) { setTimeout(step, %d); }
+  if (turn < %d) {
+    var decoy = setTimeout(step, %d);
+    setTimeout(step, %d);
+    clearTimeout(decoy);
+  } else {
+    console.log("bye", born.getTime() === t0 ? "stable" : "drift");
+  }
 }
+var step = stepImpl.bind(null, "t");
 step();
-`, seed%9973, seed, turns, sleep)
+`, seed%9973, seed, turns, sleep, sleep)
 	return src, w.String()
 }
 
 // loadSleeperProgram sleeps first and computes after — admitted, instantly
-// idle, parked under residency pressure, restored when the timer fires.
+// idle, parked under residency pressure, restored when the timer fires. The
+// pending timer carries forwarded extra args, a cancelled twin rides the
+// ledger beside it, and a Date instance must stay internally consistent
+// after restore; a codec fault in any of them corrupts the verified output.
 func loadSleeperProgram(seed int) (src, want string) {
 	sleep := 150 + (seed*37)%350
 	src = fmt.Sprintf(`
-setTimeout(function () {
+var mark = new Date();
+function wake(bonus, tag) {
   var n = 0;
   for (var i = 0; i < 200; i++) { n += i; }
-  console.log("woke", n + %d);
-}, %d);
-`, seed, sleep)
-	return src, fmt.Sprintf("woke %d\n", 19900+seed)
+  console.log(tag, n + bonus, mark.getTime() === mark.valueOf() ? "ok" : "bad");
+}
+var dead = setTimeout(wake, %d, 0, "never");
+clearTimeout(dead);
+setTimeout(wake, %d, %d, "woke");
+`, sleep, sleep, seed)
+	return src, fmt.Sprintf("woke %d ok\n", 19900+seed)
 }
 
 // RunLoad executes one sustained open-loop load run and verifies every
@@ -408,6 +434,14 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	// Snapshot instrumentation before the deferred Close pollutes the kill
 	// counters with shutdown kills of stragglers.
 	m := s.Metrics()
+	// Every standard profile holds only serializable state — bound
+	// functions, Date instances, and cancelled timer handles all cross the
+	// snapshot boundary since wire v2 — so a pinned park attempt here is a
+	// codec regression surfacing under load, not expected traffic.
+	if m.ParkPins > 0 {
+		note("%d park attempts pinned (%v) — standard profiles must serialize",
+			"", int(m.ParkPins), m.ParkPinsByReason)
+	}
 	windows := s.Windows()
 	worst := 0.0
 	for _, w := range windows {
@@ -420,32 +454,33 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	}
 
 	res := &LoadResult{
-		Config:          cfg,
-		WallMs:          float64(wall) / float64(time.Millisecond),
-		GenMs:           float64(genWall) / float64(time.Millisecond),
-		Arrivals:        arrivals,
-		Admitted:        admitted,
-		Rejected:        rejected,
-		ChurnPauses:     pauses,
-		ChurnResumes:    int(resumes.Load()),
-		ChurnKills:      kills,
-		Completed:       m.Completed,
-		Killed:          m.Killed,
-		Failed:          m.Failed,
-		Unexpected:      unexpected,
-		Stragglers:      stragglers,
-		FirstUnexpected: firstBad,
-		Preemptions:     m.Preemptions,
-		Steals:          m.Steals,
-		Parks:           m.Parks,
-		Restores:        m.Restores,
-		ParkPins:        m.ParkPins,
-		StepsTotal:      m.StepsTotal,
-		Sched:           m.SchedLatency,
-		Turn:            m.TurnDuration,
-		RestoreLat:      m.RestoreLatency,
-		WorstWindowP99:  worst,
-		Windows:         windows,
+		Config:           cfg,
+		WallMs:           float64(wall) / float64(time.Millisecond),
+		GenMs:            float64(genWall) / float64(time.Millisecond),
+		Arrivals:         arrivals,
+		Admitted:         admitted,
+		Rejected:         rejected,
+		ChurnPauses:      pauses,
+		ChurnResumes:     int(resumes.Load()),
+		ChurnKills:       kills,
+		Completed:        m.Completed,
+		Killed:           m.Killed,
+		Failed:           m.Failed,
+		Unexpected:       unexpected,
+		Stragglers:       stragglers,
+		FirstUnexpected:  firstBad,
+		Preemptions:      m.Preemptions,
+		Steals:           m.Steals,
+		Parks:            m.Parks,
+		Restores:         m.Restores,
+		ParkPins:         m.ParkPins,
+		ParkPinsByReason: m.ParkPinsByReason,
+		StepsTotal:       m.StepsTotal,
+		Sched:            m.SchedLatency,
+		Turn:             m.TurnDuration,
+		RestoreLat:       m.RestoreLatency,
+		WorstWindowP99:   worst,
+		Windows:          windows,
 	}
 	if arrivals > 0 {
 		res.ErrorRate = float64(unexpected+stragglers+rejected) / float64(arrivals)

@@ -33,6 +33,12 @@ func TestRunLoadShortSustained(t *testing.T) {
 	if res.Parks == 0 || res.Restores == 0 {
 		t.Errorf("parks=%d restores=%d — MaxResident=8 under churn must park and restore", res.Parks, res.Restores)
 	}
+	if res.ParkPins != 0 {
+		// The mix holds bound functions, Dates, and cancelled timer handles
+		// across parks on purpose; since wire v2 none of them may pin.
+		t.Errorf("park_pins=%d (%v), want 0 for the standard profile mix",
+			res.ParkPins, res.ParkPinsByReason)
+	}
 	if res.ChurnPauses == 0 || res.ChurnKills == 0 {
 		t.Errorf("churn idle: pauses=%d kills=%d", res.ChurnPauses, res.ChurnKills)
 	}

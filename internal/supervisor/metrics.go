@@ -52,6 +52,7 @@ type metrics struct {
 	parks         uint64
 	restores      uint64
 	parkPins      uint64
+	parkPinKinds  map[string]uint64
 	snapshotBytes uint64
 	restoreAdmits uint64
 
@@ -178,9 +179,18 @@ func (m *metrics) park(blobLen int) {
 	m.mu.Unlock()
 }
 
-func (m *metrics) parkPinned() {
+// parkPinned records a park attempt the codec refused, keyed by the
+// PinError's coarse kind (snapshot.Pin* constants; "other" for
+// non-pin failures). The per-kind split makes pin-set changes measurable:
+// shrinking the set (wire v2 serializing bound functions and Dates) should
+// empty the kinds it removed while leaving eval/task/host pins visible.
+func (m *metrics) parkPinned(kind string) {
 	m.mu.Lock()
 	m.parkPins++
+	if m.parkPinKinds == nil {
+		m.parkPinKinds = make(map[string]uint64)
+	}
+	m.parkPinKinds[kind]++
 	m.mu.Unlock()
 }
 
@@ -323,14 +333,19 @@ type Metrics struct {
 
 	// Residency limiter: live realms vs parked snapshots right now, park /
 	// restore traffic, and how long a restore-on-touch stalls a turn.
-	ResidentGuests     int            `json:"resident_guests"`
-	ParkedGuests       int            `json:"parked_guests"`
-	Parks              uint64         `json:"parks"`
-	Restores           uint64         `json:"restores"`
-	ParkPins           uint64         `json:"park_pins"`
-	SnapshotBytesTotal uint64         `json:"snapshot_bytes_total"`
-	RestoreAdmits      uint64         `json:"restore_admits"`
-	RestoreLatency     LatencySummary `json:"restore_latency"`
+	ResidentGuests int    `json:"resident_guests"`
+	ParkedGuests   int    `json:"parked_guests"`
+	Parks          uint64 `json:"parks"`
+	Restores       uint64 `json:"restores"`
+	ParkPins       uint64 `json:"park_pins"`
+	// ParkPinsByReason splits ParkPins by snapshot.PinError kind ("native",
+	// "eval", "task", ...; "other" for non-pin snapshot failures), so
+	// operators can see *why* guests stay resident and codec work that
+	// shrinks the pin set shows up as kinds going to zero.
+	ParkPinsByReason   map[string]uint64 `json:"park_pins_by_reason,omitempty"`
+	SnapshotBytesTotal uint64            `json:"snapshot_bytes_total"`
+	RestoreAdmits      uint64            `json:"restore_admits"`
+	RestoreLatency     LatencySummary    `json:"restore_latency"`
 
 	SchedLatency LatencySummary `json:"sched_latency"`
 	TurnDuration LatencySummary `json:"turn_duration"`
@@ -375,12 +390,26 @@ func (s *Supervisor) Metrics() Metrics {
 		Parks:              m.parks,
 		Restores:           m.restores,
 		ParkPins:           m.parkPins,
+		ParkPinsByReason:   copyCounts(m.parkPinKinds),
 		SnapshotBytesTotal: m.snapshotBytes,
 		RestoreAdmits:      m.restoreAdmits,
 		RestoreLatency:     m.restoreLat.summary(),
 		SchedLatency:       m.sched.summary(),
 		TurnDuration:       m.turns.summary(),
 	}
+}
+
+// copyCounts snapshots a counter map (nil in, nil out) so Metrics values
+// stay immutable after return.
+func copyCounts(src map[string]uint64) map[string]uint64 {
+	if len(src) == 0 {
+		return nil
+	}
+	out := make(map[string]uint64, len(src))
+	for k, v := range src {
+		out[k] = v
+	}
+	return out
 }
 
 // reservoir keeps an exact sample set up to its capacity and degrades to

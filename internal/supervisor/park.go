@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/snapshot"
 )
 
 // Residency limiting: with Options.MaxResident set, the supervisor keeps at
@@ -18,9 +19,12 @@ import (
 // dropped; the blob lives in memory or, with Options.ParkDir, on disk.
 // Touching a parked guest (its timer fires, Resume, a worker picks it up)
 // restores the realm transparently before the turn runs. A guest the codec
-// cannot serialize (a live bound function, a Date instance — see
-// snapshot.PinError) simply stays resident: parking is an optimization, not
-// a correctness boundary.
+// cannot serialize (a closure over eval code, an unledgered task, an opaque
+// host payload — see snapshot.PinError; bound functions and Date instances
+// left this list with wire v2) simply stays resident: parking is an
+// optimization, not a correctness boundary. Refused parks are counted per
+// pin kind (Metrics.ParkPinsByReason) so the residual pin set stays
+// observable.
 //
 // The same machinery gives guests process mobility: SnapshotGuest hands a
 // quiescent guest's blob to the caller (stopifyd's snapshot endpoint), and
@@ -98,7 +102,12 @@ func (s *Supervisor) tryPark(g *Guest) bool {
 	blob, err := g.run.Snapshot()
 	if err != nil {
 		// Pinned (or transiently non-quiescent): stays resident.
-		s.metrics.parkPinned()
+		kind := "other"
+		var perr *snapshot.PinError
+		if errors.As(err, &perr) && perr.Kind != "" {
+			kind = perr.Kind
+		}
+		s.metrics.parkPinned(kind)
 		return false
 	}
 	g.parkBlob = blob

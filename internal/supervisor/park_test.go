@@ -6,6 +6,9 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"repro/internal/core"
+	"repro/internal/snapshot"
 )
 
 // sleeperSrc builds a guest that computes, parks on a timer (the window in
@@ -273,24 +276,78 @@ func TestSnapshotGuestNotQuiescent(t *testing.T) {
 	g.Wait()
 }
 
-// TestPinnedGuestStaysResident: a guest holding a runtime-created native (a
-// Date instance) cannot serialize; the limiter must skip it and let it
-// finish resident rather than kill or corrupt it.
-func TestPinnedGuestStaysResident(t *testing.T) {
+// TestPinShrunkGuestParks: guests holding the state that used to pin them
+// resident — a live bound function, a Date instance, a cancelled timer
+// handle — now park and restore like any other guest (wire v2's data-backed
+// representations).
+func TestPinShrunkGuestParks(t *testing.T) {
 	s := New(Options{Workers: 1, QuantumSteps: 2000, MaxResident: 1})
 	defer s.Close()
 	g := pausedGuest(t, s, `
 var d = new Date();
+function mul(a, b) { return a * b; }
+var dbl = mul.bind(null, 2);
+var dead = setTimeout(function () { console.log("never"); }, 0);
+clearTimeout(dead);
 console.log("x");
 var s = 0;
-for (var i = 0; i < 200000; i++) { s = (s + i) % 101; }
+for (var i = 0; i < 200000; i++) { s = (s + dbl(i)) % 101; }
 console.log("y", s, typeof d.getTime());
 `)
+	if !s.tryPark(g) {
+		t.Fatal("pin-shrunk guest did not park")
+	}
+	if m := s.Metrics(); m.ParkPins != 0 {
+		t.Errorf("park_pins=%d (%v), want 0", m.ParkPins, m.ParkPinsByReason)
+	}
+	g.Resume()
+	res := g.Wait()
+	if res.Err != nil {
+		t.Fatalf("restored guest failed: %v", res.Err)
+	}
+	s2 := 0
+	for i := 0; i < 200000; i++ {
+		s2 = (s2 + 2*i) % 101
+	}
+	if want := fmt.Sprintf("x\ny %d number\n", s2); res.Output != want {
+		t.Fatalf("output %q, want %q", res.Output, want)
+	}
+}
+
+// TestPinnedGuestStaysResident: a guest the codec still cannot serialize (a
+// closure over eval-compiled code); the limiter must skip it, count the pin
+// under its kind, and let it finish resident rather than kill or corrupt it.
+func TestPinnedGuestStaysResident(t *testing.T) {
+	s := New(Options{Workers: 1, QuantumSteps: 2000, MaxResident: 1})
+	defer s.Close()
+	copts := core.Defaults()
+	copts.YieldIntervalMs = 0
+	copts.Eval = true
+	g, err := s.Submit(SubmitOptions{Source: `
+eval("step = function (s, i) { return (s + i) % 101; };");
+console.log("x");
+var s = 0;
+for (var i = 0; i < 200000; i++) { s = step(s, i); }
+console.log("y", s);
+`, Compile: copts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Output() == "" && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	g.Pause()
+	waitState(t, g, StatePaused)
 	if s.tryPark(g) {
 		t.Fatal("pinned guest was parked")
 	}
-	if m := s.Metrics(); m.ParkPins == 0 {
+	m := s.Metrics()
+	if m.ParkPins == 0 {
 		t.Error("pin not accounted in park_pins")
+	}
+	if m.ParkPinsByReason[snapshot.PinEval] == 0 {
+		t.Errorf("park_pins_by_reason=%v, want an %q entry", m.ParkPinsByReason, snapshot.PinEval)
 	}
 	g.Resume()
 	res := g.Wait()
@@ -301,7 +358,7 @@ console.log("y", s, typeof d.getTime());
 	for i := 0; i < 200000; i++ {
 		s2 = (s2 + i) % 101
 	}
-	if want := fmt.Sprintf("x\ny %d number\n", s2); res.Output != want {
+	if want := fmt.Sprintf("x\ny %d\n", s2); res.Output != want {
 		t.Fatalf("output %q, want %q", res.Output, want)
 	}
 }
