@@ -15,6 +15,9 @@
 //	                                  # ...and append the run to the committed trajectory
 //	stopibench -supervisor-check BENCH_supervisor.json -arrival-rate 150 -duration 10s
 //	                                  # re-run and fail on SLO regression vs the trajectory
+//	                                  # (leaves a Chrome trace post-mortem under $TMPDIR; -trace-out overrides)
+//	stopibench -profile               # where do the figure benchmarks' statements go?
+//	                                  # guest-level sampling profile, both engines, top-N tables
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
@@ -53,6 +57,12 @@ func main() {
 		fixedArr    = flag.Bool("fixed-arrivals", false, "fixed-interval arrivals instead of Poisson")
 		maxResident = flag.Int("supervisor-max-resident", 0, "MaxResident for the load harness (0 = workers*8, forcing park/restore on the hot path; negative = unbounded)")
 		supSeed     = flag.Int64("supervisor-seed", 1, "seed for arrival spacing and churn targeting")
+
+		profFlag   = flag.Bool("profile", false, "profile the Octane/Kraken-like figure suites under both engines with the guest-level sampling profiler and exit")
+		profTop    = flag.Int("profile-top", 10, "rows per benchmark in the -profile table")
+		profEvery  = flag.Uint64("profile-every", 0, "sampling period in statements for -profile and the load harness (0 = 1000 for -profile, off for the harness)")
+		traceOut   = flag.String("trace-out", "", "write the load harness's flight-recorder trace (Chrome trace-event JSON) here; -supervisor-check defaults one under $TMPDIR")
+		profileOut = flag.String("profile-out", "", "write the load harness's per-tenant folded-stack profile here (needs -profile-every)")
 	)
 	flag.Parse()
 
@@ -71,6 +81,14 @@ func main() {
 		cfg.Repeats = *repeats
 	}
 
+	if *profFlag {
+		if err := runProfileMode(*profEvery, *profTop); err != nil {
+			fmt.Fprintln(os.Stderr, "stopibench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *supFlag || *supCheck != "" {
 		loadCfg := supervisor.LoadConfig{
 			ArrivalRate:   *arrivalRate,
@@ -81,12 +99,25 @@ func main() {
 			MaxResident:   *maxResident,
 			Seed:          *supSeed,
 			Backend:       os.Getenv("STOPIFY_BACKEND"),
+			ProfileEvery:  *profEvery,
+			TraceOut:      *traceOut,
+			ProfileOut:    *profileOut,
+		}
+		if loadCfg.ProfileOut != "" && loadCfg.ProfileEvery == 0 {
+			fmt.Fprintln(os.Stderr, "stopibench: -profile-out needs -profile-every > 0 (nothing would be sampled)")
+			os.Exit(1)
 		}
 		var err error
 		switch {
 		case *supCheck != "":
 			if loadCfg.ArrivalRate <= 0 {
 				loadCfg.ArrivalRate = 150 // smoke-scale default for the gate
+			}
+			if loadCfg.TraceOut == "" {
+				// Every SLO-gate run leaves a post-mortem: when the gate
+				// trips on a CI machine nobody can attach to, the flight
+				// recorder's last ring is the evidence.
+				loadCfg.TraceOut = filepath.Join(os.TempDir(), "stopibench-supervisor-check.trace.json")
 			}
 			err = checkSupervisorLoad(*supCheck, loadCfg)
 		case *arrivalRate > 0:
@@ -310,6 +341,9 @@ func checkSupervisorLoad(path string, cfg supervisor.LoadConfig) error {
 		return err
 	}
 	fmt.Print(res.Format())
+	if cfg.TraceOut != "" {
+		fmt.Printf("flight-recorder trace: %s\n", cfg.TraceOut)
+	}
 
 	p99Gate := math.Max(sloP99Mult*base.Load.WorstWindowP99, sloP99FloorMs)
 	errGate := math.Max(sloErrMult*base.Load.ErrorRate, sloErrFloor)

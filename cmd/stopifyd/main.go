@@ -19,6 +19,12 @@
 //	POST /snapshot?id=7    → serialize a quiescent run; &keep=1 leaves it running here
 //	POST /restore          {"snapshot": "<base64>"} → admit a blob from any daemon
 //	GET  /metrics          → fleet aggregates (queue depth, sched latency P99, ...)
+//	GET  /metrics?format=prom → the same, Prometheus text exposition
+//	GET  /trace            → flight-recorder ring as JSON lines; ?id= filters
+//	                         to one guest, ?format=chrome renders the Chrome
+//	                         trace-event JSON that about://tracing loads
+//	GET  /profile?id=7     → guest-level sampling profile, folded-stack text
+//	                         (requires -profile-every > 0)
 //
 // Every tenant gets the daemon's default policy unless its request narrows
 // it; a misbehaving guest (infinite loop, output bomb) dies by policy
@@ -28,11 +34,15 @@ package main
 
 import (
 	"context"
+	"crypto/rand"
 	"encoding/base64"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // handlers on DefaultServeMux, served only via -pprof-addr
 	"os"
 	"os/signal"
 	"runtime/debug"
@@ -60,16 +70,25 @@ func main() {
 		drainFor   = flag.Duration("drain", 15*time.Second, "how long SIGTERM waits for in-flight runs before killing them")
 		maxRes     = flag.Int("max-resident", 0, "max live realms in memory; idle guests beyond it park to snapshots (0 = unlimited)")
 		parkDir    = flag.String("park-dir", "", "directory for parked-guest snapshots (empty = keep blobs in memory)")
+		profEvery  = flag.Uint64("profile-every", 0, "guest profiler sampling period in statements (0 = profiling off)")
+		traceCap   = flag.Int("trace-capacity", 0, "flight-recorder ring capacity in events (0 = default, negative = tracing off)")
+		logFormat  = flag.String("log-format", "text", "request log format: text or json")
+		pprofAddr  = flag.String("pprof-addr", "", "serve Go pprof (host-process profiling) on this address; empty = off")
 	)
 	flag.Parse()
+	if *logFormat != "text" && *logFormat != "json" {
+		log.Fatalf("stopifyd: unknown -log-format %q (want text or json)", *logFormat)
+	}
 
 	sup := supervisor.New(supervisor.Options{
-		Workers:      *workers,
-		MaxPending:   *maxPending,
-		QuantumSteps: *quantum,
-		Backend:      *backend,
-		MaxResident:  *maxRes,
-		ParkDir:      *parkDir,
+		Workers:       *workers,
+		MaxPending:    *maxPending,
+		QuantumSteps:  *quantum,
+		Backend:       *backend,
+		MaxResident:   *maxRes,
+		ParkDir:       *parkDir,
+		ProfileEvery:  *profEvery,
+		TraceCapacity: *traceCap,
 		DefaultPolicy: supervisor.Policy{
 			WallDeadline:   *deadline,
 			MaxTotalSteps:  *maxSteps,
@@ -83,8 +102,24 @@ func main() {
 		MaxTotalSteps:  *maxSteps,
 		MaxOutputBytes: *maxOutput,
 		MemBudgetBytes: *memBudget,
-	}}
+	}, profileEvery: *profEvery, logJSON: *logFormat == "json"}
+	srv.bootNonce = bootNonce()
 	go srv.janitor()
+
+	if *pprofAddr != "" {
+		// Host-process profiling (the Go runtime: supervisor goroutines, GC,
+		// the interpreter as seen from Go). This is a different layer from
+		// GET /profile, which samples the *guest's* JavaScript frames; the
+		// two answer different questions. Off by default — pprof handlers
+		// are not something to expose on the tenant-facing address.
+		go func() {
+			log.Printf("stopifyd: pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("stopifyd: pprof listener: %v", err)
+			}
+		}()
+	}
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("/run", srv.handleRun)
 	mux.HandleFunc("/status", srv.handleStatus)
@@ -95,10 +130,12 @@ func main() {
 	mux.HandleFunc("/snapshot", srv.handleSnapshot)
 	mux.HandleFunc("/restore", srv.handleRestore)
 	mux.HandleFunc("/metrics", srv.handleMetrics)
+	mux.HandleFunc("/trace", srv.handleTrace)
+	mux.HandleFunc("/profile", srv.handleProfile)
 	mux.HandleFunc("/healthz", srv.handleHealthz)
 	mux.HandleFunc("/readyz", srv.handleReadyz)
 
-	hs := &http.Server{Addr: *addr, Handler: srv.withRecover(mux)}
+	hs := &http.Server{Addr: *addr, Handler: srv.withLog(srv.withRecover(mux))}
 
 	// Graceful shutdown: SIGTERM (what an orchestrator sends) or Ctrl-C
 	// flips the daemon into draining mode — admission refuses with
@@ -131,10 +168,14 @@ func main() {
 }
 
 type server struct {
-	sup      *supervisor.Supervisor
-	defaults supervisor.Policy
-	retain   time.Duration
-	draining atomic.Bool // SIGTERM received: refuse admission, fail /readyz
+	sup          *supervisor.Supervisor
+	defaults     supervisor.Policy
+	retain       time.Duration
+	profileEvery uint64 // sampling period wired into the supervisor; 0 = /profile refuses
+	logJSON      bool   // -log-format=json: one JSON object per request
+	bootNonce    string // random per-process prefix for request ids
+	reqSeq       atomic.Uint64
+	draining     atomic.Bool // SIGTERM received: refuse admission, fail /readyz
 
 	// The supervisor keeps guests addressable until Remove, so a serving
 	// daemon must evict or leak one Result (output buffer included) per
@@ -544,8 +585,66 @@ func (s *server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]uint64{"id": g.ID})
 }
 
+// handleMetrics serves fleet aggregates. The JSON shape is the default and
+// stays stable for existing pollers; ?format=prom renders the same single
+// consistent snapshot as Prometheus text exposition for a scraper.
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.sup.Metrics())
+	switch r.URL.Query().Get("format") {
+	case "":
+		writeJSON(w, s.sup.Metrics())
+	case "prom":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		supervisor.WriteProm(w, s.sup.Metrics(), s.sup.Windows())
+	default:
+		http.Error(w, "unknown format (want prom)", http.StatusBadRequest)
+	}
+}
+
+// handleTrace dumps the flight recorder: every lifecycle event the ring still
+// holds, in seq order. ?id= narrows to one guest's events (the per-tenant
+// post-mortem view); ?format=chrome renders Chrome trace-event JSON that
+// about://tracing or Perfetto loads directly, instead of the JSON-lines
+// default.
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	var id uint64
+	if v := r.URL.Query().Get("id"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, "bad id", http.StatusBadRequest)
+			return
+		}
+		id = n
+	}
+	evs := s.sup.Trace(id)
+	switch r.URL.Query().Get("format") {
+	case "":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Write(supervisor.TraceJSONLines(evs))
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(supervisor.ChromeTrace(evs))
+	default:
+		http.Error(w, "unknown format (want chrome)", http.StatusBadRequest)
+	}
+}
+
+// handleProfile serves one guest's sampling profile as folded-stack text
+// (flamegraph collapsed format) — guest JavaScript frames by function name,
+// weighted in executed statements. This profiles the *guest's* code; host-Go
+// profiling is the separate -pprof-addr listener. Samples accumulate at turn
+// boundaries and survive park/restore, so a profile is available for the
+// guest's whole retained life, including after it finishes.
+func (s *server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	if s.profileEvery == 0 {
+		http.Error(w, "guest profiling is off: restart stopifyd with -profile-every N", http.StatusConflict)
+		return
+	}
+	g := s.guest(w, r)
+	if g == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(supervisor.FoldedText(g.ProfileFolded(), fmt.Sprintf("guest%d", g.ID)))
 }
 
 // handleHealthz is liveness: the process is up and serving. It stays 200
@@ -580,6 +679,94 @@ func (s *server) withRecover(h http.Handler) http.Handler {
 			}
 		}()
 		h.ServeHTTP(w, r)
+	})
+}
+
+// bootNonce is the random per-process prefix of request ids: ids stay unique
+// across daemon restarts, so a log aggregator never conflates two requests.
+func bootNonce() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "00000000" // degraded but functional: ids still unique within the process
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// statusWriter observes the status code and body size a handler produced.
+// It forwards Flush so /output's follow mode keeps streaming through the
+// logging layer.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(b)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+func (sw *statusWriter) Flush() {
+	if fl, ok := sw.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// requestLog is one -log-format=json line: everything an operator needs to
+// correlate a request with guest lifecycle events in /trace.
+type requestLog struct {
+	Time       string  `json:"time"`
+	RequestID  string  `json:"request_id"`
+	Method     string  `json:"method"`
+	Path       string  `json:"path"`
+	Guest      string  `json:"guest,omitempty"` // ?id= when present
+	Status     int     `json:"status"`
+	DurationMs float64 `json:"duration_ms"`
+	Bytes      int64   `json:"bytes"`
+	Remote     string  `json:"remote,omitempty"`
+}
+
+// withLog assigns every request an id (echoed as X-Stopify-Request-Id so a
+// client can quote it in a bug report) and logs one line per request —
+// structured JSON under -log-format=json, a plain access line otherwise.
+func (s *server) withLog(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := s.bootNonce + "-" + strconv.FormatUint(s.reqSeq.Add(1), 10)
+		w.Header().Set("X-Stopify-Request-Id", id)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK // handler wrote nothing: net/http defaults the status
+		}
+		dur := time.Since(start)
+		if s.logJSON {
+			line, _ := json.Marshal(requestLog{
+				Time:       start.UTC().Format(time.RFC3339Nano),
+				RequestID:  id,
+				Method:     r.Method,
+				Path:       r.URL.Path,
+				Guest:      r.URL.Query().Get("id"),
+				Status:     sw.status,
+				DurationMs: float64(dur) / float64(time.Millisecond),
+				Bytes:      sw.bytes,
+				Remote:     r.RemoteAddr,
+			})
+			log.Printf("%s", line)
+		} else {
+			log.Printf("stopifyd: %s %s %s %d %db %s", id, r.Method, r.URL.RequestURI(), sw.status, sw.bytes, dur.Round(time.Microsecond))
+		}
 	})
 }
 

@@ -331,6 +331,13 @@ type RunConfig struct {
 	// guest program's own Value-graph growth, and — like MaxSteps — it is
 	// cumulative across pause/resume.
 	MemBudgetBytes uint64
+
+	// ProfileEvery arms the guest-level sampling profiler: every that many
+	// statements the interpreter samples the JS call stack and attributes
+	// the interval to it (folded-stack accumulation; see
+	// interp.StartProfile). 0 leaves profiling off; builds tagged
+	// stopify_noprof compile the seam out and ignore this.
+	ProfileEvery uint64
 }
 
 // useBytecode resolves the configured backend. Unknown names are an error:
@@ -422,6 +429,7 @@ func (c *Compiled) newRealm(cfg RunConfig) (*AsyncRun, error) {
 		QuantumSteps: cfg.QuantumSteps,
 		OnQuantum:    cfg.OnQuantum,
 		MemBudget:    cfg.MemBudgetBytes,
+		ProfileEvery: cfg.ProfileEvery,
 	})
 	runtime := rt.New(in, loop, rt.Options{
 		Strategy:        c.Opts.strategy(),
@@ -558,6 +566,17 @@ func (a *AsyncRun) MemUsed() uint64 { return a.In.MemUsed() }
 // (owner-goroutine only); the meter is cumulative, so raising it extends a
 // budget across resumes.
 func (a *AsyncRun) SetMemBudget(n uint64) { a.In.SetMemBudget(n) }
+
+// StartProfile arms the guest-level sampling profiler with the given
+// statement period; 0 disarms (owner-goroutine only). No-op when the
+// stopify_noprof build tag compiled the seam out.
+func (a *AsyncRun) StartProfile(every uint64) { a.In.StartProfile(every) }
+
+// TakeProfileFolded drains the profiler's folded-stack samples accumulated
+// since the last drain — ";"-joined JS call stacks, root first, mapped to
+// statement counts. Nil when nothing was sampled. Owner-goroutine only; a
+// scheduler harvests between turns.
+func (a *AsyncRun) TakeProfileFolded() map[string]uint64 { return a.In.TakeProfileFolded() }
 
 // Finished reports whether the program has completed. Safe from any
 // goroutine.

@@ -679,6 +679,12 @@ func (in *Interp) Call(fn Value, this Value, args []Value, newTarget Value) (Val
 		in.depth--
 		return Undefined, in.Throw("RangeError", "Maximum call stack size exceeded")
 	}
+	// Shadow stack for the sampling profiler: both engines funnel every JS
+	// call through here, so this one push/pop pair is the whole seam.
+	if profSeam && in.prof != nil {
+		in.profPush(c.Decl.Name)
+		defer in.profPop()
+	}
 	defer func() { in.depth-- }()
 
 	var env *Env

@@ -51,6 +51,11 @@ type Options struct {
 	// Checked at the same statement boundaries as MaxSteps, on both
 	// engines.
 	MemBudget uint64
+	// ProfileEvery arms the guest-level sampling profiler (profile.go):
+	// every that many statements the JS call stack is sampled and the
+	// interval's statement count attributed to it. 0 leaves the profiler
+	// off; the stopify_noprof build tag compiles the seam out entirely.
+	ProfileEvery uint64
 }
 
 // Interp is one JavaScript realm: global environment, builtin prototypes,
@@ -119,6 +124,7 @@ type Interp struct {
 	memUsed    uint64 // bytes charged by the allocation meter (mem.go)
 	memBudget  uint64 // allocation budget; 0 = unmetered
 	onQuantum  func()
+	prof       *profState // sampling profiler; nil = disarmed (profile.go)
 	chunks     map[*ast.Func]*chunk
 	vmStack    []Value
 	chunkFuncs int
@@ -165,6 +171,9 @@ func New(opts Options) *Interp {
 	if opts.QuantumSteps > 0 {
 		in.quantumEnd = opts.QuantumSteps
 	}
+	if profSeam && opts.ProfileEvery > 0 {
+		in.StartProfile(opts.ProfileEvery)
+	}
 	in.recomputeStepLimit()
 	in.Global = NewEnv(nil)
 	in.setupGlobals()
@@ -192,6 +201,9 @@ func (in *Interp) recomputeStepLimit() {
 	if in.quantumEnd != 0 && in.quantumEnd-1 < lim {
 		lim = in.quantumEnd - 1
 	}
+	if profSeam && in.prof != nil && in.prof.next != 0 && in.prof.next-1 < lim {
+		lim = in.prof.next - 1
+	}
 	in.stepLimit = lim
 }
 
@@ -205,6 +217,9 @@ func (in *Interp) stepBoundary() error {
 	}
 	if in.maxSteps != 0 && in.Steps > in.maxSteps {
 		return ErrStepBudget
+	}
+	if profSeam && in.prof != nil && in.prof.next != 0 && in.Steps >= in.prof.next {
+		in.profSample() // every exit path below recomputes stepLimit
 	}
 	if in.quantumEnd != 0 && in.Steps >= in.quantumEnd {
 		in.quantumEnd = 0

@@ -1,0 +1,9 @@
+//go:build stopify_noprof
+
+package interp
+
+// profSeam is compiled out: the sampling profiler (profile.go) becomes dead
+// code, StartProfile is a no-op, and the statement-boundary check stays the
+// single pre-profiler compare. CI's overhead gate builds with this tag and
+// runs the interpreter perf check against the shared baseline.
+const profSeam = false

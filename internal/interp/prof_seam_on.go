@@ -1,0 +1,11 @@
+//go:build !stopify_noprof
+
+package interp
+
+// profSeam compiles the guest-level sampling profiler in. This is the
+// per-instruction instrumentation seam from the ROADMAP: when false (build
+// tag stopify_noprof) every profiler branch is a dead compare on a package
+// constant and the statement-boundary fast path is byte-identical to the
+// pre-profiler interpreter. IFC and record-replay hooks are expected to
+// ride the same seam.
+const profSeam = true

@@ -121,5 +121,11 @@ func (in *Interp) SetRandState(s uint64) { in.rng = s }
 func (in *Interp) SetAccounting(steps, memUsed uint64) {
 	in.Steps = steps
 	in.memUsed = memUsed
+	// The jump in Steps covers statements run in the parked realm's past
+	// life; re-anchor the profiler so they are not attributed to the first
+	// stack sampled here.
+	if profSeam {
+		in.profResetBaseline()
+	}
 	in.recomputeStepLimit()
 }

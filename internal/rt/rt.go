@@ -183,6 +183,15 @@ func New(in *interp.Interp, loop *eventloop.Loop, opts Options) *R {
 func (r *R) setMode(m string) {
 	r.mode = m
 	r.In.DefineGlobal(instrument.ModeVar, interp.StringValue(m))
+	// Tag profiler samples taken while the instrumentation unwinds or
+	// rebuilds stacks: those statements are continuation machinery, not the
+	// user frame that happens to be executing, and the profile should say so.
+	switch m {
+	case instrument.ModeNormal:
+		r.In.SetProfilePhase("")
+	default:
+		r.In.SetProfilePhase("(" + m + ")")
+	}
 }
 
 // Mode reports the current execution mode (for tests).

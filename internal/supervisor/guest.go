@@ -1,6 +1,9 @@
 package supervisor
 
 import (
+	"bytes"
+	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -179,8 +182,60 @@ type Guest struct {
 	preempts   int
 	sleepTimer *time.Timer
 
+	// profFolded accumulates the guest's sampling-profiler output across
+	// turns (the worker harvests the realm after each quantum), so the
+	// profile survives parks, restores, and the realm's destruction.
+	profFolded map[string]uint64
+
 	res    Result
 	doneCh chan struct{}
+}
+
+// addProfile merges one turn's harvested folded-stack samples.
+func (g *Guest) addProfile(folded map[string]uint64) {
+	g.mu.Lock()
+	if g.profFolded == nil {
+		g.profFolded = make(map[string]uint64, len(folded))
+	}
+	for k, v := range folded {
+		g.profFolded[k] += v
+	}
+	g.mu.Unlock()
+}
+
+// ProfileFolded returns a copy of the guest's accumulated sampling profile:
+// ";"-joined JS call stacks (root first) mapped to sampled statement
+// counts. Nil when profiling is off (Options.ProfileEvery == 0) or nothing
+// has been sampled yet. Safe from any goroutine.
+func (g *Guest) ProfileFolded() map[string]uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return copyCounts(g.profFolded)
+}
+
+// FoldedText renders a folded-stack profile in the flamegraph collapsed
+// format — one "stack count" line per stack, sorted by stack for
+// deterministic output. A non-empty prefix is prepended to every stack
+// (multi-tenant dumps prefix "guest<id>" so tenants stay distinguishable
+// in one flamegraph).
+func FoldedText(folded map[string]uint64, prefix string) []byte {
+	stacks := make([]string, 0, len(folded))
+	for k := range folded {
+		stacks = append(stacks, k)
+	}
+	sort.Strings(stacks)
+	var buf bytes.Buffer
+	for _, k := range stacks {
+		if prefix != "" {
+			buf.WriteString(prefix)
+			buf.WriteByte(';')
+		}
+		buf.WriteString(k)
+		buf.WriteByte(' ')
+		buf.WriteString(strconv.FormatUint(folded[k], 10))
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
 }
 
 // Done returns a channel closed when the guest finishes.

@@ -1,9 +1,11 @@
 package supervisor
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -69,6 +71,18 @@ type LoadConfig struct {
 	// DrainBudget bounds the post-generation drain; guests still unfinished
 	// after it count as errors. Default 60s.
 	DrainBudget time.Duration `json:"drain_budget_ns"`
+	// ProfileEvery arms the guest-level sampling profiler in every guest
+	// (statement period); 0 leaves it off. The per-tenant folded stacks go
+	// to ProfileOut.
+	ProfileEvery uint64 `json:"profile_every,omitempty"`
+	// TraceOut, when set, writes the run's flight-recorder history as a
+	// Chrome trace-event JSON file (load it in about://tracing) after the
+	// drain — the post-mortem artifact every SLO-gate run leaves behind.
+	TraceOut string `json:"trace_out,omitempty"`
+	// ProfileOut, when set, writes every tenant's folded-stack profile
+	// (lines prefixed guest<id>;) to one flamegraph-ready file. Requires
+	// ProfileEvery.
+	ProfileOut string `json:"profile_out,omitempty"`
 }
 
 func (c *LoadConfig) normalize() {
@@ -241,6 +255,23 @@ setTimeout(wake, %d, %d, "woke");
 	return src, fmt.Sprintf("woke %d ok\n", 19900+seed)
 }
 
+// worstWindowP99 is the "was there a bad minute" number: the maximum
+// windowed P99 over windows with at least minWindowTurns samples, or
+// fallback (the whole-run P99) when no window has enough turns to be
+// statistically meaningful.
+func worstWindowP99(windows []WindowSummary, fallback float64) float64 {
+	worst := 0.0
+	for _, w := range windows {
+		if w.Turns >= minWindowTurns && w.P99 > worst {
+			worst = w.P99
+		}
+	}
+	if worst == 0 {
+		worst = fallback
+	}
+	return worst
+}
+
 // RunLoad executes one sustained open-loop load run and verifies every
 // finished guest's outcome against its profile.
 func RunLoad(cfg LoadConfig) (*LoadResult, error) {
@@ -253,6 +284,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		MaxResident:   cfg.MaxResident,
 		ParkDir:       cfg.ParkDir,
 		MetricsWindow: cfg.MetricsWindow,
+		ProfileEvery:  cfg.ProfileEvery,
 	})
 	defer s.Close()
 
@@ -443,14 +475,26 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 			"", int(m.ParkPins), m.ParkPinsByReason)
 	}
 	windows := s.Windows()
-	worst := 0.0
-	for _, w := range windows {
-		if w.Turns >= minWindowTurns && w.P99 > worst {
-			worst = w.P99
-		}
+	worst := worstWindowP99(windows, m.SchedLatency.P99)
+
+	// Post-mortem artifacts, written while the supervisor (and its flight
+	// recorder) is still alive. Failures are reported, not fatal: a run that
+	// met its SLOs does not fail because a disk was full.
+	var artifactErr error
+	if cfg.TraceOut != "" {
+		artifactErr = os.WriteFile(cfg.TraceOut, ChromeTrace(s.Trace(0)), 0o644)
 	}
-	if worst == 0 {
-		worst = m.SchedLatency.P99
+	if cfg.ProfileOut != "" && artifactErr == nil {
+		var prof bytes.Buffer
+		for _, r := range recs {
+			if folded := r.g.ProfileFolded(); folded != nil {
+				prof.Write(FoldedText(folded, fmt.Sprintf("guest%d", r.g.ID)))
+			}
+		}
+		artifactErr = os.WriteFile(cfg.ProfileOut, prof.Bytes(), 0o644)
+	}
+	if artifactErr != nil && firstBad == "" {
+		firstBad = fmt.Sprintf("artifact write failed: %v", artifactErr)
 	}
 
 	res := &LoadResult{

@@ -299,6 +299,7 @@ func isSupervisorKill(err error) bool {
 // milliseconds.
 type LatencySummary struct {
 	Count int     `json:"count"`
+	SumMs float64 `json:"sum_ms"`
 	P50   float64 `json:"p50_ms"`
 	P90   float64 `json:"p90_ms"`
 	P99   float64 `json:"p99_ms"`
@@ -351,9 +352,15 @@ type Metrics struct {
 	TurnDuration LatencySummary `json:"turn_duration"`
 }
 
-// Metrics snapshots the aggregate counters and latency digests.
+// Metrics snapshots the aggregate counters and latency digests. The whole
+// snapshot is taken inside one s.mu critical section with metrics.mu nested
+// (the lock order everywhere is g.mu → s.mu → metrics.mu), so the gauges
+// and the counters are mutually consistent: a park moves resident/parked
+// and bumps the park counter under the same s.mu hold, and a scrape can
+// never observe one without the other.
 func (s *Supervisor) Metrics() Metrics {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	active := s.pending
 	queued := 0
 	for i := range s.queues {
@@ -361,7 +368,6 @@ func (s *Supervisor) Metrics() Metrics {
 	}
 	resident := s.resident
 	parked := s.parkedN
-	s.mu.Unlock()
 
 	m := &s.metrics
 	m.mu.Lock()
@@ -418,6 +424,7 @@ func copyCounts(src map[string]uint64) map[string]uint64 {
 type reservoir struct {
 	samples []float64
 	seen    int
+	sum     float64 // exact running sum over all seen samples (Prometheus _sum)
 	rng     *rand.Rand
 }
 
@@ -425,6 +432,7 @@ const reservoirCap = 1 << 16
 
 func (r *reservoir) add(x float64) {
 	r.seen++
+	r.sum += x
 	if len(r.samples) < reservoirCap {
 		r.samples = append(r.samples, x)
 		return
@@ -449,6 +457,7 @@ func (r *reservoir) summary() LatencySummary {
 	}
 	return LatencySummary{
 		Count: r.seen,
+		SumMs: r.sum,
 		P50:   stats.Quantile(r.samples, 0.50),
 		P90:   stats.Quantile(r.samples, 0.90),
 		P99:   stats.Quantile(r.samples, 0.99),

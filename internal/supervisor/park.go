@@ -108,6 +108,7 @@ func (s *Supervisor) tryPark(g *Guest) bool {
 			kind = perr.Kind
 		}
 		s.metrics.parkPinned(kind)
+		s.trace(-1, TraceEvent{Type: TracePin, Guest: g.ID, Cause: kind})
 		return false
 	}
 	g.parkBlob = blob
@@ -128,8 +129,12 @@ func (s *Supervisor) tryPark(g *Guest) bool {
 	s.resident--
 	delete(s.residents, g.ID)
 	s.parkedN++
-	s.mu.Unlock()
+	// Counter and gauges move atomically under s.mu (metrics.mu nests
+	// inside), so a Metrics scrape never sees the park counted while the
+	// guest still looks resident.
 	s.metrics.park(len(blob))
+	s.mu.Unlock()
+	s.trace(-1, TraceEvent{Type: TracePark, Guest: g.ID, Bytes: len(blob)})
 	return true
 }
 
@@ -159,6 +164,7 @@ func (s *Supervisor) restoreGuest(g *Guest) error {
 		Backend:        s.opts.Backend,
 		MaxSteps:       g.pol.MaxTotalSteps,
 		MemBudgetBytes: g.pol.MemBudgetBytes,
+		ProfileEvery:   s.opts.ProfileEvery,
 	}, blob, core.RestoreOptions{ReplayOutput: replay, ElapsedMs: elapsed})
 	if err != nil {
 		return err
@@ -177,12 +183,17 @@ func (s *Supervisor) restoreGuest(g *Guest) error {
 	if path != "" {
 		os.Remove(path)
 	}
+	restoreDur := time.Since(start)
 	s.mu.Lock()
 	s.resident++
 	s.residents[g.ID] = g
 	s.parkedN--
+	s.metrics.restoreDone(restoreDur)
 	s.mu.Unlock()
-	s.metrics.restoreDone(time.Since(start))
+	s.trace(-1, TraceEvent{
+		Type: TraceRestore, Guest: g.ID, Bytes: len(blob),
+		DurUs: restoreDur.Microseconds(),
+	})
 	return nil
 }
 
@@ -236,6 +247,7 @@ func (s *Supervisor) Restore(blob []byte, pol *Policy) (*Guest, error) {
 	}
 	if pending >= s.opts.MaxPending {
 		s.metrics.reject()
+		s.trace(-1, TraceEvent{Type: TraceReject})
 		return nil, ErrQueueFull
 	}
 
@@ -270,6 +282,7 @@ func (s *Supervisor) Restore(blob []byte, pol *Policy) (*Guest, error) {
 	if s.pending >= s.opts.MaxPending {
 		s.mu.Unlock()
 		s.metrics.reject()
+		s.trace(-1, TraceEvent{Type: TraceReject})
 		return nil, ErrQueueFull
 	}
 	s.nextID++
@@ -278,7 +291,10 @@ func (s *Supervisor) Restore(blob []byte, pol *Policy) (*Guest, error) {
 	s.parkedN++
 	s.guests[g.ID] = g
 	s.pushLocked(g)
-	s.mu.Unlock()
 	s.metrics.restoreAdmit()
+	s.mu.Unlock()
+	s.trace(-1, TraceEvent{
+		Type: TraceSubmit, Guest: g.ID, Lane: laneName(g.lane), Bytes: len(blob),
+	})
 	return g, nil
 }

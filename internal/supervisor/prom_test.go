@@ -1,0 +1,163 @@
+package supervisor
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promValidate is a promtool-check-metrics-style validator for the text
+// exposition format (0.0.4): metric names are legal, every sample's family
+// has a preceding # TYPE, counters follow the _total convention, values
+// parse, and no (name, labelset) repeats within a scrape.
+func promValidate(t *testing.T, scrape []byte) {
+	t.Helper()
+	var (
+		nameRe   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+		sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$`)
+		typed    = map[string]string{} // family -> counter|gauge|summary
+		seen     = map[string]bool{}   // name{labels} uniqueness
+	)
+	sc := bufio.NewScanner(bytes.NewReader(scrape))
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "# TYPE ") {
+			parts := strings.Fields(text)
+			if len(parts) != 4 || !nameRe.MatchString(parts[2]) {
+				t.Errorf("line %d: malformed TYPE: %q", line, text)
+				continue
+			}
+			switch parts[3] {
+			case "counter", "gauge", "summary", "histogram", "untyped":
+			default:
+				t.Errorf("line %d: unknown metric type %q", line, parts[3])
+			}
+			if _, dup := typed[parts[2]]; dup {
+				t.Errorf("line %d: duplicate TYPE for %s", line, parts[2])
+			}
+			typed[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			continue // HELP or comment
+		}
+		m := sampleRe.FindStringSubmatch(text)
+		if m == nil {
+			t.Errorf("line %d: unparseable sample line: %q", line, text)
+			continue
+		}
+		name, labels, value := m[1], m[2], m[3]
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			t.Errorf("line %d: value %q does not parse: %v", line, value, err)
+		}
+		key := name + labels
+		if seen[key] {
+			t.Errorf("line %d: duplicate sample %s", line, key)
+		}
+		seen[key] = true
+
+		// Resolve the family: summaries expose name{quantile}, name_sum,
+		// name_count under one TYPE summary declaration.
+		family := name
+		if typed[family] == "" {
+			if f := strings.TrimSuffix(name, "_sum"); typed[f] == "summary" {
+				family = f
+			} else if f := strings.TrimSuffix(name, "_count"); typed[f] == "summary" {
+				family = f
+			}
+		}
+		kind := typed[family]
+		if kind == "" {
+			t.Errorf("line %d: sample %s has no preceding # TYPE", line, name)
+			continue
+		}
+		if kind == "counter" && !strings.HasSuffix(name, "_total") {
+			t.Errorf("line %d: counter %s does not end in _total", line, name)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) == 0 {
+		t.Fatal("scrape contained no samples")
+	}
+}
+
+// TestWritePromValidScrape renders a real supervisor's metrics — after a
+// workload that populates completions, kills, preemptions, and latency
+// digests — and validates the scrape line by line.
+func TestWritePromValidScrape(t *testing.T) {
+	s := New(Options{Workers: 2, QuantumSteps: 300})
+	defer s.Close()
+	for i := 0; i < 3; i++ {
+		g, err := s.Submit(SubmitOptions{Source: guestSrc(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Wait()
+	}
+	// One external kill so a cause-labeled kill counter is nonzero.
+	hostile, err := s.Submit(SubmitOptions{Source: `while (true) {}`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostile.Kill(nil)
+	hostile.Wait()
+
+	m := s.Metrics()
+	var buf bytes.Buffer
+	WriteProm(&buf, m, s.Windows())
+	promValidate(t, buf.Bytes())
+
+	scrape := buf.String()
+	wantLine := fmt.Sprintf("stopify_guests_completed_total %d", m.Completed)
+	if !strings.Contains(scrape, wantLine) {
+		t.Errorf("scrape missing %q", wantLine)
+	}
+	if !strings.Contains(scrape, "stopify_sched_latency_ms{quantile=\"0.99\"}") {
+		t.Error("scrape missing sched-latency P99 quantile")
+	}
+	if !strings.Contains(scrape, `stopify_kills_total{cause="explicit"} 1`) {
+		t.Error("scrape missing the explicit-kill cause counter")
+	}
+	if m.Completed != 3 {
+		t.Errorf("workload completed %d guests, want 3", m.Completed)
+	}
+}
+
+// TestWritePromWindowGauges: the newest *complete* window — not the
+// still-filling last bucket — backs the windowed gauges, and with fewer than
+// two windows they are omitted rather than rendered as misleading zeros.
+func TestWritePromWindowGauges(t *testing.T) {
+	wins := []WindowSummary{
+		{StartMs: 0, WidthMs: 1000, Turns: 100, P50: 1, P99: 2},
+		{StartMs: 1000, WidthMs: 1000, Turns: 200, P50: 3, P99: 4},
+		{StartMs: 2000, WidthMs: 1000, Turns: 5, P50: 9, P99: 9}, // still filling
+	}
+	var buf bytes.Buffer
+	WriteProm(&buf, Metrics{}, wins)
+	promValidate(t, buf.Bytes())
+	out := buf.String()
+	if !strings.Contains(out, "stopify_window_sched_latency_p99_ms 4") {
+		t.Errorf("window P99 gauge not taken from newest complete window:\n%s", out)
+	}
+	if !strings.Contains(out, "stopify_window_turns 200") {
+		t.Errorf("window turns gauge not taken from newest complete window:\n%s", out)
+	}
+
+	buf.Reset()
+	WriteProm(&buf, Metrics{}, wins[:1])
+	if strings.Contains(buf.String(), "stopify_window_") {
+		t.Error("window gauges rendered with no complete window available")
+	}
+	promValidate(t, buf.Bytes())
+}

@@ -89,6 +89,15 @@ type Options struct {
 	// digest (Supervisor.Windows) — the over-time view the sustained-load
 	// harness gates on, as opposed to the whole-run reservoir. Default 1s.
 	MetricsWindow time.Duration
+	// TraceCapacity bounds the flight recorder's total retained events
+	// (trace.go); oldest are overwritten. 0 means the default (16384);
+	// negative disables tracing entirely.
+	TraceCapacity int
+	// ProfileEvery arms the guest-level sampling profiler in every guest
+	// realm: each guest's JS call stack is sampled every that many
+	// statements and the folded-stack counts accumulate on the Guest
+	// (Guest.ProfileFolded). 0 leaves profiling off.
+	ProfileEvery uint64
 	// DefaultPolicy applies to guests submitted without one.
 	DefaultPolicy Policy
 }
@@ -151,6 +160,7 @@ type Supervisor struct {
 
 	wg      sync.WaitGroup
 	metrics metrics
+	tracer  *traceRecorder // nil when Options.TraceCapacity < 0
 }
 
 // New starts a supervisor and its worker pool.
@@ -163,6 +173,10 @@ func New(opts Options) *Supervisor {
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.idle = sync.NewCond(&s.mu)
+	if opts.TraceCapacity >= 0 {
+		// One shard per worker plus one for control-plane goroutines.
+		s.tracer = newTraceRecorder(opts.Workers+1, opts.TraceCapacity)
+	}
 	s.queues = make([]laneQueue, opts.Workers)
 	for i := range s.queues {
 		s.queues[i].rrCredit = opts.InteractiveWeight
@@ -191,6 +205,7 @@ func (s *Supervisor) Submit(opt SubmitOptions) (*Guest, error) {
 	}
 	if pending >= s.opts.MaxPending {
 		s.metrics.reject()
+		s.trace(-1, TraceEvent{Type: TraceReject})
 		return nil, ErrQueueFull
 	}
 
@@ -238,6 +253,7 @@ func (s *Supervisor) Submit(opt SubmitOptions) (*Guest, error) {
 	if s.pending >= s.opts.MaxPending {
 		s.mu.Unlock()
 		s.metrics.reject()
+		s.trace(-1, TraceEvent{Type: TraceReject})
 		return nil, ErrQueueFull
 	}
 	s.nextID++
@@ -245,8 +261,9 @@ func (s *Supervisor) Submit(opt SubmitOptions) (*Guest, error) {
 	s.pending++
 	s.guests[g.ID] = g
 	s.pushLocked(g)
-	s.mu.Unlock()
 	s.metrics.submit()
+	s.mu.Unlock()
+	s.trace(-1, TraceEvent{Type: TraceSubmit, Guest: g.ID, Lane: laneName(g.lane)})
 	return g, nil
 }
 
@@ -402,9 +419,9 @@ func (s *Supervisor) pushLocked(g *Guest) {
 // perform the worker's claim step (take g.mu, verify StateQueued, discard
 // otherwise) before running what it popped; killed and paused guests are
 // weeded out there.
-func (s *Supervisor) popLocked(w int) *Guest {
+func (s *Supervisor) popLocked(w int) (g *Guest, stolen bool) {
 	if g := s.queues[w].pop(s.opts.InteractiveWeight); g != nil {
-		return g
+		return g, false
 	}
 	victim, depth := -1, 0
 	for i := range s.queues {
@@ -416,16 +433,16 @@ func (s *Supervisor) popLocked(w int) *Guest {
 		}
 	}
 	if victim < 0 {
-		return nil
+		return nil, false
 	}
-	g := s.queues[victim].pop(s.opts.InteractiveWeight)
+	g = s.queues[victim].pop(s.opts.InteractiveWeight)
 	if g != nil {
 		// The thief becomes the new home: a guest that keeps getting stolen
 		// is a guest whose home worker is overloaded, so migrate it.
 		g.home = w
 		s.metrics.steal()
 	}
-	return g
+	return g, g != nil
 }
 
 // requeue puts a parked guest back on its lane. From is the state the
@@ -468,6 +485,7 @@ func (s *Supervisor) killGuest(g *Guest, reason error) {
 	if reason == nil {
 		reason = rt.ErrKilled
 	}
+	s.trace(-1, TraceEvent{Type: TraceKill, Guest: g.ID, Cause: outcomeCause(reason)})
 	g.mu.Lock()
 	switch g.state {
 	case StateDone:
@@ -504,6 +522,7 @@ func (s *Supervisor) killGuest(g *Guest, reason error) {
 
 // pauseGuest implements Guest.Pause.
 func (s *Supervisor) pauseGuest(g *Guest) {
+	s.trace(-1, TraceEvent{Type: TracePause, Guest: g.ID})
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	switch g.state {
@@ -530,6 +549,7 @@ func (s *Supervisor) pauseGuest(g *Guest) {
 
 // resumeGuest implements Guest.Resume.
 func (s *Supervisor) resumeGuest(g *Guest) {
+	s.trace(-1, TraceEvent{Type: TraceResume, Guest: g.ID})
 	g.mu.Lock()
 	g.pauseReq = false
 	if g.state != StatePaused {
@@ -549,8 +569,9 @@ func (s *Supervisor) worker(w int) {
 	for {
 		s.mu.Lock()
 		var g *Guest
+		var stolen bool
 		for {
-			g = s.popLocked(w)
+			g, stolen = s.popLocked(w)
 			if g != nil || s.closed {
 				break
 			}
@@ -572,9 +593,14 @@ func (s *Supervisor) worker(w int) {
 		wait := time.Since(g.readySince)
 		g.queueWait += wait
 		g.quanta++
+		lane := g.lane
 		g.mu.Unlock()
 		s.metrics.schedLatency(wait)
-		s.safeTurn(g)
+		s.trace(w, TraceEvent{
+			Type: TraceSchedule, Guest: g.ID, Lane: laneName(lane),
+			Steal: stolen, WaitUs: wait.Microseconds(),
+		})
+		s.safeTurn(g, w)
 	}
 }
 
@@ -586,7 +612,7 @@ func (s *Supervisor) worker(w int) {
 // held: the recovery path can safely take g.mu to finalize. The guest's
 // realm is quarantined — its AsyncRun is never resumed or pumped again —
 // since a panic mid-dispatch leaves engine invariants unknown.
-func (s *Supervisor) safeTurn(g *Guest) {
+func (s *Supervisor) safeTurn(g *Guest, w int) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.metrics.internalFault(r, debug.Stack())
@@ -599,7 +625,7 @@ func (s *Supervisor) safeTurn(g *Guest) {
 			g.mu.Unlock()
 		}
 	}()
-	s.runTurn(g)
+	s.runTurn(g, w)
 	// Residency enforcement rides on turn boundaries: if this turn pushed
 	// the fleet over MaxResident, park idle guests before taking new work.
 	s.maybeParkSome()
@@ -608,7 +634,7 @@ func (s *Supervisor) safeTurn(g *Guest) {
 // runTurn gives g one scheduling quantum on the calling worker, then
 // classifies how the quantum ended: finished, preempted (requeue), asleep
 // on a timer, externally paused, or dead by policy.
-func (s *Supervisor) runTurn(g *Guest) {
+func (s *Supervisor) runTurn(g *Guest, w int) {
 	turnStart := time.Now()
 
 	g.mu.Lock()
@@ -707,7 +733,15 @@ func (s *Supervisor) runTurn(g *Guest) {
 		}
 		run.Loop.RunOne()
 	}
-	s.metrics.turn(time.Since(turnStart))
+	turnDur := time.Since(turnStart)
+	s.metrics.turn(turnDur)
+
+	// Harvest the sampling profiler while this worker still owns the realm:
+	// the folded stacks accumulate on the Guest, so the profile survives
+	// parks, restores, and the realm's destruction at finish.
+	if prof := run.TakeProfileFolded(); prof != nil {
+		g.addProfile(prof)
+	}
 
 	// Classify.
 	g.mu.Lock()
@@ -717,6 +751,22 @@ func (s *Supervisor) runTurn(g *Guest) {
 		g.preempts++
 	}
 	killReq = g.killReq
+	turnCause := "error"
+	switch {
+	case completed:
+		turnCause = "complete"
+	case killReq != nil:
+		turnCause = "kill"
+	case (preempted || sleeping) && g.pauseReq:
+		turnCause = "pause"
+	case preempted:
+		turnCause = "preempt"
+	case sleeping:
+		turnCause = "sleep"
+	case stalled:
+		turnCause = "stall"
+	}
+	turnSteps := g.steps
 	switch {
 	case completed:
 		// A kill that raced normal completion loses: the guest's own
@@ -778,6 +828,13 @@ func (s *Supervisor) runTurn(g *Guest) {
 		s.finalizeLocked(g, fmt.Errorf("supervisor: internal scheduling error"))
 		g.mu.Unlock()
 	}
+	s.trace(w, TraceEvent{
+		Type: TraceTurn, Guest: g.ID, DurUs: turnDur.Microseconds(),
+		Cause: turnCause, Steps: turnSteps,
+	})
+	if turnCause == "preempt" {
+		s.trace(w, TraceEvent{Type: TracePreempt, Guest: g.ID})
+	}
 }
 
 // startGuest builds g's realm (AsyncRun), wires the preemption hook and
@@ -788,6 +845,7 @@ func (s *Supervisor) startGuest(g *Guest) error {
 		Backend:        s.opts.Backend,
 		MaxSteps:       g.pol.MaxTotalSteps,
 		MemBudgetBytes: g.pol.MemBudgetBytes,
+		ProfileEvery:   s.opts.ProfileEvery,
 	}
 	run, err := g.compiled.NewRun(cfg)
 	if err != nil {
@@ -834,7 +892,6 @@ func (s *Supervisor) finalizeLocked(g *Guest, err error) {
 		WallTime:    now.Sub(g.submitted),
 	}
 	close(g.doneCh)
-	s.metrics.finish(err, g.steps)
 
 	// Release park artifacts: a guest killed while parked leaves neither a
 	// stale spill file nor a phantom entry in the residency gauges.
@@ -855,8 +912,15 @@ func (s *Supervisor) finalizeLocked(g *Guest, err error) {
 	if wasParked {
 		s.parkedN--
 	}
+	// The completion counters move in the same critical section as the
+	// pending/resident gauges (metrics.mu nests inside s.mu), so a Metrics
+	// scrape can never see the counter bump without the gauge drop.
+	s.metrics.finish(err, g.steps)
 	if s.pending == 0 {
 		s.idle.Broadcast()
 	}
 	s.mu.Unlock()
+	s.trace(-1, TraceEvent{
+		Type: TraceFinish, Guest: g.ID, Cause: outcomeCause(err), Steps: g.steps,
+	})
 }
